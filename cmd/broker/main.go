@@ -1,0 +1,113 @@
+// Command broker runs one overlay broker over TCP. Brokers form a tree:
+// the root hosts pubends (PHB role), interior nodes relay and cache, and
+// leaves host durable subscribers (SHB role); one process can play all
+// roles at once.
+//
+// Examples:
+//
+//	# a combined PHB+SHB on one node, hosting pubends 1 and 2
+//	broker -name node1 -listen :7070 -data /var/lib/gryphon/node1 \
+//	       -pubends 1,2 -shb -all-pubends 1,2
+//
+//	# a pure SHB joining the tree
+//	broker -name edge1 -listen :7071 -upstream phb.example:7070 \
+//	       -data /var/lib/gryphon/edge1 -shb -all-pubends 1,2
+//
+//	# an intermediate relay
+//	broker -name mid1 -listen :7072 -upstream phb.example:7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/overlay"
+	"repro/internal/pubend"
+	"repro/internal/vtime"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "broker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		name       = flag.String("name", "broker", "broker name")
+		listen     = flag.String("listen", ":7070", "TCP listen address")
+		upstream   = flag.String("upstream", "", "parent broker address (empty = root)")
+		dataDir    = flag.String("data", "", "data directory (required for -pubends / -shb)")
+		pubends    = flag.String("pubends", "", "comma-separated pubend IDs hosted here (PHB role)")
+		shb        = flag.Bool("shb", false, "host durable subscribers (SHB role)")
+		allPubends = flag.String("all-pubends", "", "comma-separated system-wide pubend IDs (required with -shb)")
+		tick       = flag.Duration("tick", 5*time.Millisecond, "housekeeping interval")
+		maxRetain  = flag.Duration("max-retain", 0, "early-release retention bound (0 = retain until released)")
+		syncEvery  = flag.Bool("sync-publish", false, "fsync the event log on every publish")
+	)
+	flag.Parse()
+
+	cfg := broker.Config{
+		Name:         *name,
+		DataDir:      *dataDir,
+		Transport:    overlay.TCPTransport{},
+		ListenAddr:   *listen,
+		UpstreamAddr: *upstream,
+		EnableSHB:    *shb,
+		TickInterval: *tick,
+	}
+	var policy pubend.Policy
+	if *maxRetain > 0 {
+		policy = pubend.MaxRetain{Retain: vtime.Timestamp(*maxRetain / time.Microsecond)}
+	}
+	hosted, err := parseIDs(*pubends)
+	if err != nil {
+		return fmt.Errorf("-pubends: %w", err)
+	}
+	for _, id := range hosted {
+		cfg.HostedPubends = append(cfg.HostedPubends, broker.PubendConfig{
+			ID:               id,
+			Policy:           policy,
+			SyncEveryPublish: *syncEvery,
+		})
+	}
+	if cfg.AllPubends, err = parseIDs(*allPubends); err != nil {
+		return fmt.Errorf("-all-pubends: %w", err)
+	}
+
+	b, err := broker.New(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("broker %s listening on %s (PHB pubends: %v, SHB: %v, upstream: %q)\n",
+		*name, *listen, hosted, *shb, *upstream)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	return b.Close()
+}
+
+func parseIDs(s string) ([]vtime.PubendID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []vtime.PubendID
+	for _, part := range strings.Split(s, ",") {
+		id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad pubend id %q: %w", part, err)
+		}
+		out = append(out, vtime.PubendID(id))
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+// Command cluster launches a whole broker tree in one process from a JSON
+// topology file — convenient for development and demos (production
+// deployments run one cmd/broker per node).
+//
+//	cluster -config topology.json
+//
+// Example topology.json:
+//
+//	{
+//	  "dataDir": "/tmp/gryphon",
+//	  "brokers": [
+//	    {"name": "phb",  "listen": ":7070", "pubends": [1, 2]},
+//	    {"name": "mid",  "listen": ":7071", "upstream": "localhost:7070"},
+//	    {"name": "shb1", "listen": ":7072", "upstream": "localhost:7071",
+//	     "shb": true, "allPubends": [1, 2]},
+//	    {"name": "shb2", "listen": ":7073", "upstream": "localhost:7071",
+//	     "shb": true, "allPubends": [1, 2]}
+//	  ]
+//	}
+//
+// Brokers are started in file order (parents first), all over TCP, and shut
+// down in reverse order on SIGINT/SIGTERM.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/overlay"
+	"repro/internal/pubend"
+	"repro/internal/vtime"
+)
+
+// topologyFile is the JSON schema of -config.
+type topologyFile struct {
+	DataDir string       `json:"dataDir"`
+	Brokers []brokerSpec `json:"brokers"`
+}
+
+type brokerSpec struct {
+	Name       string   `json:"name"`
+	Listen     string   `json:"listen"`
+	Upstream   string   `json:"upstream"`
+	Pubends    []uint32 `json:"pubends"`
+	SHB        bool     `json:"shb"`
+	AllPubends []uint32 `json:"allPubends"`
+	// MaxRetainMillis enables the early-release policy on this broker's
+	// pubends (virtual milliseconds).
+	MaxRetainMillis int64 `json:"maxRetainMillis"`
+	// TickMillis overrides the housekeeping interval.
+	TickMillis int64 `json:"tickMillis"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	configPath := flag.String("config", "", "topology JSON file (required)")
+	flag.Parse()
+	if *configPath == "" {
+		return fmt.Errorf("-config is required")
+	}
+	raw, err := os.ReadFile(*configPath)
+	if err != nil {
+		return err
+	}
+	var topo topologyFile
+	if err := json.Unmarshal(raw, &topo); err != nil {
+		return fmt.Errorf("parse %s: %w", *configPath, err)
+	}
+	if len(topo.Brokers) == 0 {
+		return fmt.Errorf("no brokers in topology")
+	}
+	if topo.DataDir == "" {
+		topo.DataDir, err = os.MkdirTemp("", "gryphon-cluster-*")
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataDir not set; using %s\n", topo.DataDir)
+	}
+
+	var started []*broker.Broker
+	shutdown := func() {
+		for i := len(started) - 1; i >= 0; i-- {
+			started[i].Close() //nolint:errcheck,gosec // shutdown path
+		}
+	}
+	for _, spec := range topo.Brokers {
+		cfg, err := specToConfig(topo.DataDir, spec)
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("broker %q: %w", spec.Name, err)
+		}
+		b, err := broker.New(cfg)
+		if err != nil {
+			shutdown()
+			return fmt.Errorf("start broker %q: %w", spec.Name, err)
+		}
+		started = append(started, b)
+		role := "relay"
+		switch {
+		case len(spec.Pubends) > 0 && spec.SHB:
+			role = "PHB+SHB"
+		case len(spec.Pubends) > 0:
+			role = "PHB"
+		case spec.SHB:
+			role = "SHB"
+		}
+		fmt.Printf("started %-12s %-8s listen=%s upstream=%q\n",
+			spec.Name, role, spec.Listen, spec.Upstream)
+	}
+	fmt.Printf("%d brokers up; Ctrl-C to stop\n", len(started))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	shutdown()
+	return nil
+}
+
+func specToConfig(dataDir string, spec brokerSpec) (broker.Config, error) {
+	if spec.Name == "" || spec.Listen == "" {
+		return broker.Config{}, fmt.Errorf("name and listen are required")
+	}
+	cfg := broker.Config{
+		Name:         spec.Name,
+		DataDir:      filepath.Join(dataDir, spec.Name),
+		Transport:    overlay.TCPTransport{},
+		ListenAddr:   spec.Listen,
+		UpstreamAddr: spec.Upstream,
+		EnableSHB:    spec.SHB,
+	}
+	if spec.TickMillis > 0 {
+		cfg.TickInterval = time.Duration(spec.TickMillis) * time.Millisecond
+	}
+	var policy pubend.Policy
+	if spec.MaxRetainMillis > 0 {
+		policy = pubend.MaxRetain{Retain: vtime.Timestamp(spec.MaxRetainMillis) * vtime.TicksPerMilli}
+	}
+	for _, id := range spec.Pubends {
+		cfg.HostedPubends = append(cfg.HostedPubends, broker.PubendConfig{
+			ID:     vtime.PubendID(id),
+			Policy: policy,
+		})
+	}
+	for _, id := range spec.AllPubends {
+		cfg.AllPubends = append(cfg.AllPubends, vtime.PubendID(id))
+	}
+	if spec.SHB && len(cfg.AllPubends) == 0 {
+		return broker.Config{}, fmt.Errorf("shb requires allPubends")
+	}
+	return cfg, nil
+}

@@ -1,0 +1,98 @@
+// Command pubclient publishes events to a publisher hosting broker, either
+// a fixed count or a sustained rate, reading payload lines from stdin when
+// -stdin is set.
+//
+// Examples:
+//
+//	pubclient -broker localhost:7070 -topic trades.NYSE -count 100
+//	pubclient -broker localhost:7070 -topic alerts -rate 500 -duration 30s
+//	echo "hello durable world" | pubclient -broker localhost:7070 -topic demo -stdin
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pubclient:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr     = flag.String("broker", "localhost:7070", "PHB address")
+		topic    = flag.String("topic", "demo", "event topic attribute")
+		count    = flag.Int("count", 10, "events to publish (ignored with -rate or -stdin)")
+		rate     = flag.Int("rate", 0, "publish at this rate (events/s) for -duration")
+		duration = flag.Duration("duration", 10*time.Second, "how long to publish at -rate")
+		payload  = flag.Int("payload", 250, "payload size in bytes")
+		stdin    = flag.Bool("stdin", false, "publish one event per stdin line")
+	)
+	flag.Parse()
+
+	pub, err := client.NewPublisher(overlay.TCPTransport{}, *addr, "pubclient")
+	if err != nil {
+		return err
+	}
+	defer pub.Close() //nolint:errcheck
+
+	publish := func(body []byte, seq int) error {
+		pe, ts, err := pub.Publish(message.Event{
+			Attrs: filter.Attributes{
+				"topic": filter.String(*topic),
+				"seq":   filter.Int(int64(seq)),
+			},
+			Payload: body,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("published seq=%d to %s @ %s\n", seq, pe, ts)
+		return nil
+	}
+
+	switch {
+	case *stdin:
+		scanner := bufio.NewScanner(os.Stdin)
+		seq := 0
+		for scanner.Scan() {
+			if err := publish(scanner.Bytes(), seq); err != nil {
+				return err
+			}
+			seq++
+		}
+		return scanner.Err()
+	case *rate > 0:
+		body := make([]byte, *payload)
+		interval := time.Second / time.Duration(*rate)
+		deadline := time.Now().Add(*duration)
+		seq := 0
+		for time.Now().Before(deadline) {
+			if err := publish(body, seq); err != nil {
+				return err
+			}
+			seq++
+			time.Sleep(interval)
+		}
+		return nil
+	default:
+		body := make([]byte, *payload)
+		for seq := 0; seq < *count; seq++ {
+			if err := publish(body, seq); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}

@@ -1,0 +1,175 @@
+// Package repro is a from-scratch Go implementation of "Scalably
+// Supporting Durable Subscriptions in a Publish/Subscribe System" (Bhola,
+// Zhao, Auerbach — DSN 2003): a content-based publish/subscribe broker
+// overlay providing exactly-once delivery to durable subscribers while
+// logging each event only once system-wide, at the publisher hosting
+// broker.
+//
+// The root package is the public facade. A minimal deployment:
+//
+//	net := repro.NewInprocNetwork(0)
+//	b, _ := repro.StartBroker(repro.BrokerConfig{
+//		Name:       "node1",
+//		DataDir:    "/tmp/node1",
+//		Transport:  net,
+//		ListenAddr: "node1",
+//		HostedPubends: []repro.PubendConfig{{ID: 1}},
+//		EnableSHB:  true,
+//		AllPubends: []repro.PubendID{1},
+//	})
+//	defer b.Close()
+//
+//	pub, _ := repro.NewPublisher(net, "node1", "my-app")
+//	sub, _ := repro.NewDurableSubscriber(repro.SubscriberOptions{
+//		ID:     1,
+//		Filter: `topic = "orders" and qty > 100`,
+//	})
+//	_ = sub.Connect(net, "node1")
+//
+//	_, _, _ = pub.Publish(repro.Event{
+//		Attrs:   repro.Attributes{"topic": repro.String("orders"), "qty": repro.Int(500)},
+//		Payload: []byte("BUY 500 XYZ"),
+//	})
+//	d := <-sub.Deliveries() // exactly-once, in timestamp order
+//	_ = d
+//
+// Durable subscribers may Disconnect and Connect again at any time — also
+// against a restarted broker — and receive every matching event published
+// in between exactly once, resuming from their checkpoint token. See
+// DESIGN.md for the architecture and EXPERIMENTS.md for the paper
+// reproduction results.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/pubend"
+	"repro/internal/vtime"
+)
+
+// Core identifier and time types.
+type (
+	// PubendID identifies a publishing endpoint (a persistent, ordered
+	// event stream hosted by a publisher hosting broker).
+	PubendID = vtime.PubendID
+	// SubscriberID identifies a durable subscription system-wide.
+	SubscriberID = vtime.SubscriberID
+	// Timestamp is a point in a pubend's virtual time stream
+	// (microseconds).
+	Timestamp = vtime.Timestamp
+	// CheckpointToken is the per-pubend vector of consumed timestamps a
+	// durable subscriber resumes from.
+	CheckpointToken = vtime.CheckpointToken
+)
+
+// Event and attribute types.
+type (
+	// Event is an application message: typed attributes (matched by
+	// subscriptions) plus an opaque payload.
+	Event = message.Event
+	// Attributes is the typed attribute map of an event.
+	Attributes = filter.Attributes
+	// Value is one typed attribute value.
+	Value = filter.Value
+	// Delivery is one message on a subscriber's stream: an event, a
+	// silence marker, or an explicit gap notification.
+	Delivery = message.Delivery
+	// Subscription is a parsed content filter.
+	Subscription = filter.Subscription
+)
+
+// Delivery kinds (see Delivery.Kind).
+const (
+	// DeliverEvent carries an event matching the subscription; there
+	// were no other matching events since the previous delivery.
+	DeliverEvent = message.DeliverEvent
+	// DeliverSilence guarantees no matching events occurred up to its
+	// timestamp; it advances the checkpoint token.
+	DeliverSilence = message.DeliverSilence
+	// DeliverGap warns that matching events up to its timestamp may
+	// have been discarded by an early-release policy.
+	DeliverGap = message.DeliverGap
+)
+
+// Attribute value constructors.
+var (
+	// String builds a string attribute value.
+	String = filter.String
+	// Int builds an integer attribute value.
+	Int = filter.Int
+	// Float builds a floating-point attribute value.
+	Float = filter.Float
+	// Bool builds a boolean attribute value.
+	Bool = filter.Bool
+)
+
+// ParseFilter compiles subscription source text, e.g.
+// `topic = "orders" and price > 10.5 and exists(account)`.
+func ParseFilter(src string) (*Subscription, error) { return filter.Parse(src) }
+
+// Transport types. A Transport connects brokers and clients.
+type (
+	// Transport is the overlay connection factory.
+	Transport = overlay.Transport
+	// InprocNetwork connects components within one process.
+	InprocNetwork = overlay.InprocNetwork
+	// TCPTransport connects components over TCP.
+	TCPTransport = overlay.TCPTransport
+)
+
+// NewInprocNetwork returns an in-process transport; latency, if positive,
+// is added to every message hop (useful for modeling network links).
+func NewInprocNetwork(latency time.Duration) *InprocNetwork {
+	return overlay.NewInprocNetwork(latency)
+}
+
+// Broker configuration types.
+type (
+	// BrokerConfig describes one broker node; see the field docs in the
+	// broker package.
+	BrokerConfig = broker.Config
+	// PubendConfig describes one hosted pubend.
+	PubendConfig = broker.PubendConfig
+	// Broker is a running overlay node.
+	Broker = broker.Broker
+	// ReleasePolicy decides when a pubend may discard (early-release)
+	// unacknowledged events.
+	ReleasePolicy = pubend.Policy
+	// MaxRetain is the administratively bounded retention policy:
+	// events older than Retain (virtual time) may be discarded even if
+	// disconnected durable subscribers have not acknowledged them; such
+	// subscribers receive explicit gap messages on reconnection.
+	MaxRetain = pubend.MaxRetain
+)
+
+// StartBroker opens the broker's persistent state, joins the overlay, and
+// starts serving. Close (clean) or Crash (failure simulation) stop it.
+func StartBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
+
+// Client types.
+type (
+	// Publisher publishes events to a publisher hosting broker.
+	Publisher = client.Publisher
+	// DurableSubscriber is a durable subscriber client: it survives
+	// disconnections (voluntary or not) with exactly-once delivery.
+	DurableSubscriber = client.Subscriber
+	// SubscriberOptions configures a durable subscriber.
+	SubscriberOptions = client.SubscriberOptions
+)
+
+// NewPublisher connects a publisher to the broker at addr.
+func NewPublisher(t Transport, addr, name string) (*Publisher, error) {
+	return client.NewPublisher(t, addr, name)
+}
+
+// NewDurableSubscriber creates a durable subscriber handle. Call Connect
+// to attach it to a subscriber hosting broker; the subscription persists
+// across Disconnect/Connect cycles and broker restarts.
+func NewDurableSubscriber(opts SubscriberOptions) (*DurableSubscriber, error) {
+	return client.NewSubscriber(opts)
+}

@@ -1,0 +1,540 @@
+// Package broker implements the overlay broker node. A broker can play any
+// combination of the three roles of the paper:
+//
+//   - publisher hosting broker (PHB): hosts pubends, logs each published
+//     event exactly once, serves recovery nacks from its log, and runs the
+//     event retention and release protocol;
+//   - intermediate broker: caches knowledge flowing down the tree, filters
+//     events per downstream link (D→S when nothing below the link
+//     matches), consolidates nacks flowing up, and aggregates release
+//     vectors;
+//   - subscriber hosting broker (SHB): hosts durable subscribers through
+//     the core engine (consolidated stream, catchup streams, PFS).
+//
+// Brokers form a tree rooted at the PHB (the knowledge graph of section 3).
+// Concurrency model: connection handlers and engine callbacks enqueue work
+// onto a single broker event loop that owns all routing state; thread-safe
+// components (pubends, the core engine, client registry) are called
+// directly where no routing state is involved.
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/filter"
+	"repro/internal/logvol"
+	"repro/internal/message"
+	"repro/internal/metastore"
+	"repro/internal/overlay"
+	"repro/internal/pfs"
+	"repro/internal/pubend"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// PubendConfig configures one pubend hosted by a broker.
+type PubendConfig struct {
+	// ID is the system-wide pubend identifier.
+	ID vtime.PubendID
+	// Policy is the early-release policy (nil: retain until released).
+	Policy pubend.Policy
+	// SyncEveryPublish forces an fsync per published event.
+	SyncEveryPublish bool
+	// LogLatency models the forced-log latency of the paper's PHB disk
+	// (44 ms of its 50 ms end-to-end latency) without depending on the
+	// local disk.
+	LogLatency time.Duration
+}
+
+// Config describes one broker.
+type Config struct {
+	// Name identifies the broker in logs and handshakes.
+	Name string
+	// DataDir holds the broker's persistent state (event logs, PFS,
+	// metastore). Required when the broker hosts pubends or subscribers.
+	DataDir string
+	// Transport connects this broker to the overlay (required).
+	Transport overlay.Transport
+	// ListenAddr accepts downstream brokers and clients ("" = no
+	// listener; such a broker can still act as a pure client of its
+	// upstream, which is not useful — normally set).
+	ListenAddr string
+	// UpstreamAddr is the parent broker in the tree ("" = root).
+	UpstreamAddr string
+	// HostedPubends are the pubends this broker hosts (PHB role).
+	HostedPubends []PubendConfig
+	// AllPubends is the system-wide pubend set (required when EnableSHB).
+	AllPubends []vtime.PubendID
+	// EnableSHB turns on the subscriber hosting role.
+	EnableSHB bool
+
+	// TickInterval drives draining, housekeeping and release
+	// aggregation. Zero means 5ms.
+	TickInterval time.Duration
+	// SilenceInterval, ReadBufferQ, EventCacheSize configure the core
+	// engine (zero values = engine defaults).
+	SilenceInterval vtime.Timestamp
+	ReadBufferQ     int
+	EventCacheSize  int
+	// PFSSyncEvery syncs the PFS every N writes (0 = engine default 200).
+	PFSSyncEvery int
+	// PFSImpreciseBucket enables the PFS imprecise mode (0 = precise).
+	PFSImpreciseBucket vtime.Timestamp
+	// RelayCacheSize bounds the intermediate per-pubend event cache
+	// (0 = 65536).
+	RelayCacheSize int
+	// MetaCommitLatency models the per-commit cost of the SHB database
+	// (section 5.2); 0 = none.
+	MetaCommitLatency time.Duration
+	// OnCaughtUp is forwarded to the core engine (figure 5 metric).
+	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
+}
+
+// Broker is one overlay node.
+type Broker struct {
+	cfg Config
+
+	tasks    *taskQueue
+	loopDone chan struct{}
+	tickStop chan struct{}
+	tickDone chan struct{}
+	closed   atomic.Bool
+
+	listener io.Closer
+	up       overlay.Conn
+
+	// Loop-owned routing state (no mutex: only the loop touches it).
+	links  map[overlay.Conn]*downLink // every accepted connection
+	downs  map[overlay.Conn]*downLink // the downstream-broker subset
+	caches map[vtime.PubendID]*relayCache
+	relAgg map[vtime.PubendID]map[string]relState // per source key
+	tickN  int64
+
+	// clients is read by engine callbacks (Deliver) and written by the
+	// loop.
+	clients sync.Map // vtime.SubscriberID -> overlay.Conn
+
+	pubends map[vtime.PubendID]*pubend.Pubend
+	peVol   *logvol.Volume
+	shb     *core.SHB
+	shbVol  *logvol.Volume
+	meta    *metastore.Store
+
+	// Relay statistics: events forwarded as D vs downgraded to S by
+	// per-link subscription filtering (the bandwidth saving of
+	// intermediate filtering, section 1).
+	eventsForwarded atomic.Int64
+	eventsFiltered  atomic.Int64
+
+	// pubRR round-robins publishes without a pubend hint.
+	pubRR atomic.Uint64
+	// linkSeq uniquifies aggregation source keys for accepted links
+	// (transport remote addresses are not guaranteed unique).
+	linkSeq atomic.Uint64
+	// hostedIDs caches the hosted pubend IDs in config order.
+	hostedIDs []vtime.PubendID
+}
+
+// relState is one source's contribution to release aggregation.
+type relState struct {
+	released        vtime.Timestamp
+	latestDelivered vtime.Timestamp
+	valid           bool
+}
+
+// downLink is a downstream broker connection with its subscription matcher
+// (for D→S filtering) — or a client connection before classification.
+type downLink struct {
+	conn    overlay.Conn
+	matcher *filter.Matcher
+	key     string // aggregation source key
+	isDown  bool   // classified as downstream broker
+}
+
+// taskQueue is an unbounded queue of loop tasks.
+type taskQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []func()
+	closed bool
+}
+
+func newTaskQueue() *taskQueue {
+	q := &taskQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *taskQueue) push(fn func()) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.items = append(q.items, fn)
+	q.cond.Signal()
+}
+
+func (q *taskQueue) pop() (func(), bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	fn := q.items[0]
+	q.items = q.items[1:]
+	return fn, true
+}
+
+func (q *taskQueue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// New creates and starts a broker: opens persistent state, connects to its
+// upstream, starts listening, and begins ticking.
+func New(cfg Config) (*Broker, error) {
+	if cfg.Transport == nil {
+		return nil, errors.New("broker: Transport is required")
+	}
+	if cfg.TickInterval == 0 {
+		cfg.TickInterval = 5 * time.Millisecond
+	}
+	if cfg.RelayCacheSize == 0 {
+		cfg.RelayCacheSize = 65536
+	}
+	b := &Broker{
+		cfg:      cfg,
+		tasks:    newTaskQueue(),
+		loopDone: make(chan struct{}),
+		tickStop: make(chan struct{}),
+		tickDone: make(chan struct{}),
+		links:    make(map[overlay.Conn]*downLink),
+		downs:    make(map[overlay.Conn]*downLink),
+		caches:   make(map[vtime.PubendID]*relayCache),
+		relAgg:   make(map[vtime.PubendID]map[string]relState),
+		pubends:  make(map[vtime.PubendID]*pubend.Pubend),
+	}
+	if err := b.openState(); err != nil {
+		return nil, err
+	}
+	if err := b.connect(); err != nil {
+		b.closeState()
+		return nil, err
+	}
+	go b.loop()
+	go b.tickLoop()
+	return b, nil
+}
+
+// openState opens logs, metastore, pubends, and the SHB engine.
+func (b *Broker) openState() error {
+	cfg := b.cfg
+	needsDisk := len(cfg.HostedPubends) > 0 || cfg.EnableSHB
+	if needsDisk && cfg.DataDir == "" {
+		return errors.New("broker: DataDir required for PHB/SHB roles")
+	}
+	if needsDisk {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			return fmt.Errorf("broker: data dir: %w", err)
+		}
+	}
+	if len(cfg.HostedPubends) > 0 {
+		vol, err := logvol.Open(filepath.Join(cfg.DataDir, "pubends.log"), logvol.Options{})
+		if err != nil {
+			return err
+		}
+		b.peVol = vol
+		for _, pc := range cfg.HostedPubends {
+			pe, err := pubend.New(pubend.Options{
+				ID:               pc.ID,
+				Volume:           vol,
+				Policy:           pc.Policy,
+				SyncEveryPublish: pc.SyncEveryPublish,
+				LogLatency:       pc.LogLatency,
+			})
+			if err != nil {
+				return err
+			}
+			b.pubends[pc.ID] = pe
+			b.hostedIDs = append(b.hostedIDs, pc.ID)
+		}
+	}
+	if cfg.EnableSHB {
+		if len(cfg.AllPubends) == 0 {
+			return errors.New("broker: AllPubends required with EnableSHB")
+		}
+		vol, err := logvol.Open(filepath.Join(cfg.DataDir, "pfs.log"), logvol.Options{})
+		if err != nil {
+			return err
+		}
+		b.shbVol = vol
+		meta, err := metastore.Open(filepath.Join(cfg.DataDir, "shb.meta"), metastore.Options{
+			Sync:          metastore.SyncNone,
+			CommitLatency: cfg.MetaCommitLatency,
+		})
+		if err != nil {
+			return err
+		}
+		b.meta = meta
+		syncEvery := cfg.PFSSyncEvery
+		if syncEvery == 0 {
+			syncEvery = 200
+		}
+		p, err := pfs.New(pfs.Options{
+			Volume:          vol,
+			Meta:            meta,
+			SyncEvery:       syncEvery,
+			ImpreciseBucket: cfg.PFSImpreciseBucket,
+		})
+		if err != nil {
+			return err
+		}
+		engine, err := core.New(core.Config{
+			Meta:            meta,
+			PFS:             p,
+			Pubends:         cfg.AllPubends,
+			SilenceInterval: cfg.SilenceInterval,
+			ReadBufferQ:     cfg.ReadBufferQ,
+			EventCacheSize:  cfg.EventCacheSize,
+			SendNack:        b.shbSendNack,
+			SendRelease:     b.shbSendRelease,
+			Deliver:         b.shbDeliver,
+			OnCaughtUp:      cfg.OnCaughtUp,
+		})
+		if err != nil {
+			return err
+		}
+		b.shb = engine
+	}
+	return nil
+}
+
+func (b *Broker) closeState() {
+	if b.peVol != nil {
+		b.peVol.Close() //nolint:errcheck,gosec // shutdown path
+	}
+	if b.shbVol != nil {
+		b.shbVol.Close() //nolint:errcheck,gosec // shutdown path
+	}
+	if b.meta != nil {
+		b.meta.Close() //nolint:errcheck,gosec // shutdown path
+	}
+}
+
+// connect dials upstream and binds the listener.
+func (b *Broker) connect() error {
+	cfg := b.cfg
+	if cfg.UpstreamAddr != "" {
+		up, err := cfg.Transport.Dial(cfg.UpstreamAddr)
+		if err != nil {
+			return fmt.Errorf("broker %s: dial upstream: %w", cfg.Name, err)
+		}
+		b.up = up
+		if err := up.Send(&message.Hello{Role: message.RoleBroker, Name: cfg.Name}); err != nil {
+			return err
+		}
+		up.Start(func(m message.Message) {
+			b.tasks.push(func() { b.fromUpstream(m) })
+		})
+	}
+	if cfg.ListenAddr != "" {
+		closer, err := cfg.Transport.Listen(cfg.ListenAddr, b.accept)
+		if err != nil {
+			return fmt.Errorf("broker %s: listen: %w", cfg.Name, err)
+		}
+		b.listener = closer
+	}
+	return nil
+}
+
+// accept classifies and starts an inbound connection.
+func (b *Broker) accept(conn overlay.Conn) {
+	link := &downLink{
+		conn:    conn,
+		matcher: filter.NewMatcher(),
+		key:     fmt.Sprintf("%s#%d", conn.RemoteAddr(), b.linkSeq.Add(1)),
+	}
+	b.tasks.push(func() { b.links[conn] = link })
+	conn.OnClose(func() {
+		b.tasks.push(func() { b.dropLink(link) })
+	})
+	conn.Start(func(m message.Message) {
+		b.fromBelow(link, m)
+	})
+}
+
+// loop is the broker's single event loop.
+func (b *Broker) loop() {
+	defer close(b.loopDone)
+	for {
+		fn, ok := b.tasks.pop()
+		if !ok {
+			return
+		}
+		fn()
+	}
+}
+
+// tickLoop drives periodic work.
+func (b *Broker) tickLoop() {
+	defer close(b.tickDone)
+	ticker := time.NewTicker(b.cfg.TickInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			done := make(chan struct{})
+			b.tasks.push(func() {
+				b.tick()
+				close(done)
+			})
+			select {
+			case <-done:
+			case <-b.tickStop:
+				return
+			}
+		case <-b.tickStop:
+			return
+		}
+	}
+}
+
+// Close shuts the broker down cleanly, waiting for its goroutines.
+func (b *Broker) Close() error {
+	if b.closed.Swap(true) {
+		return nil
+	}
+	close(b.tickStop)
+	<-b.tickDone
+	if b.listener != nil {
+		b.listener.Close() //nolint:errcheck,gosec // shutdown path
+	}
+	if b.up != nil {
+		b.up.Close() //nolint:errcheck,gosec // shutdown path
+	}
+	// Drain the loop: push a final task that closes the queue.
+	b.tasks.push(func() {
+		for conn := range b.links {
+			conn.Close() //nolint:errcheck,gosec // shutdown path
+		}
+		b.tasks.close()
+	})
+	<-b.loopDone
+	b.closeState()
+	return nil
+}
+
+// Crash simulates a broker failure: connections drop and volatile state is
+// lost; persistent files remain for a successor started with the same
+// Config.
+func (b *Broker) Crash() {
+	if b.closed.Swap(true) {
+		return
+	}
+	close(b.tickStop)
+	<-b.tickDone
+	if b.listener != nil {
+		b.listener.Close() //nolint:errcheck,gosec // crash path
+	}
+	if b.up != nil {
+		b.up.Close() //nolint:errcheck,gosec // crash path
+	}
+	b.tasks.push(func() {
+		for conn := range b.links {
+			conn.Close() //nolint:errcheck,gosec // crash path
+		}
+		b.tasks.close()
+	})
+	<-b.loopDone
+	b.closeState()
+}
+
+// Name reports the broker's configured name.
+func (b *Broker) Name() string { return b.cfg.Name }
+
+// RelayStats reports how many events this broker forwarded as data versus
+// downgraded to silence on downstream links because nothing below the link
+// subscribed to them — the utilization win of filtering at intermediate
+// nodes (section 1).
+func (b *Broker) RelayStats() (forwarded, filtered int64) {
+	return b.eventsForwarded.Load(), b.eventsFiltered.Load()
+}
+
+// SHBStats exposes the core engine statistics (zero value when the broker
+// is not an SHB).
+func (b *Broker) SHBStats() core.Stats {
+	if b.shb == nil {
+		return core.Stats{}
+	}
+	return b.shb.Stats()
+}
+
+// LatestDelivered reports the SHB constream cursor for a pubend.
+func (b *Broker) LatestDelivered(pub vtime.PubendID) vtime.Timestamp {
+	if b.shb == nil {
+		return 0
+	}
+	return b.shb.LatestDelivered(pub)
+}
+
+// Released reports the SHB released(p) value.
+func (b *Broker) Released(pub vtime.PubendID) vtime.Timestamp {
+	if b.shb == nil {
+		return 0
+	}
+	return b.shb.Released(pub)
+}
+
+// CatchupCount reports active catchup streams at the SHB.
+func (b *Broker) CatchupCount() int {
+	if b.shb == nil {
+		return 0
+	}
+	return b.shb.CatchupCount()
+}
+
+// Pubend returns a hosted pubend (nil if not hosted) — used by tests and
+// the experiment harness to inspect retention.
+func (b *Broker) Pubend(id vtime.PubendID) *pubend.Pubend {
+	return b.pubends[id]
+}
+
+// --- Core engine callbacks (must not touch loop-owned state directly) ---
+
+func (b *Broker) shbSendNack(pub vtime.PubendID, spans []tick.Span) {
+	b.tasks.push(func() { b.routeNack(nil, pub, spans) })
+}
+
+func (b *Broker) shbSendRelease(pub vtime.PubendID, rel, ld vtime.Timestamp) {
+	b.tasks.push(func() {
+		b.storeRelease("self", pub, rel, ld)
+	})
+}
+
+func (b *Broker) shbDeliver(sub vtime.SubscriberID, d message.Delivery) {
+	v, ok := b.clients.Load(sub)
+	if !ok {
+		return
+	}
+	conn, ok := v.(overlay.Conn)
+	if !ok {
+		return
+	}
+	//nolint:errcheck,gosec // a failed send means the client link died;
+	// its OnClose detaches the subscriber.
+	conn.Send(&message.Deliver{Subscriber: sub, Deliveries: []message.Delivery{d}})
+}

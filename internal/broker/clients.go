@@ -1,0 +1,79 @@
+package broker
+
+import (
+	"repro/internal/message"
+	"repro/internal/vtime"
+)
+
+// handlePublish logs one published event at a hosted pubend and
+// acknowledges the publisher. It runs on the publisher connection's
+// dispatch goroutine — pubends are thread-safe and this keeps the paper's
+// "event is logged once, at the PHB, before anything else happens" on the
+// shortest path.
+func (b *Broker) handlePublish(link *downLink, pub *message.Publish) {
+	pe := b.pickPubend(pub.PubendHint)
+	if pe == nil {
+		//nolint:errcheck,gosec // reply failure == dead link, handled via OnClose
+		link.conn.Send(&message.PublishAck{Token: pub.Token})
+		return
+	}
+	ev, err := pe.Publish(message.Event{Attrs: pub.Attrs, Payload: pub.Payload})
+	ack := &message.PublishAck{Token: pub.Token}
+	if err == nil {
+		ack.Pubend = ev.Pubend
+		ack.Timestamp = ev.Timestamp
+	}
+	link.conn.Send(ack) //nolint:errcheck,gosec // reply failure == dead link
+}
+
+// pickPubend selects the hosted pubend for a publish: the hint when it is
+// hosted here, round-robin otherwise (the paper assigns events to pubends
+// "based on some criteria such as the identity of the publisher").
+func (b *Broker) pickPubend(hint vtime.PubendID) interface {
+	Publish(message.Event) (*message.Event, error)
+} {
+	if pe, ok := b.pubends[hint]; ok {
+		return pe
+	}
+	if len(b.hostedIDs) == 0 {
+		return nil
+	}
+	i := b.pubRR.Add(1) % uint64(len(b.hostedIDs))
+	return b.pubends[b.hostedIDs[i]]
+}
+
+// handleSubscribe attaches a durable subscriber to the local SHB engine and
+// propagates its subscription toward the PHBs for link filtering.
+func (b *Broker) handleSubscribe(link *downLink, req *message.Subscribe) {
+	if b.shb == nil {
+		//nolint:errcheck,gosec // reply failure == dead link
+		link.conn.Send(&message.SubscribeAck{
+			Subscriber: req.Subscriber,
+			CT:         vtime.NewCheckpointToken(),
+			Err:        "broker does not host subscribers",
+		})
+		return
+	}
+	// Register the delivery route before Subscribe: the engine pumps
+	// catchup deliveries synchronously inside it. Those deliveries reach
+	// the client ahead of the SubscribeAck, which is safe — on a resume
+	// the client's checkpoint token absorbs them either way.
+	b.clients.Store(req.Subscriber, link.conn)
+	ct, err := b.shb.Subscribe(req)
+	if err != nil {
+		b.clients.Delete(req.Subscriber)
+		//nolint:errcheck,gosec // reply failure == dead link
+		link.conn.Send(&message.SubscribeAck{
+			Subscriber: req.Subscriber,
+			CT:         vtime.NewCheckpointToken(),
+			Err:        err.Error(),
+		})
+		return
+	}
+	//nolint:errcheck,gosec // reply failure == dead link
+	link.conn.Send(&message.SubscribeAck{Subscriber: req.Subscriber, CT: ct})
+	if b.up != nil {
+		//nolint:errcheck,gosec // link death handled via OnClose
+		b.up.Send(&message.SubUpdate{Subscriber: req.Subscriber, Filter: req.Filter})
+	}
+}

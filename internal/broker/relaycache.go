@@ -1,0 +1,161 @@
+package broker
+
+import (
+	"sort"
+
+	"repro/internal/message"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// relayCache is an intermediate broker's per-pubend knowledge cache: a
+// knowledge stream plus a bounded event store. It answers downstream nacks
+// for ticks it knows about, so recovery traffic rarely reaches the pubend
+// (paper, section 1: "scalability of event recovery is achieved by caching
+// events at intermediate brokers"). Absence of an entry never affects
+// correctness — the remainder of a nack is forwarded upstream.
+type relayCache struct {
+	know     *tick.Stream
+	cur      *tick.Curiosity // consolidation of upstream nacks
+	capacity int
+	byTS     map[vtime.Timestamp]*message.Event
+	order    []vtime.Timestamp
+	// loss is the genuine L horizon announced by upstream. The knowledge
+	// stream's base also advances as released knowledge is evicted, but
+	// "evicted here" must not be served as "lost": below the base and
+	// above loss the cache simply has no information.
+	loss vtime.Timestamp
+}
+
+func newRelayCache(capacity int) *relayCache {
+	return &relayCache{
+		know:     tick.NewStream(0),
+		cur:      tick.NewCuriosity(),
+		capacity: capacity,
+		byTS:     make(map[vtime.Timestamp]*message.Event),
+	}
+}
+
+// apply folds a knowledge message into the cache.
+func (c *relayCache) apply(know *message.Knowledge) {
+	for _, r := range know.Ranges {
+		c.know.Apply(r)
+		c.cur.Satisfy(r.Start, r.End)
+		if r.Kind == tick.L && r.End > c.loss {
+			c.loss = r.End
+		}
+	}
+	for _, ev := range know.Events {
+		c.know.Apply(tick.Range{Start: ev.Timestamp, End: ev.Timestamp, Kind: tick.D})
+		c.cur.Satisfy(ev.Timestamp, ev.Timestamp)
+		c.put(ev)
+	}
+}
+
+func (c *relayCache) put(ev *message.Event) {
+	if _, ok := c.byTS[ev.Timestamp]; ok {
+		return
+	}
+	c.byTS[ev.Timestamp] = ev
+	if n := len(c.order); n > 0 && ev.Timestamp < c.order[n-1] {
+		i := sort.Search(n, func(i int) bool { return c.order[i] >= ev.Timestamp })
+		c.order = append(c.order, 0)
+		copy(c.order[i+1:], c.order[i:])
+		c.order[i] = ev.Timestamp
+	} else {
+		c.order = append(c.order, ev.Timestamp)
+	}
+	for len(c.order) > c.capacity {
+		delete(c.byTS, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// serve answers a nack from the cache. It returns the knowledge this node
+// can supply (nil when nothing) and the spans that must be fetched from
+// upstream: ticks that are Q here, plus D ticks whose events were evicted.
+func (c *relayCache) serve(pub vtime.PubendID, spans []tick.Span) (*message.Knowledge, []tick.Span) {
+	var reply *message.Knowledge
+	var missing []tick.Span
+	addMissing := func(start, end vtime.Timestamp) {
+		if n := len(missing); n > 0 && missing[n-1].End+1 >= start {
+			if end > missing[n-1].End {
+				missing[n-1].End = end
+			}
+			return
+		}
+		missing = append(missing, tick.Span{Start: start, End: end})
+	}
+	ensureReply := func() *message.Knowledge {
+		if reply == nil {
+			reply = &message.Knowledge{Pubend: pub}
+		}
+		return reply
+	}
+	floor := c.know.Base()
+	for _, sp := range spans {
+		if sp.Empty() {
+			continue
+		}
+		// Below the genuine loss horizon: answer L.
+		if sp.Start <= c.loss {
+			end := vtime.MinTS(sp.End, c.loss)
+			k := ensureReply()
+			k.Ranges = append(k.Ranges, tick.Range{Start: sp.Start, End: end, Kind: tick.L})
+			sp.Start = end + 1
+			if sp.Empty() {
+				continue
+			}
+		}
+		// Between loss and the eviction floor the cache has no
+		// information (the knowledge was released locally, not lost):
+		// forward upstream.
+		if sp.Start <= floor {
+			end := vtime.MinTS(sp.End, floor)
+			addMissing(sp.Start, end)
+			sp.Start = end + 1
+			if sp.Empty() {
+				continue
+			}
+		}
+		for _, r := range c.know.Ranges(sp.Start-1, sp.End) {
+			switch r.Kind {
+			case tick.S, tick.L:
+				k := ensureReply()
+				k.Ranges = append(k.Ranges, r)
+			case tick.D:
+				for ts := r.Start; ts <= r.End; ts++ {
+					if ev, ok := c.byTS[ts]; ok {
+						k := ensureReply()
+						k.Events = append(k.Events, ev)
+					} else {
+						addMissing(ts, ts)
+					}
+				}
+			case tick.Q:
+				addMissing(r.Start, r.End)
+			}
+		}
+	}
+	return reply, missing
+}
+
+// evictUpTo drops knowledge and events at or below ts (released: nothing
+// below can be requested again).
+func (c *relayCache) evictUpTo(ts vtime.Timestamp) {
+	if ts == vtime.MaxTS {
+		return
+	}
+	c.know.Advance(ts)
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] > ts })
+	if i == 0 {
+		return
+	}
+	for _, old := range c.order[:i] {
+		delete(c.byTS, old)
+	}
+	c.order = append(c.order[:0], c.order[i:]...)
+}
+
+// len reports cached event count.
+func (c *relayCache) len() int { return len(c.byTS) }

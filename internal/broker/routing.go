@@ -1,0 +1,324 @@
+package broker
+
+import (
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// tick runs one housekeeping round on the broker loop: drain hosted
+// pubends, run the SHB engine's housekeeping, aggregate and propagate
+// release vectors, and occasionally reclaim PFS storage.
+func (b *Broker) tick() {
+	b.tickN++
+	// Drain hosted pubends and push fresh knowledge down the tree.
+	for _, id := range b.hostedIDs {
+		pe := b.pubends[id]
+		know, _ := pe.Drain()
+		if know != nil {
+			b.spreadKnowledge(know)
+		}
+	}
+	if b.shb != nil {
+		//nolint:errcheck,gosec // persistence errors surface in tests
+		// via lost state; the engine remains consistent in memory.
+		b.shb.Tick(time.Now())
+		if b.tickN%256 == 0 {
+			b.shb.ChopPFS() //nolint:errcheck,gosec // storage reclamation is best-effort
+		}
+	}
+	b.propagateReleases()
+}
+
+// fromUpstream handles a message arriving on the parent link.
+func (b *Broker) fromUpstream(m message.Message) {
+	switch v := m.(type) {
+	case *message.Knowledge:
+		if cache := b.relay(v.Pubend); cache != nil {
+			cache.apply(v)
+		}
+		b.spreadKnowledge(v)
+	default:
+		// Upstream sends only knowledge in this protocol.
+	}
+}
+
+// fromBelow handles a message from a downstream broker or client. It runs
+// on the connection's dispatch goroutine for cheap thread-safe operations
+// (publishes) and hops onto the loop for routing-state changes.
+func (b *Broker) fromBelow(link *downLink, m message.Message) {
+	switch v := m.(type) {
+	case *message.Publish:
+		// Hot path: pubends are thread-safe; handle on the conn
+		// goroutine so publisher throughput is not serialized behind
+		// routing work.
+		b.handlePublish(link, v)
+	default:
+		b.tasks.push(func() { b.fromBelowLoop(link, m) })
+	}
+}
+
+// fromBelowLoop is the loop-side portion of fromBelow.
+func (b *Broker) fromBelowLoop(link *downLink, m message.Message) {
+	switch v := m.(type) {
+	case *message.Hello:
+		if v.Role == message.RoleBroker {
+			link.isDown = true
+			if v.Name != "" {
+				// Key release aggregation by broker name so a
+				// restarted broker replaces its own stale entry
+				// instead of pinning the aggregate forever.
+				link.key = "broker:" + v.Name
+			}
+			b.downs[link.conn] = link
+			b.initLinkFloor(link)
+		}
+	case *message.Nack:
+		b.routeNack(link, v.Pubend, v.Spans)
+	case *message.Release:
+		b.storeRelease(link.key, v.Pubend, v.Released, v.LatestDelivered)
+	case *message.SubUpdate:
+		b.handleSubUpdate(link, v)
+	case *message.Subscribe:
+		b.handleSubscribe(link, v)
+	case *message.Ack:
+		if b.shb != nil {
+			b.shb.OnAck(v.Subscriber, v.CT)
+		}
+	case *message.Credit:
+		if b.shb != nil {
+			b.shb.OnCredit(v.Subscriber, v.Credits)
+		}
+	case *message.Detach:
+		b.detachSubscriber(v.Subscriber)
+	case *message.Unsubscribe:
+		b.unsubscribe(v.Subscriber)
+	}
+}
+
+// unsubscribe permanently removes a durable subscription and withdraws it
+// from the upstream filtering matchers.
+func (b *Broker) unsubscribe(id vtime.SubscriberID) {
+	b.clients.Delete(id)
+	if b.shb != nil {
+		b.shb.Unsubscribe(id) //nolint:errcheck,gosec // best-effort; engine stays consistent
+	}
+	if b.up != nil {
+		b.up.Send(&message.SubUpdate{Subscriber: id, Remove: true}) //nolint:errcheck,gosec // link death handled via OnClose
+	}
+}
+
+// spreadKnowledge fans knowledge out to the local SHB and every downstream
+// broker link, filtering events per link through its subscription matcher
+// (the intermediate-broker filtering of section 1: a D tick that matches
+// nothing below a link is sent as S).
+func (b *Broker) spreadKnowledge(know *message.Knowledge) {
+	if b.shb != nil {
+		b.shb.OnKnowledge(know)
+	}
+	for _, link := range b.downs {
+		filtered := b.filterKnowledge(know, link.matcher)
+		link.conn.Send(filtered) //nolint:errcheck,gosec // dead links drop via OnClose
+	}
+}
+
+// filterKnowledge converts events that match nothing in the matcher into S
+// ranges, preserving complete tick coverage. A matcher with no
+// subscriptions passes everything through: a link whose subscriptions are
+// unknown must not lose data.
+func (b *Broker) filterKnowledge(know *message.Knowledge, m *filter.Matcher) *message.Knowledge {
+	if m.Len() == 0 {
+		b.eventsForwarded.Add(int64(len(know.Events)))
+		return know
+	}
+	out := &message.Knowledge{Pubend: know.Pubend, Ranges: know.Ranges}
+	for _, ev := range know.Events {
+		if m.MatchesAny(ev.Attrs) {
+			out.Events = append(out.Events, ev)
+			continue
+		}
+		out.Ranges = append(out.Ranges, tick.Range{
+			Start: ev.Timestamp, End: ev.Timestamp, Kind: tick.S,
+		})
+	}
+	b.eventsForwarded.Add(int64(len(out.Events)))
+	b.eventsFiltered.Add(int64(len(know.Events) - len(out.Events)))
+	return out
+}
+
+// routeNack answers a nack (from a downstream link, or nil for the local
+// SHB) with whatever this broker knows — hosted pubend log, or relay
+// cache — and consolidates the remainder upstream.
+func (b *Broker) routeNack(link *downLink, pub vtime.PubendID, spans []tick.Span) {
+	// Hosted pubend: authoritative answer.
+	if pe, ok := b.pubends[pub]; ok {
+		know, err := pe.ServeNack(spans)
+		if err != nil || know == nil {
+			return
+		}
+		b.replyKnowledge(link, know)
+		return
+	}
+	cache := b.relay(pub)
+	reply, missing := cache.serve(pub, spans)
+	if reply != nil {
+		b.replyKnowledge(link, reply)
+	}
+	if len(missing) == 0 {
+		return
+	}
+	// Consolidate: only spans not already pending go upstream.
+	var fresh []tick.Span
+	for _, sp := range missing {
+		fresh = append(fresh, cache.cur.Add(sp.Start, sp.End)...)
+	}
+	if len(fresh) > 0 && b.up != nil {
+		b.up.Send(&message.Nack{Pubend: pub, Spans: fresh}) //nolint:errcheck,gosec // link death handled via OnClose
+	}
+}
+
+// replyKnowledge sends recovered knowledge to the requester (or the local
+// SHB when the request came from it).
+func (b *Broker) replyKnowledge(link *downLink, know *message.Knowledge) {
+	if link == nil {
+		if b.shb != nil {
+			b.shb.OnKnowledge(know)
+		}
+		return
+	}
+	link.conn.Send(b.filterKnowledge(know, link.matcher)) //nolint:errcheck,gosec // dead links drop via OnClose
+}
+
+// initLinkFloor seeds a zero release vector for a newly connected broker
+// link on every hosted pubend: until the link reports, nothing may be
+// released — otherwise a subtree that crashes before its first report
+// would silently lose its subscribers' retention guarantees.
+func (b *Broker) initLinkFloor(link *downLink) {
+	for _, pub := range b.hostedIDs {
+		per := b.relAgg[pub]
+		if per == nil {
+			per = make(map[string]relState)
+			b.relAgg[pub] = per
+		}
+		if _, exists := per[link.key]; !exists {
+			per[link.key] = relState{valid: true} // released=0, latestDelivered=0
+		}
+	}
+}
+
+// storeRelease records one source's release vector; propagation happens on
+// the next tick.
+func (b *Broker) storeRelease(source string, pub vtime.PubendID, rel, ld vtime.Timestamp) {
+	per := b.relAgg[pub]
+	if per == nil {
+		per = make(map[string]relState)
+		b.relAgg[pub] = per
+	}
+	cur := per[source]
+	if rel > cur.released {
+		cur.released = rel
+	}
+	if ld > cur.latestDelivered {
+		cur.latestDelivered = ld
+	}
+	cur.valid = true
+	per[source] = cur
+}
+
+// propagateReleases aggregates release vectors over all reporting sources
+// and feeds them to the hosted pubend (root) or the upstream link.
+func (b *Broker) propagateReleases() {
+	for pub, per := range b.relAgg {
+		rel, ld := vtime.MaxTS, vtime.MaxTS
+		n := 0
+		for _, st := range per {
+			if !st.valid {
+				continue
+			}
+			n++
+			if st.released < rel {
+				rel = st.released
+			}
+			if st.latestDelivered < ld {
+				ld = st.latestDelivered
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		if pe, ok := b.pubends[pub]; ok {
+			pe.UpdateRelease(rel, ld) //nolint:errcheck,gosec // retention errors do not affect delivery
+			// Announce the resulting loss horizon so SHBs can chop
+			// their PFS records below it (early-release policies).
+			continue
+		}
+		if b.up != nil {
+			b.up.Send(&message.Release{ //nolint:errcheck,gosec // link death handled via OnClose
+				Pubend:          pub,
+				Released:        rel,
+				LatestDelivered: ld,
+			})
+		}
+		// Advance the relay cache floor: nothing below the aggregate
+		// released can be requested again from below.
+		if cache := b.caches[pub]; cache != nil {
+			cache.evictUpTo(rel)
+		}
+	}
+}
+
+// handleSubUpdate registers/unregisters a downstream subscription for link
+// filtering and forwards it toward the PHBs.
+func (b *Broker) handleSubUpdate(link *downLink, su *message.SubUpdate) {
+	if su.Remove {
+		link.matcher.Remove(su.Subscriber)
+	} else if sub, err := filter.Parse(su.Filter); err == nil {
+		link.matcher.Add(su.Subscriber, sub)
+	}
+	if b.up != nil {
+		b.up.Send(su) //nolint:errcheck,gosec // link death handled via OnClose
+	}
+}
+
+// dropLink removes a dead connection: downstream links leave the fanout
+// set; subscriber clients are detached.
+func (b *Broker) dropLink(link *downLink) {
+	delete(b.links, link.conn)
+	delete(b.downs, link.conn)
+	var gone []vtime.SubscriberID
+	b.clients.Range(func(k, v any) bool {
+		if v == link.conn {
+			if id, ok := k.(vtime.SubscriberID); ok {
+				gone = append(gone, id)
+			}
+		}
+		return true
+	})
+	for _, id := range gone {
+		b.detachSubscriber(id)
+	}
+}
+
+func (b *Broker) detachSubscriber(id vtime.SubscriberID) {
+	b.clients.Delete(id)
+	if b.shb != nil {
+		b.shb.Detach(id)
+	}
+}
+
+// relay returns (creating on demand) the relay cache for a non-hosted
+// pubend.
+func (b *Broker) relay(pub vtime.PubendID) *relayCache {
+	if _, hosted := b.pubends[pub]; hosted {
+		return nil
+	}
+	cache := b.caches[pub]
+	if cache == nil {
+		cache = newRelayCache(b.cfg.RelayCacheSize)
+		b.caches[pub] = cache
+	}
+	return cache
+}

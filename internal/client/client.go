@@ -1,0 +1,515 @@
+// Package client implements the application-facing libraries: publishers
+// and durable subscribers (the subscriber model of section 2).
+//
+// A durable subscriber owns its checkpoint token (CT): the client library
+// updates it as messages are consumed, acknowledges it to the SHB
+// periodically, optionally persists it to a file, and presents it on
+// reconnection as the resumption point. Keeping the CT at the subscriber —
+// rather than inside the messaging system — is the paper's recommended
+// model; the jms package provides the server-side-CT alternative.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// ErrClosed is returned by operations on closed clients.
+var ErrClosed = errors.New("client: closed")
+
+// debugViolations prints delivery-contract violations for debugging.
+var debugViolations = os.Getenv("CLIENT_DEBUG_VIOLATIONS") == "1"
+
+// Publisher publishes events to a publisher hosting broker.
+type Publisher struct {
+	mu      sync.Mutex
+	conn    overlay.Conn
+	next    uint64
+	pending map[uint64]chan *message.PublishAck
+	closed  bool
+}
+
+// NewPublisher connects a publisher to the broker at addr.
+func NewPublisher(t overlay.Transport, addr, name string) (*Publisher, error) {
+	conn, err := t.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("publisher dial: %w", err)
+	}
+	if err := conn.Send(&message.Hello{Role: message.RolePublisher, Name: name}); err != nil {
+		return nil, err
+	}
+	p := &Publisher{conn: conn, pending: make(map[uint64]chan *message.PublishAck)}
+	conn.OnClose(p.onClose)
+	conn.Start(p.onMessage)
+	return p, nil
+}
+
+func (p *Publisher) onMessage(m message.Message) {
+	ack, ok := m.(*message.PublishAck)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	ch := p.pending[ack.Token]
+	delete(p.pending, ack.Token)
+	p.mu.Unlock()
+	if ch != nil {
+		ch <- ack
+	}
+}
+
+func (p *Publisher) onClose() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.closed = true
+	for tok, ch := range p.pending {
+		close(ch)
+		delete(p.pending, tok)
+	}
+}
+
+// Publish sends one event and waits until the PHB has logged it (the
+// paper's persistent publish). It returns the assigned pubend and
+// timestamp.
+func (p *Publisher) Publish(attrs message.Event) (vtime.PubendID, vtime.Timestamp, error) {
+	ch, err := p.publishAsync(attrs, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	ack, ok := <-ch
+	if !ok {
+		return 0, 0, ErrClosed
+	}
+	if ack.Timestamp == 0 {
+		return 0, 0, errors.New("client: broker rejected publish (not a PHB?)")
+	}
+	return ack.Pubend, ack.Timestamp, nil
+}
+
+// PublishTo is Publish with an explicit pubend.
+func (p *Publisher) PublishTo(pub vtime.PubendID, attrs message.Event) (vtime.Timestamp, error) {
+	ch, err := p.publishAsync(attrs, pub)
+	if err != nil {
+		return 0, err
+	}
+	ack, ok := <-ch
+	if !ok {
+		return 0, ErrClosed
+	}
+	if ack.Timestamp == 0 {
+		return 0, errors.New("client: broker rejected publish")
+	}
+	return ack.Timestamp, nil
+}
+
+// PublishAsync sends one event without waiting; the returned channel
+// yields the ack (or closes on connection loss). Throughput harnesses use
+// it with a window of outstanding publishes.
+func (p *Publisher) PublishAsync(attrs message.Event, pub vtime.PubendID) (<-chan *message.PublishAck, error) {
+	return p.publishAsync(attrs, pub)
+}
+
+func (p *Publisher) publishAsync(attrs message.Event, pub vtime.PubendID) (chan *message.PublishAck, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.next++
+	tok := p.next
+	ch := make(chan *message.PublishAck, 1)
+	p.pending[tok] = ch
+	p.mu.Unlock()
+
+	err := p.conn.Send(&message.Publish{
+		PubendHint: pub,
+		Token:      tok,
+		Attrs:      attrs.Attrs,
+		Payload:    attrs.Payload,
+	})
+	if err != nil {
+		p.mu.Lock()
+		delete(p.pending, tok)
+		p.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+// Close disconnects the publisher.
+func (p *Publisher) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	return p.conn.Close()
+}
+
+// SubscriberOptions configures a durable subscriber.
+type SubscriberOptions struct {
+	// ID is the durable subscription's system-wide identity (required).
+	ID vtime.SubscriberID
+	// Filter is the subscription in filter.Parse syntax (required).
+	Filter string
+	// CTPath, when set, persists the checkpoint token to this file so
+	// the subscriber survives its own crashes without gaps.
+	CTPath string
+	// AckInterval is the checkpoint acknowledgment cadence; zero means
+	// 250ms (the paper's released(s) update period).
+	AckInterval time.Duration
+	// Credits enables flow control: the SHB may have at most this many
+	// undelivered catchup events outstanding. Zero disables flow
+	// control.
+	Credits uint32
+	// Buffer is the delivery channel capacity; zero means 8192.
+	Buffer int
+}
+
+// Subscriber is a durable subscriber client. Create one with
+// NewSubscriber, then Connect/Disconnect it any number of times; the
+// checkpoint token carries across connections (and across process
+// restarts when CTPath is set).
+type Subscriber struct {
+	opts SubscriberOptions
+
+	mu        sync.Mutex
+	ct        *vtime.CheckpointToken
+	everConn  bool
+	conn      overlay.Conn
+	connected bool
+	consumed  uint32 // deliveries since last credit grant
+
+	deliveries chan message.Delivery
+	ackStop    chan struct{}
+	ackDone    chan struct{}
+
+	// Stats.
+	events    int64
+	silences  int64
+	gaps      int64
+	regressed int64 // protocol violations observed (must stay 0)
+}
+
+// NewSubscriber creates a subscriber handle (not yet connected), loading a
+// persisted checkpoint token if one exists.
+func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
+	if opts.Filter == "" {
+		return nil, errors.New("client: Filter is required")
+	}
+	if opts.AckInterval == 0 {
+		opts.AckInterval = 250 * time.Millisecond
+	}
+	if opts.Buffer == 0 {
+		opts.Buffer = 8192
+	}
+	s := &Subscriber{
+		opts:       opts,
+		ct:         vtime.NewCheckpointToken(),
+		deliveries: make(chan message.Delivery, opts.Buffer),
+	}
+	if opts.CTPath != "" {
+		if buf, err := os.ReadFile(opts.CTPath); err == nil {
+			ct, _, err := vtime.DecodeCheckpointToken(buf)
+			if err != nil {
+				return nil, fmt.Errorf("client: corrupt checkpoint file: %w", err)
+			}
+			s.ct = ct
+			s.everConn = true
+		}
+	}
+	return s, nil
+}
+
+// Connect attaches the subscriber to the SHB at addr, resuming from its
+// checkpoint token when it has one.
+func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
+	s.mu.Lock()
+	if s.connected {
+		s.mu.Unlock()
+		return errors.New("client: already connected")
+	}
+	s.mu.Unlock()
+
+	conn, err := t.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("subscriber dial: %w", err)
+	}
+	if err := conn.Send(&message.Hello{Role: message.RoleSubscriber, Name: s.opts.Filter}); err != nil {
+		conn.Close() //nolint:errcheck,gosec // failed handshake
+		return err
+	}
+	// Adopt the connection before any traffic flows, and snapshot the
+	// checkpoint token in the same critical section: consume() only
+	// accepts deliveries from the current connection, so from here on
+	// leftovers of a dead link cannot advance the token past the
+	// resumption point we present (they would make the server's catchup
+	// look like duplicate delivery).
+	s.mu.Lock()
+	if s.connected {
+		s.mu.Unlock()
+		conn.Close() //nolint:errcheck,gosec // lost the race
+		return errors.New("client: already connected")
+	}
+	s.conn = conn
+	resume := s.everConn
+	ct := s.ct.Clone()
+	s.mu.Unlock()
+	ackCh := make(chan *message.SubscribeAck, 1)
+	conn.OnClose(func() { s.onDisconnected(conn) })
+	conn.Start(func(m message.Message) { s.onMessage(conn, m, ackCh) })
+	if err := conn.Send(&message.Subscribe{
+		Subscriber: s.opts.ID,
+		Filter:     s.opts.Filter,
+		CT:         ct,
+		Resume:     resume,
+		Credits:    s.opts.Credits,
+	}); err != nil {
+		s.disown(conn)
+		conn.Close() //nolint:errcheck,gosec // failed handshake
+		return err
+	}
+	select {
+	case ack := <-ackCh:
+		if ack.Err != "" {
+			s.disown(conn)
+			conn.Close() //nolint:errcheck,gosec // rejected
+			return fmt.Errorf("client: subscribe rejected: %s", ack.Err)
+		}
+		s.mu.Lock()
+		if !resume {
+			s.ct = ack.CT.Clone()
+		}
+		s.everConn = true
+		s.conn = conn
+		s.connected = true
+		s.ackStop = make(chan struct{})
+		s.ackDone = make(chan struct{})
+		go s.ackLoop(conn, s.ackStop, s.ackDone)
+		s.mu.Unlock()
+		return nil
+	case <-time.After(10 * time.Second):
+		s.disown(conn)
+		conn.Close() //nolint:errcheck,gosec // timed out
+		return errors.New("client: subscribe timed out")
+	}
+}
+
+// disown clears the adopted connection after a failed handshake.
+func (s *Subscriber) disown(conn overlay.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == conn {
+		s.conn = nil
+	}
+}
+
+// onMessage handles SHB traffic on the subscriber link.
+func (s *Subscriber) onMessage(conn overlay.Conn, m message.Message, ackCh chan *message.SubscribeAck) {
+	switch v := m.(type) {
+	case *message.SubscribeAck:
+		select {
+		case ackCh <- v:
+		default:
+		}
+	case *message.Deliver:
+		for _, d := range v.Deliveries {
+			s.consume(conn, d)
+		}
+	}
+}
+
+// consume applies one delivery: validates the ordering contract, advances
+// the checkpoint token, grants credits, and hands the delivery to the
+// application. Deliveries from a connection that is no longer current are
+// dropped — they are leftovers of a dead link whose content the new
+// connection's catchup re-covers.
+func (s *Subscriber) consume(conn overlay.Conn, d message.Delivery) {
+	s.mu.Lock()
+	if s.conn != conn {
+		s.mu.Unlock()
+		return
+	}
+	prev := s.ct.Get(d.Pubend)
+	violation := false
+	switch d.Kind {
+	case message.DeliverEvent:
+		if d.Timestamp <= prev {
+			violation = true
+		} else {
+			s.events++
+			s.ct.Set(d.Pubend, d.Timestamp)
+		}
+	case message.DeliverSilence:
+		if d.Timestamp < prev {
+			violation = true
+		} else {
+			s.silences++
+			s.ct.Set(d.Pubend, d.Timestamp)
+		}
+	case message.DeliverGap:
+		s.gaps++
+		s.ct.Set(d.Pubend, d.Timestamp)
+	}
+	if violation {
+		s.regressed++
+		if debugViolations {
+			fmt.Printf("VIOLATION sub=%v kind=%v pub=%v ts=%v prev=%v\n",
+				s.opts.ID, d.Kind, d.Pubend, d.Timestamp, prev)
+		}
+		s.mu.Unlock()
+		return
+	}
+	grantCredits := uint32(0)
+	if s.opts.Credits > 0 && d.Kind == message.DeliverEvent {
+		s.consumed++
+		if s.consumed >= s.opts.Credits/2+1 {
+			grantCredits = s.consumed
+			s.consumed = 0
+		}
+	}
+	s.mu.Unlock()
+	if grantCredits > 0 {
+		//nolint:errcheck,gosec // link death handled via OnClose
+		conn.Send(&message.Credit{Subscriber: s.opts.ID, Credits: grantCredits})
+	}
+	if d.Kind == message.DeliverEvent || d.Kind == message.DeliverGap {
+		s.deliveries <- d
+	}
+}
+
+// ackLoop periodically acknowledges the checkpoint token.
+func (s *Subscriber) ackLoop(conn overlay.Conn, stop, done chan struct{}) {
+	defer close(done)
+	ticker := time.NewTicker(s.opts.AckInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			s.Ack() //nolint:errcheck,gosec // transient; retried next tick
+		case <-stop:
+			return
+		}
+		_ = conn
+	}
+}
+
+// Ack immediately acknowledges the current checkpoint token to the SHB and
+// persists it when CTPath is configured.
+func (s *Subscriber) Ack() error {
+	s.mu.Lock()
+	conn := s.conn
+	connected := s.connected
+	ct := s.ct.Clone()
+	s.mu.Unlock()
+	if s.opts.CTPath != "" {
+		if err := atomicWrite(s.opts.CTPath, ct.Encode(nil)); err != nil {
+			return err
+		}
+	}
+	if !connected {
+		return nil
+	}
+	return conn.Send(&message.Ack{Subscriber: s.opts.ID, CT: ct})
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Deliveries is the application's consumption channel: event and gap
+// deliveries in per-pubend timestamp order.
+func (s *Subscriber) Deliveries() <-chan message.Delivery { return s.deliveries }
+
+// ID reports the durable subscription's identity.
+func (s *Subscriber) ID() vtime.SubscriberID { return s.opts.ID }
+
+// CT returns a snapshot of the current checkpoint token.
+func (s *Subscriber) CT() *vtime.CheckpointToken {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ct.Clone()
+}
+
+// Stats reports consumption counters: events, silences, gaps, and observed
+// ordering violations (always zero when the system is correct).
+func (s *Subscriber) Stats() (events, silences, gaps, violations int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.events, s.silences, s.gaps, s.regressed
+}
+
+// Disconnect detaches from the SHB (orderly), acknowledging first. The
+// subscription remains durable; Connect resumes it.
+func (s *Subscriber) Disconnect() error {
+	s.Ack() //nolint:errcheck,gosec // best effort before detach
+	s.mu.Lock()
+	if !s.connected {
+		s.mu.Unlock()
+		return nil
+	}
+	conn := s.conn
+	s.connected = false
+	stop, done := s.ackStop, s.ackDone
+	s.mu.Unlock()
+	close(stop)
+	<-done
+	conn.Send(&message.Detach{Subscriber: s.opts.ID}) //nolint:errcheck,gosec // about to close
+	return conn.Close()
+}
+
+// Unsubscribe permanently ends the durable subscription at the SHB: its
+// unconsumed backlog is released and any persisted checkpoint file is
+// removed. The subscriber must be connected.
+func (s *Subscriber) Unsubscribe() error {
+	s.mu.Lock()
+	if !s.connected {
+		s.mu.Unlock()
+		return errors.New("client: not connected")
+	}
+	conn := s.conn
+	s.connected = false
+	stop, done := s.ackStop, s.ackDone
+	s.mu.Unlock()
+	close(stop)
+	<-done
+	if err := conn.Send(&message.Unsubscribe{Subscriber: s.opts.ID}); err != nil {
+		conn.Close() //nolint:errcheck,gosec // already failing
+		return err
+	}
+	if s.opts.CTPath != "" {
+		os.Remove(s.opts.CTPath) //nolint:errcheck,gosec // best-effort cleanup
+	}
+	s.mu.Lock()
+	s.everConn = false
+	s.ct = vtime.NewCheckpointToken()
+	s.mu.Unlock()
+	return conn.Close()
+}
+
+// onDisconnected handles an involuntary connection loss.
+func (s *Subscriber) onDisconnected(conn overlay.Conn) {
+	s.mu.Lock()
+	if s.conn != conn || !s.connected {
+		s.mu.Unlock()
+		return
+	}
+	s.connected = false
+	stop, done := s.ackStop, s.ackDone
+	s.mu.Unlock()
+	close(stop)
+	<-done
+}

@@ -1,0 +1,353 @@
+package client
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// fakeBroker is a scripted endpoint implementing just enough of the broker
+// protocol to exercise the client library's edge cases in isolation (the
+// full protocol is covered by the broker integration tests).
+type fakeBroker struct {
+	mu       sync.Mutex
+	conns    []overlay.Conn
+	received []message.Message
+	// rejectSubscribe, when set, denies subscriptions with this error.
+	rejectSubscribe string
+	// rejectPublish, when set, answers publishes with a zero timestamp.
+	rejectPublish bool
+	// silent, when set, never answers Subscribe (for timeout tests).
+	silent bool
+}
+
+func startFakeBroker(t *testing.T, netw *overlay.InprocNetwork, addr string) *fakeBroker {
+	t.Helper()
+	fb := &fakeBroker{}
+	_, err := netw.Listen(addr, func(conn overlay.Conn) {
+		fb.mu.Lock()
+		fb.conns = append(fb.conns, conn)
+		fb.mu.Unlock()
+		conn.Start(func(m message.Message) { fb.onMessage(conn, m) })
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+func (fb *fakeBroker) onMessage(conn overlay.Conn, m message.Message) {
+	fb.mu.Lock()
+	fb.received = append(fb.received, m)
+	reject := fb.rejectSubscribe
+	rejectPub := fb.rejectPublish
+	silent := fb.silent
+	fb.mu.Unlock()
+	if silent {
+		return
+	}
+	switch v := m.(type) {
+	case *message.Subscribe:
+		ack := &message.SubscribeAck{Subscriber: v.Subscriber, CT: vtime.NewCheckpointToken()}
+		if reject != "" {
+			ack.Err = reject
+		} else if !v.Resume {
+			ack.CT.Set(1, 100)
+		}
+		conn.Send(ack) //nolint:errcheck,gosec // test
+	case *message.Publish:
+		ack := &message.PublishAck{Token: v.Token}
+		if !rejectPub {
+			ack.Pubend = 1
+			ack.Timestamp = 42
+		}
+		conn.Send(ack) //nolint:errcheck,gosec // test
+	}
+}
+
+// deliver pushes deliveries to the most recent connection.
+func (fb *fakeBroker) deliver(sub vtime.SubscriberID, ds ...message.Delivery) {
+	fb.mu.Lock()
+	conn := fb.conns[len(fb.conns)-1]
+	fb.mu.Unlock()
+	conn.Send(&message.Deliver{Subscriber: sub, Deliveries: ds}) //nolint:errcheck,gosec // test
+}
+
+func event(ts vtime.Timestamp) message.Delivery {
+	return message.Delivery{
+		Kind: message.DeliverEvent, Pubend: 1, Timestamp: ts,
+		Event: &message.Event{
+			Pubend: 1, Timestamp: ts,
+			Attrs: filter.Attributes{"x": filter.Int(int64(ts))},
+		},
+	}
+}
+
+func TestSubscriberOptionsValidation(t *testing.T) {
+	if _, err := NewSubscriber(SubscriberOptions{ID: 1}); err == nil {
+		t.Error("missing filter accepted")
+	}
+}
+
+func TestSubscriberAdoptsInitialCT(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startFakeBroker(t, netw, "b")
+	sub, err := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+	if got := sub.CT().Get(1); got != 100 {
+		t.Errorf("initial CT = %d, want 100 from SubscribeAck", got)
+	}
+	if sub.ID() != 1 {
+		t.Errorf("ID = %v", sub.ID())
+	}
+	// Double connect fails.
+	if err := sub.Connect(netw, "b"); err == nil {
+		t.Error("double connect accepted")
+	}
+}
+
+func TestSubscriberRejectedSubscribe(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fb := startFakeBroker(t, netw, "b")
+	fb.rejectSubscribe = "no room"
+	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
+	if err := sub.Connect(netw, "b"); err == nil {
+		t.Fatal("rejected subscribe reported success")
+	}
+	// The handle remains usable: clear the rejection and reconnect.
+	fb.mu.Lock()
+	fb.rejectSubscribe = ""
+	fb.mu.Unlock()
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatalf("reconnect after rejection: %v", err)
+	}
+	sub.Disconnect() //nolint:errcheck
+}
+
+func TestSubscriberOrderingContract(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fb := startFakeBroker(t, netw, "b")
+	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	fb.deliver(1, event(200), event(300))
+	fb.deliver(1, event(250)) // regression: must be flagged and dropped
+	fb.deliver(1, message.Delivery{Kind: message.DeliverSilence, Pubend: 1, Timestamp: 400})
+	fb.deliver(1, message.Delivery{Kind: message.DeliverGap, Pubend: 1, Timestamp: 500})
+
+	var got []vtime.Timestamp
+	timeout := time.After(5 * time.Second)
+	for len(got) < 3 { // 2 events + 1 gap reach the application
+		select {
+		case d := <-sub.Deliveries():
+			got = append(got, d.Timestamp)
+		case <-timeout:
+			t.Fatalf("timed out with %v", got)
+		}
+	}
+	if got[0] != 200 || got[1] != 300 || got[2] != 500 {
+		t.Errorf("application saw %v", got)
+	}
+	events, silences, gaps, violations := sub.Stats()
+	if events != 2 || silences != 1 || gaps != 1 || violations != 1 {
+		t.Errorf("stats: events=%d silences=%d gaps=%d violations=%d",
+			events, silences, gaps, violations)
+	}
+	if ct := sub.CT().Get(1); ct != 500 {
+		t.Errorf("CT = %d, want 500", ct)
+	}
+}
+
+func TestSubscriberCTPersistence(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fb := startFakeBroker(t, netw, "b")
+	ctPath := filepath.Join(t.TempDir(), "ct")
+	sub, err := NewSubscriber(SubscriberOptions{
+		ID: 1, Filter: "true", CTPath: ctPath, AckInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	fb.deliver(1, event(777))
+	<-sub.Deliveries()
+	if err := sub.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process: the token is reloaded and Resume is presented.
+	sub2, err := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true", CTPath: ctPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sub2.CT().Get(1); got != 777 {
+		t.Fatalf("persisted CT = %d, want 777", got)
+	}
+	if err := sub2.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Disconnect() //nolint:errcheck
+	fb.mu.Lock()
+	var lastSub *message.Subscribe
+	for _, m := range fb.received {
+		if s, ok := m.(*message.Subscribe); ok {
+			lastSub = s
+		}
+	}
+	fb.mu.Unlock()
+	if lastSub == nil || !lastSub.Resume || lastSub.CT.Get(1) != 777 {
+		t.Errorf("resume subscribe = %+v", lastSub)
+	}
+}
+
+func TestSubscriberCorruptCTFile(t *testing.T) {
+	ctPath := filepath.Join(t.TempDir(), "ct")
+	if err := os.WriteFile(ctPath, []byte{1, 2}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true", CTPath: ctPath}); err == nil {
+		t.Error("corrupt CT file accepted")
+	}
+}
+
+func TestSubscriberStaleConnectionIgnored(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fb := startFakeBroker(t, netw, "b")
+	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	fb.mu.Lock()
+	oldConn := fb.conns[len(fb.conns)-1]
+	fb.mu.Unlock()
+	if err := sub.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+	// A leftover delivery on the old connection must not advance the CT
+	// or reach the application.
+	oldConn.Send(&message.Deliver{ //nolint:errcheck,gosec // test
+		Subscriber: 1, Deliveries: []message.Delivery{event(9999)},
+	})
+	fb.deliver(1, event(150)) // current connection (initial CT is 100)
+	select {
+	case d := <-sub.Deliveries():
+		if d.Timestamp != 150 {
+			t.Fatalf("application saw stale delivery @%d", d.Timestamp)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("current-connection delivery lost")
+	}
+	if ct := sub.CT().Get(1); ct != 150 {
+		t.Errorf("CT = %d; stale delivery leaked", ct)
+	}
+}
+
+func TestPublisherRoundTrip(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startFakeBroker(t, netw, "b")
+	pub, err := NewPublisher(netw, "b", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close() //nolint:errcheck
+	pe, ts, err := pub.Publish(message.Event{Attrs: filter.Attributes{"a": filter.Int(1)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pe != 1 || ts != 42 {
+		t.Errorf("publish ack = %v/%v", pe, ts)
+	}
+}
+
+func TestPublisherRejected(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fb := startFakeBroker(t, netw, "b")
+	fb.rejectPublish = true
+	pub, err := NewPublisher(netw, "b", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close() //nolint:errcheck
+	if _, _, err := pub.Publish(message.Event{}); err == nil {
+		t.Error("rejected publish reported success")
+	}
+	if _, err := pub.PublishTo(3, message.Event{}); err == nil {
+		t.Error("rejected PublishTo reported success")
+	}
+}
+
+func TestPublisherConnectionLossUnblocksWaiters(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fb := startFakeBroker(t, netw, "b")
+	fb.mu.Lock()
+	fb.silent = true
+	fb.mu.Unlock()
+	pub, err := NewPublisher(netw, "b", "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := pub.Publish(message.Event{})
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	fb.mu.Lock()
+	conn := fb.conns[len(fb.conns)-1]
+	fb.mu.Unlock()
+	conn.Close() //nolint:errcheck
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Error("publish succeeded after connection loss")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked forever after connection loss")
+	}
+	if err := pub.Close(); err != nil {
+		t.Errorf("close after loss: %v", err)
+	}
+	if _, _, err := pub.Publish(message.Event{}); err == nil {
+		t.Error("publish on closed publisher succeeded")
+	}
+}
+
+func TestSubscriberDisconnectIdempotent(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startFakeBroker(t, netw, "b")
+	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
+	if err := sub.Disconnect(); err != nil {                          // never connected
+		t.Errorf("disconnect before connect: %v", err)
+	}
+	if err := sub.Connect(netw, "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Disconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Disconnect(); err != nil {
+		t.Errorf("double disconnect: %v", err)
+	}
+}

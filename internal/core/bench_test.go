@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/logvol"
+	"repro/internal/message"
+	"repro/internal/metastore"
+	"repro/internal/pfs"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// benchRig is a minimal engine harness with a synthetic upstream: events
+// are fed directly as knowledge messages, so these benchmarks measure pure
+// SHB processing cost (the resource argument of the paper's result 3).
+type benchRig struct {
+	shb    *SHB
+	nextTS vtime.Timestamp
+}
+
+func newBenchRig(b *testing.B, subs int, silence vtime.Timestamp) *benchRig {
+	b.Helper()
+	f := openBenchFixture(b, b.TempDir(), silence)
+	for i := 0; i < subs; i++ {
+		_, err := f.Subscribe(&message.Subscribe{
+			Subscriber: vtime.SubscriberID(i + 1),
+			Filter:     `group = "g0"`,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return &benchRig{shb: f, nextTS: 0}
+}
+
+// feed ingests n matching events as one knowledge batch.
+func (r *benchRig) feed(n int) {
+	know := &message.Knowledge{Pubend: 1}
+	for i := 0; i < n; i++ {
+		r.nextTS++
+		know.Events = append(know.Events, &message.Event{
+			Pubend:    1,
+			Timestamp: r.nextTS,
+			Attrs:     filter.Attributes{"group": filter.String("g0")},
+			Payload:   benchPayload,
+		})
+	}
+	r.shb.OnKnowledge(know)
+}
+
+var benchPayload = make([]byte, 250)
+
+// BenchmarkConstreamDelivery measures per-event SHB cost with N connected
+// non-catchup subscribers sharing the consolidated stream: one match + one
+// PFS write per event regardless of N, plus N FIFO enqueues.
+func BenchmarkConstreamDelivery(b *testing.B) {
+	for _, subs := range []int{1, 10, 40} {
+		b.Run(fmt.Sprintf("subs_%d", subs), func(b *testing.B) {
+			r := newBenchRig(b, subs, 0)
+			b.ResetTimer()
+			const batch = 64
+			for n := 0; n < b.N; n += batch {
+				r.feed(batch)
+			}
+			b.ReportMetric(float64(r.shb.Stats().EventsDelivered)/float64(b.N), "deliveries/event")
+		})
+	}
+}
+
+// BenchmarkCatchupStreamsDelivery measures the same workload when every
+// subscriber runs its own catchup stream (all reconnected behind
+// latestDelivered): per-subscriber refiltering, knowledge streams, and PFS
+// reads — the separate-stream cost the consolidated stream exists to avoid
+// (paper: SHB rate halves when all subscribers are in catchup).
+//
+// The work is organized in fixed-size episodes (detach all → ingest a
+// backlog → reconnect all and catch up) so per-event cost is comparable to
+// BenchmarkConstreamDelivery regardless of b.N.
+func BenchmarkCatchupStreamsDelivery(b *testing.B) {
+	for _, subs := range []int{1, 10, 40} {
+		b.Run(fmt.Sprintf("subs_%d", subs), func(b *testing.B) {
+			r := newBenchRig(b, subs, 0)
+			const backlog = 512
+			for done := 0; done < b.N; done += backlog {
+				b.StopTimer()
+				ct := vtime.NewCheckpointToken()
+				ct.Set(1, r.nextTS)
+				for i := 0; i < subs; i++ {
+					r.shb.OnAck(vtime.SubscriberID(i+1), ct)
+					r.shb.Detach(vtime.SubscriberID(i + 1))
+				}
+				r.feed(backlog)
+				b.StartTimer()
+				for i := 0; i < subs; i++ {
+					if _, err := r.shb.Subscribe(&message.Subscribe{
+						Subscriber: vtime.SubscriberID(i + 1),
+						Filter:     `group = "g0"`,
+						CT:         ct.Clone(),
+						Resume:     true,
+					}); err != nil {
+						b.Fatal(err)
+					}
+				}
+				for round := 0; r.shb.CatchupCount() > 0; round++ {
+					if round > 1<<16 {
+						b.Fatalf("%d catchup streams stuck", r.shb.CatchupCount())
+					}
+					if err := r.shb.Tick(time.Now()); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// openBenchFixture builds an engine over temp stores.
+func openBenchFixture(b *testing.B, dir string, silence vtime.Timestamp) *SHB {
+	b.Helper()
+	vol, err := logvol.Open(filepath.Join(dir, "pfs.log"), logvol.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := metastore.Open(filepath.Join(dir, "meta.wal"), metastore.Options{Sync: metastore.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		vol.Close()  //nolint:errcheck
+		meta.Close() //nolint:errcheck
+	})
+	p, err := pfs.New(pfs.Options{Volume: vol, Meta: meta, SyncEvery: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	shb, err := New(Config{
+		Meta:            meta,
+		PFS:             p,
+		Pubends:         []vtime.PubendID{1},
+		SilenceInterval: silence,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return shb
+}
+
+// BenchmarkTickStreamApply exercises the knowledge stream's hot mutation
+// path: alternating D ticks and S runs arriving in order.
+func BenchmarkTickStreamApply(b *testing.B) {
+	s := tick.NewStream(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	ts := vtime.Timestamp(0)
+	for i := 0; i < b.N; i++ {
+		s.Apply(tick.Range{Start: ts + 1, End: ts + 999, Kind: tick.S})
+		s.Apply(tick.Range{Start: ts + 1000, End: ts + 1000, Kind: tick.D})
+		ts += 1000
+		if i%4096 == 0 {
+			s.Advance(ts - 1000)
+		}
+	}
+}

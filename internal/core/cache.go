@@ -1,0 +1,100 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/message"
+	"repro/internal/vtime"
+)
+
+// eventCache is the SHB-side event recovery cache: a bounded,
+// timestamp-ordered store of events received from upstream. Its contents
+// serve catchup streams without upstream traffic; absence of an event never
+// affects correctness (it is re-requested with a nack), only recovery
+// cost — exactly the cache role the paper describes in section 1.
+type eventCache struct {
+	capacity int
+	byTS     map[vtime.Timestamp]*message.Event
+	order    []vtime.Timestamp // ascending insertion (timestamps arrive mostly ordered)
+	// floor is the constream's delivery cursor: events at or below it
+	// have been delivered and are evictable; events above it must stay
+	// cached (the constream cannot skip them, while catchup streams can
+	// always re-nack), so capacity is a soft cap above the floor.
+	floor vtime.Timestamp
+	// pin is the lowest base among active catchup streams: events above
+	// it are about to be delivered by a catchup stream and must not be
+	// evicted, or recovery responses would be dropped before delivery.
+	// MaxTS when no catchup stream is active.
+	pin vtime.Timestamp
+}
+
+func newEventCache(capacity int) *eventCache {
+	return &eventCache{
+		capacity: capacity,
+		byTS:     make(map[vtime.Timestamp]*message.Event, capacity/4+1),
+		pin:      vtime.MaxTS,
+	}
+}
+
+// setPin updates the catchup pin level (MaxTS = nothing pinned).
+func (c *eventCache) setPin(ts vtime.Timestamp) { c.pin = ts }
+
+// setFloor marks everything at or below ts as delivered (evictable).
+func (c *eventCache) setFloor(ts vtime.Timestamp) {
+	if ts > c.floor {
+		c.floor = ts
+	}
+}
+
+// put inserts an event, evicting delivered entries beyond capacity.
+func (c *eventCache) put(ev *message.Event) {
+	if _, ok := c.byTS[ev.Timestamp]; ok {
+		return
+	}
+	c.byTS[ev.Timestamp] = ev
+	// Maintain ascending order; nack responses can arrive out of order.
+	if n := len(c.order); n > 0 && ev.Timestamp < c.order[n-1] {
+		i := sort.Search(n, func(i int) bool { return c.order[i] >= ev.Timestamp })
+		c.order = append(c.order, 0)
+		copy(c.order[i+1:], c.order[i:])
+		c.order[i] = ev.Timestamp
+	} else {
+		c.order = append(c.order, ev.Timestamp)
+	}
+	for len(c.order) > c.capacity && c.order[0] <= c.floor && c.order[0] <= c.pin {
+		delete(c.byTS, c.order[0])
+		c.order = c.order[1:]
+	}
+}
+
+// get returns the cached event at ts.
+func (c *eventCache) get(ts vtime.Timestamp) (*message.Event, bool) {
+	ev, ok := c.byTS[ts]
+	return ev, ok
+}
+
+// eventsIn returns cached events with timestamps in (from, to], ascending.
+func (c *eventCache) eventsIn(from, to vtime.Timestamp) []*message.Event {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] > from })
+	var out []*message.Event
+	for ; i < len(c.order) && c.order[i] <= to; i++ {
+		out = append(out, c.byTS[c.order[i]])
+	}
+	return out
+}
+
+// evictUpTo drops every event at or below ts (they are released and can
+// never be requested again).
+func (c *eventCache) evictUpTo(ts vtime.Timestamp) {
+	i := sort.Search(len(c.order), func(i int) bool { return c.order[i] > ts })
+	if i == 0 {
+		return
+	}
+	for _, old := range c.order[:i] {
+		delete(c.byTS, old)
+	}
+	c.order = append(c.order[:0], c.order[i:]...)
+}
+
+// len reports the number of cached events.
+func (c *eventCache) len() int { return len(c.byTS) }

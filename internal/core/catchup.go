@@ -1,0 +1,292 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// catchupStream is the per-(subscriber, pubend) stream that exists only
+// while the subscriber is recovering events it missed (paper, section 4.1).
+// Its knowledge comes from three sources: PFS batch reads (S/Q
+// classification of the disconnection interval), the SHB event cache, and
+// knowledge/nack responses from upstream filtered through the subscriber's
+// subscription (figure 1's istream→filter→catchup-stream path). When its
+// doubt horizon reaches latestDelivered(p) it is discarded and the
+// subscriber switches to the consolidated stream.
+type catchupStream struct {
+	sub *subscriber
+	pub vtime.PubendID
+
+	know *tick.Stream    // base advances as deliveries are made
+	cur  *tick.Curiosity // this stream's outstanding tick requests
+
+	pfsReadUpTo vtime.Timestamp // PFS coverage extends to here
+	started     time.Time       // for the catchup-duration metric (figure 5)
+}
+
+// feedCatchup applies one upstream knowledge message to a catchup stream,
+// refiltering events through the subscriber's subscription: matching events
+// become D ticks, non-matching ones S (the per-subscriber filter of
+// figure 1).
+func (s *SHB) feedCatchup(cs *catchupStream, know *message.Knowledge) {
+	for _, r := range know.Ranges {
+		cs.know.Apply(r)
+		cs.cur.Satisfy(r.Start, r.End)
+	}
+	for _, ev := range know.Events {
+		kind := tick.S
+		if cs.sub.sub.Matches(ev.Attrs) {
+			kind = tick.D
+		}
+		cs.know.Apply(tick.Range{Start: ev.Timestamp, End: ev.Timestamp, Kind: kind})
+		cs.cur.Satisfy(ev.Timestamp, ev.Timestamp)
+	}
+}
+
+// pumpCatchups advances every active catchup stream of the pubend.
+func (s *SHB) pumpCatchups(ps *shbPubend) {
+	for _, sub := range s.subs {
+		if cs := sub.catchup[ps.id]; cs != nil {
+			s.pumpCatchup(ps, cs)
+		}
+	}
+	s.flushNacks(ps)
+	s.updateCachePin(ps)
+}
+
+// updateCachePin recomputes the cache's catchup pin: the lowest delivery
+// cursor among this pubend's active catchup streams.
+func (s *SHB) updateCachePin(ps *shbPubend) {
+	pin := vtime.MaxTS
+	for _, sub := range s.subs {
+		if cs := sub.catchup[ps.id]; cs != nil && cs.know.Base() < pin {
+			pin = cs.know.Base()
+		}
+	}
+	ps.cache.setPin(pin)
+}
+
+// pumpCatchup makes all possible progress on one catchup stream:
+//  1. extend PFS coverage toward latestDelivered,
+//  2. resolve Q ranges from the event cache, istream knowledge, or by
+//     nacking upstream (consolidated),
+//  3. deliver in-order up to the doubt horizon, consuming credits,
+//  4. switch over to the constream when caught up.
+func (s *SHB) pumpCatchup(ps *shbPubend, cs *catchupStream) {
+	sub := cs.sub
+	if !sub.connected {
+		return
+	}
+	// 1. Extend PFS coverage. Loop because a complete read may still be
+	// behind latestDelivered if it was truncated by the buffer size.
+	for cs.pfsReadUpTo < ps.latestDelivered {
+		// The PFS only describes this subscriber from its registration
+		// point: an interval before it (reconnect-anywhere, or a client
+		// resuming with a rewound checkpoint) stays Q and is recovered
+		// by retrieving and refiltering events — the paper's fallback
+		// path for subscribers reconnecting to a different SHB.
+		if since := sub.since[ps.id]; cs.pfsReadUpTo < since {
+			cs.pfsReadUpTo = vtime.MinTS(since, ps.latestDelivered)
+			continue
+		}
+		res, err := s.cfg.PFS.Read(ps.id, sub.id, cs.pfsReadUpTo, ps.latestDelivered, s.cfg.ReadBufferQ)
+		if err != nil {
+			break
+		}
+		s.stats.PFSReads++
+		if res.LostUpTo > cs.pfsReadUpTo {
+			// The interval was early-released: record loss; the
+			// delivery phase emits an explicit gap message.
+			cs.know.Apply(tick.Range{Start: cs.pfsReadUpTo + 1, End: res.LostUpTo, Kind: tick.L})
+		}
+		// Q spans stay Q; everything else in the covered range is S.
+		prev := vtime.MaxOfTS(cs.pfsReadUpTo, res.LostUpTo)
+		for _, sp := range res.QSpans {
+			if sp.Start > prev+1 {
+				cs.know.Apply(tick.Range{Start: prev + 1, End: sp.Start - 1, Kind: tick.S})
+			}
+			if sp.End > prev {
+				prev = sp.End
+			}
+		}
+		if res.KnownUpTo > prev {
+			cs.know.Apply(tick.Range{Start: prev + 1, End: res.KnownUpTo, Kind: tick.S})
+		}
+		if res.KnownUpTo <= cs.pfsReadUpTo {
+			break
+		}
+		cs.pfsReadUpTo = res.KnownUpTo
+		if !res.Complete {
+			// Consume this buffer before reading further (the
+			// paper's read-buffer regime); the next pump continues.
+			break
+		}
+	}
+
+	// 2. Resolve Q ranges below the coverage horizon.
+	ceil := vtime.MinTS(cs.pfsReadUpTo, ps.latestDelivered)
+	for _, gap := range cs.know.QGaps(cs.know.Base(), ceil, 0) {
+		s.resolveGap(ps, cs, gap)
+	}
+
+	// 3. Deliver in order up to the doubt horizon.
+	s.deliverCatchup(ps, cs)
+
+	// 4. Switchover: once everything up to latestDelivered(p) has been
+	// delivered, the catchup stream is discarded and the subscriber
+	// rejoins the constream (which delivers strictly after
+	// latestDelivered from here on).
+	if cs.know.Base() >= ps.latestDelivered {
+		delete(sub.catchup, ps.id)
+		s.stats.Switchovers++
+		if s.cfg.OnCaughtUp != nil {
+			s.cfg.OnCaughtUp(sub.id, ps.id, time.Since(cs.started))
+		}
+	}
+}
+
+// resolveGap fills one Q range of a catchup stream using local information
+// where possible (istream knowledge, event cache + refilter) and
+// consolidated upstream nacks for the remainder.
+func (s *SHB) resolveGap(ps *shbPubend, cs *catchupStream, gap tick.Range) {
+	sub := cs.sub
+	// The istream only describes ticks above its base (everything below
+	// was released locally and holds no information here).
+	knownFloor := ps.know.Base()
+	if gap.End > knownFloor {
+		lo := vtime.MaxOfTS(gap.Start-1, knownFloor)
+		for _, r := range ps.know.Ranges(lo, gap.End) {
+			switch r.Kind {
+			case tick.S, tick.L:
+				cs.know.Apply(r)
+				cs.cur.Satisfy(r.Start, r.End)
+			case tick.D:
+				// D runs contain one tick per event; resolve
+				// each from the cache.
+				for ts := r.Start; ts <= r.End; ts++ {
+					s.resolveDTick(ps, cs, ts)
+				}
+			case tick.Q:
+				s.nackForCatchup(ps, cs, tick.Span{Start: r.Start, End: r.End})
+			}
+		}
+	}
+	// The portion at or below the istream base must be recovered from
+	// upstream: the cache may still hold events (recent nack responses),
+	// but silence knowledge can only come from upstream.
+	if gap.Start <= knownFloor {
+		end := vtime.MinTS(gap.End, knownFloor)
+		for _, ev := range ps.cache.eventsIn(gap.Start-1, end) {
+			kind := tick.S
+			if sub.sub.Matches(ev.Attrs) {
+				kind = tick.D
+			}
+			cs.know.Apply(tick.Range{Start: ev.Timestamp, End: ev.Timestamp, Kind: kind})
+			cs.cur.Satisfy(ev.Timestamp, ev.Timestamp)
+		}
+		// Nack whatever is still Q in this portion (span-level; the
+		// curiosity layers deduplicate).
+		for _, q := range cs.know.QGaps(gap.Start-1, end, 0) {
+			s.nackForCatchup(ps, cs, tick.Span{Start: q.Start, End: q.End})
+		}
+	}
+}
+
+// resolveDTick handles a tick the istream knows is D: deliver from cache
+// after refiltering, or re-request if the cache evicted it.
+func (s *SHB) resolveDTick(ps *shbPubend, cs *catchupStream, ts vtime.Timestamp) {
+	if ev, ok := ps.cache.get(ts); ok {
+		s.stats.CacheHits++
+		kind := tick.S
+		if cs.sub.sub.Matches(ev.Attrs) {
+			kind = tick.D
+		}
+		cs.know.Apply(tick.Range{Start: ts, End: ts, Kind: kind})
+		cs.cur.Satisfy(ts, ts)
+		return
+	}
+	s.stats.CacheMisses++
+	s.nackForCatchup(ps, cs, tick.Span{Start: ts, End: ts})
+}
+
+// nackForCatchup records a catchup stream's interest in a span and feeds
+// the fresh portion into the SHB-level consolidated curiosity.
+func (s *SHB) nackForCatchup(ps *shbPubend, cs *catchupStream, sp tick.Span) {
+	fresh := cs.cur.Add(sp.Start, sp.End)
+	if len(fresh) == 0 {
+		return
+	}
+	s.requestSpans(ps, fresh)
+}
+
+// deliverCatchup emits deliveries for ticks in (base, doubtHorizon]:
+// events for D ticks (consuming credits), one gap message per L prefix,
+// and advancing the base over S runs.
+func (s *SHB) deliverCatchup(ps *shbPubend, cs *catchupStream) {
+	sub := cs.sub
+	for {
+		base := cs.know.Base()
+		// A loss prefix immediately above the base becomes a gap
+		// message.
+		if lh := cs.know.LossHorizon(); lh > base {
+			s.cfg.Deliver(sub.id, message.Delivery{
+				Kind:      message.DeliverGap,
+				Pubend:    ps.id,
+				Timestamp: lh,
+			})
+			sub.lastSent[ps.id] = lh
+			s.stats.GapsDelivered++
+			cs.know.Advance(lh)
+			s.setSubReleasedFloor(sub, ps, lh)
+			continue
+		}
+		dh := cs.know.DoubtHorizon()
+		limit := vtime.MinTS(dh, ps.latestDelivered)
+		if limit <= base {
+			return
+		}
+		dticks := cs.know.DTicks(base, limit)
+		delivered := base
+		outOfCredits := false
+		for _, ts := range dticks {
+			if sub.credits <= 0 {
+				outOfCredits = true
+				break
+			}
+			ev, ok := ps.cache.get(ts)
+			if !ok {
+				// Evicted between classification and delivery:
+				// re-request the event and stall; delivery
+				// resumes when it is re-cached.
+				s.nackForCatchup(ps, cs, tick.Span{Start: ts, End: ts})
+				outOfCredits = true
+				break
+			}
+			s.deliverEvent(sub, ps.id, ev)
+			sub.credits--
+			delivered = ts
+		}
+		if outOfCredits {
+			if delivered > base {
+				cs.know.Advance(delivered)
+			}
+			return
+		}
+		// Every D tick in (base, limit] delivered; consume the
+		// trailing silence run as well.
+		cs.know.Advance(limit)
+	}
+}
+
+// setSubReleasedFloor raises released(s,p) when a gap skips the subscriber
+// past early-released ticks (it can never acknowledge them otherwise).
+func (s *SHB) setSubReleasedFloor(sub *subscriber, ps *shbPubend, ts vtime.Timestamp) {
+	if ts > sub.released[ps.id] {
+		sub.released[ps.id] = ts
+		s.dirty = true
+		s.recomputeReleased(ps)
+	}
+}

@@ -1,0 +1,491 @@
+// Package stream implements the subscriber hosting broker (SHB) engine of
+// the paper (section 4): the istream accumulating knowledge from upstream,
+// the single consolidated stream (constream) serving all connected
+// non-catchup subscribers and the Persistent Filtering Subsystem, separate
+// catchup streams for reconnecting subscribers, the catchup→non-catchup
+// switchover, and the SHB side of the release protocol.
+//
+// The engine is callback-driven and has no goroutines of its own: the
+// owning broker feeds it received messages (OnKnowledge, Subscribe, OnAck,
+// ...) and drives housekeeping through Tick. All outputs (deliveries to
+// clients, nacks and release vectors to upstream) leave through the
+// callbacks in Config. One mutex serializes the engine; the paper's SHB is
+// likewise a single logical consumer per pubend stream.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/metastore"
+	"repro/internal/pfs"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// Metastore tables used by the SHB.
+const (
+	tableSubs     = "shb_subs"     // subID -> filter source
+	tableReleased = "shb_released" // "<pub>/<sub>" -> released(s,p)
+	tableSince    = "shb_since"    // "<pub>/<sub>" -> PFS coverage start
+	tableLD       = "shb_ld"       // "<pub>" -> latestDelivered(p)
+)
+
+// Config wires an SHB engine to its broker.
+type Config struct {
+	// Meta persists subscriptions, released(s,p) and latestDelivered(p)
+	// (required).
+	Meta *metastore.Store
+	// PFS is the persistent filtering subsystem (required).
+	PFS *pfs.PFS
+	// Pubends is the set of pubends in the system, known from cluster
+	// configuration (required, non-empty).
+	Pubends []vtime.PubendID
+
+	// SendNack forwards consolidated nacks upstream.
+	SendNack func(pub vtime.PubendID, spans []tick.Span)
+	// SendRelease forwards the release vector upstream.
+	SendRelease func(pub vtime.PubendID, released, latestDelivered vtime.Timestamp)
+	// Deliver enqueues one delivery on the subscriber's FIFO link.
+	Deliver func(sub vtime.SubscriberID, d message.Delivery)
+	// OnCaughtUp, if set, is invoked at every catchup→non-catchup
+	// switchover with the catchup duration (figure 5's metric).
+	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
+
+	// SilenceInterval is how far latestDelivered may run ahead of a
+	// subscriber's last delivery before a silence message is sent so
+	// its checkpoint token does not lag (virtual time units). Zero
+	// means 250ms of virtual time.
+	SilenceInterval vtime.Timestamp
+	// ReadBufferQ is the PFS batch-read buffer size in Q spans (the
+	// paper's experiments use 5000). Zero means 5000.
+	ReadBufferQ int
+	// EventCacheSize bounds the per-pubend event cache (the SHB-side
+	// recovery cache). Zero means 65536 events; absence of a cached
+	// event is always recoverable by nacking upstream.
+	EventCacheSize int
+}
+
+// SHB is the subscriber hosting broker engine.
+type SHB struct {
+	cfg     Config
+	matcher *filter.Matcher
+
+	// All fields below are guarded by mu.
+	mu      chanMutex
+	pubends map[vtime.PubendID]*shbPubend
+	subs    map[vtime.SubscriberID]*subscriber
+	dirty   bool // persistent state (released/LD) pending a Tick commit
+
+	// Statistics.
+	stats Stats
+}
+
+// Stats exposes engine counters for the experiment harness. Snapshot them
+// via SHB.Stats.
+type Stats struct {
+	EventsDelivered   int64 // event deliveries to subscribers
+	SilencesDelivered int64
+	GapsDelivered     int64
+	PFSWrites         int64
+	PFSReads          int64
+	NacksSent         int64 // nack spans sent upstream (post-consolidation)
+	NackTicksSent     int64 // total ticks covered by those spans
+	NackTicksWanted   int64 // ticks requested by consumers pre-consolidation
+	CacheHits         int64
+	CacheMisses       int64
+	Switchovers       int64 // catchup → non-catchup transitions
+}
+
+// chanMutex is a mutex implemented over a channel so the engine can also
+// export TryLock-free simple locking with a tiny footprint.
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex { return make(chanMutex, 1) }
+
+func (m chanMutex) lock()   { m <- struct{}{} }
+func (m chanMutex) unlock() { <-m }
+
+// shbPubend is the per-pubend state: istream knowledge, event cache,
+// consolidated curiosity, and the constream cursor.
+type shbPubend struct {
+	id    vtime.PubendID
+	know  *tick.Stream    // istream knowledge (base advances with released)
+	cur   *tick.Curiosity // consolidated upstream curiosity
+	cache *eventCache
+
+	attached        bool            // latestDelivered initialized
+	latestDelivered vtime.Timestamp // constream cursor (persisted)
+	released        vtime.Timestamp // min over subs, ≤ latestDelivered
+	maxKnown        vtime.Timestamp // highest tick ever heard about
+
+	lastSentRelease  vtime.Timestamp // dedupe for SendRelease
+	lastSentLD       vtime.Timestamp
+	pendingNackSpans []tick.Span // consolidated spans awaiting SendNack
+}
+
+// subscriber is one durable subscription hosted by this SHB.
+type subscriber struct {
+	id        vtime.SubscriberID
+	sub       *filter.Subscription
+	connected bool
+	credits   int64
+	released  map[vtime.PubendID]vtime.Timestamp // released(s,p), persisted
+	// since is the timestamp this SHB started logging PFS records for
+	// the subscriber (its registration point); persisted. Catchup for
+	// ticks before it must refilter retrieved events instead of trusting
+	// the PFS (reconnect-anywhere, and clients resuming with a rewound
+	// checkpoint token).
+	since    map[vtime.PubendID]vtime.Timestamp
+	lastSent map[vtime.PubendID]vtime.Timestamp // for silence generation
+	catchup  map[vtime.PubendID]*catchupStream
+}
+
+// New creates (or recovers) an SHB engine. Subscriptions, released(s,p)
+// and latestDelivered(p) are reloaded from the metastore; every recovered
+// subscriber starts disconnected.
+func New(cfg Config) (*SHB, error) {
+	if cfg.Meta == nil || cfg.PFS == nil {
+		return nil, errors.New("core: Meta and PFS are required")
+	}
+	if len(cfg.Pubends) == 0 {
+		return nil, errors.New("core: at least one pubend is required")
+	}
+	if cfg.SilenceInterval == 0 {
+		cfg.SilenceInterval = 250 * vtime.TicksPerMilli
+	}
+	if cfg.ReadBufferQ == 0 {
+		cfg.ReadBufferQ = 5000
+	}
+	if cfg.EventCacheSize == 0 {
+		cfg.EventCacheSize = 65536
+	}
+	if cfg.SendNack == nil {
+		cfg.SendNack = func(vtime.PubendID, []tick.Span) {}
+	}
+	if cfg.SendRelease == nil {
+		cfg.SendRelease = func(vtime.PubendID, vtime.Timestamp, vtime.Timestamp) {}
+	}
+	if cfg.Deliver == nil {
+		cfg.Deliver = func(vtime.SubscriberID, message.Delivery) {}
+	}
+	s := &SHB{
+		cfg:     cfg,
+		matcher: filter.NewMatcher(),
+		mu:      newChanMutex(),
+		pubends: make(map[vtime.PubendID]*shbPubend, len(cfg.Pubends)),
+		subs:    make(map[vtime.SubscriberID]*subscriber),
+	}
+	for _, pub := range cfg.Pubends {
+		ps := &shbPubend{
+			id:    pub,
+			cur:   tick.NewCuriosity(),
+			cache: newEventCache(cfg.EventCacheSize),
+		}
+		if v, ok := cfg.Meta.GetUint64(tableLD, pubKey(pub)); ok {
+			ps.latestDelivered = vtime.Timestamp(v)
+			ps.attached = true
+		}
+		ps.know = tick.NewStream(ps.latestDelivered)
+		ps.cache.setFloor(ps.latestDelivered)
+		ps.released = ps.latestDelivered
+		ps.maxKnown = ps.latestDelivered
+		s.pubends[pub] = ps
+	}
+	if err := s.recoverSubscribers(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func pubKey(pub vtime.PubendID) string { return strconv.FormatUint(uint64(pub), 10) }
+
+func relKey(pub vtime.PubendID, sub vtime.SubscriberID) string {
+	return strconv.FormatUint(uint64(pub), 10) + "/" + strconv.FormatUint(uint64(sub), 10)
+}
+
+// recoverSubscribers reloads durable subscriptions from the metastore.
+func (s *SHB) recoverSubscribers() error {
+	for _, key := range s.cfg.Meta.Keys(tableSubs) {
+		id64, err := strconv.ParseUint(key, 10, 32)
+		if err != nil {
+			continue
+		}
+		src, ok := s.cfg.Meta.Get(tableSubs, key)
+		if !ok {
+			continue
+		}
+		subFilter, err := filter.Parse(string(src))
+		if err != nil {
+			return fmt.Errorf("core: recover subscription %s: %w", key, err)
+		}
+		id := vtime.SubscriberID(id64)
+		sub := s.newSubscriber(id, subFilter)
+		for pub := range s.pubends {
+			if v, ok := s.cfg.Meta.GetUint64(tableReleased, relKey(pub, id)); ok {
+				sub.released[pub] = vtime.Timestamp(v)
+			}
+			if v, ok := s.cfg.Meta.GetUint64(tableSince, relKey(pub, id)); ok {
+				sub.since[pub] = vtime.Timestamp(v)
+			}
+		}
+		s.subs[id] = sub
+		s.matcher.Add(id, subFilter)
+	}
+	s.recomputeReleasedAll()
+	return nil
+}
+
+func (s *SHB) newSubscriber(id vtime.SubscriberID, f *filter.Subscription) *subscriber {
+	return &subscriber{
+		id:       id,
+		sub:      f,
+		released: make(map[vtime.PubendID]vtime.Timestamp, len(s.pubends)),
+		since:    make(map[vtime.PubendID]vtime.Timestamp, len(s.pubends)),
+		lastSent: make(map[vtime.PubendID]vtime.Timestamp, len(s.pubends)),
+		catchup:  make(map[vtime.PubendID]*catchupStream),
+	}
+}
+
+// Stats returns a snapshot of the engine counters.
+func (s *SHB) Stats() Stats {
+	s.mu.lock()
+	defer s.mu.unlock()
+	return s.stats
+}
+
+// LatestDelivered reports the constream cursor for a pubend.
+func (s *SHB) LatestDelivered(pub vtime.PubendID) vtime.Timestamp {
+	s.mu.lock()
+	defer s.mu.unlock()
+	if ps, ok := s.pubends[pub]; ok {
+		return ps.latestDelivered
+	}
+	return vtime.ZeroTS
+}
+
+// Released reports released(p): the highest timestamp all durable
+// subscribers of this SHB have acknowledged (bounded by latestDelivered).
+func (s *SHB) Released(pub vtime.PubendID) vtime.Timestamp {
+	s.mu.lock()
+	defer s.mu.unlock()
+	if ps, ok := s.pubends[pub]; ok {
+		return ps.released
+	}
+	return vtime.ZeroTS
+}
+
+// CatchupCount reports how many (subscriber, pubend) catchup streams are
+// currently active.
+func (s *SHB) CatchupCount() int {
+	s.mu.lock()
+	defer s.mu.unlock()
+	n := 0
+	for _, sub := range s.subs {
+		n += len(sub.catchup)
+	}
+	return n
+}
+
+// ConnectedCount reports the number of connected subscribers.
+func (s *SHB) ConnectedCount() int {
+	s.mu.lock()
+	defer s.mu.unlock()
+	n := 0
+	for _, sub := range s.subs {
+		if sub.connected {
+			n++
+		}
+	}
+	return n
+}
+
+// OnKnowledge ingests a knowledge message from upstream: ranges and events
+// accumulate into the istream, curiosity is satisfied, the constream
+// advances, and catchup streams are pumped against the refreshed cache.
+func (s *SHB) OnKnowledge(know *message.Knowledge) {
+	s.mu.lock()
+	defer s.mu.unlock()
+	ps, ok := s.pubends[know.Pubend]
+	if !ok {
+		return
+	}
+	s.attach(ps, know)
+	for _, r := range know.Ranges {
+		ps.know.Apply(r)
+		ps.cur.Satisfy(r.Start, r.End)
+		if r.End > ps.maxKnown {
+			ps.maxKnown = r.End
+		}
+	}
+	for _, ev := range know.Events {
+		ps.know.Apply(tick.Range{Start: ev.Timestamp, End: ev.Timestamp, Kind: tick.D})
+		ps.cache.put(ev)
+		ps.cur.Satisfy(ev.Timestamp, ev.Timestamp)
+		if ev.Timestamp > ps.maxKnown {
+			ps.maxKnown = ev.Timestamp
+		}
+	}
+	// Figure 1: istream changes flow through per-subscriber filters into
+	// the catchup knowledge streams (this also delivers nack responses
+	// for ticks below the istream base, which the istream itself
+	// discards).
+	for _, sub := range s.subs {
+		if cs := sub.catchup[ps.id]; cs != nil {
+			s.feedCatchup(cs, know)
+		}
+	}
+	s.advanceConstream(ps)
+	s.pumpCatchups(ps)
+}
+
+// attach initializes latestDelivered for a fresh SHB at the first received
+// knowledge: a broker that joins the stream starts delivering from the
+// current position rather than nacking all of history.
+func (s *SHB) attach(ps *shbPubend, know *message.Knowledge) {
+	if ps.attached {
+		return
+	}
+	start := vtime.MaxTS
+	for _, r := range know.Ranges {
+		if r.Start < start {
+			start = r.Start
+		}
+	}
+	for _, ev := range know.Events {
+		if ev.Timestamp < start {
+			start = ev.Timestamp
+		}
+	}
+	if start == vtime.MaxTS {
+		return
+	}
+	ps.attached = true
+	ps.latestDelivered = start - 1
+	ps.cache.setFloor(start - 1)
+	ps.released = start - 1
+	ps.know.Advance(start - 1)
+	s.dirty = true
+}
+
+// advanceConstream processes ticks in (latestDelivered, doubtHorizon]: D
+// ticks are matched once against every durable subscription, written to
+// the PFS, and delivered to the connected non-catchup subscribers that
+// match (paper, section 4.1).
+func (s *SHB) advanceConstream(ps *shbPubend) {
+	dh := ps.know.DoubtHorizon()
+	if dh <= ps.latestDelivered {
+		return
+	}
+	// Gap-free by definition of the doubt horizon; walk D ticks in order.
+	dticks := ps.know.DTicks(ps.latestDelivered, dh)
+	for _, ts := range dticks {
+		ev, ok := ps.cache.get(ts)
+		if !ok {
+			// The cache evicted an undelivered event (pathological
+			// sizing). Re-request it and stop advancing; knowledge
+			// will come back around.
+			s.stats.CacheMisses++
+			s.requestSpans(ps, []tick.Span{{Start: ts, End: ts}})
+			s.flushNacks(ps)
+			dh = ts - 1
+			break
+		}
+		matched := s.matcher.Match(ev.Attrs)
+		// PFS first — delivery to the PFS must complete before the
+		// tick is considered delivered. Skip timestamps the PFS
+		// already has (constream replay after a crash).
+		if len(matched) > 0 && ts > s.cfg.PFS.LastTimestamp(ps.id) {
+			if err := s.cfg.PFS.Write(ps.id, ts, matched); err == nil {
+				s.stats.PFSWrites++
+			}
+		}
+		for _, subID := range matched {
+			sub := s.subs[subID]
+			if sub == nil || !sub.connected || sub.catchup[ps.id] != nil {
+				continue
+			}
+			// A subscriber can be ahead of a recovering constream:
+			// after an SHB crash the constream replays from the
+			// persisted latestDelivered, while a reconnecting
+			// subscriber's checkpoint may already cover part of the
+			// replay. Never deliver at or below its floor.
+			if ev.Timestamp <= sub.lastSent[ps.id] {
+				continue
+			}
+			s.deliverEvent(sub, ps.id, ev)
+		}
+	}
+	if dh > ps.latestDelivered {
+		ps.latestDelivered = dh
+		ps.cache.setFloor(dh)
+		s.dirty = true
+	}
+	s.recomputeReleased(ps)
+}
+
+// deliverEvent sends one event delivery and updates silence bookkeeping.
+func (s *SHB) deliverEvent(sub *subscriber, pub vtime.PubendID, ev *message.Event) {
+	s.cfg.Deliver(sub.id, message.Delivery{
+		Kind:      message.DeliverEvent,
+		Pubend:    pub,
+		Timestamp: ev.Timestamp,
+		Event:     ev,
+	})
+	sub.lastSent[pub] = ev.Timestamp
+	s.stats.EventsDelivered++
+}
+
+// requestSpans adds wanted spans to the consolidated curiosity; only the
+// fresh (not already pending) parts are queued for upstream.
+func (s *SHB) requestSpans(ps *shbPubend, spans []tick.Span) {
+	for _, sp := range spans {
+		s.stats.NackTicksWanted += sp.Len()
+		for _, fresh := range ps.cur.Add(sp.Start, sp.End) {
+			ps.pendingNackSpans = append(ps.pendingNackSpans, fresh)
+		}
+	}
+}
+
+// flushNacks sends queued consolidated nack spans upstream.
+func (s *SHB) flushNacks(ps *shbPubend) {
+	if len(ps.pendingNackSpans) == 0 {
+		return
+	}
+	spans := ps.pendingNackSpans
+	ps.pendingNackSpans = nil
+	s.stats.NacksSent += int64(len(spans))
+	for _, sp := range spans {
+		s.stats.NackTicksSent += sp.Len()
+	}
+	s.cfg.SendNack(ps.id, spans)
+}
+
+// recomputeReleased recalculates released(p) =
+// min(latestDelivered, min_s released(s,p)).
+func (s *SHB) recomputeReleased(ps *shbPubend) {
+	rel := ps.latestDelivered
+	for _, sub := range s.subs {
+		if r := sub.released[ps.id]; r < rel {
+			rel = r
+		}
+	}
+	if rel > ps.released {
+		ps.released = rel
+		s.dirty = true
+		// Knowledge and cached events below released(p) can never be
+		// needed again by any local subscriber.
+		ps.know.Advance(rel)
+		ps.cache.evictUpTo(rel)
+	}
+}
+
+func (s *SHB) recomputeReleasedAll() {
+	for _, ps := range s.pubends {
+		s.recomputeReleased(ps)
+	}
+}

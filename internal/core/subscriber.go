@@ -1,0 +1,305 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// Subscribe attaches a durable subscriber. For a first connect
+// (req.Resume == false) the subscriber is given CT(s,p) =
+// latestDelivered(p) for every pubend and starts in non-catchup mode
+// (paper, section 4.1). On a resume, a catchup stream is created for every
+// pubend whose checkpoint lies behind latestDelivered.
+//
+// A resume for a subscriber this SHB has never hosted is the paper's
+// "reconnect-anywhere" case (section 1, feature 5): the subscription is
+// registered here, and the interval before registration — which this SHB's
+// PFS knows nothing about — is recovered by retrieving events from the
+// caches/PHB and refiltering them.
+//
+// The returned token is the subscriber's starting checkpoint (its own CT
+// on resume). Subscribing an already-connected subscriber ID fails.
+func (s *SHB) Subscribe(req *message.Subscribe) (*vtime.CheckpointToken, error) {
+	subFilter, err := filter.Parse(req.Filter)
+	if err != nil {
+		return nil, fmt.Errorf("core: subscribe %v: %w", req.Subscriber, err)
+	}
+	s.mu.lock()
+	defer s.mu.unlock()
+
+	sub := s.subs[req.Subscriber]
+	if sub != nil && sub.connected {
+		return nil, fmt.Errorf("core: subscriber %v already connected", req.Subscriber)
+	}
+	ct := vtime.NewCheckpointToken()
+	if sub == nil {
+		// First connect at this SHB: persist the subscription. A plain
+		// first connect starts at the consolidated stream's position; a
+		// reconnect-anywhere resume starts at the presented checkpoint.
+		sub = s.newSubscriber(req.Subscriber, subFilter)
+		tx := s.cfg.Meta.Begin()
+		tx.Put(tableSubs, strconv.FormatUint(uint64(req.Subscriber), 10), []byte(req.Filter))
+		for pub, ps := range s.pubends {
+			start := ps.latestDelivered
+			if req.Resume {
+				start = req.CT.Get(pub)
+			}
+			sub.released[pub] = start
+			// The PFS only describes this subscriber from here on;
+			// everything earlier must be refiltered during catchup.
+			sub.since[pub] = ps.latestDelivered
+			ct.ForceSet(pub, start)
+			tx.PutUint64(tableReleased, relKey(pub, req.Subscriber), uint64(start))
+			tx.PutUint64(tableSince, relKey(pub, req.Subscriber), uint64(ps.latestDelivered))
+		}
+		if err := tx.Commit(); err != nil {
+			return nil, fmt.Errorf("core: persist subscription: %w", err)
+		}
+		s.subs[req.Subscriber] = sub
+		s.matcher.Add(req.Subscriber, subFilter)
+	} else {
+		// Resume. The subscriber may present an older CT than it has
+		// acknowledged (it lost its own state): honor it; gaps may
+		// result where storage was already released.
+		if !req.Resume {
+			return nil, fmt.Errorf("core: subscriber %v already exists; reconnect with Resume", req.Subscriber)
+		}
+		for pub := range s.pubends {
+			ct.ForceSet(pub, req.CT.Get(pub))
+		}
+	}
+	sub.connected = true
+	sub.credits = int64(req.Credits)
+	if sub.credits == 0 {
+		sub.credits = 1 << 30 // unlimited unless the client flow-controls
+	}
+	for pub, ps := range s.pubends {
+		start := ct.Get(pub)
+		sub.lastSent[pub] = start
+		if start >= ps.latestDelivered {
+			continue // non-catchup from the start
+		}
+		cs := &catchupStream{
+			sub:     sub,
+			pub:     pub,
+			know:    tick.NewStream(start),
+			cur:     tick.NewCuriosity(),
+			started: time.Now(),
+		}
+		cs.pfsReadUpTo = start
+		sub.catchup[pub] = cs
+	}
+	// Make immediate progress on all new catchup streams. The cache pin
+	// must drop to the catchup base before any recovery responses arrive,
+	// or they could be evicted before delivery.
+	for pub := range sub.catchup {
+		ps := s.pubends[pub]
+		s.updateCachePin(ps)
+		if cs := sub.catchup[pub]; cs != nil {
+			s.pumpCatchup(ps, cs)
+		}
+		s.flushNacks(ps)
+		s.updateCachePin(ps)
+	}
+	return ct, nil
+}
+
+// Detach disconnects a subscriber (orderly or crash — the paper treats
+// both identically: catchup(s,p) becomes true the instant the subscriber
+// disconnects). The durable subscription itself persists.
+func (s *SHB) Detach(subID vtime.SubscriberID) {
+	s.mu.lock()
+	defer s.mu.unlock()
+	sub := s.subs[subID]
+	if sub == nil {
+		return
+	}
+	sub.connected = false
+	// Catchup streams are discarded; reconnection builds fresh ones from
+	// the presented checkpoint token.
+	sub.catchup = make(map[vtime.PubendID]*catchupStream)
+}
+
+// Unsubscribe permanently removes a durable subscription, releasing the
+// storage its unacknowledged backlog was holding.
+func (s *SHB) Unsubscribe(subID vtime.SubscriberID) error {
+	s.mu.lock()
+	defer s.mu.unlock()
+	sub := s.subs[subID]
+	if sub == nil {
+		return nil
+	}
+	delete(s.subs, subID)
+	s.matcher.Remove(subID)
+	tx := s.cfg.Meta.Begin()
+	tx.Delete(tableSubs, strconv.FormatUint(uint64(subID), 10))
+	for pub := range s.pubends {
+		tx.Delete(tableReleased, relKey(pub, subID))
+		tx.Delete(tableSince, relKey(pub, subID))
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("core: unsubscribe: %w", err)
+	}
+	s.recomputeReleasedAll()
+	return nil
+}
+
+// OnAck records a subscriber's checkpoint token: everything at or below
+// CT[p] is acknowledged and may be released. Persistence is batched into
+// the next Tick (the paper updates released(s) in DB2 every 250 ms).
+func (s *SHB) OnAck(subID vtime.SubscriberID, ct *vtime.CheckpointToken) {
+	s.mu.lock()
+	defer s.mu.unlock()
+	sub := s.subs[subID]
+	if sub == nil {
+		return
+	}
+	for pub, ps := range s.pubends {
+		ack := ct.Get(pub)
+		if ack > sub.released[pub] {
+			sub.released[pub] = ack
+			s.dirty = true
+		}
+		_ = ps
+	}
+	s.recomputeReleasedAll()
+}
+
+// OnCredit grants flow-control credits and resumes stalled catchup
+// deliveries.
+func (s *SHB) OnCredit(subID vtime.SubscriberID, credits uint32) {
+	s.mu.lock()
+	defer s.mu.unlock()
+	sub := s.subs[subID]
+	if sub == nil {
+		return
+	}
+	sub.credits += int64(credits)
+	for pub, cs := range sub.catchup {
+		ps := s.pubends[pub]
+		s.pumpCatchup(ps, cs)
+		s.flushNacks(ps)
+	}
+}
+
+// Tick performs periodic housekeeping: nack doubt-horizon stalls, send
+// silence messages, persist dirty release state, and emit release vectors
+// upstream. The broker calls it on its housekeeping interval (the paper's
+// released updates run every 250 ms).
+func (s *SHB) Tick(now time.Time) error {
+	s.mu.lock()
+	defer s.mu.unlock()
+
+	for _, ps := range s.pubends {
+		// Re-request anything blocking the constream.
+		if ps.maxKnown > ps.latestDelivered {
+			gaps := ps.know.QGaps(ps.latestDelivered, ps.maxKnown, 0)
+			if len(gaps) > 0 {
+				spans := make([]tick.Span, len(gaps))
+				for i, g := range gaps {
+					spans[i] = tick.Span{Start: g.Start, End: g.End}
+				}
+				s.requestSpans(ps, spans)
+			}
+		}
+		s.pumpCatchups(ps) // also flushes nacks
+		s.sendSilence(ps)
+	}
+	if err := s.persistDirty(); err != nil {
+		return err
+	}
+	s.sendReleaseVectors()
+	return nil
+}
+
+// sendSilence delivers a silence message to connected non-catchup
+// subscribers whose last delivery lags latestDelivered by more than the
+// silence interval, so their checkpoint tokens keep advancing.
+func (s *SHB) sendSilence(ps *shbPubend) {
+	for _, sub := range s.subs {
+		if !sub.connected || sub.catchup[ps.id] != nil {
+			continue
+		}
+		if ps.latestDelivered-sub.lastSent[ps.id] <= s.cfg.SilenceInterval {
+			continue
+		}
+		s.cfg.Deliver(sub.id, message.Delivery{
+			Kind:      message.DeliverSilence,
+			Pubend:    ps.id,
+			Timestamp: ps.latestDelivered,
+		})
+		sub.lastSent[ps.id] = ps.latestDelivered
+		s.stats.SilencesDelivered++
+	}
+}
+
+// persistDirty writes latestDelivered and released(s,p) to the metastore
+// in one batched transaction.
+func (s *SHB) persistDirty() error {
+	if !s.dirty {
+		return nil
+	}
+	tx := s.cfg.Meta.Begin()
+	pubs := make([]vtime.PubendID, 0, len(s.pubends))
+	for pub := range s.pubends {
+		pubs = append(pubs, pub)
+	}
+	sort.Slice(pubs, func(i, j int) bool { return pubs[i] < pubs[j] })
+	for _, pub := range pubs {
+		ps := s.pubends[pub]
+		if !ps.attached {
+			continue
+		}
+		tx.PutUint64(tableLD, pubKey(pub), uint64(ps.latestDelivered))
+		for _, sub := range s.subs {
+			tx.PutUint64(tableReleased, relKey(pub, sub.id), uint64(sub.released[pub]))
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("core: persist: %w", err)
+	}
+	s.dirty = false
+	return nil
+}
+
+// sendReleaseVectors emits (released, latestDelivered) upstream for every
+// pubend whose vector changed since the last send.
+func (s *SHB) sendReleaseVectors() {
+	for _, ps := range s.pubends {
+		if !ps.attached {
+			continue
+		}
+		if ps.released == ps.lastSentRelease && ps.latestDelivered == ps.lastSentLD {
+			continue
+		}
+		ps.lastSentRelease = ps.released
+		ps.lastSentLD = ps.latestDelivered
+		s.cfg.SendRelease(ps.id, ps.released, ps.latestDelivered)
+	}
+}
+
+// ChopPFS discards PFS records below released(p) for every pubend; brokers
+// call it occasionally to reclaim SHB storage.
+func (s *SHB) ChopPFS() error {
+	s.mu.lock()
+	pubs := make([]vtime.PubendID, 0, len(s.pubends))
+	rels := make([]vtime.Timestamp, 0, len(s.pubends))
+	for pub, ps := range s.pubends {
+		pubs = append(pubs, pub)
+		rels = append(rels, ps.released)
+	}
+	s.mu.unlock()
+	for i, pub := range pubs {
+		if err := s.cfg.PFS.Chop(pub, rels[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

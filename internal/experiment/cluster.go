@@ -1,0 +1,244 @@
+// Package experiment builds the paper's evaluation topologies and
+// workloads and runs every experiment of section 5, producing the numbers
+// and time series behind each figure and table. The cmd/benchrunner binary
+// and the repository-root benchmarks are thin wrappers over this package.
+//
+// Scaling: the paper runs minutes-long experiments on a 6-way SMP cluster;
+// this harness runs seconds-long, time-scaled versions on one machine. All
+// scale knobs live in Params; the defaults reproduce the paper's shapes
+// (who wins, by what factor, where crossovers fall), not its absolute
+// numbers.
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/overlay"
+	"repro/internal/pubend"
+	"repro/internal/vtime"
+)
+
+// Topology describes a broker tree shaped like figure 3's configurations.
+type Topology struct {
+	// SHBs is the number of subscriber hosting brokers. 0 means the
+	// single-broker configuration (PHB+SHB combined).
+	SHBs int
+	// Intermediate inserts one relay broker between the PHB and the
+	// SHBs (the paper's 2-SHB and 4-SHB networks route through the
+	// tree; a single intermediate reproduces the shape).
+	Intermediate bool
+	// Chain inserts N pure relay brokers in a line between the PHB and
+	// the single SHB (the 5-hop latency topology). Mutually exclusive
+	// with Intermediate; requires SHBs <= 1.
+	Chain int
+	// Pubends is the number of pubends hosted by the PHB (paper: 4).
+	Pubends int
+	// Policy is the early-release policy for every pubend (nil: retain
+	// until released — the paper disables early release in section 5).
+	Policy pubend.Policy
+	// PublishLogLatency models the PHB's forced-log latency (E1 uses
+	// 44ms; throughput experiments use 0 with group commit).
+	PublishLogLatency time.Duration
+	// TickInterval for all brokers (0 = 2ms, fast enough for scaled
+	// experiments).
+	TickInterval time.Duration
+	// EventCacheSize for SHB engines (0 = default).
+	EventCacheSize int
+	// RelayCacheSize bounds intermediate relay caches (0 = default).
+	RelayCacheSize int
+	// ReadBufferQ for SHB PFS reads (0 = default 5000).
+	ReadBufferQ int
+	// LinkLatency adds one-way latency to every overlay hop.
+	LinkLatency time.Duration
+	// MetaCommitLatency models the SHB database commit cost.
+	MetaCommitLatency time.Duration
+	// OnCaughtUp receives catchup-duration samples from every SHB.
+	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
+}
+
+// Cluster is a running broker topology.
+type Cluster struct {
+	Net  *overlay.InprocNetwork
+	PHB  *broker.Broker
+	Mids []*broker.Broker
+	SHBs []*broker.Broker
+
+	topo Topology
+	dir  string
+}
+
+// AllPubends lists the pubend IDs of the cluster.
+func (c *Cluster) AllPubends() []vtime.PubendID {
+	out := make([]vtime.PubendID, c.topo.Pubends)
+	for i := range out {
+		out[i] = vtime.PubendID(i + 1)
+	}
+	return out
+}
+
+// PHBAddr is the publisher connection address.
+func (c *Cluster) PHBAddr() string { return "phb" }
+
+// SHBAddr is the subscriber connection address of SHB i (or the combined
+// broker in the single-broker topology).
+func (c *Cluster) SHBAddr(i int) string {
+	if c.topo.SHBs == 0 {
+		return "phb"
+	}
+	return fmt.Sprintf("shb%d", i)
+}
+
+// SHBBroker returns the broker behind SHBAddr(i).
+func (c *Cluster) SHBBroker(i int) *broker.Broker {
+	if c.topo.SHBs == 0 {
+		return c.PHB
+	}
+	return c.SHBs[i]
+}
+
+// BuildCluster starts the topology under dir.
+func BuildCluster(dir string, topo Topology) (*Cluster, error) {
+	if topo.Pubends == 0 {
+		topo.Pubends = 4
+	}
+	if topo.TickInterval == 0 {
+		topo.TickInterval = 2 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiment: dir: %w", err)
+	}
+	c := &Cluster{
+		Net:  overlay.NewInprocNetwork(topo.LinkLatency),
+		topo: topo,
+		dir:  dir,
+	}
+	var hosted []broker.PubendConfig
+	for i := 1; i <= topo.Pubends; i++ {
+		hosted = append(hosted, broker.PubendConfig{
+			ID:         vtime.PubendID(i),
+			Policy:     topo.Policy,
+			LogLatency: topo.PublishLogLatency,
+		})
+	}
+	common := broker.Config{
+		Transport:         c.Net,
+		TickInterval:      topo.TickInterval,
+		EventCacheSize:    topo.EventCacheSize,
+		RelayCacheSize:    topo.RelayCacheSize,
+		ReadBufferQ:       topo.ReadBufferQ,
+		MetaCommitLatency: topo.MetaCommitLatency,
+		OnCaughtUp:        topo.OnCaughtUp,
+	}
+
+	phbCfg := common
+	phbCfg.Name = "phb"
+	phbCfg.DataDir = filepath.Join(dir, "phb")
+	phbCfg.ListenAddr = "phb"
+	phbCfg.HostedPubends = hosted
+	if topo.SHBs == 0 {
+		phbCfg.EnableSHB = true
+		phbCfg.AllPubends = c.AllPubends()
+	}
+	phb, err := broker.New(phbCfg)
+	if err != nil {
+		return nil, err
+	}
+	c.PHB = phb
+
+	upstream := "phb"
+	for i := 0; i < topo.Chain; i++ {
+		midCfg := common
+		midCfg.Name = fmt.Sprintf("mid%d", i)
+		midCfg.ListenAddr = midCfg.Name
+		midCfg.UpstreamAddr = upstream
+		mid, err := broker.New(midCfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Mids = append(c.Mids, mid)
+		upstream = midCfg.Name
+	}
+	if topo.Intermediate {
+		midCfg := common
+		midCfg.Name = "mid"
+		midCfg.ListenAddr = "mid"
+		midCfg.UpstreamAddr = upstream
+		mid, err := broker.New(midCfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Mids = append(c.Mids, mid)
+		upstream = "mid"
+	}
+	for i := 0; i < topo.SHBs; i++ {
+		cfg := common
+		cfg.Name = fmt.Sprintf("shb%d", i)
+		cfg.DataDir = filepath.Join(dir, cfg.Name)
+		cfg.ListenAddr = cfg.Name
+		cfg.UpstreamAddr = upstream
+		cfg.EnableSHB = true
+		cfg.AllPubends = c.AllPubends()
+		shb, err := broker.New(cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.SHBs = append(c.SHBs, shb)
+	}
+	return c, nil
+}
+
+// CrashSHB crashes SHB i; RestartSHB brings a successor up from the same
+// data directory.
+func (c *Cluster) CrashSHB(i int) {
+	c.SHBBroker(i).Crash()
+}
+
+// RestartSHB restarts a crashed SHB from its persistent state.
+func (c *Cluster) RestartSHB(i int) error {
+	name := fmt.Sprintf("shb%d", i)
+	upstream := "phb"
+	if len(c.Mids) > 0 {
+		upstream = c.Mids[len(c.Mids)-1].Name()
+	}
+	cfg := broker.Config{
+		Name:              name,
+		DataDir:           filepath.Join(c.dir, name),
+		Transport:         c.Net,
+		ListenAddr:        name,
+		UpstreamAddr:      upstream,
+		EnableSHB:         true,
+		AllPubends:        c.AllPubends(),
+		TickInterval:      c.topo.TickInterval,
+		EventCacheSize:    c.topo.EventCacheSize,
+		RelayCacheSize:    c.topo.RelayCacheSize,
+		ReadBufferQ:       c.topo.ReadBufferQ,
+		MetaCommitLatency: c.topo.MetaCommitLatency,
+		OnCaughtUp:        c.topo.OnCaughtUp,
+	}
+	nb, err := broker.New(cfg)
+	if err != nil {
+		return err
+	}
+	c.SHBs[i] = nb
+	return nil
+}
+
+// Close shuts every broker down.
+func (c *Cluster) Close() {
+	for _, shb := range c.SHBs {
+		shb.Close() //nolint:errcheck,gosec // shutdown
+	}
+	for _, mid := range c.Mids {
+		mid.Close() //nolint:errcheck,gosec // shutdown
+	}
+	if c.PHB != nil {
+		c.PHB.Close() //nolint:errcheck,gosec // shutdown
+	}
+}

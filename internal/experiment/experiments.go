@@ -1,0 +1,373 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// LatencyResult reproduces the paper's end-to-end latency claim (section
+// 5, result 1): ~50 ms over a 5-hop broker network, of which ~44 ms is PHB
+// event logging.
+type LatencyResult struct {
+	Hops             int
+	Events           int
+	WithLogging      LatencyStats // PHB forced-log latency enabled
+	WithoutLogging   LatencyStats // pure network/broker path
+	LoggingShareMean float64      // fraction of end-to-end mean due to logging
+}
+
+// LatencyStats summarizes one latency distribution.
+type LatencyStats struct {
+	Mean, P50, P95, Max time.Duration
+}
+
+func summarize(h *metrics.Histogram) LatencyStats {
+	return LatencyStats{
+		Mean: h.Mean(),
+		P50:  h.Quantile(0.5),
+		P95:  h.Quantile(0.95),
+		Max:  h.Max(),
+	}
+}
+
+// RunLatency measures publish→delivery latency over a hops-node chain,
+// with and without the PHB's forced-log latency (paper: 44 ms), and with
+// linkLatency per overlay hop (paper: the residual ~6 ms over 5 hops).
+func RunLatency(dir string, hops, events int, logLatency, linkLatency time.Duration) (*LatencyResult, error) {
+	if hops < 2 {
+		return nil, fmt.Errorf("experiment: latency needs >= 2 hops, got %d", hops)
+	}
+	res := &LatencyResult{Hops: hops, Events: events}
+	for _, logging := range []bool{true, false} {
+		ll := time.Duration(0)
+		if logging {
+			ll = logLatency
+		}
+		hist, err := runLatencyOnce(fmt.Sprintf("%s/log-%v", dir, logging), hops, events, ll, linkLatency)
+		if err != nil {
+			return nil, err
+		}
+		if logging {
+			res.WithLogging = summarize(hist)
+		} else {
+			res.WithoutLogging = summarize(hist)
+		}
+	}
+	if res.WithLogging.Mean > 0 {
+		res.LoggingShareMean = float64(res.WithLogging.Mean-res.WithoutLogging.Mean) /
+			float64(res.WithLogging.Mean)
+	}
+	return res, nil
+}
+
+func runLatencyOnce(dir string, hops, events int, logLatency, linkLatency time.Duration) (*metrics.Histogram, error) {
+	c, err := BuildCluster(dir, Topology{
+		SHBs:              1,
+		Chain:             hops - 2,
+		Pubends:           1,
+		PublishLogLatency: logLatency,
+		LinkLatency:       linkLatency,
+		TickInterval:      time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 1, Filter: `true`, AckInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+		return nil, err
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	pub, err := client.NewPublisher(c.Net, c.PHBAddr(), "lat")
+	if err != nil {
+		return nil, err
+	}
+	defer pub.Close() //nolint:errcheck
+
+	hist := metrics.NewHistogram()
+	var mu sync.Mutex
+	sent := make(map[int64]time.Time, events)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		received := 0
+		for received < events {
+			d, ok := <-sub.Deliveries()
+			if !ok {
+				return
+			}
+			if d.Kind != message.DeliverEvent {
+				continue
+			}
+			now := time.Now()
+			seq := d.Event.Attrs["seq"].IntVal()
+			mu.Lock()
+			if t0, ok := sent[seq]; ok {
+				hist.Observe(now.Sub(t0))
+				received++
+			}
+			mu.Unlock()
+		}
+	}()
+	for i := 0; i < events; i++ {
+		mu.Lock()
+		sent[int64(i)] = time.Now()
+		mu.Unlock()
+		if _, _, err := pub.Publish(message.Event{
+			Attrs:   filter.Attributes{"seq": filter.Int(int64(i))},
+			Payload: make([]byte, PaperPayloadBytes),
+		}); err != nil {
+			return nil, err
+		}
+		// Modest inter-publish gap so latencies do not queue behind
+		// each other (the paper measures at low rate).
+		time.Sleep(2 * time.Millisecond)
+	}
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		return nil, fmt.Errorf("experiment: latency run timed out (%d/%d)", hist.Count(), events)
+	}
+	return hist, nil
+}
+
+// ScalabilityResult is one bar of figure 4.
+type ScalabilityResult struct {
+	SHBs          int // 0 = single combined broker
+	Subscribers   int
+	Disconnect    bool
+	InputRate     int     // events/s published
+	AggregateRate float64 // events/s delivered across all subscribers
+	PerSubRate    float64
+	Gaps          int64
+	Violations    int64
+}
+
+// ScalabilityParams configures a figure-4 run.
+type ScalabilityParams struct {
+	SHBs         int // 0 = single combined broker
+	SubsPerSHB   int
+	InputRate    int           // 0 = PaperInputRate
+	Warmup       time.Duration // 0 = 500ms
+	Measure      time.Duration // 0 = 2s
+	Disconnect   bool
+	ChurnPeriod  time.Duration // 0 = 3s   (paper: 300s, scaled 1:100)
+	ChurnDown    time.Duration // 0 = 50ms (paper: 5s, scaled 1:100)
+	Intermediate bool
+	TickInterval time.Duration
+}
+
+// RunScalability measures aggregate delivery rate for one figure-4
+// configuration.
+func RunScalability(dir string, p ScalabilityParams) (*ScalabilityResult, error) {
+	if p.InputRate == 0 {
+		p.InputRate = PaperInputRate
+	}
+	if p.Warmup == 0 {
+		p.Warmup = 500 * time.Millisecond
+	}
+	if p.Measure == 0 {
+		p.Measure = 2 * time.Second
+	}
+	if p.ChurnPeriod == 0 {
+		p.ChurnPeriod = 3 * time.Second
+	}
+	if p.ChurnDown == 0 {
+		p.ChurnDown = 50 * time.Millisecond
+	}
+	c, err := BuildCluster(dir, Topology{
+		SHBs:         p.SHBs,
+		Intermediate: p.Intermediate && p.SHBs > 1,
+		Pubends:      PaperGroups,
+		TickInterval: p.TickInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	nSHB := p.SHBs
+	if nSHB == 0 {
+		nSHB = 1
+	}
+	pool, err := StartSubscriberPool(c, PoolOptions{
+		N:          p.SubsPerSHB * nSHB,
+		Disconnect: p.Disconnect,
+		Period:     p.ChurnPeriod,
+		Down:       p.ChurnDown,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Stop()
+
+	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), p.InputRate, PaperGroups, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer load.Stop()
+
+	time.Sleep(p.Warmup)
+	before := pool.Received()
+	time.Sleep(p.Measure)
+	after := pool.Received()
+
+	return &ScalabilityResult{
+		SHBs:          p.SHBs,
+		Subscribers:   p.SubsPerSHB * nSHB,
+		Disconnect:    p.Disconnect,
+		InputRate:     p.InputRate,
+		AggregateRate: float64(after-before) / p.Measure.Seconds(),
+		PerSubRate:    float64(after-before) / p.Measure.Seconds() / float64(p.SubsPerSHB*nSHB),
+		Gaps:          pool.Gaps(),
+		Violations:    pool.Violations(),
+	}, nil
+}
+
+// CatchupRatesResult backs figures 5 and 6: per-reconnect catchup
+// durations, and the advance rates of latestDelivered(p) and released(p)
+// in tick-milliseconds per second of real time.
+type CatchupRatesResult struct {
+	CatchupDurations []time.Duration
+	CatchupMean      time.Duration
+	CatchupP95       time.Duration
+	LDRate           *metrics.Series // figure 6 top
+	RelRate          *metrics.Series // figure 6 bottom
+	LDRateMean       float64
+	RelRateMin       float64
+	Gaps             int64
+	Violations       int64
+}
+
+// CatchupRatesParams configures a figures-5/6 run.
+type CatchupRatesParams struct {
+	Subscribers int           // 0 = 16
+	Duration    time.Duration // 0 = 4s
+	ChurnPeriod time.Duration // 0 = 1.5s
+	ChurnDown   time.Duration // 0 = 100ms
+	Sample      time.Duration // 0 = 100ms
+}
+
+// RunCatchupRates runs the 1-PHB/1-SHB disconnection experiment behind
+// figures 5 and 6.
+func RunCatchupRates(dir string, p CatchupRatesParams) (*CatchupRatesResult, error) {
+	if p.Subscribers == 0 {
+		p.Subscribers = 16
+	}
+	if p.Duration == 0 {
+		p.Duration = 4 * time.Second
+	}
+	if p.ChurnPeriod == 0 {
+		p.ChurnPeriod = 1500 * time.Millisecond
+	}
+	if p.ChurnDown == 0 {
+		p.ChurnDown = 100 * time.Millisecond
+	}
+	if p.Sample == 0 {
+		p.Sample = 100 * time.Millisecond
+	}
+	res := &CatchupRatesResult{}
+	var mu sync.Mutex
+	caught := map[vtime.SubscriberID]time.Duration{}
+	c, err := BuildCluster(dir, Topology{
+		SHBs:    1,
+		Pubends: PaperGroups,
+		OnCaughtUp: func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			// A reconnect spawns one catchup stream per pubend;
+			// record the slowest per (sub, reconnect) by keeping
+			// the max seen since last report.
+			if took > caught[sub] {
+				caught[sub] = took
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	pool, err := StartSubscriberPool(c, PoolOptions{
+		N:          p.Subscribers,
+		Disconnect: true,
+		Period:     p.ChurnPeriod,
+		Down:       p.ChurnDown,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Stop()
+	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer load.Stop()
+
+	// Sample latestDelivered and released for pubend 1 (as in figure 6,
+	// which plots 1 of the 4 pubends).
+	start := time.Now()
+	shb := c.SHBBroker(0)
+	ldCounter, relCounter := &metrics.Counter{}, &metrics.Counter{}
+	ldSampler := metrics.NewRateSampler("latestDelivered_tickms_per_s", ldCounter, start)
+	relSampler := metrics.NewRateSampler("released_tickms_per_s", relCounter, start)
+	deadline := time.Now().Add(p.Duration)
+	for time.Now().Before(deadline) {
+		time.Sleep(p.Sample)
+		ldCounter.Add(shb.LatestDelivered(1).TickMillis() - ldCounter.Load())
+		relCounter.Add(shb.Released(1).TickMillis() - relCounter.Load())
+		now := time.Now()
+		ldSampler.Sample(now)
+		relSampler.Sample(now)
+		// Harvest completed catchups.
+		mu.Lock()
+		for sub, took := range caught {
+			res.CatchupDurations = append(res.CatchupDurations, took)
+			delete(caught, sub)
+		}
+		mu.Unlock()
+	}
+	res.LDRate = ldSampler.Series()
+	res.RelRate = relSampler.Series()
+	res.LDRateMean = res.LDRate.Mean()
+	res.RelRateMin = seriesMin(res.RelRate)
+	res.Gaps = pool.Gaps()
+	res.Violations = pool.Violations()
+	if n := len(res.CatchupDurations); n > 0 {
+		h := metrics.NewHistogram()
+		for _, d := range res.CatchupDurations {
+			h.Observe(d)
+		}
+		res.CatchupMean = h.Mean()
+		res.CatchupP95 = h.Quantile(0.95)
+	}
+	return res, nil
+}
+
+func seriesMin(s *metrics.Series) float64 {
+	pts := s.Points()
+	if len(pts) == 0 {
+		return 0
+	}
+	min := pts[0].V
+	for _, p := range pts {
+		if p.V < min {
+			min = p.V
+		}
+	}
+	return min
+}

@@ -1,0 +1,662 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/jms"
+	"repro/internal/logvol"
+	"repro/internal/message"
+	"repro/internal/metastore"
+	"repro/internal/metrics"
+	"repro/internal/pfs"
+	"repro/internal/pubend"
+	"repro/internal/vtime"
+)
+
+// PFSBenchResult is the section 5.1.2 microbenchmark: PFS writes versus
+// logging the event once per matching subscriber at the SHB. The paper
+// reports the PFS logging 25× less data and finishing over 5× faster.
+type PFSBenchResult struct {
+	Events         int
+	Subscribers    int
+	MatchPerEvent  int
+	PFSDuration    time.Duration
+	EventLogDur    time.Duration
+	PFSBytes       int64
+	EventLogBytes  int64
+	SpeedupX       float64
+	DataReductionX float64
+	ImpreciseMode  bool
+}
+
+// PFSBenchParams configures the microbenchmark. The paper's workload:
+// 800 ev/s input, 100 subscribers, 200 ev/s per subscriber (so each event
+// matches 25 subscribers), 418-byte events, a sync every 200 events per
+// subscriber, 100 s of workload (80000 events).
+type PFSBenchParams struct {
+	Events          int // 0 = 8000 (10s of paper workload)
+	Subscribers     int // 0 = 100
+	MatchPerEvent   int // 0 = Subscribers/4
+	EventBytes      int // 0 = 418
+	SyncEvery       int // 0 = 200
+	ImpreciseBucket vtime.Timestamp
+}
+
+// RunPFSBench runs the microbenchmark.
+func RunPFSBench(dir string, p PFSBenchParams) (*PFSBenchResult, error) {
+	if p.Events == 0 {
+		p.Events = 8000
+	}
+	if p.Subscribers == 0 {
+		p.Subscribers = 100
+	}
+	if p.MatchPerEvent == 0 {
+		p.MatchPerEvent = p.Subscribers / 4
+	}
+	if p.EventBytes == 0 {
+		p.EventBytes = 418
+	}
+	if p.SyncEvery == 0 {
+		p.SyncEvery = 200
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	res := &PFSBenchResult{
+		Events:        p.Events,
+		Subscribers:   p.Subscribers,
+		MatchPerEvent: p.MatchPerEvent,
+		ImpreciseMode: p.ImpreciseBucket > 0,
+	}
+
+	// Matching subscribers rotate so every subscriber receives an equal
+	// share, as the group workload does.
+	matched := func(seq int) []vtime.SubscriberID {
+		out := make([]vtime.SubscriberID, p.MatchPerEvent)
+		for j := range out {
+			out[j] = vtime.SubscriberID((seq*p.MatchPerEvent + j) % p.Subscribers)
+		}
+		return out
+	}
+
+	// --- PFS side ---
+	{
+		vol, err := logvol.Open(filepath.Join(dir, "pfs.log"), logvol.Options{})
+		if err != nil {
+			return nil, err
+		}
+		meta, err := metastore.Open(filepath.Join(dir, "pfs.meta"), metastore.Options{Sync: metastore.SyncNone})
+		if err != nil {
+			return nil, err
+		}
+		// The paper syncs per subscriber every 200 events; with every
+		// event carrying MatchPerEvent subscribers, the equivalent
+		// whole-PFS cadence is one sync per SyncEvery events.
+		pf, err := pfs.New(pfs.Options{
+			Volume: vol, Meta: meta,
+			SyncEvery:       p.SyncEvery,
+			ImpreciseBucket: p.ImpreciseBucket,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for seq := 0; seq < p.Events; seq++ {
+			ts := vtime.Timestamp(seq + 1)
+			if err := pf.Write(1, ts, matched(seq)); err != nil {
+				return nil, err
+			}
+		}
+		if err := pf.Sync(); err != nil {
+			return nil, err
+		}
+		res.PFSDuration = time.Since(start)
+		res.PFSBytes = vol.BytesAppended()
+		vol.Close()  //nolint:errcheck,gosec // bench teardown
+		meta.Close() //nolint:errcheck,gosec // bench teardown
+	}
+
+	// --- per-subscriber event log side (the obvious solution of
+	// section 1: one persistent event log per subscriber) ---
+	{
+		vol, err := logvol.Open(filepath.Join(dir, "evlog.log"), logvol.Options{})
+		if err != nil {
+			return nil, err
+		}
+		streams := make([]*logvol.Stream, p.Subscribers)
+		for i := range streams {
+			s, err := vol.Stream(fmt.Sprintf("sub/%d", i))
+			if err != nil {
+				return nil, err
+			}
+			streams[i] = s
+		}
+		payload := make([]byte, p.EventBytes)
+		appended := make([]int, p.Subscribers)
+		start := time.Now()
+		for seq := 0; seq < p.Events; seq++ {
+			for _, sub := range matched(seq) {
+				if _, err := streams[sub].Append(payload); err != nil {
+					return nil, err
+				}
+				appended[sub]++
+				if appended[sub]%p.SyncEvery == 0 {
+					if err := vol.Sync(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		if err := vol.Sync(); err != nil {
+			return nil, err
+		}
+		res.EventLogDur = time.Since(start)
+		res.EventLogBytes = vol.BytesAppended()
+		vol.Close() //nolint:errcheck,gosec // bench teardown
+	}
+
+	if res.PFSDuration > 0 {
+		res.SpeedupX = float64(res.EventLogDur) / float64(res.PFSDuration)
+	}
+	if res.PFSBytes > 0 {
+		res.DataReductionX = float64(res.EventLogBytes) / float64(res.PFSBytes)
+	}
+	return res, nil
+}
+
+// JMSResult is one row of section 5.2: peak aggregate auto-acknowledge
+// rate for a subscriber count and connection count.
+type JMSResult struct {
+	Subscribers   int
+	Connections   int
+	AggregateRate float64 // events consumed+committed per second
+	DBCommitRate  float64 // database transactions per second
+	UpdatesPerTx  float64 // batching factor
+}
+
+// JMSParams configures the auto-acknowledge experiment.
+type JMSParams struct {
+	Subscribers   int           // e.g. 25 or 200
+	Connections   int           // paper: 4
+	Measure       time.Duration // 0 = 2s
+	InputRate     int           // 0 = enough to saturate (4× subscribers × 10)
+	CommitLatency time.Duration // 0 = 300µs (DB2 + battery-backed cache)
+}
+
+// RunJMS measures JMS auto-acknowledge throughput (section 5.2).
+func RunJMS(dir string, p JMSParams) (*JMSResult, error) {
+	if p.Measure == 0 {
+		p.Measure = 2 * time.Second
+	}
+	if p.CommitLatency == 0 {
+		p.CommitLatency = 300 * time.Microsecond
+	}
+	if p.InputRate == 0 {
+		p.InputRate = PaperInputRate * 4
+	}
+	c, err := BuildCluster(dir, Topology{SHBs: 1, Pubends: PaperGroups})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// The JMS CT database: a dedicated metastore with the modeled DB2
+	// commit latency.
+	meta, err := metastore.Open(filepath.Join(dir, "jmsct.meta"), metastore.Options{
+		Sync:          metastore.SyncNone,
+		CommitLatency: p.CommitLatency,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer meta.Close() //nolint:errcheck
+	store, err := jms.NewStore(jms.Options{Meta: meta, Connections: p.Connections})
+	if err != nil {
+		return nil, err
+	}
+	defer store.Close() //nolint:errcheck
+
+	var consumers []*jms.AutoAckConsumer
+	var wg sync.WaitGroup
+	for i := 0; i < p.Subscribers; i++ {
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID:          vtime.SubscriberID(i + 1),
+			Filter:      GroupFilter(i % PaperGroups),
+			AckInterval: 25 * time.Millisecond,
+			Buffer:      1 << 14,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+			return nil, err
+		}
+		ac := jms.NewAutoAckConsumer(sub, store)
+		consumers = append(consumers, ac)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ac.Run() //nolint:errcheck,gosec // exits on Stop/close
+		}()
+	}
+	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), p.InputRate, PaperGroups, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer load.Stop()
+
+	time.Sleep(500 * time.Millisecond) // warmup
+	var before int64
+	for _, ac := range consumers {
+		before += ac.Consumed()
+	}
+	commitsBefore := store.Commits()
+	updatesBefore := store.Updates()
+	time.Sleep(p.Measure)
+	var after int64
+	for _, ac := range consumers {
+		after += ac.Consumed()
+	}
+	commitsAfter := store.Commits()
+	updatesAfter := store.Updates()
+
+	for _, ac := range consumers {
+		ac.Stop()
+	}
+	wg.Wait()
+
+	res := &JMSResult{
+		Subscribers:   p.Subscribers,
+		Connections:   p.Connections,
+		AggregateRate: float64(after-before) / p.Measure.Seconds(),
+		DBCommitRate:  float64(commitsAfter-commitsBefore) / p.Measure.Seconds(),
+	}
+	if d := commitsAfter - commitsBefore; d > 0 {
+		res.UpdatesPerTx = float64(updatesAfter-updatesBefore) / float64(d)
+	}
+	return res, nil
+}
+
+// FailoverResult backs figures 7 and 8 and the paper's result 3: SHB
+// failure and recovery with every subscriber in catchup simultaneously.
+type FailoverResult struct {
+	LDSeries  *metrics.Series // latestDelivered(p1), tick ms (figure 7 top)
+	RelSeries *metrics.Series // released(p1), tick ms (figure 7 bottom)
+	// MachineRates is the per-client-machine delivery rate series
+	// (figure 8 top).
+	MachineRates []*metrics.Series
+
+	NormalLDRate    float64 // tick-ms/s before the crash
+	RecoveryLDRate  float64 // tick-ms/s while the constream nacks (≈5× normal)
+	CatchupDur      []time.Duration
+	CatchupMean     time.Duration
+	NormalRate      float64 // SHB aggregate events/s before crash
+	CatchupRate     float64 // SHB aggregate events/s during subscriber catchup
+	NackTicksWanted int64
+	NackTicksSent   int64
+	// CacheHits/CacheMisses over the whole run: catchup event fetches
+	// served locally by the SHB cache versus sent upstream — the PHB
+	// shielding of figure 8's bottom plot.
+	CacheHits   int64
+	CacheMisses int64
+	Gaps        int64
+	Violations  int64
+}
+
+// FailoverParams configures the SHB crash experiment; defaults scale the
+// paper's 25 s outage to 500 ms.
+type FailoverParams struct {
+	Subscribers int           // 0 = 40 (paper)
+	Machines    int           // 0 = 5 client machines (paper)
+	Down        time.Duration // 0 = 500ms (paper: 25s)
+	PostRun     time.Duration // 0 = 3s of catchup observation
+	PreRun      time.Duration // 0 = 1s of normal running
+	Sample      time.Duration // 0 = 100ms
+	ReadBufferQ int           // PFS read buffer (paper: 5000)
+}
+
+// RunFailover runs the SHB crash-and-recovery experiment.
+func RunFailover(dir string, p FailoverParams) (*FailoverResult, error) {
+	if p.Subscribers == 0 {
+		p.Subscribers = 40
+	}
+	if p.Machines == 0 {
+		p.Machines = 5
+	}
+	if p.Down == 0 {
+		p.Down = 500 * time.Millisecond
+	}
+	if p.PostRun == 0 {
+		p.PostRun = 3 * time.Second
+	}
+	if p.PreRun == 0 {
+		p.PreRun = time.Second
+	}
+	if p.Sample == 0 {
+		p.Sample = 100 * time.Millisecond
+	}
+
+	res := &FailoverResult{}
+	var mu sync.Mutex
+	c, err := BuildCluster(dir, Topology{
+		SHBs:        1,
+		Pubends:     PaperGroups,
+		ReadBufferQ: p.ReadBufferQ,
+		OnCaughtUp: func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration) {
+			mu.Lock()
+			res.CatchupDur = append(res.CatchupDur, took)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// Subscribers spread over "machines": each machine is a delivery
+	// counter shared by Subscribers/Machines clients (figure 8 top).
+	machines := make([]*metrics.Counter, p.Machines)
+	for i := range machines {
+		machines[i] = &metrics.Counter{}
+	}
+	var subs []*client.Subscriber
+	var consumeWG sync.WaitGroup
+	stopConsume := make(chan struct{})
+	for i := 0; i < p.Subscribers; i++ {
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID:          vtime.SubscriberID(i + 1),
+			Filter:      GroupFilter(i % PaperGroups),
+			AckInterval: 25 * time.Millisecond,
+			Buffer:      1 << 15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+		counter := machines[i%p.Machines]
+		consumeWG.Add(1)
+		go func(s *client.Subscriber) {
+			defer consumeWG.Done()
+			for {
+				select {
+				case d := <-s.Deliveries():
+					if d.Kind == message.DeliverEvent {
+						counter.Inc()
+					}
+				case <-stopConsume:
+					return
+				}
+			}
+		}(sub)
+	}
+	defer func() {
+		close(stopConsume)
+		consumeWG.Wait()
+		for _, s := range subs {
+			s.Disconnect() //nolint:errcheck,gosec // teardown
+		}
+	}()
+
+	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer load.Stop()
+
+	// Samplers.
+	start := time.Now()
+	ldSeries := metrics.NewSeries("latestDelivered_tickms")
+	relSeries := metrics.NewSeries("released_tickms")
+	var machineSamplers []*metrics.RateSampler
+	for i, m := range machines {
+		machineSamplers = append(machineSamplers,
+			metrics.NewRateSampler(fmt.Sprintf("machine%d_events_per_s", i+1), m, start))
+	}
+	sampleAll := func() {
+		now := time.Now()
+		t := now.Sub(start).Seconds()
+		shb := c.SHBBroker(0)
+		ldSeries.Append(t, float64(shb.LatestDelivered(1).TickMillis()))
+		relSeries.Append(t, float64(shb.Released(1).TickMillis()))
+		for _, ms := range machineSamplers {
+			ms.Sample(now)
+		}
+	}
+	sampleFor := func(d time.Duration) {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			time.Sleep(p.Sample)
+			sampleAll()
+		}
+	}
+
+	// Phase 1: normal running.
+	sampleFor(p.PreRun)
+	res.NormalLDRate = seriesSlope(ldSeries, p.PreRun.Seconds()/2)
+	var preTotal int64
+	for _, m := range machines {
+		preTotal += m.Load()
+	}
+	res.NormalRate = float64(preTotal) / time.Since(start).Seconds()
+
+	// Phase 2: crash the SHB. Client connections die with it.
+	c.CrashSHB(0)
+	crashAt := time.Now()
+	sampleFor(p.Down)
+
+	// Phase 3: restart, and delay subscriber reconnection until the
+	// constream has recovered to the head of the stream (the paper's
+	// deliberate delay separating constream nacking from catchup
+	// nacking).
+	if err := c.RestartSHB(0); err != nil {
+		return nil, err
+	}
+	recoverStart := time.Now()
+	ld0 := c.SHBBroker(0).LatestDelivered(1)
+	for {
+		time.Sleep(p.Sample / 2)
+		sampleAll()
+		shb := c.SHBBroker(0)
+		lag := c.PHB.Pubend(1).Emitted() - shb.LatestDelivered(1)
+		if lag < vtime.Timestamp(50*vtime.TicksPerMilli) {
+			break
+		}
+		if time.Since(recoverStart) > 30*time.Second {
+			return nil, fmt.Errorf("experiment: constream recovery stalled (lag %d)", lag)
+		}
+	}
+	// Figure 7's steep segment: tick-ms recovered per second of real
+	// time over exactly the restart→caught-up window.
+	ld1 := c.SHBBroker(0).LatestDelivered(1)
+	if elapsed := time.Since(recoverStart).Seconds(); elapsed > 0 {
+		res.RecoveryLDRate = float64(ld1.TickMillis()-ld0.TickMillis()) / elapsed
+	}
+	_ = crashAt
+
+	// Phase 4: reconnect every subscriber; all enter catchup at once.
+	catchupStart := time.Now()
+	for _, sub := range subs {
+		for attempt := 0; ; attempt++ {
+			if err := sub.Connect(c.Net, c.SHBAddr(0)); err == nil {
+				break
+			}
+			if attempt > 200 {
+				return nil, fmt.Errorf("experiment: reconnect failed")
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	var catchTotalBefore int64
+	for _, m := range machines {
+		catchTotalBefore += m.Load()
+	}
+	sampleFor(p.PostRun)
+	var catchTotalAfter int64
+	for _, m := range machines {
+		catchTotalAfter += m.Load()
+	}
+	res.CatchupRate = float64(catchTotalAfter-catchTotalBefore) / p.PostRun.Seconds()
+	_ = catchupStart
+
+	res.LDSeries = ldSeries
+	res.RelSeries = relSeries
+	for _, ms := range machineSamplers {
+		res.MachineRates = append(res.MachineRates, ms.Series())
+	}
+	st := c.SHBBroker(0).SHBStats()
+	res.NackTicksWanted = st.NackTicksWanted
+	res.NackTicksSent = st.NackTicksSent
+	res.CacheHits = st.CacheHits
+	res.CacheMisses = st.CacheMisses
+	for _, s := range subs {
+		_, _, gaps, v := s.Stats()
+		res.Gaps += gaps
+		res.Violations += v
+	}
+	if len(res.CatchupDur) > 0 {
+		h := metrics.NewHistogram()
+		for _, d := range res.CatchupDur {
+			h.Observe(d)
+		}
+		res.CatchupMean = h.Mean()
+	}
+	return res, nil
+}
+
+// seriesSlope estimates the average dV/dt over samples after tMin.
+func seriesSlope(s *metrics.Series, tMin float64) float64 {
+	return seriesSlopeSince(s, tMin)
+}
+
+func seriesSlopeSince(s *metrics.Series, tMin float64) float64 {
+	pts := s.Points()
+	var first, last *metrics.Point
+	for i := range pts {
+		if pts[i].T < tMin {
+			continue
+		}
+		if first == nil {
+			first = &pts[i]
+		}
+		last = &pts[i]
+	}
+	if first == nil || last == nil || last.T <= first.T {
+		return 0
+	}
+	return (last.V - first.V) / (last.T - first.T)
+}
+
+// EarlyReleaseResult backs the gap-notification behavior of section 3's
+// PHB-controlled policy.
+type EarlyReleaseResult struct {
+	Published     int64
+	GapsDelivered int64
+	EventsAfter   int64 // events delivered after the gap (live stream intact)
+	Violations    int64
+	PubendEvents  int // events still retained at the pubend
+}
+
+// RunEarlyRelease demonstrates administratively-bounded retention: a
+// misbehaving (long-disconnected) subscriber receives an explicit gap, and
+// the pubend's storage is reclaimed despite the outstanding subscription.
+func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, error) {
+	if retain == 0 {
+		retain = 100 * time.Millisecond
+	}
+	c, err := BuildCluster(dir, Topology{
+		SHBs:           1,
+		Pubends:        1,
+		Policy:         pubend.MaxRetain{Retain: vtime.Timestamp(retain / time.Microsecond)},
+		EventCacheSize: 8,
+		RelayCacheSize: 8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	live, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 1, Filter: GroupFilter(0), AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := live.Connect(c.Net, c.SHBAddr(0)); err != nil {
+		return nil, err
+	}
+	defer live.Disconnect() //nolint:errcheck
+	go func() {
+		for range live.Deliveries() { //nolint:revive // drain
+		}
+	}()
+
+	lagging, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 2, Filter: GroupFilter(0), AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := lagging.Connect(c.Net, c.SHBAddr(0)); err != nil {
+		return nil, err
+	}
+	if err := lagging.Disconnect(); err != nil {
+		return nil, err
+	}
+
+	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), 400, 1, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(2*retain + 200*time.Millisecond)
+	load.Stop()
+	published := load.Sent()
+	time.Sleep(100 * time.Millisecond)
+
+	if err := lagging.Connect(c.Net, c.SHBAddr(0)); err != nil {
+		return nil, err
+	}
+	defer lagging.Disconnect() //nolint:errcheck
+	res := &EarlyReleaseResult{Published: published}
+	deadline := time.After(10 * time.Second)
+	for res.GapsDelivered == 0 {
+		select {
+		case d := <-lagging.Deliveries():
+			switch d.Kind {
+			case message.DeliverGap:
+				res.GapsDelivered++
+			case message.DeliverEvent:
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("experiment: no gap observed")
+		}
+	}
+	// Live events still flow after the gap.
+	load2, err := StartPublisherLoad(c.Net, c.PHBAddr(), 200, 1, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	defer load2.Stop()
+	deadline = time.After(10 * time.Second)
+	for res.EventsAfter == 0 {
+		select {
+		case d := <-lagging.Deliveries():
+			if d.Kind == message.DeliverEvent {
+				res.EventsAfter++
+			}
+		case <-deadline:
+			return nil, fmt.Errorf("experiment: no live delivery after gap")
+		}
+	}
+	_, _, _, v := lagging.Stats()
+	res.Violations = v
+	res.PubendEvents = c.PHB.Pubend(1).EventCount()
+	return res, nil
+}

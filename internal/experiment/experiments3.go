@@ -1,0 +1,280 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/vtime"
+)
+
+// FilteringResult quantifies intermediate-broker filtering (section 1:
+// "filtering of events at intermediate nodes ... improves network
+// utilization"): the fraction of event transmissions on SHB links that the
+// intermediate broker downgraded to silence because nothing below the link
+// subscribed to them.
+type FilteringResult struct {
+	EventsForwarded int64
+	EventsFiltered  int64
+	SavedFraction   float64 // filtered / (filtered + forwarded)
+	Gaps            int64
+	Violations      int64
+}
+
+// RunFilteringAblation runs a PHB → intermediate → 2-SHB topology where
+// each SHB's subscribers want only one of the four groups; three quarters
+// of each link's event traffic should be filtered at the intermediate.
+func RunFilteringAblation(dir string, measure time.Duration) (*FilteringResult, error) {
+	if measure == 0 {
+		measure = time.Second
+	}
+	c, err := BuildCluster(dir, Topology{
+		SHBs:         2,
+		Intermediate: true,
+		Pubends:      PaperGroups,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// SHB 0 hosts group-0 subscribers; SHB 1 hosts group-1.
+	var subs []*client.Subscriber
+	for i := 0; i < 4; i++ {
+		shb := i % 2
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID:          vtime.SubscriberID(i + 1),
+			Filter:      GroupFilter(shb),
+			AckInterval: 25 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Connect(c.Net, c.SHBAddr(shb)); err != nil {
+			return nil, err
+		}
+		subs = append(subs, sub)
+		go func(s *client.Subscriber) {
+			for range s.Deliveries() { //nolint:revive // drain
+			}
+		}(sub)
+	}
+	defer func() {
+		for _, s := range subs {
+			s.Disconnect() //nolint:errcheck,gosec // teardown
+		}
+	}()
+
+	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
+	if err != nil {
+		return nil, err
+	}
+	time.Sleep(measure)
+	load.Stop()
+	time.Sleep(50 * time.Millisecond)
+
+	res := &FilteringResult{}
+	mid := c.Mids[len(c.Mids)-1]
+	res.EventsForwarded, res.EventsFiltered = mid.RelayStats()
+	if total := res.EventsForwarded + res.EventsFiltered; total > 0 {
+		res.SavedFraction = float64(res.EventsFiltered) / float64(total)
+	}
+	for _, s := range subs {
+		_, _, gaps, v := s.Stats()
+		res.Gaps += gaps
+		res.Violations += v
+	}
+	return res, nil
+}
+
+// TortureResult is the outcome of the randomized fault-injection run.
+type TortureResult struct {
+	Published    int64
+	Subscribers  int
+	Crashes      int
+	Churns       int
+	Gaps         int64
+	Violations   int64
+	AllDelivered bool
+}
+
+// TortureParams configures the randomized crash/churn run.
+type TortureParams struct {
+	Subscribers int           // 0 = 6
+	Duration    time.Duration // 0 = 3s of chaos
+	Seed        int64
+	Rate        int // events/s; 0 = 400
+}
+
+// RunTorture hammers a 2-broker system with randomized subscriber churn
+// and SHB crash/restarts while publishing continuously, then verifies the
+// full exactly-once contract: every subscriber received every event, in
+// order, no duplicates, no gaps.
+func RunTorture(dir string, p TortureParams) (*TortureResult, error) {
+	if p.Subscribers == 0 {
+		p.Subscribers = 6
+	}
+	if p.Duration == 0 {
+		p.Duration = 3 * time.Second
+	}
+	if p.Rate == 0 {
+		p.Rate = 400
+	}
+	c, err := BuildCluster(dir, Topology{SHBs: 1, Pubends: 2})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	res := &TortureResult{Subscribers: p.Subscribers}
+	rng := rand.New(rand.NewSource(p.Seed + 99))
+
+	// Subscribers count their deliveries; all subscribe to everything so
+	// the final count is exact.
+	type subState struct {
+		sub      *client.Subscriber
+		received atomic.Int64
+	}
+	var states []*subState
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < p.Subscribers; i++ {
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID:          vtime.SubscriberID(i + 1),
+			Filter:      `true`,
+			AckInterval: 15 * time.Millisecond,
+			Buffer:      1 << 15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+			return nil, err
+		}
+		st := &subState{sub: sub}
+		states = append(states, st)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case d := <-st.sub.Deliveries():
+					if d.Kind == message.DeliverEvent {
+						st.received.Add(1)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	// Publisher: continuous, never stops during chaos.
+	pubc, err := client.NewPublisher(c.Net, c.PHBAddr(), "torture")
+	if err != nil {
+		return nil, err
+	}
+	defer pubc.Close() //nolint:errcheck
+	var published atomic.Int64
+	pubStop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		ticker := time.NewTicker(time.Second / time.Duration(p.Rate))
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				seq := published.Add(1)
+				//nolint:errcheck,gosec // acks drained lazily
+				pubc.PublishAsync(message.Event{
+					Attrs:   filter.Attributes{"seq": filter.Int(seq)},
+					Payload: []byte("t"),
+				}, vtime.PubendID(seq%2+1))
+			case <-pubStop:
+				return
+			}
+		}
+	}()
+
+	// Chaos loop.
+	deadline := time.Now().Add(p.Duration)
+	for time.Now().Before(deadline) {
+		switch rng.Intn(6) {
+		case 0: // SHB crash + restart
+			c.CrashSHB(0)
+			time.Sleep(time.Duration(rng.Intn(100)+20) * time.Millisecond)
+			if err := c.RestartSHB(0); err != nil {
+				return nil, err
+			}
+			res.Crashes++
+			// Reconnect everyone (their links died with the SHB).
+			for _, st := range states {
+				reconnect(c, st.sub)
+			}
+		default: // random subscriber churn
+			st := states[rng.Intn(len(states))]
+			st.sub.Disconnect() //nolint:errcheck,gosec // chaos
+			time.Sleep(time.Duration(rng.Intn(60)+5) * time.Millisecond)
+			reconnect(c, st.sub)
+			res.Churns++
+		}
+		time.Sleep(time.Duration(rng.Intn(150)+50) * time.Millisecond)
+	}
+
+	// Quiesce: stop publishing, wait for full delivery everywhere.
+	close(pubStop)
+	<-pubDone
+	res.Published = published.Load()
+	drainDeadline := time.Now().Add(20 * time.Second)
+	for {
+		allDone := true
+		for _, st := range states {
+			if st.received.Load() < res.Published {
+				allDone = false
+				break
+			}
+		}
+		if allDone || time.Now().After(drainDeadline) {
+			res.AllDelivered = allDone
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	for _, st := range states {
+		events, _, gaps, violations := st.sub.Stats()
+		res.Gaps += gaps
+		res.Violations += violations
+		if events != res.Published {
+			res.AllDelivered = false
+		}
+		st.sub.Disconnect() //nolint:errcheck,gosec // teardown
+	}
+	if !res.AllDelivered {
+		var counts []int64
+		for _, st := range states {
+			ev, _, _, _ := st.sub.Stats()
+			counts = append(counts, ev)
+		}
+		return res, fmt.Errorf("experiment: torture lost events: published=%d received=%v",
+			res.Published, counts)
+	}
+	return res, nil
+}
+
+// reconnect retries until the (possibly restarting) SHB accepts.
+func reconnect(c *Cluster, sub *client.Subscriber) {
+	for attempt := 0; attempt < 400; attempt++ {
+		if err := sub.Connect(c.Net, c.SHBAddr(0)); err == nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// Paper workload constants (section 5.1): 800 events/s input distributed
+// equally over 4 pubends; subscriptions arranged so each subscriber
+// receives 200 events/s; 250-byte application payload (418 bytes with
+// headers).
+const (
+	PaperInputRate    = 800
+	PaperGroups       = 4
+	PaperPayloadBytes = 250
+)
+
+// PublisherLoad drives a constant-rate publisher: Rate events/s spread
+// round-robin over the pubends, each tagged with a group attribute
+// "group" = g<i mod Groups> so that a subscriber of one group receives
+// Rate/Groups events/s.
+type PublisherLoad struct {
+	Rate    int // events per second
+	Groups  int
+	Payload int
+
+	pub     *client.Publisher
+	stop    chan struct{}
+	done    chan struct{}
+	sent    metrics.Counter
+	dropped metrics.Counter
+}
+
+// StartPublisherLoad connects a publisher and begins publishing.
+func StartPublisherLoad(t overlay.Transport, addr string, rate, groups, payload int) (*PublisherLoad, error) {
+	if groups <= 0 {
+		groups = PaperGroups
+	}
+	if payload <= 0 {
+		payload = PaperPayloadBytes
+	}
+	pub, err := client.NewPublisher(t, addr, "load")
+	if err != nil {
+		return nil, err
+	}
+	l := &PublisherLoad{
+		Rate:    rate,
+		Groups:  groups,
+		Payload: payload,
+		pub:     pub,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go l.run()
+	return l, nil
+}
+
+func (l *PublisherLoad) run() {
+	defer close(l.done)
+	payload := make([]byte, l.Payload)
+	// Pace against wall time: on every tick, publish the deficit between
+	// the target count and what has been sent, so the average rate holds
+	// even when individual ticks are late or coalesced.
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	start := time.Now()
+	seq := 0
+	for {
+		select {
+		case <-ticker.C:
+			want := int(time.Since(start).Seconds() * float64(l.Rate))
+			for ; seq < want; seq++ {
+				l.publishOne(seq, payload)
+			}
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+func (l *PublisherLoad) publishOne(seq int, payload []byte) {
+	group := seq % l.Groups
+	attrs := message.Event{
+		Attrs: filter.Attributes{
+			"group": filter.String(groupName(group)),
+			"seq":   filter.Int(int64(seq)),
+		},
+		Payload: payload,
+	}
+	// Round-robin pubends explicitly so each pubend carries Rate/Pubends
+	// events/s as in the paper.
+	_, err := l.pub.PublishAsync(attrs, 0)
+	if err != nil {
+		l.dropped.Inc()
+		return
+	}
+	l.sent.Inc()
+}
+
+// Sent reports the number of events published.
+func (l *PublisherLoad) Sent() int64 { return l.sent.Load() }
+
+// Stop halts and disconnects the publisher.
+func (l *PublisherLoad) Stop() {
+	close(l.stop)
+	<-l.done
+	l.pub.Close() //nolint:errcheck,gosec // shutdown
+}
+
+func groupName(g int) string { return fmt.Sprintf("g%d", g) }
+
+// GroupFilter returns the subscription source for group g.
+func GroupFilter(g int) string { return `group = "` + groupName(g) + `"` }
+
+// SubscriberPool runs N durable subscribers against the SHBs of a cluster,
+// optionally cycling each through disconnect/reconnect periods, and counts
+// aggregate deliveries (the Y axis of figure 4).
+type SubscriberPool struct {
+	subs    []*client.Subscriber
+	shbOf   []int
+	cluster *Cluster
+
+	received metrics.Counter
+	gapsSeen metrics.Counter
+
+	wg     sync.WaitGroup
+	stopCh chan struct{}
+	closed atomic.Bool
+}
+
+// PoolOptions configures a subscriber pool.
+type PoolOptions struct {
+	// N subscribers, assigned round-robin to the cluster's SHBs and to
+	// subscription groups.
+	N int
+	// Groups to spread subscriptions over (0 = PaperGroups).
+	Groups int
+	// Disconnect enables the paper's moderate-churn regime: each
+	// subscriber independently disconnects every Period, stays down for
+	// Down, then reconnects (paper: 300s / 5s; scale to taste).
+	Disconnect bool
+	Period     time.Duration
+	Down       time.Duration
+	// AckInterval for the clients (0 = 25ms, a scaled 250ms).
+	AckInterval time.Duration
+	// Seed randomizes disconnect phases deterministically.
+	Seed int64
+	// FirstID numbers subscribers starting here (default 1).
+	FirstID int
+}
+
+// StartSubscriberPool connects the pool.
+func StartSubscriberPool(c *Cluster, opts PoolOptions) (*SubscriberPool, error) {
+	if opts.Groups <= 0 {
+		opts.Groups = PaperGroups
+	}
+	if opts.AckInterval == 0 {
+		opts.AckInterval = 25 * time.Millisecond
+	}
+	if opts.FirstID == 0 {
+		opts.FirstID = 1
+	}
+	nSHB := c.topo.SHBs
+	if nSHB == 0 {
+		nSHB = 1
+	}
+	p := &SubscriberPool{cluster: c, stopCh: make(chan struct{})}
+	for i := 0; i < opts.N; i++ {
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID:          vtime.SubscriberID(opts.FirstID + i),
+			Filter:      GroupFilter(i % opts.Groups),
+			AckInterval: opts.AckInterval,
+			Buffer:      1 << 15,
+		})
+		if err != nil {
+			p.Stop()
+			return nil, err
+		}
+		shb := i % nSHB
+		if err := sub.Connect(c.Net, c.SHBAddr(shb)); err != nil {
+			p.Stop()
+			return nil, err
+		}
+		p.subs = append(p.subs, sub)
+		p.shbOf = append(p.shbOf, shb)
+		p.wg.Add(1)
+		go p.consume(sub)
+	}
+	if opts.Disconnect {
+		rng := rand.New(rand.NewSource(opts.Seed + 1))
+		for i, sub := range p.subs {
+			phase := time.Duration(rng.Int63n(int64(opts.Period)))
+			p.wg.Add(1)
+			go p.churn(sub, p.shbOf[i], phase, opts.Period, opts.Down)
+		}
+	}
+	return p, nil
+}
+
+// consume drains a subscriber's deliveries, counting events and gaps.
+func (p *SubscriberPool) consume(sub *client.Subscriber) {
+	defer p.wg.Done()
+	for {
+		select {
+		case d := <-sub.Deliveries():
+			switch d.Kind {
+			case message.DeliverEvent:
+				p.received.Inc()
+			case message.DeliverGap:
+				p.gapsSeen.Inc()
+			}
+		case <-p.stopCh:
+			return
+		}
+	}
+}
+
+// churn cycles one subscriber through disconnect/reconnect.
+func (p *SubscriberPool) churn(sub *client.Subscriber, shb int, phase, period, down time.Duration) {
+	defer p.wg.Done()
+	if !sleepOr(p.stopCh, phase) {
+		return
+	}
+	for {
+		if !sleepOr(p.stopCh, period-down) {
+			return
+		}
+		sub.Disconnect() //nolint:errcheck,gosec // churn
+		if !sleepOr(p.stopCh, down) {
+			return
+		}
+		// Reconnect, retrying briefly (the SHB may be restarting).
+		for attempt := 0; attempt < 100; attempt++ {
+			if err := sub.Connect(p.cluster.Net, p.cluster.SHBAddr(shb)); err == nil {
+				break
+			}
+			if !sleepOr(p.stopCh, 10*time.Millisecond) {
+				return
+			}
+		}
+	}
+}
+
+// sleepOr sleeps d, returning false if stop closed first.
+func sleepOr(stop chan struct{}, d time.Duration) bool {
+	select {
+	case <-time.After(d):
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// Received reports aggregate event deliveries across the pool.
+func (p *SubscriberPool) Received() int64 { return p.received.Load() }
+
+// Gaps reports aggregate gap messages received.
+func (p *SubscriberPool) Gaps() int64 { return p.gapsSeen.Load() }
+
+// Violations sums ordering violations across the pool (must be 0).
+func (p *SubscriberPool) Violations() int64 {
+	var n int64
+	for _, sub := range p.subs {
+		_, _, _, v := sub.Stats()
+		n += v
+	}
+	return n
+}
+
+// ReceivedCounter exposes the aggregate counter for rate sampling.
+func (p *SubscriberPool) ReceivedCounter() *metrics.Counter { return &p.received }
+
+// Subscribers returns the pool's clients.
+func (p *SubscriberPool) Subscribers() []*client.Subscriber { return p.subs }
+
+// Stop disconnects everything.
+func (p *SubscriberPool) Stop() {
+	if p.closed.Swap(true) {
+		return
+	}
+	close(p.stopCh)
+	p.wg.Wait()
+	for _, sub := range p.subs {
+		sub.Disconnect() //nolint:errcheck,gosec // shutdown
+	}
+}

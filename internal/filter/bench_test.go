@@ -1,0 +1,41 @@
+package filter
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// BenchmarkMatcherMatch measures matching one event against many indexed
+// subscriptions (the per-event cost at the constream).
+func BenchmarkMatcherMatch(b *testing.B) {
+	for _, n := range []int{10, 100, 1000} {
+		b.Run(strconv.Itoa(n)+"subs", func(b *testing.B) {
+			m := NewMatcher()
+			for i := 0; i < n; i++ {
+				m.Add(vtime.SubscriberID(i),
+					MustParse(`group = "g`+strconv.Itoa(i%4)+`" and price > `+strconv.Itoa(i%50)))
+			}
+			ev := Attributes{"group": String("g1"), "price": Int(30)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := m.Match(ev); len(got) == 0 {
+					b.Fatal("no matches")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParse measures subscription compilation.
+func BenchmarkParse(b *testing.B) {
+	src := `group = "g1" and price > 10.5 and prefix(symbol, "AC") and exists(account)`
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

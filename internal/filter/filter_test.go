@@ -1,0 +1,336 @@
+package filter
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestValueAccessors(t *testing.T) {
+	if v := String("x"); v.Kind() != KindString || v.Str() != "x" {
+		t.Error("String value broken")
+	}
+	if v := Int(42); v.Kind() != KindInt || v.IntVal() != 42 {
+		t.Error("Int value broken")
+	}
+	if v := Float(2.5); v.Kind() != KindFloat || v.FloatVal() != 2.5 {
+		t.Error("Float value broken")
+	}
+	if v := Bool(true); v.Kind() != KindBool || !v.BoolVal() {
+		t.Error("Bool value broken")
+	}
+	if Bool(false).BoolVal() {
+		t.Error("Bool(false) reports true")
+	}
+	var zero Value
+	if zero.Valid() {
+		t.Error("zero Value reports valid")
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	tests := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("a"), String("a"), true},
+		{String("a"), String("b"), false},
+		{Int(3), Int(3), true},
+		{Int(3), Float(3.0), true},
+		{Float(3.5), Int(3), false},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Int(1), false},
+		{String("1"), Int(1), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Equal(tt.b); got != tt.want {
+			t.Errorf("%v.Equal(%v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Equal(tt.a); got != tt.want {
+			t.Errorf("Equal not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	if cmp, ok := Int(1).Compare(Float(2)); !ok || cmp != -1 {
+		t.Errorf("Int/Float compare = %d/%v", cmp, ok)
+	}
+	if cmp, ok := String("b").Compare(String("a")); !ok || cmp != 1 {
+		t.Errorf("string compare = %d/%v", cmp, ok)
+	}
+	if cmp, ok := String("a").Compare(String("a")); !ok || cmp != 0 {
+		t.Errorf("string self-compare = %d/%v", cmp, ok)
+	}
+	if _, ok := Bool(true).Compare(Bool(false)); ok {
+		t.Error("bools should not be comparable")
+	}
+	if _, ok := String("1").Compare(Int(1)); ok {
+		t.Error("string/int should not be comparable")
+	}
+}
+
+func TestValueKeyConsistentWithEqual(t *testing.T) {
+	// Equal values must share a key (so index probes find them).
+	if Int(3).Key() != Float(3).Key() {
+		t.Error("Int(3) and Float(3.0) keys differ but values are Equal")
+	}
+	if String("3").Key() == Int(3).Key() {
+		t.Error("string and numeric 3 share a key but are not Equal")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	attrs := Attributes{
+		"topic": String("trades.NYSE"),
+		"price": Float(10.5),
+		"qty":   Int(100),
+		"hot":   Bool(true),
+	}
+	tests := []struct {
+		pred Predicate
+		want bool
+	}{
+		{Predicate{"topic", OpEq, String("trades.NYSE")}, true},
+		{Predicate{"topic", OpNe, String("trades.LSE")}, true},
+		{Predicate{"price", OpGt, Int(10)}, true},
+		{Predicate{"price", OpGe, Float(10.5)}, true},
+		{Predicate{"price", OpLt, Int(10)}, false},
+		{Predicate{"qty", OpLe, Int(100)}, true},
+		{Predicate{"topic", OpPrefix, String("trades.")}, true},
+		{Predicate{"topic", OpPrefix, String("quotes.")}, false},
+		{Predicate{"hot", OpEq, Bool(true)}, true},
+		{Predicate{"hot", OpExists, Value{}}, true},
+		{Predicate{"missing", OpExists, Value{}}, false},
+		{Predicate{"missing", OpNe, String("x")}, false}, // absence fails even !=
+		{Predicate{"topic", OpGt, Int(5)}, false},        // incomparable
+		{Predicate{"qty", OpPrefix, String("1")}, false}, // prefix on non-string
+	}
+	for _, tt := range tests {
+		if got := tt.pred.Eval(attrs); got != tt.want {
+			t.Errorf("%v over attrs = %v, want %v", tt.pred, got, tt.want)
+		}
+	}
+}
+
+func TestSubscriptionMatches(t *testing.T) {
+	sub := NewSubscription(
+		Predicate{"topic", OpEq, String("t1")},
+		Predicate{"price", OpGt, Int(5)},
+	)
+	if !sub.Matches(Attributes{"topic": String("t1"), "price": Int(6)}) {
+		t.Error("conjunction should match")
+	}
+	if sub.Matches(Attributes{"topic": String("t1"), "price": Int(5)}) {
+		t.Error("failed predicate should reject")
+	}
+	if !MatchAll().Matches(Attributes{}) {
+		t.Error("MatchAll should match empty attrs")
+	}
+	if got := len(sub.Predicates()); got != 2 {
+		t.Errorf("Predicates() = %d entries", got)
+	}
+}
+
+func TestParseBasics(t *testing.T) {
+	tests := []struct {
+		src   string
+		attrs Attributes
+		want  bool
+	}{
+		{`true`, Attributes{}, true},
+		{`topic = "a"`, Attributes{"topic": String("a")}, true},
+		{`topic = 'a'`, Attributes{"topic": String("a")}, true},
+		{`topic == "a"`, Attributes{"topic": String("b")}, false},
+		{`price > 10`, Attributes{"price": Int(11)}, true},
+		{`price >= 10.5`, Attributes{"price": Float(10.5)}, true},
+		{`price < -2`, Attributes{"price": Int(-3)}, true},
+		{`qty != 5`, Attributes{"qty": Int(6)}, true},
+		{`hot = true`, Attributes{"hot": Bool(true)}, true},
+		{`hot = false`, Attributes{"hot": Bool(true)}, false},
+		{`prefix(topic, "tr.")`, Attributes{"topic": String("tr.x")}, true},
+		{`exists(acct)`, Attributes{"acct": Int(1)}, true},
+		{`exists(acct)`, Attributes{}, false},
+		{
+			`topic = "a" and price > 1 AND qty <= 10`,
+			Attributes{"topic": String("a"), "price": Int(2), "qty": Int(10)},
+			true,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.src, func(t *testing.T) {
+			sub, err := Parse(tt.src)
+			if err != nil {
+				t.Fatalf("Parse: %v", err)
+			}
+			if got := sub.Matches(tt.attrs); got != tt.want {
+				t.Errorf("Matches = %v, want %v (sub %s)", got, tt.want, sub)
+			}
+		})
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`topic`,
+		`topic =`,
+		`topic = "unterminated`,
+		`topic ! "x"`,
+		`topic = "a" or price > 1`,
+		`prefix(topic "x")`,
+		`prefix(topic, 5)`,
+		`exists()`,
+		`topic = @`,
+		`price > abc`,
+		`topic = "a" and`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestParseRoundTripThroughString(t *testing.T) {
+	srcs := []string{
+		`topic = "a" and price > 10.5 and exists(acct)`,
+		`prefix(topic, "trades.") and qty <= 100`,
+		`true`,
+	}
+	for _, src := range srcs {
+		sub := MustParse(src)
+		again, err := Parse(sub.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", sub.String(), src, err)
+		}
+		if again.String() != sub.String() {
+			t.Errorf("round trip changed subscription: %q -> %q", sub.String(), again.String())
+		}
+	}
+}
+
+func TestMatcherBasics(t *testing.T) {
+	m := NewMatcher()
+	m.Add(1, MustParse(`topic = "a"`))
+	m.Add(2, MustParse(`topic = "b"`))
+	m.Add(3, MustParse(`price > 10`)) // no equality: linear list
+	m.Add(4, MustParse(`topic = "a" and price > 10`))
+
+	ev := Attributes{"topic": String("a"), "price": Int(20)}
+	got := m.Match(ev)
+	want := []vtime.SubscriberID{1, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Match = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Match = %v, want %v", got, want)
+		}
+	}
+	if !m.MatchesAny(ev) {
+		t.Error("MatchesAny = false")
+	}
+	if m.MatchesAny(Attributes{"topic": String("zzz"), "price": Int(1)}) {
+		t.Error("MatchesAny matched nothing-subscribed event")
+	}
+	if m.Len() != 4 {
+		t.Errorf("Len = %d", m.Len())
+	}
+	ids := m.IDs()
+	if len(ids) != 4 || ids[0] != 1 || ids[3] != 4 {
+		t.Errorf("IDs = %v", ids)
+	}
+}
+
+func TestMatcherRemoveAndReplace(t *testing.T) {
+	m := NewMatcher()
+	m.Add(1, MustParse(`topic = "a"`))
+	m.Add(2, MustParse(`price > 0`))
+	m.Remove(1)
+	m.Remove(99) // unknown: no-op
+	if got := m.Match(Attributes{"topic": String("a"), "price": Int(1)}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Match after remove = %v", got)
+	}
+	// Replace 2 with an equality subscription.
+	m.Add(2, MustParse(`topic = "b"`))
+	if got := m.Match(Attributes{"topic": String("a"), "price": Int(1)}); len(got) != 0 {
+		t.Errorf("Match after replace = %v", got)
+	}
+	if got := m.Match(Attributes{"topic": String("b")}); len(got) != 1 || got[0] != 2 {
+		t.Errorf("Match of replacement = %v", got)
+	}
+	m.Remove(2)
+	if m.Len() != 0 {
+		t.Errorf("Len after removing all = %d", m.Len())
+	}
+	if _, ok := m.Get(2); ok {
+		t.Error("Get after remove found subscription")
+	}
+}
+
+// Property: Matcher.Match returns exactly the set a brute-force scan does.
+func TestMatcherAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	topics := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 100; trial++ {
+		m := NewMatcher()
+		subs := make(map[vtime.SubscriberID]*Subscription)
+		n := rng.Intn(30) + 1
+		for i := 0; i < n; i++ {
+			id := vtime.SubscriberID(i)
+			var sub *Subscription
+			switch rng.Intn(3) {
+			case 0:
+				sub = MustParse(`topic = "` + topics[rng.Intn(len(topics))] + `"`)
+			case 1:
+				sub = MustParse(`price > ` + strconv.Itoa(rng.Intn(50)))
+			default:
+				sub = MustParse(`topic = "` + topics[rng.Intn(len(topics))] +
+					`" and price <= ` + strconv.Itoa(rng.Intn(50)))
+			}
+			m.Add(id, sub)
+			subs[id] = sub
+		}
+		for probe := 0; probe < 20; probe++ {
+			ev := Attributes{
+				"topic": String(topics[rng.Intn(len(topics))]),
+				"price": Int(int64(rng.Intn(60))),
+			}
+			got := m.Match(ev)
+			gotSet := make(map[vtime.SubscriberID]bool, len(got))
+			for _, id := range got {
+				gotSet[id] = true
+			}
+			for id, sub := range subs {
+				if want := sub.Matches(ev); want != gotSet[id] {
+					t.Fatalf("trial %d: sub %d (%s) over %v: matcher=%v brute=%v",
+						trial, id, sub, ev, gotSet[id], want)
+				}
+			}
+		}
+	}
+}
+
+// Property: parser never panics on arbitrary input.
+func TestParseNeverPanicsQuick(t *testing.T) {
+	f := func(src string) bool {
+		_, _ = Parse(src) //nolint:errcheck // only checking for panics
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAttributesClone(t *testing.T) {
+	a := Attributes{"x": Int(1)}
+	b := a.Clone()
+	b["x"] = Int(2)
+	if a["x"].IntVal() != 1 {
+		t.Error("Clone aliased the original map")
+	}
+}

@@ -1,0 +1,171 @@
+package filter
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Matcher indexes many subscriptions and answers "which subscriptions match
+// this event" queries. It is the per-broker matching engine: SHBs run one
+// per hosted subscriber set, intermediate brokers run one per downstream
+// link for D→S filtering.
+//
+// Indexing strategy: each subscription that has at least one equality
+// predicate is indexed under its first equality predicate (attribute,
+// value-key). Subscriptions without an equality predicate go on a linear
+// scan list. Matching an event probes the index once per event attribute
+// and then verifies full predicates, so cost is proportional to the number
+// of candidate subscriptions rather than all subscriptions — the property
+// the Gryphon matching engine provides.
+//
+// Matcher is safe for concurrent use.
+type Matcher struct {
+	mu     sync.RWMutex
+	byKey  map[indexKey][]vtime.SubscriberID
+	linear []vtime.SubscriberID
+	subs   map[vtime.SubscriberID]*Subscription
+}
+
+type indexKey struct {
+	attr string
+	val  string
+}
+
+// NewMatcher returns an empty matcher.
+func NewMatcher() *Matcher {
+	return &Matcher{
+		byKey: make(map[indexKey][]vtime.SubscriberID),
+		subs:  make(map[vtime.SubscriberID]*Subscription),
+	}
+}
+
+// Add registers (or replaces) the subscription for id.
+func (m *Matcher) Add(id vtime.SubscriberID, sub *Subscription) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.subs[id]; exists {
+		m.removeLocked(id)
+	}
+	m.subs[id] = sub
+	if key, ok := equalityKey(sub); ok {
+		m.byKey[key] = append(m.byKey[key], id)
+		return
+	}
+	m.linear = append(m.linear, id)
+}
+
+// Remove unregisters the subscription for id. Removing an unknown id is a
+// no-op.
+func (m *Matcher) Remove(id vtime.SubscriberID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.removeLocked(id)
+}
+
+func (m *Matcher) removeLocked(id vtime.SubscriberID) {
+	sub, ok := m.subs[id]
+	if !ok {
+		return
+	}
+	delete(m.subs, id)
+	if key, hasKey := equalityKey(sub); hasKey {
+		m.byKey[key] = removeID(m.byKey[key], id)
+		if len(m.byKey[key]) == 0 {
+			delete(m.byKey, key)
+		}
+		return
+	}
+	m.linear = removeID(m.linear, id)
+}
+
+func removeID(ids []vtime.SubscriberID, id vtime.SubscriberID) []vtime.SubscriberID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// equalityKey returns the index key for the subscription's first equality
+// predicate, if any.
+func equalityKey(sub *Subscription) (indexKey, bool) {
+	for _, p := range sub.preds {
+		if p.Op == OpEq {
+			return indexKey{attr: p.Attr, val: p.Val.Key()}, true
+		}
+	}
+	return indexKey{}, false
+}
+
+// Len reports the number of registered subscriptions.
+func (m *Matcher) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.subs)
+}
+
+// Get returns the subscription registered under id, if any.
+func (m *Matcher) Get(id vtime.SubscriberID) (*Subscription, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	sub, ok := m.subs[id]
+	return sub, ok
+}
+
+// IDs returns all registered subscriber IDs, sorted.
+func (m *Matcher) IDs() []vtime.SubscriberID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]vtime.SubscriberID, 0, len(m.subs))
+	for id := range m.subs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Match returns the IDs of all subscriptions matching attrs, sorted
+// ascending (a deterministic order keeps PFS records and tests stable).
+func (m *Matcher) Match(attrs Attributes) []vtime.SubscriberID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var out []vtime.SubscriberID
+	for attr, val := range attrs {
+		for _, id := range m.byKey[indexKey{attr: attr, val: val.Key()}] {
+			if m.subs[id].Matches(attrs) {
+				out = append(out, id)
+			}
+		}
+	}
+	for _, id := range m.linear {
+		if m.subs[id].Matches(attrs) {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// MatchesAny reports whether at least one registered subscription matches;
+// intermediate brokers use it to decide whether to forward an event as D or
+// downgrade it to S for a link.
+func (m *Matcher) MatchesAny(attrs Attributes) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for attr, val := range attrs {
+		for _, id := range m.byKey[indexKey{attr: attr, val: val.Key()}] {
+			if m.subs[id].Matches(attrs) {
+				return true
+			}
+		}
+	}
+	for _, id := range m.linear {
+		if m.subs[id].Matches(attrs) {
+			return true
+		}
+	}
+	return false
+}

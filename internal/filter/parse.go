@@ -1,0 +1,287 @@
+package filter
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse compiles subscription source text into a Subscription.
+//
+// Grammar (case-insensitive keywords):
+//
+//	subscription := "true" | clause { "and" clause }
+//	clause       := attr op literal
+//	              | "prefix" "(" attr "," string ")"
+//	              | "exists" "(" attr ")"
+//	op           := "=" | "==" | "!=" | "<" | "<=" | ">" | ">="
+//	literal      := string | number | "true" | "false"
+//	attr         := identifier (letters, digits, '_', '.')
+//
+// Examples:
+//
+//	topic = "trades.NYSE" and price > 10.5
+//	prefix(topic, "trades.") and exists(accountId)
+func Parse(src string) (*Subscription, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	sub, err := p.parse()
+	if err != nil {
+		return nil, fmt.Errorf("parse %q: %w", src, err)
+	}
+	return sub, nil
+}
+
+// MustParse is Parse that panics on error; for tests and static
+// subscription tables.
+func MustParse(src string) *Subscription {
+	sub, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
+
+type tokKind uint8
+
+const (
+	tokIdent tokKind = iota + 1
+	tokString
+	tokNumber
+	tokOp // = == != < <= > >=
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "("})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")"})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ","})
+			i++
+		case c == '=' || c == '!' || c == '<' || c == '>':
+			op := string(c)
+			if i+1 < len(src) && src[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("lex: stray '!' at offset %d", i)
+			}
+			toks = append(toks, token{tokOp, op})
+			i++
+		case c == '"' || c == '\'':
+			quote := c
+			j := i + 1
+			var sb strings.Builder
+			for j < len(src) && src[j] != quote {
+				if src[j] == '\\' && j+1 < len(src) {
+					j++
+				}
+				sb.WriteByte(src[j])
+				j++
+			}
+			if j >= len(src) {
+				return nil, fmt.Errorf("lex: unterminated string at offset %d", i)
+			}
+			toks = append(toks, token{tokString, sb.String()})
+			i = j + 1
+		case c >= '0' && c <= '9' || c == '-' || c == '+':
+			j := i + 1
+			for j < len(src) && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' ||
+				src[j] == 'e' || src[j] == 'E' || src[j] == '-' || src[j] == '+') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j]})
+			i = j
+		case unicode.IsLetter(rune(c)) || c == '_':
+			j := i + 1
+			for j < len(src) && (unicode.IsLetter(rune(src[j])) ||
+				unicode.IsDigit(rune(src[j])) || src[j] == '_' || src[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("lex: unexpected character %q at offset %d", c, i)
+		}
+	}
+	return toks, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() (token, bool) {
+	if p.pos >= len(p.toks) {
+		return token{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+func (p *parser) next() (token, bool) {
+	t, ok := p.peek()
+	if ok {
+		p.pos++
+	}
+	return t, ok
+}
+
+func (p *parser) expect(kind tokKind, what string) (token, error) {
+	t, ok := p.next()
+	if !ok {
+		return token{}, fmt.Errorf("expected %s, got end of input", what)
+	}
+	if t.kind != kind {
+		return token{}, fmt.Errorf("expected %s, got %q", what, t.text)
+	}
+	return t, nil
+}
+
+func (p *parser) parse() (*Subscription, error) {
+	if t, ok := p.peek(); ok && t.kind == tokIdent && strings.EqualFold(t.text, "true") {
+		// Bare "true" matches everything (only if nothing follows).
+		if p.pos+1 == len(p.toks) {
+			return MatchAll(), nil
+		}
+	}
+	var preds []Predicate
+	for {
+		pred, err := p.parseClause()
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, pred)
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		if t.kind != tokIdent || !strings.EqualFold(t.text, "and") {
+			return nil, fmt.Errorf("expected 'and', got %q", t.text)
+		}
+		p.pos++
+	}
+	return NewSubscription(preds...), nil
+}
+
+func (p *parser) parseClause() (Predicate, error) {
+	ident, err := p.expect(tokIdent, "attribute or function")
+	if err != nil {
+		return Predicate{}, err
+	}
+	switch strings.ToLower(ident.text) {
+	case "prefix":
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return Predicate{}, err
+		}
+		attr, err := p.expect(tokIdent, "attribute")
+		if err != nil {
+			return Predicate{}, err
+		}
+		if _, err := p.expect(tokComma, "','"); err != nil {
+			return Predicate{}, err
+		}
+		str, err := p.expect(tokString, "string literal")
+		if err != nil {
+			return Predicate{}, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Attr: attr.text, Op: OpPrefix, Val: String(str.text)}, nil
+	case "exists":
+		if _, err := p.expect(tokLParen, "'('"); err != nil {
+			return Predicate{}, err
+		}
+		attr, err := p.expect(tokIdent, "attribute")
+		if err != nil {
+			return Predicate{}, err
+		}
+		if _, err := p.expect(tokRParen, "')'"); err != nil {
+			return Predicate{}, err
+		}
+		return Predicate{Attr: attr.text, Op: OpExists}, nil
+	}
+	opTok, err := p.expect(tokOp, "comparison operator")
+	if err != nil {
+		return Predicate{}, err
+	}
+	var op Op
+	switch opTok.text {
+	case "=", "==":
+		op = OpEq
+	case "!=":
+		op = OpNe
+	case "<":
+		op = OpLt
+	case "<=":
+		op = OpLe
+	case ">":
+		op = OpGt
+	case ">=":
+		op = OpGe
+	default:
+		return Predicate{}, fmt.Errorf("unknown operator %q", opTok.text)
+	}
+	val, err := p.parseLiteral()
+	if err != nil {
+		return Predicate{}, err
+	}
+	return Predicate{Attr: ident.text, Op: op, Val: val}, nil
+}
+
+func (p *parser) parseLiteral() (Value, error) {
+	t, ok := p.next()
+	if !ok {
+		return Value{}, fmt.Errorf("expected literal, got end of input")
+	}
+	switch t.kind {
+	case tokString:
+		return String(t.text), nil
+	case tokNumber:
+		if !strings.ContainsAny(t.text, ".eE") {
+			i, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return Int(i), nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("bad number %q: %w", t.text, err)
+		}
+		return Float(f), nil
+	case tokIdent:
+		switch strings.ToLower(t.text) {
+		case "true":
+			return Bool(true), nil
+		case "false":
+			return Bool(false), nil
+		}
+		return Value{}, fmt.Errorf("expected literal, got identifier %q", t.text)
+	default:
+		return Value{}, fmt.Errorf("expected literal, got %q", t.text)
+	}
+}

@@ -1,0 +1,148 @@
+package filter
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op is a predicate operator.
+type Op uint8
+
+// Predicate operators.
+const (
+	OpEq     Op = iota + 1 // =
+	OpNe                   // !=
+	OpLt                   // <
+	OpLe                   // <=
+	OpGt                   // >
+	OpGe                   // >=
+	OpPrefix               // string prefix match
+	OpExists               // attribute present (any value)
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpPrefix:
+		return "prefix"
+	case OpExists:
+		return "exists"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Predicate is one attribute test. For OpExists the Val field is unused.
+type Predicate struct {
+	Attr string
+	Op   Op
+	Val  Value
+}
+
+// Eval reports whether the predicate holds over the given attributes.
+// A missing attribute fails every predicate except a negated one does NOT
+// succeed either: absence means "no information", so only OpExists can
+// observe it (and fails).
+func (p Predicate) Eval(attrs Attributes) bool {
+	v, ok := attrs[p.Attr]
+	if !ok {
+		return false
+	}
+	switch p.Op {
+	case OpExists:
+		return true
+	case OpEq:
+		return v.Equal(p.Val)
+	case OpNe:
+		return !v.Equal(p.Val)
+	case OpPrefix:
+		return v.Kind() == KindString && p.Val.Kind() == KindString &&
+			strings.HasPrefix(v.Str(), p.Val.Str())
+	}
+	cmp, comparable := v.Compare(p.Val)
+	if !comparable {
+		return false
+	}
+	switch p.Op {
+	case OpLt:
+		return cmp < 0
+	case OpLe:
+		return cmp <= 0
+	case OpGt:
+		return cmp > 0
+	case OpGe:
+		return cmp >= 0
+	default:
+		return false
+	}
+}
+
+// String renders the predicate in subscription source syntax.
+func (p Predicate) String() string {
+	switch p.Op {
+	case OpExists:
+		return fmt.Sprintf("exists(%s)", p.Attr)
+	case OpPrefix:
+		return fmt.Sprintf("prefix(%s, %s)", p.Attr, p.Val)
+	default:
+		return fmt.Sprintf("%s %s %s", p.Attr, p.Op, p.Val)
+	}
+}
+
+// Subscription is a conjunction of predicates. The empty subscription
+// (no predicates) matches every event.
+type Subscription struct {
+	preds []Predicate
+}
+
+// NewSubscription builds a subscription from predicates. The slice is
+// copied.
+func NewSubscription(preds ...Predicate) *Subscription {
+	cp := make([]Predicate, len(preds))
+	copy(cp, preds)
+	return &Subscription{preds: cp}
+}
+
+// MatchAll returns the subscription that matches every event.
+func MatchAll() *Subscription { return &Subscription{} }
+
+// Predicates returns a copy of the predicate list.
+func (s *Subscription) Predicates() []Predicate {
+	out := make([]Predicate, len(s.preds))
+	copy(out, s.preds)
+	return out
+}
+
+// Matches reports whether every predicate holds over attrs.
+func (s *Subscription) Matches(attrs Attributes) bool {
+	for _, p := range s.preds {
+		if !p.Eval(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the subscription in source syntax.
+func (s *Subscription) String() string {
+	if len(s.preds) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(s.preds))
+	for i, p := range s.preds {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " and ")
+}

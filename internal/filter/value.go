@@ -1,0 +1,194 @@
+// Package filter implements the content-based subscription language and
+// matching engine the pub/sub substrate is built on (the paper builds on
+// the Gryphon matching work of Aguilera et al.; this is an independent
+// implementation with the same role).
+//
+// Events carry typed attributes; a subscription is a conjunction of
+// predicates over those attributes. The Matcher indexes many subscriptions
+// and, given an event, returns the IDs of all matching subscriptions.
+package filter
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// ValueKind discriminates the dynamic type of a Value.
+type ValueKind uint8
+
+// Supported attribute types.
+const (
+	KindString ValueKind = iota + 1
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String implements fmt.Stringer.
+func (k ValueKind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("ValueKind(%d)", uint8(k))
+	}
+}
+
+// Value is a typed attribute value. The zero Value is invalid.
+type Value struct {
+	kind ValueKind
+	str  string
+	num  int64 // int value, or bool as 0/1
+	f    float64
+}
+
+// String returns a Value holding a string.
+func String(s string) Value { return Value{kind: KindString, str: s} }
+
+// Int returns a Value holding an int64.
+func Int(i int64) Value { return Value{kind: KindInt, num: i} }
+
+// Float returns a Value holding a float64.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a Value holding a bool.
+func Bool(b bool) Value {
+	v := Value{kind: KindBool}
+	if b {
+		v.num = 1
+	}
+	return v
+}
+
+// Kind reports the value's dynamic type. Zero for the invalid zero Value.
+func (v Value) Kind() ValueKind { return v.kind }
+
+// Valid reports whether the value holds one of the supported types.
+func (v Value) Valid() bool { return v.kind >= KindString && v.kind <= KindBool }
+
+// Str returns the string payload (empty unless KindString).
+func (v Value) Str() string { return v.str }
+
+// IntVal returns the integer payload (zero unless KindInt).
+func (v Value) IntVal() int64 { return v.num }
+
+// FloatVal returns the float payload (zero unless KindFloat).
+func (v Value) FloatVal() float64 { return v.f }
+
+// BoolVal returns the bool payload (false unless KindBool).
+func (v Value) BoolVal() bool { return v.kind == KindBool && v.num == 1 }
+
+// Equal reports whether two values are the same type and payload, with
+// int/float compared numerically across kinds.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindString:
+			return v.str == o.str
+		case KindInt, KindBool:
+			return v.num == o.num
+		case KindFloat:
+			return v.f == o.f
+		}
+		return false
+	}
+	// Numeric cross-kind comparison.
+	if v.isNumeric() && o.isNumeric() {
+		return v.asFloat() == o.asFloat()
+	}
+	return false
+}
+
+// Compare returns -1, 0, or +1 ordering v against o, and ok=false when the
+// two values are not comparable (different non-numeric kinds, or bools).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.kind == KindString && o.kind == KindString {
+		switch {
+		case v.str < o.str:
+			return -1, true
+		case v.str > o.str:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		a, b := v.asFloat(), o.asFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	return 0, false
+}
+
+func (v Value) isNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+func (v Value) asFloat() float64 {
+	if v.kind == KindFloat {
+		return v.f
+	}
+	return float64(v.num)
+}
+
+// Key returns a string usable as an equality-index key: equal values (per
+// Equal) of the same kind family map to the same key.
+func (v Value) Key() string {
+	switch v.kind {
+	case KindString:
+		return "s:" + v.str
+	case KindInt:
+		return "n:" + strconv.FormatFloat(float64(v.num), 'g', -1, 64)
+	case KindFloat:
+		return "n:" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.num == 1 {
+			return "b:1"
+		}
+		return "b:0"
+	default:
+		return "?"
+	}
+}
+
+// String implements fmt.Stringer, rendering the value as it would appear in
+// subscription source text.
+func (v Value) String() string {
+	switch v.kind {
+	case KindString:
+		return strconv.Quote(v.str)
+	case KindInt:
+		return strconv.FormatInt(v.num, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.num == 1 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "<invalid>"
+	}
+}
+
+// Attributes is the typed attribute map carried by every published event.
+type Attributes map[string]Value
+
+// Clone returns a deep copy of the attribute map.
+func (a Attributes) Clone() Attributes {
+	out := make(Attributes, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}

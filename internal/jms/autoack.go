@@ -1,0 +1,96 @@
+package jms
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/message"
+)
+
+// AutoAckConsumer drives a durable subscriber in a JMS acknowledgment
+// mode. In auto-acknowledge (BatchSize 1, the default) every consumed
+// event is followed by a synchronous CT(s) commit through the Store before
+// the next event is consumed — the per-event commit regime whose
+// throughput section 5.2 measures. A BatchSize of N models JMS
+// CLIENT_ACKNOWLEDGE / transacted sessions committing every N messages.
+type AutoAckConsumer struct {
+	sub   *client.Subscriber
+	store *Store
+	batch int
+
+	consumed atomic.Int64
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewAutoAckConsumer wraps a connected subscriber in auto-acknowledge mode
+// (commit per event). Call Run to start consuming; Stop to halt.
+func NewAutoAckConsumer(sub *client.Subscriber, store *Store) *AutoAckConsumer {
+	return NewBatchAckConsumer(sub, store, 1)
+}
+
+// NewBatchAckConsumer wraps a connected subscriber committing every
+// batchSize events (JMS client-acknowledge / transacted consumption).
+func NewBatchAckConsumer(sub *client.Subscriber, store *Store, batchSize int) *AutoAckConsumer {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &AutoAckConsumer{
+		sub:   sub,
+		store: store,
+		batch: batchSize,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+}
+
+// Run consumes deliveries until Stop is called or the store closes,
+// committing CT(s) every batch-size events (and once more on shutdown for
+// any uncommitted tail).
+func (a *AutoAckConsumer) Run() error {
+	defer close(a.done)
+	pending := 0
+	flush := func() error {
+		if pending == 0 {
+			return nil
+		}
+		if err := a.store.Commit(a.sub.ID(), a.sub.CT()); err != nil {
+			return err
+		}
+		a.consumed.Add(int64(pending))
+		pending = 0
+		return nil
+	}
+	for {
+		select {
+		case d := <-a.sub.Deliveries():
+			if d.Kind != message.DeliverEvent {
+				continue
+			}
+			pending++
+			if pending >= a.batch {
+				if err := flush(); err != nil {
+					if errors.Is(err, ErrClosed) {
+						return nil
+					}
+					return err
+				}
+			}
+		case <-a.stop:
+			if err := flush(); err != nil && !errors.Is(err, ErrClosed) {
+				return err
+			}
+			return nil
+		}
+	}
+}
+
+// Consumed reports the number of events consumed-and-committed.
+func (a *AutoAckConsumer) Consumed() int64 { return a.consumed.Load() }
+
+// Stop halts Run and waits for it to exit.
+func (a *AutoAckConsumer) Stop() {
+	close(a.stop)
+	<-a.done
+}

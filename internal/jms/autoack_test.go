@@ -1,0 +1,127 @@
+package jms
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// miniSHB answers the subscribe handshake and delivers scripted events.
+type miniSHB struct {
+	mu   sync.Mutex
+	conn overlay.Conn
+}
+
+func startMiniSHB(t *testing.T, netw *overlay.InprocNetwork) *miniSHB {
+	t.Helper()
+	m := &miniSHB{}
+	_, err := netw.Listen("shb", func(c overlay.Conn) {
+		m.mu.Lock()
+		m.conn = c
+		m.mu.Unlock()
+		c.Start(func(msg message.Message) {
+			if sub, ok := msg.(*message.Subscribe); ok {
+				c.Send(&message.SubscribeAck{ //nolint:errcheck,gosec // test
+					Subscriber: sub.Subscriber, CT: vtime.NewCheckpointToken(),
+				})
+			}
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func (m *miniSHB) deliver(sub vtime.SubscriberID, n int, from vtime.Timestamp) {
+	m.mu.Lock()
+	conn := m.conn
+	m.mu.Unlock()
+	var ds []message.Delivery
+	for i := 0; i < n; i++ {
+		ts := from + vtime.Timestamp(i)
+		ds = append(ds, message.Delivery{
+			Kind: message.DeliverEvent, Pubend: 1, Timestamp: ts,
+			Event: &message.Event{Pubend: 1, Timestamp: ts,
+				Attrs: filter.Attributes{"n": filter.Int(int64(ts))}},
+		})
+	}
+	conn.Send(&message.Deliver{Subscriber: sub, Deliveries: ds}) //nolint:errcheck,gosec // test
+}
+
+func TestAutoAckConsumerCommitsPerEvent(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	shb := startMiniSHB(t, netw)
+	store, _, _ := newTestStore(t, 1, 0)
+	sub, err := client.NewSubscriber(client.SubscriberOptions{ID: 1, Filter: "true"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "shb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	ac := NewAutoAckConsumer(sub, store)
+	go ac.Run() //nolint:errcheck
+	shb.deliver(1, 10, 100)
+	deadline := time.Now().Add(5 * time.Second)
+	for ac.Consumed() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	ac.Stop()
+	if ac.Consumed() != 10 {
+		t.Fatalf("consumed %d", ac.Consumed())
+	}
+	ct, err := store.Load(1)
+	if err != nil || ct.Get(1) != 109 {
+		t.Fatalf("persisted CT = %v, %v", ct, err)
+	}
+	// Auto-ack: roughly one update per event (batching may coalesce a
+	// few, but updates track events).
+	if store.Updates() != 10 {
+		t.Errorf("updates = %d, want 10", store.Updates())
+	}
+}
+
+func TestBatchAckConsumerCommitsPerBatch(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	shb := startMiniSHB(t, netw)
+	store, _, _ := newTestStore(t, 1, 0)
+	sub, err := client.NewSubscriber(client.SubscriberOptions{ID: 2, Filter: "true"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "shb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	ac := NewBatchAckConsumer(sub, store, 4)
+	go ac.Run()             //nolint:errcheck
+	shb.deliver(2, 10, 200) // 2 full batches + 2 leftover
+	deadline := time.Now().Add(5 * time.Second)
+	for ac.Consumed() < 8 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := store.Updates(); got != 2 {
+		t.Errorf("updates before stop = %d, want 2 (one per full batch)", got)
+	}
+	ac.Stop() // flushes the leftover 2
+	if ac.Consumed() != 10 {
+		t.Fatalf("consumed %d, want 10 after shutdown flush", ac.Consumed())
+	}
+	ct, err := store.Load(2)
+	if err != nil || ct.Get(1) != 209 {
+		t.Fatalf("persisted CT = %v, %v", ct, err)
+	}
+	if got := store.Updates(); got != 3 {
+		t.Errorf("updates = %d, want 3", got)
+	}
+}

@@ -1,0 +1,225 @@
+// Package jms implements JMS-style durable subscriptions on top of the
+// durable-subscription core (paper, section 5.2).
+//
+// Unlike the native model — where the subscriber owns its checkpoint token
+// — the JMS API requires the messaging system to track consumption: the
+// SHB maintains CT(s) in persistent storage and commits it whenever the
+// subscriber commits. Auto-acknowledge mode is the most severe case: the
+// subscriber commits after consuming each event, so CT(s) is updated and
+// committed per event, making database commit throughput the bottleneck.
+//
+// The paper's mitigation is reproduced exactly: CT updates are spread over
+// k connections (here: committer workers), each of which "explicitly
+// batches all the waiting requests into one database transaction". With a
+// battery-backed write cache, commits are cheap but still serialized per
+// connection; Options.CommitLatency models that cost.
+package jms
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/metastore"
+	"repro/internal/vtime"
+)
+
+const tableCT = "jms_ct"
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("jms: closed")
+
+// Options configures a CT store.
+type Options struct {
+	// Meta is the backing database (required).
+	Meta *metastore.Store
+	// Connections is the number of committer workers (the paper's JDBC
+	// connections); zero means 1.
+	Connections int
+}
+
+// Store persistently tracks CT(s) for JMS durable subscribers hosted by an
+// SHB. Commit batches all requests waiting on the same connection into one
+// transaction.
+type Store struct {
+	meta    *metastore.Store
+	workers []*committer
+	wg      sync.WaitGroup
+}
+
+// committer is one "database connection": a worker that serializes commits
+// and batches concurrent requests.
+type committer struct {
+	store *Store
+	mu    sync.Mutex
+	cond  *sync.Cond
+
+	pending map[vtime.SubscriberID]*vtime.CheckpointToken
+	// epoch increments at every completed commit; waiters watch it.
+	epoch    uint64
+	inFlight uint64 // epoch that will cover currently pending requests
+	closed   bool
+
+	commits int64
+	updates int64
+}
+
+// NewStore creates a CT store with its committer workers running.
+func NewStore(opts Options) (*Store, error) {
+	if opts.Meta == nil {
+		return nil, errors.New("jms: Meta is required")
+	}
+	if opts.Connections <= 0 {
+		opts.Connections = 1
+	}
+	s := &Store{meta: opts.Meta}
+	for i := 0; i < opts.Connections; i++ {
+		c := &committer{
+			store:   s,
+			pending: make(map[vtime.SubscriberID]*vtime.CheckpointToken),
+		}
+		c.cond = sync.NewCond(&c.mu)
+		s.workers = append(s.workers, c)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.run()
+		}()
+	}
+	return s, nil
+}
+
+// worker returns the committer responsible for a subscriber (requests are
+// assigned to connections by subscriber id, as in the paper).
+func (s *Store) worker(sub vtime.SubscriberID) *committer {
+	return s.workers[int(uint32(sub))%len(s.workers)]
+}
+
+// Commit durably records the subscriber's checkpoint token, merging with
+// any newer pending update, and returns once a database transaction
+// covering it has committed. Concurrent commits on the same connection
+// share one transaction.
+func (s *Store) Commit(sub vtime.SubscriberID, ct *vtime.CheckpointToken) error {
+	c := s.worker(sub)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if cur := c.pending[sub]; cur != nil {
+		cur.Merge(ct)
+	} else {
+		c.pending[sub] = ct.Clone()
+	}
+	c.updates++
+	target := c.inFlight
+	c.cond.Broadcast() // wake the worker
+	for c.epoch <= target && !c.closed {
+		c.cond.Wait()
+	}
+	closed := c.closed && c.epoch <= target
+	c.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Load returns the persisted checkpoint token for a subscriber (empty when
+// none).
+func (s *Store) Load(sub vtime.SubscriberID) (*vtime.CheckpointToken, error) {
+	buf, ok := s.meta.Get(tableCT, subKey(sub))
+	if !ok {
+		return vtime.NewCheckpointToken(), nil
+	}
+	ct, _, err := vtime.DecodeCheckpointToken(buf)
+	if err != nil {
+		return nil, fmt.Errorf("jms: corrupt CT for %v: %w", sub, err)
+	}
+	return ct, nil
+}
+
+// Commits reports the total number of database transactions issued.
+func (s *Store) Commits() int64 {
+	var n int64
+	for _, c := range s.workers {
+		c.mu.Lock()
+		n += c.commits
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// Updates reports the total number of Commit calls served.
+func (s *Store) Updates() int64 {
+	var n int64
+	for _, c := range s.workers {
+		c.mu.Lock()
+		n += c.updates
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// Close stops the committers, flushing pending updates.
+func (s *Store) Close() error {
+	for _, c := range s.workers {
+		c.mu.Lock()
+		c.closed = true
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func subKey(sub vtime.SubscriberID) string {
+	return strconv.FormatUint(uint64(sub), 10)
+}
+
+// run is the committer loop: wait for pending updates, swap them out,
+// commit them as one transaction, advance the epoch.
+func (c *committer) run() {
+	for {
+		c.mu.Lock()
+		for len(c.pending) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.pending) == 0 && c.closed {
+			c.mu.Unlock()
+			return
+		}
+		batch := c.pending
+		c.pending = make(map[vtime.SubscriberID]*vtime.CheckpointToken, len(batch))
+		c.inFlight++
+		c.mu.Unlock()
+
+		tx := c.store.meta.Begin()
+		for sub, ct := range batch {
+			// A commit may carry a partial vector; the persisted
+			// CT(s) is the monotone merge of everything committed.
+			if prev, err := c.store.Load(sub); err == nil {
+				ct.Merge(prev)
+			}
+			tx.Put(tableCT, subKey(sub), ct.Encode(nil))
+		}
+		err := tx.Commit()
+
+		c.mu.Lock()
+		if err == nil {
+			c.epoch++
+			c.commits++
+		} else {
+			// The metastore only fails commits when it is closed;
+			// propagate by closing this connection so waiters err
+			// out instead of hanging.
+			c.closed = true
+		}
+		c.cond.Broadcast()
+		c.mu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}

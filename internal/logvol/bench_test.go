@@ -1,0 +1,57 @@
+package logvol
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkAppend measures raw log-volume append throughput at the paper's
+// 418-byte event size.
+func BenchmarkAppend(b *testing.B) {
+	vol, err := Open(filepath.Join(b.TempDir(), "bench.log"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vol.Close() //nolint:errcheck
+	s, err := vol.Stream("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 418)
+	b.SetBytes(418)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadByIndex measures random record retrieval (the nack-service
+// path).
+func BenchmarkReadByIndex(b *testing.B) {
+	vol, err := Open(filepath.Join(b.TempDir(), "bench.log"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer vol.Close() //nolint:errcheck
+	s, err := vol.Stream("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 418)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		if _, err := s.Append(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Read(Index(i%n) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,600 @@
+// Package logvol implements the Log Volume the paper's Persistent
+// Filtering Subsystem is built on (section 4.2, citing the logger-based
+// recovery subsystem of Bagchi et al.): multiple append-only log streams
+// multiplexed onto a single file, with efficient retrieval of records by
+// per-stream index number and a "chop" operation that discards a prefix of
+// a stream.
+//
+// The volume is crash-consistent: records carry CRCs and recovery scans the
+// file, dropping a torn tail. Durability is controlled by a SyncPolicy plus
+// an explicit Sync for group commit.
+package logvol
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// SyncPolicy controls when appends reach stable storage.
+type SyncPolicy uint8
+
+// Sync policies.
+const (
+	// SyncExplicit leaves durability to explicit Sync calls (group
+	// commit). This models the paper's "sync every N events" regime and
+	// the battery-backed write cache of section 5.2.
+	SyncExplicit SyncPolicy = iota + 1
+	// SyncAlways fsyncs after every append; models per-write forced
+	// logging.
+	SyncAlways
+)
+
+// Index identifies a record within one stream. Indexes are assigned
+// monotonically starting at 1; 0 is the nil index ("no record"), which the
+// PFS uses as the end-of-chain backpointer.
+type Index uint64
+
+// NilIndex is the "no record" sentinel.
+const NilIndex Index = 0
+
+// Errors the volume reports.
+var (
+	ErrNotFound     = errors.New("logvol: record not found")
+	ErrChopped      = errors.New("logvol: record chopped")
+	ErrClosed       = errors.New("logvol: volume closed")
+	ErrCorrupt      = errors.New("logvol: corrupt record")
+	ErrNoSuchStream = errors.New("logvol: no such stream")
+)
+
+const (
+	recHeaderSize = 4 + 8 + 4 // streamID u32, index u64, payload len u32
+	recTrailerLen = 4         // crc32
+	metaStreamID  = 0
+	metaCreate    = byte(1)
+	metaChop      = byte(2)
+)
+
+// Options configures a volume.
+type Options struct {
+	// Sync selects the durability policy; zero value means SyncExplicit.
+	Sync SyncPolicy
+}
+
+// Volume is a single-file log volume. All methods are safe for concurrent
+// use.
+type Volume struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64
+	policy  SyncPolicy
+	closed  bool
+	streams map[string]*Stream
+	byID    map[uint32]*Stream
+	nextID  uint32
+
+	// stats for the paper's PFS-vs-event-log data-volume comparison.
+	bytesAppended int64
+	syncs         int64
+}
+
+// Stream is one log stream within a volume.
+type Stream struct {
+	vol     *Volume
+	id      uint32
+	name    string
+	next    Index // next index to assign
+	minLive Index // all indexes < minLive are chopped
+	offsets map[Index]int64
+}
+
+// Open opens or creates the volume at path and recovers its streams.
+func Open(path string, opts Options) (*Volume, error) {
+	if opts.Sync == 0 {
+		opts.Sync = SyncExplicit
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("logvol open: %w", err)
+	}
+	v := &Volume{
+		f:       f,
+		path:    path,
+		policy:  opts.Sync,
+		streams: make(map[string]*Stream),
+		byID:    make(map[uint32]*Stream),
+		nextID:  1,
+	}
+	if err := v.recover(); err != nil {
+		f.Close() //nolint:errcheck,gosec // best-effort cleanup on failed open
+		return nil, err
+	}
+	return v, nil
+}
+
+// recover scans the file rebuilding stream tables, stopping at the first
+// torn or corrupt record (which it truncates away).
+func (v *Volume) recover() error {
+	info, err := v.f.Stat()
+	if err != nil {
+		return fmt.Errorf("logvol recover: %w", err)
+	}
+	fileSize := info.Size()
+	var off int64
+	hdr := make([]byte, recHeaderSize)
+	for off+recHeaderSize+recTrailerLen <= fileSize {
+		if _, err := v.f.ReadAt(hdr, off); err != nil {
+			break
+		}
+		streamID := binary.BigEndian.Uint32(hdr)
+		index := Index(binary.BigEndian.Uint64(hdr[4:]))
+		plen := int64(binary.BigEndian.Uint32(hdr[12:]))
+		total := recHeaderSize + plen + recTrailerLen
+		if off+total > fileSize || plen > 1<<30 {
+			break
+		}
+		body := make([]byte, plen+recTrailerLen)
+		if _, err := v.f.ReadAt(body, off+recHeaderSize); err != nil {
+			break
+		}
+		payload := body[:plen]
+		wantCRC := binary.BigEndian.Uint32(body[plen:])
+		crc := crc32.NewIEEE()
+		crc.Write(hdr)     //nolint:errcheck,gosec // hash writes cannot fail
+		crc.Write(payload) //nolint:errcheck,gosec // hash writes cannot fail
+		if crc.Sum32() != wantCRC {
+			break
+		}
+		if streamID == metaStreamID {
+			v.applyMeta(payload)
+		} else if s := v.byID[streamID]; s != nil {
+			s.offsets[index] = off
+			if index >= s.next {
+				s.next = index + 1
+			}
+		}
+		off += total
+	}
+	// Drop any torn tail so future appends start clean.
+	if off < fileSize {
+		if err := v.f.Truncate(off); err != nil {
+			return fmt.Errorf("logvol recover truncate: %w", err)
+		}
+	}
+	v.size = off
+	// Re-apply chop floors (chop meta records may precede data records of
+	// lower index written earlier; drop anything below minLive).
+	for _, s := range v.byID {
+		for idx := range s.offsets {
+			if idx < s.minLive {
+				delete(s.offsets, idx)
+			}
+		}
+		if s.next < s.minLive {
+			s.next = s.minLive
+		}
+	}
+	return nil
+}
+
+func (v *Volume) applyMeta(payload []byte) {
+	if len(payload) < 1 {
+		return
+	}
+	switch payload[0] {
+	case metaCreate:
+		if len(payload) < 5 {
+			return
+		}
+		id := binary.BigEndian.Uint32(payload[1:])
+		name := string(payload[5:])
+		s := &Stream{vol: v, id: id, name: name, next: 1, minLive: 1,
+			offsets: make(map[Index]int64)}
+		v.streams[name] = s
+		v.byID[id] = s
+		if id >= v.nextID {
+			v.nextID = id + 1
+		}
+	case metaChop:
+		if len(payload) < 13 {
+			return
+		}
+		id := binary.BigEndian.Uint32(payload[1:])
+		upTo := Index(binary.BigEndian.Uint64(payload[5:]))
+		if s := v.byID[id]; s != nil && upTo+1 > s.minLive {
+			s.minLive = upTo + 1
+		}
+	}
+}
+
+// Stream returns the named stream, creating it if needed.
+func (v *Volume) Stream(name string) (*Stream, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil, ErrClosed
+	}
+	if s, ok := v.streams[name]; ok {
+		return s, nil
+	}
+	id := v.nextID
+	v.nextID++
+	payload := make([]byte, 0, 5+len(name))
+	payload = append(payload, metaCreate)
+	payload = binary.BigEndian.AppendUint32(payload, id)
+	payload = append(payload, name...)
+	if _, err := v.appendLocked(metaStreamID, 0, payload); err != nil {
+		return nil, err
+	}
+	s := &Stream{vol: v, id: id, name: name, next: 1, minLive: 1,
+		offsets: make(map[Index]int64)}
+	v.streams[name] = s
+	v.byID[id] = s
+	return s, nil
+}
+
+// LookupStream returns the named stream if it already exists.
+func (v *Volume) LookupStream(name string) (*Stream, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil, ErrClosed
+	}
+	s, ok := v.streams[name]
+	if !ok {
+		return nil, ErrNoSuchStream
+	}
+	return s, nil
+}
+
+// StreamNames returns the names of all streams, sorted.
+func (v *Volume) StreamNames() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.streams))
+	for name := range v.streams {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// appendLocked writes one record; caller holds v.mu.
+func (v *Volume) appendLocked(streamID uint32, index Index, payload []byte) (int64, error) {
+	rec := make([]byte, 0, recHeaderSize+len(payload)+recTrailerLen)
+	rec = binary.BigEndian.AppendUint32(rec, streamID)
+	rec = binary.BigEndian.AppendUint64(rec, uint64(index))
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = append(rec, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write(rec) //nolint:errcheck,gosec // hash writes cannot fail
+	rec = binary.BigEndian.AppendUint32(rec, crc.Sum32())
+	off := v.size
+	if _, err := v.f.WriteAt(rec, off); err != nil {
+		return 0, fmt.Errorf("logvol append: %w", err)
+	}
+	v.size += int64(len(rec))
+	v.bytesAppended += int64(len(rec))
+	if v.policy == SyncAlways {
+		if err := v.f.Sync(); err != nil {
+			return 0, fmt.Errorf("logvol sync: %w", err)
+		}
+		v.syncs++
+	}
+	return off, nil
+}
+
+// Sync forces all appended records to stable storage (group commit).
+func (v *Volume) Sync() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if err := v.f.Sync(); err != nil {
+		return fmt.Errorf("logvol sync: %w", err)
+	}
+	v.syncs++
+	return nil
+}
+
+// BytesAppended reports the total bytes written since open, for the PFS
+// data-volume comparisons of section 5.1.2.
+func (v *Volume) BytesAppended() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.bytesAppended
+}
+
+// Syncs reports the number of fsync calls issued since open.
+func (v *Volume) Syncs() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.syncs
+}
+
+// Size reports the current file size in bytes.
+func (v *Volume) Size() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.size
+}
+
+// Close syncs and closes the volume.
+func (v *Volume) Close() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return nil
+	}
+	v.closed = true
+	if err := v.f.Sync(); err != nil {
+		v.f.Close() //nolint:errcheck,gosec // already failing
+		return fmt.Errorf("logvol close sync: %w", err)
+	}
+	return v.f.Close()
+}
+
+// Append adds a record to the stream and returns its index.
+func (s *Stream) Append(payload []byte) (Index, error) {
+	v := s.vol
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return NilIndex, ErrClosed
+	}
+	idx := s.next
+	off, err := v.appendLocked(s.id, idx, payload)
+	if err != nil {
+		return NilIndex, err
+	}
+	s.next++
+	s.offsets[idx] = off
+	return idx, nil
+}
+
+// Read returns the payload of the record at idx.
+func (s *Stream) Read(idx Index) ([]byte, error) {
+	v := s.vol
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if idx < s.minLive {
+		v.mu.Unlock()
+		return nil, fmt.Errorf("%w: stream %q index %d", ErrChopped, s.name, idx)
+	}
+	off, ok := s.offsets[idx]
+	v.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: stream %q index %d", ErrNotFound, s.name, idx)
+	}
+	return s.readAt(off, idx)
+}
+
+// readAt reads and validates the record at off (no lock held; the file
+// region is immutable once written).
+func (s *Stream) readAt(off int64, wantIdx Index) ([]byte, error) {
+	hdr := make([]byte, recHeaderSize)
+	if _, err := s.vol.f.ReadAt(hdr, off); err != nil {
+		return nil, fmt.Errorf("logvol read header: %w", err)
+	}
+	streamID := binary.BigEndian.Uint32(hdr)
+	index := Index(binary.BigEndian.Uint64(hdr[4:]))
+	plen := int(binary.BigEndian.Uint32(hdr[12:]))
+	if streamID != s.id || index != wantIdx {
+		return nil, fmt.Errorf("%w: stream %q index %d points at (%d,%d)",
+			ErrCorrupt, s.name, wantIdx, streamID, index)
+	}
+	body := make([]byte, plen+recTrailerLen)
+	if _, err := s.vol.f.ReadAt(body, off+recHeaderSize); err != nil {
+		return nil, fmt.Errorf("logvol read body: %w", err)
+	}
+	payload := body[:plen]
+	wantCRC := binary.BigEndian.Uint32(body[plen:])
+	crc := crc32.NewIEEE()
+	crc.Write(hdr)     //nolint:errcheck,gosec // hash writes cannot fail
+	crc.Write(payload) //nolint:errcheck,gosec // hash writes cannot fail
+	if crc.Sum32() != wantCRC {
+		return nil, fmt.Errorf("%w: stream %q index %d bad crc", ErrCorrupt, s.name, wantIdx)
+	}
+	return payload, nil
+}
+
+// Chop discards every record of the stream with index <= upTo. Reads of
+// chopped records return ErrChopped. The space is reclaimed by Compact.
+func (s *Stream) Chop(upTo Index) error {
+	v := s.vol
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	if upTo+1 <= s.minLive {
+		return nil
+	}
+	payload := make([]byte, 0, 13)
+	payload = append(payload, metaChop)
+	payload = binary.BigEndian.AppendUint32(payload, s.id)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(upTo))
+	if _, err := v.appendLocked(metaStreamID, 0, payload); err != nil {
+		return err
+	}
+	s.minLive = upTo + 1
+	if s.next < s.minLive {
+		s.next = s.minLive
+	}
+	for idx := range s.offsets {
+		if idx < s.minLive {
+			delete(s.offsets, idx)
+		}
+	}
+	return nil
+}
+
+// LastIndex returns the highest assigned index, or NilIndex if the stream
+// has no live records.
+func (s *Stream) LastIndex() Index {
+	v := s.vol
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s.next <= s.minLive {
+		return NilIndex
+	}
+	return s.next - 1
+}
+
+// FirstLiveIndex returns the lowest unchopped index, or NilIndex if none.
+func (s *Stream) FirstLiveIndex() Index {
+	v := s.vol
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s.next <= s.minLive {
+		return NilIndex
+	}
+	return s.minLive
+}
+
+// Len reports the number of live records.
+func (s *Stream) Len() int {
+	v := s.vol
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(s.offsets)
+}
+
+// Name reports the stream's name.
+func (s *Stream) Name() string { return s.name }
+
+// ForEach calls fn for every live record in index order; fn returning
+// false stops the scan early.
+func (s *Stream) ForEach(fn func(idx Index, payload []byte) bool) error {
+	v := s.vol
+	v.mu.Lock()
+	lo, hi := s.minLive, s.next
+	v.mu.Unlock()
+	for idx := lo; idx < hi; idx++ {
+		payload, err := s.Read(idx)
+		if errors.Is(err, ErrNotFound) || errors.Is(err, ErrChopped) {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if !fn(idx, payload) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Compact rewrites the volume file keeping only live records, reclaiming
+// space from chopped prefixes. It blocks all other operations while
+// running.
+func (v *Volume) Compact() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	tmpPath := v.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("logvol compact: %w", err)
+	}
+	defer os.Remove(tmpPath) //nolint:errcheck // best-effort cleanup
+
+	old := v.f
+	oldSize, oldBytes, oldSyncs := v.size, v.bytesAppended, v.syncs
+	v.f, v.size = tmp, 0
+
+	restore := func() {
+		v.f, v.size, v.bytesAppended, v.syncs = old, oldSize, oldBytes, oldSyncs
+		tmp.Close() //nolint:errcheck,gosec // best-effort cleanup
+	}
+
+	// Rewrite stream creation records and live data.
+	type liveRec struct {
+		s   *Stream
+		idx Index
+		off int64
+	}
+	var live []liveRec
+	names := make([]string, 0, len(v.streams))
+	for name := range v.streams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := v.streams[name]
+		payload := make([]byte, 0, 5+len(name))
+		payload = append(payload, metaCreate)
+		payload = binary.BigEndian.AppendUint32(payload, s.id)
+		payload = append(payload, name...)
+		if _, err := v.appendLocked(metaStreamID, 0, payload); err != nil {
+			restore()
+			return err
+		}
+		if s.minLive > 1 {
+			chop := make([]byte, 0, 13)
+			chop = append(chop, metaChop)
+			chop = binary.BigEndian.AppendUint32(chop, s.id)
+			chop = binary.BigEndian.AppendUint64(chop, uint64(s.minLive-1))
+			if _, err := v.appendLocked(metaStreamID, 0, chop); err != nil {
+				restore()
+				return err
+			}
+		}
+		for idx, off := range s.offsets {
+			live = append(live, liveRec{s: s, idx: idx, off: off})
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].off < live[j].off })
+	newOffsets := make(map[*Stream]map[Index]int64, len(v.streams))
+	for _, lr := range live {
+		// Read from the old file, write to the new.
+		v.f = old
+		payload, err := lr.s.readAt(lr.off, lr.idx)
+		v.f = tmp
+		if err != nil {
+			restore()
+			return err
+		}
+		newOff, err := v.appendLocked(lr.s.id, lr.idx, payload)
+		if err != nil {
+			restore()
+			return err
+		}
+		if newOffsets[lr.s] == nil {
+			newOffsets[lr.s] = make(map[Index]int64)
+		}
+		newOffsets[lr.s][lr.idx] = newOff
+	}
+	if err := tmp.Sync(); err != nil {
+		restore()
+		return fmt.Errorf("logvol compact sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, v.path); err != nil {
+		restore()
+		return fmt.Errorf("logvol compact rename: %w", err)
+	}
+	old.Close() //nolint:errcheck,gosec // replaced file
+	for s, m := range newOffsets {
+		s.offsets = m
+	}
+	for _, s := range v.streams {
+		if newOffsets[s] == nil {
+			s.offsets = make(map[Index]int64)
+		}
+	}
+	return nil
+}
+
+var _ io.Closer = (*Volume)(nil)

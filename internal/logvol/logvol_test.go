@@ -1,0 +1,482 @@
+package logvol
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openTestVolume(t *testing.T, opts Options) (*Volume, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { v.Close() }) //nolint:errcheck
+	return v, path
+}
+
+func TestAppendRead(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	s, err := v.Stream("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var idxs []Index
+	for i := 0; i < 100; i++ {
+		idx, err := s.Append([]byte(fmt.Sprintf("record-%d", i)))
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		idxs = append(idxs, idx)
+	}
+	if idxs[0] != 1 {
+		t.Errorf("first index = %d, want 1", idxs[0])
+	}
+	for i, idx := range idxs {
+		if idx != Index(i+1) {
+			t.Fatalf("indexes not monotonic: %v", idxs[:i+1])
+		}
+	}
+	for i, idx := range idxs {
+		got, err := s.Read(idx)
+		if err != nil {
+			t.Fatalf("Read(%d): %v", idx, err)
+		}
+		if want := fmt.Sprintf("record-%d", i); string(got) != want {
+			t.Errorf("Read(%d) = %q, want %q", idx, got, want)
+		}
+	}
+	if s.LastIndex() != 100 || s.FirstLiveIndex() != 1 || s.Len() != 100 {
+		t.Errorf("Last/First/Len = %d/%d/%d", s.LastIndex(), s.FirstLiveIndex(), s.Len())
+	}
+}
+
+func TestMultipleStreamsInterleaved(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	a, _ := v.Stream("a") //nolint:errcheck
+	b, _ := v.Stream("b") //nolint:errcheck
+	for i := 0; i < 50; i++ {
+		if _, err := a.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Append([]byte{byte(i), byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Indexes are per stream.
+	if a.LastIndex() != 50 || b.LastIndex() != 50 {
+		t.Errorf("per-stream indexes leaked: a=%d b=%d", a.LastIndex(), b.LastIndex())
+	}
+	got, err := b.Read(7)
+	if err != nil || len(got) != 2 {
+		t.Errorf("b.Read(7) = %v, %v", got, err)
+	}
+	names := v.StreamNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("StreamNames = %v", names)
+	}
+}
+
+func TestStreamReturnsExisting(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	a1, _ := v.Stream("a") //nolint:errcheck
+	a2, _ := v.Stream("a") //nolint:errcheck
+	if a1 != a2 {
+		t.Error("Stream created a duplicate")
+	}
+	if _, err := v.LookupStream("missing"); !errors.Is(err, ErrNoSuchStream) {
+		t.Errorf("LookupStream(missing) = %v", err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	s, _ := v.Stream("s") //nolint:errcheck
+	if _, err := s.Read(1); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Read of unwritten index = %v, want ErrNotFound", err)
+	}
+	idx, _ := s.Append([]byte("x")) //nolint:errcheck
+	if err := s.Chop(idx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(idx); !errors.Is(err, ErrChopped) {
+		t.Errorf("Read of chopped index = %v, want ErrChopped", err)
+	}
+}
+
+func TestChop(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	s, _ := v.Stream("s") //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		s.Append([]byte{byte(i)}) //nolint:errcheck
+	}
+	if err := s.Chop(4); err != nil {
+		t.Fatal(err)
+	}
+	if s.FirstLiveIndex() != 5 || s.LastIndex() != 10 || s.Len() != 6 {
+		t.Errorf("after chop: first=%d last=%d len=%d", s.FirstLiveIndex(), s.LastIndex(), s.Len())
+	}
+	// Chopping backwards is a no-op.
+	if err := s.Chop(2); err != nil {
+		t.Fatal(err)
+	}
+	if s.FirstLiveIndex() != 5 {
+		t.Error("backwards chop moved the floor")
+	}
+	// Appends continue with the next index.
+	idx, _ := s.Append([]byte("new")) //nolint:errcheck
+	if idx != 11 {
+		t.Errorf("append after chop = %d, want 11", idx)
+	}
+	// Chop everything.
+	if err := s.Chop(11); err != nil {
+		t.Fatal(err)
+	}
+	if s.LastIndex() != NilIndex || s.FirstLiveIndex() != NilIndex || s.Len() != 0 {
+		t.Errorf("fully chopped stream: last=%d first=%d len=%d",
+			s.LastIndex(), s.FirstLiveIndex(), s.Len())
+	}
+	idx, _ = s.Append([]byte("after")) //nolint:errcheck
+	if idx != 12 {
+		t.Errorf("append after full chop = %d, want 12", idx)
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := v.Stream("a") //nolint:errcheck
+	b, _ := v.Stream("b") //nolint:errcheck
+	for i := 0; i < 20; i++ {
+		a.Append([]byte(fmt.Sprintf("a%d", i))) //nolint:errcheck
+		b.Append([]byte(fmt.Sprintf("b%d", i))) //nolint:errcheck
+	}
+	a.Chop(5) //nolint:errcheck
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("re-open: %v", err)
+	}
+	defer v2.Close() //nolint:errcheck
+	a2, err := v2.LookupStream("a")
+	if err != nil {
+		t.Fatalf("stream a lost: %v", err)
+	}
+	b2, err := v2.LookupStream("b")
+	if err != nil {
+		t.Fatalf("stream b lost: %v", err)
+	}
+	if a2.FirstLiveIndex() != 6 || a2.LastIndex() != 20 {
+		t.Errorf("a recovered first=%d last=%d", a2.FirstLiveIndex(), a2.LastIndex())
+	}
+	got, err := a2.Read(10)
+	if err != nil || string(got) != "a9" {
+		t.Errorf("a.Read(10) = %q, %v", got, err)
+	}
+	if _, err := a2.Read(3); !errors.Is(err, ErrChopped) {
+		t.Errorf("chop not recovered: %v", err)
+	}
+	if b2.LastIndex() != 20 {
+		t.Errorf("b recovered last=%d", b2.LastIndex())
+	}
+	// Indexes continue after recovery.
+	idx, _ := a2.Append([]byte("post")) //nolint:errcheck
+	if idx != 21 {
+		t.Errorf("append after recovery = %d, want 21", idx)
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := v.Stream("s") //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		s.Append([]byte(fmt.Sprintf("rec-%d", i))) //nolint:errcheck
+	}
+	v.Close() //nolint:errcheck
+
+	// Tear the last record.
+	info, _ := os.Stat(path) //nolint:errcheck
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("re-open torn: %v", err)
+	}
+	defer v2.Close() //nolint:errcheck
+	s2, err := v2.LookupStream("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.LastIndex() != 9 {
+		t.Errorf("torn tail not dropped: last=%d, want 9", s2.LastIndex())
+	}
+	// The torn index is reassigned on the next append.
+	idx, _ := s2.Append([]byte("replacement")) //nolint:errcheck
+	if idx != 10 {
+		t.Errorf("append after tear = %d, want 10", idx)
+	}
+	got, err := s2.Read(10)
+	if err != nil || string(got) != "replacement" {
+		t.Errorf("Read(10) = %q, %v", got, err)
+	}
+}
+
+func TestRecoveryCorruptMiddleStopsScan(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, _ := Open(path, Options{}) //nolint:errcheck
+	s, _ := v.Stream("s")         //nolint:errcheck
+	s.Append([]byte("first"))     //nolint:errcheck
+	off := v.Size()
+	s.Append([]byte("second")) //nolint:errcheck
+	s.Append([]byte("third"))  //nolint:errcheck
+	v.Close()                  //nolint:errcheck
+
+	// Flip a byte inside the second record's payload.
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, off+recHeaderSize); err != nil {
+		t.Fatal(err)
+	}
+	f.Close() //nolint:errcheck
+
+	v2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()              //nolint:errcheck
+	s2, _ := v2.LookupStream("s") //nolint:errcheck
+	if s2.LastIndex() != 1 {
+		t.Errorf("scan did not stop at corruption: last=%d", s2.LastIndex())
+	}
+}
+
+func TestForEach(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	s, _ := v.Stream("s") //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		s.Append([]byte{byte(i)}) //nolint:errcheck
+	}
+	s.Chop(3) //nolint:errcheck
+	var seen []Index
+	err := s.ForEach(func(idx Index, payload []byte) bool {
+		seen = append(seen, idx)
+		if payload[0] != byte(idx-1) {
+			t.Errorf("payload mismatch at %d", idx)
+		}
+		return idx < 8 // stop early
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Index{4, 5, 6, 7, 8}
+	if len(seen) != len(want) {
+		t.Fatalf("ForEach visited %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ForEach visited %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	v, path := openTestVolume(t, Options{})
+	a, _ := v.Stream("a") //nolint:errcheck
+	b, _ := v.Stream("b") //nolint:errcheck
+	for i := 0; i < 200; i++ {
+		a.Append(make([]byte, 100)) //nolint:errcheck
+		b.Append([]byte{byte(i)})   //nolint:errcheck
+	}
+	a.Chop(190) //nolint:errcheck
+	sizeBefore := v.Size()
+	if err := v.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if v.Size() >= sizeBefore {
+		t.Errorf("compaction did not shrink: %d -> %d", sizeBefore, v.Size())
+	}
+	// All live data still readable.
+	got, err := a.Read(195)
+	if err != nil || len(got) != 100 {
+		t.Errorf("a.Read(195) after compact: %v, %v", len(got), err)
+	}
+	if _, err := a.Read(10); !errors.Is(err, ErrChopped) {
+		t.Errorf("chopped record readable after compact: %v", err)
+	}
+	for i := 1; i <= 200; i++ {
+		got, err := b.Read(Index(i))
+		if err != nil || got[0] != byte(i-1) {
+			t.Fatalf("b.Read(%d) after compact: %v, %v", i, got, err)
+		}
+	}
+	// Volume survives close/re-open after compaction.
+	v.Close() //nolint:errcheck
+	v2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close()              //nolint:errcheck
+	a2, _ := v2.LookupStream("a") //nolint:errcheck
+	if a2.FirstLiveIndex() != 191 || a2.LastIndex() != 200 {
+		t.Errorf("post-compact recovery: first=%d last=%d", a2.FirstLiveIndex(), a2.LastIndex())
+	}
+	// Appends continue correctly.
+	idx, _ := a2.Append([]byte("x")) //nolint:errcheck
+	if idx != 201 {
+		t.Errorf("append after compact+recover = %d", idx)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	v, _ := openTestVolume(t, Options{Sync: SyncAlways})
+	s, _ := v.Stream("s") //nolint:errcheck
+	for i := 0; i < 5; i++ {
+		s.Append([]byte("x")) //nolint:errcheck
+	}
+	// 5 appends + 1 stream-creation meta record.
+	if got := v.Syncs(); got != 6 {
+		t.Errorf("SyncAlways issued %d syncs, want 6", got)
+	}
+
+	v2, _ := openTestVolume(t, Options{Sync: SyncExplicit})
+	s2, _ := v2.Stream("s") //nolint:errcheck
+	for i := 0; i < 5; i++ {
+		s2.Append([]byte("x")) //nolint:errcheck
+	}
+	if got := v2.Syncs(); got != 0 {
+		t.Errorf("SyncExplicit issued %d syncs before Sync()", got)
+	}
+	if err := v2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := v2.Syncs(); got != 1 {
+		t.Errorf("explicit Sync counted %d", got)
+	}
+}
+
+func TestClosedVolume(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	s, _ := v.Stream("s") //nolint:errcheck
+	s.Append([]byte("x")) //nolint:errcheck
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if _, err := s.Append([]byte("y")); !errors.Is(err, ErrClosed) {
+		t.Errorf("append on closed = %v", err)
+	}
+	if _, err := s.Read(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("read on closed = %v", err)
+	}
+	if _, err := v.Stream("t"); !errors.Is(err, ErrClosed) {
+		t.Errorf("stream on closed = %v", err)
+	}
+	if err := v.Sync(); !errors.Is(err, ErrClosed) {
+		t.Errorf("sync on closed = %v", err)
+	}
+}
+
+func TestBytesAppendedTracksGrowth(t *testing.T) {
+	v, _ := openTestVolume(t, Options{})
+	s, _ := v.Stream("s") //nolint:errcheck
+	before := v.BytesAppended()
+	s.Append(make([]byte, 1000)) //nolint:errcheck
+	grew := v.BytesAppended() - before
+	if grew < 1000 || grew > 1100 {
+		t.Errorf("BytesAppended grew by %d for a 1000B payload", grew)
+	}
+}
+
+// Randomized crash-recovery property: after appending and chopping randomly
+// then re-opening (possibly with a torn tail), every record the volume
+// claims to have is intact and every chopped record is gone.
+func TestRandomizedRecovery(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		path := filepath.Join(t.TempDir(), "vol.log")
+		v, err := Open(path, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		type model struct {
+			records map[Index][]byte
+			minLive Index
+		}
+		streams := map[string]*model{}
+		for op := 0; op < 100; op++ {
+			name := fmt.Sprintf("s%d", rng.Intn(3))
+			s, err := v.Stream(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := streams[name]
+			if m == nil {
+				m = &model{records: map[Index][]byte{}, minLive: 1}
+				streams[name] = m
+			}
+			if rng.Intn(10) == 0 && s.LastIndex() != NilIndex {
+				upTo := s.FirstLiveIndex() + Index(rng.Intn(int(s.Len())))
+				if err := s.Chop(upTo); err != nil {
+					t.Fatal(err)
+				}
+				if upTo+1 > m.minLive {
+					m.minLive = upTo + 1
+				}
+				continue
+			}
+			payload := make([]byte, rng.Intn(50)+1)
+			rng.Read(payload)
+			idx, err := s.Append(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m.records[idx] = payload
+		}
+		v.Close() //nolint:errcheck
+
+		v2, err := Open(path, Options{})
+		if err != nil {
+			t.Fatalf("trial %d re-open: %v", trial, err)
+		}
+		for name, m := range streams {
+			s, err := v2.LookupStream(name)
+			if err != nil {
+				t.Fatalf("trial %d stream %s: %v", trial, name, err)
+			}
+			for idx, want := range m.records {
+				got, err := s.Read(idx)
+				if idx < m.minLive {
+					if !errors.Is(err, ErrChopped) {
+						t.Fatalf("trial %d %s[%d]: want ErrChopped, got %v", trial, name, idx, err)
+					}
+					continue
+				}
+				if err != nil || string(got) != string(want) {
+					t.Fatalf("trial %d %s[%d]: %v", trial, name, idx, err)
+				}
+			}
+		}
+		v2.Close() //nolint:errcheck
+	}
+}

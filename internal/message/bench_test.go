@@ -1,0 +1,35 @@
+package message
+
+import (
+	"testing"
+
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// BenchmarkEncodeDecodeKnowledge measures the wire codec on a typical
+// knowledge message (8 events + 8 silence ranges).
+func BenchmarkEncodeDecodeKnowledge(b *testing.B) {
+	know := &Knowledge{Pubend: 1}
+	for i := 0; i < 8; i++ {
+		ev := sampleEvent()
+		ev.Timestamp = vtime.Timestamp(i)*100 + 50
+		know.Events = append(know.Events, ev)
+		know.Ranges = append(know.Ranges, tick.Range{
+			Start: vtime.Timestamp(i) * 100, End: vtime.Timestamp(i)*100 + 49, Kind: tick.S,
+		})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var buf []byte
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = Encode(buf[:0], know)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package message defines the events and control messages exchanged inside
+// the broker overlay and between brokers and clients, together with a
+// compact binary wire codec.
+//
+// Terminology follows the paper: "events" are messages published by
+// applications; everything else is a control message internal to the
+// overlay (knowledge, nacks, release vectors) or the client protocol
+// (subscribe, ack, deliver).
+package message
+
+import (
+	"fmt"
+
+	"repro/internal/filter"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// Event is an application-published message, stamped by its pubend.
+type Event struct {
+	Pubend    vtime.PubendID
+	Timestamp vtime.Timestamp
+	Attrs     filter.Attributes
+	Payload   []byte
+}
+
+// Clone returns a deep copy of the event.
+func (e *Event) Clone() *Event {
+	cp := &Event{
+		Pubend:    e.Pubend,
+		Timestamp: e.Timestamp,
+		Attrs:     e.Attrs.Clone(),
+		Payload:   make([]byte, len(e.Payload)),
+	}
+	copy(cp.Payload, e.Payload)
+	return cp
+}
+
+// String implements fmt.Stringer.
+func (e *Event) String() string {
+	return fmt.Sprintf("event{%s@%d, %d attrs, %dB}", e.Pubend, e.Timestamp, len(e.Attrs), len(e.Payload))
+}
+
+// Type discriminates wire messages.
+type Type uint8
+
+// Wire message types.
+const (
+	TypeKnowledge    Type = iota + 1 // broker→broker: tick ranges + events
+	TypeNack                         // broker→broker: missing tick spans
+	TypeRelease                      // broker→broker: aggregated release vector
+	TypePublish                      // client→PHB
+	TypePublishAck                   // PHB→client
+	TypeSubscribe                    // client→SHB
+	TypeSubscribeAck                 // SHB→client
+	TypeDeliver                      // SHB→client: event/silence/gap batch
+	TypeAck                          // client→SHB: checkpoint token
+	TypeCredit                       // client→SHB: flow-control credits
+	TypeDetach                       // client→SHB: orderly disconnect
+	TypeHello                        // link role handshake
+	TypeSubUpdate                    // subscription propagation toward the PHBs
+	TypeUnsubscribe                  // client→SHB: permanently end a durable subscription
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeKnowledge:
+		return "knowledge"
+	case TypeNack:
+		return "nack"
+	case TypeRelease:
+		return "release"
+	case TypePublish:
+		return "publish"
+	case TypePublishAck:
+		return "publish-ack"
+	case TypeSubscribe:
+		return "subscribe"
+	case TypeSubscribeAck:
+		return "subscribe-ack"
+	case TypeDeliver:
+		return "deliver"
+	case TypeAck:
+		return "ack"
+	case TypeCredit:
+		return "credit"
+	case TypeDetach:
+		return "detach"
+	case TypeHello:
+		return "hello"
+	case TypeSubUpdate:
+		return "sub-update"
+	case TypeUnsubscribe:
+		return "unsubscribe"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Message is the interface satisfied by every wire message.
+type Message interface {
+	// WireType reports the message's wire discriminator.
+	WireType() Type
+}
+
+// Knowledge carries tick knowledge for one pubend downstream: S/L ranges
+// plus the events for D ticks. The receiver accumulates the ranges into its
+// knowledge stream and caches the events.
+type Knowledge struct {
+	Pubend vtime.PubendID
+	Ranges []tick.Range // S and L ranges (D ticks implied by Events)
+	Events []*Event     // D ticks, in timestamp order
+}
+
+// WireType implements Message.
+func (*Knowledge) WireType() Type { return TypeKnowledge }
+
+// Nack requests knowledge for the given tick spans of one pubend. Nacks
+// flow upstream toward the pubend.
+type Nack struct {
+	Pubend vtime.PubendID
+	Spans  []tick.Span
+}
+
+// WireType implements Message.
+func (*Nack) WireType() Type { return TypeNack }
+
+// Release carries the release protocol's aggregated minima upstream: the
+// minimum released timestamp and minimum latestDelivered across every SHB
+// in the sender's subtree (paper, section 3).
+type Release struct {
+	Pubend          vtime.PubendID
+	Released        vtime.Timestamp
+	LatestDelivered vtime.Timestamp
+}
+
+// WireType implements Message.
+func (*Release) WireType() Type { return TypeRelease }
+
+// Publish is a client's request to publish one event. The PHB assigns the
+// pubend (by PubendHint when valid) and the timestamp.
+type Publish struct {
+	PubendHint vtime.PubendID // 0 means "broker chooses"
+	Attrs      filter.Attributes
+	Payload    []byte
+	Token      uint64 // echoed in PublishAck
+}
+
+// WireType implements Message.
+func (*Publish) WireType() Type { return TypePublish }
+
+// PublishAck confirms an event was logged at the PHB.
+type PublishAck struct {
+	Token     uint64
+	Pubend    vtime.PubendID
+	Timestamp vtime.Timestamp
+}
+
+// WireType implements Message.
+func (*PublishAck) WireType() Type { return TypePublishAck }
+
+// Subscribe attaches (or re-attaches) a durable subscriber to an SHB.
+type Subscribe struct {
+	Subscriber vtime.SubscriberID
+	Filter     string // subscription source text (filter.Parse syntax)
+	CT         *vtime.CheckpointToken
+	Resume     bool   // false: first ever connect (CT ignored)
+	Credits    uint32 // initial flow-control credits
+}
+
+// WireType implements Message.
+func (*Subscribe) WireType() Type { return TypeSubscribe }
+
+// SubscribeAck completes attachment and, for a first connect, tells the
+// subscriber its starting checkpoint token.
+type SubscribeAck struct {
+	Subscriber vtime.SubscriberID
+	CT         *vtime.CheckpointToken
+	Err        string // non-empty on rejection
+}
+
+// WireType implements Message.
+func (*SubscribeAck) WireType() Type { return TypeSubscribeAck }
+
+// DeliverKind discriminates the per-pubend delivery messages of the paper's
+// subscriber model (section 2).
+type DeliverKind uint8
+
+// Delivery kinds.
+const (
+	DeliverEvent   DeliverKind = iota + 1 // event matching the subscription at Timestamp
+	DeliverSilence                        // no matching event in (prev, Timestamp]
+	DeliverGap                            // information about (prev, Timestamp] was early-released
+)
+
+// String implements fmt.Stringer.
+func (k DeliverKind) String() string {
+	switch k {
+	case DeliverEvent:
+		return "event"
+	case DeliverSilence:
+		return "silence"
+	case DeliverGap:
+		return "gap"
+	default:
+		return fmt.Sprintf("DeliverKind(%d)", uint8(k))
+	}
+}
+
+// Delivery is one message of the subscriber stream for one pubend.
+type Delivery struct {
+	Kind      DeliverKind
+	Pubend    vtime.PubendID
+	Timestamp vtime.Timestamp
+	Event     *Event // nil unless Kind == DeliverEvent
+}
+
+// Deliver batches deliveries on the SHB→client FIFO link.
+type Deliver struct {
+	Subscriber vtime.SubscriberID
+	Deliveries []Delivery
+}
+
+// WireType implements Message.
+func (*Deliver) WireType() Type { return TypeDeliver }
+
+// Ack acknowledges consumption: all messages with timestamps <= CT[p] for
+// every pubend p are consumed and their storage may be released.
+type Ack struct {
+	Subscriber vtime.SubscriberID
+	CT         *vtime.CheckpointToken
+}
+
+// WireType implements Message.
+func (*Ack) WireType() Type { return TypeAck }
+
+// Credit grants the SHB additional flow-control credits: the SHB may send
+// that many more event deliveries to this subscriber.
+type Credit struct {
+	Subscriber vtime.SubscriberID
+	Credits    uint32
+}
+
+// WireType implements Message.
+func (*Credit) WireType() Type { return TypeCredit }
+
+// Detach is an orderly disconnect of a durable subscriber. The
+// subscription itself persists at the SHB.
+type Detach struct {
+	Subscriber vtime.SubscriberID
+}
+
+// WireType implements Message.
+func (*Detach) WireType() Type { return TypeDetach }
+
+// LinkRole identifies what the dialing end of a connection is.
+type LinkRole uint8
+
+// Link roles.
+const (
+	RoleBroker     LinkRole = iota + 1 // a downstream broker joining the tree
+	RolePublisher                      // a publishing client
+	RoleSubscriber                     // a durable subscriber client
+)
+
+// String implements fmt.Stringer.
+func (r LinkRole) String() string {
+	switch r {
+	case RoleBroker:
+		return "broker"
+	case RolePublisher:
+		return "publisher"
+	case RoleSubscriber:
+		return "subscriber"
+	default:
+		return fmt.Sprintf("LinkRole(%d)", uint8(r))
+	}
+}
+
+// Hello is the first message on every connection, declaring the dialer's
+// role. Brokers use it to classify the link.
+type Hello struct {
+	Role LinkRole
+	Name string // diagnostic
+}
+
+// WireType implements Message.
+func (*Hello) WireType() Type { return TypeHello }
+
+// Unsubscribe permanently removes a durable subscription: its unconsumed
+// backlog is released and the persistent storage it was pinning (pubend
+// events, PFS records) becomes reclaimable. Contrast with Detach, which
+// only disconnects.
+type Unsubscribe struct {
+	Subscriber vtime.SubscriberID
+}
+
+// WireType implements Message.
+func (*Unsubscribe) WireType() Type { return TypeUnsubscribe }
+
+// SubUpdate propagates a subscription toward the publisher hosting brokers
+// so intermediate brokers can filter events per downstream link (convert
+// D ticks that match nothing below the link into S).
+type SubUpdate struct {
+	Subscriber vtime.SubscriberID
+	Filter     string
+	Remove     bool
+}
+
+// WireType implements Message.
+func (*SubUpdate) WireType() Type { return TypeSubUpdate }

@@ -1,0 +1,446 @@
+// Package metastore implements the durable table store the SHB keeps its
+// control state in: latestDelivered(p), released(s,p), the PFS
+// lastIndex/lastTimestamp metadata, and — for JMS subscribers — the
+// server-side checkpoint tokens CT(s).
+//
+// The paper stores these in DB2 tables accessed over a shared-memory JDBC
+// driver (section 5). This package substitutes a write-ahead-logged
+// key/value store with the two properties the evaluation depends on:
+//
+//   - transactional batched commits: many updates commit as one unit with a
+//     single synchronization point, which is what the JMS auto-acknowledge
+//     experiment (section 5.2) exploits by batching CT updates across
+//     requests;
+//   - a configurable per-commit cost (fsync and/or simulated latency) so
+//     the DB2-with-battery-backed-write-cache regime can be modeled.
+//
+// Group commit is automatic: concurrent committers that arrive while a
+// flush is in flight share the next fsync.
+package metastore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SyncMode controls commit durability.
+type SyncMode uint8
+
+// Sync modes.
+const (
+	// SyncGroup fsyncs the WAL on commit, coalescing concurrent commits
+	// into one fsync (group commit). The default.
+	SyncGroup SyncMode = iota + 1
+	// SyncNone treats OS buffer writes as stable; models the paper's
+	// battery-backed disk write cache (section 5.2).
+	SyncNone
+)
+
+// Options configures a store.
+type Options struct {
+	// Sync selects commit durability; zero value means SyncGroup.
+	Sync SyncMode
+	// CommitLatency, if positive, is added to every commit after the
+	// write completes; it models the round-trip and server cost of the
+	// paper's DB2 commits so commit-bound experiments (JMS auto-ack)
+	// show the right shape even on fast local disks.
+	CommitLatency time.Duration
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("metastore: closed")
+
+// Store is a durable, transactional key/value store organized into named
+// tables. All methods are safe for concurrent use.
+type Store struct {
+	mu      sync.RWMutex
+	tables  map[string]map[string][]byte
+	wal     *os.File
+	path    string
+	opts    Options
+	closed  bool
+	commits int64
+
+	flushMu sync.Mutex // serializes fsyncs for group commit
+	flushed int64      // commits covered by the last fsync
+	written int64      // commits written to the WAL
+}
+
+// Open opens or creates the store rooted at path (a single WAL file).
+func Open(path string, opts Options) (*Store, error) {
+	if opts.Sync == 0 {
+		opts.Sync = SyncGroup
+	}
+	wal, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("metastore open: %w", err)
+	}
+	s := &Store{
+		tables: make(map[string]map[string][]byte),
+		wal:    wal,
+		path:   path,
+		opts:   opts,
+	}
+	if err := s.replay(); err != nil {
+		wal.Close() //nolint:errcheck,gosec // best-effort cleanup
+		return nil, err
+	}
+	return s, nil
+}
+
+// replay reloads state from the WAL, truncating a torn tail.
+func (s *Store) replay() error {
+	info, err := s.wal.Stat()
+	if err != nil {
+		return fmt.Errorf("metastore replay: %w", err)
+	}
+	fileSize := info.Size()
+	var off int64
+	hdr := make([]byte, 8)
+	for off+8 <= fileSize {
+		if _, err := s.wal.ReadAt(hdr, off); err != nil {
+			break
+		}
+		plen := int64(binary.BigEndian.Uint32(hdr))
+		wantCRC := binary.BigEndian.Uint32(hdr[4:])
+		if off+8+plen > fileSize || plen > 1<<30 {
+			break
+		}
+		payload := make([]byte, plen)
+		if _, err := s.wal.ReadAt(payload, off+8); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break
+		}
+		s.applyRecord(payload)
+		off += 8 + plen
+	}
+	if off < fileSize {
+		if err := s.wal.Truncate(off); err != nil {
+			return fmt.Errorf("metastore replay truncate: %w", err)
+		}
+	}
+	if _, err := s.wal.Seek(off, 0); err != nil {
+		return fmt.Errorf("metastore replay seek: %w", err)
+	}
+	return nil
+}
+
+// applyRecord applies one committed transaction's ops to the in-memory
+// tables.
+func (s *Store) applyRecord(payload []byte) {
+	off := 0
+	readStr := func() (string, bool) {
+		if off+2 > len(payload) {
+			return "", false
+		}
+		n := int(binary.BigEndian.Uint16(payload[off:]))
+		off += 2
+		if off+n > len(payload) {
+			return "", false
+		}
+		str := string(payload[off : off+n])
+		off += n
+		return str, true
+	}
+	for off < len(payload) {
+		op := payload[off]
+		off++
+		table, ok := readStr()
+		if !ok {
+			return
+		}
+		key, ok := readStr()
+		if !ok {
+			return
+		}
+		switch op {
+		case opPut:
+			if off+4 > len(payload) {
+				return
+			}
+			n := int(binary.BigEndian.Uint32(payload[off:]))
+			off += 4
+			if off+n > len(payload) {
+				return
+			}
+			val := make([]byte, n)
+			copy(val, payload[off:off+n])
+			off += n
+			s.putLocked(table, key, val)
+		case opDelete:
+			if t := s.tables[table]; t != nil {
+				delete(t, key)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (s *Store) putLocked(table, key string, val []byte) {
+	t := s.tables[table]
+	if t == nil {
+		t = make(map[string][]byte)
+		s.tables[table] = t
+	}
+	t[key] = val
+}
+
+const (
+	opPut    = byte(1)
+	opDelete = byte(2)
+)
+
+// Get returns the value stored under (table, key). The returned slice is a
+// copy.
+func (s *Store) Get(table, key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[table]
+	if t == nil {
+		return nil, false
+	}
+	v, ok := t[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// GetUint64 reads a value written by Tx.PutUint64.
+func (s *Store) GetUint64(table, key string) (uint64, bool) {
+	v, ok := s.Get(table, key)
+	if !ok || len(v) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(v), true
+}
+
+// Keys returns all keys in the table, sorted.
+func (s *Store) Keys(table string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[table]
+	out := make([]string, 0, len(t))
+	for k := range t {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Commits reports the number of transactions committed since open; the JMS
+// experiment uses it to show the database commit rate is the bottleneck.
+func (s *Store) Commits() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.commits
+}
+
+// Tx is a write transaction. Build it up with Put/Delete and apply it with
+// Commit; transactions are atomic and, under SyncGroup, durable once
+// Commit returns.
+type Tx struct {
+	store *Store
+	ops   []byte
+	count int
+}
+
+// Begin starts a new write transaction.
+func (s *Store) Begin() *Tx {
+	return &Tx{store: s}
+}
+
+func (tx *Tx) appendStr(v string) {
+	tx.ops = binary.BigEndian.AppendUint16(tx.ops, uint16(len(v)))
+	tx.ops = append(tx.ops, v...)
+}
+
+// Put stages a write of (table, key) = val.
+func (tx *Tx) Put(table, key string, val []byte) *Tx {
+	tx.ops = append(tx.ops, opPut)
+	tx.appendStr(table)
+	tx.appendStr(key)
+	tx.ops = binary.BigEndian.AppendUint32(tx.ops, uint32(len(val)))
+	tx.ops = append(tx.ops, val...)
+	tx.count++
+	return tx
+}
+
+// PutUint64 stages a write of an 8-byte big-endian integer.
+func (tx *Tx) PutUint64(table, key string, val uint64) *Tx {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], val)
+	return tx.Put(table, key, buf[:])
+}
+
+// Delete stages a delete of (table, key).
+func (tx *Tx) Delete(table, key string) *Tx {
+	tx.ops = append(tx.ops, opDelete)
+	tx.appendStr(table)
+	tx.appendStr(key)
+	tx.count++
+	return tx
+}
+
+// Len reports the number of staged operations.
+func (tx *Tx) Len() int { return tx.count }
+
+// Commit atomically applies and persists the transaction. An empty
+// transaction commits trivially without touching the WAL.
+func (tx *Tx) Commit() error {
+	s := tx.store
+	if tx.count == 0 {
+		return nil
+	}
+	rec := make([]byte, 0, 8+len(tx.ops))
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(tx.ops)))
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(tx.ops))
+	rec = append(rec, tx.ops...)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if _, err := s.wal.Write(rec); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("metastore commit write: %w", err)
+	}
+	s.applyRecord(tx.ops)
+	s.commits++
+	s.written++
+	mySeq := s.written
+	s.mu.Unlock()
+
+	if s.opts.Sync == SyncGroup {
+		if err := s.groupFsync(mySeq); err != nil {
+			return err
+		}
+	}
+	if s.opts.CommitLatency > 0 {
+		time.Sleep(s.opts.CommitLatency)
+	}
+	return nil
+}
+
+// groupFsync ensures an fsync covering commit sequence seq has happened.
+// Committers that arrive while another fsync is in flight wait for the
+// flush lock and then usually find their commit already covered.
+func (s *Store) groupFsync(seq int64) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
+	s.mu.RLock()
+	covered := s.flushed >= seq
+	closed := s.closed
+	s.mu.RUnlock()
+	if covered {
+		return nil
+	}
+	if closed {
+		return ErrClosed
+	}
+	s.mu.RLock()
+	target := s.written
+	s.mu.RUnlock()
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("metastore fsync: %w", err)
+	}
+	s.mu.Lock()
+	if target > s.flushed {
+		s.flushed = target
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Checkpoint compacts the WAL to a snapshot of current state. Safe to call
+// at any time; concurrent commits are blocked for the duration.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	tmpPath := s.path + ".ckpt"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("metastore checkpoint: %w", err)
+	}
+	defer os.Remove(tmpPath) //nolint:errcheck // best-effort cleanup
+
+	// Serialize the whole state as one transaction record.
+	var ops []byte
+	appendStr := func(v string) {
+		ops = binary.BigEndian.AppendUint16(ops, uint16(len(v)))
+		ops = append(ops, v...)
+	}
+	tableNames := make([]string, 0, len(s.tables))
+	for name := range s.tables {
+		tableNames = append(tableNames, name)
+	}
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		keys := make([]string, 0, len(s.tables[name]))
+		for k := range s.tables[name] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v := s.tables[name][k]
+			ops = append(ops, opPut)
+			appendStr(name)
+			appendStr(k)
+			ops = binary.BigEndian.AppendUint32(ops, uint32(len(v)))
+			ops = append(ops, v...)
+		}
+	}
+	rec := make([]byte, 0, 8+len(ops))
+	rec = binary.BigEndian.AppendUint32(rec, uint32(len(ops)))
+	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(ops))
+	rec = append(rec, ops...)
+	if _, err := tmp.Write(rec); err != nil {
+		tmp.Close() //nolint:errcheck,gosec // best-effort cleanup
+		return fmt.Errorf("metastore checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close() //nolint:errcheck,gosec // best-effort cleanup
+		return fmt.Errorf("metastore checkpoint sync: %w", err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close() //nolint:errcheck,gosec // best-effort cleanup
+		return fmt.Errorf("metastore checkpoint rename: %w", err)
+	}
+	old := s.wal
+	s.wal = tmp
+	old.Close() //nolint:errcheck,gosec // replaced file
+	if _, err := s.wal.Seek(0, 2); err != nil {
+		return fmt.Errorf("metastore checkpoint seek: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes the store.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if err := s.wal.Sync(); err != nil {
+		s.wal.Close() //nolint:errcheck,gosec // already failing
+		return fmt.Errorf("metastore close sync: %w", err)
+	}
+	return s.wal.Close()
+}

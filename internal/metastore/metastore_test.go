@@ -1,0 +1,311 @@
+package metastore
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func openTestStore(t *testing.T, opts Options) (*Store, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	s, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck
+	return s, path
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTestStore(t, Options{Sync: SyncNone})
+	if err := s.Begin().Put("t", "k", []byte("v1")).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("t", "k")
+	if !ok || string(got) != "v1" {
+		t.Fatalf("Get = %q/%v", got, ok)
+	}
+	// Returned value is a copy.
+	got[0] = 'X'
+	if again, _ := s.Get("t", "k"); string(again) != "v1" {
+		t.Error("Get aliased internal state")
+	}
+	if err := s.Begin().Delete("t", "k").Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("t", "k"); ok {
+		t.Error("deleted key still present")
+	}
+	if _, ok := s.Get("missing-table", "k"); ok {
+		t.Error("missing table returned a value")
+	}
+}
+
+func TestUint64Helpers(t *testing.T) {
+	s, _ := openTestStore(t, Options{Sync: SyncNone})
+	if err := s.Begin().PutUint64("t", "n", 12345).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetUint64("t", "n")
+	if !ok || got != 12345 {
+		t.Errorf("GetUint64 = %d/%v", got, ok)
+	}
+	if _, ok := s.GetUint64("t", "missing"); ok {
+		t.Error("missing key returned a value")
+	}
+	// Wrong width value.
+	s.Begin().Put("t", "short", []byte{1}).Commit() //nolint:errcheck
+	if _, ok := s.GetUint64("t", "short"); ok {
+		t.Error("short value decoded as uint64")
+	}
+}
+
+func TestTransactionAtomicity(t *testing.T) {
+	s, _ := openTestStore(t, Options{Sync: SyncNone})
+	tx := s.Begin().
+		Put("a", "k1", []byte("1")).
+		Put("b", "k2", []byte("2")).
+		Delete("a", "never-existed")
+	if tx.Len() != 3 {
+		t.Errorf("Len = %d", tx.Len())
+	}
+	// Nothing visible before commit.
+	if _, ok := s.Get("a", "k1"); ok {
+		t.Fatal("staged write visible before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("a", "k1"); !ok {
+		t.Error("k1 missing after commit")
+	}
+	if _, ok := s.Get("b", "k2"); !ok {
+		t.Error("k2 missing after commit")
+	}
+	// Empty transaction is a no-op and doesn't count as a commit.
+	before := s.Commits()
+	if err := s.Begin().Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Commits() != before {
+		t.Error("empty commit counted")
+	}
+}
+
+func TestKeys(t *testing.T) {
+	s, _ := openTestStore(t, Options{Sync: SyncNone})
+	s.Begin().Put("t", "b", nil).Put("t", "a", nil).Put("t", "c", nil).Commit() //nolint:errcheck
+	keys := s.Keys("t")
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("Keys = %v", keys)
+	}
+	if got := s.Keys("none"); len(got) != 0 {
+		t.Errorf("Keys of missing table = %v", got)
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	s, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := s.Begin().PutUint64("t", key, uint64(i*i)).Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Begin().Delete("t", "k10").Commit() //nolint:errcheck
+	s.Close()                             //nolint:errcheck
+
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("re-open: %v", err)
+	}
+	defer s2.Close() //nolint:errcheck
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		got, ok := s2.GetUint64("t", key)
+		if i == 10 {
+			if ok {
+				t.Error("deleted key survived recovery")
+			}
+			continue
+		}
+		if !ok || got != uint64(i*i) {
+			t.Errorf("recovered %s = %d/%v, want %d", key, got, ok, i*i)
+		}
+	}
+}
+
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	s, _ := Open(path, Options{})                        //nolint:errcheck
+	s.Begin().Put("t", "good", []byte("yes")).Commit()   //nolint:errcheck
+	s.Begin().Put("t", "torn", []byte("maybe")).Commit() //nolint:errcheck
+	s.Close()                                            //nolint:errcheck
+
+	info, _ := os.Stat(path) //nolint:errcheck
+	if err := os.Truncate(path, info.Size()-2); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatalf("re-open torn: %v", err)
+	}
+	defer s2.Close() //nolint:errcheck
+	if _, ok := s2.Get("t", "good"); !ok {
+		t.Error("intact record lost")
+	}
+	if _, ok := s2.Get("t", "torn"); ok {
+		t.Error("torn record survived")
+	}
+	// Store is writable after tail truncation.
+	if err := s2.Begin().Put("t", "new", []byte("x")).Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointCompactsAndPreservesState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	s, _ := Open(path, Options{Sync: SyncNone}) //nolint:errcheck
+	// Overwrite the same keys many times to bloat the WAL.
+	for i := 0; i < 200; i++ {
+		s.Begin().PutUint64("t", "hot", uint64(i)).Commit() //nolint:errcheck
+	}
+	infoBefore, _ := os.Stat(path) //nolint:errcheck
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	infoAfter, _ := os.Stat(path) //nolint:errcheck
+	if infoAfter.Size() >= infoBefore.Size() {
+		t.Errorf("checkpoint did not shrink WAL: %d -> %d", infoBefore.Size(), infoAfter.Size())
+	}
+	if got, _ := s.GetUint64("t", "hot"); got != 199 {
+		t.Errorf("hot = %d after checkpoint", got)
+	}
+	// Writes continue and survive recovery.
+	s.Begin().PutUint64("t", "hot", 500).Commit() //nolint:errcheck
+	s.Close()                                     //nolint:errcheck
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close() //nolint:errcheck
+	if got, _ := s2.GetUint64("t", "hot"); got != 500 {
+		t.Errorf("hot = %d after checkpoint+recovery", got)
+	}
+}
+
+func TestClosedStore(t *testing.T) {
+	s, _ := openTestStore(t, Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	if err := s.Begin().Put("t", "k", nil).Commit(); !errors.Is(err, ErrClosed) {
+		t.Errorf("commit on closed = %v", err)
+	}
+	if err := s.Checkpoint(); !errors.Is(err, ErrClosed) {
+		t.Errorf("checkpoint on closed = %v", err)
+	}
+}
+
+func TestCommitLatencySimulation(t *testing.T) {
+	s, _ := openTestStore(t, Options{Sync: SyncNone, CommitLatency: 5 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 4; i++ {
+		s.Begin().PutUint64("t", "k", uint64(i)).Commit() //nolint:errcheck
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("4 commits with 5ms latency took %v", elapsed)
+	}
+}
+
+func TestConcurrentCommits(t *testing.T) {
+	s, path := openTestStore(t, Options{Sync: SyncGroup})
+	const workers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("w%d-k%d", w, i)
+				if err := s.Begin().PutUint64("t", key, uint64(i)).Commit(); err != nil {
+					t.Errorf("commit: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Commits(); got != workers*per {
+		t.Errorf("Commits = %d, want %d", got, workers*per)
+	}
+	s.Close() //nolint:errcheck
+	// Everything durable.
+	s2, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close() //nolint:errcheck
+	if got := len(s2.Keys("t")); got != workers*per {
+		t.Errorf("recovered %d keys, want %d", got, workers*per)
+	}
+}
+
+// Randomized model check: the store agrees with an in-memory map across
+// commits, checkpoints, and recoveries.
+func TestRandomizedModelCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	path := filepath.Join(t.TempDir(), "meta.wal")
+	model := map[string]string{}
+	s, err := Open(path, Options{Sync: SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(20) {
+		case 0: // recovery cycle
+			s.Close() //nolint:errcheck
+			s, err = Open(path, Options{Sync: SyncNone})
+			if err != nil {
+				t.Fatalf("step %d re-open: %v", step, err)
+			}
+		case 1:
+			if err := s.Checkpoint(); err != nil {
+				t.Fatalf("step %d checkpoint: %v", step, err)
+			}
+		default:
+			key := fmt.Sprintf("k%d", rng.Intn(30))
+			if rng.Intn(4) == 0 {
+				s.Begin().Delete("t", key).Commit() //nolint:errcheck
+				delete(model, key)
+			} else {
+				val := fmt.Sprintf("v%d", rng.Int())
+				s.Begin().Put("t", key, []byte(val)).Commit() //nolint:errcheck
+				model[key] = val
+			}
+		}
+	}
+	for key, want := range model {
+		got, ok := s.Get("t", key)
+		if !ok || string(got) != want {
+			t.Errorf("final %s = %q/%v, want %q", key, got, ok, want)
+		}
+	}
+	if got := len(s.Keys("t")); got != len(model) {
+		t.Errorf("key count %d, want %d", got, len(model))
+	}
+	s.Close() //nolint:errcheck
+}

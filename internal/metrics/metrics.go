@@ -1,0 +1,274 @@
+// Package metrics provides the lightweight counters, time series, and
+// latency histograms the experiment harness uses to regenerate the paper's
+// figures. It has no background goroutines; samplers are driven explicitly
+// by the harness loop.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an atomically readable instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n.
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load returns the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Point is one sample of a time series: T seconds since the series start,
+// V the sampled value.
+type Point struct {
+	T float64
+	V float64
+}
+
+// Series is an append-only time series. It is safe for concurrent use.
+type Series struct {
+	mu     sync.Mutex
+	name   string
+	points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series {
+	return &Series{name: name}
+}
+
+// Name reports the series name.
+func (s *Series) Name() string { return s.name }
+
+// Append adds a sample.
+func (s *Series) Append(t, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.points = append(s.points, Point{T: t, V: v})
+}
+
+// Points returns a copy of the samples.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.points))
+	copy(out, s.points)
+	return out
+}
+
+// Len reports the number of samples.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.points)
+}
+
+// Mean returns the average sample value, or 0 for an empty series.
+func (s *Series) Mean() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.points {
+		sum += p.V
+	}
+	return sum / float64(len(s.points))
+}
+
+// WriteCSV writes "t,<name>" rows to w.
+func (s *Series) WriteCSV(w io.Writer) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := fmt.Fprintf(w, "t_seconds,%s\n", s.name); err != nil {
+		return err
+	}
+	for _, p := range s.points {
+		if _, err := fmt.Fprintf(w, "%.3f,%.3f\n", p.T, p.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RateSampler converts a counter into a rate series: each call to Sample
+// appends (now, delta/elapsed) to the series.
+type RateSampler struct {
+	counter *Counter
+	series  *Series
+	start   time.Time
+	mu      sync.Mutex
+	lastT   time.Time
+	lastV   int64
+}
+
+// NewRateSampler returns a sampler of c into a new series with the given
+// name, anchored at start.
+func NewRateSampler(name string, c *Counter, start time.Time) *RateSampler {
+	return &RateSampler{
+		counter: c,
+		series:  NewSeries(name),
+		start:   start,
+		lastT:   start,
+	}
+}
+
+// Sample records the rate since the previous sample.
+func (r *RateSampler) Sample(now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v := r.counter.Load()
+	dt := now.Sub(r.lastT).Seconds()
+	if dt <= 0 {
+		return
+	}
+	rate := float64(v-r.lastV) / dt
+	r.series.Append(now.Sub(r.start).Seconds(), rate)
+	r.lastT, r.lastV = now, v
+}
+
+// Series returns the underlying rate series.
+func (r *RateSampler) Series() *Series { return r.series }
+
+// GaugeSampler samples an arbitrary value function into a series.
+type GaugeSampler struct {
+	fn     func() float64
+	series *Series
+	start  time.Time
+}
+
+// NewGaugeSampler returns a sampler of fn anchored at start.
+func NewGaugeSampler(name string, fn func() float64, start time.Time) *GaugeSampler {
+	return &GaugeSampler{fn: fn, series: NewSeries(name), start: start}
+}
+
+// Sample appends the current value.
+func (g *GaugeSampler) Sample(now time.Time) {
+	g.series.Append(now.Sub(g.start).Seconds(), g.fn())
+}
+
+// Series returns the underlying series.
+func (g *GaugeSampler) Series() *Series { return g.series }
+
+// Histogram accumulates durations and reports order statistics. It is safe
+// for concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.samples = append(h.samples, d)
+	h.sorted = false
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean reports the average duration, or 0 when empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range h.samples {
+		sum += d
+	}
+	return sum / time.Duration(len(h.samples))
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1), or 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Slice(h.samples, func(i, j int) bool { return h.samples[i] < h.samples[j] })
+		h.sorted = true
+	}
+	idx := int(q * float64(len(h.samples)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.samples) {
+		idx = len(h.samples) - 1
+	}
+	return h.samples[idx]
+}
+
+// Max reports the largest observation.
+func (h *Histogram) Max() time.Duration { return h.Quantile(1) }
+
+// Stddev reports the standard deviation of observations.
+func (h *Histogram) Stddev() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := len(h.samples)
+	if n < 2 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range h.samples {
+		sum += d
+	}
+	mean := float64(sum) / float64(n)
+	var ss float64
+	for _, d := range h.samples {
+		diff := float64(d) - mean
+		ss += diff * diff
+	}
+	return time.Duration(sqrt(ss / float64(n-1)))
+}
+
+// sqrt is Newton's method on float64, avoiding a math import for one call.
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1010 {
+		t.Errorf("Counter = %d, want %d", got, 8*1010)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Errorf("Gauge = %d", got)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("x")
+	if s.Name() != "x" || s.Mean() != 0 {
+		t.Error("empty series basics broken")
+	}
+	s.Append(0, 10)
+	s.Append(1, 20)
+	s.Append(2, 30)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if got := s.Mean(); got != 20 {
+		t.Errorf("Mean = %v", got)
+	}
+	pts := s.Points()
+	pts[0].V = 999 // copy, not alias
+	if s.Points()[0].V != 10 {
+		t.Error("Points aliased internal state")
+	}
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 || lines[0] != "t_seconds,x" {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}
+
+func TestRateSampler(t *testing.T) {
+	var c Counter
+	start := time.Now()
+	r := NewRateSampler("rate", &c, start)
+	c.Add(100)
+	r.Sample(start.Add(time.Second))
+	c.Add(50)
+	r.Sample(start.Add(2 * time.Second))
+	r.Sample(start.Add(2 * time.Second)) // zero dt: dropped
+	pts := r.Series().Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %v", pts)
+	}
+	if math.Abs(pts[0].V-100) > 1e-6 || math.Abs(pts[1].V-50) > 1e-6 {
+		t.Errorf("rates = %v", pts)
+	}
+}
+
+func TestGaugeSampler(t *testing.T) {
+	v := 1.5
+	start := time.Now()
+	g := NewGaugeSampler("g", func() float64 { return v }, start)
+	g.Sample(start.Add(time.Second))
+	v = 2.5
+	g.Sample(start.Add(2 * time.Second))
+	pts := g.Series().Points()
+	if len(pts) != 2 || pts[0].V != 1.5 || pts[1].V != 2.5 {
+		t.Errorf("gauge samples = %v", pts)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Stddev() != 0 {
+		t.Error("empty histogram basics broken")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if got := h.Mean(); got != 50500*time.Microsecond {
+		t.Errorf("Mean = %v", got)
+	}
+	med := h.Quantile(0.5)
+	if med < 49*time.Millisecond || med > 52*time.Millisecond {
+		t.Errorf("median = %v", med)
+	}
+	if got := h.Max(); got != 100*time.Millisecond {
+		t.Errorf("Max = %v", got)
+	}
+	// Stddev of 1..100 ms is ~29.0 ms.
+	sd := h.Stddev()
+	if sd < 28*time.Millisecond || sd > 30*time.Millisecond {
+		t.Errorf("Stddev = %v", sd)
+	}
+	// Observing after a quantile read keeps working.
+	h.Observe(200 * time.Millisecond)
+	if got := h.Max(); got != 200*time.Millisecond {
+		t.Errorf("Max after new observation = %v", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, x := range []float64{0, 1, 2, 100, 1e12} {
+		got := sqrt(x)
+		want := math.Sqrt(x)
+		if math.Abs(got-want) > 1e-6*(want+1) {
+			t.Errorf("sqrt(%v) = %v, want %v", x, got, want)
+		}
+	}
+}

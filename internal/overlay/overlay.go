@@ -1,0 +1,415 @@
+// Package overlay implements the broker overlay network's links: ordered,
+// reliable, bidirectional message connections between brokers, and between
+// clients and brokers.
+//
+// Two transports are provided. The in-process transport connects brokers
+// living in one OS process through queues (with optional injected latency
+// to model network hops); the TCP transport frames the message codec over
+// real sockets, matching the paper's deployment ("connections between
+// brokers in the overlay network are implemented using TCP").
+//
+// The last hop from an SHB to a subscriber is a FIFO link, and delivery of
+// a message is complete as soon as it is enqueued (paper, section 4.1);
+// Conn.Send has exactly those semantics.
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/message"
+)
+
+// ErrClosed is returned by operations on a closed connection or transport.
+var ErrClosed = errors.New("overlay: closed")
+
+// Handler consumes inbound messages from a connection. Handlers run on the
+// connection's single dispatch goroutine, so messages from one peer are
+// processed in FIFO order.
+type Handler func(m message.Message)
+
+// Conn is one end of a bidirectional FIFO link.
+type Conn interface {
+	// Send enqueues a message; delivery is complete at enqueue time.
+	// Send never blocks on the network.
+	Send(m message.Message) error
+	// Start begins dispatching inbound messages to h. It must be called
+	// exactly once; messages received before Start are buffered.
+	Start(h Handler)
+	// Close tears down the link and waits for its goroutines to exit.
+	// The peer's handler observes the close via OnClose.
+	Close() error
+	// OnClose registers a callback invoked once when the connection
+	// shuts down (either side). Must be called before Start.
+	OnClose(func())
+	// RemoteAddr describes the peer (diagnostic).
+	RemoteAddr() string
+}
+
+// Transport creates and accepts connections.
+type Transport interface {
+	// Listen binds addr and invokes accept for every inbound
+	// connection. The returned closer stops listening.
+	Listen(addr string, accept func(Conn)) (io.Closer, error)
+	// Dial connects to addr.
+	Dial(addr string) (Conn, error)
+}
+
+// queue is an unbounded FIFO of messages with blocking pop.
+type queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []message.Message
+	closed bool
+}
+
+func newQueue() *queue {
+	q := &queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+func (q *queue) push(m message.Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, m)
+	q.cond.Signal()
+	return nil
+}
+
+// pop blocks until an item is available or the queue closes (nil, false).
+func (q *queue) pop() (message.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	m := q.items[0]
+	q.items = q.items[1:]
+	return m, true
+}
+
+func (q *queue) close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+func (q *queue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// closeHook manages the one-shot OnClose callback shared by both conn
+// implementations.
+type closeHook struct {
+	mu   sync.Mutex
+	fn   func()
+	done bool
+}
+
+func (c *closeHook) set(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.fn = fn
+}
+
+func (c *closeHook) fire() {
+	c.mu.Lock()
+	fn := c.fn
+	fired := c.done
+	c.done = true
+	c.mu.Unlock()
+	if !fired && fn != nil {
+		fn()
+	}
+}
+
+// --- In-process transport ---
+
+// InprocNetwork is a registry of in-process listeners. A single
+// InprocNetwork models one connected overlay; distinct networks are
+// isolated.
+type InprocNetwork struct {
+	mu        sync.Mutex
+	listeners map[string]func(Conn)
+	latency   time.Duration
+}
+
+// NewInprocNetwork returns an empty in-process network. latency, if
+// positive, is added to every message delivery (one way), modelling a
+// network hop.
+func NewInprocNetwork(latency time.Duration) *InprocNetwork {
+	return &InprocNetwork{
+		listeners: make(map[string]func(Conn)),
+		latency:   latency,
+	}
+}
+
+var _ Transport = (*InprocNetwork)(nil)
+
+// Listen implements Transport.
+func (n *InprocNetwork) Listen(addr string, accept func(Conn)) (io.Closer, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, exists := n.listeners[addr]; exists {
+		return nil, fmt.Errorf("overlay: inproc address %q already bound", addr)
+	}
+	n.listeners[addr] = accept
+	return closerFunc(func() error {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		delete(n.listeners, addr)
+		return nil
+	}), nil
+}
+
+type closerFunc func() error
+
+func (f closerFunc) Close() error { return f() }
+
+// Dial implements Transport.
+func (n *InprocNetwork) Dial(addr string) (Conn, error) {
+	n.mu.Lock()
+	accept := n.listeners[addr]
+	latency := n.latency
+	n.mu.Unlock()
+	if accept == nil {
+		return nil, fmt.Errorf("overlay: no inproc listener at %q", addr)
+	}
+	ab, ba := newQueue(), newQueue()
+	client := &inprocConn{out: ab, in: ba, latency: latency, addr: addr}
+	server := &inprocConn{out: ba, in: ab, latency: latency, addr: "client->" + addr}
+	client.peer, server.peer = server, client
+	accept(server)
+	return client, nil
+}
+
+// inprocConn is one side of an in-process link.
+type inprocConn struct {
+	out     *queue
+	in      *queue
+	peer    *inprocConn
+	latency time.Duration
+	addr    string
+	hook    closeHook
+
+	startOnce sync.Once
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+var _ Conn = (*inprocConn)(nil)
+
+func (c *inprocConn) Send(m message.Message) error { return c.out.push(m) }
+
+func (c *inprocConn) Start(h Handler) {
+	c.startOnce.Do(func() {
+		c.done = make(chan struct{})
+		go func() {
+			defer close(c.done)
+			for {
+				m, ok := c.in.pop()
+				if !ok {
+					c.hook.fire()
+					return
+				}
+				if c.latency > 0 {
+					time.Sleep(c.latency)
+				}
+				h(m)
+			}
+		}()
+	})
+}
+
+func (c *inprocConn) Close() error {
+	c.closeOnce.Do(func() {
+		c.out.close()
+		c.in.close()
+		c.hook.fire()
+	})
+	if c.done != nil {
+		<-c.done
+	}
+	return nil
+}
+
+func (c *inprocConn) OnClose(fn func()) { c.hook.set(fn) }
+
+func (c *inprocConn) RemoteAddr() string { return c.addr }
+
+// --- TCP transport ---
+
+// TCPTransport frames the message codec over TCP sockets.
+type TCPTransport struct{}
+
+var _ Transport = TCPTransport{}
+
+// Listen implements Transport.
+func (TCPTransport) Listen(addr string, accept func(Conn)) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay listen: %w", err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			accept(newTCPConn(nc))
+		}
+	}()
+	return ln, nil
+}
+
+// Dial implements Transport.
+func (TCPTransport) Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("overlay dial: %w", err)
+	}
+	return newTCPConn(nc), nil
+}
+
+// ListenAny binds an ephemeral local TCP port and reports the bound
+// address; the experiment harness uses it to build multi-process-like
+// topologies on loopback.
+func ListenAny(accept func(Conn)) (io.Closer, string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", fmt.Errorf("overlay listen: %w", err)
+	}
+	go func() {
+		for {
+			nc, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			accept(newTCPConn(nc))
+		}
+	}()
+	return ln, ln.Addr().String(), nil
+}
+
+// tcpConn pairs an outbound queue + writer goroutine with a reader
+// goroutine over one socket.
+type tcpConn struct {
+	nc   net.Conn
+	out  *queue
+	hook closeHook
+
+	startOnce  sync.Once
+	closeOnce  sync.Once
+	writerDone chan struct{}
+	readerDone chan struct{}
+}
+
+var _ Conn = (*tcpConn)(nil)
+
+func newTCPConn(nc net.Conn) *tcpConn {
+	c := &tcpConn{
+		nc:         nc,
+		out:        newQueue(),
+		writerDone: make(chan struct{}),
+	}
+	go c.writer()
+	return c
+}
+
+func (c *tcpConn) writer() {
+	defer close(c.writerDone)
+	var buf []byte
+	for {
+		m, ok := c.out.pop()
+		if !ok {
+			return
+		}
+		buf = buf[:0]
+		buf = append(buf, 0, 0, 0, 0) // length placeholder
+		var err error
+		buf, err = message.Encode(buf, m)
+		if err != nil {
+			continue
+		}
+		binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+		if _, err := c.nc.Write(buf); err != nil {
+			c.teardown()
+			return
+		}
+	}
+}
+
+func (c *tcpConn) Send(m message.Message) error { return c.out.push(m) }
+
+func (c *tcpConn) Start(h Handler) {
+	c.startOnce.Do(func() {
+		c.readerDone = make(chan struct{})
+		go func() {
+			defer close(c.readerDone)
+			hdr := make([]byte, 4)
+			for {
+				if _, err := io.ReadFull(c.nc, hdr); err != nil {
+					c.teardown()
+					return
+				}
+				n := binary.BigEndian.Uint32(hdr)
+				if n > 64<<20 {
+					c.teardown()
+					return
+				}
+				body := make([]byte, n)
+				if _, err := io.ReadFull(c.nc, body); err != nil {
+					c.teardown()
+					return
+				}
+				m, err := message.Decode(body)
+				if err != nil {
+					continue // skip unknown/corrupt frames
+				}
+				h(m)
+			}
+		}()
+	})
+}
+
+// teardown closes the socket and queue from a goroutine that noticed
+// failure.
+func (c *tcpConn) teardown() {
+	c.closeOnce.Do(func() {
+		c.out.close()
+		c.nc.Close() //nolint:errcheck,gosec // teardown path
+		c.hook.fire()
+	})
+}
+
+func (c *tcpConn) Close() error {
+	// Let queued messages drain briefly before closing the socket.
+	for i := 0; i < 100 && c.out.len() > 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	c.teardown()
+	<-c.writerDone
+	if c.readerDone != nil {
+		<-c.readerDone
+	}
+	return nil
+}
+
+func (c *tcpConn) OnClose(fn func()) { c.hook.set(fn) }
+
+func (c *tcpConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

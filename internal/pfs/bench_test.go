@@ -1,0 +1,68 @@
+package pfs
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/logvol"
+	"repro/internal/metastore"
+	"repro/internal/vtime"
+)
+
+func benchPFS(b *testing.B) *PFS {
+	b.Helper()
+	dir := b.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "pfs.log"), logvol.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	meta, err := metastore.Open(filepath.Join(dir, "meta.wal"), metastore.Options{Sync: metastore.SyncNone})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		vol.Close()  //nolint:errcheck
+		meta.Close() //nolint:errcheck
+	})
+	p, err := New(Options{Volume: vol, Meta: meta, SyncEvery: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// BenchmarkPFSWrite measures the per-matched-timestamp logging cost with
+// the paper's 25-subscriber match fanout (one 8+16·25-byte record).
+func BenchmarkPFSWrite(b *testing.B) {
+	p := benchPFS(b)
+	subs := make([]vtime.SubscriberID, 25)
+	for i := range subs {
+		subs[i] = vtime.SubscriberID(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.Write(1, vtime.Timestamp(i+1), subs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPFSBatchRead measures one full backpointer-chain batch read over
+// a 10000-tick history (the reconnect path).
+func BenchmarkPFSBatchRead(b *testing.B) {
+	p := benchPFS(b)
+	for ts := vtime.Timestamp(1); ts <= 10000; ts++ {
+		if err := p.Write(1, ts, []vtime.SubscriberID{vtime.SubscriberID(ts % 20)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := p.Read(1, 5, 0, 10000, 5000)
+		if err != nil || len(res.QSpans) == 0 {
+			b.Fatalf("read: %v (%d spans)", err, len(res.QSpans))
+		}
+	}
+}

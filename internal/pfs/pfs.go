@@ -1,0 +1,500 @@
+// Package pfs implements the Persistent Filtering Subsystem of the paper
+// (section 4.2): the SHB-side persistent log of which events matched which
+// durable subscribers, written once per matched timestamp and read in large
+// batches when a subscriber reconnects, so that catchup never has to
+// retrieve and refilter events that did not match.
+//
+// Storage layout follows the paper exactly. All subscribers of one pubend
+// share a single log stream; one record is written per timestamp that is Q
+// (matched) for at least one subscriber. A record is
+//
+//	timestamp (8 bytes) + n × (subscriberID 8 bytes, prevIndex 8 bytes)
+//
+// i.e. the paper's 8 + 16·n bytes, where prevIndex is the log-volume index
+// of the previous record containing that subscriber. The per-subscriber
+// backpointer chains make batch reads walk only records relevant to the
+// subscriber being caught up.
+//
+// The PFS keeps lastTimestamp (latest Q tick written) per pubend and
+// lastIndex (latest record containing the subscriber) per subscriber in a
+// metastore table, checkpointed at every Sync; recovery replays the log
+// tail beyond the checkpoint.
+package pfs
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"repro/internal/logvol"
+	"repro/internal/metastore"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+const (
+	metaTable = "pfs"
+	recBase   = 8  // timestamp
+	recPerSub = 16 // subscriber id + backpointer
+)
+
+// Options configures a PFS.
+type Options struct {
+	// Volume is the shared log volume (required).
+	Volume *logvol.Volume
+	// Meta is the metastore holding lastTimestamp/lastIndex (required).
+	Meta *metastore.Store
+	// SyncEvery syncs the volume and checkpoints metadata every N
+	// writes per pubend; 0 disables automatic syncs (explicit Sync
+	// only). The paper's microbenchmark uses one sync per 200 events.
+	SyncEvery int
+	// ImpreciseBucket, when positive, enables the paper's imprecise
+	// mode: once a record includes a subscriber, further matches for
+	// that subscriber within the next ImpreciseBucket ticks are not
+	// written; reads expand each recorded tick to a bucket-wide Q span
+	// instead. This trades write volume for retrieving and refiltering
+	// unnecessary events during catchup.
+	ImpreciseBucket vtime.Timestamp
+}
+
+// PFS is the persistent filtering subsystem of one SHB. All methods are
+// safe for concurrent use; writes for a given pubend must be issued in
+// timestamp order (the constream, its only writer, delivers in order).
+type PFS struct {
+	opts Options
+
+	mu      sync.Mutex
+	pubends map[vtime.PubendID]*pubendState
+}
+
+type pubendState struct {
+	stream  *logvol.Stream
+	lastTS  vtime.Timestamp
+	chopTS  vtime.Timestamp // records with ts <= chopTS are discarded (L)
+	lastIdx map[vtime.SubscriberID]logvol.Index
+	scanned logvol.Index                           // metadata checkpoint covers indexes <= scanned
+	writes  int                                    // writes since last sync
+	nextOK  map[vtime.SubscriberID]vtime.Timestamp // imprecise mode gate
+}
+
+// ReadResult is the outcome of one batch read for a subscriber.
+type ReadResult struct {
+	// QSpans are the tick spans in (from, upTo] that are Q for the
+	// subscriber — events must be retrieved (and, in imprecise mode,
+	// refiltered) for them. Ascending and disjoint.
+	QSpans []tick.Span
+	// LostUpTo is the end of the chopped (early-released) prefix
+	// encountered while walking, if any; ticks in (from, LostUpTo] are L
+	// and the subscriber must receive a gap. Zero when none.
+	LostUpTo vtime.Timestamp
+	// KnownUpTo bounds the read's coverage: every tick in
+	// (from, KnownUpTo] not inside a QSpan (and above LostUpTo) is S.
+	KnownUpTo vtime.Timestamp
+	// Complete is false when the read was truncated by maxQ; the caller
+	// should read again from KnownUpTo after consuming these spans.
+	Complete bool
+}
+
+// New creates a PFS over the given volume and metastore, recovering any
+// pubend streams already present.
+func New(opts Options) (*PFS, error) {
+	if opts.Volume == nil || opts.Meta == nil {
+		return nil, errors.New("pfs: Volume and Meta are required")
+	}
+	p := &PFS{opts: opts, pubends: make(map[vtime.PubendID]*pubendState)}
+	for _, name := range opts.Volume.StreamNames() {
+		var pub uint64
+		if n, err := fmt.Sscanf(name, "pfs/%d", &pub); n != 1 || err != nil {
+			continue
+		}
+		if _, err := p.recoverPubend(vtime.PubendID(pub)); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func streamName(pub vtime.PubendID) string { return "pfs/" + strconv.FormatUint(uint64(pub), 10) }
+
+func keyLastTS(pub vtime.PubendID) string { return "lastts/" + strconv.FormatUint(uint64(pub), 10) }
+
+func keyScanned(pub vtime.PubendID) string { return "scan/" + strconv.FormatUint(uint64(pub), 10) }
+
+func keyChopTS(pub vtime.PubendID) string { return "chopts/" + strconv.FormatUint(uint64(pub), 10) }
+
+func keyLastIdx(pub vtime.PubendID, sub vtime.SubscriberID) string {
+	return "lastidx/" + strconv.FormatUint(uint64(pub), 10) + "/" +
+		strconv.FormatUint(uint64(sub), 10)
+}
+
+// state returns (creating if necessary) the per-pubend state; callers hold
+// p.mu.
+func (p *PFS) state(pub vtime.PubendID) (*pubendState, error) {
+	if st, ok := p.pubends[pub]; ok {
+		return st, nil
+	}
+	stream, err := p.opts.Volume.Stream(streamName(pub))
+	if err != nil {
+		return nil, fmt.Errorf("pfs stream: %w", err)
+	}
+	st := &pubendState{
+		stream:  stream,
+		lastIdx: make(map[vtime.SubscriberID]logvol.Index),
+		nextOK:  make(map[vtime.SubscriberID]vtime.Timestamp),
+	}
+	p.pubends[pub] = st
+	return st, nil
+}
+
+// recoverPubend rebuilds in-memory metadata for one pubend: metastore
+// checkpoint plus a scan of records beyond it.
+func (p *PFS) recoverPubend(pub vtime.PubendID) (*pubendState, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, err := p.state(pub)
+	if err != nil {
+		return nil, err
+	}
+	meta := p.opts.Meta
+	if v, ok := meta.GetUint64(metaTable, keyLastTS(pub)); ok {
+		st.lastTS = vtime.Timestamp(v)
+	}
+	if v, ok := meta.GetUint64(metaTable, keyScanned(pub)); ok {
+		st.scanned = logvol.Index(v)
+	}
+	if v, ok := meta.GetUint64(metaTable, keyChopTS(pub)); ok {
+		st.chopTS = vtime.Timestamp(v)
+	}
+	prefix := "lastidx/" + strconv.FormatUint(uint64(pub), 10) + "/"
+	for _, key := range meta.Keys(metaTable) {
+		if len(key) <= len(prefix) || key[:len(prefix)] != prefix {
+			continue
+		}
+		sub, err := strconv.ParseUint(key[len(prefix):], 10, 32)
+		if err != nil {
+			continue
+		}
+		if v, ok := meta.GetUint64(metaTable, key); ok {
+			st.lastIdx[vtime.SubscriberID(sub)] = logvol.Index(v)
+		}
+	}
+	// Replay the tail past the checkpoint.
+	first := st.stream.FirstLiveIndex()
+	start := st.scanned + 1
+	if first > start {
+		start = first
+	}
+	last := st.stream.LastIndex()
+	for idx := start; idx != logvol.NilIndex && idx <= last; idx++ {
+		payload, err := st.stream.Read(idx)
+		if errors.Is(err, logvol.ErrChopped) || errors.Is(err, logvol.ErrNotFound) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pfs recover: %w", err)
+		}
+		ts, subs, _, derr := decodeRecord(payload)
+		if derr != nil {
+			return nil, fmt.Errorf("pfs recover: %w", derr)
+		}
+		if ts > st.lastTS {
+			st.lastTS = ts
+		}
+		for _, sub := range subs {
+			if idx > st.lastIdx[sub] {
+				st.lastIdx[sub] = idx
+			}
+		}
+	}
+	return st, nil
+}
+
+// Write records that timestamp ts of pubend pub matched exactly the given
+// subscribers (the tick is S for everyone else). Writes must be issued in
+// increasing timestamp order per pubend; a timestamp at or before the last
+// written one is rejected. An empty subscriber list writes nothing (the
+// tick is S for all subscribers).
+func (p *PFS) Write(pub vtime.PubendID, ts vtime.Timestamp, subs []vtime.SubscriberID) error {
+	if len(subs) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, err := p.state(pub)
+	if err != nil {
+		return err
+	}
+	if ts <= st.lastTS {
+		return fmt.Errorf("pfs: non-monotonic write ts %d after %d for %s", ts, st.lastTS, pub)
+	}
+	include := subs
+	if p.opts.ImpreciseBucket > 0 {
+		include = include[:0:0]
+		for _, sub := range subs {
+			if ts >= st.nextOK[sub] {
+				include = append(include, sub)
+			}
+		}
+		if len(include) == 0 {
+			// Covered by earlier bucket-wide Q spans; advance
+			// lastTS so reads treat this tick as within coverage.
+			st.lastTS = ts
+			return nil
+		}
+	}
+	payload := make([]byte, 0, recBase+recPerSub*len(include))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(ts))
+	for _, sub := range include {
+		payload = binary.BigEndian.AppendUint64(payload, uint64(sub))
+		payload = binary.BigEndian.AppendUint64(payload, uint64(st.lastIdx[sub]))
+	}
+	idx, err := st.stream.Append(payload)
+	if err != nil {
+		return fmt.Errorf("pfs write: %w", err)
+	}
+	for _, sub := range include {
+		st.lastIdx[sub] = idx
+		if p.opts.ImpreciseBucket > 0 {
+			st.nextOK[sub] = ts + p.opts.ImpreciseBucket
+		}
+	}
+	st.lastTS = ts
+	st.writes++
+	if p.opts.SyncEvery > 0 && st.writes >= p.opts.SyncEvery {
+		return p.syncLocked()
+	}
+	return nil
+}
+
+// Sync makes all writes durable and checkpoints metadata; the constream
+// calls it at its group-commit points.
+func (p *PFS) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.syncLocked()
+}
+
+func (p *PFS) syncLocked() error {
+	if err := p.opts.Volume.Sync(); err != nil {
+		return fmt.Errorf("pfs sync: %w", err)
+	}
+	tx := p.opts.Meta.Begin()
+	for pub, st := range p.pubends {
+		if st.writes == 0 {
+			continue
+		}
+		tx.PutUint64(metaTable, keyLastTS(pub), uint64(st.lastTS))
+		tx.PutUint64(metaTable, keyScanned(pub), uint64(st.stream.LastIndex()))
+		for sub, idx := range st.lastIdx {
+			tx.PutUint64(metaTable, keyLastIdx(pub, sub), uint64(idx))
+		}
+		st.writes = 0
+	}
+	if err := tx.Commit(); err != nil {
+		return fmt.Errorf("pfs sync meta: %w", err)
+	}
+	return nil
+}
+
+// LastTimestamp reports the latest Q tick written for the pubend.
+func (p *PFS) LastTimestamp(pub vtime.PubendID) vtime.Timestamp {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.pubends[pub]; ok {
+		return st.lastTS
+	}
+	return vtime.ZeroTS
+}
+
+// Read performs one batch read for a subscriber: the tick knowledge for
+// pubend pub in the interval (from, to]. maxQ bounds the number of Q spans
+// returned (the paper's read buffer, e.g. 5000); 0 means unlimited.
+//
+// Per the paper: ticks above lastTimestamp are returned as one Q span
+// (safe imprecision — the PFS does not know them yet); ticks between the
+// subscriber's last record and lastTimestamp are S; the backpointer chain
+// from lastIndex(sub) yields the subscriber's Q ticks further back, with S
+// implicit between them.
+func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Timestamp, maxQ int) (ReadResult, error) {
+	p.mu.Lock()
+	st, ok := p.pubends[pub]
+	if !ok {
+		p.mu.Unlock()
+		// Nothing ever written: everything up to "to" is S as far as
+		// the PFS knows; there is no lastTimestamp so the whole range
+		// is unknown → one Q span.
+		if to <= from {
+			return ReadResult{KnownUpTo: from, Complete: true}, nil
+		}
+		return ReadResult{
+			QSpans:    []tick.Span{{Start: from + 1, End: to}},
+			KnownUpTo: to,
+			Complete:  true,
+		}, nil
+	}
+	lastTS := st.lastTS
+	chopTS := st.chopTS
+	chainHead := st.lastIdx[sub]
+	stream := st.stream
+	bucket := p.opts.ImpreciseBucket
+	p.mu.Unlock()
+
+	if to <= from {
+		return ReadResult{KnownUpTo: from, Complete: true}, nil
+	}
+
+	res := ReadResult{Complete: true}
+	floor := from
+	if chopTS > floor {
+		// The early-released prefix overlaps the request: ticks in
+		// (from, chopTS] are L and the subscriber must get a gap.
+		res.LostUpTo = vtime.MinTS(chopTS, to)
+		floor = res.LostUpTo
+	}
+
+	// Walk the backpointer chain newest→oldest collecting matched spans
+	// inside (floor, min(to, lastTS)].
+	var reversed []tick.Span
+	ceil := vtime.MinTS(to, lastTS)
+	idx := chainHead
+	for idx != logvol.NilIndex {
+		payload, err := stream.Read(idx)
+		if errors.Is(err, logvol.ErrChopped) {
+			// Chain descends into the chopped prefix; everything
+			// below is covered by LostUpTo.
+			break
+		}
+		if err != nil {
+			return ReadResult{}, fmt.Errorf("pfs read: %w", err)
+		}
+		ts, subs, prevs, derr := decodeRecord(payload)
+		if derr != nil {
+			return ReadResult{}, fmt.Errorf("pfs read: %w", derr)
+		}
+		next := logvol.NilIndex
+		for i, s := range subs {
+			if s == sub {
+				next = prevs[i]
+				break
+			}
+		}
+		if ts <= floor {
+			break
+		}
+		if ts <= ceil {
+			end := ts
+			if bucket > 0 {
+				end = vtime.MinTS(ts+bucket-1, ceil)
+			}
+			reversed = append(reversed, tick.Span{Start: ts, End: end})
+		}
+		idx = next
+	}
+
+	// Assemble ascending spans: chain spans then the unknown tail.
+	for i := len(reversed) - 1; i >= 0; i-- {
+		appendSpan(&res.QSpans, reversed[i])
+	}
+	if lastTS < to {
+		// Ticks beyond the PFS's knowledge are Q (paper: "sets all
+		// ticks from [lastTimestamp+1, to] in the read buffer to Q").
+		start := vtime.MaxOfTS(lastTS, floor) + 1
+		if start <= to {
+			appendSpan(&res.QSpans, tick.Span{Start: start, End: to})
+		}
+	}
+	res.KnownUpTo = to
+
+	if maxQ > 0 && len(res.QSpans) > maxQ {
+		res.QSpans = res.QSpans[:maxQ]
+		res.KnownUpTo = res.QSpans[maxQ-1].End
+		res.Complete = false
+	}
+	return res, nil
+}
+
+// appendSpan appends sp, merging with the previous span when adjacent or
+// overlapping (bucketed spans may overlap).
+func appendSpan(spans *[]tick.Span, sp tick.Span) {
+	if n := len(*spans); n > 0 {
+		last := &(*spans)[n-1]
+		if sp.Start <= last.End+1 {
+			if sp.End > last.End {
+				last.End = sp.End
+			}
+			return
+		}
+	}
+	*spans = append(*spans, sp)
+}
+
+// Chop discards PFS records with timestamps at or below upTo for the
+// pubend; the release protocol calls it as released(p) advances. Reads
+// whose chains descend below the chop observe the loss boundary.
+func (p *PFS) Chop(pub vtime.PubendID, upTo vtime.Timestamp) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st, ok := p.pubends[pub]
+	if !ok {
+		return nil
+	}
+	if upTo <= st.chopTS {
+		return nil
+	}
+	// Scan forward from the first live record to find the chop index.
+	var chopIdx logvol.Index
+	err := st.stream.ForEach(func(idx logvol.Index, payload []byte) bool {
+		ts, _, _, derr := decodeRecord(payload)
+		if derr != nil || ts > upTo {
+			return false
+		}
+		chopIdx = idx
+		return true
+	})
+	if err != nil {
+		return fmt.Errorf("pfs chop scan: %w", err)
+	}
+	st.chopTS = upTo
+	if err := p.opts.Meta.Begin().
+		PutUint64(metaTable, keyChopTS(pub), uint64(upTo)).Commit(); err != nil {
+		return fmt.Errorf("pfs chop meta: %w", err)
+	}
+	if chopIdx == logvol.NilIndex {
+		return nil
+	}
+	if err := st.stream.Chop(chopIdx); err != nil {
+		return fmt.Errorf("pfs chop: %w", err)
+	}
+	return nil
+}
+
+// RecordCount reports the number of live records for the pubend; tests and
+// the microbenchmark use it.
+func (p *PFS) RecordCount(pub vtime.PubendID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if st, ok := p.pubends[pub]; ok {
+		return st.stream.Len()
+	}
+	return 0
+}
+
+// decodeRecord parses a PFS record into its timestamp, subscriber list and
+// backpointer list.
+func decodeRecord(payload []byte) (vtime.Timestamp, []vtime.SubscriberID, []logvol.Index, error) {
+	if len(payload) < recBase || (len(payload)-recBase)%recPerSub != 0 {
+		return 0, nil, nil, fmt.Errorf("pfs: malformed record of %d bytes", len(payload))
+	}
+	ts := vtime.Timestamp(binary.BigEndian.Uint64(payload))
+	n := (len(payload) - recBase) / recPerSub
+	subs := make([]vtime.SubscriberID, n)
+	prevs := make([]logvol.Index, n)
+	for i := 0; i < n; i++ {
+		off := recBase + i*recPerSub
+		subs[i] = vtime.SubscriberID(binary.BigEndian.Uint64(payload[off:]))
+		prevs[i] = logvol.Index(binary.BigEndian.Uint64(payload[off+8:]))
+	}
+	return ts, subs, prevs, nil
+}

@@ -1,0 +1,450 @@
+package pubend
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/logvol"
+	"repro/internal/message"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+func newTestPubend(t *testing.T, opts Options) (*Pubend, *logvol.Volume, string) {
+	t.Helper()
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vol.Close() }) //nolint:errcheck
+	opts.Volume = vol
+	if opts.ID == 0 {
+		opts.ID = 1
+	}
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, vol, dir
+}
+
+func testEvent(payload string) message.Event {
+	return message.Event{
+		Attrs:   filter.Attributes{"topic": filter.String("t")},
+		Payload: []byte(payload),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Error("New without ID/Volume should fail")
+	}
+}
+
+func TestPublishAssignsIncreasingTimestamps(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{})
+	prev := vtime.ZeroTS
+	for i := 0; i < 100; i++ {
+		ev, err := p.Publish(testEvent("x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev.Timestamp <= prev {
+			t.Fatalf("timestamps not increasing: %d after %d", ev.Timestamp, prev)
+		}
+		if ev.Pubend != 1 {
+			t.Fatalf("pubend id = %v", ev.Pubend)
+		}
+		prev = ev.Timestamp
+	}
+	if p.EventCount() != 100 {
+		t.Errorf("EventCount = %d", p.EventCount())
+	}
+}
+
+func TestReadEvent(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{})
+	ev, _ := p.Publish(testEvent("hello")) //nolint:errcheck
+	got, err := p.ReadEvent(ev.Timestamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got.Payload) != "hello" || got.Timestamp != ev.Timestamp {
+		t.Errorf("ReadEvent = %+v", got)
+	}
+	if _, err := p.ReadEvent(ev.Timestamp + 1); err == nil {
+		t.Error("ReadEvent of missing timestamp succeeded")
+	}
+}
+
+// knowledgeCovers checks that knowledge tiles (from, to] with no overlap,
+// in order, counting D ticks.
+func knowledgeCovers(t *testing.T, know *message.Knowledge, from, to vtime.Timestamp) int {
+	t.Helper()
+	evByTS := map[vtime.Timestamp]bool{}
+	for _, ev := range know.Events {
+		evByTS[ev.Timestamp] = true
+	}
+	covered := map[vtime.Timestamp]bool{}
+	for _, r := range know.Ranges {
+		for ts := r.Start; ts <= r.End; ts++ {
+			if covered[ts] {
+				t.Fatalf("tick %d covered twice", ts)
+			}
+			covered[ts] = true
+		}
+	}
+	for ts := range evByTS {
+		if covered[ts] {
+			t.Fatalf("event tick %d also in a range", ts)
+		}
+		covered[ts] = true
+	}
+	for ts := from + 1; ts <= to; ts++ {
+		if !covered[ts] {
+			t.Fatalf("tick %d not covered", ts)
+		}
+	}
+	return len(know.Events)
+}
+
+func TestDrainProducesCompleteKnowledge(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{})
+	var published []vtime.Timestamp
+	for i := 0; i < 10; i++ {
+		ev, err := p.Publish(testEvent("e"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		published = append(published, ev.Timestamp)
+	}
+	know, upTo := p.Drain()
+	if know == nil {
+		t.Fatal("Drain returned nil knowledge")
+	}
+	if upTo < published[len(published)-1] {
+		t.Fatalf("drain horizon %d below last event %d", upTo, published[9])
+	}
+	n := knowledgeCovers(t, know, 0, upTo)
+	if n != 10 {
+		t.Errorf("drained %d events, want 10", n)
+	}
+	// Second drain continues from the horizon.
+	time.Sleep(time.Millisecond)
+	know2, upTo2 := p.Drain()
+	if upTo2 <= upTo {
+		t.Fatalf("second drain horizon %d did not advance past %d", upTo2, upTo)
+	}
+	if know2 == nil || len(know2.Events) != 0 {
+		t.Errorf("second drain should be pure silence: %+v", know2)
+	}
+	knowledgeCovers(t, know2, upTo, upTo2)
+	// Publishing after a drain always lands above the drained horizon.
+	ev, _ := p.Publish(testEvent("late")) //nolint:errcheck
+	if ev.Timestamp <= upTo2 {
+		t.Errorf("late publish at %d inside drained horizon %d", ev.Timestamp, upTo2)
+	}
+}
+
+func TestServeNack(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{})
+	var tss []vtime.Timestamp
+	for i := 0; i < 5; i++ {
+		ev, _ := p.Publish(testEvent("e")) //nolint:errcheck
+		tss = append(tss, ev.Timestamp)
+	}
+	_, upTo := p.Drain()
+	// Nack the whole range: everything comes back.
+	know, err := p.ServeNack([]tick.Span{{Start: 1, End: upTo}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := knowledgeCovers(t, know, 0, upTo); got != 5 {
+		t.Errorf("nack returned %d events, want 5", got)
+	}
+	// Nack a sub-range containing only event 3.
+	know, err = p.ServeNack([]tick.Span{{Start: tss[2], End: tss[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(know.Events) != 1 || know.Events[0].Timestamp != tss[2] {
+		t.Errorf("targeted nack = %+v", know.Events)
+	}
+	// Nack beyond the emitted horizon is clamped.
+	know, err = p.ServeNack([]tick.Span{{Start: upTo + 1000, End: upTo + 2000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(know.Events) != 0 && len(know.Ranges) != 0 {
+		t.Errorf("over-horizon nack returned knowledge: %+v", know)
+	}
+}
+
+func TestReleaseProtocolDefaultPolicy(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{})
+	var tss []vtime.Timestamp
+	for i := 0; i < 10; i++ {
+		ev, _ := p.Publish(testEvent("e")) //nolint:errcheck
+		tss = append(tss, ev.Timestamp)
+	}
+	p.Drain()
+	// Release up to the 5th event; latestDelivered further along.
+	loss, err := p.UpdateRelease(tss[4], tss[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss != tss[4] {
+		t.Errorf("loss horizon = %d, want %d", loss, tss[4])
+	}
+	if p.EventCount() != 5 {
+		t.Errorf("EventCount after release = %d, want 5", p.EventCount())
+	}
+	// Released events are gone; later events remain.
+	if _, err := p.ReadEvent(tss[2]); err == nil {
+		t.Error("released event still readable")
+	}
+	if _, err := p.ReadEvent(tss[7]); err != nil {
+		t.Errorf("retained event unreadable: %v", err)
+	}
+	// Nack below the loss horizon returns an L range.
+	know, err := p.ServeNack([]tick.Span{{Start: tss[0], End: tss[2]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundL := false
+	for _, r := range know.Ranges {
+		if r.Kind == tick.L && r.Contains(tss[1]) {
+			foundL = true
+		}
+	}
+	if !foundL {
+		t.Errorf("nack below loss horizon did not return L: %+v", know.Ranges)
+	}
+	// Rewinding release minima is ignored.
+	loss2, _ := p.UpdateRelease(tss[1], tss[2]) //nolint:errcheck
+	if loss2 != loss {
+		t.Errorf("release rewound loss horizon: %d -> %d", loss, loss2)
+	}
+}
+
+func TestMaxRetainPolicy(t *testing.T) {
+	pol := MaxRetain{Retain: 100}
+	// Nothing released, everything delivered, time way past.
+	got := pol.LossHorizon(0, 1000, 2000)
+	if got != 1000 {
+		t.Errorf("LossHorizon clamped wrong: %d, want 1000 (Td)", got)
+	}
+	// Within retention: only the released prefix.
+	got = pol.LossHorizon(50, 1000, 1050)
+	if got != 949 {
+		t.Errorf("LossHorizon = %d, want 949 (T - retain - 1)", got)
+	}
+	// released dominates when ahead of the early-release bound.
+	got = pol.LossHorizon(980, 1000, 1050)
+	if got != 980 {
+		t.Errorf("LossHorizon = %d, want 980", got)
+	}
+}
+
+func TestEarlyReleaseNeverPassesLatestDelivered(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{Policy: MaxRetain{Retain: 1}})
+	var tss []vtime.Timestamp
+	for i := 0; i < 10; i++ {
+		ev, _ := p.Publish(testEvent("e")) //nolint:errcheck
+		tss = append(tss, ev.Timestamp)
+	}
+	p.Drain()
+	time.Sleep(2 * time.Millisecond) // let T(p) race far beyond retain
+	loss, err := p.UpdateRelease(0, tss[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > tss[3] {
+		t.Fatalf("early release passed latestDelivered: loss=%d Td=%d", loss, tss[3])
+	}
+	if loss != tss[3] {
+		t.Errorf("loss = %d, want Td %d (retain long expired)", loss, tss[3])
+	}
+	// Events above Td retained.
+	if _, err := p.ReadEvent(tss[5]); err != nil {
+		t.Errorf("event above Td lost: %v", err)
+	}
+}
+
+func TestRecoveryRestoresLogAndClock(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Options{ID: 1, Volume: vol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tss []vtime.Timestamp
+	for i := 0; i < 20; i++ {
+		ev, _ := p.Publish(testEvent("e")) //nolint:errcheck
+		tss = append(tss, ev.Timestamp)
+	}
+	vol.Close() //nolint:errcheck
+
+	vol2, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close() //nolint:errcheck
+	p2, err := New(Options{ID: 1, Volume: vol2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.EventCount() != 20 {
+		t.Fatalf("recovered EventCount = %d", p2.EventCount())
+	}
+	got, err := p2.ReadEvent(tss[10])
+	if err != nil || string(got.Payload) != "e" {
+		t.Errorf("recovered ReadEvent: %v", err)
+	}
+	// Fresh recovery without chops: no false loss.
+	if p2.LossHorizon() != 0 {
+		t.Errorf("fresh recovery invented loss horizon %d", p2.LossHorizon())
+	}
+	// New publishes stay above every recovered timestamp.
+	ev, _ := p2.Publish(testEvent("post")) //nolint:errcheck
+	if ev.Timestamp <= tss[19] {
+		t.Errorf("post-recovery timestamp %d <= %d", ev.Timestamp, tss[19])
+	}
+}
+
+func TestRecoveryAfterChopMarksLoss(t *testing.T) {
+	dir := t.TempDir()
+	vol, _ := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{}) //nolint:errcheck
+	p, _ := New(Options{ID: 1, Volume: vol})                                  //nolint:errcheck
+	var tss []vtime.Timestamp
+	for i := 0; i < 10; i++ {
+		ev, _ := p.Publish(testEvent("e")) //nolint:errcheck
+		tss = append(tss, ev.Timestamp)
+	}
+	p.Drain()
+	p.UpdateRelease(tss[4], tss[9]) //nolint:errcheck
+	vol.Close()                     //nolint:errcheck
+
+	vol2, _ := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{}) //nolint:errcheck
+	defer vol2.Close()                                                         //nolint:errcheck
+	p2, err := New(Options{ID: 1, Volume: vol2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.LossHorizon() < tss[4] {
+		t.Errorf("recovered loss horizon %d below chop %d", p2.LossHorizon(), tss[4])
+	}
+	if p2.EventCount() != 5 {
+		t.Errorf("recovered EventCount = %d, want 5", p2.EventCount())
+	}
+}
+
+func TestLogLatencySimulation(t *testing.T) {
+	p, _, _ := newTestPubend(t, Options{LogLatency: 3 * time.Millisecond})
+	start := time.Now()
+	for i := 0; i < 3; i++ {
+		p.Publish(testEvent("x")) //nolint:errcheck
+	}
+	if elapsed := time.Since(start); elapsed < 9*time.Millisecond {
+		t.Errorf("3 publishes with 3ms log latency took %v", elapsed)
+	}
+}
+
+// Property: for any publish/drain/release schedule, the union of all
+// drained knowledge plus nack responses tiles virtual time exactly — every
+// tick is covered once, D ticks carry exactly the published events above
+// the loss horizon, and nothing below the loss horizon is served as data.
+func TestDrainAndNackCoverageQuick(t *testing.T) {
+	f := func(schedule []uint8) bool {
+		dir := t.TempDir()
+		vol, err := logvol.Open(filepath.Join(dir, "e.log"), logvol.Options{})
+		if err != nil {
+			return false
+		}
+		defer vol.Close() //nolint:errcheck
+		p, err := New(Options{ID: 1, Volume: vol})
+		if err != nil {
+			return false
+		}
+		published := map[vtime.Timestamp]bool{}
+		covered := map[vtime.Timestamp]tick.Kind{}
+		apply := func(k *message.Knowledge) bool {
+			if k == nil {
+				return true
+			}
+			for _, r := range k.Ranges {
+				for ts := r.Start; ts <= r.End; ts++ {
+					prev, seen := covered[ts]
+					if seen && prev != r.Kind && prev != tick.L && r.Kind != tick.L {
+						return false // contradictory knowledge
+					}
+					if !seen || r.Kind == tick.L {
+						covered[ts] = r.Kind
+					}
+				}
+			}
+			for _, ev := range k.Events {
+				if !published[ev.Timestamp] {
+					return false // served an event never published
+				}
+				if prev, seen := covered[ev.Timestamp]; seen && prev == tick.S {
+					return false // S then D contradiction
+				}
+				covered[ev.Timestamp] = tick.D
+			}
+			return true
+		}
+		for _, op := range schedule {
+			switch op % 4 {
+			case 0, 1:
+				ev, err := p.Publish(message.Event{Payload: []byte{op}})
+				if err != nil {
+					return false
+				}
+				published[ev.Timestamp] = true
+			case 2:
+				know, _ := p.Drain()
+				if !apply(know) {
+					return false
+				}
+			case 3:
+				// Release everything drained so far and re-request
+				// a window that straddles the loss horizon.
+				know, err := p.ServeNack([]tick.Span{{Start: 1, End: p.Emitted()}})
+				if err != nil || !apply(know) {
+					return false
+				}
+			}
+		}
+		// Final drain then full re-request: coverage must include every
+		// published event above the loss horizon as D.
+		know, upTo := p.Drain()
+		if !apply(know) {
+			return false
+		}
+		know, err = p.ServeNack([]tick.Span{{Start: 1, End: upTo}})
+		if err != nil || !apply(know) {
+			return false
+		}
+		loss := p.LossHorizon()
+		for ts := range published {
+			if ts <= loss {
+				continue
+			}
+			if covered[ts] != tick.D {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,179 @@
+package tick
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Span is a closed interval [Start, End] of timestamps with no kind
+// attached; curiosity streams track spans of ticks that have been nacked.
+type Span struct {
+	Start vtime.Timestamp
+	End   vtime.Timestamp
+}
+
+// Empty reports whether the span covers no ticks.
+func (s Span) Empty() bool { return s.End < s.Start }
+
+// Len reports the number of ticks covered.
+func (s Span) Len() int64 {
+	if s.Empty() {
+		return 0
+	}
+	return int64(s.End-s.Start) + 1
+}
+
+// String implements fmt.Stringer.
+func (s Span) String() string { return fmt.Sprintf("[%d,%d]", s.Start, s.End) }
+
+// Curiosity is a curiosity stream: the set of tick spans this node has
+// requested (nacked) from upstream but not yet received knowledge for.
+//
+// Its central operation, Add, returns only the portions of a requested span
+// that were not already pending. Forwarding just those portions upstream is
+// the nack consolidation of the paper (section 3): when many downstream
+// consumers miss the same ticks, the upstream node sees a single request.
+//
+// Curiosity is not safe for concurrent use; owners serialize access.
+type Curiosity struct {
+	pending []Span // sorted by Start, disjoint, coalesced
+}
+
+// NewCuriosity returns an empty curiosity stream.
+func NewCuriosity() *Curiosity {
+	return &Curiosity{}
+}
+
+// Add records that ticks [start, end] are wanted and returns the sub-spans
+// that were not already pending (possibly none). Only the returned spans
+// need to be nacked upstream.
+func (c *Curiosity) Add(start, end vtime.Timestamp) []Span {
+	if end < start {
+		return nil
+	}
+	var fresh []Span
+	i := sort.Search(len(c.pending), func(i int) bool { return c.pending[i].End >= start })
+	cur := start
+	for cur <= end {
+		if i >= len(c.pending) || c.pending[i].Start > end {
+			fresh = append(fresh, Span{Start: cur, End: end})
+			break
+		}
+		p := c.pending[i]
+		if p.Start > cur {
+			fresh = append(fresh, Span{Start: cur, End: p.Start - 1})
+		}
+		cur = p.End + 1
+		i++
+	}
+	if len(fresh) > 0 {
+		c.merge(start, end)
+	}
+	return fresh
+}
+
+// merge inserts [start,end] into pending, coalescing overlaps and
+// adjacencies.
+func (c *Curiosity) merge(start, end vtime.Timestamp) {
+	// Find all spans overlapping or adjacent to [start-1, end+1].
+	lo := sort.Search(len(c.pending), func(i int) bool { return c.pending[i].End >= start-1 })
+	hi := lo
+	for hi < len(c.pending) && c.pending[hi].Start <= end+1 {
+		if c.pending[hi].Start < start {
+			start = c.pending[hi].Start
+		}
+		if c.pending[hi].End > end {
+			end = c.pending[hi].End
+		}
+		hi++
+	}
+	merged := Span{Start: start, End: end}
+	out := make([]Span, 0, len(c.pending)-(hi-lo)+1)
+	out = append(out, c.pending[:lo]...)
+	out = append(out, merged)
+	out = append(out, c.pending[hi:]...)
+	c.pending = out
+}
+
+// Satisfy removes [start, end] from the pending set: knowledge for those
+// ticks has arrived. Spans partially covered are clipped.
+func (c *Curiosity) Satisfy(start, end vtime.Timestamp) {
+	if end < start || len(c.pending) == 0 {
+		return
+	}
+	// A span that straddles [start, end] splits in two, so this cannot
+	// filter in place: the write index would overtake the read index.
+	out := make([]Span, 0, len(c.pending)+1)
+	for _, p := range c.pending {
+		if p.End < start || p.Start > end {
+			out = append(out, p)
+			continue
+		}
+		if p.Start < start {
+			out = append(out, Span{Start: p.Start, End: start - 1})
+		}
+		if p.End > end {
+			out = append(out, Span{Start: end + 1, End: p.End})
+		}
+	}
+	c.pending = out
+}
+
+// SatisfyBelow removes everything at or below ts; used when the loss
+// horizon advances past pending requests (they can never be answered with
+// S/D knowledge anymore).
+func (c *Curiosity) SatisfyBelow(ts vtime.Timestamp) {
+	c.Satisfy(vtime.ZeroTS, ts)
+}
+
+// Pending returns a copy of the outstanding spans in time order.
+func (c *Curiosity) Pending() []Span {
+	out := make([]Span, len(c.pending))
+	copy(out, c.pending)
+	return out
+}
+
+// PendingTicks reports the total number of outstanding ticks.
+func (c *Curiosity) PendingTicks() int64 {
+	var n int64
+	for _, p := range c.pending {
+		n += p.Len()
+	}
+	return n
+}
+
+// IsPending reports whether ts is inside an outstanding span.
+func (c *Curiosity) IsPending(ts vtime.Timestamp) bool {
+	i := sort.Search(len(c.pending), func(i int) bool { return c.pending[i].End >= ts })
+	return i < len(c.pending) && c.pending[i].Start <= ts
+}
+
+// String implements fmt.Stringer.
+func (c *Curiosity) String() string {
+	var b strings.Builder
+	b.WriteString("curiosity{")
+	for i, p := range c.pending {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(p.String())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// checkInvariants validates internal structure; tests call it.
+func (c *Curiosity) checkInvariants() error {
+	for i, p := range c.pending {
+		if p.Empty() {
+			return fmt.Errorf("span %d empty: %v", i, p)
+		}
+		if i > 0 && p.Start <= c.pending[i-1].End+1 {
+			return fmt.Errorf("span %d overlaps/adjacent to predecessor: %v after %v", i, p, c.pending[i-1])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,449 @@
+// Package tick implements the knowledge and curiosity streams that carry
+// per-pubend delivery state through the broker overlay (paper, section 3).
+//
+// A knowledge stream assigns one of four tick kinds to every point of a
+// pubend's virtual time line:
+//
+//   - Q (unknown): this node does not yet know what happened at the tick.
+//   - S (silence): no event at the tick, or it was filtered upstream and is
+//     not relevant to anything downstream of this node.
+//   - D (data): an event published by an application.
+//   - L (lost): the pubend discarded whether the tick was S or D
+//     (early release). L ticks always form a prefix of the stream.
+//
+// Knowledge only increases: Q may become S, D, or L, and any tick may be
+// swallowed by the advancing L prefix; no other transitions occur.
+//
+// A curiosity stream tracks the time ranges this node has nacked upstream,
+// so that overlapping requests from multiple downstream consumers are
+// consolidated into a single upstream nack.
+package tick
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vtime"
+)
+
+// Kind is the knowledge state of one tick.
+type Kind uint8
+
+// Tick kinds. The zero value is invalid so that uninitialized kinds are
+// caught early.
+const (
+	Q Kind = iota + 1 // unknown
+	S                 // silence
+	D                 // data (an event)
+	L                 // lost (early-released)
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Q:
+		return "Q"
+	case S:
+		return "S"
+	case D:
+		return "D"
+	case L:
+		return "L"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is one of the four defined kinds.
+func (k Kind) Valid() bool { return k >= Q && k <= L }
+
+// Range is a contiguous run of ticks [Start, End] (inclusive on both ends)
+// that all share the same kind.
+type Range struct {
+	Start vtime.Timestamp
+	End   vtime.Timestamp
+	Kind  Kind
+}
+
+// Empty reports whether the range covers no ticks.
+func (r Range) Empty() bool { return r.End < r.Start }
+
+// Len reports the number of ticks covered.
+func (r Range) Len() int64 {
+	if r.Empty() {
+		return 0
+	}
+	return int64(r.End-r.Start) + 1
+}
+
+// Contains reports whether ts falls inside the range.
+func (r Range) Contains(ts vtime.Timestamp) bool { return ts >= r.Start && ts <= r.End }
+
+// String implements fmt.Stringer.
+func (r Range) String() string {
+	return fmt.Sprintf("[%d,%d]%s", r.Start, r.End, r.Kind)
+}
+
+// run is an interior S or D range. Runs are kept sorted by Start, disjoint,
+// and coalesced (no two adjacent runs share a kind).
+type run struct {
+	start, end vtime.Timestamp
+	kind       Kind
+}
+
+// Stream is a knowledge stream for a single pubend as seen by one node.
+//
+// The stream describes ticks strictly greater than its base; everything at
+// or before the base has been consumed (delivered and acknowledged, or
+// otherwise settled) and carries no information. Ticks in (base, loss] are
+// L. Remaining ticks are S or D where a run records them and Q otherwise.
+//
+// Stream is not safe for concurrent use; owners serialize access.
+type Stream struct {
+	base vtime.Timestamp // ticks <= base are consumed
+	loss vtime.Timestamp // ticks in (base, loss] are L; loss <= base means none
+	runs []run
+
+	// conflicts counts Apply calls that tried to overwrite S with D or
+	// vice versa. A correct overlay never produces these; the counter
+	// makes protocol bugs observable without corrupting knowledge.
+	conflicts uint64
+}
+
+// NewStream returns a knowledge stream whose consumed prefix ends at base.
+// All ticks after base start as Q.
+func NewStream(base vtime.Timestamp) *Stream {
+	return &Stream{base: base, loss: base}
+}
+
+// Base reports the consumed horizon: ticks at or before it are settled.
+func (s *Stream) Base() vtime.Timestamp { return s.base }
+
+// LossHorizon reports the end of the L prefix. If no ticks are lost it
+// equals Base().
+func (s *Stream) LossHorizon() vtime.Timestamp { return s.loss }
+
+// Conflicts reports how many conflicting knowledge updates were ignored.
+func (s *Stream) Conflicts() uint64 { return s.conflicts }
+
+// Advance raises the consumed horizon to newBase, dropping all information
+// at or before it. Advancing backwards is a no-op.
+func (s *Stream) Advance(newBase vtime.Timestamp) {
+	if newBase <= s.base {
+		return
+	}
+	s.base = newBase
+	if s.loss < newBase {
+		s.loss = newBase
+	}
+	s.trimPrefix()
+}
+
+// SetLoss raises the loss horizon: all ticks in (Base, upTo] become L.
+// The paper's release protocol guarantees upTo never exceeds what connected
+// non-catchup subscribers have been delivered, but the stream itself
+// accepts any horizon. Lowering the horizon is a no-op.
+func (s *Stream) SetLoss(upTo vtime.Timestamp) {
+	if upTo <= s.loss {
+		return
+	}
+	s.loss = upTo
+	s.trimPrefix()
+}
+
+// trimPrefix drops or clips runs at or below max(base, loss).
+func (s *Stream) trimPrefix() {
+	floor := s.base
+	if s.loss > floor {
+		floor = s.loss
+	}
+	i := 0
+	for i < len(s.runs) && s.runs[i].end <= floor {
+		i++
+	}
+	if i > 0 {
+		s.runs = append(s.runs[:0], s.runs[i:]...)
+	}
+	if len(s.runs) > 0 && s.runs[0].start <= floor {
+		s.runs[0].start = floor + 1
+	}
+}
+
+// Kind reports the knowledge state of a single tick. Ticks at or before
+// the base report L (they are in the settled past and no longer carry
+// information).
+func (s *Stream) Kind(ts vtime.Timestamp) Kind {
+	if ts <= s.base || ts <= s.loss {
+		return L
+	}
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].end >= ts })
+	if i < len(s.runs) && s.runs[i].start <= ts {
+		return s.runs[i].kind
+	}
+	return Q
+}
+
+// Apply folds one knowledge range into the stream, honoring the
+// "knowledge only increases" rule:
+//
+//   - L ranges raise the loss horizon to their end (L is always a prefix at
+//     its source, so any L range implies everything before it is also L).
+//   - S and D ranges fill Q ticks. Ticks already known as S or D keep
+//     their kind; a disagreement increments the conflict counter.
+//   - Q ranges are ignored: Q carries no knowledge.
+func (s *Stream) Apply(r Range) {
+	if r.Empty() || !r.Kind.Valid() {
+		return
+	}
+	switch r.Kind {
+	case Q:
+		return
+	case L:
+		s.SetLoss(r.End)
+		return
+	}
+	floor := s.base
+	if s.loss > floor {
+		floor = s.loss
+	}
+	if r.Start <= floor {
+		r.Start = floor + 1
+	}
+	if r.Empty() {
+		return
+	}
+	s.fill(r.Start, r.End, r.Kind)
+}
+
+// fill writes kind into every Q tick of [start, end], leaving known ticks
+// untouched and counting conflicts.
+func (s *Stream) fill(start, end vtime.Timestamp, kind Kind) {
+	// Locate the first run that could overlap or follow start.
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].end >= start })
+	cur := start
+	for cur <= end {
+		if i >= len(s.runs) || s.runs[i].start > end {
+			// Everything from cur to end is Q: insert one run.
+			s.insertRun(i, cur, end, kind)
+			break
+		}
+		r := s.runs[i]
+		if r.start > cur {
+			// Q gap before the next run.
+			gapEnd := vtime.MinTS(end, r.start-1)
+			s.insertRun(i, cur, gapEnd, kind)
+			// insertRun may have coalesced neighbors; re-locate.
+			i = s.findRunIndex(gapEnd + 1)
+			cur = gapEnd + 1
+			continue
+		}
+		// Overlapping an existing run.
+		if r.kind != kind {
+			s.conflicts++
+		}
+		cur = r.end + 1
+		i++
+	}
+}
+
+// findRunIndex returns the index of the first run whose end >= ts.
+func (s *Stream) findRunIndex(ts vtime.Timestamp) int {
+	return sort.Search(len(s.runs), func(i int) bool { return s.runs[i].end >= ts })
+}
+
+// insertRun inserts [start,end]kind at position i, coalescing with
+// neighbors of the same kind.
+func (s *Stream) insertRun(i int, start, end vtime.Timestamp, kind Kind) {
+	// Coalesce left.
+	if i > 0 && s.runs[i-1].kind == kind && s.runs[i-1].end+1 == start {
+		s.runs[i-1].end = end
+		// Coalesce the merged run with the right neighbor too.
+		if i < len(s.runs) && s.runs[i].kind == kind && s.runs[i].start == end+1 {
+			s.runs[i-1].end = s.runs[i].end
+			s.runs = append(s.runs[:i], s.runs[i+1:]...)
+		}
+		return
+	}
+	// Coalesce right.
+	if i < len(s.runs) && s.runs[i].kind == kind && s.runs[i].start == end+1 {
+		s.runs[i].start = start
+		return
+	}
+	s.runs = append(s.runs, run{})
+	copy(s.runs[i+1:], s.runs[i:])
+	s.runs[i] = run{start: start, end: end, kind: kind}
+}
+
+// DoubtHorizon reports the highest timestamp h such that no tick in
+// (Base, h] is Q. Events up to the doubt horizon can be delivered in
+// sequence (paper, section 4.1). If the tick immediately after the base is
+// Q, the horizon equals the base.
+func (s *Stream) DoubtHorizon() vtime.Timestamp {
+	h := s.base
+	if s.loss > h {
+		h = s.loss
+	}
+	i := s.findRunIndex(h + 1)
+	for i < len(s.runs) && s.runs[i].start == h+1 {
+		h = s.runs[i].end
+		i++
+	}
+	return h
+}
+
+// FirstQGap returns the first maximal range of Q ticks inside (from, to],
+// or ok=false if there is none. Nack generation uses it to request the
+// earliest missing knowledge.
+func (s *Stream) FirstQGap(from, to vtime.Timestamp) (Range, bool) {
+	gaps := s.QGaps(from, to, 1)
+	if len(gaps) == 0 {
+		return Range{}, false
+	}
+	return gaps[0], true
+}
+
+// QGaps returns up to max maximal Q ranges inside (from, to], in time
+// order. max <= 0 means no limit.
+func (s *Stream) QGaps(from, to vtime.Timestamp, max int) []Range {
+	floor := s.base
+	if s.loss > floor {
+		floor = s.loss
+	}
+	if from < floor {
+		from = floor
+	}
+	if to <= from {
+		return nil
+	}
+	var out []Range
+	cur := from + 1
+	i := s.findRunIndex(cur)
+	for cur <= to {
+		if max > 0 && len(out) == max {
+			break
+		}
+		if i >= len(s.runs) || s.runs[i].start > to {
+			out = append(out, Range{Start: cur, End: to, Kind: Q})
+			break
+		}
+		r := s.runs[i]
+		if r.start > cur {
+			out = append(out, Range{Start: cur, End: r.start - 1, Kind: Q})
+		}
+		cur = r.end + 1
+		i++
+	}
+	return out
+}
+
+// DTicks returns the timestamps of all D ticks in (from, to], in order.
+func (s *Stream) DTicks(from, to vtime.Timestamp) []vtime.Timestamp {
+	var out []vtime.Timestamp
+	i := s.findRunIndex(from + 1)
+	for ; i < len(s.runs) && s.runs[i].start <= to; i++ {
+		r := s.runs[i]
+		if r.kind != D {
+			continue
+		}
+		lo := vtime.MaxOfTS(r.start, from+1)
+		hi := vtime.MinTS(r.end, to)
+		for ts := lo; ts <= hi; ts++ {
+			out = append(out, ts)
+		}
+	}
+	return out
+}
+
+// Ranges materializes the complete knowledge of (from, to] as contiguous
+// ranges covering every tick, including Q and L ranges. Used to encode
+// knowledge messages for downstream links.
+func (s *Stream) Ranges(from, to vtime.Timestamp) []Range {
+	if to <= from {
+		return nil
+	}
+	var out []Range
+	cur := from + 1
+	floor := s.base
+	if s.loss > floor {
+		floor = s.loss
+	}
+	if cur <= floor {
+		end := vtime.MinTS(floor, to)
+		out = append(out, Range{Start: cur, End: end, Kind: L})
+		cur = end + 1
+	}
+	i := s.findRunIndex(cur)
+	for cur <= to {
+		if i >= len(s.runs) || s.runs[i].start > to {
+			out = append(out, Range{Start: cur, End: to, Kind: Q})
+			break
+		}
+		r := s.runs[i]
+		if r.start > cur {
+			out = append(out, Range{Start: cur, End: r.start - 1, Kind: Q})
+		}
+		end := vtime.MinTS(r.end, to)
+		start := vtime.MaxOfTS(r.start, cur)
+		if end >= start {
+			out = append(out, Range{Start: start, End: end, Kind: r.kind})
+		}
+		cur = end + 1
+		i++
+	}
+	return out
+}
+
+// KnownRanges is like Ranges but omits Q ranges; it is the set of ranges
+// that actually carry knowledge and is what brokers propagate downstream.
+func (s *Stream) KnownRanges(from, to vtime.Timestamp) []Range {
+	all := s.Ranges(from, to)
+	out := all[:0]
+	for _, r := range all {
+		if r.Kind != Q {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// RunCount reports the number of interior S/D runs; useful for asserting
+// that coalescing keeps the structure compact.
+func (s *Stream) RunCount() int { return len(s.runs) }
+
+// String renders the stream compactly for debugging.
+func (s *Stream) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "base=%d loss=%d", s.base, s.loss)
+	for _, r := range s.runs {
+		fmt.Fprintf(&b, " [%d,%d]%s", r.start, r.end, r.kind)
+	}
+	return b.String()
+}
+
+// checkInvariants validates internal structure; tests call it after
+// mutation sequences.
+func (s *Stream) checkInvariants() error {
+	floor := s.base
+	if s.loss > floor {
+		floor = s.loss
+	}
+	prevEnd := floor
+	var prevKind Kind
+	for i, r := range s.runs {
+		if r.start > r.end {
+			return fmt.Errorf("run %d inverted: %v", i, r)
+		}
+		if r.start <= prevEnd {
+			return fmt.Errorf("run %d overlaps or touches floor/previous: %v (prevEnd %d)", i, r, prevEnd)
+		}
+		if r.kind != S && r.kind != D {
+			return fmt.Errorf("run %d has interior kind %v", i, r.kind)
+		}
+		if i > 0 && r.start == prevEnd+1 && r.kind == prevKind {
+			return fmt.Errorf("run %d not coalesced with predecessor", i)
+		}
+		prevEnd, prevKind = r.end, r.kind
+	}
+	return nil
+}

@@ -1,0 +1,514 @@
+package tick
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vtime"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		k    Kind
+		want string
+	}{
+		{Q, "Q"}, {S, "S"}, {D, "D"}, {L, "L"}, {Kind(0), "Kind(0)"},
+	}
+	for _, tt := range tests {
+		if got := tt.k.String(); got != tt.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", tt.k, got, tt.want)
+		}
+	}
+	if Kind(0).Valid() || Kind(9).Valid() {
+		t.Error("invalid kinds reported valid")
+	}
+	if !Q.Valid() || !L.Valid() {
+		t.Error("valid kinds reported invalid")
+	}
+}
+
+func TestRangeBasics(t *testing.T) {
+	r := Range{Start: 5, End: 9, Kind: D}
+	if r.Empty() {
+		t.Error("non-empty range reported empty")
+	}
+	if got := r.Len(); got != 5 {
+		t.Errorf("Len = %d, want 5", got)
+	}
+	if !r.Contains(5) || !r.Contains(9) || r.Contains(4) || r.Contains(10) {
+		t.Error("Contains boundary behavior wrong")
+	}
+	empty := Range{Start: 9, End: 5}
+	if !empty.Empty() || empty.Len() != 0 {
+		t.Error("inverted range should be empty with zero length")
+	}
+}
+
+func TestStreamInitialState(t *testing.T) {
+	s := NewStream(100)
+	if s.Base() != 100 || s.LossHorizon() != 100 {
+		t.Fatalf("base/loss = %d/%d, want 100/100", s.Base(), s.LossHorizon())
+	}
+	if got := s.Kind(100); got != L {
+		t.Errorf("Kind(base) = %v, want L", got)
+	}
+	if got := s.Kind(101); got != Q {
+		t.Errorf("Kind(base+1) = %v, want Q", got)
+	}
+	if dh := s.DoubtHorizon(); dh != 100 {
+		t.Errorf("DoubtHorizon = %d, want 100", dh)
+	}
+}
+
+func TestStreamApplyAndKind(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 1, End: 4, Kind: S})
+	s.Apply(Range{Start: 5, End: 5, Kind: D})
+	s.Apply(Range{Start: 6, End: 10, Kind: S})
+	for ts, want := range map[vtime.Timestamp]Kind{
+		1: S, 4: S, 5: D, 6: S, 10: S, 11: Q,
+	} {
+		if got := s.Kind(ts); got != want {
+			t.Errorf("Kind(%d) = %v, want %v", ts, got, want)
+		}
+	}
+	if dh := s.DoubtHorizon(); dh != 10 {
+		t.Errorf("DoubtHorizon = %d, want 10", dh)
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamDoubtHorizonStopsAtGap(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 1, End: 3, Kind: S})
+	s.Apply(Range{Start: 5, End: 8, Kind: S}) // 4 stays Q
+	if dh := s.DoubtHorizon(); dh != 3 {
+		t.Errorf("DoubtHorizon = %d, want 3", dh)
+	}
+	s.Apply(Range{Start: 4, End: 4, Kind: D})
+	if dh := s.DoubtHorizon(); dh != 8 {
+		t.Errorf("DoubtHorizon after filling gap = %d, want 8", dh)
+	}
+}
+
+func TestStreamKnowledgeOnlyIncreases(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 5, End: 5, Kind: D})
+	s.Apply(Range{Start: 1, End: 10, Kind: S}) // conflicting at 5
+	if got := s.Kind(5); got != D {
+		t.Errorf("D downgraded to %v", got)
+	}
+	if s.Conflicts() == 0 {
+		t.Error("conflict not counted")
+	}
+	// Q apply carries nothing.
+	s.Apply(Range{Start: 20, End: 30, Kind: Q})
+	if got := s.Kind(25); got != Q {
+		t.Errorf("Q apply changed tick to %v", got)
+	}
+}
+
+func TestStreamLossPrefix(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 1, End: 10, Kind: S})
+	s.Apply(Range{Start: 11, End: 11, Kind: D})
+	s.SetLoss(5)
+	if got := s.Kind(3); got != L {
+		t.Errorf("Kind(3) after loss = %v, want L", got)
+	}
+	if got := s.Kind(6); got != S {
+		t.Errorf("Kind(6) = %v, want S", got)
+	}
+	// L range applied through Apply behaves like SetLoss.
+	s.Apply(Range{Start: 2, End: 8, Kind: L})
+	if s.LossHorizon() != 8 {
+		t.Errorf("loss horizon = %d, want 8", s.LossHorizon())
+	}
+	if got := s.Kind(11); got != D {
+		t.Errorf("Kind(11) = %v, want D", got)
+	}
+	// Lowering loss is a no-op.
+	s.SetLoss(2)
+	if s.LossHorizon() != 8 {
+		t.Errorf("loss horizon rewound to %d", s.LossHorizon())
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamAdvance(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 1, End: 10, Kind: S})
+	s.Advance(5)
+	if s.Base() != 5 {
+		t.Fatalf("base = %d", s.Base())
+	}
+	if got := s.Kind(5); got != L {
+		t.Errorf("Kind(5) = %v, want L (consumed)", got)
+	}
+	if got := s.Kind(6); got != S {
+		t.Errorf("Kind(6) = %v, want S", got)
+	}
+	s.Advance(3) // backwards: no-op
+	if s.Base() != 5 {
+		t.Errorf("Advance rewound base to %d", s.Base())
+	}
+	if err := s.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamQGaps(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 3, End: 4, Kind: S})
+	s.Apply(Range{Start: 8, End: 9, Kind: D})
+	gaps := s.QGaps(0, 12, 0)
+	want := []Range{
+		{Start: 1, End: 2, Kind: Q},
+		{Start: 5, End: 7, Kind: Q},
+		{Start: 10, End: 12, Kind: Q},
+	}
+	if len(gaps) != len(want) {
+		t.Fatalf("QGaps = %v, want %v", gaps, want)
+	}
+	for i := range want {
+		if gaps[i] != want[i] {
+			t.Errorf("gap %d = %v, want %v", i, gaps[i], want[i])
+		}
+	}
+	first, ok := s.FirstQGap(0, 12)
+	if !ok || first != want[0] {
+		t.Errorf("FirstQGap = %v/%v", first, ok)
+	}
+	limited := s.QGaps(0, 12, 2)
+	if len(limited) != 2 {
+		t.Errorf("QGaps with max=2 returned %d gaps", len(limited))
+	}
+	if _, ok := s.FirstQGap(2, 4); ok {
+		t.Error("FirstQGap over known region should report none")
+	}
+}
+
+func TestStreamDTicks(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 1, End: 10, Kind: S})
+	s.Apply(Range{Start: 11, End: 12, Kind: D})
+	s.Apply(Range{Start: 13, End: 20, Kind: S})
+	s.Apply(Range{Start: 21, End: 21, Kind: D})
+	got := s.DTicks(0, 21)
+	want := []vtime.Timestamp{11, 12, 21}
+	if len(got) != len(want) {
+		t.Fatalf("DTicks = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("DTicks[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := s.DTicks(11, 20); len(got) != 1 || got[0] != 12 {
+		t.Errorf("DTicks(11,20) = %v, want [12]", got)
+	}
+}
+
+func TestStreamRangesCoverEverything(t *testing.T) {
+	s := NewStream(0)
+	s.SetLoss(2)
+	s.Apply(Range{Start: 4, End: 6, Kind: S})
+	s.Apply(Range{Start: 7, End: 7, Kind: D})
+	rs := s.Ranges(0, 10)
+	// Expect [1,2]L [3,3]Q [4,6]S [7,7]D [8,10]Q.
+	want := []Range{
+		{1, 2, L}, {3, 3, Q}, {4, 6, S}, {7, 7, D}, {8, 10, Q},
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("Ranges = %v, want %v", rs, want)
+	}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("range %d = %v, want %v", i, rs[i], want[i])
+		}
+	}
+	known := s.KnownRanges(0, 10)
+	for _, r := range known {
+		if r.Kind == Q {
+			t.Errorf("KnownRanges contains Q range %v", r)
+		}
+	}
+	if len(known) != 3 {
+		t.Errorf("KnownRanges = %v, want 3 ranges", known)
+	}
+}
+
+func TestStreamCoalescing(t *testing.T) {
+	s := NewStream(0)
+	for ts := vtime.Timestamp(1); ts <= 1000; ts++ {
+		s.Apply(Range{Start: ts, End: ts, Kind: S})
+	}
+	if got := s.RunCount(); got != 1 {
+		t.Errorf("1000 adjacent S ticks coalesced into %d runs, want 1", got)
+	}
+	// Insert in the middle of two separated runs and bridge them.
+	s2 := NewStream(0)
+	s2.Apply(Range{Start: 1, End: 3, Kind: S})
+	s2.Apply(Range{Start: 7, End: 9, Kind: S})
+	s2.Apply(Range{Start: 4, End: 6, Kind: S})
+	if got := s2.RunCount(); got != 1 {
+		t.Errorf("bridged runs = %d, want 1", got)
+	}
+	if err := s2.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamApplyIgnoresInvalid(t *testing.T) {
+	s := NewStream(0)
+	s.Apply(Range{Start: 10, End: 5, Kind: S}) // empty
+	s.Apply(Range{Start: 1, End: 5, Kind: Kind(0)})
+	if s.RunCount() != 0 {
+		t.Error("invalid ranges modified the stream")
+	}
+}
+
+// referenceStream is a naive map-based model of a knowledge stream used to
+// cross-check Stream under randomized operations.
+type referenceStream struct {
+	base, loss vtime.Timestamp
+	kinds      map[vtime.Timestamp]Kind
+}
+
+func newReference(base vtime.Timestamp) *referenceStream {
+	return &referenceStream{base: base, loss: base, kinds: map[vtime.Timestamp]Kind{}}
+}
+
+func (r *referenceStream) apply(rg Range) {
+	if rg.Empty() || !rg.Kind.Valid() || rg.Kind == Q {
+		return
+	}
+	if rg.Kind == L {
+		if rg.End > r.loss {
+			r.loss = rg.End
+		}
+		return
+	}
+	for ts := rg.Start; ts <= rg.End; ts++ {
+		if _, known := r.kinds[ts]; !known {
+			r.kinds[ts] = rg.Kind
+		}
+	}
+}
+
+func (r *referenceStream) kind(ts vtime.Timestamp) Kind {
+	if ts <= r.base || ts <= r.loss {
+		return L
+	}
+	if k, ok := r.kinds[ts]; ok {
+		return k
+	}
+	return Q
+}
+
+func (r *referenceStream) doubtHorizon() vtime.Timestamp {
+	h := r.base
+	if r.loss > h {
+		h = r.loss
+	}
+	for r.kind(h+1) != Q {
+		h++
+	}
+	return h
+}
+
+func TestStreamMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const horizon = 200
+	for trial := 0; trial < 200; trial++ {
+		s := NewStream(0)
+		ref := newReference(0)
+		for op := 0; op < 60; op++ {
+			start := vtime.Timestamp(rng.Intn(horizon)) + 1
+			end := start + vtime.Timestamp(rng.Intn(10))
+			kind := []Kind{S, S, S, D, L}[rng.Intn(5)]
+			if kind == L {
+				// L is a prefix: anchor at 1.
+				end = vtime.Timestamp(rng.Intn(horizon / 4))
+				start = 1
+				if end < 1 {
+					continue
+				}
+			}
+			rg := Range{Start: start, End: end, Kind: kind}
+			s.Apply(rg)
+			ref.apply(rg)
+		}
+		if err := s.checkInvariants(); err != nil {
+			t.Fatalf("trial %d: %v (%s)", trial, err, s)
+		}
+		for ts := vtime.Timestamp(1); ts <= horizon+12; ts++ {
+			if got, want := s.Kind(ts), ref.kind(ts); got != want {
+				t.Fatalf("trial %d: Kind(%d) = %v, want %v (%s)", trial, ts, got, want, s)
+			}
+		}
+		if got, want := s.DoubtHorizon(), ref.doubtHorizon(); got != want {
+			t.Fatalf("trial %d: DoubtHorizon = %d, want %d", trial, got, want)
+		}
+		// Ranges must tile (0, horizon] exactly and agree with Kind.
+		prev := vtime.Timestamp(0)
+		for _, r := range s.Ranges(0, horizon) {
+			if r.Start != prev+1 {
+				t.Fatalf("trial %d: Ranges not contiguous at %v", trial, r)
+			}
+			for ts := r.Start; ts <= r.End; ts++ {
+				if s.Kind(ts) != r.Kind {
+					t.Fatalf("trial %d: Ranges kind mismatch at %d", trial, ts)
+				}
+			}
+			prev = r.End
+		}
+		if prev != horizon {
+			t.Fatalf("trial %d: Ranges end at %d, want %d", trial, prev, horizon)
+		}
+	}
+}
+
+// Property: applying the same knowledge twice is idempotent.
+func TestStreamApplyIdempotentQuick(t *testing.T) {
+	f := func(startRaw, lenRaw uint16, kindRaw uint8) bool {
+		start := vtime.Timestamp(startRaw%500) + 1
+		end := start + vtime.Timestamp(lenRaw%20)
+		kind := []Kind{S, D}[kindRaw%2]
+		s := NewStream(0)
+		s.Apply(Range{Start: start, End: end, Kind: kind})
+		before := s.String()
+		s.Apply(Range{Start: start, End: end, Kind: kind})
+		return s.String() == before && s.Conflicts() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCuriosityAddConsolidates(t *testing.T) {
+	c := NewCuriosity()
+	fresh := c.Add(10, 20)
+	if len(fresh) != 1 || fresh[0] != (Span{10, 20}) {
+		t.Fatalf("first Add returned %v", fresh)
+	}
+	// Fully covered: nothing fresh.
+	if fresh := c.Add(12, 18); fresh != nil {
+		t.Errorf("covered Add returned %v", fresh)
+	}
+	// Partial overlap on both sides.
+	fresh = c.Add(5, 25)
+	want := []Span{{5, 9}, {21, 25}}
+	if len(fresh) != 2 || fresh[0] != want[0] || fresh[1] != want[1] {
+		t.Errorf("overlapping Add returned %v, want %v", fresh, want)
+	}
+	if got := c.PendingTicks(); got != 21 {
+		t.Errorf("PendingTicks = %d, want 21", got)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuriosityAddBridgesSpans(t *testing.T) {
+	c := NewCuriosity()
+	c.Add(1, 3)
+	c.Add(7, 9)
+	fresh := c.Add(2, 8)
+	want := []Span{{4, 6}}
+	if len(fresh) != 1 || fresh[0] != want[0] {
+		t.Fatalf("bridge Add returned %v, want %v", fresh, want)
+	}
+	p := c.Pending()
+	if len(p) != 1 || p[0] != (Span{1, 9}) {
+		t.Errorf("Pending = %v, want [1,9]", p)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCuriositySatisfy(t *testing.T) {
+	c := NewCuriosity()
+	c.Add(1, 10)
+	c.Satisfy(4, 6)
+	p := c.Pending()
+	if len(p) != 2 || p[0] != (Span{1, 3}) || p[1] != (Span{7, 10}) {
+		t.Fatalf("Pending after split = %v", p)
+	}
+	if c.IsPending(5) {
+		t.Error("satisfied tick still pending")
+	}
+	if !c.IsPending(3) || !c.IsPending(7) {
+		t.Error("unsatisfied ticks not pending")
+	}
+	c.SatisfyBelow(8)
+	p = c.Pending()
+	if len(p) != 1 || p[0] != (Span{9, 10}) {
+		t.Fatalf("Pending after SatisfyBelow = %v", p)
+	}
+	c.Satisfy(9, 10)
+	if len(c.Pending()) != 0 {
+		t.Error("Pending not empty after full satisfy")
+	}
+	c.Satisfy(1, 5) // on empty: no-op
+}
+
+func TestCuriosityEmptyAdd(t *testing.T) {
+	c := NewCuriosity()
+	if fresh := c.Add(5, 4); fresh != nil {
+		t.Errorf("inverted Add returned %v", fresh)
+	}
+	if c.IsPending(5) {
+		t.Error("empty curiosity reports pending")
+	}
+}
+
+// Property: after any sequence of Add/Satisfy, IsPending agrees with a
+// naive set model, and Add returns exactly the ticks newly pending.
+func TestCuriosityMatchesSetModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const horizon = 150
+	for trial := 0; trial < 300; trial++ {
+		c := NewCuriosity()
+		model := map[vtime.Timestamp]bool{}
+		for op := 0; op < 40; op++ {
+			start := vtime.Timestamp(rng.Intn(horizon))
+			end := start + vtime.Timestamp(rng.Intn(12))
+			if rng.Intn(3) == 0 {
+				c.Satisfy(start, end)
+				for ts := start; ts <= end; ts++ {
+					delete(model, ts)
+				}
+				continue
+			}
+			fresh := c.Add(start, end)
+			freshSet := map[vtime.Timestamp]bool{}
+			for _, sp := range fresh {
+				for ts := sp.Start; ts <= sp.End; ts++ {
+					freshSet[ts] = true
+				}
+			}
+			for ts := start; ts <= end; ts++ {
+				if model[ts] == freshSet[ts] {
+					t.Fatalf("trial %d: tick %d pending=%v but fresh=%v",
+						trial, ts, model[ts], freshSet[ts])
+				}
+				model[ts] = true
+			}
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("trial %d: %v (%s)", trial, err, c)
+		}
+		for ts := vtime.Timestamp(0); ts <= horizon+12; ts++ {
+			if got := c.IsPending(ts); got != model[ts] {
+				t.Fatalf("trial %d: IsPending(%d) = %v, want %v", trial, ts, got, model[ts])
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+// Package vtime defines virtual time for pubend event streams and the
+// checkpoint tokens (vector clocks) durable subscribers use to resume
+// delivery after a disconnection.
+//
+// Each pubend maintains a persistent, totally ordered stream of "time
+// ticks". Ticks are fine-grained enough that no two events from the same
+// pubend ever share a tick (the paper, section 2). A Timestamp counts
+// microseconds of virtual time; the paper's figures report rates in "tick
+// milliseconds", which TickMillis converts to.
+package vtime
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Timestamp is a point in a pubend's virtual time stream, in microseconds.
+// Timestamps are assigned by the pubend and strictly increase per event.
+type Timestamp int64
+
+const (
+	// ZeroTS is the origin of every pubend stream. No event is ever
+	// assigned ZeroTS; it is a valid checkpoint meaning "from the
+	// beginning".
+	ZeroTS Timestamp = 0
+
+	// MaxTS is the largest representable timestamp, used as an open
+	// upper bound for range operations.
+	MaxTS Timestamp = 1<<63 - 1
+
+	// TicksPerMilli is the number of Timestamp units per tick
+	// millisecond. The paper's plots (figures 6 and 7) measure stream
+	// progress in tick milliseconds.
+	TicksPerMilli = 1000
+)
+
+// TickMillis reports t in whole tick milliseconds, the unit used by the
+// paper's latestDelivered/released rate plots.
+func (t Timestamp) TickMillis() int64 { return int64(t) / TicksPerMilli }
+
+// Before reports whether t is strictly earlier than u.
+func (t Timestamp) Before(u Timestamp) bool { return t < u }
+
+// String formats the timestamp as <millis>.<micros>ms.
+func (t Timestamp) String() string {
+	return fmt.Sprintf("%d.%03dms", int64(t)/TicksPerMilli, int64(t)%TicksPerMilli)
+}
+
+// MinTS returns the smaller of a and b.
+func MinTS(a, b Timestamp) Timestamp {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxOfTS returns the larger of a and b.
+func MaxOfTS(a, b Timestamp) Timestamp {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PubendID identifies a publishing endpoint. IDs are assigned by cluster
+// configuration and are unique system-wide.
+type PubendID uint32
+
+// String implements fmt.Stringer.
+func (p PubendID) String() string { return fmt.Sprintf("pubend-%d", uint32(p)) }
+
+// SubscriberID identifies a durable subscription, unique system-wide.
+type SubscriberID uint32
+
+// String implements fmt.Stringer.
+func (s SubscriberID) String() string { return fmt.Sprintf("sub-%d", uint32(s)) }
+
+// CheckpointToken is a vector clock mapping each pubend to the latest
+// timestamp the subscriber has consumed (and acknowledged) from that
+// pubend's stream. It is the durable subscriber's resumption point: on
+// reconnect, delivery resumes strictly after CT[p] for every pubend p.
+//
+// The zero value is an empty token; Get on a missing pubend returns ZeroTS,
+// meaning "from the beginning of that pubend's stream".
+type CheckpointToken struct {
+	m map[PubendID]Timestamp
+}
+
+// NewCheckpointToken returns an empty checkpoint token.
+func NewCheckpointToken() *CheckpointToken {
+	return &CheckpointToken{m: make(map[PubendID]Timestamp)}
+}
+
+// Get returns the checkpoint for pubend p, or ZeroTS if none is recorded.
+func (ct *CheckpointToken) Get(p PubendID) Timestamp {
+	if ct == nil || ct.m == nil {
+		return ZeroTS
+	}
+	return ct.m[p]
+}
+
+// Set records ts as the checkpoint for pubend p. Set never moves a
+// checkpoint backwards; callers that need to rewind (for example a
+// subscriber that lost its own persistent CT) must build a fresh token.
+func (ct *CheckpointToken) Set(p PubendID, ts Timestamp) {
+	if ct.m == nil {
+		ct.m = make(map[PubendID]Timestamp)
+	}
+	if ts > ct.m[p] {
+		ct.m[p] = ts
+	}
+}
+
+// ForceSet records ts for pubend p even if it rewinds the token. A
+// subscriber reconnecting with an older CT may receive gap messages in lieu
+// of events it already acknowledged (paper, section 2).
+func (ct *CheckpointToken) ForceSet(p PubendID, ts Timestamp) {
+	if ct.m == nil {
+		ct.m = make(map[PubendID]Timestamp)
+	}
+	ct.m[p] = ts
+}
+
+// Pubends returns the pubend IDs present in the token, sorted ascending.
+func (ct *CheckpointToken) Pubends() []PubendID {
+	if ct == nil {
+		return nil
+	}
+	out := make([]PubendID, 0, len(ct.m))
+	for p := range ct.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Len reports the number of pubend entries.
+func (ct *CheckpointToken) Len() int {
+	if ct == nil {
+		return 0
+	}
+	return len(ct.m)
+}
+
+// Clone returns a deep copy of the token.
+func (ct *CheckpointToken) Clone() *CheckpointToken {
+	out := &CheckpointToken{m: make(map[PubendID]Timestamp, ct.Len())}
+	if ct != nil {
+		for p, ts := range ct.m {
+			out.m[p] = ts
+		}
+	}
+	return out
+}
+
+// Merge folds other into ct, taking the pointwise maximum. Merging is how a
+// subscriber combines the checkpoint state of redundant delivery paths.
+func (ct *CheckpointToken) Merge(other *CheckpointToken) {
+	if other == nil {
+		return
+	}
+	for p, ts := range other.m {
+		ct.Set(p, ts)
+	}
+}
+
+// CoveredBy reports whether every entry of ct is <= the corresponding entry
+// in other. An empty token is covered by everything.
+func (ct *CheckpointToken) CoveredBy(other *CheckpointToken) bool {
+	if ct == nil {
+		return true
+	}
+	for p, ts := range ct.m {
+		if ts > other.Get(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two tokens record identical checkpoints,
+// treating missing entries as ZeroTS.
+func (ct *CheckpointToken) Equal(other *CheckpointToken) bool {
+	return ct.CoveredBy(other) && other.CoveredBy(ct)
+}
+
+// String renders the token as {pubend-1:ts, ...} with pubends sorted.
+func (ct *CheckpointToken) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range ct.Pubends() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", p, ct.Get(p))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Encode appends a compact binary form of the token to buf and returns the
+// extended slice. Layout: u32 count, then (u32 pubend, i64 ts) pairs sorted
+// by pubend so encoding is deterministic.
+func (ct *CheckpointToken) Encode(buf []byte) []byte {
+	ps := ct.Pubends()
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(ps)))
+	for _, p := range ps {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(p))
+		buf = binary.BigEndian.AppendUint64(buf, uint64(ct.Get(p)))
+	}
+	return buf
+}
+
+// DecodeCheckpointToken parses a token encoded by Encode and returns the
+// token and the number of bytes consumed.
+func DecodeCheckpointToken(buf []byte) (*CheckpointToken, int, error) {
+	if len(buf) < 4 {
+		return nil, 0, fmt.Errorf("checkpoint token: short buffer (%d bytes)", len(buf))
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	need := 4 + n*12
+	if len(buf) < need {
+		return nil, 0, fmt.Errorf("checkpoint token: need %d bytes, have %d", need, len(buf))
+	}
+	ct := NewCheckpointToken()
+	off := 4
+	for i := 0; i < n; i++ {
+		p := PubendID(binary.BigEndian.Uint32(buf[off:]))
+		ts := Timestamp(binary.BigEndian.Uint64(buf[off+4:]))
+		ct.m[p] = ts
+		off += 12
+	}
+	return ct, off, nil
+}

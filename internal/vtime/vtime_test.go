@@ -1,0 +1,287 @@
+package vtime
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimestampTickMillis(t *testing.T) {
+	tests := []struct {
+		name string
+		ts   Timestamp
+		want int64
+	}{
+		{"zero", ZeroTS, 0},
+		{"sub-milli", Timestamp(999), 0},
+		{"exact", Timestamp(5000), 5},
+		{"mixed", Timestamp(5750), 5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.ts.TickMillis(); got != tt.want {
+				t.Errorf("TickMillis() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinMaxTS(t *testing.T) {
+	if got := MinTS(3, 7); got != 3 {
+		t.Errorf("MinTS(3,7) = %d", got)
+	}
+	if got := MaxOfTS(3, 7); got != 7 {
+		t.Errorf("MaxOfTS(3,7) = %d", got)
+	}
+}
+
+func TestCheckpointTokenSetGet(t *testing.T) {
+	ct := NewCheckpointToken()
+	if got := ct.Get(1); got != ZeroTS {
+		t.Fatalf("empty token Get = %v, want ZeroTS", got)
+	}
+	ct.Set(1, 100)
+	ct.Set(2, 50)
+	if got := ct.Get(1); got != 100 {
+		t.Errorf("Get(1) = %v", got)
+	}
+	// Set never rewinds.
+	ct.Set(1, 60)
+	if got := ct.Get(1); got != 100 {
+		t.Errorf("Set rewound checkpoint: Get(1) = %v", got)
+	}
+	// ForceSet does.
+	ct.ForceSet(1, 60)
+	if got := ct.Get(1); got != 60 {
+		t.Errorf("ForceSet(1,60): Get(1) = %v", got)
+	}
+}
+
+func TestCheckpointTokenZeroValueGet(t *testing.T) {
+	var ct CheckpointToken
+	if got := ct.Get(9); got != ZeroTS {
+		t.Fatalf("zero-value Get = %v", got)
+	}
+	ct.Set(9, 5)
+	if got := ct.Get(9); got != 5 {
+		t.Fatalf("zero-value Set/Get = %v", got)
+	}
+}
+
+func TestCheckpointTokenMerge(t *testing.T) {
+	a := NewCheckpointToken()
+	a.Set(1, 10)
+	a.Set(2, 20)
+	b := NewCheckpointToken()
+	b.Set(2, 5)
+	b.Set(3, 30)
+	a.Merge(b)
+	want := map[PubendID]Timestamp{1: 10, 2: 20, 3: 30}
+	for p, ts := range want {
+		if got := a.Get(p); got != ts {
+			t.Errorf("after merge Get(%v) = %v, want %v", p, got, ts)
+		}
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestCheckpointTokenCoveredBy(t *testing.T) {
+	a := NewCheckpointToken()
+	a.Set(1, 10)
+	b := NewCheckpointToken()
+	b.Set(1, 10)
+	b.Set(2, 1)
+	if !a.CoveredBy(b) {
+		t.Error("a should be covered by b")
+	}
+	if b.CoveredBy(a) {
+		t.Error("b should not be covered by a")
+	}
+	var nilTok *CheckpointToken
+	if !nilTok.CoveredBy(a) {
+		t.Error("nil token must be covered by everything")
+	}
+}
+
+func TestCheckpointTokenClone(t *testing.T) {
+	a := NewCheckpointToken()
+	a.Set(1, 10)
+	c := a.Clone()
+	c.Set(1, 99)
+	if got := a.Get(1); got != 10 {
+		t.Errorf("clone aliased original: Get(1) = %v", got)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone must equal original")
+	}
+}
+
+func TestCheckpointTokenEncodeDecode(t *testing.T) {
+	a := NewCheckpointToken()
+	a.Set(3, 300)
+	a.Set(1, 100)
+	a.Set(2, 200)
+	buf := a.Encode(nil)
+	got, n, err := DecodeCheckpointToken(buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != len(buf) {
+		t.Errorf("decode consumed %d of %d bytes", n, len(buf))
+	}
+	if !got.Equal(a) {
+		t.Errorf("round trip mismatch: got %v want %v", got, a)
+	}
+}
+
+func TestCheckpointTokenDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeCheckpointToken(nil); err == nil {
+		t.Error("decoding empty buffer should fail")
+	}
+	// Claim 5 entries but provide none.
+	buf := []byte{0, 0, 0, 5}
+	if _, _, err := DecodeCheckpointToken(buf); err == nil {
+		t.Error("decoding truncated buffer should fail")
+	}
+}
+
+func TestCheckpointTokenEncodeDeterministic(t *testing.T) {
+	a := NewCheckpointToken()
+	for i := PubendID(0); i < 16; i++ {
+		a.Set(i, Timestamp(i)*7)
+	}
+	first := string(a.Encode(nil))
+	for i := 0; i < 10; i++ {
+		if got := string(a.Encode(nil)); got != first {
+			t.Fatal("encoding is not deterministic")
+		}
+	}
+}
+
+// Property: encode/decode round trips for arbitrary tokens.
+func TestCheckpointTokenRoundTripQuick(t *testing.T) {
+	f := func(entries map[uint32]int64) bool {
+		ct := NewCheckpointToken()
+		for p, ts := range entries {
+			if ts < 0 {
+				ts = -ts
+			}
+			ct.ForceSet(PubendID(p), Timestamp(ts))
+		}
+		got, _, err := DecodeCheckpointToken(ct.Encode(nil))
+		return err == nil && got.Equal(ct)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: merge is commutative and idempotent with respect to Equal.
+func TestCheckpointTokenMergeQuick(t *testing.T) {
+	build := func(entries map[uint32]int64) *CheckpointToken {
+		ct := NewCheckpointToken()
+		for p, ts := range entries {
+			if ts < 0 {
+				ts = -ts
+			}
+			ct.ForceSet(PubendID(p), Timestamp(ts))
+		}
+		return ct
+	}
+	f := func(ea, eb map[uint32]int64) bool {
+		a, b := build(ea), build(eb)
+		ab := a.Clone()
+		ab.Merge(b)
+		ba := b.Clone()
+		ba.Merge(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		again := ab.Clone()
+		again.Merge(b)
+		return again.Equal(ab) && a.CoveredBy(ab) && b.CoveredBy(ab)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClockNextStrictlyIncreasing(t *testing.T) {
+	c := NewClock()
+	prev := ZeroTS - 1
+	for i := 0; i < 10000; i++ {
+		ts := c.Next()
+		if ts <= prev {
+			t.Fatalf("Next not strictly increasing: %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestClockNowMonotone(t *testing.T) {
+	c := NewClock()
+	prev := c.Now()
+	for i := 0; i < 1000; i++ {
+		now := c.Now()
+		if now < prev {
+			t.Fatalf("Now went backwards: %v after %v", now, prev)
+		}
+		prev = now
+	}
+}
+
+func TestClockRestore(t *testing.T) {
+	epoch := time.Now()
+	fixed := epoch // frozen time source
+	c := NewManualClock(epoch, func() time.Time { return fixed })
+	c.Restore(500)
+	if ts := c.Next(); ts != 501 {
+		t.Errorf("Next after Restore(500) = %v, want 501", ts)
+	}
+	c.Restore(100) // must not rewind
+	if ts := c.Next(); ts != 502 {
+		t.Errorf("Next after backwards Restore = %v, want 502", ts)
+	}
+}
+
+func TestClockTracksRealTime(t *testing.T) {
+	epoch := time.Now()
+	cur := epoch
+	c := NewManualClock(epoch, func() time.Time { return cur })
+	cur = epoch.Add(3 * time.Millisecond)
+	if now := c.Now(); now != 3000 {
+		t.Errorf("Now after +3ms = %v, want 3000", now)
+	}
+	if ts := c.Next(); ts != 3000 {
+		t.Errorf("Next = %v, want 3000", ts)
+	}
+	if ts := c.Next(); ts != 3001 {
+		t.Errorf("second Next at same instant = %v, want 3001", ts)
+	}
+}
+
+func TestClockConcurrentNextUnique(t *testing.T) {
+	c := NewClock()
+	const workers, per = 8, 2000
+	out := make(chan Timestamp, workers*per)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < per; i++ {
+				out <- c.Next()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	close(out)
+	seen := make(map[Timestamp]bool, workers*per)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %v issued concurrently", ts)
+		}
+		seen[ts] = true
+	}
+}
