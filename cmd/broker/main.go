@@ -52,6 +52,7 @@ func run() error {
 		tick       = flag.Duration("tick", 5*time.Millisecond, "housekeeping interval")
 		maxRetain  = flag.Duration("max-retain", 0, "early-release retention bound (0 = retain until released)")
 		syncEvery  = flag.Bool("sync-publish", false, "fsync the event log on every publish")
+		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -63,6 +64,7 @@ func run() error {
 		UpstreamAddr: *upstream,
 		EnableSHB:    *shb,
 		TickInterval: *tick,
+		AdminAddr:    *admin,
 	}
 	var policy pubend.Policy
 	if *maxRetain > 0 {
@@ -89,6 +91,9 @@ func run() error {
 	}
 	fmt.Printf("broker %s listening on %s (PHB pubends: %v, SHB: %v, upstream: %q)\n",
 		*name, *listen, hosted, *shb, *upstream)
+	if addr := b.AdminAddr(); addr != "" {
+		fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /readyz, /debug/pprof/)\n", addr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -56,6 +56,9 @@ type brokerSpec struct {
 	MaxRetainMillis int64 `json:"maxRetainMillis"`
 	// TickMillis overrides the housekeeping interval.
 	TickMillis int64 `json:"tickMillis"`
+	// Admin is the admin HTTP address for /metrics, /healthz, and
+	// /debug/pprof (empty = disabled).
+	Admin string `json:"admin"`
 }
 
 func main() {
@@ -119,6 +122,9 @@ func run() error {
 		}
 		fmt.Printf("started %-12s %-8s listen=%s upstream=%q\n",
 			spec.Name, role, spec.Listen, spec.Upstream)
+		if addr := b.AdminAddr(); addr != "" {
+			fmt.Printf("  admin http://%s\n", addr)
+		}
 	}
 	fmt.Printf("%d brokers up; Ctrl-C to stop\n", len(started))
 
@@ -141,6 +147,7 @@ func specToConfig(dataDir string, spec brokerSpec) (broker.Config, error) {
 		ListenAddr:   spec.Listen,
 		UpstreamAddr: spec.Upstream,
 		EnableSHB:    spec.SHB,
+		AdminAddr:    spec.Admin,
 	}
 	if spec.TickMillis > 0 {
 		cfg.TickInterval = time.Duration(spec.TickMillis) * time.Millisecond

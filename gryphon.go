@@ -41,6 +41,7 @@
 package repro
 
 import (
+	"io"
 	"time"
 
 	"repro/internal/broker"
@@ -49,6 +50,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/overlay"
 	"repro/internal/pubend"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -149,7 +151,18 @@ type (
 
 // StartBroker opens the broker's persistent state, joins the overlay, and
 // starts serving. Close (clean) or Crash (failure simulation) stop it.
+//
+// Setting BrokerConfig.AdminAddr (e.g. "127.0.0.1:9090", or "127.0.0.1:0"
+// for an ephemeral port reported by Broker.AdminAddr) additionally serves
+// an admin HTTP endpoint with Prometheus /metrics, /healthz, /readyz, and
+// /debug/pprof/. Leaving it empty starts no listener.
 func StartBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
+
+// WriteMetrics writes every instrument in the process-wide telemetry
+// registry to w in the Prometheus text exposition format — the same body
+// the admin endpoint's /metrics serves. Useful for programs that want to
+// snapshot metrics without running the HTTP server.
+func WriteMetrics(w io.Writer) error { return telemetry.Default().WritePrometheus(w) }
 
 // Client types.
 type (

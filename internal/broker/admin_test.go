@@ -1,0 +1,136 @@
+package broker
+
+import (
+	"io"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/overlay"
+)
+
+// adminGet fetches an admin endpoint path from a broker.
+func adminGet(t *testing.T, b *Broker, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + b.AdminAddr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// metricValue extracts an unlabeled sample value from exposition text.
+func metricValue(t *testing.T, text, name string) float64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("metric %s not found in exposition output", name)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %s value %q: %v", name, m[1], err)
+	}
+	return v
+}
+
+func TestAdminEndpoint(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	b := startBroker(t, netw, Config{
+		Name:       "badmin",
+		DataDir:    filepath.Join(t.TempDir(), "badmin"),
+		ListenAddr: "badmin",
+		EnableSHB:  true,
+		AdminAddr:  "127.0.0.1:0",
+	}, 1, nil)
+	if b.AdminAddr() == "" || strings.HasSuffix(b.AdminAddr(), ":0") {
+		t.Fatalf("AdminAddr = %q, want resolved ephemeral address", b.AdminAddr())
+	}
+
+	// A started broker is live and ready.
+	if code, body := adminGet(t, b, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz = %d %q, want 200", code, body)
+	}
+	if code, body := adminGet(t, b, "/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz = %d %q, want 200", code, body)
+	}
+	if code, _ := adminGet(t, b, "/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d, want 200", code)
+	}
+
+	// Drive traffic and watch it in /metrics.
+	p, err := client.NewPublisher(netw, "badmin", "adm-pub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 801, Filter: `topic = "adm"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "badmin"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+	stamps := pub(t, p, "adm", 5)
+	collectEvents(t, sub, len(stamps))
+
+	_, text := adminGet(t, b, "/metrics")
+	if !strings.Contains(text, "# TYPE gryphon_broker_publishes_total counter") {
+		t.Fatalf("/metrics missing publishes TYPE line:\n%.500s", text)
+	}
+	if got := metricValue(t, text, "gryphon_broker_publishes_total"); got < 5 {
+		t.Fatalf("gryphon_broker_publishes_total = %v, want >= 5", got)
+	}
+	if got := metricValue(t, text, "gryphon_core_events_delivered_total"); got < 5 {
+		t.Fatalf("gryphon_core_events_delivered_total = %v, want >= 5", got)
+	}
+	if got := metricValue(t, text, "gryphon_logvol_appends_total"); got < 5 {
+		t.Fatalf("gryphon_logvol_appends_total = %v, want >= 5", got)
+	}
+	if got := metricValue(t, text, "gryphon_broker_publish_seconds_count"); got < 5 {
+		t.Fatalf("publish latency histogram count = %v, want >= 5", got)
+	}
+}
+
+func TestAdminEndpointDisabledByDefault(t *testing.T) {
+	_, b := net1(t, 1)
+	if addr := b.AdminAddr(); addr != "" {
+		t.Fatalf("AdminAddr = %q, want empty when not configured", addr)
+	}
+}
+
+func TestAdminEndpointClosesWithBroker(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	cfg := Config{
+		Name:         "badmin2",
+		DataDir:      filepath.Join(t.TempDir(), "badmin2"),
+		Transport:    netw,
+		ListenAddr:   "badmin2",
+		TickInterval: testTick,
+		AdminAddr:    "127.0.0.1:0",
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := b.AdminAddr()
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/healthz"); err == nil {
+		t.Fatalf("admin endpoint still serving after broker Close")
+	}
+}

@@ -36,8 +36,23 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/pfs"
 	"repro/internal/pubend"
+	"repro/internal/telemetry"
 	"repro/internal/tick"
 	"repro/internal/vtime"
+)
+
+// Routing instruments (process-wide; see internal/telemetry).
+var (
+	tPublishes = telemetry.Default().Counter("gryphon_broker_publishes_total",
+		"Events accepted by hosted pubends.")
+	tPublishSeconds = telemetry.Default().DurationHistogram("gryphon_broker_publish_seconds",
+		"PHB publish latency including the forced log write.", telemetry.FastBuckets)
+	tForwarded = telemetry.Default().Counter("gryphon_broker_events_forwarded_total",
+		"Events forwarded as data on downstream links.")
+	tFiltered = telemetry.Default().Counter("gryphon_broker_events_filtered_total",
+		"Events downgraded to silence by per-link subscription filtering.")
+	tNacksRouted = telemetry.Default().Counter("gryphon_broker_nacks_routed_total",
+		"Nack requests answered or consolidated by this process.")
 )
 
 // PubendConfig configures one pubend hosted by a broker.
@@ -96,6 +111,14 @@ type Config struct {
 	MetaCommitLatency time.Duration
 	// OnCaughtUp is forwarded to the core engine (figure 5 metric).
 	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
+
+	// AdminAddr, when non-empty, binds the admin HTTP endpoint there:
+	// /metrics (Prometheus text format over the process-wide telemetry
+	// registry), /healthz, /readyz, and /debug/pprof/. Use
+	// "127.0.0.1:0" to bind an ephemeral port and read it back through
+	// Broker.AdminAddr. Empty means no admin listener and no behavior
+	// change.
+	AdminAddr string
 }
 
 // Broker is one overlay node.
@@ -110,6 +133,7 @@ type Broker struct {
 
 	listener io.Closer
 	up       overlay.Conn
+	admin    *telemetry.Server
 
 	// Loop-owned routing state (no mutex: only the loop touches it).
 	links  map[overlay.Conn]*downLink // every accepted connection
@@ -235,9 +259,61 @@ func New(cfg Config) (*Broker, error) {
 		b.closeState()
 		return nil, err
 	}
+	if err := b.startAdmin(); err != nil {
+		if b.listener != nil {
+			b.listener.Close() //nolint:errcheck,gosec // failed-start cleanup
+		}
+		if b.up != nil {
+			b.up.Close() //nolint:errcheck,gosec // failed-start cleanup
+		}
+		b.closeState()
+		return nil, err
+	}
 	go b.loop()
 	go b.tickLoop()
+	if b.admin != nil {
+		b.admin.SetReady(true)
+	}
 	return b, nil
+}
+
+// startAdmin binds the admin endpoint when AdminAddr is configured and
+// registers this broker's component health checks.
+func (b *Broker) startAdmin() error {
+	if b.cfg.AdminAddr == "" {
+		return nil
+	}
+	srv, err := telemetry.NewServer(b.cfg.AdminAddr, telemetry.Default())
+	if err != nil {
+		return fmt.Errorf("broker %s: admin: %w", b.cfg.Name, err)
+	}
+	b.admin = srv
+	prefix := "broker/" + b.cfg.Name
+	srv.RegisterHealth(prefix, func() error {
+		if b.closed.Load() {
+			return errors.New("broker closed")
+		}
+		return nil
+	})
+	if b.peVol != nil {
+		srv.RegisterHealth(prefix+"/pubend-log", b.peVol.Ping)
+	}
+	if b.shbVol != nil {
+		srv.RegisterHealth(prefix+"/pfs-log", b.shbVol.Ping)
+	}
+	if b.meta != nil {
+		srv.RegisterHealth(prefix+"/metastore", b.meta.Ping)
+	}
+	return nil
+}
+
+// AdminAddr reports the bound admin endpoint address, or "" when none was
+// configured.
+func (b *Broker) AdminAddr() string {
+	if b.admin == nil {
+		return ""
+	}
+	return b.admin.Addr()
 }
 
 // openState opens logs, metastore, pubends, and the SHB engine.
@@ -420,6 +496,9 @@ func (b *Broker) Close() error {
 	}
 	close(b.tickStop)
 	<-b.tickDone
+	if b.admin != nil {
+		b.admin.Close() //nolint:errcheck,gosec // shutdown path
+	}
 	if b.listener != nil {
 		b.listener.Close() //nolint:errcheck,gosec // shutdown path
 	}
@@ -447,6 +526,9 @@ func (b *Broker) Crash() {
 	}
 	close(b.tickStop)
 	<-b.tickDone
+	if b.admin != nil {
+		b.admin.Close() //nolint:errcheck,gosec // crash path
+	}
 	if b.listener != nil {
 		b.listener.Close() //nolint:errcheck,gosec // crash path
 	}

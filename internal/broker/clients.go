@@ -1,6 +1,8 @@
 package broker
 
 import (
+	"time"
+
 	"repro/internal/message"
 	"repro/internal/vtime"
 )
@@ -17,11 +19,14 @@ func (b *Broker) handlePublish(link *downLink, pub *message.Publish) {
 		link.conn.Send(&message.PublishAck{Token: pub.Token})
 		return
 	}
+	pubStart := time.Now()
 	ev, err := pe.Publish(message.Event{Attrs: pub.Attrs, Payload: pub.Payload})
 	ack := &message.PublishAck{Token: pub.Token}
 	if err == nil {
 		ack.Pubend = ev.Pubend
 		ack.Timestamp = ev.Timestamp
+		tPublishes.Inc()
+		tPublishSeconds.ObserveDuration(time.Since(pubStart))
 	}
 	link.conn.Send(ack) //nolint:errcheck,gosec // reply failure == dead link
 }

@@ -132,6 +132,7 @@ func (b *Broker) spreadKnowledge(know *message.Knowledge) {
 func (b *Broker) filterKnowledge(know *message.Knowledge, m *filter.Matcher) *message.Knowledge {
 	if m.Len() == 0 {
 		b.eventsForwarded.Add(int64(len(know.Events)))
+		tForwarded.Add(int64(len(know.Events)))
 		return know
 	}
 	out := &message.Knowledge{Pubend: know.Pubend, Ranges: know.Ranges}
@@ -146,6 +147,8 @@ func (b *Broker) filterKnowledge(know *message.Knowledge, m *filter.Matcher) *me
 	}
 	b.eventsForwarded.Add(int64(len(out.Events)))
 	b.eventsFiltered.Add(int64(len(know.Events) - len(out.Events)))
+	tForwarded.Add(int64(len(out.Events)))
+	tFiltered.Add(int64(len(know.Events) - len(out.Events)))
 	return out
 }
 
@@ -153,6 +156,7 @@ func (b *Broker) filterKnowledge(know *message.Knowledge, m *filter.Matcher) *me
 // SHB) with whatever this broker knows — hosted pubend log, or relay
 // cache — and consolidates the remainder upstream.
 func (b *Broker) routeNack(link *downLink, pub vtime.PubendID, spans []tick.Span) {
+	tNacksRouted.Inc()
 	// Hosted pubend: authoritative answer.
 	if pe, ok := b.pubends[pub]; ok {
 		know, err := pe.ServeNack(spans)

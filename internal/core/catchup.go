@@ -142,6 +142,9 @@ func (s *SHB) pumpCatchup(ps *shbPubend, cs *catchupStream) {
 	if cs.know.Base() >= ps.latestDelivered {
 		delete(sub.catchup, ps.id)
 		s.stats.Switchovers++
+		tSwitchovers.Inc()
+		tCatchupActive.Dec()
+		tCatchupSeconds.ObserveDuration(time.Since(cs.started))
 		if s.cfg.OnCaughtUp != nil {
 			s.cfg.OnCaughtUp(sub.id, ps.id, time.Since(cs.started))
 		}
@@ -200,6 +203,7 @@ func (s *SHB) resolveGap(ps *shbPubend, cs *catchupStream, gap tick.Range) {
 func (s *SHB) resolveDTick(ps *shbPubend, cs *catchupStream, ts vtime.Timestamp) {
 	if ev, ok := ps.cache.get(ts); ok {
 		s.stats.CacheHits++
+		tCacheHits.Inc()
 		kind := tick.S
 		if cs.sub.sub.Matches(ev.Attrs) {
 			kind = tick.D
@@ -209,6 +213,7 @@ func (s *SHB) resolveDTick(ps *shbPubend, cs *catchupStream, ts vtime.Timestamp)
 		return
 	}
 	s.stats.CacheMisses++
+	tCacheMisses.Inc()
 	s.nackForCatchup(ps, cs, tick.Span{Start: ts, End: ts})
 }
 
@@ -239,6 +244,7 @@ func (s *SHB) deliverCatchup(ps *shbPubend, cs *catchupStream) {
 			})
 			sub.lastSent[ps.id] = lh
 			s.stats.GapsDelivered++
+			tGaps.Inc()
 			cs.know.Advance(lh)
 			s.setSubReleasedFloor(sub, ps, lh)
 			continue

@@ -23,8 +23,32 @@ import (
 	"repro/internal/message"
 	"repro/internal/metastore"
 	"repro/internal/pfs"
+	"repro/internal/telemetry"
 	"repro/internal/tick"
 	"repro/internal/vtime"
+)
+
+// Engine instruments (process-wide; see internal/telemetry).
+var (
+	tEventsDelivered = telemetry.Default().Counter("gryphon_core_events_delivered_total",
+		"Event deliveries to durable subscribers (constream and catchup).")
+	tSilences = telemetry.Default().Counter("gryphon_core_silences_delivered_total",
+		"Silence deliveries advancing subscriber checkpoint tokens.")
+	tGaps = telemetry.Default().Counter("gryphon_core_gaps_delivered_total",
+		"Gap deliveries for early-released intervals.")
+	tSwitchovers = telemetry.Default().Counter("gryphon_core_switchovers_total",
+		"Catchup → non-catchup stream switchovers.")
+	tCatchupActive = telemetry.Default().Gauge("gryphon_core_catchup_active",
+		"Active (subscriber, pubend) catchup streams.")
+	tCatchupSeconds = telemetry.Default().DurationHistogram("gryphon_core_catchup_seconds",
+		"Catchup duration from reconnection to switchover (figure 5 metric).",
+		telemetry.DefBuckets)
+	tCacheHits = telemetry.Default().Counter("gryphon_core_cache_hits_total",
+		"Event-cache hits while resolving catchup D ticks.")
+	tCacheMisses = telemetry.Default().Counter("gryphon_core_cache_misses_total",
+		"Event-cache misses forcing an upstream re-request.")
+	tNackSpans = telemetry.Default().Counter("gryphon_core_nack_spans_total",
+		"Consolidated nack spans sent upstream.")
 )
 
 // Metastore tables used by the SHB.
@@ -390,6 +414,7 @@ func (s *SHB) advanceConstream(ps *shbPubend) {
 			// sizing). Re-request it and stop advancing; knowledge
 			// will come back around.
 			s.stats.CacheMisses++
+			tCacheMisses.Inc()
 			s.requestSpans(ps, []tick.Span{{Start: ts, End: ts}})
 			s.flushNacks(ps)
 			dh = ts - 1
@@ -438,6 +463,7 @@ func (s *SHB) deliverEvent(sub *subscriber, pub vtime.PubendID, ev *message.Even
 	})
 	sub.lastSent[pub] = ev.Timestamp
 	s.stats.EventsDelivered++
+	tEventsDelivered.Inc()
 }
 
 // requestSpans adds wanted spans to the consolidated curiosity; only the
@@ -459,6 +485,7 @@ func (s *SHB) flushNacks(ps *shbPubend) {
 	spans := ps.pendingNackSpans
 	ps.pendingNackSpans = nil
 	s.stats.NacksSent += int64(len(spans))
+	tNackSpans.Add(int64(len(spans)))
 	for _, sp := range spans {
 		s.stats.NackTicksSent += sp.Len()
 	}

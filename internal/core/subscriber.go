@@ -95,6 +95,7 @@ func (s *SHB) Subscribe(req *message.Subscribe) (*vtime.CheckpointToken, error) 
 		}
 		cs.pfsReadUpTo = start
 		sub.catchup[pub] = cs
+		tCatchupActive.Inc()
 	}
 	// Make immediate progress on all new catchup streams. The cache pin
 	// must drop to the catchup base before any recovery responses arrive,
@@ -124,6 +125,7 @@ func (s *SHB) Detach(subID vtime.SubscriberID) {
 	sub.connected = false
 	// Catchup streams are discarded; reconnection builds fresh ones from
 	// the presented checkpoint token.
+	tCatchupActive.Add(int64(-len(sub.catchup)))
 	sub.catchup = make(map[vtime.PubendID]*catchupStream)
 }
 
@@ -136,6 +138,7 @@ func (s *SHB) Unsubscribe(subID vtime.SubscriberID) error {
 	if sub == nil {
 		return nil
 	}
+	tCatchupActive.Add(int64(-len(sub.catchup)))
 	delete(s.subs, subID)
 	s.matcher.Remove(subID)
 	tx := s.cfg.Meta.Begin()
@@ -237,6 +240,7 @@ func (s *SHB) sendSilence(ps *shbPubend) {
 		})
 		sub.lastSent[ps.id] = ps.latestDelivered
 		s.stats.SilencesDelivered++
+		tSilences.Inc()
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/message"
 	"repro/internal/metrics"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
@@ -98,7 +99,9 @@ func runLatencyOnce(dir string, hops, events int, logLatency, linkLatency time.D
 	}
 	defer pub.Close() //nolint:errcheck
 
-	hist := metrics.NewHistogram()
+	hist := metrics.NewHistogram().Mirror("gryphon_experiment_e2e_latency_seconds",
+		"End-to-end publish-to-deliver latency measured by the experiment harness.",
+		telemetry.DefBuckets)
 	var mu sync.Mutex
 	sent := make(map[int64]time.Time, events)
 	done := make(chan struct{})

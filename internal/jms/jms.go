@@ -20,12 +20,24 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/metastore"
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
 
 const tableCT = "jms_ct"
+
+// JMS instruments (process-wide; see internal/telemetry).
+var (
+	tAckCommits = telemetry.Default().Counter("gryphon_jms_ack_commits_total",
+		"Database transactions committing JMS checkpoint tokens.")
+	tAckUpdates = telemetry.Default().Counter("gryphon_jms_ack_updates_total",
+		"Subscriber CT updates covered by those transactions (batching wins when updates > commits).")
+	tAckSeconds = telemetry.Default().DurationHistogram("gryphon_jms_ack_commit_seconds",
+		"JMS CT commit transaction latency.", telemetry.FastBuckets)
+)
 
 // ErrClosed is returned by operations on a closed store.
 var ErrClosed = errors.New("jms: closed")
@@ -204,7 +216,13 @@ func (c *committer) run() {
 			}
 			tx.Put(tableCT, subKey(sub), ct.Encode(nil))
 		}
+		commitStart := time.Now()
 		err := tx.Commit()
+		if err == nil {
+			tAckCommits.Inc()
+			tAckUpdates.Add(int64(len(batch)))
+			tAckSeconds.ObserveDuration(time.Since(commitStart))
+		}
 
 		c.mu.Lock()
 		if err == nil {

@@ -19,6 +19,18 @@ import (
 	"os"
 	"sort"
 	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// Volume instruments (process-wide; see internal/telemetry).
+var (
+	tAppendBytes = telemetry.Default().Counter("gryphon_logvol_append_bytes_total",
+		"Bytes appended to log volumes (records plus framing).")
+	tAppends = telemetry.Default().Counter("gryphon_logvol_appends_total",
+		"Records appended to log volumes.")
+	tFsyncs = telemetry.Default().Counter("gryphon_logvol_fsyncs_total",
+		"fsync calls issued by log volumes.")
 )
 
 // SyncPolicy controls when appends reach stable storage.
@@ -281,11 +293,14 @@ func (v *Volume) appendLocked(streamID uint32, index Index, payload []byte) (int
 	}
 	v.size += int64(len(rec))
 	v.bytesAppended += int64(len(rec))
+	tAppendBytes.Add(int64(len(rec)))
+	tAppends.Inc()
 	if v.policy == SyncAlways {
 		if err := v.f.Sync(); err != nil {
 			return 0, fmt.Errorf("logvol sync: %w", err)
 		}
 		v.syncs++
+		tFsyncs.Inc()
 	}
 	return off, nil
 }
@@ -301,6 +316,7 @@ func (v *Volume) Sync() error {
 		return fmt.Errorf("logvol sync: %w", err)
 	}
 	v.syncs++
+	tFsyncs.Inc()
 	return nil
 }
 
@@ -317,6 +333,17 @@ func (v *Volume) Syncs() int64 {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	return v.syncs
+}
+
+// Ping reports whether the volume is open and serviceable; admin health
+// checks call it.
+func (v *Volume) Ping() error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.closed {
+		return ErrClosed
+	}
+	return nil
 }
 
 // Size reports the current file size in bytes.

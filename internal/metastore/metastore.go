@@ -27,6 +27,19 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Store instruments (process-wide; see internal/telemetry).
+var (
+	tCommits = telemetry.Default().Counter("gryphon_metastore_commits_total",
+		"Metastore transactions committed.")
+	tCommitSeconds = telemetry.Default().DurationHistogram("gryphon_metastore_commit_seconds",
+		"Metastore commit latency (WAL write, group fsync, modeled DB latency).",
+		telemetry.FastBuckets)
+	tCommitOps = telemetry.Default().Histogram("gryphon_metastore_commit_ops",
+		"Operations batched per metastore commit.", telemetry.SizeBuckets)
 )
 
 // SyncMode controls commit durability.
@@ -239,6 +252,17 @@ func (s *Store) Keys(table string) []string {
 	return out
 }
 
+// Ping reports whether the store is open and serviceable; admin health
+// checks call it.
+func (s *Store) Ping() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 // Commits reports the number of transactions committed since open; the JMS
 // experiment uses it to show the database commit rate is the bottleneck.
 func (s *Store) Commits() int64 {
@@ -303,6 +327,7 @@ func (tx *Tx) Commit() error {
 	if tx.count == 0 {
 		return nil
 	}
+	commitStart := time.Now()
 	rec := make([]byte, 0, 8+len(tx.ops))
 	rec = binary.BigEndian.AppendUint32(rec, uint32(len(tx.ops)))
 	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(tx.ops))
@@ -331,6 +356,9 @@ func (tx *Tx) Commit() error {
 	if s.opts.CommitLatency > 0 {
 		time.Sleep(s.opts.CommitLatency)
 	}
+	tCommits.Inc()
+	tCommitOps.Observe(int64(tx.count))
+	tCommitSeconds.ObserveDuration(time.Since(commitStart))
 	return nil
 }
 

@@ -2,6 +2,13 @@
 // latency histograms the experiment harness uses to regenerate the paper's
 // figures. It has no background goroutines; samplers are driven explicitly
 // by the harness loop.
+//
+// Counters and histograms can be bridged to the live telemetry registry
+// (internal/telemetry) so a quantity recorded for a benchrunner CSV and
+// the same quantity scraped from /metrics share one storage location and
+// can never disagree: BoundCounter returns a Counter whose value IS a
+// telemetry counter, and Histogram.Mirror forwards every observation into
+// a telemetry histogram alongside the local sample buffer.
 package metrics
 
 import (
@@ -11,21 +18,50 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
-// Counter is a monotonically increasing atomic counter.
+// Counter is a monotonically increasing atomic counter. The zero value is
+// a standalone counter; BoundCounter returns one backed by a telemetry
+// instrument.
 type Counter struct {
 	v atomic.Int64
+	t *telemetry.Counter // when set, the single storage location
+}
+
+// BoundCounter returns a Counter that reads and writes through the named
+// counter in the default telemetry registry, so harness CSVs and /metrics
+// report the same number.
+func BoundCounter(name, help string) *Counter {
+	return &Counter{t: telemetry.Default().Counter(name, help)}
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
+func (c *Counter) Inc() {
+	if c.t != nil {
+		c.t.Inc()
+		return
+	}
+	c.v.Add(1)
+}
 
 // Add adds n.
-func (c *Counter) Add(n int64) { c.v.Add(n) }
+func (c *Counter) Add(n int64) {
+	if c.t != nil {
+		c.t.Add(n)
+		return
+	}
+	c.v.Add(n)
+}
 
 // Load returns the current value.
-func (c *Counter) Load() int64 { return c.v.Load() }
+func (c *Counter) Load() int64 {
+	if c.t != nil {
+		return c.t.Load()
+	}
+	return c.v.Load()
+}
 
 // Gauge is an atomically readable instantaneous value.
 type Gauge struct {
@@ -180,6 +216,7 @@ type Histogram struct {
 	mu      sync.Mutex
 	samples []time.Duration
 	sorted  bool
+	mirror  *telemetry.Histogram
 }
 
 // NewHistogram returns an empty histogram.
@@ -187,12 +224,26 @@ func NewHistogram() *Histogram {
 	return &Histogram{}
 }
 
+// Mirror forwards every subsequent observation into the named duration
+// histogram in the default telemetry registry (bucketed for /metrics) in
+// addition to the local sample buffer (exact quantiles for CSVs). It
+// returns h for chaining.
+func (h *Histogram) Mirror(name, help string, buckets []time.Duration) *Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.mirror = telemetry.Default().DurationHistogram(name, help, buckets)
+	return h
+}
+
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
+	if h.mirror != nil {
+		h.mirror.ObserveDuration(d)
+	}
 	h.samples = append(h.samples, d)
 	h.sorted = false
+	h.mu.Unlock()
 }
 
 // Count reports the number of observations.

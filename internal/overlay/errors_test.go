@@ -1,0 +1,209 @@
+package overlay
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+// waitGauge polls the process-wide queue-depth gauge until it reaches want
+// or the deadline expires.
+func waitGauge(t *testing.T, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if tQueueDepth.Load() == want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue depth gauge = %d, want %d", tQueueDepth.Load(), want)
+}
+
+func TestInprocSendOnClosedConn(t *testing.T) {
+	netw := NewInprocNetwork(0)
+	if _, err := netw.Listen("ec", func(c Conn) { c.Start(func(message.Message) {}) }); err != nil {
+		t.Fatal(err)
+	}
+	c, err := netw.Dial("ec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(func(message.Message) {})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	errsBefore := tSendErrors.Load()
+	if err := c.Send(ack(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed inproc conn = %v, want ErrClosed", err)
+	}
+	if got := tSendErrors.Load() - errsBefore; got != 1 {
+		t.Fatalf("send-error counter delta = %d, want 1", got)
+	}
+}
+
+func TestTCPSendOnClosedConn(t *testing.T) {
+	closer, addr, err := ListenAny(func(c Conn) { c.Start(func(message.Message) {}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close() //nolint:errcheck
+	c, err := TCPTransport{}.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(func(message.Message) {})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Send(ack(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send on closed TCP conn = %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPPeerVanishesMidFrame feeds a broker-side conn a frame header that
+// promises more bytes than ever arrive, then drops the socket — the way a
+// crashing peer looks on the wire. The conn must tear down (OnClose fires)
+// rather than block forever in the reader.
+func TestTCPPeerVanishesMidFrame(t *testing.T) {
+	var serverConn Conn
+	accepted := make(chan struct{})
+	closed := make(chan struct{})
+	closer, addr, err := ListenAny(func(c Conn) {
+		serverConn = c
+		c.OnClose(func() { close(closed) })
+		c.Start(func(message.Message) {})
+		close(accepted)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close() //nolint:errcheck
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-accepted
+	// Header claims a 100-byte frame; send only 10 and vanish.
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, 100)
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := raw.Write(make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := raw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("conn did not tear down after peer vanished mid-frame")
+	}
+	// Send on the torn-down conn is rejected, and this is reported as a
+	// send error, not a silent drop.
+	if err := serverConn.Send(ack(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send after mid-frame teardown = %v, want ErrClosed", err)
+	}
+}
+
+// TestTCPOversizedFrameRejected: a header advertising more than the frame
+// cap is treated as a protocol violation and the conn tears down.
+func TestTCPOversizedFrameRejected(t *testing.T) {
+	closed := make(chan struct{})
+	accepted := make(chan struct{})
+	closer, addr, err := ListenAny(func(c Conn) {
+		c.OnClose(func() { close(closed) })
+		c.Start(func(message.Message) {})
+		close(accepted)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close() //nolint:errcheck
+
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close() //nolint:errcheck
+	<-accepted
+	hdr := make([]byte, 4)
+	binary.BigEndian.PutUint32(hdr, 1<<30) // 1 GiB frame
+	if _, err := raw.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("conn did not tear down on oversized frame header")
+	}
+}
+
+// TestQueueDepthGaugeDrainsOnClose: buffered messages stop counting as
+// queued the moment the link closes, even though pop may still drain them.
+func TestQueueDepthGaugeDrainsOnClose(t *testing.T) {
+	base := tQueueDepth.Load()
+	q := newQueue()
+	for i := 0; i < 7; i++ {
+		if err := q.push(ack(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tQueueDepth.Load() - base; got != 7 {
+		t.Fatalf("gauge delta after 7 pushes = %d, want 7", got)
+	}
+	// A normal pop decrements.
+	q.pop()
+	if got := tQueueDepth.Load() - base; got != 6 {
+		t.Fatalf("gauge delta after pop = %d, want 6", got)
+	}
+	q.close()
+	if got := tQueueDepth.Load() - base; got != 0 {
+		t.Fatalf("gauge delta after close = %d, want 0", got)
+	}
+	// Post-close drain pops must not double-decrement.
+	for {
+		if _, ok := q.pop(); !ok {
+			break
+		}
+	}
+	if got := tQueueDepth.Load() - base; got != 0 {
+		t.Fatalf("gauge delta after post-close drain = %d, want 0", got)
+	}
+}
+
+// TestQueueDepthGaugeDrainsOnConnClose exercises the same invariant
+// through a real link: messages buffered behind a never-started receiver
+// leave the gauge when the conn closes.
+func TestQueueDepthGaugeDrainsOnConnClose(t *testing.T) {
+	base := tQueueDepth.Load()
+	netw := NewInprocNetwork(0)
+	// The accept side never Starts, so client sends stay buffered.
+	if _, err := netw.Listen("qd", func(c Conn) {}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := netw.Dial("qd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := c.Send(ack(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := tQueueDepth.Load() - base; got != 5 {
+		t.Fatalf("gauge delta with 5 undispatched sends = %d, want 5", got)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	waitGauge(t, base)
+}

@@ -23,10 +23,25 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned by operations on a closed connection or transport.
 var ErrClosed = errors.New("overlay: closed")
+
+// Link instruments (process-wide; see internal/telemetry).
+var (
+	tMsgsSent = telemetry.Default().Counter("gryphon_overlay_sent_total",
+		"Messages enqueued on overlay links.")
+	tMsgsRecv = telemetry.Default().Counter("gryphon_overlay_received_total",
+		"Messages dispatched to overlay link handlers.")
+	tQueueDepth = telemetry.Default().Gauge("gryphon_overlay_queue_depth",
+		"Messages currently buffered in overlay link queues.")
+	tTCPBytes = telemetry.Default().Counter("gryphon_overlay_tcp_bytes_total",
+		"Frame bytes written to TCP overlay sockets.")
+	tSendErrors = telemetry.Default().Counter("gryphon_overlay_send_errors_total",
+		"Sends rejected because the link was closed.")
+)
 
 // Handler consumes inbound messages from a connection. Handlers run on the
 // connection's single dispatch goroutine, so messages from one peer are
@@ -60,12 +75,16 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
-// queue is an unbounded FIFO of messages with blocking pop.
+// queue is an unbounded FIFO of messages with blocking pop. Its occupancy
+// is mirrored into the process-wide queue-depth gauge; once the queue
+// closes the gauge contribution drops to zero immediately (the remaining
+// items may still drain through pop, but they no longer count as queued).
 type queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []message.Message
-	closed bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []message.Message
+	closed    bool
+	offGauge  bool // close already removed this queue from the gauge
 }
 
 func newQueue() *queue {
@@ -81,6 +100,7 @@ func (q *queue) push(m message.Message) error {
 		return ErrClosed
 	}
 	q.items = append(q.items, m)
+	tQueueDepth.Inc()
 	q.cond.Signal()
 	return nil
 }
@@ -97,6 +117,9 @@ func (q *queue) pop() (message.Message, bool) {
 	}
 	m := q.items[0]
 	q.items = q.items[1:]
+	if !q.offGauge {
+		tQueueDepth.Dec()
+	}
 	return m, true
 }
 
@@ -104,6 +127,10 @@ func (q *queue) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
+	if !q.offGauge {
+		tQueueDepth.Add(int64(-len(q.items)))
+		q.offGauge = true
+	}
 	q.cond.Broadcast()
 }
 
@@ -214,7 +241,14 @@ type inprocConn struct {
 
 var _ Conn = (*inprocConn)(nil)
 
-func (c *inprocConn) Send(m message.Message) error { return c.out.push(m) }
+func (c *inprocConn) Send(m message.Message) error {
+	if err := c.out.push(m); err != nil {
+		tSendErrors.Inc()
+		return err
+	}
+	tMsgsSent.Inc()
+	return nil
+}
 
 func (c *inprocConn) Start(h Handler) {
 	c.startOnce.Do(func() {
@@ -230,6 +264,7 @@ func (c *inprocConn) Start(h Handler) {
 				if c.latency > 0 {
 					time.Sleep(c.latency)
 				}
+				tMsgsRecv.Inc()
 				h(m)
 			}
 		}()
@@ -351,10 +386,18 @@ func (c *tcpConn) writer() {
 			c.teardown()
 			return
 		}
+		tTCPBytes.Add(int64(len(buf)))
 	}
 }
 
-func (c *tcpConn) Send(m message.Message) error { return c.out.push(m) }
+func (c *tcpConn) Send(m message.Message) error {
+	if err := c.out.push(m); err != nil {
+		tSendErrors.Inc()
+		return err
+	}
+	tMsgsSent.Inc()
+	return nil
+}
 
 func (c *tcpConn) Start(h Handler) {
 	c.startOnce.Do(func() {
@@ -381,6 +424,7 @@ func (c *tcpConn) Start(h Handler) {
 				if err != nil {
 					continue // skip unknown/corrupt frames
 				}
+				tMsgsRecv.Inc()
 				h(m)
 			}
 		}()

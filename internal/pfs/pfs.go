@@ -30,8 +30,21 @@ import (
 
 	"repro/internal/logvol"
 	"repro/internal/metastore"
+	"repro/internal/telemetry"
 	"repro/internal/tick"
 	"repro/internal/vtime"
+)
+
+// PFS instruments (process-wide; see internal/telemetry).
+var (
+	tWrites = telemetry.Default().Counter("gryphon_pfs_writes_total",
+		"PFS records written (one per timestamp matched by ≥1 subscriber).")
+	tWriteBytes = telemetry.Default().Counter("gryphon_pfs_write_bytes_total",
+		"PFS record payload bytes written (the paper's 8+16n accounting).")
+	tReads = telemetry.Default().Counter("gryphon_pfs_reads_total",
+		"PFS batch reads served for catchup streams.")
+	tReadWalk = telemetry.Default().Histogram("gryphon_pfs_read_walk_records",
+		"Backpointer-chain records walked per PFS batch read.", telemetry.SizeBuckets)
 )
 
 const (
@@ -254,6 +267,8 @@ func (p *PFS) Write(pub vtime.PubendID, ts vtime.Timestamp, subs []vtime.Subscri
 	if err != nil {
 		return fmt.Errorf("pfs write: %w", err)
 	}
+	tWrites.Inc()
+	tWriteBytes.Add(int64(len(payload)))
 	for _, sub := range include {
 		st.lastIdx[sub] = idx
 		if p.opts.ImpreciseBucket > 0 {
@@ -318,6 +333,7 @@ func (p *PFS) LastTimestamp(pub vtime.PubendID) vtime.Timestamp {
 // from lastIndex(sub) yields the subscriber's Q ticks further back, with S
 // implicit between them.
 func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Timestamp, maxQ int) (ReadResult, error) {
+	tReads.Inc()
 	p.mu.Lock()
 	st, ok := p.pubends[pub]
 	if !ok {
@@ -356,10 +372,13 @@ func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Ti
 
 	// Walk the backpointer chain newest→oldest collecting matched spans
 	// inside (floor, min(to, lastTS)].
+	var walked int64
+	defer func() { tReadWalk.Observe(walked) }()
 	var reversed []tick.Span
 	ceil := vtime.MinTS(to, lastTS)
 	idx := chainHead
 	for idx != logvol.NilIndex {
+		walked++
 		payload, err := stream.Read(idx)
 		if errors.Is(err, logvol.ErrChopped) {
 			// Chain descends into the chopped prefix; everything

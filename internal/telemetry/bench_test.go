@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// The acceptance bar for hot-path instrumentation is <50 ns per record on
+// commodity hardware; these benchmarks are run in CI as a smoke test
+// (-benchtime=1x) and locally for the real numbers.
+
+func BenchmarkTelemetryCounter(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "help")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkTelemetryGauge(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge", "help")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+func BenchmarkTelemetryHistogram(b *testing.B) {
+	h := NewRegistry().DurationHistogram("bench_seconds", "help", FastBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i%1000) * int64(time.Microsecond))
+	}
+}
+
+func BenchmarkTelemetryCounterParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_par_total", "help")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Check is one component health probe: nil means healthy. Checks must be
+// fast (they run inline in /healthz requests) and safe for concurrent use.
+type Check func() error
+
+// Server is the admin HTTP endpoint of a broker: /metrics (Prometheus
+// text format), /healthz (liveness over registered checks), /readyz
+// (readiness gate plus the same checks), and /debug/pprof/*.
+//
+// The listener is bound synchronously in NewServer so Addr is valid
+// immediately — tests bind "127.0.0.1:0" and read the actual port back
+// instead of racing for a fixed one.
+type Server struct {
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	checks map[string]Check
+	ready  atomic.Bool
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// NewServer binds addr and starts serving the admin endpoint over reg
+// (nil means the default registry).
+func NewServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		reg = Default()
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{
+		reg:    reg,
+		ln:     ln,
+		checks: make(map[string]Check),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns non-nil on Close
+	return s, nil
+}
+
+// Addr reports the actual listen address (resolving ":0" binds).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// RegisterHealth adds (or replaces) a named component health check.
+func (s *Server) RegisterHealth(name string, c Check) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.checks[name] = c
+}
+
+// UnregisterHealth removes a named check.
+func (s *Server) UnregisterHealth(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.checks, name)
+}
+
+// SetReady flips the readiness gate; a broker marks itself ready once its
+// startup (state recovery, upstream connect, listener bind) completes.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Close stops the admin server and releases its port.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.srv.Close()
+	})
+	return s.closeErr
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck,gosec // client disconnect mid-write
+}
+
+// runChecks evaluates every registered check and reports failures in name
+// order.
+func (s *Server) runChecks() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.checks))
+	checks := make([]Check, 0, len(s.checks))
+	for name, c := range s.checks {
+		names = append(names, name)
+		checks = append(checks, c)
+	}
+	s.mu.Unlock()
+	var failures []string
+	for i, c := range checks {
+		if err := c(); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", names[i], err))
+		}
+	}
+	sort.Strings(failures)
+	return failures
+}
+
+func writeHealth(w http.ResponseWriter, failures []string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(failures) == 0 {
+		fmt.Fprintln(w, "ok") //nolint:errcheck,gosec // client disconnect
+		return
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	for _, f := range failures {
+		fmt.Fprintln(w, f) //nolint:errcheck,gosec // client disconnect
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeHealth(w, s.runChecks())
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	failures := s.runChecks()
+	if !s.ready.Load() {
+		failures = append([]string{"ready: startup not complete"}, failures...)
+	}
+	writeHealth(w, failures)
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, reg *Registry) *Server {
+	t.Helper()
+	s, err := NewServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck
+	return s
+}
+
+func get(t *testing.T, s *Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get("http://" + s.Addr() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestServerMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("gryphon_server_test_total", "help").Add(3)
+	s := newTestServer(t, reg)
+
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want Prometheus 0.0.4", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	samples := parsePrometheus(t, string(body))
+	if got := samples["gryphon_server_test_total"]; len(got) != 1 || got[0].value != 3 {
+		t.Fatalf("scraped sample = %+v, want single 3", got)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	s := newTestServer(t, NewRegistry())
+	if code, body := get(t, s, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	s.RegisterHealth("disk", func() error { return errors.New("volume closed") })
+	s.RegisterHealth("db", func() error { return nil })
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("failing /healthz code = %d, want 503", code)
+	}
+	if !strings.Contains(body, "disk: volume closed") {
+		t.Fatalf("failing /healthz body = %q, want disk failure named", body)
+	}
+	if strings.Contains(body, "db") {
+		t.Fatalf("failing /healthz body = %q, healthy check should not appear", body)
+	}
+
+	s.UnregisterHealth("disk")
+	if code, _ := get(t, s, "/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after unregister = %d, want 200", code)
+	}
+}
+
+func TestServerReadyz(t *testing.T) {
+	s := newTestServer(t, NewRegistry())
+	code, body := get(t, s, "/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "startup not complete") {
+		t.Fatalf("pre-ready /readyz = %d %q, want 503 with startup gate", code, body)
+	}
+	s.SetReady(true)
+	if code, _ := get(t, s, "/readyz"); code != http.StatusOK {
+		t.Fatalf("post-ready /readyz = %d, want 200", code)
+	}
+	s.SetReady(false)
+	if code, _ := get(t, s, "/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("un-readied /readyz = %d, want 503", code)
+	}
+}
+
+func TestServerPprof(t *testing.T) {
+	s := newTestServer(t, NewRegistry())
+	code, body := get(t, s, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ = %d, want 200 with profile index", code)
+	}
+	if code, _ := get(t, s, "/debug/pprof/goroutine?debug=1"); code != http.StatusOK {
+		t.Fatalf("goroutine profile = %d, want 200", code)
+	}
+	if code, _ := get(t, s, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("cmdline = %d, want 200", code)
+	}
+}
+
+func TestServerEphemeralPortAndClose(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	addr := s.Addr()
+	if strings.HasSuffix(addr, ":0") {
+		t.Fatalf("Addr = %q, want resolved ephemeral port", addr)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Port is released: a fresh connection must fail (with a small retry
+	// window for the kernel to tear the listener down).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		_, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server still serving after Close")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

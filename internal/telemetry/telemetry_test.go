@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help")
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	if again := r.Counter("test_total", "other help"); again != c {
+		t.Fatalf("second Counter call returned a different instrument")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-3)
+	if got := g.Load(); got != 7 {
+		t.Fatalf("Load = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist", "help", []int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Fatalf("Count = %d, want 5", got)
+	}
+	if got := h.Sum(); got != 5126 {
+		t.Fatalf("Sum = %v, want 5126", got)
+	}
+	// Cumulative: le=10 covers {5,10}, le=100 adds {11,100}, le=1000 adds
+	// nothing, +Inf adds {5000}.
+	want := []int64{2, 4, 4, 5}
+	got := h.snapshot()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDurationHistogramScale(t *testing.T) {
+	r := NewRegistry()
+	h := r.DurationHistogram("test_seconds", "help", []time.Duration{time.Millisecond})
+	h.ObserveDuration(500 * time.Millisecond)
+	if got := h.Sum(); got != 0.5 {
+		t.Fatalf("Sum = %v, want 0.5 (seconds)", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_name", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Gauge on a counter name did not panic")
+		}
+	}()
+	r.Gauge("test_name", "help")
+}
+
+func TestConcurrentRegistration(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	counters := make([]*Counter, 16)
+	for i := range counters {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := r.Counter("shared_total", "help")
+			c.Inc()
+			counters[i] = c
+		}(i)
+	}
+	wg.Wait()
+	for _, c := range counters[1:] {
+		if c != counters[0] {
+			t.Fatalf("concurrent registration returned distinct instruments")
+		}
+	}
+	if got := counters[0].Load(); got != 16 {
+		t.Fatalf("Load = %d, want 16", got)
+	}
+}
+
+// promMetric is one parsed sample from the exposition text.
+type promMetric struct {
+	labels map[string]string
+	value  float64
+}
+
+// parsePrometheus is a strict parser for the text exposition format subset
+// the registry emits. It fails the test on any malformed line, TYPE/HELP
+// ordering violation, or sample without a preceding TYPE.
+func parsePrometheus(t *testing.T, text string) map[string][]promMetric {
+	t.Helper()
+	types := make(map[string]string)
+	samples := make(map[string][]promMetric)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+				t.Fatalf("malformed HELP line: %q", line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q in %q", parts[1], line)
+			}
+			if _, dup := types[parts[0]]; dup {
+				t.Fatalf("duplicate TYPE for %s", parts[0])
+			}
+			types[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unexpected comment line: %q", line)
+		}
+		// Sample: name[{labels}] value
+		sp := strings.LastIndex(line, " ")
+		if sp < 0 {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		value, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		name := line[:sp]
+		labels := make(map[string]string)
+		if i := strings.Index(name, "{"); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Fatalf("unterminated labels in %q", line)
+			}
+			for _, pair := range strings.Split(name[i+1:len(name)-1], ",") {
+				kv := strings.SplitN(pair, "=", 2)
+				if len(kv) != 2 {
+					t.Fatalf("malformed label %q in %q", pair, line)
+				}
+				val, err := strconv.Unquote(kv[1])
+				if err != nil {
+					t.Fatalf("unquoted label value %q in %q", kv[1], line)
+				}
+				labels[kv[0]] = val
+			}
+			name = name[:i]
+		}
+		// Every sample must belong to a declared family: the name itself,
+		// or its _bucket/_sum/_count series for histograms.
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && types[base] == "histogram" {
+				family = base
+			}
+		}
+		if _, ok := types[family]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE", line)
+		}
+		samples[name] = append(samples[name], promMetric{labels: labels, value: value})
+	}
+	return samples
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gryphon_test_events_total", "Events observed.")
+	c.Add(7)
+	g := r.Gauge("gryphon_test_depth", "Queue depth.")
+	g.Set(-2)
+	h := r.DurationHistogram("gryphon_test_latency_seconds", "Latency.",
+		[]time.Duration{5 * time.Millisecond, 2500 * time.Millisecond})
+	h.ObserveDuration(1 * time.Millisecond)
+	h.ObserveDuration(1 * time.Second)
+	h.ObserveDuration(10 * time.Second)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	samples := parsePrometheus(t, text)
+
+	if got := samples["gryphon_test_events_total"]; len(got) != 1 || got[0].value != 7 {
+		t.Fatalf("counter sample = %+v, want single 7", got)
+	}
+	if got := samples["gryphon_test_depth"]; len(got) != 1 || got[0].value != -2 {
+		t.Fatalf("gauge sample = %+v, want single -2", got)
+	}
+	buckets := samples["gryphon_test_latency_seconds_bucket"]
+	if len(buckets) != 3 {
+		t.Fatalf("bucket samples = %+v, want 3 (two bounds + +Inf)", buckets)
+	}
+	wantBuckets := map[string]float64{"0.005": 1, "2.5": 2, "+Inf": 3}
+	for _, b := range buckets {
+		le := b.labels["le"]
+		want, ok := wantBuckets[le]
+		if !ok {
+			t.Fatalf("unexpected bucket le=%q", le)
+		}
+		if b.value != want {
+			t.Fatalf("bucket le=%q = %v, want %v", le, b.value, want)
+		}
+	}
+	if got := samples["gryphon_test_latency_seconds_count"]; len(got) != 1 || got[0].value != 3 {
+		t.Fatalf("histogram count = %+v, want 3", got)
+	}
+	if got := samples["gryphon_test_latency_seconds_sum"]; len(got) != 1 || got[0].value != 11.001 {
+		t.Fatalf("histogram sum = %+v, want 11.001", got)
+	}
+
+	// Output must be sorted by name for stable scrapes.
+	var names []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			names = append(names, strings.Fields(line)[2])
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("TYPE families not sorted: %v", names)
+		}
+	}
+}
+
+func TestDefaultRegistryIsProcessWide(t *testing.T) {
+	name := fmt.Sprintf("gryphon_test_default_%d_total", time.Now().UnixNano())
+	a := Default().Counter(name, "help")
+	b := Default().Counter(name, "help")
+	if a != b {
+		t.Fatalf("Default() returned registries with distinct instruments")
+	}
+}
+
+func TestFormatBound(t *testing.T) {
+	cases := map[float64]string{
+		0.005: "0.005",
+		1:     "1",
+		2.5:   "2.5",
+		10:    "10",
+	}
+	for in, want := range cases {
+		if got := formatBound(in); got != want {
+			t.Errorf("formatBound(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
