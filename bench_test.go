@@ -10,12 +10,39 @@ package repro
 // b.N == 1; each iteration is one full experiment run.
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
 	"testing"
 	"time"
 
 	"repro/internal/experiment"
 )
+
+// writeBenchJSON persists a benchmark's headline result as
+// BENCH_<name>.json under $BENCH_JSON_DIR (no-op when unset). CI runs the
+// smoke benchmarks with the variable set and uploads the files as build
+// artifacts so runs can be compared across commits.
+func writeBenchJSON(b *testing.B, name string, v any) {
+	b.Helper()
+	dir := os.Getenv("BENCH_JSON_DIR")
+	if dir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		b.Fatalf("bench json: %v", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		b.Fatalf("bench json: %v", err)
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		b.Fatalf("bench json: %v", err)
+	}
+}
 
 // BenchmarkEndToEndLatency is E1 (section 5, result 1): end-to-end latency
 // over a 5-hop broker network with the PHB's 44ms forced-log latency. The
@@ -30,6 +57,45 @@ func BenchmarkEndToEndLatency(b *testing.B) {
 		b.ReportMetric(float64(res.WithLogging.Mean)/1e6, "latency_ms")
 		b.ReportMetric(float64(res.WithoutLogging.Mean)/1e6, "nolog_latency_ms")
 		b.ReportMetric(res.LoggingShareMean*100, "logging_share_%")
+		writeBenchJSON(b, "EndToEndLatency", res)
+	}
+}
+
+// BenchmarkMultiPubendThroughput compares the sharded broker event loop
+// against the serialized single-loop baseline: 4 pubends flooded through
+// windowed async publishers over real loopback TCP (so the framed
+// write-coalescing path is on the critical path), one durable subscriber
+// per pubend. On a multi-core box the sharded configuration should deliver
+// ≥1.5× the baseline's events/s; on a single core the two are expected to
+// tie (the run still validates exactly-once under shard concurrency).
+func BenchmarkMultiPubendThroughput(b *testing.B) {
+	configs := []struct {
+		name   string
+		shards int
+	}{
+		{"serialized_1shard", 1},
+		{fmt.Sprintf("sharded_%dshards", max(runtime.GOMAXPROCS(0), 2)), max(runtime.GOMAXPROCS(0), 2)},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunShardThroughput(b.TempDir(), experiment.ShardThroughputParams{
+					Pubends: 4,
+					Shards:  cfg.shards,
+					TCP:     true,
+					Measure: 1500 * time.Millisecond,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Gaps != 0 {
+					b.Fatalf("unexpected gaps under steady flood: %d", res.Gaps)
+				}
+				b.ReportMetric(res.DeliveryRate, "events/s")
+				b.ReportMetric(res.PublishRate, "publishes/s")
+				writeBenchJSON(b, "MultiPubendThroughput_"+cfg.name, res)
+			}
+		})
 	}
 }
 

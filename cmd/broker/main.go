@@ -53,6 +53,7 @@ func run() error {
 		maxRetain  = flag.Duration("max-retain", 0, "early-release retention bound (0 = retain until released)")
 		syncEvery  = flag.Bool("sync-publish", false, "fsync the event log on every publish")
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (empty = disabled)")
+		shards     = flag.Int("shards", 0, "event-loop shard count (0 = GOMAXPROCS, 1 = serialized)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func run() error {
 		EnableSHB:    *shb,
 		TickInterval: *tick,
 		AdminAddr:    *admin,
+		Shards:       *shards,
 	}
 	var policy pubend.Policy
 	if *maxRetain > 0 {
@@ -89,8 +91,8 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("broker %s listening on %s (PHB pubends: %v, SHB: %v, upstream: %q)\n",
-		*name, *listen, hosted, *shb, *upstream)
+	fmt.Printf("broker %s listening on %s (PHB pubends: %v, SHB: %v, upstream: %q, shards: %d)\n",
+		*name, *listen, hosted, *shb, *upstream, b.Shards())
 	if addr := b.AdminAddr(); addr != "" {
 		fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /readyz, /debug/pprof/)\n", addr)
 	}

@@ -59,6 +59,9 @@ type brokerSpec struct {
 	// Admin is the admin HTTP address for /metrics, /healthz, and
 	// /debug/pprof (empty = disabled).
 	Admin string `json:"admin"`
+	// Shards is the event-loop shard count (0 = GOMAXPROCS,
+	// 1 = serialized).
+	Shards int `json:"shards"`
 }
 
 func main() {
@@ -148,6 +151,7 @@ func specToConfig(dataDir string, spec brokerSpec) (broker.Config, error) {
 		UpstreamAddr: spec.Upstream,
 		EnableSHB:    spec.SHB,
 		AdminAddr:    spec.Admin,
+		Shards:       spec.Shards,
 	}
 	if spec.TickMillis > 0 {
 		cfg.TickInterval = time.Duration(spec.TickMillis) * time.Millisecond

@@ -12,18 +12,30 @@
 //     the core engine (consolidated stream, catchup streams, PFS).
 //
 // Brokers form a tree rooted at the PHB (the knowledge graph of section 3).
-// Concurrency model: connection handlers and engine callbacks enqueue work
-// onto a single broker event loop that owns all routing state; thread-safe
-// components (pubends, the core engine, client registry) are called
-// directly where no routing state is involved.
+//
+// Concurrency model: the broker runs Config.Shards event-loop goroutines.
+// Every pubend maps to one shard (pubend id mod shard count), and all work
+// for that pubend — knowledge relay, nack routing, release aggregation,
+// tick draining — always runs on its shard, so per-pubend processing stays
+// strictly FIFO while distinct pubends proceed in parallel. Shard 0
+// doubles as the control shard: link lifecycle and subscription changes
+// run there and fan out to the event shards through an atomic snapshot of
+// the downstream-link set (with Shards=1 everything lands on shard 0,
+// reproducing the original single-loop broker). Thread-safe components
+// (pubends, the core engine, the client registry, link sends, per-link
+// matchers) are called directly from whichever goroutine holds the
+// message; see DESIGN.md "Broker concurrency model" for the ownership
+// rules.
 package broker
 
 import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +48,7 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/pfs"
 	"repro/internal/pubend"
+	"repro/internal/ringq"
 	"repro/internal/telemetry"
 	"repro/internal/tick"
 	"repro/internal/vtime"
@@ -112,6 +125,13 @@ type Config struct {
 	// OnCaughtUp is forwarded to the core engine (figure 5 metric).
 	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
 
+	// Shards is the number of event-loop shards. Each pubend is pinned
+	// to one shard (pubend id mod Shards) and all its work runs there;
+	// shard 0 additionally serves as the control shard for link
+	// lifecycle and subscription changes. 0 means GOMAXPROCS; 1
+	// reproduces the original fully serialized single-loop broker.
+	Shards int
+
 	// AdminAddr, when non-empty, binds the admin HTTP endpoint there:
 	// /metrics (Prometheus text format over the process-wide telemetry
 	// registry), /healthz, /readyz, and /debug/pprof/. Use
@@ -125,8 +145,7 @@ type Config struct {
 type Broker struct {
 	cfg Config
 
-	tasks    *taskQueue
-	loopDone chan struct{}
+	shards   []*shard // shards[0] doubles as the control shard
 	tickStop chan struct{}
 	tickDone chan struct{}
 	closed   atomic.Bool
@@ -135,15 +154,18 @@ type Broker struct {
 	up       overlay.Conn
 	admin    *telemetry.Server
 
-	// Loop-owned routing state (no mutex: only the loop touches it).
-	links  map[overlay.Conn]*downLink // every accepted connection
-	downs  map[overlay.Conn]*downLink // the downstream-broker subset
-	caches map[vtime.PubendID]*relayCache
-	relAgg map[vtime.PubendID]map[string]relState // per source key
-	tickN  int64
+	// Control-shard-owned routing state (no mutex: only the control
+	// shard's loop touches it).
+	links map[overlay.Conn]*downLink // every accepted connection
+	downs map[overlay.Conn]*downLink // the downstream-broker subset
 
-	// clients is read by engine callbacks (Deliver) and written by the
-	// loop.
+	// downsSnap is the event shards' read-only view of the downstream
+	// fanout set; the control shard republishes it after every downs
+	// mutation. Never nil.
+	downsSnap atomic.Pointer[[]*downLink]
+
+	// clients is read by engine callbacks (Deliver) and conn dispatch
+	// goroutines, written by the control shard.
 	clients sync.Map // vtime.SubscriberID -> overlay.Conn
 
 	pubends map[vtime.PubendID]*pubend.Pubend
@@ -183,42 +205,58 @@ type downLink struct {
 	isDown  bool   // classified as downstream broker
 }
 
-// taskQueue is an unbounded queue of loop tasks.
+// taskQueue is an unbounded queue of loop tasks over a ring buffer (the
+// former slice-shift queue retained a burst's backing array forever; the
+// ring nils drained slots and shrinks back). Close does not drop queued
+// tasks: pop keeps draining them, returning false only once the queue is
+// both closed and empty.
 type taskQueue struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
-	items  []func()
+	items  ringq.Ring[func()]
 	closed bool
+	depth  *telemetry.Gauge // optional occupancy mirror, updated under mu
 }
 
-func newTaskQueue() *taskQueue {
-	q := &taskQueue{}
+func newTaskQueue(depth *telemetry.Gauge) *taskQueue {
+	q := &taskQueue{depth: depth}
 	q.cond = sync.NewCond(&q.mu)
 	return q
 }
 
-func (q *taskQueue) push(fn func()) {
+// push enqueues fn, reporting false when the queue is already closed and
+// the task was dropped.
+func (q *taskQueue) push(fn func()) bool {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
-		return
+		return false
 	}
-	q.items = append(q.items, fn)
+	q.items.Push(fn)
+	if q.depth != nil {
+		q.depth.Inc()
+	}
 	q.cond.Signal()
+	return true
 }
 
 func (q *taskQueue) pop() (func(), bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.items.Len() == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
-		return nil, false
+	fn, ok := q.items.Pop()
+	if ok && q.depth != nil {
+		q.depth.Dec()
 	}
-	fn := q.items[0]
-	q.items = q.items[1:]
-	return fn, true
+	return fn, ok
+}
+
+func (q *taskQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
 }
 
 func (q *taskQueue) close() {
@@ -226,6 +264,74 @@ func (q *taskQueue) close() {
 	defer q.mu.Unlock()
 	q.closed = true
 	q.cond.Broadcast()
+}
+
+// shard is one broker event loop: a task queue, the goroutine draining
+// it, and the routing state owned by that goroutine alone. Pubend →
+// shard assignment is static (pubend id mod shard count), so knowledge,
+// nacks, release aggregation and tick draining for one pubend are always
+// serialized on its shard while other pubends run in parallel.
+type shard struct {
+	id     int
+	tasks  *taskQueue
+	done   chan struct{}
+	hosted []vtime.PubendID // hosted pubends assigned to this shard
+
+	// Shard-loop-owned state (no mutex: only this shard's loop).
+	caches map[vtime.PubendID]*relayCache
+	relAgg map[vtime.PubendID]map[string]relState // per source key
+	tickN  int64
+
+	// Per-shard instruments (labeled by shard index; process-wide, so
+	// co-located brokers with equal shard counts aggregate).
+	ran  *telemetry.Counter
+	busy *telemetry.Counter
+}
+
+func newShard(id int) *shard {
+	label := fmt.Sprintf("{shard=\"%d\"}", id)
+	depth := telemetry.Default().Gauge(
+		"gryphon_broker_shard_queue_depth"+label,
+		"Tasks queued per broker event-loop shard.")
+	return &shard{
+		id:     id,
+		tasks:  newTaskQueue(depth),
+		done:   make(chan struct{}),
+		caches: make(map[vtime.PubendID]*relayCache),
+		relAgg: make(map[vtime.PubendID]map[string]relState),
+		ran: telemetry.Default().Counter(
+			"gryphon_broker_shard_tasks_total"+label,
+			"Tasks executed per broker event-loop shard."),
+		busy: telemetry.Default().Counter(
+			"gryphon_broker_shard_busy_nanos_total"+label,
+			"Nanoseconds spent executing tasks per broker event-loop shard (occupancy)."),
+	}
+}
+
+// push enqueues fn on this shard.
+func (s *shard) push(fn func()) bool { return s.tasks.push(fn) }
+
+// loop drains the shard until its queue closes and empties.
+func (s *shard) loop() {
+	defer close(s.done)
+	for {
+		fn, ok := s.tasks.pop()
+		if !ok {
+			return
+		}
+		start := time.Now()
+		fn()
+		s.busy.Add(int64(time.Since(start)))
+		s.ran.Inc()
+	}
+}
+
+// control returns the control shard (link lifecycle, subscriptions).
+func (b *Broker) control() *shard { return b.shards[0] }
+
+// shardFor returns the shard owning a pubend's work.
+func (b *Broker) shardFor(pub vtime.PubendID) *shard {
+	return b.shards[int(uint32(pub))%len(b.shards)]
 }
 
 // New creates and starts a broker: opens persistent state, connects to its
@@ -240,20 +346,29 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.RelayCacheSize == 0 {
 		cfg.RelayCacheSize = 65536
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	b := &Broker{
 		cfg:      cfg,
-		tasks:    newTaskQueue(),
-		loopDone: make(chan struct{}),
 		tickStop: make(chan struct{}),
 		tickDone: make(chan struct{}),
 		links:    make(map[overlay.Conn]*downLink),
 		downs:    make(map[overlay.Conn]*downLink),
-		caches:   make(map[vtime.PubendID]*relayCache),
-		relAgg:   make(map[vtime.PubendID]map[string]relState),
 		pubends:  make(map[vtime.PubendID]*pubend.Pubend),
+	}
+	b.downsSnap.Store(&[]*downLink{})
+	for i := 0; i < cfg.Shards; i++ {
+		b.shards = append(b.shards, newShard(i))
 	}
 	if err := b.openState(); err != nil {
 		return nil, err
+	}
+	// Pin each hosted pubend to its shard (the assignment is static for
+	// the broker's lifetime; everything keys off pubend id mod shards).
+	for _, id := range b.hostedIDs {
+		sh := b.shardFor(id)
+		sh.hosted = append(sh.hosted, id)
 	}
 	if err := b.connect(); err != nil {
 		b.closeState()
@@ -269,7 +384,9 @@ func New(cfg Config) (*Broker, error) {
 		b.closeState()
 		return nil, err
 	}
-	go b.loop()
+	for _, sh := range b.shards {
+		go sh.loop()
+	}
 	go b.tickLoop()
 	if b.admin != nil {
 		b.admin.SetReady(true)
@@ -423,9 +540,10 @@ func (b *Broker) connect() error {
 		if err := up.Send(&message.Hello{Role: message.RoleBroker, Name: cfg.Name}); err != nil {
 			return err
 		}
-		up.Start(func(m message.Message) {
-			b.tasks.push(func() { b.fromUpstream(m) })
-		})
+		// fromUpstream routes each message to its pubend's shard itself;
+		// the upstream dispatch goroutine pushes in receive order, so
+		// per-pubend FIFO is preserved shard-side.
+		up.Start(b.fromUpstream)
 	}
 	if cfg.ListenAddr != "" {
 		closer, err := cfg.Transport.Listen(cfg.ListenAddr, b.accept)
@@ -444,28 +562,19 @@ func (b *Broker) accept(conn overlay.Conn) {
 		matcher: filter.NewMatcher(),
 		key:     fmt.Sprintf("%s#%d", conn.RemoteAddr(), b.linkSeq.Add(1)),
 	}
-	b.tasks.push(func() { b.links[conn] = link })
+	b.control().push(func() { b.links[conn] = link })
 	conn.OnClose(func() {
-		b.tasks.push(func() { b.dropLink(link) })
+		b.control().push(func() { b.dropLink(link) })
 	})
 	conn.Start(func(m message.Message) {
 		b.fromBelow(link, m)
 	})
 }
 
-// loop is the broker's single event loop.
-func (b *Broker) loop() {
-	defer close(b.loopDone)
-	for {
-		fn, ok := b.tasks.pop()
-		if !ok {
-			return
-		}
-		fn()
-	}
-}
-
-// tickLoop drives periodic work.
+// tickLoop drives periodic work: each tick fans one housekeeping task to
+// every shard and waits for all of them before the next tick, keeping at
+// most one tick in flight per shard (the single-loop broker's semantics,
+// just parallelized across shards).
 func (b *Broker) tickLoop() {
 	defer close(b.tickDone)
 	ticker := time.NewTicker(b.cfg.TickInterval)
@@ -473,14 +582,26 @@ func (b *Broker) tickLoop() {
 	for {
 		select {
 		case <-ticker.C:
+			var wg sync.WaitGroup
+			for _, sh := range b.shards {
+				sh := sh
+				wg.Add(1)
+				if !sh.push(func() {
+					b.tickShard(sh)
+					wg.Done()
+				}) {
+					wg.Done() // shard already shut down
+				}
+			}
 			done := make(chan struct{})
-			b.tasks.push(func() {
-				b.tick()
+			go func() {
+				wg.Wait()
 				close(done)
-			})
+			}()
 			select {
 			case <-done:
 			case <-b.tickStop:
+				<-done // all shards drain their queues before closing
 				return
 			}
 		case <-b.tickStop:
@@ -491,8 +612,21 @@ func (b *Broker) tickLoop() {
 
 // Close shuts the broker down cleanly, waiting for its goroutines.
 func (b *Broker) Close() error {
+	b.shutdown()
+	return nil
+}
+
+// Crash simulates a broker failure: connections drop and volatile state is
+// lost; persistent files remain for a successor started with the same
+// Config.
+func (b *Broker) Crash() { b.shutdown() }
+
+// shutdown stops ticking, tears down connections on the control shard,
+// then closes every shard queue; queued tasks drain before the loops exit
+// (taskQueue.pop keeps returning items after close until empty).
+func (b *Broker) shutdown() {
 	if b.closed.Swap(true) {
-		return nil
+		return
 	}
 	close(b.tickStop)
 	<-b.tickDone
@@ -505,48 +639,40 @@ func (b *Broker) Close() error {
 	if b.up != nil {
 		b.up.Close() //nolint:errcheck,gosec // shutdown path
 	}
-	// Drain the loop: push a final task that closes the queue.
-	b.tasks.push(func() {
+	connsClosed := make(chan struct{})
+	if !b.control().push(func() {
 		for conn := range b.links {
 			conn.Close() //nolint:errcheck,gosec // shutdown path
 		}
-		b.tasks.close()
-	})
-	<-b.loopDone
-	b.closeState()
-	return nil
-}
-
-// Crash simulates a broker failure: connections drop and volatile state is
-// lost; persistent files remain for a successor started with the same
-// Config.
-func (b *Broker) Crash() {
-	if b.closed.Swap(true) {
-		return
+		close(connsClosed)
+	}) {
+		close(connsClosed)
 	}
-	close(b.tickStop)
-	<-b.tickDone
-	if b.admin != nil {
-		b.admin.Close() //nolint:errcheck,gosec // crash path
+	<-connsClosed
+	for _, sh := range b.shards {
+		sh.tasks.close()
 	}
-	if b.listener != nil {
-		b.listener.Close() //nolint:errcheck,gosec // crash path
+	for _, sh := range b.shards {
+		<-sh.done
 	}
-	if b.up != nil {
-		b.up.Close() //nolint:errcheck,gosec // crash path
-	}
-	b.tasks.push(func() {
-		for conn := range b.links {
-			conn.Close() //nolint:errcheck,gosec // crash path
-		}
-		b.tasks.close()
-	})
-	<-b.loopDone
 	b.closeState()
 }
 
 // Name reports the broker's configured name.
 func (b *Broker) Name() string { return b.cfg.Name }
+
+// Shards reports the number of event-loop shards the broker runs.
+func (b *Broker) Shards() int { return len(b.shards) }
+
+// BoundAddr reports the listener's actual bound address (useful with
+// ephemeral-port TCP addresses like "127.0.0.1:0"), falling back to the
+// configured ListenAddr for transports that don't expose one.
+func (b *Broker) BoundAddr() string {
+	if ln, ok := b.listener.(net.Listener); ok {
+		return ln.Addr().String()
+	}
+	return b.cfg.ListenAddr
+}
 
 // RelayStats reports how many events this broker forwarded as data versus
 // downgraded to silence on downstream links because nothing below the link
@@ -595,16 +721,20 @@ func (b *Broker) Pubend(id vtime.PubendID) *pubend.Pubend {
 	return b.pubends[id]
 }
 
-// --- Core engine callbacks (must not touch loop-owned state directly) ---
+// --- Core engine callbacks ---
+//
+// These run while the engine lock is held (see core.chanMutex), so they
+// must not block and must not re-enter the engine; they hop onto the
+// pubend's shard (non-blocking push) or do a non-blocking conn send.
 
 func (b *Broker) shbSendNack(pub vtime.PubendID, spans []tick.Span) {
-	b.tasks.push(func() { b.routeNack(nil, pub, spans) })
+	sh := b.shardFor(pub)
+	sh.push(func() { b.routeNack(sh, nil, pub, spans) })
 }
 
 func (b *Broker) shbSendRelease(pub vtime.PubendID, rel, ld vtime.Timestamp) {
-	b.tasks.push(func() {
-		b.storeRelease("self", pub, rel, ld)
-	})
+	sh := b.shardFor(pub)
+	sh.push(func() { b.storeRelease(sh, "self", pub, rel, ld) })
 }
 
 func (b *Broker) shbDeliver(sub vtime.SubscriberID, d message.Delivery) {

@@ -9,46 +9,55 @@ import (
 	"repro/internal/vtime"
 )
 
-// tick runs one housekeeping round on the broker loop: drain hosted
-// pubends, run the SHB engine's housekeeping, aggregate and propagate
-// release vectors, and occasionally reclaim PFS storage.
-func (b *Broker) tick() {
-	b.tickN++
+// tickShard runs one housekeeping round on one shard's loop: drain the
+// shard's hosted pubends, aggregate and propagate its release vectors,
+// and — on the control shard — run the SHB engine's housekeeping and
+// occasionally reclaim PFS storage.
+func (b *Broker) tickShard(sh *shard) {
+	sh.tickN++
 	// Drain hosted pubends and push fresh knowledge down the tree.
-	for _, id := range b.hostedIDs {
+	for _, id := range sh.hosted {
 		pe := b.pubends[id]
 		know, _ := pe.Drain()
 		if know != nil {
 			b.spreadKnowledge(know)
 		}
 	}
-	if b.shb != nil {
+	if sh == b.control() && b.shb != nil {
 		//nolint:errcheck,gosec // persistence errors surface in tests
 		// via lost state; the engine remains consistent in memory.
 		b.shb.Tick(time.Now())
-		if b.tickN%256 == 0 {
+		if sh.tickN%256 == 0 {
 			b.shb.ChopPFS() //nolint:errcheck,gosec // storage reclamation is best-effort
 		}
 	}
-	b.propagateReleases()
+	b.propagateReleases(sh)
 }
 
-// fromUpstream handles a message arriving on the parent link.
+// fromUpstream handles a message arriving on the parent link. It runs on
+// the upstream connection's dispatch goroutine and hops onto the
+// pubend's shard; same-pubend messages land on one queue in receive
+// order, so per-pubend FIFO survives the fan-out.
 func (b *Broker) fromUpstream(m message.Message) {
 	switch v := m.(type) {
 	case *message.Knowledge:
-		if cache := b.relay(v.Pubend); cache != nil {
-			cache.apply(v)
-		}
-		b.spreadKnowledge(v)
+		sh := b.shardFor(v.Pubend)
+		sh.push(func() {
+			if cache := b.relay(sh, v.Pubend); cache != nil {
+				cache.apply(v)
+			}
+			b.spreadKnowledge(v)
+		})
 	default:
 		// Upstream sends only knowledge in this protocol.
 	}
 }
 
 // fromBelow handles a message from a downstream broker or client. It runs
-// on the connection's dispatch goroutine for cheap thread-safe operations
-// (publishes) and hops onto the loop for routing-state changes.
+// on the connection's dispatch goroutine: cheap thread-safe operations
+// (publishes, engine acks/credits) are handled inline, per-pubend traffic
+// hops onto the pubend's shard, and link/subscription lifecycle hops onto
+// the control shard.
 func (b *Broker) fromBelow(link *downLink, m message.Message) {
 	switch v := m.(type) {
 	case *message.Publish:
@@ -56,35 +65,37 @@ func (b *Broker) fromBelow(link *downLink, m message.Message) {
 		// goroutine so publisher throughput is not serialized behind
 		// routing work.
 		b.handlePublish(link, v)
-	default:
-		b.tasks.push(func() { b.fromBelowLoop(link, m) })
-	}
-}
-
-// fromBelowLoop is the loop-side portion of fromBelow.
-func (b *Broker) fromBelowLoop(link *downLink, m message.Message) {
-	switch v := m.(type) {
 	case *message.Hello:
+		// The aggregation key must be settled before any Release from
+		// this link is routed. Both arrive on this dispatch goroutine in
+		// FIFO order, so assigning it here (not on the control shard)
+		// makes later by-value captures of link.key race-free.
+		if v.Role == message.RoleBroker && v.Name != "" {
+			// Key release aggregation by broker name so a restarted
+			// broker replaces its own stale entry instead of pinning
+			// the aggregate forever.
+			link.key = "broker:" + v.Name
+		}
 		if v.Role == message.RoleBroker {
-			link.isDown = true
-			if v.Name != "" {
-				// Key release aggregation by broker name so a
-				// restarted broker replaces its own stale entry
-				// instead of pinning the aggregate forever.
-				link.key = "broker:" + v.Name
+			b.control().push(func() { b.registerDown(link) })
+			// Fan the release floor out to every shard for its own
+			// hosted pubends (shard-local relAgg state).
+			key := link.key
+			for _, sh := range b.shards {
+				sh := sh
+				sh.push(func() { b.initLinkFloor(sh, key) })
 			}
-			b.downs[link.conn] = link
-			b.initLinkFloor(link)
 		}
 	case *message.Nack:
-		b.routeNack(link, v.Pubend, v.Spans)
+		sh := b.shardFor(v.Pubend)
+		sh.push(func() { b.routeNack(sh, link, v.Pubend, v.Spans) })
 	case *message.Release:
-		b.storeRelease(link.key, v.Pubend, v.Released, v.LatestDelivered)
-	case *message.SubUpdate:
-		b.handleSubUpdate(link, v)
-	case *message.Subscribe:
-		b.handleSubscribe(link, v)
+		sh := b.shardFor(v.Pubend)
+		key := link.key
+		sh.push(func() { b.storeRelease(sh, key, v.Pubend, v.Released, v.LatestDelivered) })
 	case *message.Ack:
+		// The engine is internally serialized; no routing state is
+		// touched, so stay on the conn goroutine.
 		if b.shb != nil {
 			b.shb.OnAck(v.Subscriber, v.CT)
 		}
@@ -92,6 +103,37 @@ func (b *Broker) fromBelowLoop(link *downLink, m message.Message) {
 		if b.shb != nil {
 			b.shb.OnCredit(v.Subscriber, v.Credits)
 		}
+	default:
+		b.control().push(func() { b.fromBelowControl(link, m) })
+	}
+}
+
+// registerDown adds a classified broker link to the downstream fan-out
+// set. Runs on the control shard.
+func (b *Broker) registerDown(link *downLink) {
+	link.isDown = true
+	b.downs[link.conn] = link
+	b.publishDowns()
+}
+
+// publishDowns republishes the downstream-link snapshot read by event
+// shards in spreadKnowledge. Runs on the control shard.
+func (b *Broker) publishDowns() {
+	snap := make([]*downLink, 0, len(b.downs))
+	for _, link := range b.downs {
+		snap = append(snap, link)
+	}
+	b.downsSnap.Store(&snap)
+}
+
+// fromBelowControl is the control-shard portion of fromBelow: link and
+// subscription lifecycle.
+func (b *Broker) fromBelowControl(link *downLink, m message.Message) {
+	switch v := m.(type) {
+	case *message.SubUpdate:
+		b.handleSubUpdate(link, v)
+	case *message.Subscribe:
+		b.handleSubscribe(link, v)
 	case *message.Detach:
 		b.detachSubscriber(v.Subscriber)
 	case *message.Unsubscribe:
@@ -114,12 +156,14 @@ func (b *Broker) unsubscribe(id vtime.SubscriberID) {
 // spreadKnowledge fans knowledge out to the local SHB and every downstream
 // broker link, filtering events per link through its subscription matcher
 // (the intermediate-broker filtering of section 1: a D tick that matches
-// nothing below a link is sent as S).
+// nothing below a link is sent as S). Runs on event shards; the
+// downstream set is the control shard's atomic snapshot, and matchers and
+// conn sends are thread-safe.
 func (b *Broker) spreadKnowledge(know *message.Knowledge) {
 	if b.shb != nil {
 		b.shb.OnKnowledge(know)
 	}
-	for _, link := range b.downs {
+	for _, link := range *b.downsSnap.Load() {
 		filtered := b.filterKnowledge(know, link.matcher)
 		link.conn.Send(filtered) //nolint:errcheck,gosec // dead links drop via OnClose
 	}
@@ -154,8 +198,8 @@ func (b *Broker) filterKnowledge(know *message.Knowledge, m *filter.Matcher) *me
 
 // routeNack answers a nack (from a downstream link, or nil for the local
 // SHB) with whatever this broker knows — hosted pubend log, or relay
-// cache — and consolidates the remainder upstream.
-func (b *Broker) routeNack(link *downLink, pub vtime.PubendID, spans []tick.Span) {
+// cache — and consolidates the remainder upstream. Runs on pub's shard.
+func (b *Broker) routeNack(sh *shard, link *downLink, pub vtime.PubendID, spans []tick.Span) {
 	tNacksRouted.Inc()
 	// Hosted pubend: authoritative answer.
 	if pe, ok := b.pubends[pub]; ok {
@@ -166,7 +210,7 @@ func (b *Broker) routeNack(link *downLink, pub vtime.PubendID, spans []tick.Span
 		b.replyKnowledge(link, know)
 		return
 	}
-	cache := b.relay(pub)
+	cache := b.relay(sh, pub)
 	reply, missing := cache.serve(pub, spans)
 	if reply != nil {
 		b.replyKnowledge(link, reply)
@@ -197,29 +241,32 @@ func (b *Broker) replyKnowledge(link *downLink, know *message.Knowledge) {
 }
 
 // initLinkFloor seeds a zero release vector for a newly connected broker
-// link on every hosted pubend: until the link reports, nothing may be
-// released — otherwise a subtree that crashes before its first report
-// would silently lose its subscribers' retention guarantees.
-func (b *Broker) initLinkFloor(link *downLink) {
-	for _, pub := range b.hostedIDs {
-		per := b.relAgg[pub]
+// link on this shard's hosted pubends: until the link reports, nothing
+// may be released — otherwise a subtree that crashes before its first
+// report would silently lose its subscribers' retention guarantees.
+// Runs on sh's loop. Seeding never overwrites an existing entry, so its
+// ordering against a concurrent storeRelease for the same link (routed
+// independently to this shard) is immaterial.
+func (b *Broker) initLinkFloor(sh *shard, key string) {
+	for _, pub := range sh.hosted {
+		per := sh.relAgg[pub]
 		if per == nil {
 			per = make(map[string]relState)
-			b.relAgg[pub] = per
+			sh.relAgg[pub] = per
 		}
-		if _, exists := per[link.key]; !exists {
-			per[link.key] = relState{valid: true} // released=0, latestDelivered=0
+		if _, exists := per[key]; !exists {
+			per[key] = relState{valid: true} // released=0, latestDelivered=0
 		}
 	}
 }
 
 // storeRelease records one source's release vector; propagation happens on
-// the next tick.
-func (b *Broker) storeRelease(source string, pub vtime.PubendID, rel, ld vtime.Timestamp) {
-	per := b.relAgg[pub]
+// the next tick. Runs on pub's shard.
+func (b *Broker) storeRelease(sh *shard, source string, pub vtime.PubendID, rel, ld vtime.Timestamp) {
+	per := sh.relAgg[pub]
 	if per == nil {
 		per = make(map[string]relState)
-		b.relAgg[pub] = per
+		sh.relAgg[pub] = per
 	}
 	cur := per[source]
 	if rel > cur.released {
@@ -232,10 +279,11 @@ func (b *Broker) storeRelease(source string, pub vtime.PubendID, rel, ld vtime.T
 	per[source] = cur
 }
 
-// propagateReleases aggregates release vectors over all reporting sources
-// and feeds them to the hosted pubend (root) or the upstream link.
-func (b *Broker) propagateReleases() {
-	for pub, per := range b.relAgg {
+// propagateReleases aggregates this shard's release vectors over all
+// reporting sources and feeds them to the hosted pubend (root) or the
+// upstream link. Runs on sh's loop.
+func (b *Broker) propagateReleases(sh *shard) {
+	for pub, per := range sh.relAgg {
 		rel, ld := vtime.MaxTS, vtime.MaxTS
 		n := 0
 		for _, st := range per {
@@ -268,7 +316,7 @@ func (b *Broker) propagateReleases() {
 		}
 		// Advance the relay cache floor: nothing below the aggregate
 		// released can be requested again from below.
-		if cache := b.caches[pub]; cache != nil {
+		if cache := sh.caches[pub]; cache != nil {
 			cache.evictUpTo(rel)
 		}
 	}
@@ -288,10 +336,13 @@ func (b *Broker) handleSubUpdate(link *downLink, su *message.SubUpdate) {
 }
 
 // dropLink removes a dead connection: downstream links leave the fanout
-// set; subscriber clients are detached.
+// set; subscriber clients are detached. Runs on the control shard.
 func (b *Broker) dropLink(link *downLink) {
 	delete(b.links, link.conn)
-	delete(b.downs, link.conn)
+	if _, wasDown := b.downs[link.conn]; wasDown {
+		delete(b.downs, link.conn)
+		b.publishDowns()
+	}
 	var gone []vtime.SubscriberID
 	b.clients.Range(func(k, v any) bool {
 		if v == link.conn {
@@ -313,16 +364,16 @@ func (b *Broker) detachSubscriber(id vtime.SubscriberID) {
 	}
 }
 
-// relay returns (creating on demand) the relay cache for a non-hosted
-// pubend.
-func (b *Broker) relay(pub vtime.PubendID) *relayCache {
+// relay returns (creating on demand) the shard-local relay cache for a
+// non-hosted pubend. Runs on pub's shard.
+func (b *Broker) relay(sh *shard, pub vtime.PubendID) *relayCache {
 	if _, hosted := b.pubends[pub]; hosted {
 		return nil
 	}
-	cache := b.caches[pub]
+	cache := sh.caches[pub]
 	if cache == nil {
 		cache = newRelayCache(b.cfg.RelayCacheSize)
-		b.caches[pub] = cache
+		sh.caches[pub] = cache
 	}
 	return cache
 }

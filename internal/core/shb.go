@@ -127,6 +127,25 @@ type Stats struct {
 
 // chanMutex is a mutex implemented over a channel so the engine can also
 // export TryLock-free simple locking with a tiny footprint.
+//
+// Concurrency contract. This single lock serializes the entire engine:
+// every public entry point (OnKnowledge, OnAck, OnCredit, Subscribe,
+// Detach, Unsubscribe, Tick, ChopPFS, the stats/cursor accessors)
+// acquires it for its full duration, so callers may invoke the engine
+// from any number of goroutines — the sharded broker calls it
+// concurrently from event-shard loops, the control shard, and connection
+// dispatch goroutines — and each call executes atomically against the
+// others. Cross-call ordering is whatever the lock hand-off yields;
+// callers needing a per-pubend order (knowledge before the nack answer
+// that fills its gap, say) must sequence those calls themselves, which
+// the broker does by pinning each pubend's traffic to one shard.
+//
+// The flip side: the configured callbacks (Deliver, SendNack,
+// SendRelease, OnCaughtUp) are invoked WHILE the lock is held. They must
+// not block — a blocked callback stalls every other engine caller — and
+// must not re-enter the engine, which would self-deadlock (chanMutex is
+// not reentrant). The broker's callbacks obey this by only doing
+// non-blocking queue pushes (shard task queues, overlay sends).
 type chanMutex chan struct{}
 
 func newChanMutex() chanMutex { return make(chanMutex, 1) }

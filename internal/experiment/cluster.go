@@ -58,17 +58,26 @@ type Topology struct {
 	MetaCommitLatency time.Duration
 	// OnCaughtUp receives catchup-duration samples from every SHB.
 	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
+	// Shards is the per-broker event-loop shard count (0 = GOMAXPROCS,
+	// 1 = the serialized single-loop broker; see broker.Config.Shards).
+	Shards int
+	// TCP runs the cluster over real loopback TCP sockets instead of the
+	// in-process transport (the paper's deployment; exercises the framed
+	// write-coalescing wire path). LinkLatency is ignored under TCP.
+	TCP bool
 }
 
 // Cluster is a running broker topology.
 type Cluster struct {
-	Net  *overlay.InprocNetwork
-	PHB  *broker.Broker
-	Mids []*broker.Broker
-	SHBs []*broker.Broker
+	Transport overlay.Transport
+	PHB       *broker.Broker
+	Mids      []*broker.Broker
+	SHBs      []*broker.Broker
 
-	topo Topology
-	dir  string
+	topo     Topology
+	dir      string
+	phbAddr  string
+	shbAddrs []string
 }
 
 // AllPubends lists the pubend IDs of the cluster.
@@ -81,15 +90,25 @@ func (c *Cluster) AllPubends() []vtime.PubendID {
 }
 
 // PHBAddr is the publisher connection address.
-func (c *Cluster) PHBAddr() string { return "phb" }
+func (c *Cluster) PHBAddr() string { return c.phbAddr }
 
 // SHBAddr is the subscriber connection address of SHB i (or the combined
 // broker in the single-broker topology).
 func (c *Cluster) SHBAddr(i int) string {
 	if c.topo.SHBs == 0 {
-		return "phb"
+		return c.phbAddr
 	}
-	return fmt.Sprintf("shb%d", i)
+	return c.shbAddrs[i]
+}
+
+// listenAddr picks a broker's bind address: its name on the in-process
+// transport, an ephemeral loopback port under TCP (the actual address is
+// read back through broker.BoundAddr).
+func (c *Cluster) listenAddr(name string) string {
+	if c.topo.TCP {
+		return "127.0.0.1:0"
+	}
+	return name
 }
 
 // SHBBroker returns the broker behind SHBAddr(i).
@@ -112,9 +131,13 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 		return nil, fmt.Errorf("experiment: dir: %w", err)
 	}
 	c := &Cluster{
-		Net:  overlay.NewInprocNetwork(topo.LinkLatency),
 		topo: topo,
 		dir:  dir,
+	}
+	if topo.TCP {
+		c.Transport = overlay.TCPTransport{}
+	} else {
+		c.Transport = overlay.NewInprocNetwork(topo.LinkLatency)
 	}
 	var hosted []broker.PubendConfig
 	for i := 1; i <= topo.Pubends; i++ {
@@ -125,19 +148,20 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 		})
 	}
 	common := broker.Config{
-		Transport:         c.Net,
+		Transport:         c.Transport,
 		TickInterval:      topo.TickInterval,
 		EventCacheSize:    topo.EventCacheSize,
 		RelayCacheSize:    topo.RelayCacheSize,
 		ReadBufferQ:       topo.ReadBufferQ,
 		MetaCommitLatency: topo.MetaCommitLatency,
 		OnCaughtUp:        topo.OnCaughtUp,
+		Shards:            topo.Shards,
 	}
 
 	phbCfg := common
 	phbCfg.Name = "phb"
 	phbCfg.DataDir = filepath.Join(dir, "phb")
-	phbCfg.ListenAddr = "phb"
+	phbCfg.ListenAddr = c.listenAddr("phb")
 	phbCfg.HostedPubends = hosted
 	if topo.SHBs == 0 {
 		phbCfg.EnableSHB = true
@@ -148,12 +172,13 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 		return nil, err
 	}
 	c.PHB = phb
+	c.phbAddr = phb.BoundAddr()
 
-	upstream := "phb"
+	upstream := c.phbAddr
 	for i := 0; i < topo.Chain; i++ {
 		midCfg := common
 		midCfg.Name = fmt.Sprintf("mid%d", i)
-		midCfg.ListenAddr = midCfg.Name
+		midCfg.ListenAddr = c.listenAddr(midCfg.Name)
 		midCfg.UpstreamAddr = upstream
 		mid, err := broker.New(midCfg)
 		if err != nil {
@@ -161,12 +186,12 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 			return nil, err
 		}
 		c.Mids = append(c.Mids, mid)
-		upstream = midCfg.Name
+		upstream = mid.BoundAddr()
 	}
 	if topo.Intermediate {
 		midCfg := common
 		midCfg.Name = "mid"
-		midCfg.ListenAddr = "mid"
+		midCfg.ListenAddr = c.listenAddr("mid")
 		midCfg.UpstreamAddr = upstream
 		mid, err := broker.New(midCfg)
 		if err != nil {
@@ -174,13 +199,13 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 			return nil, err
 		}
 		c.Mids = append(c.Mids, mid)
-		upstream = "mid"
+		upstream = mid.BoundAddr()
 	}
 	for i := 0; i < topo.SHBs; i++ {
 		cfg := common
 		cfg.Name = fmt.Sprintf("shb%d", i)
 		cfg.DataDir = filepath.Join(dir, cfg.Name)
-		cfg.ListenAddr = cfg.Name
+		cfg.ListenAddr = c.listenAddr(cfg.Name)
 		cfg.UpstreamAddr = upstream
 		cfg.EnableSHB = true
 		cfg.AllPubends = c.AllPubends()
@@ -190,6 +215,7 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 			return nil, err
 		}
 		c.SHBs = append(c.SHBs, shb)
+		c.shbAddrs = append(c.shbAddrs, shb.BoundAddr())
 	}
 	return c, nil
 }
@@ -203,15 +229,15 @@ func (c *Cluster) CrashSHB(i int) {
 // RestartSHB restarts a crashed SHB from its persistent state.
 func (c *Cluster) RestartSHB(i int) error {
 	name := fmt.Sprintf("shb%d", i)
-	upstream := "phb"
+	upstream := c.phbAddr
 	if len(c.Mids) > 0 {
-		upstream = c.Mids[len(c.Mids)-1].Name()
+		upstream = c.Mids[len(c.Mids)-1].BoundAddr()
 	}
 	cfg := broker.Config{
 		Name:              name,
 		DataDir:           filepath.Join(c.dir, name),
-		Transport:         c.Net,
-		ListenAddr:        name,
+		Transport:         c.Transport,
+		ListenAddr:        c.listenAddr(name),
 		UpstreamAddr:      upstream,
 		EnableSHB:         true,
 		AllPubends:        c.AllPubends(),
@@ -221,12 +247,14 @@ func (c *Cluster) RestartSHB(i int) error {
 		ReadBufferQ:       c.topo.ReadBufferQ,
 		MetaCommitLatency: c.topo.MetaCommitLatency,
 		OnCaughtUp:        c.topo.OnCaughtUp,
+		Shards:            c.topo.Shards,
 	}
 	nb, err := broker.New(cfg)
 	if err != nil {
 		return err
 	}
 	c.SHBs[i] = nb
+	c.shbAddrs[i] = nb.BoundAddr()
 	return nil
 }
 

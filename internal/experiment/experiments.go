@@ -88,12 +88,12 @@ func runLatencyOnce(dir string, hops, events int, logLatency, linkLatency time.D
 	if err != nil {
 		return nil, err
 	}
-	if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+	if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	defer sub.Disconnect() //nolint:errcheck
 
-	pub, err := client.NewPublisher(c.Net, c.PHBAddr(), "lat")
+	pub, err := client.NewPublisher(c.Transport, c.PHBAddr(), "lat")
 	if err != nil {
 		return nil, err
 	}
@@ -218,7 +218,7 @@ func RunScalability(dir string, p ScalabilityParams) (*ScalabilityResult, error)
 	}
 	defer pool.Stop()
 
-	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), p.InputRate, PaperGroups, PaperPayloadBytes)
+	load, err := StartPublisherLoad(c.Transport, c.PHBAddr(), p.InputRate, PaperGroups, PaperPayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -315,7 +315,7 @@ func RunCatchupRates(dir string, p CatchupRatesParams) (*CatchupRatesResult, err
 		return nil, err
 	}
 	defer pool.Stop()
-	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
+	load, err := StartPublisherLoad(c.Transport, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -233,7 +233,7 @@ func RunJMS(dir string, p JMSParams) (*JMSResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
 			return nil, err
 		}
 		ac := jms.NewAutoAckConsumer(sub, store)
@@ -244,7 +244,7 @@ func RunJMS(dir string, p JMSParams) (*JMSResult, error) {
 			ac.Run() //nolint:errcheck,gosec // exits on Stop/close
 		}()
 	}
-	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), p.InputRate, PaperGroups, PaperPayloadBytes)
+	load, err := StartPublisherLoad(c.Transport, c.PHBAddr(), p.InputRate, PaperGroups, PaperPayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -377,7 +377,7 @@ func RunFailover(dir string, p FailoverParams) (*FailoverResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Net, c.SHBAddr(0)); err != nil {
+		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
 			return nil, err
 		}
 		subs = append(subs, sub)
@@ -405,7 +405,7 @@ func RunFailover(dir string, p FailoverParams) (*FailoverResult, error) {
 		}
 	}()
 
-	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
+	load, err := StartPublisherLoad(c.Transport, c.PHBAddr(), PaperInputRate, PaperGroups, PaperPayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -485,7 +485,7 @@ func RunFailover(dir string, p FailoverParams) (*FailoverResult, error) {
 	catchupStart := time.Now()
 	for _, sub := range subs {
 		for attempt := 0; ; attempt++ {
-			if err := sub.Connect(c.Net, c.SHBAddr(0)); err == nil {
+			if err := sub.Connect(c.Transport, c.SHBAddr(0)); err == nil {
 				break
 			}
 			if attempt > 200 {
@@ -589,7 +589,7 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 	if err != nil {
 		return nil, err
 	}
-	if err := live.Connect(c.Net, c.SHBAddr(0)); err != nil {
+	if err := live.Connect(c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	defer live.Disconnect() //nolint:errcheck
@@ -604,14 +604,14 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 	if err != nil {
 		return nil, err
 	}
-	if err := lagging.Connect(c.Net, c.SHBAddr(0)); err != nil {
+	if err := lagging.Connect(c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	if err := lagging.Disconnect(); err != nil {
 		return nil, err
 	}
 
-	load, err := StartPublisherLoad(c.Net, c.PHBAddr(), 400, 1, PaperPayloadBytes)
+	load, err := StartPublisherLoad(c.Transport, c.PHBAddr(), 400, 1, PaperPayloadBytes)
 	if err != nil {
 		return nil, err
 	}
@@ -620,7 +620,7 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 	published := load.Sent()
 	time.Sleep(100 * time.Millisecond)
 
-	if err := lagging.Connect(c.Net, c.SHBAddr(0)); err != nil {
+	if err := lagging.Connect(c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	defer lagging.Disconnect() //nolint:errcheck
@@ -639,7 +639,7 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 		}
 	}
 	// Live events still flow after the gap.
-	load2, err := StartPublisherLoad(c.Net, c.PHBAddr(), 200, 1, PaperPayloadBytes)
+	load2, err := StartPublisherLoad(c.Transport, c.PHBAddr(), 200, 1, PaperPayloadBytes)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,196 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/metrics"
+	"repro/internal/vtime"
+)
+
+// ShardThroughputParams configures a multi-pubend saturation run used to
+// compare the sharded broker event loop against the serialized baseline
+// (Shards = 1). Unlike the paced figure-4 workload, every pubend is driven
+// as fast as its publish window allows, so broker-side routing is the
+// bottleneck and the shard count is the variable under test.
+type ShardThroughputParams struct {
+	// Pubends hosted by the PHB, each flooded by a dedicated publisher
+	// (0 = 4; the paper's pubend count and the minimum for the
+	// experiment to exercise cross-shard routing).
+	Pubends int
+	// Shards is the per-broker event-loop shard count (0 = GOMAXPROCS,
+	// 1 = the serialized single-loop baseline).
+	Shards int
+	// Window is the number of outstanding async publishes each publisher
+	// keeps in flight (0 = 64).
+	Window int
+	// Payload bytes per event (0 = PaperPayloadBytes).
+	Payload int
+	// Warmup before the measurement window opens (0 = 300ms).
+	Warmup time.Duration
+	// Measure is the measurement window (0 = 1s).
+	Measure time.Duration
+	// TCP runs the cluster over loopback TCP, exercising the framed
+	// write-coalescing wire path end-to-end.
+	TCP bool
+	// SHBs downstream of the PHB (0 = 1).
+	SHBs int
+}
+
+// ShardThroughputResult is one row of the shard-scaling comparison.
+type ShardThroughputResult struct {
+	Shards  int
+	Pubends int
+	// PublishRate is acked publishes/s across all pubends during the
+	// measurement window; DeliveryRate is events/s delivered across all
+	// subscribers.
+	PublishRate  float64
+	DeliveryRate float64
+	Published    int64
+	Delivered    int64
+	Gaps         int64
+	Violations   int64
+}
+
+// RunShardThroughput floods every pubend through a windowed async
+// publisher while one durable subscriber per pubend drains the matching
+// group, and reports aggregate publish and delivery rates. Exactly-once
+// invariants (violations, unexpected gaps) are checked as in every other
+// experiment: a faster-but-wrong shard configuration must fail, not win.
+func RunShardThroughput(dir string, p ShardThroughputParams) (*ShardThroughputResult, error) {
+	if p.Pubends == 0 {
+		p.Pubends = 4
+	}
+	if p.Window == 0 {
+		p.Window = 64
+	}
+	if p.Payload == 0 {
+		p.Payload = PaperPayloadBytes
+	}
+	if p.Warmup == 0 {
+		p.Warmup = 300 * time.Millisecond
+	}
+	if p.Measure == 0 {
+		p.Measure = time.Second
+	}
+	shbs := p.SHBs
+	if shbs == 0 {
+		shbs = 1
+	}
+	c, err := BuildCluster(dir, Topology{
+		SHBs:    shbs,
+		Pubends: p.Pubends,
+		Shards:  p.Shards,
+		TCP:     p.TCP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	pool, err := StartSubscriberPool(c, PoolOptions{
+		N:      p.Pubends,
+		Groups: p.Pubends,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Stop()
+
+	var acked metrics.Counter
+	stop := make(chan struct{})
+	errs := make(chan error, p.Pubends)
+	done := make(chan struct{}, p.Pubends)
+	for i := 0; i < p.Pubends; i++ {
+		target := vtime.PubendID(i + 1)
+		group := groupName(i)
+		go func() {
+			defer func() { done <- struct{}{} }()
+			errs <- floodPubend(c, target, group, p, stop, &acked)
+		}()
+	}
+	stopFlood := func() {
+		close(stop)
+		for i := 0; i < p.Pubends; i++ {
+			<-done
+		}
+	}
+
+	time.Sleep(p.Warmup)
+	ackedBefore := acked.Load()
+	recvBefore := pool.Received()
+	time.Sleep(p.Measure)
+	ackedAfter := acked.Load()
+	recvAfter := pool.Received()
+	stopFlood()
+
+	for i := 0; i < p.Pubends; i++ {
+		if err := <-errs; err != nil {
+			return nil, err
+		}
+	}
+	res := &ShardThroughputResult{
+		Shards:       c.PHB.Shards(),
+		Pubends:      p.Pubends,
+		PublishRate:  float64(ackedAfter-ackedBefore) / p.Measure.Seconds(),
+		DeliveryRate: float64(recvAfter-recvBefore) / p.Measure.Seconds(),
+		Published:    ackedAfter,
+		Delivered:    recvAfter,
+		Gaps:         pool.Gaps(),
+		Violations:   pool.Violations(),
+	}
+	if res.Violations != 0 {
+		return res, fmt.Errorf("shard throughput: %d ordering violations", res.Violations)
+	}
+	return res, nil
+}
+
+// floodPubend keeps p.Window async publishes outstanding against one
+// pubend until stop closes, counting acks. Events carry the pubend's group
+// attribute so exactly one pool subscriber matches them.
+func floodPubend(c *Cluster, target vtime.PubendID, group string, p ShardThroughputParams, stop chan struct{}, acked *metrics.Counter) error {
+	pub, err := client.NewPublisher(c.Transport, c.PHBAddr(), fmt.Sprintf("flood%d", target))
+	if err != nil {
+		return err
+	}
+	defer pub.Close() //nolint:errcheck,gosec // shutdown
+	payload := make([]byte, p.Payload)
+	ev := message.Event{
+		Attrs:   filter.Attributes{"group": filter.String(group)},
+		Payload: payload,
+	}
+	inflight := make(chan (<-chan *message.PublishAck), p.Window)
+	for {
+		select {
+		case <-stop:
+			// Drain the window so every counted ack corresponds to a
+			// logged publish.
+			close(inflight)
+			for ch := range inflight {
+				if _, ok := <-ch; ok {
+					acked.Inc()
+				}
+			}
+			return nil
+		default:
+		}
+		ch, err := pub.PublishAsync(ev, target)
+		if err != nil {
+			return fmt.Errorf("flood pubend %d: %w", target, err)
+		}
+		select {
+		case inflight <- ch:
+		default:
+			// Window full: wait for the oldest ack before admitting the
+			// new publish.
+			if _, ok := <-(<-inflight); !ok {
+				return fmt.Errorf("flood pubend %d: connection lost", target)
+			}
+			acked.Inc()
+			inflight <- ch
+		}
+	}
+}

@@ -187,7 +187,7 @@ func StartSubscriberPool(c *Cluster, opts PoolOptions) (*SubscriberPool, error) 
 			return nil, err
 		}
 		shb := i % nSHB
-		if err := sub.Connect(c.Net, c.SHBAddr(shb)); err != nil {
+		if err := sub.Connect(c.Transport, c.SHBAddr(shb)); err != nil {
 			p.Stop()
 			return nil, err
 		}
@@ -241,7 +241,7 @@ func (p *SubscriberPool) churn(sub *client.Subscriber, shb int, phase, period, d
 		}
 		// Reconnect, retrying briefly (the SHB may be restarting).
 		for attempt := 0; attempt < 100; attempt++ {
-			if err := sub.Connect(p.cluster.Net, p.cluster.SHBAddr(shb)); err == nil {
+			if err := sub.Connect(p.cluster.Transport, p.cluster.SHBAddr(shb)); err == nil {
 				break
 			}
 			if !sleepOr(p.stopCh, 10*time.Millisecond) {

@@ -1,0 +1,56 @@
+package message
+
+import (
+	"encoding/binary"
+	"sync"
+)
+
+// FrameHeaderLen is the length prefix preceding every encoded message on a
+// stream transport: a big-endian uint32 body length.
+const FrameHeaderLen = 4
+
+// maxPooledBuf caps the encode buffers the pool will retain. A rare giant
+// frame (a catchup knowledge burst, a megabyte payload) should not pin its
+// buffer for the life of the process.
+const maxPooledBuf = 1 << 20
+
+// encBufPool recycles encode buffers across connections and write batches,
+// so the steady-state wire path allocates nothing per frame.
+var encBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// GetEncodeBuffer returns a pooled, zero-length encode buffer. Release it
+// with PutEncodeBuffer when the frame bytes have been handed to the
+// kernel.
+func GetEncodeBuffer() *[]byte {
+	return encBufPool.Get().(*[]byte)
+}
+
+// PutEncodeBuffer recycles buf. Buffers grown past maxPooledBuf are
+// dropped so burst-sized allocations are returned to the collector.
+func PutEncodeBuffer(buf *[]byte) {
+	if buf == nil || cap(*buf) > maxPooledBuf {
+		return
+	}
+	*buf = (*buf)[:0]
+	encBufPool.Put(buf)
+}
+
+// AppendFramed appends one length-prefixed frame (FrameHeaderLen bytes of
+// big-endian body length, then the Encode body) to buf and returns the
+// extended slice. On encode failure buf is returned unchanged, so a write
+// coalescer can skip a bad message without poisoning the batch.
+func AppendFramed(buf []byte, m Message) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	out, err := Encode(buf, m)
+	if err != nil {
+		return buf[:start], err
+	}
+	binary.BigEndian.PutUint32(out[start:], uint32(len(out)-start-FrameHeaderLen))
+	return out, nil
+}

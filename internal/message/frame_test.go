@@ -1,0 +1,60 @@
+package message
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/vtime"
+)
+
+// TestAppendFramedBatch frames several messages back-to-back the way the
+// TCP write coalescer does and re-parses them frame by frame.
+func TestAppendFramedBatch(t *testing.T) {
+	bufp := GetEncodeBuffer()
+	defer PutEncodeBuffer(bufp)
+	buf := (*bufp)[:0]
+	var err error
+	for i := 1; i <= 4; i++ {
+		ct := vtime.NewCheckpointToken()
+		ct.Set(1, vtime.Timestamp(i))
+		if buf, err = AppendFramed(buf, &Ack{Subscriber: vtime.SubscriberID(i), CT: ct}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	*bufp = buf
+	for i := 1; i <= 4; i++ {
+		if len(buf) < FrameHeaderLen {
+			t.Fatalf("frame %d: only %d bytes left", i, len(buf))
+		}
+		n := binary.BigEndian.Uint32(buf)
+		body := buf[FrameHeaderLen : FrameHeaderLen+int(n)]
+		m, err := Decode(body)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got := m.(*Ack).Subscriber; got != vtime.SubscriberID(i) {
+			t.Fatalf("frame %d decoded as subscriber %d", i, got)
+		}
+		buf = buf[FrameHeaderLen+int(n):]
+	}
+	if len(buf) != 0 {
+		t.Fatalf("%d trailing bytes after last frame", len(buf))
+	}
+}
+
+// TestEncodeBufferPoolReuse: pooled buffers come back empty and oversized
+// buffers are dropped rather than pinned by the pool.
+func TestEncodeBufferPoolReuse(t *testing.T) {
+	p := GetEncodeBuffer()
+	*p = append(*p, 1, 2, 3)
+	PutEncodeBuffer(p)
+	q := GetEncodeBuffer()
+	if len(*q) != 0 {
+		t.Fatalf("pooled buffer returned with len %d", len(*q))
+	}
+	PutEncodeBuffer(q)
+
+	big := make([]byte, 0, maxPooledBuf+1)
+	PutEncodeBuffer(&big) // must not panic; silently dropped
+	PutEncodeBuffer(nil)  // tolerated
+}

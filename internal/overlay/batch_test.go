@@ -1,0 +1,191 @@
+package overlay
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/vtime"
+)
+
+// TestPopAllDrainsBatch covers the write coalescer's drain primitive:
+// everything queued comes out in one call, in FIFO order, and a closed
+// queue with residue still drains before popAll reports closed.
+func TestPopAllDrainsBatch(t *testing.T) {
+	q := newQueue()
+	for i := 1; i <= 5; i++ {
+		if err := q.push(ack(vtime.SubscriberID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch, ok := q.popAll(nil)
+	if !ok || len(batch) != 5 {
+		t.Fatalf("popAll = %d items / ok=%v, want 5/true", len(batch), ok)
+	}
+	for i, m := range batch {
+		if got := m.(*message.Ack).Subscriber; got != vtime.SubscriberID(i+1) {
+			t.Fatalf("batch[%d] = subscriber %d, want %d", i, got, i+1)
+		}
+	}
+
+	// Residue queued at close time still drains.
+	if err := q.push(ack(9)); err != nil {
+		t.Fatal(err)
+	}
+	q.close()
+	batch, ok = q.popAll(batch[:0])
+	if !ok || len(batch) != 1 || batch[0].(*message.Ack).Subscriber != 9 {
+		t.Fatalf("post-close popAll = %d items / ok=%v", len(batch), ok)
+	}
+	// Closed and empty: reports closed.
+	if batch, ok = q.popAll(batch[:0]); ok || len(batch) != 0 {
+		t.Fatalf("popAll on closed empty queue = %d items / ok=%v", len(batch), ok)
+	}
+}
+
+// TestPopAllBlocksUntilPush: an idle link's writer parks in popAll and
+// wakes on the first send, so coalescing adds no latency when traffic is
+// sparse.
+func TestPopAllBlocksUntilPush(t *testing.T) {
+	q := newQueue()
+	got := make(chan int, 1)
+	go func() {
+		batch, ok := q.popAll(nil)
+		if !ok {
+			got <- -1
+			return
+		}
+		got <- len(batch)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	if err := q.push(ack(1)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case n := <-got:
+		if n != 1 {
+			t.Fatalf("popAll woke with %d items, want 1", n)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("popAll did not wake on push")
+	}
+	q.close()
+}
+
+// TestQueueCapacityBoundedAfterBurst is the overlay half of the
+// memory-retention regression: after a large burst drains, the queue's
+// backing ring must shrink back instead of pinning the burst's
+// high-water mark for the life of the link.
+func TestQueueCapacityBoundedAfterBurst(t *testing.T) {
+	const burst = 1 << 15
+	q := newQueue()
+	for i := 0; i < burst; i++ {
+		if err := q.push(ack(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.items.Cap() < burst {
+		t.Fatalf("ring cap %d below burst %d", q.items.Cap(), burst)
+	}
+	batch, ok := q.popAll(nil)
+	if !ok || len(batch) != burst {
+		t.Fatalf("popAll drained %d of %d", len(batch), burst)
+	}
+	if c := q.items.Cap(); c > 64 {
+		t.Fatalf("ring cap %d retained after burst drained", c)
+	}
+	q.close()
+}
+
+// TestQueueGaugeAccountingRace hammers push/pop/popAll against close under
+// the race detector and asserts the queue's net gauge contribution returns
+// to zero: the close-time bulk removal and concurrent drains must never
+// double-decrement (every decrement is bounded by the queue's live
+// `gauged` count, all under the queue mutex).
+func TestQueueGaugeAccountingRace(t *testing.T) {
+	base := tQueueDepth.Load()
+	q := newQueue()
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				if err := q.push(ack(1)); err != nil {
+					return // queue closed mid-run; expected
+				}
+			}
+		}()
+	}
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if _, ok := q.pop(); !ok {
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var batch []message.Message
+		for {
+			var ok bool
+			if batch, ok = q.popAll(batch[:0]); !ok {
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.close()
+	wg.Wait()
+	// Post-close residue (if the drainers lost the race to close) no longer
+	// counts as queued; drain it and re-check nothing double-decrements.
+	for {
+		if _, ok := q.pop(); !ok {
+			break
+		}
+	}
+	if got := tQueueDepth.Load() - base; got != 0 {
+		t.Fatalf("net gauge delta after hammer+close = %d, want 0", got)
+	}
+}
+
+// TestTCPBurstCoalesced pushes a rapid burst through a real TCP link and
+// verifies every message arrives intact and in order through the
+// coalesced write path, and that the writer recorded its batches.
+func TestTCPBurstCoalesced(t *testing.T) {
+	batchesBefore := tWriteBatch.Count()
+	var msgs collect
+	closer, addr, err := ListenAny(func(c Conn) {
+		c.Start(msgs.handler)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	c, err := TCPTransport{}.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := c.Send(ack(vtime.SubscriberID(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := msgs.waitFor(t, n)
+	for i, m := range got {
+		if sub := m.(*message.Ack).Subscriber; sub != vtime.SubscriberID(i) {
+			t.Fatalf("message %d arrived as subscriber %d: order broken", i, sub)
+		}
+	}
+	if tWriteBatch.Count() == batchesBefore {
+		t.Fatal("write-batch histogram recorded no batches")
+	}
+	c.Close()
+}

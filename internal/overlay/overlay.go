@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/ringq"
 	"repro/internal/telemetry"
 )
 
@@ -41,6 +42,8 @@ var (
 		"Frame bytes written to TCP overlay sockets.")
 	tSendErrors = telemetry.Default().Counter("gryphon_overlay_send_errors_total",
 		"Sends rejected because the link was closed.")
+	tWriteBatch = telemetry.Default().Histogram("gryphon_overlay_write_batch_size",
+		"Messages coalesced into one TCP write.", telemetry.SizeBuckets)
 )
 
 // Handler consumes inbound messages from a connection. Handlers run on the
@@ -75,16 +78,24 @@ type Transport interface {
 	Dial(addr string) (Conn, error)
 }
 
-// queue is an unbounded FIFO of messages with blocking pop. Its occupancy
-// is mirrored into the process-wide queue-depth gauge; once the queue
-// closes the gauge contribution drops to zero immediately (the remaining
-// items may still drain through pop, but they no longer count as queued).
+// queue is an unbounded FIFO of messages with blocking pop, backed by a
+// ring buffer so drained slots are released and a burst's backing array
+// shrinks back once it drains (the old slice-shift queue pinned its
+// high-water mark for the life of the link).
+//
+// Its occupancy is mirrored into the process-wide queue-depth gauge
+// through the `gauged` count: the queue's exact live contribution to the
+// gauge, mutated only under mu. Every decrement is bounded by `gauged`,
+// so the close-time bulk removal and a concurrent drain can never
+// double-decrement — once close zeroes the contribution, later pops see
+// gauged == 0 and leave the gauge alone (the remaining items may still
+// drain, but they no longer count as queued).
 type queue struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	items     []message.Message
-	closed    bool
-	offGauge  bool // close already removed this queue from the gauge
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  ringq.Ring[message.Message]
+	closed bool
+	gauged int // this queue's live contribution to tQueueDepth
 }
 
 func newQueue() *queue {
@@ -99,7 +110,8 @@ func (q *queue) push(m message.Message) error {
 	if q.closed {
 		return ErrClosed
 	}
-	q.items = append(q.items, m)
+	q.items.Push(m)
+	q.gauged++
 	tQueueDepth.Inc()
 	q.cond.Signal()
 	return nil
@@ -109,27 +121,51 @@ func (q *queue) push(m message.Message) error {
 func (q *queue) pop() (message.Message, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	for len(q.items) == 0 && !q.closed {
+	for q.items.Len() == 0 && !q.closed {
 		q.cond.Wait()
 	}
-	if len(q.items) == 0 {
+	m, ok := q.items.Pop()
+	if !ok {
 		return nil, false
 	}
-	m := q.items[0]
-	q.items = q.items[1:]
-	if !q.offGauge {
+	if q.gauged > 0 {
+		q.gauged--
 		tQueueDepth.Dec()
 	}
 	return m, true
+}
+
+// popAll blocks until at least one item is queued or the queue closes,
+// then drains everything currently queued into dst (reusing its capacity)
+// in one shot. It returns (dst, false) only when the queue is closed and
+// empty; a closed queue with residue still drains, so no accepted message
+// is silently dropped by the writer.
+func (q *queue) popAll(dst []message.Message) ([]message.Message, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.items.Len() == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if q.items.Len() == 0 {
+		return dst, false
+	}
+	before := len(dst)
+	dst = q.items.PopAll(dst)
+	if n := len(dst) - before; q.gauged > 0 {
+		dec := min(n, q.gauged)
+		q.gauged -= dec
+		tQueueDepth.Add(int64(-dec))
+	}
+	return dst, true
 }
 
 func (q *queue) close() {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	q.closed = true
-	if !q.offGauge {
-		tQueueDepth.Add(int64(-len(q.items)))
-		q.offGauge = true
+	if q.gauged > 0 {
+		tQueueDepth.Add(int64(-q.gauged))
+		q.gauged = 0
 	}
 	q.cond.Broadcast()
 }
@@ -137,7 +173,7 @@ func (q *queue) close() {
 func (q *queue) len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.items)
+	return q.items.Len()
 }
 
 // closeHook manages the one-shot OnClose callback shared by both conn
@@ -366,22 +402,37 @@ func newTCPConn(nc net.Conn) *tcpConn {
 	return c
 }
 
+// writer coalesces the send queue onto the socket: each iteration drains
+// every message queued at that moment, encodes them back-to-back as
+// length-prefixed frames into one pooled buffer, and hands the whole batch
+// to the kernel in a single Write. Under load the syscall and encode-buffer
+// cost is amortized over the batch; an idle link still flushes each message
+// immediately (popAll blocks until something is queued).
 func (c *tcpConn) writer() {
 	defer close(c.writerDone)
-	var buf []byte
+	bufp := message.GetEncodeBuffer()
+	defer message.PutEncodeBuffer(bufp)
+	var batch []message.Message
 	for {
-		m, ok := c.out.pop()
+		var ok bool
+		batch, ok = c.out.popAll(batch[:0])
 		if !ok {
 			return
 		}
-		buf = buf[:0]
-		buf = append(buf, 0, 0, 0, 0) // length placeholder
-		var err error
-		buf, err = message.Encode(buf, m)
-		if err != nil {
+		buf := (*bufp)[:0]
+		framed := 0
+		for i, m := range batch {
+			var err error
+			if buf, err = message.AppendFramed(buf, m); err == nil {
+				framed++
+			}
+			batch[i] = nil // release the message once framed
+		}
+		*bufp = buf
+		if framed == 0 {
 			continue
 		}
-		binary.BigEndian.PutUint32(buf, uint32(len(buf)-4))
+		tWriteBatch.Observe(int64(framed))
 		if _, err := c.nc.Write(buf); err != nil {
 			c.teardown()
 			return

@@ -1,0 +1,101 @@
+// Package ringq provides the unbounded FIFO ring buffer backing the
+// broker's shard task queues and the overlay's per-link send queues.
+//
+// It replaces the earlier append+shift slice queues, which had two
+// pathologies under bursty load: `items = items[1:]` never released the
+// backing array's head slots (drained elements stayed reachable until the
+// whole array was dropped), and the backing array only ever grew — one
+// burst of N messages pinned O(N) memory for the life of the link. The
+// ring nils out every drained slot immediately and shrinks its backing
+// array once occupancy falls far enough, so steady-state memory tracks the
+// live queue depth, not the historical maximum.
+//
+// Ring is deliberately not goroutine-safe: callers own the locking (the
+// broker and overlay wrap it with a mutex + condition variable so pop can
+// block), keeping the data structure itself allocation- and branch-lean.
+package ringq
+
+// minCapacity is the smallest backing array the ring keeps. Small enough
+// that an idle link costs nothing to speak of, large enough that a
+// ping-pong workload never resizes.
+const minCapacity = 16
+
+// Ring is an unbounded FIFO queue over a circular backing array.
+// The zero value is ready to use. Not goroutine-safe.
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of live elements
+}
+
+// Len reports the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Cap reports the current backing-array capacity (exposed for the
+// memory-retention regression tests).
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Push appends v at the tail, growing the backing array if full.
+func (r *Ring[T]) Push(v T) {
+	if r.n == len(r.buf) {
+		r.resize(max(minCapacity, 2*r.n))
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+}
+
+// Pop removes and returns the head element. The drained slot is zeroed so
+// the ring never retains a reference to a dequeued element, and the
+// backing array shrinks once it is three-quarters empty.
+func (r *Ring[T]) Pop() (T, bool) {
+	var zero T
+	if r.n == 0 {
+		return zero, false
+	}
+	v := r.buf[r.head]
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	r.maybeShrink()
+	return v, true
+}
+
+// PopAll appends every queued element to dst (reusing its capacity) and
+// empties the ring, returning the extended slice. The backing array is
+// zeroed and shrunk to the minimum: a drain-all is exactly the point where
+// a burst's memory should be handed back.
+func (r *Ring[T]) PopAll(dst []T) []T {
+	if r.n == 0 {
+		return dst
+	}
+	var zero T
+	for i := 0; i < r.n; i++ {
+		j := (r.head + i) % len(r.buf)
+		dst = append(dst, r.buf[j])
+		r.buf[j] = zero
+	}
+	r.head, r.n = 0, 0
+	if len(r.buf) > minCapacity {
+		r.buf = make([]T, minCapacity)
+	}
+	return dst
+}
+
+// maybeShrink halves the backing array when the ring is ≤ 1/4 full, down
+// to minCapacity. The quarter threshold (vs. half) gives hysteresis so a
+// queue oscillating around a power of two does not thrash allocations.
+func (r *Ring[T]) maybeShrink() {
+	if c := len(r.buf); c > minCapacity && r.n <= c/4 {
+		r.resize(max(minCapacity, c/2))
+	}
+}
+
+// resize moves the live elements into a fresh backing array of capacity c.
+func (r *Ring[T]) resize(c int) {
+	nb := make([]T, c)
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf = nb
+	r.head = 0
+}

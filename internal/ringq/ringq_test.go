@@ -1,0 +1,163 @@
+package ringq
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 1000; i++ {
+		r.Push(i)
+	}
+	for i := 0; i < 1000; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = %d/%v", i, v, ok)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("pop on empty ring returned ok")
+	}
+}
+
+func TestWrapAround(t *testing.T) {
+	// Interleave pushes and pops so head circles the backing array many
+	// times at a size below the grow threshold.
+	var r Ring[int]
+	next, expect := 0, 0
+	for round := 0; round < 500; round++ {
+		for i := 0; i < 7; i++ {
+			r.Push(next)
+			next++
+		}
+		for i := 0; i < 7; i++ {
+			v, ok := r.Pop()
+			if !ok || v != expect {
+				t.Fatalf("round %d: pop = %d/%v, want %d", round, v, ok, expect)
+			}
+			expect++
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("len = %d after balanced rounds", r.Len())
+	}
+}
+
+// TestCapacityBoundedAfterBurst is the memory-retention regression test:
+// after a large burst drains, the backing array must shrink back instead
+// of pinning the burst's high-water mark forever (the old append+shift
+// queues kept it for the life of the link).
+func TestCapacityBoundedAfterBurst(t *testing.T) {
+	const burst = 1 << 17
+	var r Ring[int]
+	for i := 0; i < burst; i++ {
+		r.Push(i)
+	}
+	if r.Cap() < burst {
+		t.Fatalf("cap %d below burst %d", r.Cap(), burst)
+	}
+	for i := 0; i < burst; i++ {
+		if v, ok := r.Pop(); !ok || v != i {
+			t.Fatalf("pop %d = %d/%v", i, v, ok)
+		}
+	}
+	if r.Cap() > minCapacity {
+		t.Fatalf("cap %d retained after burst drained (want <= %d)", r.Cap(), minCapacity)
+	}
+	// Same property for the batch drain used by the TCP write coalescer.
+	for i := 0; i < burst; i++ {
+		r.Push(i)
+	}
+	out := r.PopAll(nil)
+	if len(out) != burst {
+		t.Fatalf("PopAll returned %d of %d", len(out), burst)
+	}
+	if r.Cap() > minCapacity {
+		t.Fatalf("cap %d retained after PopAll (want <= %d)", r.Cap(), minCapacity)
+	}
+}
+
+// TestDrainedSlotsReleased verifies Pop and PopAll nil out slots: pointers
+// queued and drained must become collectable even while the Ring value
+// stays alive.
+func TestDrainedSlotsReleased(t *testing.T) {
+	var r Ring[*[1 << 16]byte]
+	finalized := make(chan struct{}, 64)
+	for i := 0; i < 64; i++ {
+		p := new([1 << 16]byte)
+		runtime.SetFinalizer(p, func(*[1 << 16]byte) { finalized <- struct{}{} })
+		r.Push(p)
+	}
+	for i := 0; i < 32; i++ {
+		r.Pop()
+	}
+	r.PopAll(nil)
+	collected := 0
+	for attempt := 0; attempt < 100 && collected < 64; attempt++ {
+		runtime.GC()
+	drain:
+		for {
+			select {
+			case <-finalized:
+				collected++
+			default:
+				break drain
+			}
+		}
+	}
+	if collected < 64 {
+		t.Fatalf("only %d/64 drained elements were collected; slots retained", collected)
+	}
+}
+
+func TestPopAllReusesDst(t *testing.T) {
+	var r Ring[int]
+	for i := 0; i < 10; i++ {
+		r.Push(i)
+	}
+	dst := make([]int, 0, 32)
+	out := r.PopAll(dst)
+	if len(out) != 10 || cap(out) != 32 {
+		t.Fatalf("PopAll did not reuse dst: len=%d cap=%d", len(out), cap(out))
+	}
+	if out2 := r.PopAll(out[:0]); len(out2) != 0 {
+		t.Fatalf("PopAll on empty ring returned %d items", len(out2))
+	}
+}
+
+// TestQuickSequences property-tests arbitrary push/pop interleavings
+// against a reference slice queue.
+func TestQuickSequences(t *testing.T) {
+	check := func(ops []uint8) bool {
+		var r Ring[uint8]
+		var ref []uint8
+		for _, op := range ops {
+			if op%3 == 0 && len(ref) > 0 {
+				want := ref[0]
+				ref = ref[1:]
+				got, ok := r.Pop()
+				if !ok || got != want {
+					return false
+				}
+			} else {
+				r.Push(op)
+				ref = append(ref, op)
+			}
+		}
+		rest := r.PopAll(nil)
+		if len(rest) != len(ref) {
+			return false
+		}
+		for i := range rest {
+			if rest[i] != ref[i] {
+				return false
+			}
+		}
+		return r.Len() == 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

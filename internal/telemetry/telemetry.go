@@ -28,6 +28,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -264,17 +265,38 @@ func (r *Registry) sortedEntries() []*entry {
 	return out
 }
 
+// splitLabels divides an instrument name into its metric family and an
+// optional label set: a name like `depth{shard="0"}` belongs to family
+// "depth" with labels `shard="0"`. Labeled instruments are how this
+// registry models Prometheus label dimensions without a label API: each
+// labeled series is its own instrument, and rendering groups them into
+// one family.
+func splitLabels(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], strings.TrimSuffix(name[i+1:], "}")
+	}
+	return name, ""
+}
+
 // WritePrometheus renders every registered instrument in the Prometheus
-// text exposition format (version 0.0.4).
+// text exposition format (version 0.0.4). Instruments whose names carry a
+// label set (`name{key="value"}`) are grouped into one metric family:
+// HELP and TYPE are emitted once per family (sortedEntries keeps a
+// family's series adjacent), and each series renders with its labels.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	lastFamily := ""
 	for _, e := range r.sortedEntries() {
-		if e.help != "" {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help); err != nil {
+		family, labels := splitLabels(e.name)
+		if family != lastFamily {
+			lastFamily = family
+			if e.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, e.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, e.kind); err != nil {
 				return err
 			}
-		}
-		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
-			return err
 		}
 		var err error
 		switch e.kind {
@@ -283,7 +305,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		case kindGauge:
 			_, err = fmt.Fprintf(w, "%s %d\n", e.name, e.g.Load())
 		case kindHistogram:
-			err = writeHistogram(w, e.name, e.h)
+			err = writeHistogram(w, family, labels, e.h)
 		}
 		if err != nil {
 			return err
@@ -292,22 +314,37 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-func writeHistogram(w io.Writer, name string, h *Histogram) error {
+func writeHistogram(w io.Writer, family, labels string, h *Histogram) error {
+	// Suffixes attach to the family, with the series labels folded into
+	// the brace set (`f_bucket{shard="0",le="1"}`).
+	withLabels := func(suffix, extra string) string {
+		all := labels
+		if extra != "" {
+			if all != "" {
+				all += ","
+			}
+			all += extra
+		}
+		if all == "" {
+			return family + suffix
+		}
+		return family + suffix + "{" + all + "}"
+	}
 	cum := h.snapshot()
 	for i, bound := range h.bounds {
 		le := formatBound(float64(bound) / h.scale)
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum[i]); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", withLabels("_bucket", fmt.Sprintf("le=%q", le)), cum[i]); err != nil {
 			return err
 		}
 	}
 	total := cum[len(cum)-1]
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, total); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %d\n", withLabels("_bucket", `le="+Inf"`), total); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %s\n", name, formatBound(h.Sum())); err != nil {
+	if _, err := fmt.Fprintf(w, "%s %s\n", withLabels("_sum", ""), formatBound(h.Sum())); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count %d\n", name, total)
+	_, err := fmt.Fprintf(w, "%s %d\n", withLabels("_count", ""), total)
 	return err
 }
 

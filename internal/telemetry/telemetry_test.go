@@ -272,3 +272,60 @@ func TestFormatBound(t *testing.T) {
 		}
 	}
 }
+
+// TestWritePrometheusLabeledFamilies: instruments registered with an
+// inline label set (`name{key="value"}`) — the per-shard broker metrics —
+// render as one metric family: HELP/TYPE once, one sample per series,
+// histogram suffixes folding the series labels in with le.
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 3; i++ {
+		g := r.Gauge(fmt.Sprintf("gryphon_test_shard_depth{shard=\"%d\"}", i),
+			"Tasks queued per shard.")
+		g.Set(int64(10 + i))
+	}
+	h := r.Histogram("gryphon_test_batch{link=\"a\"}", "Batch sizes.", []int64{1, 8})
+	h.Observe(1)
+	h.Observe(5)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	text := buf.String()
+	samples := parsePrometheus(t, text)
+
+	depth := samples["gryphon_test_shard_depth"]
+	if len(depth) != 3 {
+		t.Fatalf("labeled gauge series = %+v, want 3", depth)
+	}
+	seen := map[string]float64{}
+	for _, s := range depth {
+		seen[s.labels["shard"]] = s.value
+	}
+	for i := 0; i < 3; i++ {
+		if seen[fmt.Sprint(i)] != float64(10+i) {
+			t.Fatalf("shard %d depth = %v, want %d", i, seen[fmt.Sprint(i)], 10+i)
+		}
+	}
+	if n := strings.Count(text, "# TYPE gryphon_test_shard_depth "); n != 1 {
+		t.Fatalf("TYPE emitted %d times for labeled family, want 1", n)
+	}
+	if n := strings.Count(text, "# HELP gryphon_test_shard_depth "); n != 1 {
+		t.Fatalf("HELP emitted %d times for labeled family, want 1", n)
+	}
+
+	buckets := samples["gryphon_test_batch_bucket"]
+	if len(buckets) != 3 {
+		t.Fatalf("labeled histogram buckets = %+v, want 3", buckets)
+	}
+	for _, b := range buckets {
+		if b.labels["link"] != "a" {
+			t.Fatalf("bucket lost series label: %+v", b)
+		}
+	}
+	if got := samples["gryphon_test_batch_count"]; len(got) != 1 ||
+		got[0].value != 2 || got[0].labels["link"] != "a" {
+		t.Fatalf("labeled histogram count = %+v", got)
+	}
+}
