@@ -393,3 +393,27 @@ func BenchmarkTorture(b *testing.B) {
 		b.ReportMetric(float64(res.Published), "events")
 	}
 }
+
+// BenchmarkPartitionHeal severs the SHB↔PHB overlay link five times behind
+// a seeded fault injector while a publisher streams, and reports the
+// supervised link's healing characteristics with the exactly-once contract
+// intact (section 3.3's recovery protocol driven by real link failures).
+func BenchmarkPartitionHeal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunPartitionHeal(b.TempDir(), experiment.PartitionHealParams{
+			Severs: 5,
+			Seed:   int64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.AllDelivered || res.Gaps != 0 || res.Violations != 0 {
+			b.Fatalf("contract violated: %+v", res)
+		}
+		b.ReportMetric(float64(res.Severs), "severs")
+		b.ReportMetric(float64(res.Reconnects), "reconnects")
+		b.ReportMetric(float64(res.MeanHeal)/1e6, "mean_heal_ms")
+		b.ReportMetric(float64(res.MaxHeal)/1e6, "max_heal_ms")
+		writeBenchJSON(b, "PartitionHeal", res)
+	}
+}

@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/client"
+	"repro/internal/faultnet"
 	"repro/internal/filter"
 	"repro/internal/message"
 	"repro/internal/overlay"
@@ -130,6 +131,52 @@ func NewInprocNetwork(latency time.Duration) *InprocNetwork {
 	return overlay.NewInprocNetwork(latency)
 }
 
+// Link supervision and fault injection. Every inter-broker link (and any
+// client with AutoReconnect set) rides a supervisor that redials with
+// capped exponential backoff after involuntary loss; the recovery
+// protocol then replays the outage gap, preserving exactly-once delivery.
+type (
+	// LinkSupervisor maintains one self-healing overlay link: dial,
+	// bring-up, watch, redial with capped exponential backoff + jitter.
+	LinkSupervisor = overlay.Supervisor
+	// SupervisorConfig configures a LinkSupervisor.
+	SupervisorConfig = overlay.SupervisorConfig
+	// LinkStatus is a point-in-time snapshot of a supervised link, as
+	// returned by Broker.Health.
+	LinkStatus = overlay.LinkStatus
+	// LinkState is a supervised link's coarse state (up/backoff/down).
+	LinkState = overlay.LinkState
+	// FaultNetwork is a deterministic, seeded fault-injection decorator
+	// around any Transport: it can sever live links on command or on a
+	// send-count schedule, partition address sets, and delay traffic.
+	// Intended for tests and experiments.
+	FaultNetwork = faultnet.Network
+)
+
+// Supervised link states (see LinkStatus.State and Broker.Health).
+const (
+	// LinkDown: not connected, no attempt in flight.
+	LinkDown = overlay.LinkDown
+	// LinkBackoff: waiting out the backoff delay before redialing.
+	LinkBackoff = overlay.LinkBackoff
+	// LinkUp: link established and in service.
+	LinkUp = overlay.LinkUp
+)
+
+// NewLinkSupervisor builds a supervisor for one dial target. Call Start
+// (synchronous first attempt, fail-fast) or StartDeferred (background).
+func NewLinkSupervisor(cfg SupervisorConfig) *LinkSupervisor {
+	return overlay.NewSupervisor(cfg)
+}
+
+// NewFaultNetwork wraps a transport with deterministic fault injection;
+// all scheduled-kill randomness derives from seed. Brokers and clients
+// dialing through the returned network are subject to its faults; Listen
+// passes through, so peers on the inner transport remain reachable.
+func NewFaultNetwork(inner Transport, seed int64) *FaultNetwork {
+	return faultnet.New(inner, seed)
+}
+
 // Broker configuration types.
 type (
 	// BrokerConfig describes one broker node; see the field docs in the
@@ -171,13 +218,36 @@ type (
 	// DurableSubscriber is a durable subscriber client: it survives
 	// disconnections (voluntary or not) with exactly-once delivery.
 	DurableSubscriber = client.Subscriber
-	// SubscriberOptions configures a durable subscriber.
+	// SubscriberOptions configures a durable subscriber. DialTimeout
+	// bounds Connect's dial; AutoReconnect supervises the link and
+	// re-subscribes from the checkpoint token after involuntary loss;
+	// OnConnChange observes link transitions.
 	SubscriberOptions = client.SubscriberOptions
+	// PublisherOptions configures optional publisher behavior
+	// (DialTimeout, AutoReconnect, OnConnChange).
+	PublisherOptions = client.PublisherOptions
+	// ConnState is a client link transition reported to OnConnChange.
+	ConnState = client.ConnState
+)
+
+// Client connection states (see PublisherOptions.OnConnChange and
+// SubscriberOptions.OnConnChange).
+const (
+	// ConnDown: the link was lost; an AutoReconnect client is redialing.
+	ConnDown = client.ConnDown
+	// ConnUp: the link is established (subscribers: subscribed).
+	ConnUp = client.ConnUp
 )
 
 // NewPublisher connects a publisher to the broker at addr.
 func NewPublisher(t Transport, addr, name string) (*Publisher, error) {
 	return client.NewPublisher(t, addr, name)
+}
+
+// NewPublisherWithOptions is NewPublisher with explicit options (dial
+// timeout, supervised auto-reconnect, connectivity callbacks).
+func NewPublisherWithOptions(t Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
+	return client.NewPublisherOpts(t, addr, name, opts)
 }
 
 // NewDurableSubscriber creates a durable subscriber handle. Call Connect

@@ -97,6 +97,10 @@ type Config struct {
 	ListenAddr string
 	// UpstreamAddr is the parent broker in the tree ("" = root).
 	UpstreamAddr string
+	// DialTimeout bounds each upstream connection attempt (the first one
+	// and every supervised reconnect). Zero means no timeout, matching the
+	// old Dial behavior.
+	DialTimeout time.Duration
 	// HostedPubends are the pubends this broker hosts (PHB role).
 	HostedPubends []PubendConfig
 	// AllPubends is the system-wide pubend set (required when EnableSHB).
@@ -151,7 +155,7 @@ type Broker struct {
 	closed   atomic.Bool
 
 	listener io.Closer
-	up       overlay.Conn
+	upSup    *overlay.Supervisor // upstream link supervisor (nil at the root)
 	admin    *telemetry.Server
 
 	// Control-shard-owned routing state (no mutex: only the control
@@ -378,8 +382,8 @@ func New(cfg Config) (*Broker, error) {
 		if b.listener != nil {
 			b.listener.Close() //nolint:errcheck,gosec // failed-start cleanup
 		}
-		if b.up != nil {
-			b.up.Close() //nolint:errcheck,gosec // failed-start cleanup
+		if b.upSup != nil {
+			b.upSup.Stop()
 		}
 		b.closeState()
 		return nil, err
@@ -420,6 +424,16 @@ func (b *Broker) startAdmin() error {
 	}
 	if b.meta != nil {
 		srv.RegisterHealth(prefix+"/metastore", b.meta.Ping)
+	}
+	if b.upSup != nil {
+		srv.RegisterHealth(prefix+"/upstream", func() error {
+			st := b.upSup.Status()
+			if st.State != overlay.LinkUp {
+				return fmt.Errorf("upstream link %s (retries=%d, last error: %s)",
+					st.State, st.Retries, st.LastError)
+			}
+			return nil
+		})
 	}
 	return nil
 }
@@ -528,22 +542,24 @@ func (b *Broker) closeState() {
 	}
 }
 
-// connect dials upstream and binds the listener.
+// connect starts the supervised upstream link and binds the listener.
 func (b *Broker) connect() error {
 	cfg := b.cfg
 	if cfg.UpstreamAddr != "" {
-		up, err := cfg.Transport.Dial(cfg.UpstreamAddr)
-		if err != nil {
+		sup := overlay.NewSupervisor(overlay.SupervisorConfig{
+			Name:        cfg.Name + "/upstream",
+			Transport:   cfg.Transport,
+			Addr:        cfg.UpstreamAddr,
+			DialTimeout: cfg.DialTimeout,
+			OnUp:        b.upstreamUp,
+		})
+		// Start's first attempt is synchronous, preserving the old
+		// fail-fast startup: a dead upstream fails New, not some later
+		// send. Only after that does the link self-heal in the background.
+		if err := sup.Start(); err != nil {
 			return fmt.Errorf("broker %s: dial upstream: %w", cfg.Name, err)
 		}
-		b.up = up
-		if err := up.Send(&message.Hello{Role: message.RoleBroker, Name: cfg.Name}); err != nil {
-			return err
-		}
-		// fromUpstream routes each message to its pubend's shard itself;
-		// the upstream dispatch goroutine pushes in receive order, so
-		// per-pubend FIFO is preserved shard-side.
-		up.Start(b.fromUpstream)
+		b.upSup = sup
 	}
 	if cfg.ListenAddr != "" {
 		closer, err := cfg.Transport.Listen(cfg.ListenAddr, b.accept)
@@ -555,6 +571,92 @@ func (b *Broker) connect() error {
 	return nil
 }
 
+// upstreamUp brings up a freshly dialed upstream connection: handshake,
+// dispatch, and state resynchronization. It runs on the supervisor's
+// goroutine for every (re)connect, including the synchronous first one.
+func (b *Broker) upstreamUp(conn overlay.Conn) error {
+	if err := conn.Send(&message.Hello{Role: message.RoleBroker, Name: b.cfg.Name}); err != nil {
+		return err
+	}
+	// fromUpstream routes each message to its pubend's shard itself;
+	// the upstream dispatch goroutine pushes in receive order, so
+	// per-pubend FIFO is preserved shard-side.
+	conn.Start(b.fromUpstream)
+	b.resyncUpstream(conn)
+	return nil
+}
+
+// resyncUpstream replays this broker's upstream-facing soft state onto a
+// fresh parent link. The paper's recovery protocol makes the gap itself
+// recoverable (knowledge keeps flowing, QGaps get re-nacked), but two
+// pieces of state live only in messages that may have died with the old
+// link:
+//
+//   - subscription announcements: the parent's new per-link matcher is
+//     empty, which passes everything — until the first SubUpdate makes it
+//     non-empty and D→S filtering silently drops every subscription not
+//     re-announced. So all of them are re-sent: the local engine's durable
+//     subscriptions and everything in the downstream link matchers.
+//   - pending curiosity: spans nacked while the link was dying are
+//     recorded as pending, so the consolidators will never re-request
+//     them; they are re-nacked here (duplicates are harmless — delivery
+//     is governed by the constream cursor, not by what arrives).
+//
+// Sends go directly on conn (not upSend): the supervisor installs the conn
+// only after bring-up succeeds, and the Hello above must stay the link's
+// first message anyway.
+func (b *Broker) resyncUpstream(conn overlay.Conn) {
+	if b.shb != nil {
+		for _, si := range b.shb.Subscriptions() {
+			//nolint:errcheck,gosec // link death re-enters the supervisor
+			conn.Send(&message.SubUpdate{Subscriber: si.ID, Filter: si.Filter})
+		}
+		for pub, spans := range b.shb.PendingCuriosity() {
+			//nolint:errcheck,gosec // link death re-enters the supervisor
+			conn.Send(&message.Nack{Pubend: pub, Spans: spans})
+		}
+	}
+	b.control().push(func() {
+		for _, link := range b.downs {
+			for _, id := range link.matcher.IDs() {
+				if sub, ok := link.matcher.Get(id); ok {
+					//nolint:errcheck,gosec // link death re-enters the supervisor
+					conn.Send(&message.SubUpdate{Subscriber: id, Filter: sub.String()})
+				}
+			}
+		}
+	})
+	for _, sh := range b.shards {
+		sh := sh
+		sh.push(func() {
+			for pub, cache := range sh.caches {
+				if pending := cache.cur.Pending(); len(pending) > 0 {
+					//nolint:errcheck,gosec // link death re-enters the supervisor
+					conn.Send(&message.Nack{Pubend: pub, Spans: pending})
+				}
+			}
+		})
+	}
+}
+
+// upSend sends m on the upstream link, dropping it when the broker is the
+// root or the link is down (the knowledge/NACK recovery protocol
+// regenerates anything that matters once the link heals).
+func (b *Broker) upSend(m message.Message) {
+	if b.upSup != nil {
+		b.upSup.Send(m) //nolint:errcheck,gosec // link death handled by the supervisor
+	}
+}
+
+// Health reports the state of the broker's supervised links — currently
+// the upstream link; a root broker reports none.
+func (b *Broker) Health() []overlay.LinkStatus {
+	if b.upSup == nil {
+		return nil
+	}
+	return []overlay.LinkStatus{b.upSup.Status()}
+}
+
 // accept classifies and starts an inbound connection.
 func (b *Broker) accept(conn overlay.Conn) {
 	link := &downLink{
@@ -563,7 +665,7 @@ func (b *Broker) accept(conn overlay.Conn) {
 		key:     fmt.Sprintf("%s#%d", conn.RemoteAddr(), b.linkSeq.Add(1)),
 	}
 	b.control().push(func() { b.links[conn] = link })
-	conn.OnClose(func() {
+	conn.OnClose(func(error) {
 		b.control().push(func() { b.dropLink(link) })
 	})
 	conn.Start(func(m message.Message) {
@@ -636,8 +738,8 @@ func (b *Broker) shutdown() {
 	if b.listener != nil {
 		b.listener.Close() //nolint:errcheck,gosec // shutdown path
 	}
-	if b.up != nil {
-		b.up.Close() //nolint:errcheck,gosec // shutdown path
+	if b.upSup != nil {
+		b.upSup.Stop()
 	}
 	connsClosed := make(chan struct{})
 	if !b.control().push(func() {

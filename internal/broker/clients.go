@@ -77,8 +77,5 @@ func (b *Broker) handleSubscribe(link *downLink, req *message.Subscribe) {
 	}
 	//nolint:errcheck,gosec // reply failure == dead link
 	link.conn.Send(&message.SubscribeAck{Subscriber: req.Subscriber, CT: ct})
-	if b.up != nil {
-		//nolint:errcheck,gosec // link death handled via OnClose
-		b.up.Send(&message.SubUpdate{Subscriber: req.Subscriber, Filter: req.Filter})
-	}
+	b.upSend(&message.SubUpdate{Subscriber: req.Subscriber, Filter: req.Filter})
 }

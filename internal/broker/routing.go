@@ -148,9 +148,7 @@ func (b *Broker) unsubscribe(id vtime.SubscriberID) {
 	if b.shb != nil {
 		b.shb.Unsubscribe(id) //nolint:errcheck,gosec // best-effort; engine stays consistent
 	}
-	if b.up != nil {
-		b.up.Send(&message.SubUpdate{Subscriber: id, Remove: true}) //nolint:errcheck,gosec // link death handled via OnClose
-	}
+	b.upSend(&message.SubUpdate{Subscriber: id, Remove: true})
 }
 
 // spreadKnowledge fans knowledge out to the local SHB and every downstream
@@ -223,8 +221,8 @@ func (b *Broker) routeNack(sh *shard, link *downLink, pub vtime.PubendID, spans 
 	for _, sp := range missing {
 		fresh = append(fresh, cache.cur.Add(sp.Start, sp.End)...)
 	}
-	if len(fresh) > 0 && b.up != nil {
-		b.up.Send(&message.Nack{Pubend: pub, Spans: fresh}) //nolint:errcheck,gosec // link death handled via OnClose
+	if len(fresh) > 0 {
+		b.upSend(&message.Nack{Pubend: pub, Spans: fresh})
 	}
 }
 
@@ -307,13 +305,11 @@ func (b *Broker) propagateReleases(sh *shard) {
 			// their PFS records below it (early-release policies).
 			continue
 		}
-		if b.up != nil {
-			b.up.Send(&message.Release{ //nolint:errcheck,gosec // link death handled via OnClose
-				Pubend:          pub,
-				Released:        rel,
-				LatestDelivered: ld,
-			})
-		}
+		b.upSend(&message.Release{
+			Pubend:          pub,
+			Released:        rel,
+			LatestDelivered: ld,
+		})
 		// Advance the relay cache floor: nothing below the aggregate
 		// released can be requested again from below.
 		if cache := sh.caches[pub]; cache != nil {
@@ -330,9 +326,7 @@ func (b *Broker) handleSubUpdate(link *downLink, su *message.SubUpdate) {
 	} else if sub, err := filter.Parse(su.Filter); err == nil {
 		link.matcher.Add(su.Subscriber, sub)
 	}
-	if b.up != nil {
-		b.up.Send(su) //nolint:errcheck,gosec // link death handled via OnClose
-	}
+	b.upSend(su)
 }
 
 // dropLink removes a dead connection: downstream links leave the fanout

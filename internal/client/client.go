@@ -7,9 +7,15 @@
 // reconnection as the resumption point. Keeping the CT at the subscriber —
 // rather than inside the messaging system — is the paper's recommended
 // model; the jms package provides the server-side-CT alternative.
+//
+// Both clients can ride a supervised link (AutoReconnect): the connection
+// is redialed with capped exponential backoff after involuntary loss, and
+// a reconnecting subscriber re-subscribes from its checkpoint token, so
+// the SHB's catchup stream resumes exactly-once delivery across the gap.
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -24,11 +30,66 @@ import (
 // ErrClosed is returned by operations on closed clients.
 var ErrClosed = errors.New("client: closed")
 
+// ErrLinkDown is returned by operations attempted while an auto-reconnect
+// client's link is down; the supervisor is redialing and the operation can
+// be retried.
+var ErrLinkDown = errors.New("client: link down (reconnecting)")
+
 // debugViolations prints delivery-contract violations for debugging.
 var debugViolations = os.Getenv("CLIENT_DEBUG_VIOLATIONS") == "1"
 
+// ConnState is a client link transition reported through OnConnChange.
+type ConnState int
+
+// Connection states reported to OnConnChange callbacks.
+const (
+	// ConnDown: the link was lost involuntarily (an auto-reconnect client
+	// is now redialing in the background).
+	ConnDown ConnState = iota
+	// ConnUp: the link is established — for subscribers, subscribed and
+	// delivering.
+	ConnUp
+)
+
+// String renders the state for logs.
+func (c ConnState) String() string {
+	if c == ConnUp {
+		return "up"
+	}
+	return "down"
+}
+
+// dialWithTimeout dials addr, bounding the attempt when timeout > 0 (zero
+// keeps the old unbounded Dial behavior).
+func dialWithTimeout(t overlay.Transport, addr string, timeout time.Duration) (overlay.Conn, error) {
+	if timeout <= 0 {
+		return t.Dial(addr)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return t.DialContext(ctx, addr)
+}
+
+// PublisherOptions configures optional publisher behavior. The zero value
+// reproduces the original client: unbounded dial, no reconnect.
+type PublisherOptions struct {
+	// DialTimeout bounds the connection attempt (and each supervised
+	// reconnect). Zero means no timeout.
+	DialTimeout time.Duration
+	// AutoReconnect keeps the publisher alive through link failures:
+	// publishes in flight when the link dies fail (their ack channels
+	// close), but the handle reconnects with backoff and accepts new
+	// publishes instead of becoming permanently closed.
+	AutoReconnect bool
+	// OnConnChange, when set, is called on every link transition.
+	OnConnChange func(ConnState)
+}
+
 // Publisher publishes events to a publisher hosting broker.
 type Publisher struct {
+	opts PublisherOptions
+	sup  *overlay.Supervisor // non-nil iff AutoReconnect
+
 	mu      sync.Mutex
 	conn    overlay.Conn
 	next    uint64
@@ -36,19 +97,65 @@ type Publisher struct {
 	closed  bool
 }
 
-// NewPublisher connects a publisher to the broker at addr.
+// NewPublisher connects a publisher to the broker at addr with default
+// options.
 func NewPublisher(t overlay.Transport, addr, name string) (*Publisher, error) {
-	conn, err := t.Dial(addr)
+	return NewPublisherOpts(t, addr, name, PublisherOptions{})
+}
+
+// NewPublisherOpts connects a publisher to the broker at addr. The first
+// connection attempt is synchronous even with AutoReconnect, so a dead
+// broker fails here rather than on the first publish.
+func NewPublisherOpts(t overlay.Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
+	p := &Publisher{opts: opts, pending: make(map[uint64]chan *message.PublishAck)}
+	if opts.AutoReconnect {
+		sup := overlay.NewSupervisor(overlay.SupervisorConfig{
+			Name:        "publisher/" + name,
+			Transport:   t,
+			Addr:        addr,
+			DialTimeout: opts.DialTimeout,
+			OnUp: func(conn overlay.Conn) error {
+				if err := conn.Send(&message.Hello{Role: message.RolePublisher, Name: name}); err != nil {
+					return err
+				}
+				conn.Start(p.onMessage)
+				p.mu.Lock()
+				p.conn = conn
+				p.mu.Unlock()
+				p.notify(ConnUp)
+				return nil
+			},
+			OnDown: func(error) {
+				p.dropLink(false)
+				p.notify(ConnDown)
+			},
+		})
+		if err := sup.Start(); err != nil {
+			return nil, fmt.Errorf("publisher dial: %w", err)
+		}
+		p.sup = sup
+		return p, nil
+	}
+	conn, err := dialWithTimeout(t, addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("publisher dial: %w", err)
 	}
 	if err := conn.Send(&message.Hello{Role: message.RolePublisher, Name: name}); err != nil {
 		return nil, err
 	}
-	p := &Publisher{conn: conn, pending: make(map[uint64]chan *message.PublishAck)}
-	conn.OnClose(p.onClose)
+	p.conn = conn
+	conn.OnClose(func(error) {
+		p.dropLink(true)
+		p.notify(ConnDown)
+	})
 	conn.Start(p.onMessage)
 	return p, nil
+}
+
+func (p *Publisher) notify(st ConnState) {
+	if p.opts.OnConnChange != nil {
+		p.opts.OnConnChange(st)
+	}
 }
 
 func (p *Publisher) onMessage(m message.Message) {
@@ -65,10 +172,17 @@ func (p *Publisher) onMessage(m message.Message) {
 	}
 }
 
-func (p *Publisher) onClose() {
+// dropLink handles a lost connection: publishes in flight fail (their ack
+// channels close — the PHB may or may not have logged them, exactly the
+// ambiguity a real crash leaves). terminal additionally closes the handle
+// (the non-reconnecting client's old behavior).
+func (p *Publisher) dropLink(terminal bool) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.closed = true
+	p.conn = nil
+	if terminal {
+		p.closed = true
+	}
 	for tok, ch := range p.pending {
 		close(ch)
 		delete(p.pending, tok)
@@ -122,13 +236,18 @@ func (p *Publisher) publishAsync(attrs message.Event, pub vtime.PubendID) (chan 
 		p.mu.Unlock()
 		return nil, ErrClosed
 	}
+	conn := p.conn
+	if conn == nil {
+		p.mu.Unlock()
+		return nil, ErrLinkDown
+	}
 	p.next++
 	tok := p.next
 	ch := make(chan *message.PublishAck, 1)
 	p.pending[tok] = ch
 	p.mu.Unlock()
 
-	err := p.conn.Send(&message.Publish{
+	err := conn.Send(&message.Publish{
 		PubendHint: pub,
 		Token:      tok,
 		Attrs:      attrs.Attrs,
@@ -143,7 +262,7 @@ func (p *Publisher) publishAsync(attrs message.Event, pub vtime.PubendID) (chan 
 	return ch, nil
 }
 
-// Close disconnects the publisher.
+// Close disconnects the publisher (and stops its supervisor).
 func (p *Publisher) Close() error {
 	p.mu.Lock()
 	if p.closed {
@@ -151,8 +270,16 @@ func (p *Publisher) Close() error {
 		return nil
 	}
 	p.closed = true
+	conn := p.conn
 	p.mu.Unlock()
-	return p.conn.Close()
+	if p.sup != nil {
+		p.sup.Stop()
+		return nil
+	}
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
 }
 
 // SubscriberOptions configures a durable subscriber.
@@ -173,6 +300,17 @@ type SubscriberOptions struct {
 	Credits uint32
 	// Buffer is the delivery channel capacity; zero means 8192.
 	Buffer int
+	// DialTimeout bounds Connect's dial (and each supervised reconnect).
+	// Zero means no timeout.
+	DialTimeout time.Duration
+	// AutoReconnect keeps the subscription attached through link
+	// failures: Connect installs a supervisor that redials with capped
+	// exponential backoff and re-subscribes from the current checkpoint
+	// token, so deliveries resume exactly-once across the outage.
+	AutoReconnect bool
+	// OnConnChange, when set, is called on every link transition: ConnUp
+	// after each successful (re)subscribe, ConnDown on involuntary loss.
+	OnConnChange func(ConnState)
 }
 
 // Subscriber is a durable subscriber client. Create one with
@@ -187,7 +325,8 @@ type Subscriber struct {
 	everConn  bool
 	conn      overlay.Conn
 	connected bool
-	consumed  uint32 // deliveries since last credit grant
+	sup       *overlay.Supervisor // non-nil while AutoReconnect-connected
+	consumed  uint32              // deliveries since last credit grant
 
 	deliveries chan message.Delivery
 	ackStop    chan struct{}
@@ -231,21 +370,50 @@ func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
 }
 
 // Connect attaches the subscriber to the SHB at addr, resuming from its
-// checkpoint token when it has one.
+// checkpoint token when it has one. With AutoReconnect the first attempt
+// is synchronous (a dead broker fails here); after that the link is
+// supervised and re-subscribes itself until Disconnect.
 func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
-	s.mu.Lock()
-	if s.connected {
+	if s.opts.AutoReconnect {
+		s.mu.Lock()
+		if s.sup != nil {
+			s.mu.Unlock()
+			return errors.New("client: already connected")
+		}
 		s.mu.Unlock()
-		return errors.New("client: already connected")
+		sup := overlay.NewSupervisor(overlay.SupervisorConfig{
+			Name:        fmt.Sprintf("subscriber/%d", s.opts.ID),
+			Transport:   t,
+			Addr:        addr,
+			DialTimeout: s.opts.DialTimeout,
+			OnUp:        func(conn overlay.Conn) error { return s.attach(conn, true) },
+			OnDown:      func(error) { s.handleDown() },
+		})
+		if err := sup.Start(); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		s.sup = sup
+		s.mu.Unlock()
+		return nil
 	}
-	s.mu.Unlock()
-
-	conn, err := t.Dial(addr)
+	conn, err := dialWithTimeout(t, addr, s.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("subscriber dial: %w", err)
 	}
-	if err := conn.Send(&message.Hello{Role: message.RoleSubscriber, Name: s.opts.Filter}); err != nil {
+	if err := s.attach(conn, false); err != nil {
 		conn.Close() //nolint:errcheck,gosec // failed handshake
+		return err
+	}
+	return nil
+}
+
+// attach performs the subscribe handshake on a fresh connection and, on
+// success, makes it the current link. When managed, the supervisor owns
+// the close hook and the connection's lifecycle; otherwise attach wires
+// OnClose itself and the caller closes the conn on error.
+func (s *Subscriber) attach(conn overlay.Conn, managed bool) error {
+	if err := conn.Send(&message.Hello{Role: message.RoleSubscriber, Name: s.opts.Filter}); err != nil {
 		return err
 	}
 	// Adopt the connection before any traffic flows, and snapshot the
@@ -257,7 +425,6 @@ func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
 	s.mu.Lock()
 	if s.connected {
 		s.mu.Unlock()
-		conn.Close() //nolint:errcheck,gosec // lost the race
 		return errors.New("client: already connected")
 	}
 	s.conn = conn
@@ -265,7 +432,9 @@ func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
 	ct := s.ct.Clone()
 	s.mu.Unlock()
 	ackCh := make(chan *message.SubscribeAck, 1)
-	conn.OnClose(func() { s.onDisconnected(conn) })
+	if !managed {
+		conn.OnClose(func(error) { s.onDisconnected(conn) })
+	}
 	conn.Start(func(m message.Message) { s.onMessage(conn, m, ackCh) })
 	if err := conn.Send(&message.Subscribe{
 		Subscriber: s.opts.ID,
@@ -275,14 +444,12 @@ func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
 		Credits:    s.opts.Credits,
 	}); err != nil {
 		s.disown(conn)
-		conn.Close() //nolint:errcheck,gosec // failed handshake
 		return err
 	}
 	select {
 	case ack := <-ackCh:
 		if ack.Err != "" {
 			s.disown(conn)
-			conn.Close() //nolint:errcheck,gosec // rejected
 			return fmt.Errorf("client: subscribe rejected: %s", ack.Err)
 		}
 		s.mu.Lock()
@@ -296,11 +463,17 @@ func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
 		s.ackDone = make(chan struct{})
 		go s.ackLoop(conn, s.ackStop, s.ackDone)
 		s.mu.Unlock()
+		s.notify(ConnUp)
 		return nil
 	case <-time.After(10 * time.Second):
 		s.disown(conn)
-		conn.Close() //nolint:errcheck,gosec // timed out
 		return errors.New("client: subscribe timed out")
+	}
+}
+
+func (s *Subscriber) notify(st ConnState) {
+	if s.opts.OnConnChange != nil {
+		s.opts.OnConnChange(st)
 	}
 }
 
@@ -444,6 +617,14 @@ func (s *Subscriber) CT() *vtime.CheckpointToken {
 	return s.ct.Clone()
 }
 
+// Connected reports whether the subscriber currently has a live,
+// subscribed link.
+func (s *Subscriber) Connected() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.connected
+}
+
 // Stats reports consumption counters: events, silences, gaps, and observed
 // ordering violations (always zero when the system is correct).
 func (s *Subscriber) Stats() (events, silences, gaps, violations int64) {
@@ -453,21 +634,34 @@ func (s *Subscriber) Stats() (events, silences, gaps, violations int64) {
 }
 
 // Disconnect detaches from the SHB (orderly), acknowledging first. The
-// subscription remains durable; Connect resumes it.
+// subscription remains durable; Connect resumes it. An auto-reconnect
+// subscriber's supervisor stops redialing.
 func (s *Subscriber) Disconnect() error {
 	s.Ack() //nolint:errcheck,gosec // best effort before detach
 	s.mu.Lock()
+	sup := s.sup
+	s.sup = nil
 	if !s.connected {
 		s.mu.Unlock()
+		if sup != nil {
+			sup.Stop()
+			s.detach()
+		}
 		return nil
 	}
 	conn := s.conn
 	s.connected = false
+	s.conn = nil
 	stop, done := s.ackStop, s.ackDone
 	s.mu.Unlock()
 	close(stop)
 	<-done
 	conn.Send(&message.Detach{Subscriber: s.opts.ID}) //nolint:errcheck,gosec // about to close
+	if sup != nil {
+		sup.Stop() // closes the conn
+		s.detach() // a racing reconnect may have re-attached; clean it up
+		return nil
+	}
 	return conn.Close()
 }
 
@@ -480,14 +674,21 @@ func (s *Subscriber) Unsubscribe() error {
 		s.mu.Unlock()
 		return errors.New("client: not connected")
 	}
+	sup := s.sup
+	s.sup = nil
 	conn := s.conn
 	s.connected = false
+	s.conn = nil
 	stop, done := s.ackStop, s.ackDone
 	s.mu.Unlock()
 	close(stop)
 	<-done
 	if err := conn.Send(&message.Unsubscribe{Subscriber: s.opts.ID}); err != nil {
-		conn.Close() //nolint:errcheck,gosec // already failing
+		if sup != nil {
+			sup.Stop()
+		} else {
+			conn.Close() //nolint:errcheck,gosec // already failing
+		}
 		return err
 	}
 	if s.opts.CTPath != "" {
@@ -497,19 +698,49 @@ func (s *Subscriber) Unsubscribe() error {
 	s.everConn = false
 	s.ct = vtime.NewCheckpointToken()
 	s.mu.Unlock()
+	if sup != nil {
+		sup.Stop()
+		s.detach()
+		return nil
+	}
 	return conn.Close()
 }
 
-// onDisconnected handles an involuntary connection loss.
-func (s *Subscriber) onDisconnected(conn overlay.Conn) {
+// detach tears down the connected state (ack loop, current conn),
+// reporting whether it transitioned from connected. Safe when already
+// detached.
+func (s *Subscriber) detach() bool {
 	s.mu.Lock()
-	if s.conn != conn || !s.connected {
+	if !s.connected {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	s.connected = false
+	s.conn = nil
 	stop, done := s.ackStop, s.ackDone
 	s.mu.Unlock()
 	close(stop)
 	<-done
+	return true
+}
+
+// handleDown is the supervisor's OnDown: the managed link died.
+func (s *Subscriber) handleDown() {
+	if s.detach() {
+		s.notify(ConnDown)
+	}
+}
+
+// onDisconnected handles an involuntary connection loss on an unmanaged
+// link.
+func (s *Subscriber) onDisconnected(conn overlay.Conn) {
+	s.mu.Lock()
+	stale := s.conn != conn
+	s.mu.Unlock()
+	if stale {
+		return
+	}
+	if s.detach() {
+		s.notify(ConnDown)
+	}
 }

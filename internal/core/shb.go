@@ -242,6 +242,20 @@ func New(cfg Config) (*SHB, error) {
 	if err := s.recoverSubscribers(); err != nil {
 		return nil, err
 	}
+	// released(p) must honor the persisted per-subscriber floors, which lag
+	// the in-memory state by one persistence cycle. Recovering it from
+	// latestDelivered alone would let the post-restart PFS chop discard the
+	// loss boundary a resuming subscriber's catchup depends on, minting
+	// spurious gap messages for ranges that were pure silence.
+	for _, ps := range s.pubends {
+		rel := ps.latestDelivered
+		for _, sub := range s.subs {
+			if r := sub.released[ps.id]; r < rel {
+				rel = r
+			}
+		}
+		ps.released = rel
+	}
 	return s, nil
 }
 
@@ -534,4 +548,44 @@ func (s *SHB) recomputeReleasedAll() {
 	for _, ps := range s.pubends {
 		s.recomputeReleased(ps)
 	}
+}
+
+// PendingCuriosity snapshots the consolidated spans each pubend is still
+// waiting on from upstream. A nack request in flight when the upstream
+// link died is recorded here as pending, which makes requestSpans suppress
+// any re-request — so after a reconnect the broker must re-issue these
+// spans itself or the gap would never fill. Pubends with nothing pending
+// are omitted.
+func (s *SHB) PendingCuriosity() map[vtime.PubendID][]tick.Span {
+	s.mu.lock()
+	defer s.mu.unlock()
+	out := make(map[vtime.PubendID][]tick.Span)
+	for pub, ps := range s.pubends {
+		if pending := ps.cur.Pending(); len(pending) > 0 {
+			out[pub] = pending
+		}
+	}
+	return out
+}
+
+// SubscriptionInfo identifies one durable subscription for upstream
+// re-announcement.
+type SubscriptionInfo struct {
+	ID     vtime.SubscriberID
+	Filter string // filter source, round-trippable through filter.Parse
+}
+
+// Subscriptions lists every durable subscription this engine hosts,
+// connected or not. After an upstream reconnect the new link's matcher on
+// the parent is empty until told otherwise; once any subscription is
+// announced it starts D→S filtering, so the broker must re-announce all of
+// them or pre-outage subscribers would silently stop matching.
+func (s *SHB) Subscriptions() []SubscriptionInfo {
+	s.mu.lock()
+	defer s.mu.unlock()
+	out := make([]SubscriptionInfo, 0, len(s.subs))
+	for id, sub := range s.subs {
+		out = append(out, SubscriptionInfo{ID: id, Filter: sub.sub.String()})
+	}
+	return out
 }

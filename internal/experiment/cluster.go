@@ -65,6 +65,15 @@ type Topology struct {
 	// in-process transport (the paper's deployment; exercises the framed
 	// write-coalescing wire path). LinkLatency is ignored under TCP.
 	TCP bool
+	// WrapBrokerTransport, when set, decorates the transport handed to
+	// brokers — the fault-injection hook: inter-broker links dial through
+	// the decorator (and can be severed or partitioned by it), while
+	// clients keep using the undecorated Cluster.Transport. Listens pass
+	// through the decorator, so clients still reach broker listeners.
+	WrapBrokerTransport func(overlay.Transport) overlay.Transport
+	// DialTimeout bounds broker upstream dials (initial and supervised
+	// reconnects). Zero means no timeout.
+	DialTimeout time.Duration
 }
 
 // Cluster is a running broker topology.
@@ -78,6 +87,7 @@ type Cluster struct {
 	dir      string
 	phbAddr  string
 	shbAddrs []string
+	brokerT  overlay.Transport // what brokers dial/listen on (= Transport unless wrapped)
 }
 
 // AllPubends lists the pubend IDs of the cluster.
@@ -139,6 +149,10 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 	} else {
 		c.Transport = overlay.NewInprocNetwork(topo.LinkLatency)
 	}
+	c.brokerT = c.Transport
+	if topo.WrapBrokerTransport != nil {
+		c.brokerT = topo.WrapBrokerTransport(c.Transport)
+	}
 	var hosted []broker.PubendConfig
 	for i := 1; i <= topo.Pubends; i++ {
 		hosted = append(hosted, broker.PubendConfig{
@@ -148,7 +162,8 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 		})
 	}
 	common := broker.Config{
-		Transport:         c.Transport,
+		Transport:         c.brokerT,
+		DialTimeout:       topo.DialTimeout,
 		TickInterval:      topo.TickInterval,
 		EventCacheSize:    topo.EventCacheSize,
 		RelayCacheSize:    topo.RelayCacheSize,
@@ -236,7 +251,8 @@ func (c *Cluster) RestartSHB(i int) error {
 	cfg := broker.Config{
 		Name:              name,
 		DataDir:           filepath.Join(c.dir, name),
-		Transport:         c.Transport,
+		Transport:         c.brokerT,
+		DialTimeout:       c.topo.DialTimeout,
 		ListenAddr:        c.listenAddr(name),
 		UpstreamAddr:      upstream,
 		EnableSHB:         true,

@@ -1,0 +1,245 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faultnet"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// PartitionHealParams configures the partition-and-heal experiment.
+type PartitionHealParams struct {
+	// Severs is how many times the SHB↔PHB link is cut (0 = 5).
+	Severs int
+	// Subscribers is the durable subscriber count on the SHB (0 = 4).
+	Subscribers int
+	// Seed drives the fault injector (0 = 1).
+	Seed int64
+	// Rate is the publish rate in events/s (0 = 400).
+	Rate int
+	// HoldDown is how long each partition lasts (0 = 120ms).
+	HoldDown time.Duration
+	// Between is the healthy interval between severs (0 = 150ms).
+	Between time.Duration
+}
+
+// PartitionHealResult is the outcome of the partition-and-heal run.
+type PartitionHealResult struct {
+	Published    int64
+	Subscribers  int
+	Severs       int           // partitions actually performed
+	LinksKilled  int64         // connections the fault injector tore down
+	Reconnects   uint64        // supervised upstream re-establishments
+	MeanHeal     time.Duration // mean observed partition-lift → link-up time
+	MaxHeal      time.Duration
+	Gaps         int64 // gap deliveries (lost events) — must be 0
+	Violations   int64 // ordering violations — must be 0
+	AllDelivered bool  // every subscriber got every event exactly once
+}
+
+// RunPartitionHeal severs the SHB↔PHB overlay link repeatedly while a
+// publisher streams events, and verifies the paper's §3.3 recovery story
+// end to end: the supervised link redials with backoff, the broker resyncs
+// its soft state (subscription re-announcement, pending-curiosity
+// re-nacks), the knowledge/NACK path replays the partition gap from the
+// PHB's log, and every durable subscriber sees every event exactly once in
+// timestamp order. Brokers dial through a seeded faultnet decorator;
+// clients use the undecorated transport, so only the inter-broker link is
+// ever cut.
+func RunPartitionHeal(dir string, p PartitionHealParams) (*PartitionHealResult, error) {
+	if p.Severs == 0 {
+		p.Severs = 5
+	}
+	if p.Subscribers == 0 {
+		p.Subscribers = 4
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Rate == 0 {
+		p.Rate = 400
+	}
+	if p.HoldDown == 0 {
+		p.HoldDown = 120 * time.Millisecond
+	}
+	if p.Between == 0 {
+		p.Between = 150 * time.Millisecond
+	}
+
+	var fnet *faultnet.Network
+	c, err := BuildCluster(dir, Topology{
+		SHBs:        1,
+		Pubends:     2,
+		DialTimeout: 500 * time.Millisecond,
+		WrapBrokerTransport: func(t overlay.Transport) overlay.Transport {
+			fnet = faultnet.New(t, p.Seed)
+			return fnet
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	res := &PartitionHealResult{Subscribers: p.Subscribers}
+
+	type subState struct {
+		sub      *client.Subscriber
+		received atomic.Int64
+	}
+	var states []*subState
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < p.Subscribers; i++ {
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID:          vtime.SubscriberID(i + 1),
+			Filter:      `true`,
+			AckInterval: 15 * time.Millisecond,
+			Buffer:      1 << 15,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+			return nil, err
+		}
+		st := &subState{sub: sub}
+		states = append(states, st)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case d := <-st.sub.Deliveries():
+					if d.Kind == message.DeliverEvent {
+						st.received.Add(1)
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	// Publisher streams through every partition — its link to the PHB is
+	// on the undecorated transport and never cut.
+	pubc, err := client.NewPublisher(c.Transport, c.PHBAddr(), "partition")
+	if err != nil {
+		return nil, err
+	}
+	defer pubc.Close() //nolint:errcheck
+	var published atomic.Int64
+	pubStop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		ticker := time.NewTicker(time.Second / time.Duration(p.Rate))
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				seq := published.Add(1)
+				//nolint:errcheck,gosec // acks drained lazily
+				pubc.PublishAsync(message.Event{
+					Attrs:   filter.Attributes{"seq": filter.Int(seq)},
+					Payload: []byte("p"),
+				}, vtime.PubendID(seq%2+1))
+			case <-pubStop:
+				return
+			}
+		}
+	}()
+
+	shb := c.SHBBroker(0)
+	upstreamUp := func() bool {
+		for _, st := range shb.Health() {
+			if st.State != overlay.LinkUp {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Sever loop: partition the PHB address (killing the live supervised
+	// link and blocking redials), hold, heal, wait for the supervisor to
+	// re-establish, repeat.
+	var totalHeal time.Duration
+	for i := 0; i < p.Severs; i++ {
+		time.Sleep(p.Between)
+		fnet.Partition(c.PHBAddr())
+		res.Severs++
+		time.Sleep(p.HoldDown)
+		fnet.Heal()
+		healStart := time.Now()
+		deadline := time.Now().Add(10 * time.Second)
+		for !upstreamUp() {
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("experiment: upstream link did not heal after sever %d: %+v",
+					i+1, shb.Health())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		took := time.Since(healStart)
+		totalHeal += took
+		if took > res.MaxHeal {
+			res.MaxHeal = took
+		}
+	}
+	if res.Severs > 0 {
+		res.MeanHeal = totalHeal / time.Duration(res.Severs)
+	}
+
+	// Quiesce: stop publishing, then wait until the recovery protocol has
+	// replayed every partition gap to every subscriber.
+	close(pubStop)
+	<-pubDone
+	res.Published = published.Load()
+	drainDeadline := time.Now().Add(20 * time.Second)
+	for {
+		allDone := true
+		for _, st := range states {
+			if st.received.Load() < res.Published {
+				allDone = false
+				break
+			}
+		}
+		if allDone || time.Now().After(drainDeadline) {
+			res.AllDelivered = allDone
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	res.LinksKilled = fnet.Kills()
+	for _, st := range shb.Health() {
+		res.Reconnects += st.Reconnects
+	}
+	for _, st := range states {
+		events, _, gaps, violations := st.sub.Stats()
+		res.Gaps += gaps
+		res.Violations += violations
+		if events != res.Published {
+			res.AllDelivered = false
+		}
+		st.sub.Disconnect() //nolint:errcheck,gosec // teardown
+	}
+	if !res.AllDelivered || res.Gaps > 0 || res.Violations > 0 {
+		var counts []int64
+		for _, st := range states {
+			ev, _, _, _ := st.sub.Stats()
+			counts = append(counts, ev)
+		}
+		return res, fmt.Errorf("experiment: partition-heal broke delivery: published=%d received=%v gaps=%d violations=%d",
+			res.Published, counts, res.Gaps, res.Violations)
+	}
+	return res, nil
+}

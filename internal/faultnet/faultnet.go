@@ -1,0 +1,344 @@
+// Package faultnet is a fault-injection decorator for overlay transports:
+// it wraps any overlay.Transport and makes link failure a first-class,
+// scriptable event. Tests and the experiment harness use it to sever
+// links on command, partition address sets, kill links on a deterministic
+// schedule, delay traffic, and stress double-close paths — all without
+// touching the transport underneath.
+//
+// Determinism contract: all randomness (scheduled-kill trigger points)
+// comes from the seed passed to New. Given the same seed and the same
+// per-link sequence of Send calls, kills fire at the same messages on
+// every run; wall-clock time never feeds a decision. Commands (Partition,
+// Sever, Heal) are deterministic by construction — they act when called.
+//
+// Only dialed connections are decorated and tracked (they carry the dial
+// address, which is the targeting key); severing a dialed end kills the
+// whole link, so the accept side needs no decoration.
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/overlay"
+)
+
+// ErrInjected is the close reason of links killed by fault injection, and
+// the dial error for partitioned addresses.
+var ErrInjected = errors.New("faultnet: injected fault")
+
+// killSchedule arms automatic link kills by send count: after a seeded
+// random count in [min, max] sends to the address, the link dies; the
+// schedule then re-arms for the next connection.
+type killSchedule struct {
+	min, max  int
+	remaining int
+}
+
+// Network decorates an inner transport with fault injection. It
+// implements overlay.Transport; all control methods are safe for
+// concurrent use with dials and sends.
+type Network struct {
+	inner overlay.Transport
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	partitioned map[string]bool
+	schedules   map[string]*killSchedule
+	conns       map[*conn]struct{}
+	latency     time.Duration
+	dialDelay   time.Duration
+	dupClose    bool
+
+	kills atomic.Int64
+}
+
+// New wraps inner. seed drives every random decision (0 means 1).
+func New(inner overlay.Transport, seed int64) *Network {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Network{
+		inner:       inner,
+		rng:         rand.New(rand.NewSource(seed)), //nolint:gosec // deterministic injection, not crypto
+		partitioned: make(map[string]bool),
+		schedules:   make(map[string]*killSchedule),
+		conns:       make(map[*conn]struct{}),
+	}
+}
+
+var _ overlay.Transport = (*Network)(nil)
+
+// Listen implements overlay.Transport (pass-through: faults target dialed
+// links, which is both ends of every connection).
+func (n *Network) Listen(addr string, accept func(overlay.Conn)) (io.Closer, error) {
+	return n.inner.Listen(addr, accept)
+}
+
+// Dial implements overlay.Transport.
+func (n *Network) Dial(addr string) (overlay.Conn, error) {
+	return n.DialContext(context.Background(), addr)
+}
+
+// DialContext implements overlay.Transport: dials to partitioned
+// addresses fail with ErrInjected; successful dials return a decorated
+// connection subject to this network's faults.
+func (n *Network) DialContext(ctx context.Context, addr string) (overlay.Conn, error) {
+	n.mu.Lock()
+	cut := n.partitioned[addr]
+	delay := n.dialDelay
+	n.mu.Unlock()
+	if cut {
+		return nil, fmt.Errorf("faultnet: dial %q: %w", addr, ErrInjected)
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return nil, fmt.Errorf("faultnet: dial %q: %w", addr, ctx.Err())
+		}
+	}
+	inner, err := n.inner.DialContext(ctx, addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &conn{Conn: inner, net: n, addr: addr}
+	n.mu.Lock()
+	// A partition raced the dial: kill the fresh link instead of leaking
+	// it across the cut.
+	if n.partitioned[addr] {
+		n.mu.Unlock()
+		c.kill()
+		return nil, fmt.Errorf("faultnet: dial %q: %w", addr, ErrInjected)
+	}
+	n.conns[c] = struct{}{}
+	n.mu.Unlock()
+	return c, nil
+}
+
+// Partition makes the addresses unreachable: existing links to them are
+// severed and new dials fail until Heal. Severs are counted as kills.
+func (n *Network) Partition(addrs ...string) {
+	n.mu.Lock()
+	for _, a := range addrs {
+		n.partitioned[a] = true
+	}
+	victims := n.victimsLocked(addrs)
+	n.mu.Unlock()
+	n.killAll(victims)
+}
+
+// Heal reverses Partition for the addresses (all of them when none are
+// given).
+func (n *Network) Heal(addrs ...string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(addrs) == 0 {
+		n.partitioned = make(map[string]bool)
+		return
+	}
+	for _, a := range addrs {
+		delete(n.partitioned, a)
+	}
+}
+
+// Sever kills every live link dialed to addr (redials stay allowed — use
+// Partition to block those too). It reports how many links were killed.
+func (n *Network) Sever(addr string) int {
+	n.mu.Lock()
+	victims := n.victimsLocked([]string{addr})
+	n.mu.Unlock()
+	n.killAll(victims)
+	return len(victims)
+}
+
+// SeverAll kills every live decorated link.
+func (n *Network) SeverAll() int {
+	n.mu.Lock()
+	victims := make([]*conn, 0, len(n.conns))
+	for c := range n.conns {
+		victims = append(victims, c)
+	}
+	n.mu.Unlock()
+	n.killAll(victims)
+	return len(victims)
+}
+
+// SeverAfterSends arms a repeating scheduled kill for links dialed to
+// addr: after a seeded random number of sends in [minSends, maxSends]
+// crosses such a link, it is killed (the triggering message is dropped,
+// as a crash mid-send would); the schedule re-arms for the next link.
+// minSends == maxSends gives an exact, fully deterministic trigger.
+func (n *Network) SeverAfterSends(addr string, minSends, maxSends int) {
+	if minSends < 1 {
+		minSends = 1
+	}
+	if maxSends < minSends {
+		maxSends = minSends
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sched := &killSchedule{min: minSends, max: maxSends}
+	sched.remaining = n.armLocked(sched)
+	n.schedules[addr] = sched
+}
+
+// ClearSchedule disarms SeverAfterSends for addr.
+func (n *Network) ClearSchedule(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.schedules, addr)
+}
+
+// SetLatency injects a fixed delay before every send on decorated links
+// (0 disables).
+func (n *Network) SetLatency(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latency = d
+}
+
+// SetDialDelay injects a fixed delay into every dial (0 disables);
+// DialContext deadlines still apply, so a delay longer than the caller's
+// timeout manifests as a dial timeout.
+func (n *Network) SetDialDelay(d time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dialDelay = d
+}
+
+// SetDuplicateClose makes every injected kill invoke the victim's Close
+// from two goroutines at once, stressing close idempotency the way
+// overlapping teardown paths (reader error + supervisor stop) do.
+func (n *Network) SetDuplicateClose(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.dupClose = on
+}
+
+// Kills reports how many links this network has killed (severs,
+// partitions, and scheduled kills).
+func (n *Network) Kills() int64 { return n.kills.Load() }
+
+// armLocked draws the next scheduled-kill countdown. Caller holds n.mu.
+func (n *Network) armLocked(s *killSchedule) int {
+	if s.max == s.min {
+		return s.min
+	}
+	return s.min + n.rng.Intn(s.max-s.min+1)
+}
+
+// victimsLocked collects live conns dialed to any of addrs. Caller holds
+// n.mu.
+func (n *Network) victimsLocked(addrs []string) []*conn {
+	set := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		set[a] = true
+	}
+	var victims []*conn
+	for c := range n.conns {
+		if set[c.addr] {
+			victims = append(victims, c)
+		}
+	}
+	return victims
+}
+
+func (n *Network) killAll(victims []*conn) {
+	for _, c := range victims {
+		c.kill()
+	}
+}
+
+// forget removes a closed conn from tracking.
+func (n *Network) forget(c *conn) {
+	n.mu.Lock()
+	delete(n.conns, c)
+	n.mu.Unlock()
+}
+
+// conn decorates one dialed connection.
+type conn struct {
+	overlay.Conn
+	net      *Network
+	addr     string
+	injected atomic.Bool
+	killOnce sync.Once
+}
+
+// Send applies latency and scheduled kills, then forwards to the inner
+// link.
+func (c *conn) Send(m message.Message) error {
+	n := c.net
+	n.mu.Lock()
+	latency := n.latency
+	killNow := false
+	if sched, ok := n.schedules[c.addr]; ok {
+		sched.remaining--
+		if sched.remaining <= 0 {
+			killNow = true
+			sched.remaining = n.armLocked(sched)
+		}
+	}
+	n.mu.Unlock()
+	if killNow {
+		// The link dies instead of delivering this message — the view a
+		// sender has of a peer that crashed mid-send.
+		c.kill()
+		return fmt.Errorf("faultnet: send on %q: %w", c.addr, ErrInjected)
+	}
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	return c.Conn.Send(m)
+}
+
+// OnClose interposes on the close hook so injected kills report
+// ErrInjected instead of the inner transport's local-close reason.
+func (c *conn) OnClose(fn func(error)) {
+	c.Conn.OnClose(func(reason error) {
+		if c.injected.Load() {
+			reason = ErrInjected
+		}
+		fn(reason)
+	})
+}
+
+// Close forwards a deliberate local close (not counted as a kill).
+func (c *conn) Close() error {
+	c.net.forget(c)
+	return c.Conn.Close()
+}
+
+// kill tears the link down as an injected fault.
+func (c *conn) kill() {
+	c.killOnce.Do(func() {
+		c.injected.Store(true)
+		c.net.kills.Add(1)
+		c.net.forget(c)
+		n := c.net
+		n.mu.Lock()
+		dup := n.dupClose
+		n.mu.Unlock()
+		if dup {
+			var wg sync.WaitGroup
+			wg.Add(2)
+			for i := 0; i < 2; i++ {
+				go func() {
+					defer wg.Done()
+					c.Conn.Close() //nolint:errcheck,gosec // injected teardown
+				}()
+			}
+			wg.Wait()
+			return
+		}
+		c.Conn.Close() //nolint:errcheck,gosec // injected teardown
+	})
+}

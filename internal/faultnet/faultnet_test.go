@@ -1,0 +1,276 @@
+package faultnet
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+func ack(sub vtime.SubscriberID) *message.Ack {
+	ct := vtime.NewCheckpointToken()
+	ct.Set(1, vtime.Timestamp(sub))
+	return &message.Ack{Subscriber: sub, CT: ct}
+}
+
+// listenDiscard binds addr on t and discards inbound messages.
+func listenDiscard(tb testing.TB, t overlay.Transport, addr string) {
+	tb.Helper()
+	if _, err := t.Listen(addr, func(c overlay.Conn) {
+		c.Start(func(message.Message) {})
+	}); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+func waitCond(tb testing.TB, what string, cond func() bool) {
+	tb.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	tb.Fatalf("timeout waiting for %s", what)
+}
+
+func TestPartitionBlocksDialsAndSeversLinks(t *testing.T) {
+	inner := overlay.NewInprocNetwork(0)
+	fn := New(inner, 42)
+	listenDiscard(t, fn, "srv")
+
+	c, err := fn.Dial("srv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reason := make(chan error, 1)
+	c.OnClose(func(err error) { reason <- err })
+	c.Start(func(message.Message) {})
+
+	fn.Partition("srv")
+
+	// The live link dies with the injected reason...
+	select {
+	case err := <-reason:
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("close reason = %v, want ErrInjected", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("partition did not sever the live link")
+	}
+	// ...and new dials are refused.
+	if _, err := fn.Dial("srv"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("dial into partition = %v, want ErrInjected", err)
+	}
+	if got := fn.Kills(); got != 1 {
+		t.Fatalf("Kills = %d, want 1", got)
+	}
+
+	// Heal restores dialability.
+	fn.Heal()
+	c2, err := fn.Dial("srv")
+	if err != nil {
+		t.Fatalf("dial after heal: %v", err)
+	}
+	c2.Start(func(message.Message) {})
+	if err := c2.Send(ack(1)); err != nil {
+		t.Fatalf("send after heal: %v", err)
+	}
+	c2.Close() //nolint:errcheck
+}
+
+func TestListenPassesThrough(t *testing.T) {
+	// Clients on the inner, undecorated transport must still reach
+	// listeners registered through the fault network — the experiment
+	// harness depends on this split.
+	inner := overlay.NewInprocNetwork(0)
+	fn := New(inner, 1)
+	listenDiscard(t, fn, "broker")
+	fn.Partition("broker") // partitions only decorated dials
+
+	c, err := inner.Dial("broker")
+	if err != nil {
+		t.Fatalf("inner dial bypassing faults: %v", err)
+	}
+	c.Start(func(message.Message) {})
+	if err := c.Send(ack(1)); err != nil {
+		t.Fatal(err)
+	}
+	c.Close() //nolint:errcheck
+}
+
+func TestSeverKillsOnlyTargetAddr(t *testing.T) {
+	inner := overlay.NewInprocNetwork(0)
+	fn := New(inner, 1)
+	listenDiscard(t, fn, "a")
+	listenDiscard(t, fn, "b")
+
+	ca, err := fn.Dial("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := fn.Dial("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca.Start(func(message.Message) {})
+	cb.Start(func(message.Message) {})
+
+	if got := fn.Sever("a"); got != 1 {
+		t.Fatalf("Sever(a) = %d, want 1", got)
+	}
+	waitCond(t, "link a dead", func() bool { return ca.Send(ack(1)) != nil })
+	if err := cb.Send(ack(2)); err != nil {
+		t.Fatalf("unrelated link b severed too: %v", err)
+	}
+	if got := fn.SeverAll(); got != 1 {
+		t.Fatalf("SeverAll = %d, want 1 (only b left)", got)
+	}
+	if got := fn.Kills(); got != 2 {
+		t.Fatalf("Kills = %d, want 2", got)
+	}
+}
+
+// killCounts dials addr repeatedly under an armed schedule and records how
+// many sends each connection survived before the injected kill.
+func killCounts(tb testing.TB, fn *Network, addr string, links int) []int {
+	tb.Helper()
+	var out []int
+	for i := 0; i < links; i++ {
+		c, err := fn.Dial(addr)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		c.Start(func(message.Message) {})
+		sends := 0
+		for {
+			if err := c.Send(ack(1)); err != nil {
+				if !errors.Is(err, ErrInjected) {
+					tb.Fatalf("send died with %v, want ErrInjected", err)
+				}
+				break
+			}
+			sends++
+			if sends > 10000 {
+				tb.Fatal("scheduled kill never fired")
+			}
+		}
+		out = append(out, sends)
+	}
+	return out
+}
+
+func TestSeverAfterSendsIsDeterministic(t *testing.T) {
+	run := func(seed int64) []int {
+		inner := overlay.NewInprocNetwork(0)
+		fn := New(inner, seed)
+		listenDiscard(t, fn, "sched")
+		fn.SeverAfterSends("sched", 3, 20)
+		return killCounts(t, fn, "sched", 5)
+	}
+	a := run(99)
+	b := run(99)
+	if len(a) != len(b) {
+		t.Fatalf("run lengths differ: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at link %d: %v vs %v", i, a, b)
+		}
+		if a[i] < 2 || a[i] > 19 {
+			// remaining in [3,20] means 2..19 successful sends before
+			// the dropped triggering message.
+			t.Fatalf("kill point %d outside schedule bounds: %v", a[i], a)
+		}
+	}
+	c := run(100)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i] != c[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical kill points: %v", a)
+	}
+}
+
+func TestSeverAfterSendsExactAndClear(t *testing.T) {
+	inner := overlay.NewInprocNetwork(0)
+	fn := New(inner, 1)
+	listenDiscard(t, fn, "exact")
+	fn.SeverAfterSends("exact", 4, 4)
+	got := killCounts(t, fn, "exact", 3)
+	for i, sends := range got {
+		if sends != 3 {
+			t.Fatalf("link %d survived %d sends, want exactly 3", i, sends)
+		}
+	}
+	fn.ClearSchedule("exact")
+	c, err := fn.Dial("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Start(func(message.Message) {})
+	for i := 0; i < 20; i++ {
+		if err := c.Send(ack(1)); err != nil {
+			t.Fatalf("send %d after ClearSchedule: %v", i, err)
+		}
+	}
+	c.Close() //nolint:errcheck
+}
+
+func TestDuplicateCloseIsSafe(t *testing.T) {
+	inner := overlay.NewInprocNetwork(0)
+	fn := New(inner, 1)
+	fn.SetDuplicateClose(true)
+	listenDiscard(t, fn, "dup")
+	for i := 0; i < 10; i++ {
+		c, err := fn.Dial("dup")
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := make(chan struct{})
+		c.OnClose(func(error) { close(closed) })
+		c.Start(func(message.Message) {})
+		fn.Sever("dup")
+		select {
+		case <-closed:
+		case <-time.After(2 * time.Second):
+			t.Fatal("duplicate close lost the close notification")
+		}
+	}
+	if got := fn.Kills(); got != 10 {
+		t.Fatalf("Kills = %d, want 10", got)
+	}
+}
+
+func TestDialDelayRespectsContext(t *testing.T) {
+	inner := overlay.NewInprocNetwork(0)
+	fn := New(inner, 1)
+	listenDiscard(t, fn, "slow")
+	fn.SetDialDelay(5 * time.Second)
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := fn.DialContext(ctx, "slow"); err == nil {
+		t.Fatal("delayed dial beat a shorter context deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("dial did not honor context cancellation: took %v", elapsed)
+	}
+	fn.SetDialDelay(0)
+	c, err := fn.Dial("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close() //nolint:errcheck
+}

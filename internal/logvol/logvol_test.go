@@ -480,3 +480,72 @@ func TestRandomizedRecovery(t *testing.T) {
 		v2.Close() //nolint:errcheck
 	}
 }
+
+// TestTornTailPartialWriteSweep simulates a crash at every possible byte
+// boundary inside the final append (the fault-injection view of a torn
+// write: the kernel persisted an arbitrary prefix of the record). Whatever
+// the cut point, recovery must keep every earlier record intact, drop only
+// the torn one, and leave the volume appendable.
+func TestTornTailPartialWriteSweep(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.log")
+	v, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _ := v.Stream("s") //nolint:errcheck
+	const intact = 7
+	for i := 0; i < intact; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]byte("torn-record-payload")); err != nil {
+		t.Fatal(err)
+	}
+	v.Close() //nolint:errcheck
+	after, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := before.Size(); cut < after.Size(); cut++ {
+		tornPath := filepath.Join(dir, fmt.Sprintf("torn-%d.log", cut))
+		if err := os.WriteFile(tornPath, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		tv, err := Open(tornPath, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: re-open: %v", cut, err)
+		}
+		ts, err := tv.LookupStream("s")
+		if err != nil {
+			t.Fatalf("cut %d: stream lost: %v", cut, err)
+		}
+		if ts.LastIndex() != intact {
+			t.Fatalf("cut %d: last=%d, want %d", cut, ts.LastIndex(), intact)
+		}
+		for i := 0; i < intact; i++ {
+			got, err := ts.Read(Index(i + 1))
+			if err != nil || string(got) != fmt.Sprintf("rec-%d", i) {
+				t.Fatalf("cut %d: Read(%d) = %q, %v", cut, i+1, got, err)
+			}
+		}
+		idx, err := ts.Append([]byte("post-recovery"))
+		if err != nil || idx != intact+1 {
+			t.Fatalf("cut %d: append after recovery = %d, %v", cut, idx, err)
+		}
+		tv.Close() //nolint:errcheck
+	}
+}

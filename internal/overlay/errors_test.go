@@ -75,7 +75,7 @@ func TestTCPPeerVanishesMidFrame(t *testing.T) {
 	closed := make(chan struct{})
 	closer, addr, err := ListenAny(func(c Conn) {
 		serverConn = c
-		c.OnClose(func() { close(closed) })
+		c.OnClose(func(error) { close(closed) })
 		c.Start(func(message.Message) {})
 		close(accepted)
 	})
@@ -120,7 +120,7 @@ func TestTCPOversizedFrameRejected(t *testing.T) {
 	closed := make(chan struct{})
 	accepted := make(chan struct{})
 	closer, addr, err := ListenAny(func(c Conn) {
-		c.OnClose(func() { close(closed) })
+		c.OnClose(func(error) { close(closed) })
 		c.Start(func(message.Message) {})
 		close(accepted)
 	})

@@ -14,6 +14,7 @@
 package overlay
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -29,6 +30,21 @@ import (
 
 // ErrClosed is returned by operations on a closed connection or transport.
 var ErrClosed = errors.New("overlay: closed")
+
+// Close reasons reported to OnClose callbacks. A link dies for one of
+// three broad causes; supervisors and brokers use the reason to decide
+// whether a reconnect is warranted (peer/transport failure) or the
+// shutdown was deliberate (local close).
+var (
+	// ErrLocalClosed: this side called Close.
+	ErrLocalClosed = errors.New("overlay: closed locally")
+	// ErrPeerClosed: the remote end closed the link (orderly close or
+	// vanished peer observed as EOF).
+	ErrPeerClosed = errors.New("overlay: closed by peer")
+	// ErrProtocol: the link tore down because the peer violated the wire
+	// protocol (e.g. an oversized frame header).
+	ErrProtocol = errors.New("overlay: protocol violation")
+)
 
 // Link instruments (process-wide; see internal/telemetry).
 var (
@@ -63,8 +79,11 @@ type Conn interface {
 	// The peer's handler observes the close via OnClose.
 	Close() error
 	// OnClose registers a callback invoked once when the connection
-	// shuts down (either side). Must be called before Start.
-	OnClose(func())
+	// shuts down (either side), with the reason: ErrLocalClosed for a
+	// deliberate local Close, ErrPeerClosed when the remote end went
+	// away, or a transport error (write failure, protocol violation).
+	// Must be called before Start.
+	OnClose(func(reason error))
 	// RemoteAddr describes the peer (diagnostic).
 	RemoteAddr() string
 }
@@ -74,8 +93,12 @@ type Transport interface {
 	// Listen binds addr and invokes accept for every inbound
 	// connection. The returned closer stops listening.
 	Listen(addr string, accept func(Conn)) (io.Closer, error)
-	// Dial connects to addr.
+	// Dial connects to addr with no deadline (DialContext with a
+	// background context).
 	Dial(addr string) (Conn, error)
+	// DialContext connects to addr, honoring ctx cancellation and
+	// deadline for the connection attempt itself.
+	DialContext(ctx context.Context, addr string) (Conn, error)
 }
 
 // queue is an unbounded FIFO of messages with blocking pop, backed by a
@@ -177,27 +200,31 @@ func (q *queue) len() int {
 }
 
 // closeHook manages the one-shot OnClose callback shared by both conn
-// implementations.
+// implementations. The first fire wins: its reason is the one reported.
 type closeHook struct {
-	mu   sync.Mutex
-	fn   func()
-	done bool
+	mu     sync.Mutex
+	fn     func(error)
+	done   bool
+	reason error
 }
 
-func (c *closeHook) set(fn func()) {
+func (c *closeHook) set(fn func(error)) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.fn = fn
 }
 
-func (c *closeHook) fire() {
+func (c *closeHook) fire(reason error) {
 	c.mu.Lock()
 	fn := c.fn
 	fired := c.done
 	c.done = true
+	if !fired {
+		c.reason = reason
+	}
 	c.mu.Unlock()
 	if !fired && fn != nil {
-		fn()
+		fn(reason)
 	}
 }
 
@@ -243,6 +270,16 @@ func (n *InprocNetwork) Listen(addr string, accept func(Conn)) (io.Closer, error
 type closerFunc func() error
 
 func (f closerFunc) Close() error { return f() }
+
+// DialContext implements Transport. The in-process dial completes
+// immediately, so the context only gates an attempt that is already
+// cancelled.
+func (n *InprocNetwork) DialContext(ctx context.Context, addr string) (Conn, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("overlay: inproc dial %q: %w", addr, err)
+	}
+	return n.Dial(addr)
+}
 
 // Dial implements Transport.
 func (n *InprocNetwork) Dial(addr string) (Conn, error) {
@@ -294,7 +331,7 @@ func (c *inprocConn) Start(h Handler) {
 			for {
 				m, ok := c.in.pop()
 				if !ok {
-					c.hook.fire()
+					c.hook.fire(ErrPeerClosed)
 					return
 				}
 				if c.latency > 0 {
@@ -311,7 +348,7 @@ func (c *inprocConn) Close() error {
 	c.closeOnce.Do(func() {
 		c.out.close()
 		c.in.close()
-		c.hook.fire()
+		c.hook.fire(ErrLocalClosed)
 	})
 	if c.done != nil {
 		<-c.done
@@ -319,7 +356,7 @@ func (c *inprocConn) Close() error {
 	return nil
 }
 
-func (c *inprocConn) OnClose(fn func()) { c.hook.set(fn) }
+func (c *inprocConn) OnClose(fn func(error)) { c.hook.set(fn) }
 
 func (c *inprocConn) RemoteAddr() string { return c.addr }
 
@@ -348,9 +385,18 @@ func (TCPTransport) Listen(addr string, accept func(Conn)) (io.Closer, error) {
 	return ln, nil
 }
 
-// Dial implements Transport.
-func (TCPTransport) Dial(addr string) (Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+// Dial implements Transport (no deadline; prefer DialContext with a
+// timeout for anything that must not hang on an unresponsive network).
+func (t TCPTransport) Dial(addr string) (Conn, error) {
+	return t.DialContext(context.Background(), addr)
+}
+
+// DialContext implements Transport: the connection attempt aborts when ctx
+// is cancelled or its deadline passes (net.Dialer.DialContext semantics),
+// instead of blocking for the kernel's connect timeout.
+func (TCPTransport) DialContext(ctx context.Context, addr string) (Conn, error) {
+	var d net.Dialer
+	nc, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("overlay dial: %w", err)
 	}
@@ -434,7 +480,7 @@ func (c *tcpConn) writer() {
 		}
 		tWriteBatch.Observe(int64(framed))
 		if _, err := c.nc.Write(buf); err != nil {
-			c.teardown()
+			c.teardown(fmt.Errorf("overlay write: %w", err))
 			return
 		}
 		tTCPBytes.Add(int64(len(buf)))
@@ -458,17 +504,17 @@ func (c *tcpConn) Start(h Handler) {
 			hdr := make([]byte, 4)
 			for {
 				if _, err := io.ReadFull(c.nc, hdr); err != nil {
-					c.teardown()
+					c.teardown(readReason(err))
 					return
 				}
 				n := binary.BigEndian.Uint32(hdr)
 				if n > 64<<20 {
-					c.teardown()
+					c.teardown(fmt.Errorf("%w: %d-byte frame header", ErrProtocol, n))
 					return
 				}
 				body := make([]byte, n)
 				if _, err := io.ReadFull(c.nc, body); err != nil {
-					c.teardown()
+					c.teardown(readReason(err))
 					return
 				}
 				m, err := message.Decode(body)
@@ -482,13 +528,23 @@ func (c *tcpConn) Start(h Handler) {
 	})
 }
 
+// readReason maps a reader error onto a close reason: a clean EOF is the
+// peer closing; anything else is a transport failure (which includes the
+// ECONNRESET of a crashed peer).
+func readReason(err error) error {
+	if errors.Is(err, io.EOF) {
+		return ErrPeerClosed
+	}
+	return fmt.Errorf("overlay read: %w", err)
+}
+
 // teardown closes the socket and queue from a goroutine that noticed
-// failure.
-func (c *tcpConn) teardown() {
+// failure, recording why.
+func (c *tcpConn) teardown(reason error) {
 	c.closeOnce.Do(func() {
 		c.out.close()
 		c.nc.Close() //nolint:errcheck,gosec // teardown path
-		c.hook.fire()
+		c.hook.fire(reason)
 	})
 }
 
@@ -497,7 +553,7 @@ func (c *tcpConn) Close() error {
 	for i := 0; i < 100 && c.out.len() > 0; i++ {
 		time.Sleep(time.Millisecond)
 	}
-	c.teardown()
+	c.teardown(ErrLocalClosed)
 	<-c.writerDone
 	if c.readerDone != nil {
 		<-c.readerDone
@@ -505,6 +561,6 @@ func (c *tcpConn) Close() error {
 	return nil
 }
 
-func (c *tcpConn) OnClose(fn func()) { c.hook.set(fn) }
+func (c *tcpConn) OnClose(fn func(error)) { c.hook.set(fn) }
 
 func (c *tcpConn) RemoteAddr() string { return c.nc.RemoteAddr().String() }

@@ -210,7 +210,7 @@ func TestOnCloseFiresOnPeerClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	closed := make(chan struct{})
-	c.OnClose(func() { close(closed) })
+	c.OnClose(func(error) { close(closed) })
 	c.Start(func(message.Message) {})
 	serverConn.Close() //nolint:errcheck
 	select {
@@ -238,7 +238,7 @@ func TestTCPOnCloseFiresOnPeerClose(t *testing.T) {
 		t.Fatal(err)
 	}
 	closed := make(chan struct{})
-	c.OnClose(func() { close(closed) })
+	c.OnClose(func(error) { close(closed) })
 	c.Start(func(message.Message) {})
 	<-accepted
 	serverConn.Close() //nolint:errcheck

@@ -1,0 +1,350 @@
+package overlay
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/message"
+	"repro/internal/telemetry"
+)
+
+// Supervision instruments (process-wide; per-link state is labeled by the
+// supervisor name).
+var (
+	tReconnects = telemetry.Default().Counter("gryphon_overlay_reconnects_total",
+		"Successful re-establishments of supervised overlay links (excludes the first connect).")
+	tDialFailures = telemetry.Default().Counter("gryphon_overlay_dial_failures_total",
+		"Failed connection attempts by link supervisors.")
+	tHealSeconds = telemetry.Default().DurationHistogram("gryphon_overlay_time_to_heal_seconds",
+		"Time from a supervised link going down to its re-establishment.", telemetry.FastBuckets)
+)
+
+// LinkState is the supervisor's view of its link.
+type LinkState int32
+
+// Link states. A supervisor is born Down, moves to Up after each
+// successful dial + bring-up, and sits in Backoff between failed or broken
+// attempts.
+const (
+	LinkDown    LinkState = iota // not connected, no attempt in flight
+	LinkBackoff                  // waiting out the backoff delay before redialing
+	LinkUp                       // link established and handed to OnUp
+)
+
+// String renders the state for health endpoints and logs.
+func (s LinkState) String() string {
+	switch s {
+	case LinkUp:
+		return "up"
+	case LinkBackoff:
+		return "backoff"
+	default:
+		return "down"
+	}
+}
+
+// LinkStatus is a snapshot of a supervised link for health reporting.
+type LinkStatus struct {
+	// Name is the supervisor's configured name.
+	Name string
+	// Addr is the dial target.
+	Addr string
+	// State is the current link state.
+	State LinkState
+	// Retries counts consecutive failed connection attempts since the
+	// link was last up (resets to zero on every successful bring-up).
+	Retries uint64
+	// Reconnects counts successful re-establishments over the
+	// supervisor's lifetime (the first connect is not a reconnect).
+	Reconnects uint64
+	// LastError describes the most recent dial or link failure ("" when
+	// the link has never failed).
+	LastError string
+	// Since is when the link entered its current up/down period.
+	Since time.Time
+}
+
+// SupervisorConfig configures a supervised link.
+type SupervisorConfig struct {
+	// Name labels the link in telemetry and health reports (required;
+	// e.g. "broker3/upstream").
+	Name string
+	// Transport and Addr are the dial target (required).
+	Transport Transport
+	Addr      string
+	// DialTimeout bounds each connection attempt. Zero means no timeout
+	// (the attempt can block as long as the transport lets it).
+	DialTimeout time.Duration
+	// BackoffMin is the delay after the first failure (0 = 20ms).
+	BackoffMin time.Duration
+	// BackoffMax caps the exponential growth (0 = 2s).
+	BackoffMax time.Duration
+	// Jitter is the fraction of the delay randomized away (0..1, 0 =
+	// 0.2): each wait is delay * (1 - Jitter*rand). Jitter draws from a
+	// seeded source, so a fixed Seed gives a reproducible schedule.
+	Jitter float64
+	// Seed seeds the jitter source (0 = 1).
+	Seed int64
+
+	// OnUp brings up a freshly dialed connection: handshake, Start, and
+	// any state resynchronization. Returning an error counts the attempt
+	// as failed (the conn is closed and the supervisor backs off). OnUp
+	// must not call Conn.OnClose — the supervisor owns that hook.
+	OnUp func(Conn) error
+	// OnDown, if set, is told why an established link died (never for
+	// failed dial attempts, and not for Stop).
+	OnDown func(reason error)
+}
+
+// Supervisor maintains one self-healing overlay link: it dials the target,
+// hands the live connection to OnUp, watches for the close, and redials
+// with capped exponential backoff plus jitter until stopped. The paper's
+// recovery protocol (knowledge/curiosity streams and checkpoint tokens)
+// makes link death survivable; the supervisor is the piece that turns
+// "survivable" into "self-healing" by actually re-establishing the link.
+type Supervisor struct {
+	cfg SupervisorConfig
+	rng *rand.Rand // jitter; guarded by the run loop (single goroutine)
+
+	conn     atomic.Pointer[Conn]
+	state    atomic.Int32
+	retries  atomic.Uint64
+	healed   atomic.Uint64
+	lastErr  atomic.Pointer[string]
+	since    atomic.Int64 // unix nanos of the last state flip
+	upGauge  *telemetry.Gauge
+	started  atomic.Bool
+	everUp   bool
+	downAt   time.Time // when the link last went down (for time-to-heal)
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	notify   chan error // close reasons from the active conn
+}
+
+// NewSupervisor builds a supervisor. Start connects it.
+func NewSupervisor(cfg SupervisorConfig) *Supervisor {
+	if cfg.BackoffMin <= 0 {
+		cfg.BackoffMin = 20 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.BackoffMax < cfg.BackoffMin {
+		cfg.BackoffMax = cfg.BackoffMin
+	}
+	if cfg.Jitter <= 0 || cfg.Jitter > 1 {
+		cfg.Jitter = 0.2
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	s := &Supervisor{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(seed)), //nolint:gosec // jitter, not crypto
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		notify: make(chan error, 1),
+		upGauge: telemetry.Default().Gauge(
+			fmt.Sprintf("gryphon_overlay_link_up{link=%q}", cfg.Name),
+			"Whether a supervised overlay link is established (1) or down/backing off (0)."),
+	}
+	s.markState(LinkDown)
+	return s
+}
+
+// Start performs the first connection attempt synchronously — so callers
+// keep the fail-fast startup semantics of a plain Dial — and then hands
+// the link to the background maintenance loop. On error nothing is
+// running and the supervisor may be started again.
+func (s *Supervisor) Start() error {
+	if err := s.attempt(); err != nil {
+		return err
+	}
+	s.started.Store(true)
+	go s.run()
+	return nil
+}
+
+// StartDeferred skips the synchronous first attempt and lets the
+// maintenance loop establish the link in the background (clients that
+// tolerate an initially-absent peer).
+func (s *Supervisor) StartDeferred() {
+	s.started.Store(true)
+	go s.run()
+}
+
+// Stop tears the supervisor down: no more redials, and the active
+// connection (if any) is closed. Safe to call more than once.
+func (s *Supervisor) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	if c := s.Conn(); c != nil {
+		c.Close() //nolint:errcheck,gosec // shutdown path
+	}
+	if s.started.Load() {
+		<-s.done
+	}
+}
+
+// Conn returns the live connection, or nil while the link is down. Sends
+// on a conn that dies mid-use fail with ErrClosed; callers treat that the
+// same as nil (drop and let the recovery protocol heal the gap).
+func (s *Supervisor) Conn() Conn {
+	p := s.conn.Load()
+	if p == nil {
+		return nil
+	}
+	return *p
+}
+
+// Send sends m on the live connection, reporting ErrClosed while the link
+// is down (messages are not queued across outages: the knowledge/NACK
+// protocol regenerates anything that matters once the link heals).
+func (s *Supervisor) Send(m message.Message) error {
+	c := s.Conn()
+	if c == nil {
+		return ErrClosed
+	}
+	return c.Send(m)
+}
+
+// Status snapshots the link for health reporting.
+func (s *Supervisor) Status() LinkStatus {
+	st := LinkStatus{
+		Name:       s.cfg.Name,
+		Addr:       s.cfg.Addr,
+		State:      LinkState(s.state.Load()),
+		Retries:    s.retries.Load(),
+		Reconnects: s.healed.Load(),
+		Since:      time.Unix(0, s.since.Load()),
+	}
+	if p := s.lastErr.Load(); p != nil {
+		st.LastError = *p
+	}
+	return st
+}
+
+func (s *Supervisor) markState(st LinkState) {
+	s.state.Store(int32(st))
+	s.since.Store(time.Now().UnixNano())
+	if st == LinkUp {
+		s.upGauge.Set(1)
+	} else {
+		s.upGauge.Set(0)
+	}
+}
+
+func (s *Supervisor) recordErr(err error) {
+	msg := err.Error()
+	s.lastErr.Store(&msg)
+}
+
+// attempt runs one dial + bring-up cycle. On success the conn is installed
+// and its close hook wired to the notify channel.
+func (s *Supervisor) attempt() error {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if s.cfg.DialTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.DialTimeout)
+	}
+	conn, err := s.cfg.Transport.DialContext(ctx, s.cfg.Addr)
+	cancel()
+	if err != nil {
+		tDialFailures.Inc()
+		s.retries.Add(1)
+		s.recordErr(err)
+		return err
+	}
+	// Drain any stale notification from a previous link so the new
+	// conn's close is the next thing the loop sees.
+	select {
+	case <-s.notify:
+	default:
+	}
+	conn.OnClose(func(reason error) {
+		select {
+		case s.notify <- reason:
+		default:
+		}
+	})
+	if up := s.cfg.OnUp; up != nil {
+		if err := up(conn); err != nil {
+			conn.Close() //nolint:errcheck,gosec // failed bring-up
+			tDialFailures.Inc()
+			s.retries.Add(1)
+			s.recordErr(err)
+			return err
+		}
+	}
+	s.conn.Store(&conn)
+	s.retries.Store(0)
+	if s.everUp {
+		s.healed.Add(1)
+		tReconnects.Inc()
+		tHealSeconds.ObserveDuration(time.Since(s.downAt))
+	}
+	s.everUp = true
+	s.markState(LinkUp)
+	return nil
+}
+
+// run is the maintenance loop: wait for the active link to die, then
+// redial with capped exponential backoff and jitter until it heals or the
+// supervisor stops.
+func (s *Supervisor) run() {
+	defer close(s.done)
+	for {
+		// Wait for the current link to die (or for Stop).
+		if s.Conn() != nil {
+			select {
+			case reason := <-s.notify:
+				s.conn.Store(nil)
+				s.downAt = time.Now()
+				s.markState(LinkDown)
+				if reason != nil {
+					s.recordErr(reason)
+				}
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+				if down := s.cfg.OnDown; down != nil {
+					down(reason)
+				}
+			case <-s.stop:
+				return
+			}
+		} else {
+			s.downAt = time.Now()
+		}
+		// Redial until it sticks.
+		delay := s.cfg.BackoffMin
+		for {
+			select {
+			case <-s.stop:
+				return
+			default:
+			}
+			if s.attempt() == nil {
+				break
+			}
+			s.markState(LinkBackoff)
+			wait := time.Duration(float64(delay) * (1 - s.cfg.Jitter*s.rng.Float64()))
+			select {
+			case <-time.After(wait):
+			case <-s.stop:
+				return
+			}
+			delay *= 2
+			if delay > s.cfg.BackoffMax {
+				delay = s.cfg.BackoffMax
+			}
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package overlay
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/message"
+)
+
+// waitUntil polls cond for up to 5s.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timeout waiting for %s", what)
+}
+
+// supListener is a test peer that tracks accepted conns so they can be
+// killed server-side.
+type supListener struct {
+	mu    sync.Mutex
+	conns []Conn
+}
+
+func (l *supListener) accept(c Conn) {
+	c.Start(func(message.Message) {})
+	l.mu.Lock()
+	l.conns = append(l.conns, c)
+	l.mu.Unlock()
+}
+
+func (l *supListener) killLatest() {
+	l.mu.Lock()
+	c := l.conns[len(l.conns)-1]
+	l.mu.Unlock()
+	c.Close() //nolint:errcheck,gosec // test kill
+}
+
+func TestSupervisorStartFailFast(t *testing.T) {
+	net := NewInprocNetwork(0)
+	s := NewSupervisor(SupervisorConfig{
+		Name:      "t/failfast",
+		Transport: net,
+		Addr:      "nobody-home",
+		OnUp:      func(Conn) error { return nil },
+	})
+	if err := s.Start(); err == nil {
+		t.Fatal("Start to a dead address should fail")
+	}
+	st := s.Status()
+	if st.Retries == 0 || st.LastError == "" {
+		t.Fatalf("failed attempt not recorded: %+v", st)
+	}
+	s.Stop() // must not hang: the run loop never started
+}
+
+func TestSupervisorReconnectsAndCountsHeals(t *testing.T) {
+	net := NewInprocNetwork(0)
+	srv := &supListener{}
+	closer, err := net.Listen("srv", srv.accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close() //nolint:errcheck
+
+	var ups atomic.Int64
+	var downReasons []error
+	var mu sync.Mutex
+	s := NewSupervisor(SupervisorConfig{
+		Name:       "t/reconnect",
+		Transport:  net,
+		Addr:       "srv",
+		BackoffMin: time.Millisecond,
+		BackoffMax: 5 * time.Millisecond,
+		OnUp: func(c Conn) error {
+			c.Start(func(message.Message) {})
+			ups.Add(1)
+			return nil
+		},
+		OnDown: func(reason error) {
+			mu.Lock()
+			downReasons = append(downReasons, reason)
+			mu.Unlock()
+		},
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if got := s.Status(); got.State != LinkUp || got.Reconnects != 0 {
+		t.Fatalf("after Start: %+v", got)
+	}
+
+	const kills = 3
+	for i := 0; i < kills; i++ {
+		want := int64(i + 2)
+		srv.killLatest()
+		waitUntil(t, "reconnect", func() bool { return ups.Load() == want })
+	}
+	waitUntil(t, "status up", func() bool { return s.Status().State == LinkUp })
+	st := s.Status()
+	if st.Reconnects != kills {
+		t.Fatalf("Reconnects = %d, want %d", st.Reconnects, kills)
+	}
+	if st.Retries != 0 {
+		t.Fatalf("Retries should reset on heal: %+v", st)
+	}
+	mu.Lock()
+	nDown := len(downReasons)
+	for _, r := range downReasons {
+		if !errors.Is(r, ErrPeerClosed) {
+			t.Errorf("down reason = %v, want ErrPeerClosed", r)
+		}
+	}
+	mu.Unlock()
+	if nDown != kills {
+		t.Fatalf("OnDown fired %d times, want %d", nDown, kills)
+	}
+}
+
+func TestSupervisorBackoffThenHeal(t *testing.T) {
+	net := NewInprocNetwork(0)
+	srv := &supListener{}
+	closer, err := net.Listen("flappy", srv.accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSupervisor(SupervisorConfig{
+		Name:       "t/backoff",
+		Transport:  net,
+		Addr:       "flappy",
+		BackoffMin: time.Millisecond,
+		BackoffMax: 4 * time.Millisecond,
+		OnUp: func(c Conn) error {
+			c.Start(func(message.Message) {})
+			return nil
+		},
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	// Take the listener away and kill the link: the supervisor must cycle
+	// through backoff, accumulate retries, and record the dial error.
+	closer.Close() //nolint:errcheck,gosec // test teardown
+	srv.killLatest()
+	waitUntil(t, "retries accumulate", func() bool {
+		st := s.Status()
+		return st.State != LinkUp && st.Retries >= 3 && st.LastError != ""
+	})
+	if s.Conn() != nil {
+		t.Fatal("Conn() should be nil while down")
+	}
+	if err := s.Send(ack(1)); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Send while down = %v, want ErrClosed", err)
+	}
+
+	// Bring the listener back: the link must heal on its own.
+	if _, err := net.Listen("flappy", srv.accept); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "heal", func() bool { return s.Status().State == LinkUp })
+	if got := s.Status().Reconnects; got != 1 {
+		t.Fatalf("Reconnects = %d, want 1", got)
+	}
+	if err := s.Send(ack(1)); err != nil {
+		t.Fatalf("Send after heal: %v", err)
+	}
+}
+
+func TestSupervisorStartDeferred(t *testing.T) {
+	net := NewInprocNetwork(0)
+	s := NewSupervisor(SupervisorConfig{
+		Name:       "t/deferred",
+		Transport:  net,
+		Addr:       "late",
+		BackoffMin: time.Millisecond,
+		BackoffMax: 4 * time.Millisecond,
+		OnUp: func(c Conn) error {
+			c.Start(func(message.Message) {})
+			return nil
+		},
+	})
+	s.StartDeferred()
+	defer s.Stop()
+	time.Sleep(5 * time.Millisecond) // a few failed attempts
+	srv := &supListener{}
+	if _, err := net.Listen("late", srv.accept); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "deferred link up", func() bool { return s.Status().State == LinkUp })
+}
+
+func TestSupervisorOnUpErrorRetries(t *testing.T) {
+	net := NewInprocNetwork(0)
+	srv := &supListener{}
+	if _, err := net.Listen("picky", srv.accept); err != nil {
+		t.Fatal(err)
+	}
+	var calls atomic.Int64
+	s := NewSupervisor(SupervisorConfig{
+		Name:       "t/onup-error",
+		Transport:  net,
+		Addr:       "picky",
+		BackoffMin: time.Millisecond,
+		BackoffMax: 4 * time.Millisecond,
+		OnUp: func(c Conn) error {
+			if calls.Add(1) < 3 {
+				return errors.New("not ready")
+			}
+			c.Start(func(message.Message) {})
+			return nil
+		},
+	})
+	// First sync attempt fails bring-up: Start must surface it.
+	if err := s.Start(); err == nil || !strings.Contains(err.Error(), "not ready") {
+		t.Fatalf("Start = %v, want bring-up error", err)
+	}
+	// A deferred start keeps retrying until OnUp succeeds.
+	s.StartDeferred()
+	defer s.Stop()
+	waitUntil(t, "eventual bring-up", func() bool { return s.Status().State == LinkUp })
+	if calls.Load() < 3 {
+		t.Fatalf("OnUp called %d times, want >= 3", calls.Load())
+	}
+}

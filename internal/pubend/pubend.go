@@ -11,6 +11,7 @@
 package pubend
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
@@ -22,6 +23,27 @@ import (
 	"repro/internal/message"
 	"repro/internal/tick"
 	"repro/internal/vtime"
+)
+
+// The pubend persists a horizon record alongside its event log: the clock
+// lease (an upper bound on every virtual timestamp it has stamped or
+// asserted silence for) and the release-protocol floors. Without it, a
+// pubend whose log has been fully released and chopped — the steady state
+// of a healthy system — would recover with a zero clock and stamp new
+// events in the past, below the silence horizon it had already asserted;
+// downstream exactly-once cursors then discard those events forever, with
+// no gap and no nack. Virtual time is never exposed beyond the persisted
+// lease, so recovery restoring the clock to the lease can only move it
+// forward past everything the previous incarnation promised.
+const (
+	// leaseWindow is how far past current virtual time each horizon
+	// record extends the stamping lease. It bounds both the virtual time
+	// skipped by a crash-restart and the horizon write rate (one write
+	// per leaseMargin of virtual time under steady load).
+	leaseWindow = vtime.Timestamp(2 * time.Second / time.Microsecond)
+	leaseMargin = leaseWindow / 2
+
+	horizonRecLen = 32 // lease, loss, released, latestDelivered — 8 bytes each
 )
 
 // Policy is an early-release policy: it decides how far the loss horizon
@@ -94,8 +116,10 @@ type Pubend struct {
 
 	mu      sync.Mutex
 	stream  *logvol.Stream
+	horizon *logvol.Stream               // persisted clock lease + release floors
 	index   []entry                      // (ts, log index) in ascending ts order, above loss
 	pending map[vtime.Timestamp]struct{} // publishes still being logged
+	lease   vtime.Timestamp              // persisted bound on exposed virtual time
 	loss    vtime.Timestamp              // L prefix: everything <= loss is lost
 	emitted vtime.Timestamp              // knowledge published downstream up to here
 
@@ -127,12 +151,17 @@ func New(opts Options) (*Pubend, error) {
 	if err != nil {
 		return nil, fmt.Errorf("pubend log: %w", err)
 	}
+	horizon, err := opts.Volume.Stream("pubend/" + strconv.FormatUint(uint64(opts.ID), 10) + "/horizon")
+	if err != nil {
+		return nil, fmt.Errorf("pubend horizon log: %w", err)
+	}
 	p := &Pubend{
-		id:     opts.ID,
-		clock:  opts.Clock,
-		policy: opts.Policy,
-		opts:   opts,
-		stream: stream,
+		id:      opts.ID,
+		clock:   opts.Clock,
+		policy:  opts.Policy,
+		opts:    opts,
+		stream:  stream,
+		horizon: horizon,
 	}
 	if err := p.recover(); err != nil {
 		return nil, err
@@ -140,8 +169,21 @@ func New(opts Options) (*Pubend, error) {
 	return p, nil
 }
 
-// recover rebuilds the in-memory timestamp index from the log.
+// recover rebuilds the in-memory timestamp index from the log and restores
+// the clock lease and release floors from the last horizon record.
 func (p *Pubend) recover() error {
+	if last := p.horizon.LastIndex(); last != logvol.NilIndex {
+		payload, err := p.horizon.Read(last)
+		if err != nil {
+			return fmt.Errorf("pubend horizon recover: %w", err)
+		}
+		if len(payload) >= horizonRecLen {
+			p.lease = vtime.Timestamp(binary.BigEndian.Uint64(payload))
+			p.loss = vtime.Timestamp(binary.BigEndian.Uint64(payload[8:]))
+			p.released = vtime.Timestamp(binary.BigEndian.Uint64(payload[16:]))
+			p.latestDelivered = vtime.Timestamp(binary.BigEndian.Uint64(payload[24:]))
+		}
+	}
 	var scanErr error
 	err := p.stream.ForEach(func(idx logvol.Index, payload []byte) bool {
 		ev, _, derr := message.DecodeEvent(payload)
@@ -158,19 +200,59 @@ func (p *Pubend) recover() error {
 	if scanErr != nil {
 		return fmt.Errorf("pubend recover: %w", scanErr)
 	}
+	sort.Slice(p.index, func(i, j int) bool { return p.index[i].ts < p.index[j].ts })
+	// A crash between the horizon write and the chop it announced leaves
+	// events at or below the persisted loss horizon in the log; finish
+	// the chop now so they stay invisible.
+	if cut := sort.Search(len(p.index), func(i int) bool { return p.index[i].ts > p.loss }); cut > 0 {
+		if cerr := p.stream.Chop(p.index[cut-1].idx); cerr != nil {
+			return fmt.Errorf("pubend recover chop: %w", cerr)
+		}
+		p.index = append(p.index[:0], p.index[cut:]...)
+	}
+	var lastTS vtime.Timestamp
 	if n := len(p.index); n > 0 {
-		last := p.index[n-1].ts
-		p.clock.Restore(last)
-		p.emitted = last
-		if p.stream.FirstLiveIndex() > 1 {
-			// The log was chopped before the crash. The exact loss
-			// horizon was not persisted, so adopt the conservative
-			// bound "everything before the first live event": ticks
-			// below it may have been lost.
+		lastTS = p.index[n-1].ts
+		p.emitted = lastTS
+		if p.stream.FirstLiveIndex() > 1 && p.horizon.LastIndex() == logvol.NilIndex {
+			// The log was chopped by a build that did not persist
+			// horizon records, so adopt the conservative bound
+			// "everything before the first live event": ticks below
+			// it may have been lost.
 			p.released = p.index[0].ts - 1
 			p.loss = p.released
 			p.latestDelivered = p.released
 		}
+	}
+	if p.loss > p.emitted {
+		p.emitted = p.loss
+	}
+	// Restore virtual time above every timestamp the previous incarnation
+	// may have exposed: logged events and the persisted lease, which
+	// bounds all silence assertions.
+	p.clock.Restore(vtime.MaxOfTS(lastTS, p.lease))
+	return nil
+}
+
+// persistHorizonLocked writes a horizon record extending the clock lease
+// to newLease and recording the current release floors. Caller holds p.mu.
+func (p *Pubend) persistHorizonLocked(newLease vtime.Timestamp) error {
+	if newLease < p.lease {
+		newLease = p.lease
+	}
+	var buf [horizonRecLen]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(newLease))
+	binary.BigEndian.PutUint64(buf[8:], uint64(p.loss))
+	binary.BigEndian.PutUint64(buf[16:], uint64(p.released))
+	binary.BigEndian.PutUint64(buf[24:], uint64(p.latestDelivered))
+	idx, err := p.horizon.Append(buf[:])
+	if err != nil {
+		return fmt.Errorf("pubend horizon: %w", err)
+	}
+	p.lease = newLease
+	if idx > 1 {
+		// Only the latest record matters; reclaim the rest.
+		p.horizon.Chop(idx - 1) //nolint:errcheck,gosec // space reclaim only; the record above is durable
 	}
 	return nil
 }
@@ -192,6 +274,14 @@ func (p *Pubend) Publish(attrs message.Event) (*message.Event, error) {
 	}
 	p.mu.Lock()
 	ev.Timestamp = p.clock.Next()
+	if ev.Timestamp+leaseMargin > p.lease {
+		if err := p.persistHorizonLocked(ev.Timestamp + leaseWindow); err != nil && ev.Timestamp > p.lease {
+			// Never stamp beyond the persisted lease: a crash-restart
+			// would reuse the timestamp range.
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
 	// Mark the tick in-flight so Drain does not emit knowledge past an
 	// event that is still being forced to disk: the paper's PHB delivers
 	// an event downstream only after it is logged.
@@ -246,6 +336,13 @@ func (p *Pubend) Drain() (*message.Knowledge, vtime.Timestamp) {
 	for ts := range p.pending {
 		if ts-1 < now {
 			now = ts - 1
+		}
+	}
+	if now+leaseMargin > p.lease {
+		if err := p.persistHorizonLocked(now + leaseWindow); err != nil && now > p.lease {
+			// Never assert silence beyond the persisted lease: a
+			// crash-restart could stamp events inside the range.
+			now = p.lease
 		}
 	}
 	if now <= p.emitted {
@@ -362,6 +459,12 @@ func (p *Pubend) UpdateRelease(released, latestDelivered vtime.Timestamp) (vtime
 		return p.loss, nil
 	}
 	p.loss = horizon
+	// Persist the new loss horizon before chopping: recovery must never
+	// see a chopped log with a stale loss floor, or a fully released
+	// (hence fully chopped) pubend would restart with a zero clock.
+	if err := p.persistHorizonLocked(p.lease); err != nil {
+		return p.loss, err
+	}
 	// Chop the log below the horizon.
 	cut := sort.Search(len(p.index), func(i int) bool { return p.index[i].ts > horizon })
 	if cut > 0 {

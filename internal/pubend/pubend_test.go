@@ -448,3 +448,150 @@ func TestDrainAndNackCoverageQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A fully released pubend chops its whole log — the steady state of a
+// healthy system. Recovery must still restore virtual time above the
+// pre-crash horizon: new events stamped in the past would be silently
+// discarded by downstream exactly-once cursors (no gap, no nack).
+func TestRecoveryAfterFullChopKeepsClockMonotone(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Options{ID: 1, Volume: vol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last vtime.Timestamp
+	for i := 0; i < 10; i++ {
+		ev, perr := p.Publish(testEvent("e"))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		last = ev.Timestamp
+	}
+	p.Drain()
+	if _, err := p.UpdateRelease(last, last); err != nil {
+		t.Fatal(err)
+	}
+	if p.EventCount() != 0 {
+		t.Fatalf("EventCount after full release = %d, want 0", p.EventCount())
+	}
+	horizon := p.Now()
+	vol.Close() //nolint:errcheck
+
+	vol2, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close() //nolint:errcheck
+	// A fresh default clock restarts at zero; recovery must lift it.
+	p2, err := New(Options{ID: 1, Volume: vol2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p2.Publish(testEvent("post"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Timestamp <= horizon {
+		t.Fatalf("post-recovery timestamp %d not above pre-crash horizon %d", ev.Timestamp, horizon)
+	}
+	if p2.LossHorizon() < last {
+		t.Errorf("recovered loss horizon %d below released prefix %d", p2.LossHorizon(), last)
+	}
+	if p2.Released() < last {
+		t.Errorf("recovered released %d below persisted floor %d", p2.Released(), last)
+	}
+}
+
+// Drain documents that no event will ever be stamped at or below the
+// drained horizon; that promise must hold across a crash-restart even
+// when the log holds no events at all (pure silence).
+func TestRecoveryKeepsDrainedSilenceHorizon(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Options{ID: 1, Volume: vol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond) // let virtual time advance past zero
+	_, drained := p.Drain()
+	if drained == 0 {
+		t.Fatal("Drain did not advance")
+	}
+	vol.Close() //nolint:errcheck
+
+	vol2, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close() //nolint:errcheck
+	p2, err := New(Options{ID: 1, Volume: vol2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := p2.Publish(testEvent("post"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Timestamp <= drained {
+		t.Fatalf("post-recovery timestamp %d at or below drained silence horizon %d", ev.Timestamp, drained)
+	}
+}
+
+// A crash after the horizon record is written but before the announced
+// chop lands must not resurrect the released prefix.
+func TestRecoveryFinishesAnnouncedChop(t *testing.T) {
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Options{ID: 1, Volume: vol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tss []vtime.Timestamp
+	for i := 0; i < 6; i++ {
+		ev, perr := p.Publish(testEvent("e"))
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		tss = append(tss, ev.Timestamp)
+	}
+	p.Drain()
+	// Write the horizon record by hand, simulating a crash between it
+	// and the chop it announces.
+	p.mu.Lock()
+	p.loss = tss[3]
+	err = p.persistHorizonLocked(p.lease)
+	p.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vol.Close() //nolint:errcheck
+
+	vol2, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close() //nolint:errcheck
+	p2, err := New(Options{ID: 1, Volume: vol2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.EventCount() != 2 {
+		t.Fatalf("recovered EventCount = %d, want 2 (chop finished)", p2.EventCount())
+	}
+	if p2.LossHorizon() != tss[3] {
+		t.Errorf("recovered loss horizon %d, want %d", p2.LossHorizon(), tss[3])
+	}
+	if _, err := p2.ReadEvent(tss[1]); err == nil {
+		t.Error("chopped event still readable after recovery")
+	}
+}
