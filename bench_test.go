@@ -99,6 +99,44 @@ func BenchmarkMultiPubendThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkDurableThroughput measures fully durable publish throughput at
+// ≥8 concurrent publishers under the two durability regimes: "always" (one
+// fsync per acked event — the paper's forced-log PHB) and "group" (the
+// group-commit pipeline: batched appends, one fsync per batch). The
+// headline numbers are events/s and fsyncs/event; group commit must come
+// in well below 1 fsync/event. Each run also closes and recovers the
+// volume, failing if any acked publish was lost. Results land in
+// BENCH_5.json.
+func BenchmarkDurableThroughput(b *testing.B) {
+	const publishers, events = 8, 150
+	for i := 0; i < b.N; i++ {
+		combined := make(map[string]*experiment.DurableThroughputResult, 2)
+		for _, mode := range []string{"always", "group"} {
+			res, err := experiment.RunDurableThroughput(b.TempDir(), experiment.DurableThroughputParams{
+				Publishers: publishers,
+				Events:     events,
+				Mode:       mode,
+				// A short linger guarantees batching even on disks whose
+				// fsync is faster than the publishers' enqueue rate (CI
+				// tmpfs); on a real disk the fsync itself is the window.
+				GroupMaxDelay: 500 * time.Microsecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			combined[mode] = res
+			prefix := mode + "_"
+			b.ReportMetric(res.EventsPerSec, prefix+"events/s")
+			b.ReportMetric(res.FsyncsPerEvent, prefix+"fsyncs/event")
+		}
+		if g := combined["group"]; g.FsyncsPerEvent >= 1 {
+			b.Fatalf("group commit issued %.3f fsyncs/event at %d publishers; expected well below 1",
+				g.FsyncsPerEvent, publishers)
+		}
+		writeBenchJSON(b, "5", combined)
+	}
+}
+
 // BenchmarkSHBScalability is E2 (figure 4): aggregate delivery rate as
 // SHBs are added, with and without subscriber churn. The paper scales
 // 20K→79.2K ev/s (no churn) and 17.6K→69.6K (churn) over 1→4 SHBs.

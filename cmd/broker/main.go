@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/logvol"
 	"repro/internal/overlay"
 	"repro/internal/pubend"
 	"repro/internal/vtime"
@@ -52,21 +53,37 @@ func run() error {
 		tick       = flag.Duration("tick", 5*time.Millisecond, "housekeeping interval")
 		maxRetain  = flag.Duration("max-retain", 0, "early-release retention bound (0 = retain until released)")
 		syncEvery  = flag.Bool("sync-publish", false, "fsync the event log on every publish")
+		pubendSync = flag.String("pubend-sync", "explicit", "pubend log durability: explicit (fsync only on request), group (batch concurrent publishes under one fsync), or always (fsync every append)")
+		linger     = flag.Duration("group-linger", 0, "max time a group commit waits for more publishes before fsyncing (0 = none)")
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (empty = disabled)")
 		shards     = flag.Int("shards", 0, "event-loop shard count (0 = GOMAXPROCS, 1 = serialized)")
 	)
 	flag.Parse()
 
+	var syncPolicy logvol.SyncPolicy
+	switch *pubendSync {
+	case "explicit":
+		syncPolicy = logvol.SyncExplicit
+	case "group":
+		syncPolicy = logvol.SyncGroup
+	case "always":
+		syncPolicy = logvol.SyncAlways
+	default:
+		return fmt.Errorf("-pubend-sync: unknown policy %q (want explicit, group, or always)", *pubendSync)
+	}
+
 	cfg := broker.Config{
-		Name:         *name,
-		DataDir:      *dataDir,
-		Transport:    overlay.TCPTransport{},
-		ListenAddr:   *listen,
-		UpstreamAddr: *upstream,
-		EnableSHB:    *shb,
-		TickInterval: *tick,
-		AdminAddr:    *admin,
-		Shards:       *shards,
+		Name:                *name,
+		DataDir:             *dataDir,
+		Transport:           overlay.TCPTransport{},
+		ListenAddr:          *listen,
+		UpstreamAddr:        *upstream,
+		EnableSHB:           *shb,
+		TickInterval:        *tick,
+		AdminAddr:           *admin,
+		Shards:              *shards,
+		PubendSync:          syncPolicy,
+		GroupCommitMaxDelay: *linger,
 	}
 	var policy pubend.Policy
 	if *maxRetain > 0 {

@@ -136,6 +136,22 @@ type Config struct {
 	// reproduces the original fully serialized single-loop broker.
 	Shards int
 
+	// PubendSync selects the durability policy of the pubend event log.
+	// logvol.SyncGroup runs the volume's group-commit pipeline: every
+	// publish is durable before its ack, but concurrent publishers share
+	// fsyncs (batched writes, one fsync per batch). Zero means
+	// logvol.SyncExplicit — the historical default, where durability per
+	// publish is governed by each pubend's SyncEveryPublish flag.
+	PubendSync logvol.SyncPolicy
+	// GroupCommitMaxBytes caps the payload bytes per group-commit batch
+	// when PubendSync is SyncGroup (0 = 1 MiB).
+	GroupCommitMaxBytes int
+	// GroupCommitMaxDelay makes the commit loop linger up to this long
+	// to let concurrent publishers join a batch when PubendSync is
+	// SyncGroup (0 = no linger; the fsync in flight is the batching
+	// window).
+	GroupCommitMaxDelay time.Duration
+
 	// AdminAddr, when non-empty, binds the admin HTTP endpoint there:
 	// /metrics (Prometheus text format over the process-wide telemetry
 	// registry), /healthz, /readyz, and /debug/pprof/. Use
@@ -460,7 +476,11 @@ func (b *Broker) openState() error {
 		}
 	}
 	if len(cfg.HostedPubends) > 0 {
-		vol, err := logvol.Open(filepath.Join(cfg.DataDir, "pubends.log"), logvol.Options{})
+		vol, err := logvol.Open(filepath.Join(cfg.DataDir, "pubends.log"), logvol.Options{
+			Sync:          cfg.PubendSync,
+			GroupMaxBytes: cfg.GroupCommitMaxBytes,
+			GroupMaxDelay: cfg.GroupCommitMaxDelay,
+		})
 		if err != nil {
 			return err
 		}

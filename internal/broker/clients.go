@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/message"
+	"repro/internal/pubend"
 	"repro/internal/vtime"
 )
 
@@ -11,7 +12,11 @@ import (
 // acknowledges the publisher. It runs on the publisher connection's
 // dispatch goroutine — pubends are thread-safe and this keeps the paper's
 // "event is logged once, at the PHB, before anything else happens" on the
-// shortest path.
+// shortest path. The publish is pipelined: the ack is sent from the
+// completion callback once the event is durably logged, so on a
+// group-commit volume the connection goroutine is free to start logging
+// the next publish while this one's fsync is in flight. Acks may therefore
+// complete out of order; the client matches them by token.
 func (b *Broker) handlePublish(link *downLink, pub *message.Publish) {
 	pe := b.pickPubend(pub.PubendHint)
 	if pe == nil {
@@ -20,23 +25,28 @@ func (b *Broker) handlePublish(link *downLink, pub *message.Publish) {
 		return
 	}
 	pubStart := time.Now()
-	ev, err := pe.Publish(message.Event{Attrs: pub.Attrs, Payload: pub.Payload})
-	ack := &message.PublishAck{Token: pub.Token}
-	if err == nil {
-		ack.Pubend = ev.Pubend
-		ack.Timestamp = ev.Timestamp
-		tPublishes.Inc()
-		tPublishSeconds.ObserveDuration(time.Since(pubStart))
-	}
-	link.conn.Send(ack) //nolint:errcheck,gosec // reply failure == dead link
+	token := pub.Token
+	conn := link.conn
+	res := pe.PublishAsync(message.Event{Attrs: pub.Attrs, Payload: pub.Payload})
+	res.OnDone(func(ev *message.Event, err error) {
+		// Runs on the volume committer's dispatcher (group commit) or
+		// inline (synchronous policies). conn.Send only enqueues, so the
+		// callback never blocks the commit pipeline.
+		ack := &message.PublishAck{Token: token}
+		if err == nil {
+			ack.Pubend = ev.Pubend
+			ack.Timestamp = ev.Timestamp
+			tPublishes.Inc()
+			tPublishSeconds.ObserveDuration(time.Since(pubStart))
+		}
+		conn.Send(ack) //nolint:errcheck,gosec // reply failure == dead link
+	})
 }
 
 // pickPubend selects the hosted pubend for a publish: the hint when it is
 // hosted here, round-robin otherwise (the paper assigns events to pubends
 // "based on some criteria such as the identity of the publisher").
-func (b *Broker) pickPubend(hint vtime.PubendID) interface {
-	Publish(message.Event) (*message.Event, error)
-} {
+func (b *Broker) pickPubend(hint vtime.PubendID) *pubend.Pubend {
 	if pe, ok := b.pubends[hint]; ok {
 		return pe
 	}

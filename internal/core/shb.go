@@ -105,6 +105,11 @@ type SHB struct {
 	subs    map[vtime.SubscriberID]*subscriber
 	dirty   bool // persistent state (released/LD) pending a Tick commit
 
+	// matchBuf is the reusable per-event match-result buffer; the engine
+	// is serialized by mu, and neither the PFS nor delivery retains the
+	// slice, so one buffer serves every constream advance.
+	matchBuf []vtime.SubscriberID
+
 	// Statistics.
 	stats Stats
 }
@@ -453,7 +458,8 @@ func (s *SHB) advanceConstream(ps *shbPubend) {
 			dh = ts - 1
 			break
 		}
-		matched := s.matcher.Match(ev.Attrs)
+		s.matchBuf = s.matcher.MatchAppend(s.matchBuf[:0], ev.Attrs)
+		matched := s.matchBuf
 		// PFS first — delivery to the PFS must complete before the
 		// tick is considered delivered. Skip timestamps the PFS
 		// already has (constream replay after a crash).

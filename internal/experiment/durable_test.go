@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRunDurableThroughputShape(t *testing.T) {
+	for _, mode := range []string{"always", "group"} {
+		res, err := RunDurableThroughput(t.TempDir(), DurableThroughputParams{
+			Publishers:    4,
+			Events:        30,
+			Mode:          mode,
+			GroupMaxDelay: 200 * time.Microsecond,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		total := 4 * 30
+		if res.Events != total || res.RecoveredEvents != total {
+			t.Fatalf("%s: events=%d recovered=%d, want %d", mode, res.Events, res.RecoveredEvents, total)
+		}
+		if res.EventsPerSec <= 0 || res.Fsyncs <= 0 {
+			t.Fatalf("%s: degenerate result %+v", mode, res)
+		}
+	}
+	if _, err := RunDurableThroughput(t.TempDir(), DurableThroughputParams{Mode: "bogus"}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+}
+
+// TestDurableThroughputAmortization pins the acceptance property on the
+// group path: at several concurrent publishers, group commit issues
+// measurably fewer fsyncs per acked event than forced logging.
+func TestDurableThroughputAmortization(t *testing.T) {
+	group, err := RunDurableThroughput(t.TempDir(), DurableThroughputParams{
+		Publishers:    8,
+		Events:        40,
+		Mode:          "group",
+		GroupMaxDelay: 300 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if group.FsyncsPerEvent >= 0.75 {
+		t.Fatalf("group commit fsyncs/event = %.3f, expected well below 1 (amortization failed)",
+			group.FsyncsPerEvent)
+	}
+}

@@ -246,6 +246,46 @@ func TestMatcherBasics(t *testing.T) {
 	}
 }
 
+func TestMatcherMatchAppend(t *testing.T) {
+	m := NewMatcher()
+	m.Add(1, MustParse(`topic = "a"`))
+	m.Add(2, MustParse(`topic = "b"`))
+	m.Add(3, MustParse(`price > 10`))
+	m.Add(4, MustParse(`topic = "a" and price > 10`))
+
+	evA := Attributes{"topic": String("a"), "price": Int(20)}
+	evB := Attributes{"topic": String("b"), "price": Int(1)}
+
+	// MatchAppend(nil, ...) must equal Match.
+	if got, want := m.MatchAppend(nil, evA), m.Match(evA); len(got) != len(want) {
+		t.Fatalf("MatchAppend = %v, Match = %v", got, want)
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("MatchAppend = %v, Match = %v", got, want)
+			}
+		}
+	}
+
+	// Reusing the buffer across events must not leak results between
+	// calls, and only the appended region is sorted.
+	buf := m.MatchAppend(nil, evA)
+	buf = m.MatchAppend(buf[:0], evB)
+	if len(buf) != 1 || buf[0] != 2 {
+		t.Fatalf("reused MatchAppend = %v, want [2]", buf)
+	}
+
+	// Appending after a non-empty prefix preserves the prefix.
+	prefix := []vtime.SubscriberID{99}
+	out := m.MatchAppend(prefix, evA)
+	if out[0] != 99 {
+		t.Fatalf("MatchAppend clobbered prefix: %v", out)
+	}
+	if len(out) != 4 || out[1] != 1 || out[2] != 3 || out[3] != 4 {
+		t.Fatalf("MatchAppend with prefix = %v, want [99 1 3 4]", out)
+	}
+}
+
 func TestMatcherRemoveAndReplace(t *testing.T) {
 	m := NewMatcher()
 	m.Add(1, MustParse(`topic = "a"`))

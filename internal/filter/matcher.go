@@ -130,23 +130,32 @@ func (m *Matcher) IDs() []vtime.SubscriberID {
 // Match returns the IDs of all subscriptions matching attrs, sorted
 // ascending (a deterministic order keeps PFS records and tests stable).
 func (m *Matcher) Match(attrs Attributes) []vtime.SubscriberID {
+	return m.MatchAppend(nil, attrs)
+}
+
+// MatchAppend appends the IDs of all subscriptions matching attrs to dst
+// and returns the extended slice; the appended region is sorted ascending.
+// Passing a reused buffer (dst[:0]) makes per-event matching allocation-free
+// on the broker fan-out path.
+func (m *Matcher) MatchAppend(dst []vtime.SubscriberID, attrs Attributes) []vtime.SubscriberID {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	var out []vtime.SubscriberID
+	start := len(dst)
 	for attr, val := range attrs {
 		for _, id := range m.byKey[indexKey{attr: attr, val: val.Key()}] {
 			if m.subs[id].Matches(attrs) {
-				out = append(out, id)
+				dst = append(dst, id)
 			}
 		}
 	}
 	for _, id := range m.linear {
 		if m.subs[id].Matches(attrs) {
-			out = append(out, id)
+			dst = append(dst, id)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	tail := dst[start:]
+	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
+	return dst
 }
 
 // MatchesAny reports whether at least one registered subscription matches;

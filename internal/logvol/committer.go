@@ -1,0 +1,456 @@
+package logvol
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Group-commit instruments (process-wide; see internal/telemetry).
+var (
+	tCommitBatch = telemetry.Default().Histogram("gryphon_logvol_commit_batch_size",
+		"Records written per group-commit batch (one fsync each).", telemetry.SizeBuckets)
+	tCommitWait = telemetry.Default().DurationHistogram("gryphon_logvol_commit_wait_seconds",
+		"Time from append enqueue to durable completion under group commit.",
+		telemetry.FastBuckets)
+	tGroupCommits = telemetry.Default().Counter("gryphon_logvol_group_commits_total",
+		"Group-commit batches flushed.")
+	tSyncsAmortized = telemetry.Default().Counter("gryphon_logvol_fsyncs_amortized_total",
+		"Sync requests satisfied by an fsync issued on behalf of another request.")
+)
+
+// Gate coalesces fsync requests over one monotonically written file:
+// writers obtain a sequence number per write, and Sync guarantees an fsync
+// covering that sequence has completed, letting concurrent callers share a
+// single fsync (classic group commit). The volume Committer, explicit
+// Volume.Sync callers, and the metastore WAL all ride the same gate logic.
+//
+// The zero Gate is ready to use.
+type Gate struct {
+	mu      sync.Mutex
+	flushed int64         // highest sequence covered by a completed sync
+	busy    bool          // a sync is in flight
+	done    chan struct{} // closed when the in-flight sync finishes
+}
+
+// Sync ensures an fsync covering seq has completed. top reports the current
+// written sequence (called without the gate lock, just before the fsync, so
+// the flush covers everything written up to that instant); fsync performs
+// the actual synchronization. The returned bool reports whether this call
+// issued the fsync itself — false means it was amortized onto another
+// caller's flush. Callers whose sync fails observe the error; waiters simply
+// retry leadership, so one failed leader does not poison the gate.
+func (g *Gate) Sync(seq int64, top func() int64, fsync func() error) (bool, error) {
+	g.mu.Lock()
+	for {
+		if g.flushed >= seq {
+			g.mu.Unlock()
+			return false, nil
+		}
+		if !g.busy {
+			break
+		}
+		ch := g.done
+		g.mu.Unlock()
+		<-ch
+		g.mu.Lock()
+	}
+	g.busy = true
+	g.done = make(chan struct{})
+	g.mu.Unlock()
+
+	target := top()
+	err := fsync()
+
+	g.mu.Lock()
+	if err == nil && target > g.flushed {
+		g.flushed = target
+	}
+	close(g.done)
+	g.busy = false
+	g.mu.Unlock()
+	return true, err
+}
+
+// Cover marks sequences up to seq as flushed without an fsync; callers use
+// it after a synchronization that happened outside the gate (a SyncAlways
+// append, a compaction that rewrote and synced the whole file).
+func (g *Gate) Cover(seq int64) {
+	g.mu.Lock()
+	if seq > g.flushed {
+		g.flushed = seq
+	}
+	g.mu.Unlock()
+}
+
+// Ticket is the completion handle of one asynchronous append (or sync
+// barrier): it resolves once the record is on stable storage — the covering
+// fsync has returned — or with the append's error.
+type Ticket struct {
+	done chan struct{}
+	enq  time.Time
+
+	mu        sync.Mutex
+	idx       Index
+	err       error
+	completed bool
+	cb        func(Index, error)
+}
+
+// Done returns a channel closed when the ticket resolves. The channel is
+// closed by the commit loop itself (never by a callback), so waiting on it
+// while holding locks that completion callbacks also take cannot deadlock.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Result blocks until the ticket resolves and returns the assigned index
+// and error.
+func (t *Ticket) Result() (Index, error) {
+	<-t.done
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.idx, t.err
+}
+
+// OnDone registers fn to run when the ticket resolves (immediately, on the
+// caller's goroutine, if it already has). Callbacks run on the committer's
+// dispatch goroutine — off the commit loop, so they may block on locks the
+// enqueueing code holds while waiting on other tickets. Only one callback
+// may be registered.
+func (t *Ticket) OnDone(fn func(Index, error)) {
+	t.mu.Lock()
+	if t.completed {
+		idx, err := t.idx, t.err
+		t.mu.Unlock()
+		fn(idx, err)
+		return
+	}
+	t.cb = fn
+	t.mu.Unlock()
+}
+
+// resolve publishes the outcome and closes the done channel; the registered
+// callback, if any, is handed to dispatch (the committer's dispatcher, or a
+// run-inline func for tickets completed synchronously).
+func (t *Ticket) resolve(idx Index, err error, dispatch func(func())) {
+	t.mu.Lock()
+	t.idx, t.err = idx, err
+	t.completed = true
+	cb := t.cb
+	t.cb = nil
+	close(t.done)
+	t.mu.Unlock()
+	if cb != nil {
+		dispatch(func() { cb(idx, err) })
+	}
+}
+
+func runInline(fn func()) { fn() }
+
+// completedTicket returns an already-resolved ticket (non-group fallbacks,
+// enqueue-after-close failures).
+func completedTicket(idx Index, err error) *Ticket {
+	t := &Ticket{done: make(chan struct{})}
+	t.idx, t.err, t.completed = idx, err, true
+	close(t.done)
+	return t
+}
+
+// commitReq is one queued unit of group-commit work: an append (stream set)
+// or a pure sync barrier (stream nil).
+type commitReq struct {
+	s       *Stream
+	payload []byte
+	t       *Ticket
+}
+
+// Committer is the per-volume group-commit loop: appenders enqueue
+// (payload, ticket) pairs, and a single goroutine drains the queue, writes
+// every pending append back-to-back with one WriteAt, issues one fsync for
+// the whole batch through the volume's gate, and then resolves every
+// waiter — so N concurrent durable appenders pay ~1/N of an fsync each.
+// Batches are bounded by maxBytes and an optional linger delay.
+type Committer struct {
+	v        *Volume
+	maxBytes int
+	maxDelay time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []commitReq
+	pending int // queued payload bytes
+	closed  bool
+	done    chan struct{}
+
+	// Completion callbacks run on a dedicated dispatcher, never on the
+	// commit loop: a callback may take a lock held by code that is
+	// blocked waiting on another ticket's Done channel, and the commit
+	// loop must stay free to resolve that ticket.
+	cbMu   sync.Mutex
+	cbCond *sync.Cond
+	cbq    []func()
+	cbDone chan struct{}
+}
+
+const defaultGroupMaxBytes = 1 << 20
+
+func newCommitter(v *Volume, maxBytes int, maxDelay time.Duration) *Committer {
+	if maxBytes <= 0 {
+		maxBytes = defaultGroupMaxBytes
+	}
+	c := &Committer{
+		v:        v,
+		maxBytes: maxBytes,
+		maxDelay: maxDelay,
+		done:     make(chan struct{}),
+		cbDone:   make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	c.cbCond = sync.NewCond(&c.cbMu)
+	go c.loop()
+	go c.dispatchLoop()
+	return c
+}
+
+// enqueue queues one append (or, with s == nil, a sync barrier). The
+// payload must stay untouched until the ticket resolves.
+func (c *Committer) enqueue(s *Stream, payload []byte) *Ticket {
+	t := &Ticket{done: make(chan struct{}), enq: time.Now()}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		t.resolve(NilIndex, ErrClosed, runInline)
+		return t
+	}
+	c.queue = append(c.queue, commitReq{s: s, payload: payload, t: t})
+	c.pending += len(payload)
+	c.cond.Signal()
+	c.mu.Unlock()
+	return t
+}
+
+// dispatch hands a completion callback to the dispatcher goroutine.
+func (c *Committer) dispatch(fn func()) {
+	c.cbMu.Lock()
+	c.cbq = append(c.cbq, fn)
+	c.cbCond.Signal()
+	c.cbMu.Unlock()
+}
+
+func (c *Committer) dispatchLoop() {
+	defer close(c.cbDone)
+	for {
+		c.cbMu.Lock()
+		for len(c.cbq) == 0 {
+			if c.loopExited() {
+				c.cbMu.Unlock()
+				return
+			}
+			c.cbCond.Wait()
+		}
+		q := c.cbq
+		c.cbq = nil
+		c.cbMu.Unlock()
+		for _, fn := range q {
+			fn()
+		}
+	}
+}
+
+// loopExited reports whether the commit loop has finished; it closes
+// c.done and broadcasts cbCond (under cbMu) on exit, so the dispatcher
+// cannot miss the transition.
+func (c *Committer) loopExited() bool {
+	select {
+	case <-c.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// loop drains batches until the committer closes and the queue empties.
+func (c *Committer) loop() {
+	defer func() {
+		close(c.done)
+		// Wake the dispatcher so it can observe shutdown.
+		c.cbMu.Lock()
+		c.cbCond.Broadcast()
+		c.cbMu.Unlock()
+	}()
+	for {
+		c.mu.Lock()
+		for len(c.queue) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.queue) == 0 && c.closed {
+			c.mu.Unlock()
+			return
+		}
+		batch, rest := splitBatch(c.queue, c.maxBytes)
+		c.queue = rest
+		c.pending = 0
+		for _, r := range rest {
+			c.pending += len(r.payload)
+		}
+		closing := c.closed
+		c.mu.Unlock()
+
+		if c.maxDelay > 0 && !closing && len(rest) == 0 {
+			// Linger: give concurrent appenders a bounded window to join
+			// this batch (the fsync itself is the other, implicit,
+			// batching window).
+			time.Sleep(c.maxDelay)
+			c.mu.Lock()
+			joined, rest2 := splitBatch(c.queue, c.maxBytes-batchBytes(batch))
+			c.queue = rest2
+			c.pending = 0
+			for _, r := range rest2 {
+				c.pending += len(r.payload)
+			}
+			c.mu.Unlock()
+			batch = append(batch, joined...)
+		}
+		c.commit(batch)
+	}
+}
+
+func batchBytes(batch []commitReq) int {
+	n := 0
+	for _, r := range batch {
+		n += len(r.payload)
+	}
+	return n
+}
+
+// splitBatch takes the longest queue prefix within maxBytes (always at
+// least one request, so an oversized record still commits alone).
+func splitBatch(queue []commitReq, maxBytes int) (batch, rest []commitReq) {
+	bytes := 0
+	for i, r := range queue {
+		bytes += len(r.payload)
+		if i > 0 && bytes > maxBytes {
+			return queue[:i], queue[i:]
+		}
+	}
+	return queue, nil
+}
+
+// commit writes one batch back-to-back, fsyncs once through the volume
+// gate, and resolves every waiter. Acks happen strictly after the covering
+// fsync returns — the crash-consistency invariant of the pipeline.
+func (c *Committer) commit(batch []commitReq) {
+	v := c.v
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		for _, r := range batch {
+			r.t.resolve(NilIndex, ErrClosed, c.dispatch)
+		}
+		return
+	}
+	// Encode the whole batch into one contiguous buffer: one WriteAt per
+	// batch, not per record. Index assignment is tentative until the
+	// write succeeds; nothing in the stream tables mutates before then.
+	type placed struct {
+		req int
+		s   *Stream
+		idx Index
+		off int64
+	}
+	var (
+		buf     = v.batchBuf[:0]
+		places  []placed
+		next    map[*Stream]Index
+		base    = v.size
+		appends int64
+	)
+	for i := range batch {
+		r := &batch[i]
+		if r.s == nil {
+			continue
+		}
+		if next == nil {
+			next = make(map[*Stream]Index, 4)
+		}
+		idx, ok := next[r.s]
+		if !ok {
+			idx = r.s.next
+		}
+		next[r.s] = idx + 1
+		places = append(places, placed{req: i, s: r.s, idx: idx, off: base + int64(len(buf))})
+		buf = appendRecord(buf, r.s.id, idx, r.payload)
+		appends++
+	}
+	if len(buf) > 0 {
+		if _, err := v.f.WriteAt(buf, base); err != nil {
+			v.mu.Unlock()
+			werr := wrapErr("logvol append", err)
+			for _, r := range batch {
+				r.t.resolve(NilIndex, werr, c.dispatch)
+			}
+			return
+		}
+		v.size += int64(len(buf))
+		v.bytesAppended += int64(len(buf))
+		v.seq++
+		tAppendBytes.Add(int64(len(buf)))
+		tAppends.Add(appends)
+		for _, p := range places {
+			p.s.next = p.idx + 1
+			p.s.offsets[p.idx] = p.off
+		}
+	}
+	seq := v.seq
+	if cap(buf) <= maxRetainedBuf {
+		v.batchBuf = buf[:0]
+	}
+	v.mu.Unlock()
+
+	issued, err := v.gate.Sync(seq, v.curSeq, v.fsyncFile)
+	if err == nil && !issued {
+		tSyncsAmortized.Inc()
+	}
+	tGroupCommits.Inc()
+	tCommitBatch.Observe(appends)
+
+	now := time.Now()
+	for i := range batch {
+		r := &batch[i]
+		if !r.enqZero() {
+			tCommitWait.ObserveDuration(now.Sub(r.t.enq))
+		}
+		if r.s == nil {
+			r.t.resolve(NilIndex, err, c.dispatch)
+			continue
+		}
+		if err != nil {
+			// The write happened but durability failed: the record may
+			// or may not survive a crash, so the append must not be
+			// acked as durable.
+			r.t.resolve(NilIndex, err, c.dispatch)
+			continue
+		}
+		var idx Index
+		for _, p := range places {
+			if p.req == i {
+				idx = p.idx
+				break
+			}
+		}
+		r.t.resolve(idx, nil, c.dispatch)
+	}
+}
+
+func (r *commitReq) enqZero() bool { return r.t.enq.IsZero() }
+
+// shutdown stops accepting new work (late enqueuers get ErrClosed), flushes
+// everything already queued, and waits for both goroutines to exit.
+func (c *Committer) shutdown() {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	<-c.done
+	<-c.cbDone
+}

@@ -1,0 +1,434 @@
+package logvol
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func (v *Volume) setSyncHook(hook func()) {
+	v.mu.Lock()
+	v.testSyncHook = hook
+	v.mu.Unlock()
+}
+
+// TestGroupCommitAppendReadBack checks the basic contract: concurrent
+// appends on a SyncGroup volume all land, read back intact, and survive a
+// reopen.
+func TestGroupCommitAppendReadBack(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.Stream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				payload := []byte(fmt.Sprintf("writer-%d-event-%d", w, i))
+				if _, err := s.Append(payload); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("append: %v", err)
+	}
+
+	if got := s.Len(); got != writers*perWriter {
+		t.Fatalf("live records = %d, want %d", got, writers*perWriter)
+	}
+	var n int
+	if err := s.ForEach(func(idx Index, payload []byte) bool {
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != writers*perWriter {
+		t.Fatalf("ForEach visited %d records, want %d", n, writers*perWriter)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	v2, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v2.Close() //nolint:errcheck
+	s2, err := v2.LookupStream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Len(); got != writers*perWriter {
+		t.Fatalf("after reopen: live records = %d, want %d", got, writers*perWriter)
+	}
+}
+
+// TestGroupCommitAmortizesFsyncs is the deterministic amortization proof:
+// with a slowed fsync and many concurrent durable appenders, the number of
+// fsyncs must come out far below the number of appends.
+func TestGroupCommitAmortizesFsyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close() //nolint:errcheck
+	s, err := v.Stream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.setSyncHook(func() { time.Sleep(2 * time.Millisecond) })
+
+	const writers, perWriter = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if _, err := s.Append([]byte("payload")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	appends := int64(writers * perWriter)
+	syncs := v.Syncs()
+	if syncs >= appends/2 {
+		t.Fatalf("group commit issued %d fsyncs for %d appends; expected heavy amortization", syncs, appends)
+	}
+	t.Logf("%d appends, %d fsyncs (%.3f fsyncs/append)", appends, syncs, float64(syncs)/float64(appends))
+}
+
+// TestGroupCommitTornTailRecovery simulates a crash after the batch write
+// but before its fsync: acked records must survive, the torn tail must be
+// dropped, and the recovered volume must accept new appends.
+func TestGroupCommitTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "vol.log")
+	v, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.Stream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 1: k acked (durable) records.
+	const acked = 10
+	for i := 0; i < acked; i++ {
+		if _, err := s.Append([]byte(fmt.Sprintf("acked-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	durableSize := v.Size()
+
+	// Phase 2: block the fsync and enqueue more appends. They are written
+	// to the file but never acked — the covering fsync cannot complete.
+	block := make(chan struct{})
+	blocked := make(chan struct{}, 4)
+	v.setSyncHook(func() {
+		blocked <- struct{}{}
+		<-block
+	})
+	const unacked = 5
+	tickets := make([]*Ticket, 0, unacked)
+	for i := 0; i < unacked; i++ {
+		tickets = append(tickets, s.AppendAsync([]byte(fmt.Sprintf("unacked-%d", i))))
+	}
+	// Wait until all unacked records are written (size grows) and the
+	// commit loop is wedged inside the fsync.
+	deadline := time.Now().Add(5 * time.Second)
+	for v.Size() <= durableSize {
+		if time.Now().After(deadline) {
+			t.Fatal("batch write never happened")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-blocked
+	for _, tk := range tickets {
+		select {
+		case <-tk.Done():
+			t.Fatal("append acked before its fsync returned")
+		default:
+		}
+	}
+
+	// Snapshot the file as the "crash image", torn mid-record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(data)) < v.Size() {
+		t.Fatalf("crash image %d bytes < volume size %d", len(data), v.Size())
+	}
+	data = data[:v.Size()-3] // tear the last record
+	crashPath := filepath.Join(dir, "crash.log")
+	if err := os.WriteFile(crashPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Let the original volume finish cleanly.
+	close(block)
+	v.setSyncHook(nil)
+	for _, tk := range tickets {
+		if _, err := tk.Result(); err != nil {
+			t.Fatalf("unacked append failed after unblock: %v", err)
+		}
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover the crash image: all acked records intact, torn tail gone.
+	cv, err := Open(crashPath, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cv.Close() //nolint:errcheck
+	cs, err := cv.LookupStream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := cs.Len()
+	if n < acked {
+		t.Fatalf("recovered %d records, lost acked data (want >= %d)", n, acked)
+	}
+	if n >= acked+unacked {
+		t.Fatalf("recovered %d records, torn tail not dropped (wrote %d)", n, acked+unacked)
+	}
+	for i := 0; i < acked; i++ {
+		payload, err := cs.Read(Index(i + 1))
+		if err != nil {
+			t.Fatalf("read acked record %d: %v", i+1, err)
+		}
+		if want := fmt.Sprintf("acked-%d", i); string(payload) != want {
+			t.Fatalf("record %d = %q, want %q", i+1, payload, want)
+		}
+	}
+	// The recovered volume must accept appends at the right index.
+	idx, err := cs.Append([]byte("post-crash"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx != Index(n+1) {
+		t.Fatalf("post-crash append got index %d, want %d", idx, n+1)
+	}
+}
+
+// TestCommitterConcurrentChopClose drives concurrent appenders against
+// Chop and a mid-flight Close: nothing may deadlock, every ticket must
+// resolve (success or ErrClosed), and the volume must reopen cleanly.
+// Run under -race in CI.
+func TestCommitterConcurrentChopClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := v.Stream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writers = 6
+	var (
+		wg       sync.WaitGroup
+		resolved atomic.Int64
+		badErr   atomic.Value
+	)
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tk := s.AppendAsync([]byte("concurrent payload"))
+				_, err := tk.Result()
+				resolved.Add(1)
+				if err != nil && !errors.Is(err, ErrClosed) {
+					badErr.Store(err)
+					return
+				}
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+			}
+		}()
+	}
+	// Chopper: repeatedly discard the stream prefix while appends fly.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			last := s.LastIndex()
+			if last > 2 {
+				if err := s.Chop(last - 2); err != nil && !errors.Is(err, ErrClosed) {
+					badErr.Store(err)
+					return
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	time.Sleep(20 * time.Millisecond)
+	if err := v.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	close(stop)
+
+	waitDone := make(chan struct{})
+	go func() { wg.Wait(); close(waitDone) }()
+	select {
+	case <-waitDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("deadlock: goroutines did not finish after Close")
+	}
+	if e := badErr.Load(); e != nil {
+		t.Fatalf("unexpected error: %v", e)
+	}
+	if resolved.Load() == 0 {
+		t.Fatal("no appends resolved before close")
+	}
+
+	v2, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatalf("reopen after concurrent close: %v", err)
+	}
+	defer v2.Close() //nolint:errcheck
+	s2, err := v2.LookupStream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.ForEach(func(idx Index, payload []byte) bool {
+		if string(payload) != "concurrent payload" {
+			t.Errorf("record %d corrupted: %q", idx, payload)
+		}
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTicketOnDone covers callback delivery both before and after
+// resolution, and the sync barrier ordering of Volume.Sync on a group
+// volume.
+func TestTicketOnDone(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{Sync: SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close() //nolint:errcheck
+	s, err := v.Stream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Callback registered before resolution fires exactly once with the
+	// assigned index.
+	got := make(chan Index, 1)
+	tk := s.AppendAsync([]byte("one"))
+	tk.OnDone(func(idx Index, err error) {
+		if err != nil {
+			t.Errorf("OnDone err: %v", err)
+		}
+		got <- idx
+	})
+	select {
+	case idx := <-got:
+		if idx != 1 {
+			t.Fatalf("OnDone idx = %d, want 1", idx)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDone callback never fired")
+	}
+
+	// Callback registered after resolution runs inline.
+	if _, err := tk.Result(); err != nil {
+		t.Fatal(err)
+	}
+	fired := false
+	tk.OnDone(func(idx Index, err error) { fired = true })
+	if !fired {
+		t.Fatal("OnDone after resolution did not run inline")
+	}
+
+	// Volume.Sync barriers behind queued appends: every ticket enqueued
+	// before the Sync must be resolved once Sync returns.
+	tickets := make([]*Ticket, 0, 10)
+	for i := 0; i < 10; i++ {
+		tickets = append(tickets, s.AppendAsync([]byte("barriered")))
+	}
+	if err := v.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range tickets {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatalf("ticket %d unresolved after Sync barrier", i)
+		}
+	}
+}
+
+// TestAppendAsyncFallback checks AppendAsync on a non-group volume: it
+// degrades to a synchronous append with an already-resolved ticket.
+func TestAppendAsyncFallback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "vol.log")
+	v, err := Open(path, Options{Sync: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Close() //nolint:errcheck
+	s, err := v.Stream("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk := s.AppendAsync([]byte("sync path"))
+	select {
+	case <-tk.Done():
+	default:
+		t.Fatal("fallback ticket not resolved synchronously")
+	}
+	idx, err := tk.Result()
+	if err != nil || idx != 1 {
+		t.Fatalf("fallback Result = (%d, %v), want (1, nil)", idx, err)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/telemetry"
 )
@@ -45,6 +46,11 @@ const (
 	// SyncAlways fsyncs after every append; models per-write forced
 	// logging.
 	SyncAlways
+	// SyncGroup makes every append durable before it is acknowledged, but
+	// amortizes the fsync: a per-volume Committer batches concurrent
+	// appends and issues one fsync for the whole batch (the group-commit
+	// regime of the paper's logger substrate).
+	SyncGroup
 )
 
 // Index identifies a record within one stream. Indexes are assigned
@@ -76,6 +82,14 @@ const (
 type Options struct {
 	// Sync selects the durability policy; zero value means SyncExplicit.
 	Sync SyncPolicy
+	// GroupMaxBytes caps the payload bytes batched into one group commit
+	// (SyncGroup only); zero means 1 MiB.
+	GroupMaxBytes int
+	// GroupMaxDelay, when nonzero, makes the commit loop linger up to
+	// this long after draining an empty-queue batch so concurrent
+	// appenders can join it (SyncGroup only). Zero disables lingering;
+	// the fsync duration itself is the natural batching window.
+	GroupMaxDelay time.Duration
 }
 
 // Volume is a single-file log volume. All methods are safe for concurrent
@@ -91,9 +105,27 @@ type Volume struct {
 	byID    map[uint32]*Stream
 	nextID  uint32
 
+	// Group-commit state. seq counts completed writes (under mu); the
+	// gate coalesces fsyncs so concurrent Sync callers — and the
+	// committer's batches — share one. gen counts file swaps (Compact)
+	// so an fsync racing a swap knows its captured descriptor is stale.
+	seq       int64
+	gen       int
+	gate      Gate
+	committer *Committer
+
+	// Scratch buffers reused across appends/batches (under mu or owned
+	// by the commit loop respectively).
+	recBuf   []byte
+	batchBuf []byte
+
 	// stats for the paper's PFS-vs-event-log data-volume comparison.
 	bytesAppended int64
 	syncs         int64
+
+	// testSyncHook, when set, runs inside every file fsync (tests use it
+	// to slow or block flushes deterministically).
+	testSyncHook func()
 }
 
 // Stream is one log stream within a volume.
@@ -127,8 +159,14 @@ func Open(path string, opts Options) (*Volume, error) {
 		f.Close() //nolint:errcheck,gosec // best-effort cleanup on failed open
 		return nil, err
 	}
+	if opts.Sync == SyncGroup {
+		v.committer = newCommitter(v, opts.GroupMaxBytes, opts.GroupMaxDelay)
+	}
 	return v, nil
 }
+
+// Policy reports the volume's durability policy.
+func (v *Volume) Policy() SyncPolicy { return v.policy }
 
 // recover scans the file rebuilding stream tables, stopping at the first
 // torn or corrupt record (which it truncates away).
@@ -277,46 +315,136 @@ func (v *Volume) StreamNames() []string {
 	return out
 }
 
+// maxRetainedBuf caps the scratch buffers kept across appends/batches.
+const maxRetainedBuf = 1 << 20
+
+// appendRecord encodes one framed record (header, payload, CRC) onto buf.
+func appendRecord(buf []byte, streamID uint32, index Index, payload []byte) []byte {
+	start := len(buf)
+	buf = binary.BigEndian.AppendUint32(buf, streamID)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(index))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	crc := crc32.NewIEEE()
+	crc.Write(buf[start:]) //nolint:errcheck,gosec // hash writes cannot fail
+	return binary.BigEndian.AppendUint32(buf, crc.Sum32())
+}
+
+func wrapErr(op string, err error) error {
+	return fmt.Errorf("%s: %w", op, err)
+}
+
 // appendLocked writes one record; caller holds v.mu.
 func (v *Volume) appendLocked(streamID uint32, index Index, payload []byte) (int64, error) {
-	rec := make([]byte, 0, recHeaderSize+len(payload)+recTrailerLen)
-	rec = binary.BigEndian.AppendUint32(rec, streamID)
-	rec = binary.BigEndian.AppendUint64(rec, uint64(index))
-	rec = binary.BigEndian.AppendUint32(rec, uint32(len(payload)))
-	rec = append(rec, payload...)
-	crc := crc32.NewIEEE()
-	crc.Write(rec) //nolint:errcheck,gosec // hash writes cannot fail
-	rec = binary.BigEndian.AppendUint32(rec, crc.Sum32())
+	rec := appendRecord(v.recBuf[:0], streamID, index, payload)
 	off := v.size
 	if _, err := v.f.WriteAt(rec, off); err != nil {
-		return 0, fmt.Errorf("logvol append: %w", err)
+		return 0, wrapErr("logvol append", err)
 	}
 	v.size += int64(len(rec))
 	v.bytesAppended += int64(len(rec))
+	v.seq++
 	tAppendBytes.Add(int64(len(rec)))
 	tAppends.Inc()
+	if cap(rec) <= maxRetainedBuf {
+		v.recBuf = rec[:0]
+	}
 	if v.policy == SyncAlways {
-		if err := v.f.Sync(); err != nil {
-			return 0, fmt.Errorf("logvol sync: %w", err)
+		if err := v.syncFileLocked(); err != nil {
+			return 0, wrapErr("logvol sync", err)
 		}
-		v.syncs++
-		tFsyncs.Inc()
+		v.gate.Cover(v.seq)
 	}
 	return off, nil
 }
 
-// Sync forces all appended records to stable storage (group commit).
-func (v *Volume) Sync() error {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	if v.closed {
-		return ErrClosed
+// syncFileLocked fsyncs the current file; caller holds v.mu.
+func (v *Volume) syncFileLocked() error {
+	if hook := v.testSyncHook; hook != nil {
+		hook()
 	}
 	if err := v.f.Sync(); err != nil {
-		return fmt.Errorf("logvol sync: %w", err)
+		return err
 	}
 	v.syncs++
 	tFsyncs.Inc()
+	return nil
+}
+
+// curSeq reports the current write sequence (gate "top" callback).
+func (v *Volume) curSeq() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.seq
+}
+
+// fsyncFile performs one fsync of the volume file for the gate. The
+// descriptor and generation are captured under v.mu but the fsync itself
+// runs unlocked so appends keep flowing while the disk flushes. If the file
+// was swapped mid-flight (Compact), the swap already synced the replacement
+// file, so a stale-generation flush error is not a durability failure.
+func (v *Volume) fsyncFile() error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	f, gen, hook := v.f, v.gen, v.testSyncHook
+	v.mu.Unlock()
+
+	if hook != nil {
+		hook()
+	}
+	err := f.Sync()
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if err != nil {
+		if v.closed || v.gen != gen {
+			// The file was closed or replaced under us; the data either
+			// reached disk via the close/compact sync or the volume is
+			// gone entirely.
+			if v.closed {
+				return ErrClosed
+			}
+			return nil
+		}
+		return err
+	}
+	v.syncs++
+	tFsyncs.Inc()
+	return nil
+}
+
+// Sync forces all appended records to stable storage. Concurrent callers
+// share fsyncs through the volume gate (group commit): a caller whose
+// writes are already covered by an in-flight or completed flush returns
+// without touching the disk.
+func (v *Volume) Sync() error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	if c := v.committer; c != nil {
+		// Barrier through the commit queue so appends enqueued before
+		// this call are covered too.
+		v.mu.Unlock()
+		_, err := c.enqueue(nil, nil).Result()
+		if err != nil {
+			return wrapErr("logvol sync", err)
+		}
+		return nil
+	}
+	seq := v.seq
+	v.mu.Unlock()
+	issued, err := v.gate.Sync(seq, v.curSeq, v.fsyncFile)
+	if err != nil {
+		return wrapErr("logvol sync", err)
+	}
+	if !issued {
+		tSyncsAmortized.Inc()
+	}
 	return nil
 }
 
@@ -353,8 +481,21 @@ func (v *Volume) Size() int64 {
 	return v.size
 }
 
-// Close syncs and closes the volume.
+// Close flushes any queued group commits, syncs, and closes the volume.
 func (v *Volume) Close() error {
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return nil
+	}
+	c := v.committer
+	v.committer = nil
+	v.mu.Unlock()
+	if c != nil {
+		// Drain the commit queue before marking closed so every queued
+		// append either lands durably or resolves with its write error.
+		c.shutdown()
+	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	if v.closed {
@@ -368,10 +509,16 @@ func (v *Volume) Close() error {
 	return v.f.Close()
 }
 
-// Append adds a record to the stream and returns its index.
+// Append adds a record to the stream and returns its index. On a SyncGroup
+// volume the call is durable on return: it rides the group-commit batch and
+// blocks until the covering fsync completes.
 func (s *Stream) Append(payload []byte) (Index, error) {
 	v := s.vol
 	v.mu.Lock()
+	if c := v.committer; c != nil && !v.closed {
+		v.mu.Unlock()
+		return c.enqueue(s, payload).Result()
+	}
 	defer v.mu.Unlock()
 	if v.closed {
 		return NilIndex, ErrClosed
@@ -384,6 +531,24 @@ func (s *Stream) Append(payload []byte) (Index, error) {
 	s.next++
 	s.offsets[idx] = off
 	return idx, nil
+}
+
+// AppendAsync adds a record without blocking on durability, returning a
+// Ticket that resolves once the record is on stable storage (its index) or
+// failed (error). On a SyncGroup volume the append joins the group-commit
+// batch; on other policies it degrades to a synchronous Append and returns
+// an already-resolved ticket. The payload must not be modified until the
+// ticket resolves.
+func (s *Stream) AppendAsync(payload []byte) *Ticket {
+	v := s.vol
+	v.mu.Lock()
+	if c := v.committer; c != nil && !v.closed {
+		v.mu.Unlock()
+		return c.enqueue(s, payload)
+	}
+	v.mu.Unlock()
+	idx, err := s.Append(payload)
+	return completedTicket(idx, err)
 }
 
 // Read returns the payload of the record at idx.
@@ -613,6 +778,12 @@ func (v *Volume) Compact() error {
 		return fmt.Errorf("logvol compact rename: %w", err)
 	}
 	old.Close() //nolint:errcheck,gosec // replaced file
+	// The replacement file was fully synced above: bump the generation so
+	// an in-flight gate fsync of the old descriptor knows it is stale, and
+	// mark everything written so far as covered.
+	v.gen++
+	v.seq++
+	v.gate.Cover(v.seq)
 	for s, m := range newOffsets {
 		s.offsets = m
 	}

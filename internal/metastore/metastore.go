@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/logvol"
 	"repro/internal/telemetry"
 )
 
@@ -80,9 +81,13 @@ type Store struct {
 	closed  bool
 	commits int64
 
-	flushMu sync.Mutex // serializes fsyncs for group commit
-	flushed int64      // commits covered by the last fsync
-	written int64      // commits written to the WAL
+	// Group commit rides the shared fsync gate from internal/logvol:
+	// committers that arrive while a flush is in flight wait for it and
+	// usually find their commit already covered. gen counts WAL swaps
+	// (Checkpoint) so a flush racing a swap knows its descriptor is stale.
+	gate    logvol.Gate
+	written int64 // commits written to the WAL (under mu)
+	gen     int
 }
 
 // Open opens or creates the store rooted at path (a single WAL file).
@@ -349,7 +354,7 @@ func (tx *Tx) Commit() error {
 	s.mu.Unlock()
 
 	if s.opts.Sync == SyncGroup {
-		if err := s.groupFsync(mySeq); err != nil {
+		if _, err := s.gate.Sync(mySeq, s.topSeq, s.fsyncWAL); err != nil {
 			return err
 		}
 	}
@@ -362,33 +367,39 @@ func (tx *Tx) Commit() error {
 	return nil
 }
 
-// groupFsync ensures an fsync covering commit sequence seq has happened.
-// Committers that arrive while another fsync is in flight wait for the
-// flush lock and then usually find their commit already covered.
-func (s *Store) groupFsync(seq int64) error {
-	s.flushMu.Lock()
-	defer s.flushMu.Unlock()
+// topSeq reports the highest WAL-written commit sequence (gate "top"
+// callback; the flush that follows covers everything up to it).
+func (s *Store) topSeq() int64 {
 	s.mu.RLock()
-	covered := s.flushed >= seq
-	closed := s.closed
-	s.mu.RUnlock()
-	if covered {
-		return nil
-	}
-	if closed {
+	defer s.mu.RUnlock()
+	return s.written
+}
+
+// fsyncWAL performs one WAL fsync for the gate. The descriptor and
+// generation are captured under the lock but the fsync runs unlocked so
+// commits keep flowing; if Checkpoint swapped the WAL mid-flight, the swap
+// already synced the replacement file, so a stale-generation error is not
+// a durability failure.
+func (s *Store) fsyncWAL() error {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
 		return ErrClosed
 	}
-	s.mu.RLock()
-	target := s.written
+	wal, gen := s.wal, s.gen
 	s.mu.RUnlock()
-	if err := s.wal.Sync(); err != nil {
+
+	if err := wal.Sync(); err != nil {
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		if s.closed {
+			return ErrClosed
+		}
+		if s.gen != gen {
+			return nil
+		}
 		return fmt.Errorf("metastore fsync: %w", err)
 	}
-	s.mu.Lock()
-	if target > s.flushed {
-		s.flushed = target
-	}
-	s.mu.Unlock()
 	return nil
 }
 
@@ -452,6 +463,11 @@ func (s *Store) Checkpoint() error {
 	old := s.wal
 	s.wal = tmp
 	old.Close() //nolint:errcheck,gosec // replaced file
+	// The snapshot was fully synced above: bump the generation so an
+	// in-flight gate fsync of the old descriptor knows it is stale, and
+	// mark every written commit as covered.
+	s.gen++
+	s.gate.Cover(s.written)
 	if _, err := s.wal.Seek(0, 2); err != nil {
 		return fmt.Errorf("metastore checkpoint seek: %w", err)
 	}

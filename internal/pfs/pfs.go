@@ -45,6 +45,10 @@ var (
 		"PFS batch reads served for catchup streams.")
 	tReadWalk = telemetry.Default().Histogram("gryphon_pfs_read_walk_records",
 		"Backpointer-chain records walked per PFS batch read.", telemetry.SizeBuckets)
+	tCkptFlushes = telemetry.Default().Counter("gryphon_pfs_checkpoint_flushes_total",
+		"PFS checkpoint flushes (volume sync + metastore transaction).")
+	tCkptErrors = telemetry.Default().Counter("gryphon_pfs_checkpoint_errors_total",
+		"PFS background checkpoint flushes that failed.")
 )
 
 const (
@@ -80,6 +84,25 @@ type PFS struct {
 
 	mu      sync.Mutex
 	pubends map[vtime.PubendID]*pubendState
+
+	// Background checkpointing: the write path hands checkpoint snapshots
+	// to a flusher goroutine instead of stalling the constream on the
+	// volume fsync. Recovery replays the log tail past the checkpoint, so
+	// a lagging (or lost) checkpoint costs replay time, never correctness.
+	flushing    bool
+	pendingSnap ckptSnap
+	flushDone   chan struct{} // closed when the current flusher exits
+	flushErr    error         // last background flush failure, surfaced by Sync
+}
+
+// ckptSnap is one checkpoint snapshot: the per-pubend metadata captured
+// under p.mu, flushed to disk without the lock.
+type ckptSnap map[vtime.PubendID]pubCkpt
+
+type pubCkpt struct {
+	lastTS  vtime.Timestamp
+	scanned logvol.Index
+	lastIdx map[vtime.SubscriberID]logvol.Index
 }
 
 type pubendState struct {
@@ -278,39 +301,133 @@ func (p *PFS) Write(pub vtime.PubendID, ts vtime.Timestamp, subs []vtime.Subscri
 	st.lastTS = ts
 	st.writes++
 	if p.opts.SyncEvery > 0 && st.writes >= p.opts.SyncEvery {
-		return p.syncLocked()
+		// Hand the checkpoint to the background flusher: the constream
+		// (the serialized engine driving Write) must not stall on the
+		// checkpoint fsync. The snapshot is captured before the flush's
+		// fsync, so a persisted checkpoint only ever describes records
+		// the same flush made durable.
+		p.scheduleFlushLocked(p.captureLocked())
 	}
 	return nil
 }
 
-// Sync makes all writes durable and checkpoints metadata; the constream
-// calls it at its group-commit points.
+// Sync makes all writes durable and checkpoints metadata synchronously; the
+// constream calls it at its group-commit points and tests rely on its
+// blocking contract. It also surfaces the last background flush error.
 func (p *PFS) Sync() error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.syncLocked()
+	snap := p.captureLocked()
+	err := p.flushErr
+	p.flushErr = nil
+	p.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return p.flushSnapshot(snap)
 }
 
-func (p *PFS) syncLocked() error {
-	if err := p.opts.Volume.Sync(); err != nil {
-		return fmt.Errorf("pfs sync: %w", err)
-	}
-	tx := p.opts.Meta.Begin()
+// captureLocked snapshots checkpoint metadata for every pubend with
+// unsynced writes and resets their write counters. Caller holds p.mu.
+func (p *PFS) captureLocked() ckptSnap {
+	var snap ckptSnap
 	for pub, st := range p.pubends {
 		if st.writes == 0 {
 			continue
 		}
-		tx.PutUint64(metaTable, keyLastTS(pub), uint64(st.lastTS))
-		tx.PutUint64(metaTable, keyScanned(pub), uint64(st.stream.LastIndex()))
-		for sub, idx := range st.lastIdx {
+		idx := make(map[vtime.SubscriberID]logvol.Index, len(st.lastIdx))
+		for sub, i := range st.lastIdx {
+			idx[sub] = i
+		}
+		if snap == nil {
+			snap = make(ckptSnap, 2)
+		}
+		snap[pub] = pubCkpt{lastTS: st.lastTS, scanned: st.stream.LastIndex(), lastIdx: idx}
+		st.writes = 0
+	}
+	return snap
+}
+
+// scheduleFlushLocked hands a snapshot to the background flusher, merging
+// it into the pending one (newest wins per pubend) when a flush is already
+// in flight. Caller holds p.mu.
+func (p *PFS) scheduleFlushLocked(snap ckptSnap) {
+	if len(snap) == 0 {
+		return
+	}
+	if p.flushing {
+		if p.pendingSnap == nil {
+			p.pendingSnap = make(ckptSnap, len(snap))
+		}
+		for pub, c := range snap {
+			p.pendingSnap[pub] = c
+		}
+		return
+	}
+	p.flushing = true
+	p.flushDone = make(chan struct{})
+	go p.flushLoop(snap, p.flushDone)
+}
+
+// flushLoop flushes snapshots until none are pending. Errors are counted
+// and kept for the next synchronous Sync; a failed checkpoint only delays
+// recovery (longer tail replay), it never loses acknowledged data.
+func (p *PFS) flushLoop(snap ckptSnap, done chan struct{}) {
+	defer close(done)
+	for {
+		if err := p.flushSnapshot(snap); err != nil {
+			tCkptErrors.Inc()
+			p.mu.Lock()
+			p.flushErr = err
+			p.mu.Unlock()
+		}
+		p.mu.Lock()
+		if p.pendingSnap == nil {
+			p.flushing = false
+			p.mu.Unlock()
+			return
+		}
+		snap = p.pendingSnap
+		p.pendingSnap = nil
+		p.mu.Unlock()
+	}
+}
+
+// flushSnapshot makes the snapshot's records durable, then persists the
+// checkpoint. The order matters: the volume sync happens after the capture,
+// so every index the checkpoint names is on stable storage before the
+// metastore commit that records it.
+func (p *PFS) flushSnapshot(snap ckptSnap) error {
+	if err := p.opts.Volume.Sync(); err != nil {
+		return fmt.Errorf("pfs sync: %w", err)
+	}
+	if len(snap) == 0 {
+		return nil
+	}
+	tx := p.opts.Meta.Begin()
+	for pub, c := range snap {
+		tx.PutUint64(metaTable, keyLastTS(pub), uint64(c.lastTS))
+		tx.PutUint64(metaTable, keyScanned(pub), uint64(c.scanned))
+		for sub, idx := range c.lastIdx {
 			tx.PutUint64(metaTable, keyLastIdx(pub, sub), uint64(idx))
 		}
-		st.writes = 0
 	}
 	if err := tx.Commit(); err != nil {
 		return fmt.Errorf("pfs sync meta: %w", err)
 	}
+	tCkptFlushes.Inc()
 	return nil
+}
+
+// WaitFlush blocks until any in-flight background checkpoint flush
+// completes; shutdown paths and tests use it.
+func (p *PFS) WaitFlush() {
+	p.mu.Lock()
+	done := p.flushDone
+	flushing := p.flushing
+	p.mu.Unlock()
+	if flushing && done != nil {
+		<-done
+	}
 }
 
 // LastTimestamp reports the latest Q tick written for the pubend.

@@ -1,0 +1,158 @@
+package pubend
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/logvol"
+	"repro/internal/message"
+	"repro/internal/vtime"
+)
+
+func newGroupPubend(t *testing.T, opts Options) (*Pubend, *logvol.Volume, string) {
+	t.Helper()
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{Sync: logvol.SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { vol.Close() }) //nolint:errcheck
+	opts.Volume = vol
+	if opts.ID == 0 {
+		opts.ID = 1
+	}
+	opts.SyncEveryPublish = true
+	p, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, vol, dir
+}
+
+// TestPublishAsyncGroupCommit drives concurrent async publishes through a
+// SyncGroup volume: every result must resolve with a unique timestamp, the
+// index must come out sorted, and the fsync count must be amortized well
+// below the publish count.
+func TestPublishAsyncGroupCommit(t *testing.T) {
+	p, vol, _ := newGroupPubend(t, Options{})
+
+	const publishers, perPublisher = 8, 25
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		got []vtime.Timestamp
+	)
+	for w := 0; w < publishers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				ev, err := p.PublishAsync(testEvent(fmt.Sprintf("p%d-%d", w, i))).Wait()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				got = append(got, ev.Timestamp)
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	total := publishers * perPublisher
+	if len(got) != total {
+		t.Fatalf("resolved %d publishes, want %d", len(got), total)
+	}
+	seen := make(map[vtime.Timestamp]bool, total)
+	for _, ts := range got {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %d", ts)
+		}
+		seen[ts] = true
+	}
+	if p.EventCount() != total {
+		t.Fatalf("EventCount = %d, want %d", p.EventCount(), total)
+	}
+	if syncs := vol.Syncs(); syncs >= int64(total) {
+		t.Fatalf("group publish issued %d fsyncs for %d publishes; expected amortization", syncs, total)
+	}
+	// Every acked event must be readable back in timestamp order.
+	for ts := range seen {
+		if _, err := p.ReadEvent(ts); err != nil {
+			t.Fatalf("acked event %d unreadable: %v", ts, err)
+		}
+	}
+}
+
+// TestPublishAsyncDurableAcrossReopen checks the ack-after-fsync contract
+// end to end: once Wait returns, the event survives a volume close/reopen.
+func TestPublishAsyncDurableAcrossReopen(t *testing.T) {
+	p, vol, dir := newGroupPubend(t, Options{})
+
+	const n = 40
+	results := make([]*PublishResult, 0, n)
+	for i := 0; i < n; i++ {
+		results = append(results, p.PublishAsync(testEvent(fmt.Sprintf("ev-%d", i))))
+	}
+	for _, r := range results {
+		if _, err := r.Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := vol.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	vol2, err := logvol.Open(filepath.Join(dir, "events.log"), logvol.Options{Sync: logvol.SyncGroup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vol2.Close() //nolint:errcheck
+	p2, err := New(Options{ID: 1, Volume: vol2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.EventCount() != n {
+		t.Fatalf("recovered %d events, want %d (acked publish lost)", p2.EventCount(), n)
+	}
+}
+
+// TestPublishAsyncOnDone checks callback delivery and that Drain never
+// emits knowledge past a publish that has not resolved.
+func TestPublishAsyncOnDone(t *testing.T) {
+	p, _, _ := newGroupPubend(t, Options{})
+
+	done := make(chan *message.Event, 1)
+	res := p.PublishAsync(testEvent("cb"))
+	res.OnDone(func(ev *message.Event, err error) {
+		if err != nil {
+			t.Errorf("OnDone error: %v", err)
+		}
+		done <- ev
+	})
+	var ev *message.Event
+	select {
+	case ev = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("OnDone never fired")
+	}
+	if ev == nil || ev.Timestamp == 0 {
+		t.Fatalf("OnDone event = %+v", ev)
+	}
+	// Registered after completion: runs inline.
+	fired := false
+	res.OnDone(func(*message.Event, error) { fired = true })
+	if !fired {
+		t.Fatal("OnDone after completion did not run inline")
+	}
+
+	// The resolved publish must be drainable as a D event.
+	know, _ := p.Drain()
+	if know == nil || len(know.Events) != 1 || know.Events[0].Timestamp != ev.Timestamp {
+		t.Fatalf("Drain after resolved publish = %+v", know)
+	}
+}

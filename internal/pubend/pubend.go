@@ -263,10 +263,76 @@ func (p *Pubend) ID() vtime.PubendID { return p.id }
 // Now reports the pubend's current virtual time T(p).
 func (p *Pubend) Now() vtime.Timestamp { return p.clock.Now() }
 
+// PublishResult is the completion handle of one asynchronous publish. It
+// resolves once the event is durably logged (per the volume's sync policy)
+// and indexed, or with the publish error.
+type PublishResult struct {
+	done chan struct{}
+
+	mu       sync.Mutex
+	ev       *message.Event
+	err      error
+	complete bool
+	cb       func(*message.Event, error)
+}
+
+// Done returns a channel closed when the publish resolves.
+func (r *PublishResult) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the publish resolves and returns the stamped event or
+// the error.
+func (r *PublishResult) Wait() (*message.Event, error) {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ev, r.err
+}
+
+// OnDone registers fn to run when the publish resolves (immediately, on
+// the caller's goroutine, if it already has). The callback runs off the
+// volume's commit loop, so it may acquire broker or pubend locks; it must
+// not block indefinitely. Only one callback may be registered.
+func (r *PublishResult) OnDone(fn func(*message.Event, error)) {
+	r.mu.Lock()
+	if r.complete {
+		ev, err := r.ev, r.err
+		r.mu.Unlock()
+		fn(ev, err)
+		return
+	}
+	r.cb = fn
+	r.mu.Unlock()
+}
+
+func (r *PublishResult) resolve(ev *message.Event, err error) {
+	r.mu.Lock()
+	r.ev, r.err = ev, err
+	r.complete = true
+	cb := r.cb
+	r.cb = nil
+	close(r.done)
+	r.mu.Unlock()
+	if cb != nil {
+		cb(ev, err)
+	}
+}
+
 // Publish logs the event and assigns its timestamp; the returned event (a
 // stamped copy) is durable when Publish returns (subject to the sync
 // policy).
 func (p *Pubend) Publish(attrs message.Event) (*message.Event, error) {
+	return p.PublishAsync(attrs).Wait()
+}
+
+// PublishAsync stamps and logs the event without blocking on durability.
+// On a SyncGroup volume the append rides the volume's group-commit batch
+// and the result resolves once the covering fsync returns — so concurrent
+// publishers share fsyncs instead of serializing behind them, and callers
+// (the broker's publish path) can pipeline acks. On other policies it
+// degrades to the synchronous publish and returns an already-resolved
+// result.
+func (p *Pubend) PublishAsync(attrs message.Event) *PublishResult {
+	res := &PublishResult{done: make(chan struct{})}
 	ev := &message.Event{
 		Pubend:  p.id,
 		Attrs:   attrs.Attrs,
@@ -275,11 +341,17 @@ func (p *Pubend) Publish(attrs message.Event) (*message.Event, error) {
 	p.mu.Lock()
 	ev.Timestamp = p.clock.Next()
 	if ev.Timestamp+leaseMargin > p.lease {
+		// The horizon append below is durable-on-return on SyncGroup
+		// volumes (it rides a commit batch), so the lease invariant holds
+		// unchanged: no timestamp is exposed beyond a persisted lease.
+		// The wait under p.mu is safe — commit completions never need
+		// p.mu; callbacks that do run on the committer's dispatcher.
 		if err := p.persistHorizonLocked(ev.Timestamp + leaseWindow); err != nil && ev.Timestamp > p.lease {
 			// Never stamp beyond the persisted lease: a crash-restart
 			// would reuse the timestamp range.
 			p.mu.Unlock()
-			return nil, err
+			res.resolve(nil, err)
+			return res
 		}
 	}
 	// Mark the tick in-flight so Drain does not emit knowledge past an
@@ -289,30 +361,54 @@ func (p *Pubend) Publish(attrs message.Event) (*message.Event, error) {
 		p.pending = make(map[vtime.Timestamp]struct{})
 	}
 	p.pending[ev.Timestamp] = struct{}{}
-	payload := message.AppendEvent(nil, ev)
+	grouped := p.opts.Volume.Policy() == logvol.SyncGroup && p.opts.LogLatency == 0
+	bufp := message.GetEncodeBuffer()
+	payload := message.AppendEvent((*bufp)[:0], ev)
+	*bufp = payload
 	p.mu.Unlock()
 
-	idx, err := p.stream.Append(payload)
-	if err != nil {
-		p.mu.Lock()
-		delete(p.pending, ev.Timestamp)
-		p.mu.Unlock()
-		return nil, fmt.Errorf("pubend publish: %w", err)
-	}
-	if p.opts.SyncEveryPublish {
-		if err := p.opts.Volume.Sync(); err != nil {
-			p.mu.Lock()
-			delete(p.pending, ev.Timestamp)
-			p.mu.Unlock()
-			return nil, fmt.Errorf("pubend publish sync: %w", err)
-		}
-	}
-	if p.opts.LogLatency > 0 {
-		time.Sleep(p.opts.LogLatency)
+	if grouped {
+		// The payload buffer stays pooled-out until the commit batch
+		// resolves; the completion callback recycles it.
+		t := p.stream.AppendAsync(payload)
+		t.OnDone(func(idx logvol.Index, err error) {
+			message.PutEncodeBuffer(bufp)
+			if err != nil {
+				err = fmt.Errorf("pubend publish: %w", err)
+			}
+			p.finishPublish(res, ev, idx, err)
+		})
+		return res
 	}
 
+	idx, err := p.stream.Append(payload)
+	message.PutEncodeBuffer(bufp)
+	if err != nil {
+		err = fmt.Errorf("pubend publish: %w", err)
+	}
+	if err == nil && p.opts.SyncEveryPublish {
+		if serr := p.opts.Volume.Sync(); serr != nil {
+			err = fmt.Errorf("pubend publish sync: %w", serr)
+		}
+	}
+	if err == nil && p.opts.LogLatency > 0 {
+		time.Sleep(p.opts.LogLatency)
+	}
+	p.finishPublish(res, ev, idx, err)
+	return res
+}
+
+// finishPublish clears the in-flight mark, indexes the logged event, and
+// resolves the result. It runs on the publisher's goroutine (synchronous
+// paths) or the volume committer's dispatcher (group path).
+func (p *Pubend) finishPublish(res *PublishResult, ev *message.Event, idx logvol.Index, err error) {
 	p.mu.Lock()
 	delete(p.pending, ev.Timestamp)
+	if err != nil {
+		p.mu.Unlock()
+		res.resolve(nil, err)
+		return
+	}
 	// Concurrent publishes may complete out of timestamp order; keep the
 	// index sorted.
 	i := sort.Search(len(p.index), func(i int) bool { return p.index[i].ts > ev.Timestamp })
@@ -320,7 +416,7 @@ func (p *Pubend) Publish(attrs message.Event) (*message.Event, error) {
 	copy(p.index[i+1:], p.index[i:])
 	p.index[i] = entry{ts: ev.Timestamp, idx: idx}
 	p.mu.Unlock()
-	return ev, nil
+	res.resolve(ev, nil)
 }
 
 // Drain returns the knowledge accumulated since the last Drain: S/L ranges
