@@ -15,6 +15,8 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -429,6 +431,45 @@ func BenchmarkTorture(b *testing.B) {
 		b.ReportMetric(float64(res.Crashes), "crashes")
 		b.ReportMetric(float64(res.Churns), "churns")
 		b.ReportMetric(float64(res.Published), "events")
+	}
+}
+
+// BenchmarkMatchScaling sweeps the subscription matcher over growing
+// populations (1e3→1e5 by default; override with BENCH_MATCH_SIZES, a
+// comma-separated list, for CI smoke runs), comparing the brute-force
+// linear engine against the counting attribute index on an identical
+// population and event stream. The run fails outright if the engines ever
+// disagree on a match set, or if the index is not faster than the linear
+// scan at the largest size — a regression gate, since the whole point of
+// the index is sublinear growth. Results land in BENCH_6.json.
+func BenchmarkMatchScaling(b *testing.B) {
+	sizes := []int{1000, 10000, 100000}
+	if env := os.Getenv("BENCH_MATCH_SIZES"); env != "" {
+		sizes = nil
+		for _, f := range strings.Split(env, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				b.Fatalf("BENCH_MATCH_SIZES: bad size %q", f)
+			}
+			sizes = append(sizes, n)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunMatchScaling(experiment.MatchScalingParams{Sizes: sizes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range res.Points {
+			b.ReportMetric(pt.IndexedNsPerEvent, fmt.Sprintf("indexed_ns_%dsubs", pt.Subs))
+			b.ReportMetric(pt.LinearNsPerEvent, fmt.Sprintf("linear_ns_%dsubs", pt.Subs))
+			b.ReportMetric(pt.SpeedupX, fmt.Sprintf("speedup_x_%dsubs", pt.Subs))
+		}
+		last := res.Points[len(res.Points)-1]
+		if last.SpeedupX < 1 {
+			b.Fatalf("indexed engine slower than linear at %d subs: %.0fns vs %.0fns",
+				last.Subs, last.IndexedNsPerEvent, last.LinearNsPerEvent)
+		}
+		writeBenchJSON(b, "6", res)
 	}
 }
 

@@ -57,6 +57,7 @@ func run() error {
 		linger     = flag.Duration("group-linger", 0, "max time a group commit waits for more publishes before fsyncing (0 = none)")
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (empty = disabled)")
 		shards     = flag.Int("shards", 0, "event-loop shard count (0 = GOMAXPROCS, 1 = serialized)")
+		matchEng   = flag.String("match-engine", "indexed", "subscription matching engine: indexed (counting attribute index) or linear (brute-force scan)")
 	)
 	flag.Parse()
 
@@ -84,6 +85,7 @@ func run() error {
 		Shards:              *shards,
 		PubendSync:          syncPolicy,
 		GroupCommitMaxDelay: *linger,
+		MatchEngine:         *matchEng,
 	}
 	var policy pubend.Policy
 	if *maxRetain > 0 {

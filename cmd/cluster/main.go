@@ -62,6 +62,10 @@ type brokerSpec struct {
 	// Shards is the event-loop shard count (0 = GOMAXPROCS,
 	// 1 = serialized).
 	Shards int `json:"shards"`
+	// MatchEngine selects the subscription matching engine: "" or
+	// "indexed" for the counting attribute index, "linear" for the
+	// brute-force scan.
+	MatchEngine string `json:"matchEngine"`
 }
 
 func main() {
@@ -152,6 +156,7 @@ func specToConfig(dataDir string, spec brokerSpec) (broker.Config, error) {
 		EnableSHB:    spec.SHB,
 		AdminAddr:    spec.Admin,
 		Shards:       spec.Shards,
+		MatchEngine:  spec.MatchEngine,
 	}
 	if spec.TickMillis > 0 {
 		cfg.TickInterval = time.Duration(spec.TickMillis) * time.Millisecond

@@ -43,6 +43,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/filter"
 	"repro/internal/logvol"
+	"repro/internal/matchidx"
 	"repro/internal/message"
 	"repro/internal/metastore"
 	"repro/internal/overlay"
@@ -123,6 +124,11 @@ type Config struct {
 	// RelayCacheSize bounds the intermediate per-pubend event cache
 	// (0 = 65536).
 	RelayCacheSize int
+	// MatchEngine selects the subscription matching strategy for the SHB
+	// engine and the per-link D→S filters: "" or "indexed" for the
+	// counting-based attribute index (internal/matchidx), "linear" for
+	// the brute-force scan (the test oracle / escape hatch).
+	MatchEngine string
 	// MetaCommitLatency models the per-commit cost of the SHB database
 	// (section 5.2); 0 = none.
 	MetaCommitLatency time.Duration
@@ -178,6 +184,14 @@ type Broker struct {
 	// shard's loop touches it).
 	links map[overlay.Conn]*downLink // every accepted connection
 	downs map[overlay.Conn]*downLink // the downstream-broker subset
+
+	// upCover maintains the minimal covering subset of everything this
+	// broker would announce upstream (local SHB subscriptions plus every
+	// downstream broker's announcements): only covers are sent, so
+	// upstream routing tables shrink with fan-in instead of growing.
+	// Control-shard-owned, like the rest of the subscription lifecycle;
+	// seeded from recovered SHB subscriptions before the first connect.
+	upCover *matchidx.CoverSet
 
 	// downsSnap is the event shards' read-only view of the downstream
 	// fanout set; the control shard republishes it after every downs
@@ -375,6 +389,7 @@ func New(cfg Config) (*Broker, error) {
 		tickDone: make(chan struct{}),
 		links:    make(map[overlay.Conn]*downLink),
 		downs:    make(map[overlay.Conn]*downLink),
+		upCover:  matchidx.NewCoverSet(),
 		pubends:  make(map[vtime.PubendID]*pubend.Pubend),
 	}
 	b.downsSnap.Store(&[]*downLink{})
@@ -383,6 +398,18 @@ func New(cfg Config) (*Broker, error) {
 	}
 	if err := b.openState(); err != nil {
 		return nil, err
+	}
+	// Seed the covering set from recovered durable subscriptions so the
+	// first upstream resync announces the minimal cover, not the full
+	// population. No shard is running yet, so touching upCover directly
+	// is safe; emitted ops are discarded (there is no upstream link yet —
+	// resyncUpstream replays Announced() instead).
+	if b.shb != nil {
+		for _, si := range b.shb.Subscriptions() {
+			if sub, err := filter.Parse(si.Filter); err == nil {
+				b.upCover.Add(si.ID, sub)
+			}
+		}
 	}
 	// Pin each hosted pubend to its shard (the assignment is static for
 	// the broker's lifetime; everything keys off pubend id mod shards).
@@ -537,6 +564,7 @@ func (b *Broker) openState() error {
 			SilenceInterval: cfg.SilenceInterval,
 			ReadBufferQ:     cfg.ReadBufferQ,
 			EventCacheSize:  cfg.EventCacheSize,
+			MatchEngine:     cfg.MatchEngine,
 			SendNack:        b.shbSendNack,
 			SendRelease:     b.shbSendRelease,
 			Deliver:         b.shbDeliver,
@@ -615,8 +643,9 @@ func (b *Broker) upstreamUp(conn overlay.Conn) error {
 //   - subscription announcements: the parent's new per-link matcher is
 //     empty, which passes everything — until the first SubUpdate makes it
 //     non-empty and D→S filtering silently drops every subscription not
-//     re-announced. So all of them are re-sent: the local engine's durable
-//     subscriptions and everything in the downstream link matchers.
+//     re-announced. The covering set (local SHB subscriptions plus every
+//     downstream announcement, minimized by subsumption) is replayed from
+//     the control shard, which owns it.
 //   - pending curiosity: spans nacked while the link was dying are
 //     recorded as pending, so the consolidators will never re-request
 //     them; they are re-nacked here (duplicates are harmless — delivery
@@ -627,23 +656,15 @@ func (b *Broker) upstreamUp(conn overlay.Conn) error {
 // first message anyway.
 func (b *Broker) resyncUpstream(conn overlay.Conn) {
 	if b.shb != nil {
-		for _, si := range b.shb.Subscriptions() {
-			//nolint:errcheck,gosec // link death re-enters the supervisor
-			conn.Send(&message.SubUpdate{Subscriber: si.ID, Filter: si.Filter})
-		}
 		for pub, spans := range b.shb.PendingCuriosity() {
 			//nolint:errcheck,gosec // link death re-enters the supervisor
 			conn.Send(&message.Nack{Pubend: pub, Spans: spans})
 		}
 	}
 	b.control().push(func() {
-		for _, link := range b.downs {
-			for _, id := range link.matcher.IDs() {
-				if sub, ok := link.matcher.Get(id); ok {
-					//nolint:errcheck,gosec // link death re-enters the supervisor
-					conn.Send(&message.SubUpdate{Subscriber: id, Filter: sub.String()})
-				}
-			}
+		for _, op := range b.upCover.Announced() {
+			//nolint:errcheck,gosec // link death re-enters the supervisor
+			conn.Send(&message.SubUpdate{Subscriber: op.ID, Filter: op.Filter})
 		}
 	})
 	for _, sh := range b.shards {
@@ -681,7 +702,7 @@ func (b *Broker) Health() []overlay.LinkStatus {
 func (b *Broker) accept(conn overlay.Conn) {
 	link := &downLink{
 		conn:    conn,
-		matcher: filter.NewMatcher(),
+		matcher: matchidx.MatcherFor(b.cfg.MatchEngine).InstrumentSite("link"),
 		key:     fmt.Sprintf("%s#%d", conn.RemoteAddr(), b.linkSeq.Add(1)),
 	}
 	b.control().push(func() { b.links[conn] = link })
@@ -794,6 +815,22 @@ func (b *Broker) BoundAddr() string {
 		return ln.Addr().String()
 	}
 	return b.cfg.ListenAddr
+}
+
+// CoverStats reports the covering set's population: how many
+// upstream-facing subscriptions this broker tracks (local SHB durables plus
+// downstream announcements) and how many it actually announces upstream
+// (the minimal covering subset). Blocks briefly on the control shard;
+// returns zeros after shutdown.
+func (b *Broker) CoverStats() (members, announced int) {
+	ch := make(chan [2]int, 1)
+	if !b.control().push(func() {
+		ch <- [2]int{b.upCover.Len(), b.upCover.AnnouncedLen()}
+	}) {
+		return 0, 0
+	}
+	v := <-ch
+	return v[0], v[1]
 }
 
 // RelayStats reports how many events this broker forwarded as data versus

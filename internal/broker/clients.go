@@ -3,6 +3,7 @@ package broker
 import (
 	"time"
 
+	"repro/internal/filter"
 	"repro/internal/message"
 	"repro/internal/pubend"
 	"repro/internal/vtime"
@@ -87,5 +88,12 @@ func (b *Broker) handleSubscribe(link *downLink, req *message.Subscribe) {
 	}
 	//nolint:errcheck,gosec // reply failure == dead link
 	link.conn.Send(&message.SubscribeAck{Subscriber: req.Subscriber, CT: ct})
-	b.upSend(&message.SubUpdate{Subscriber: req.Subscriber, Filter: req.Filter})
+	// Propagate toward the PHBs through the covering set: if an announced
+	// cover subsumes this filter, nothing travels upstream. Subscribe
+	// succeeded, so the filter is known to parse.
+	if sub, err := filter.Parse(req.Filter); err == nil {
+		b.coverAdd(req.Subscriber, sub)
+	} else {
+		b.upSend(&message.SubUpdate{Subscriber: req.Subscriber, Filter: req.Filter})
+	}
 }

@@ -1,0 +1,110 @@
+package broker
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// downMatcherLens reads the per-downstream-link matcher sizes through the
+// control shard (which owns the link set).
+func downMatcherLens(t *testing.T, b *Broker) []int {
+	t.Helper()
+	ch := make(chan []int, 1)
+	if !b.control().push(func() {
+		var lens []int
+		for _, link := range b.downs {
+			lens = append(lens, link.matcher.Len())
+		}
+		ch <- lens
+	}) {
+		t.Fatal("control shard closed")
+	}
+	return <-ch
+}
+
+// waitDownMatcher polls until the broker has exactly one downstream link
+// whose matcher holds want subscriptions.
+func waitDownMatcher(t *testing.T, b *Broker, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	var last []int
+	for time.Now().Before(deadline) {
+		last = downMatcherLens(t, b)
+		if len(last) == 1 && last[0] == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout: downstream matcher sizes %v, want [%d]", last, want)
+}
+
+// TestCoveringShrinksUpstreamAnnouncements is the covering acceptance test:
+// an intermediate broker hosting three subscriptions where one covers the
+// other two announces only the cover upstream (strictly smaller than the
+// union of downstream subscriptions), covered subscribers still receive
+// their events, and unsubscribing the cover re-expands the announcement set
+// without losing a single event.
+func TestCoveringShrinksUpstreamAnnouncements(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	top := startBroker(t, netw, Config{
+		Name: "top", DataDir: filepath.Join(t.TempDir(), "top"), ListenAddr: "top",
+	}, 1, nil)
+	startBroker(t, netw, Config{
+		Name: "mid", DataDir: filepath.Join(t.TempDir(), "mid"), ListenAddr: "mid",
+		UpstreamAddr: "top", EnableSHB: true,
+	}, 0, nil)
+
+	p, err := client.NewPublisher(netw, "top", "cpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+
+	newSub := func(id vtime.SubscriberID, f string) *client.Subscriber {
+		s, err := client.NewSubscriber(client.SubscriberOptions{
+			ID: id, Filter: f, AckInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Connect(netw, "mid"); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Disconnect() }) //nolint:errcheck
+		return s
+	}
+
+	cover := newSub(11, `prefix(topic, "t")`)
+	s1 := newSub(12, `topic = "t1"`)
+	s2 := newSub(13, `topic = "t2"`)
+
+	// The union of downstream subscriptions is 3, but the cover subsumes
+	// both specific filters: top must see exactly 1 announcement.
+	waitDownMatcher(t, top, 1)
+
+	// Covered subscribers still receive their events through the cover.
+	w1 := pub(t, p, "t1", 5)
+	w2 := pub(t, p, "t2", 5)
+	wc := append(append([]stamp{}, w1...), w2...)
+	assertTimestamps(t, collectEvents(t, s1, 5), w1)
+	assertTimestamps(t, collectEvents(t, s2, 5), w2)
+	assertTimestamps(t, collectEvents(t, cover, 10), wc)
+
+	// Unsubscribing the cover promotes the two covered subscriptions:
+	// the announcement set re-expands to 2, and no event is lost across
+	// the transition.
+	if err := cover.Unsubscribe(); err != nil {
+		t.Fatal(err)
+	}
+	waitDownMatcher(t, top, 2)
+
+	w1 = pub(t, p, "t1", 5)
+	w2 = pub(t, p, "t2", 5)
+	assertTimestamps(t, collectEvents(t, s1, 5), w1)
+	assertTimestamps(t, collectEvents(t, s2, 5), w2)
+}

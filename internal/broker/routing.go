@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/matchidx"
 	"repro/internal/message"
 	"repro/internal/tick"
 	"repro/internal/vtime"
@@ -142,13 +143,36 @@ func (b *Broker) fromBelowControl(link *downLink, m message.Message) {
 }
 
 // unsubscribe permanently removes a durable subscription and withdraws it
-// from the upstream filtering matchers.
+// from the upstream filtering matchers (re-expanding any subscriptions it
+// was covering). Runs on the control shard.
 func (b *Broker) unsubscribe(id vtime.SubscriberID) {
 	b.clients.Delete(id)
 	if b.shb != nil {
 		b.shb.Unsubscribe(id) //nolint:errcheck,gosec // best-effort; engine stays consistent
 	}
-	b.upSend(&message.SubUpdate{Subscriber: id, Remove: true})
+	b.coverRemove(id)
+}
+
+// coverAdd registers an upstream-facing subscription with the covering set
+// and sends the resulting announcement changes. Runs on the control shard.
+func (b *Broker) coverAdd(id vtime.SubscriberID, sub *filter.Subscription) {
+	for _, op := range b.upCover.Add(id, sub) {
+		b.sendCoverOp(op)
+	}
+}
+
+// coverRemove withdraws an upstream-facing subscription from the covering
+// set; ops promote formerly covered subscriptions before the withdrawal, so
+// the upstream matcher never has an uncovered window. Runs on the control
+// shard.
+func (b *Broker) coverRemove(id vtime.SubscriberID) {
+	for _, op := range b.upCover.Remove(id) {
+		b.sendCoverOp(op)
+	}
+}
+
+func (b *Broker) sendCoverOp(op matchidx.CoverOp) {
+	b.upSend(&message.SubUpdate{Subscriber: op.ID, Filter: op.Filter, Remove: op.Remove})
 }
 
 // spreadKnowledge fans knowledge out to the local SHB and every downstream
@@ -319,14 +343,24 @@ func (b *Broker) propagateReleases(sh *shard) {
 }
 
 // handleSubUpdate registers/unregisters a downstream subscription for link
-// filtering and forwards it toward the PHBs.
+// filtering and propagates it toward the PHBs through the covering set, so
+// only subscriptions not already subsumed by an announced cover travel
+// upstream. Runs on the control shard.
 func (b *Broker) handleSubUpdate(link *downLink, su *message.SubUpdate) {
 	if su.Remove {
 		link.matcher.Remove(su.Subscriber)
-	} else if sub, err := filter.Parse(su.Filter); err == nil {
-		link.matcher.Add(su.Subscriber, sub)
+		b.coverRemove(su.Subscriber)
+		return
 	}
-	b.upSend(su)
+	sub, err := filter.Parse(su.Filter)
+	if err != nil {
+		// Unparseable filters can't be indexed or covered; forward
+		// verbatim (the old behavior) so upstream at least sees them.
+		b.upSend(su)
+		return
+	}
+	link.matcher.Add(su.Subscriber, sub)
+	b.coverAdd(su.Subscriber, sub)
 }
 
 // dropLink removes a dead connection: downstream links leave the fanout

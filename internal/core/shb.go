@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/internal/filter"
+	"repro/internal/matchidx"
 	"repro/internal/message"
 	"repro/internal/metastore"
 	"repro/internal/pfs"
@@ -92,6 +93,10 @@ type Config struct {
 	// recovery cache). Zero means 65536 events; absence of a cached
 	// event is always recoverable by nacking upstream.
 	EventCacheSize int
+	// MatchEngine selects the subscription matching strategy: "" or
+	// "indexed" for the counting-based attribute index, "linear" for the
+	// brute-force scan (see internal/matchidx).
+	MatchEngine string
 }
 
 // SHB is the subscriber hosting broker engine.
@@ -223,7 +228,7 @@ func New(cfg Config) (*SHB, error) {
 	}
 	s := &SHB{
 		cfg:     cfg,
-		matcher: filter.NewMatcher(),
+		matcher: matchidx.MatcherFor(cfg.MatchEngine).InstrumentSite("shb"),
 		mu:      newChanMutex(),
 		pubends: make(map[vtime.PubendID]*shbPubend, len(cfg.Pubends)),
 		subs:    make(map[vtime.SubscriberID]*subscriber),

@@ -3,57 +3,86 @@ package filter
 import (
 	"sort"
 	"sync"
+	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/vtime"
 )
+
+// Engine is a pluggable matching strategy behind Matcher. The facade owns
+// locking, the authoritative id→subscription map, replace-on-Add semantics
+// and deterministic output ordering; an Engine only maintains its index
+// structures and answers match queries.
+//
+// Engines are NOT required to be safe for concurrent use — the facade
+// serializes writes and allows concurrent reads, so MatchAppend and
+// MatchesAny may run concurrently with each other but never with
+// Add/Remove. Engines needing per-query scratch must make the read paths
+// concurrency-safe themselves (e.g. a sync.Pool of scratch buffers).
+type Engine interface {
+	// Add indexes sub under id. The facade guarantees id is not
+	// currently indexed (it removes first on replacement).
+	Add(id vtime.SubscriberID, sub *Subscription)
+	// Remove unindexes id. sub is the subscription the facade added it
+	// with, so engines need not store their own copy.
+	Remove(id vtime.SubscriberID, sub *Subscription)
+	// MatchAppend appends the ids of all matching subscriptions to dst
+	// (in any order) and reports how many candidate subscriptions were
+	// fully evaluated (the selectivity denominator).
+	MatchAppend(dst []vtime.SubscriberID, attrs Attributes) ([]vtime.SubscriberID, int)
+	// MatchesAny reports whether at least one subscription matches, and
+	// how many candidates were evaluated before deciding.
+	MatchesAny(attrs Attributes) (bool, int)
+}
 
 // Matcher indexes many subscriptions and answers "which subscriptions match
 // this event" queries. It is the per-broker matching engine: SHBs run one
 // per hosted subscriber set, intermediate brokers run one per downstream
 // link for D→S filtering.
 //
-// Indexing strategy: each subscription that has at least one equality
-// predicate is indexed under its first equality predicate (attribute,
-// value-key). Subscriptions without an equality predicate go on a linear
-// scan list. Matching an event probes the index once per event attribute
-// and then verifies full predicates, so cost is proportional to the number
-// of candidate subscriptions rather than all subscriptions — the property
-// the Gryphon matching engine provides.
+// The matching strategy is pluggable (see Engine). NewMatcher uses the
+// brute-force linear engine — simple, allocation-free, and the test oracle
+// for indexed engines; internal/matchidx provides the counting-based
+// attribute-indexed engine used by the brokers at scale.
 //
 // Matcher is safe for concurrent use.
 type Matcher struct {
-	mu     sync.RWMutex
-	byKey  map[indexKey][]vtime.SubscriberID
-	linear []vtime.SubscriberID
-	subs   map[vtime.SubscriberID]*Subscription
+	mu   sync.RWMutex
+	subs map[vtime.SubscriberID]*Subscription
+	eng  Engine
+	ins  *siteInstruments // nil = uninstrumented
 }
 
-type indexKey struct {
-	attr string
-	val  string
-}
+// NewMatcher returns an empty matcher on the linear brute-force engine.
+func NewMatcher() *Matcher { return NewMatcherWith(NewLinearEngine()) }
 
-// NewMatcher returns an empty matcher.
-func NewMatcher() *Matcher {
+// NewMatcherWith returns an empty matcher delegating to eng.
+func NewMatcherWith(eng Engine) *Matcher {
 	return &Matcher{
-		byKey: make(map[indexKey][]vtime.SubscriberID),
-		subs:  make(map[vtime.SubscriberID]*Subscription),
+		subs: make(map[vtime.SubscriberID]*Subscription),
+		eng:  eng,
 	}
+}
+
+// InstrumentSite enables match telemetry on this matcher, labeling the
+// process-wide candidate/hit counters and latency histogram with the
+// matcher's site (e.g. "shb" for the engine matcher, "link" for per-link
+// D→S filters). Returns m for chaining. Matchers sharing a site share
+// instruments.
+func (m *Matcher) InstrumentSite(site string) *Matcher {
+	m.ins = instrumentsFor(site)
+	return m
 }
 
 // Add registers (or replaces) the subscription for id.
 func (m *Matcher) Add(id vtime.SubscriberID, sub *Subscription) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, exists := m.subs[id]; exists {
-		m.removeLocked(id)
+	if old, exists := m.subs[id]; exists {
+		m.eng.Remove(id, old)
 	}
 	m.subs[id] = sub
-	if key, ok := equalityKey(sub); ok {
-		m.byKey[key] = append(m.byKey[key], id)
-		return
-	}
-	m.linear = append(m.linear, id)
+	m.eng.Add(id, sub)
 }
 
 // Remove unregisters the subscription for id. Removing an unknown id is a
@@ -61,43 +90,12 @@ func (m *Matcher) Add(id vtime.SubscriberID, sub *Subscription) {
 func (m *Matcher) Remove(id vtime.SubscriberID) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.removeLocked(id)
-}
-
-func (m *Matcher) removeLocked(id vtime.SubscriberID) {
-	sub, ok := m.subs[id]
+	old, ok := m.subs[id]
 	if !ok {
 		return
 	}
 	delete(m.subs, id)
-	if key, hasKey := equalityKey(sub); hasKey {
-		m.byKey[key] = removeID(m.byKey[key], id)
-		if len(m.byKey[key]) == 0 {
-			delete(m.byKey, key)
-		}
-		return
-	}
-	m.linear = removeID(m.linear, id)
-}
-
-func removeID(ids []vtime.SubscriberID, id vtime.SubscriberID) []vtime.SubscriberID {
-	for i, x := range ids {
-		if x == id {
-			return append(ids[:i], ids[i+1:]...)
-		}
-	}
-	return ids
-}
-
-// equalityKey returns the index key for the subscription's first equality
-// predicate, if any.
-func equalityKey(sub *Subscription) (indexKey, bool) {
-	for _, p := range sub.preds {
-		if p.Op == OpEq {
-			return indexKey{attr: p.Attr, val: p.Val.Key()}, true
-		}
-	}
-	return indexKey{}, false
+	m.eng.Remove(id, old)
 }
 
 // Len reports the number of registered subscriptions.
@@ -138,43 +136,233 @@ func (m *Matcher) Match(attrs Attributes) []vtime.SubscriberID {
 // Passing a reused buffer (dst[:0]) makes per-event matching allocation-free
 // on the broker fan-out path.
 func (m *Matcher) MatchAppend(dst []vtime.SubscriberID, attrs Attributes) []vtime.SubscriberID {
+	var t0 time.Time
+	if m.ins != nil {
+		t0 = time.Now()
+	}
 	m.mu.RLock()
-	defer m.mu.RUnlock()
 	start := len(dst)
-	for attr, val := range attrs {
-		for _, id := range m.byKey[indexKey{attr: attr, val: val.Key()}] {
-			if m.subs[id].Matches(attrs) {
-				dst = append(dst, id)
+	dst, cand := m.eng.MatchAppend(dst, attrs)
+	m.mu.RUnlock()
+	tail := dst[start:]
+	sortIDs(tail)
+	if m.ins != nil {
+		m.ins.candidates.Add(int64(cand))
+		m.ins.hits.Add(int64(len(tail)))
+		m.ins.seconds.ObserveDuration(time.Since(t0))
+	}
+	return dst
+}
+
+// sortIDs sorts ids ascending without reflection — sort.Slice's closure and
+// reflect-based swapper allocate, which would break the zero-alloc
+// MatchAppend contract on the fan-out path.
+func sortIDs(ids []vtime.SubscriberID) {
+	if len(ids) < 2 {
+		return
+	}
+	if len(ids) <= 32 {
+		for i := 1; i < len(ids); i++ {
+			for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+				ids[j], ids[j-1] = ids[j-1], ids[j]
 			}
 		}
+		return
 	}
-	for _, id := range m.linear {
-		if m.subs[id].Matches(attrs) {
-			dst = append(dst, id)
+	// Heapsort: in-place, O(n log n), no closures.
+	siftDown := func(root, end int) {
+		for {
+			child := 2*root + 1
+			if child >= end {
+				return
+			}
+			if child+1 < end && ids[child] < ids[child+1] {
+				child++
+			}
+			if ids[root] >= ids[child] {
+				return
+			}
+			ids[root], ids[child] = ids[child], ids[root]
+			root = child
 		}
 	}
-	tail := dst[start:]
-	sort.Slice(tail, func(i, j int) bool { return tail[i] < tail[j] })
-	return dst
+	for i := len(ids)/2 - 1; i >= 0; i-- {
+		siftDown(i, len(ids))
+	}
+	for end := len(ids) - 1; end > 0; end-- {
+		ids[0], ids[end] = ids[end], ids[0]
+		siftDown(0, end)
+	}
 }
 
 // MatchesAny reports whether at least one registered subscription matches;
 // intermediate brokers use it to decide whether to forward an event as D or
 // downgrade it to S for a link.
 func (m *Matcher) MatchesAny(attrs Attributes) bool {
+	var t0 time.Time
+	if m.ins != nil {
+		t0 = time.Now()
+	}
 	m.mu.RLock()
-	defer m.mu.RUnlock()
+	ok, cand := m.eng.MatchesAny(attrs)
+	m.mu.RUnlock()
+	if m.ins != nil {
+		m.ins.candidates.Add(int64(cand))
+		if ok {
+			m.ins.hits.Inc()
+		}
+		m.ins.seconds.ObserveDuration(time.Since(t0))
+	}
+	return ok
+}
+
+// --- Site telemetry ---
+
+// siteInstruments are the match-selectivity counters and latency histogram
+// for one matcher site. candidates/hits expose the selectivity ratio: a
+// healthy index evaluates few candidates per hit, a degenerate one scans
+// everything.
+type siteInstruments struct {
+	candidates *telemetry.Counter
+	hits       *telemetry.Counter
+	seconds    *telemetry.Histogram
+}
+
+var (
+	sitesMu sync.Mutex
+	sites   = make(map[string]*siteInstruments)
+)
+
+func instrumentsFor(site string) *siteInstruments {
+	sitesMu.Lock()
+	defer sitesMu.Unlock()
+	if ins, ok := sites[site]; ok {
+		return ins
+	}
+	label := "{site=\"" + site + "\"}"
+	ins := &siteInstruments{
+		candidates: telemetry.Default().Counter("gryphon_match_candidates_total"+label,
+			"Subscriptions fully evaluated per match query (selectivity denominator)."),
+		hits: telemetry.Default().Counter("gryphon_match_hits_total"+label,
+			"Subscriptions matched per match query (selectivity numerator)."),
+		seconds: telemetry.Default().DurationHistogram("gryphon_match_seconds"+label,
+			"Per-event matching latency by matcher site.", telemetry.FastBuckets),
+	}
+	sites[site] = ins
+	return ins
+}
+
+// --- Linear engine (the brute-force oracle) ---
+
+// linearEngine is the original matching strategy: each subscription with at
+// least one equality predicate is indexed under its first equality
+// predicate (attribute, value-key); subscriptions without one go on a
+// linear scan list. Matching probes the index once per event attribute and
+// then verifies full predicates. It is simple and allocation-free, and
+// serves as the correctness oracle for indexed engines.
+type linearEngine struct {
+	byKey  map[indexKey][]vtime.SubscriberID
+	linear []vtime.SubscriberID
+	subs   map[vtime.SubscriberID]*Subscription
+}
+
+type indexKey struct {
+	attr string
+	val  string
+}
+
+// NewLinearEngine returns the brute-force matching strategy.
+func NewLinearEngine() Engine {
+	return &linearEngine{
+		byKey: make(map[indexKey][]vtime.SubscriberID),
+		subs:  make(map[vtime.SubscriberID]*Subscription),
+	}
+}
+
+func (e *linearEngine) Add(id vtime.SubscriberID, sub *Subscription) {
+	e.subs[id] = sub
+	if key, ok := equalityKey(sub); ok {
+		e.byKey[key] = append(e.byKey[key], id)
+		return
+	}
+	e.linear = append(e.linear, id)
+}
+
+func (e *linearEngine) Remove(id vtime.SubscriberID, sub *Subscription) {
+	if _, ok := e.subs[id]; !ok {
+		return
+	}
+	delete(e.subs, id)
+	if key, hasKey := equalityKey(sub); hasKey {
+		e.byKey[key] = removeID(e.byKey[key], id)
+		if len(e.byKey[key]) == 0 {
+			delete(e.byKey, key)
+		}
+		return
+	}
+	e.linear = removeID(e.linear, id)
+}
+
+// removeID deletes id from ids by swapping the last element into its place
+// — O(1) instead of shifting the whole tail, which matters under
+// subscription churn on large buckets. Bucket order becomes arbitrary, but
+// match-time output is sorted by the facade, so determinism is preserved.
+func removeID(ids []vtime.SubscriberID, id vtime.SubscriberID) []vtime.SubscriberID {
+	for i, x := range ids {
+		if x == id {
+			last := len(ids) - 1
+			ids[i] = ids[last]
+			return ids[:last]
+		}
+	}
+	return ids
+}
+
+// equalityKey returns the index key for the subscription's first equality
+// predicate, if any.
+func equalityKey(sub *Subscription) (indexKey, bool) {
+	for _, p := range sub.preds {
+		if p.Op == OpEq {
+			return indexKey{attr: p.Attr, val: p.Val.Key()}, true
+		}
+	}
+	return indexKey{}, false
+}
+
+func (e *linearEngine) MatchAppend(dst []vtime.SubscriberID, attrs Attributes) ([]vtime.SubscriberID, int) {
+	cand := 0
 	for attr, val := range attrs {
-		for _, id := range m.byKey[indexKey{attr: attr, val: val.Key()}] {
-			if m.subs[id].Matches(attrs) {
-				return true
+		for _, id := range e.byKey[indexKey{attr: attr, val: val.Key()}] {
+			cand++
+			if e.subs[id].Matches(attrs) {
+				dst = append(dst, id)
 			}
 		}
 	}
-	for _, id := range m.linear {
-		if m.subs[id].Matches(attrs) {
-			return true
+	for _, id := range e.linear {
+		cand++
+		if e.subs[id].Matches(attrs) {
+			dst = append(dst, id)
 		}
 	}
-	return false
+	return dst, cand
+}
+
+func (e *linearEngine) MatchesAny(attrs Attributes) (bool, int) {
+	cand := 0
+	for attr, val := range attrs {
+		for _, id := range e.byKey[indexKey{attr: attr, val: val.Key()}] {
+			cand++
+			if e.subs[id].Matches(attrs) {
+				return true, cand
+			}
+		}
+	}
+	for _, id := range e.linear {
+		cand++
+		if e.subs[id].Matches(attrs) {
+			return true, cand
+		}
+	}
+	return false, cand
 }

@@ -1,0 +1,276 @@
+package matchidx
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/filter"
+	"repro/internal/vtime"
+)
+
+// Covers reports whether subscription a covers subscription b: every event
+// matching b is guaranteed to match a. The check is sound but incomplete
+// (it may return false for a true cover — e.g. covers established only by
+// combining several of b's predicates — never true for a false one), which
+// is the safe direction: a missed cover costs an extra upstream
+// announcement, a wrong one would lose events.
+//
+// a covers b when every predicate of a is implied by b's predicates on the
+// same attribute (all predicate evaluations require the attribute to be
+// present, so any predicate of b on the attribute implies existence).
+func Covers(a, b *filter.Subscription) bool {
+	return coversPreds(a.Predicates(), b.Predicates())
+}
+
+func coversPreds(apreds, bpreds []filter.Predicate) bool {
+	for _, pa := range apreds {
+		if !implied(pa, bpreds) {
+			return false
+		}
+	}
+	return true
+}
+
+// implied reports whether the conjunction of b's predicates implies pa.
+func implied(pa filter.Predicate, bpreds []filter.Predicate) bool {
+	for _, pb := range bpreds {
+		if pb.Attr != pa.Attr {
+			continue
+		}
+		if impliedBy(pa, pb) {
+			return true
+		}
+	}
+	return false
+}
+
+// impliedBy reports whether a single predicate pb implies pa (both on the
+// same attribute).
+func impliedBy(pa, pb filter.Predicate) bool {
+	switch pa.Op {
+	case filter.OpExists:
+		// Every predicate fails on a missing attribute, so any pb
+		// guarantees presence.
+		return true
+	case filter.OpEq:
+		return pb.Op == filter.OpEq && pb.Val.Equal(pa.Val)
+	case filter.OpNe:
+		// If pa's excluded value fails pb, every value passing pb
+		// differs from it (evaluation is congruent under Value.Equal).
+		return !evalOn(pb, pa.Val)
+	case filter.OpPrefix:
+		if pa.Val.Kind() != filter.KindString {
+			return false // pa can never hold; don't claim coverage
+		}
+		switch pb.Op {
+		case filter.OpPrefix:
+			return pb.Val.Kind() == filter.KindString &&
+				strings.HasPrefix(pb.Val.Str(), pa.Val.Str())
+		case filter.OpEq:
+			return pb.Val.Kind() == filter.KindString &&
+				strings.HasPrefix(pb.Val.Str(), pa.Val.Str())
+		}
+		return false
+	case filter.OpLt, filter.OpLe, filter.OpGt, filter.OpGe:
+		if pb.Op == filter.OpEq {
+			// The only value passing pb is pb.Val; pa holds iff it
+			// holds there.
+			return evalOn(pa, pb.Val)
+		}
+		return rangeImplies(pa, pb)
+	}
+	return false
+}
+
+// rangeImplies reports whether range predicate pb implies range predicate
+// pa: pb's half-space is contained in pa's.
+func rangeImplies(pa, pb filter.Predicate) bool {
+	lower := func(op filter.Op) bool { return op == filter.OpGt || op == filter.OpGe }
+	if pb.Op != filter.OpLt && pb.Op != filter.OpLe && pb.Op != filter.OpGt && pb.Op != filter.OpGe {
+		return false
+	}
+	// Value.Compare reports NaN as equal to every numeric, which would
+	// let bound comparison claim covers that do not hold; refuse them.
+	if isNaNVal(pa.Val) || isNaNVal(pb.Val) {
+		return false
+	}
+	if lower(pa.Op) != lower(pb.Op) {
+		return false // opposite directions never imply
+	}
+	cmp, comparable := pb.Val.Compare(pa.Val)
+	if !comparable {
+		return false // values passing pb are of a kind pa cannot order
+	}
+	if lower(pa.Op) {
+		// pb: v >(=) vb implies pa: v >(=) va when vb > va, or vb == va
+		// unless pb is >= while pa is > (v could equal the bound).
+		return cmp > 0 || (cmp == 0 && !(pa.Op == filter.OpGt && pb.Op == filter.OpGe))
+	}
+	return cmp < 0 || (cmp == 0 && !(pa.Op == filter.OpLt && pb.Op == filter.OpLe))
+}
+
+// evalOn evaluates predicate p against a single attribute value (the
+// attribute is present by construction).
+func evalOn(p filter.Predicate, v filter.Value) bool {
+	return p.Eval(filter.Attributes{p.Attr: v})
+}
+
+func isNaNVal(v filter.Value) bool {
+	return v.Kind() == filter.KindFloat && math.IsNaN(v.FloatVal())
+}
+
+// --- Covering-set maintenance ---
+
+// CoverOp is one upstream routing-table change produced by a CoverSet
+// mutation: announce (Remove=false) or withdraw (Remove=true) the
+// subscription under ID. Ops must be applied in order — re-expansion
+// announces always precede the withdrawal of their former cover, so the
+// upstream matcher never has a window where a live subscription is
+// uncovered.
+type CoverOp struct {
+	ID     vtime.SubscriberID
+	Filter string
+	Remove bool
+}
+
+type coverEntry struct {
+	sub       *filter.Subscription
+	preds     []filter.Predicate
+	src       string
+	announced bool
+	coveredBy vtime.SubscriberID // the announced cover hiding this entry
+}
+
+// CoverSet maintains the minimal announced subset of a broker's
+// subscription population: a subscription is hidden when some announced
+// subscription covers it, so intermediate brokers announce covering sets
+// upstream instead of every downstream subscription (routing tables shrink
+// with fan-in instead of growing). Not safe for concurrent use — the
+// broker's control shard owns it.
+type CoverSet struct {
+	members map[vtime.SubscriberID]*coverEntry
+	nAnn    int
+}
+
+// NewCoverSet returns an empty covering set.
+func NewCoverSet() *CoverSet {
+	return &CoverSet{members: make(map[vtime.SubscriberID]*coverEntry)}
+}
+
+// Len reports the total tracked subscription count.
+func (c *CoverSet) Len() int { return len(c.members) }
+
+// AnnouncedLen reports the size of the covering (announced) subset.
+func (c *CoverSet) AnnouncedLen() int { return c.nAnn }
+
+// Announced returns the current covering set as announce ops (for replaying
+// onto a fresh upstream link), sorted by ID for determinism.
+func (c *CoverSet) Announced() []CoverOp {
+	out := make([]CoverOp, 0, c.nAnn)
+	for id, e := range c.members {
+		if e.announced {
+			out = append(out, CoverOp{ID: id, Filter: e.src})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Add registers (or replaces) the subscription for id and returns the
+// upstream ops the change requires. Re-adding an identical subscription is
+// a no-op.
+func (c *CoverSet) Add(id vtime.SubscriberID, sub *filter.Subscription) []CoverOp {
+	src := sub.String()
+	var ops []CoverOp
+	if old, exists := c.members[id]; exists {
+		if old.src == src {
+			return nil
+		}
+		ops = c.Remove(id)
+	}
+	e := &coverEntry{sub: sub, preds: sub.Predicates(), src: src}
+	c.members[id] = e
+	// Hidden under an existing announced cover?
+	if cover, ok := c.findCover(id, e.preds); ok {
+		e.coveredBy = cover
+		return ops
+	}
+	// Announce it, then hide any announced entries it now covers. The
+	// announce is emitted first so the upstream matcher gains the cover
+	// before losing the covered.
+	e.announced = true
+	c.nAnn++
+	ops = append(ops, CoverOp{ID: id, Filter: src})
+	for oid, oe := range c.members {
+		if oid == id || !oe.announced || !coversPreds(e.preds, oe.preds) {
+			continue
+		}
+		oe.announced = false
+		oe.coveredBy = id
+		c.nAnn--
+		// Entries the demoted cover was hiding are re-homed under the
+		// new cover (coverage is transitive).
+		for _, he := range c.members {
+			if !he.announced && he.coveredBy == oid {
+				he.coveredBy = id
+			}
+		}
+		ops = append(ops, CoverOp{ID: oid, Remove: true})
+	}
+	return ops
+}
+
+// Remove unregisters the subscription for id and returns the upstream ops
+// the change requires. When an announced cover is removed, every entry it
+// was hiding is re-homed — under another announced cover when one exists,
+// otherwise by promotion to announced — and all promotion announces are
+// emitted before the cover's withdrawal, so downstream subscriptions are
+// never left uncovered upstream.
+func (c *CoverSet) Remove(id vtime.SubscriberID) []CoverOp {
+	e, ok := c.members[id]
+	if !ok {
+		return nil
+	}
+	delete(c.members, id)
+	if !e.announced {
+		return nil
+	}
+	c.nAnn--
+	var ops []CoverOp
+	// Collect the orphans deterministically.
+	var orphans []vtime.SubscriberID
+	for oid, oe := range c.members {
+		if !oe.announced && oe.coveredBy == id {
+			orphans = append(orphans, oid)
+		}
+	}
+	sort.Slice(orphans, func(i, j int) bool { return orphans[i] < orphans[j] })
+	for _, oid := range orphans {
+		oe := c.members[oid]
+		if cover, found := c.findCover(oid, oe.preds); found {
+			oe.coveredBy = cover
+			continue
+		}
+		oe.announced = true
+		c.nAnn++
+		ops = append(ops, CoverOp{ID: oid, Filter: oe.src})
+		// The promoted orphan may cover other still-unprocessed
+		// orphans; findCover will pick it up for them.
+	}
+	ops = append(ops, CoverOp{ID: id, Remove: true})
+	return ops
+}
+
+// findCover scans the announced set for an entry covering preds.
+func (c *CoverSet) findCover(self vtime.SubscriberID, preds []filter.Predicate) (vtime.SubscriberID, bool) {
+	for oid, oe := range c.members {
+		if oid == self || !oe.announced {
+			continue
+		}
+		if coversPreds(oe.preds, preds) {
+			return oid, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,233 @@
+package matchidx
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/vtime"
+)
+
+func TestCoversBasics(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{`true`, `price > 10`, true},
+		{`price > 10`, `true`, false},
+		{`price > 10`, `price > 20`, true},
+		{`price > 20`, `price > 10`, false},
+		{`price >= 10`, `price > 10`, true},
+		{`price > 10`, `price >= 10`, false},
+		{`price > 10`, `price >= 11`, true},
+		{`price < 5`, `price <= 4`, true},
+		{`price <= 5`, `price < 5`, true},
+		{`price > 10`, `price = 15`, true},
+		{`price > 10`, `price = 5`, false},
+		{`exists(price)`, `price = 5`, true},
+		{`exists(price)`, `exists(price)`, true},
+		{`exists(price)`, `sym = "x"`, false},
+		{`prefix(sym, "AC")`, `prefix(sym, "ACME")`, true},
+		{`prefix(sym, "ACME")`, `prefix(sym, "AC")`, false},
+		{`prefix(sym, "AC")`, `sym = "ACME"`, true},
+		// prefix only matches string values; exists admits any kind.
+		{`prefix(sym, "")`, `exists(sym)`, false},
+		{`prefix(sym, "")`, `prefix(sym, "A")`, true},
+		{`sym != "x"`, `sym = "y"`, true},
+		{`sym != "x"`, `sym = "x"`, false},
+		{`price != 3`, `price > 5`, true},
+		{`price != 7`, `price > 5`, false},
+		{`topic = "t"`, `topic = "t" and price > 1`, true},
+		{`topic = "t" and price > 1`, `topic = "t"`, false},
+		{`topic = "t" and price > 1`, `topic = "t" and price > 5 and exists(sym)`, true},
+		// Same bound, different kinds: numeric cross-kind equality holds.
+		{`price > 10`, `price > 10.5`, true},
+		{`price >= 10.0`, `price > 10`, true},
+		// String ranges order lexically.
+		{`sym < "m"`, `sym <= "a"`, true},
+		{`sym < "m"`, `sym < "z"`, false},
+		// Mixed-kind range bounds are incomparable: no cover claimed.
+		{`price > 10`, `price > "x"`, false},
+	}
+	for _, tc := range cases {
+		a, b := filter.MustParse(tc.a), filter.MustParse(tc.b)
+		if got := Covers(a, b); got != tc.want {
+			t.Errorf("Covers(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+// TestCoversSoundness is the property that matters for routing correctness:
+// whenever Covers(a, b) claims a cover, every randomly generated event
+// matching b must match a. (Completeness is not required — a false negative
+// only costs an extra announcement.)
+func TestCoversSoundness(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	checked := 0
+	for i := 0; i < 4000; i++ {
+		a, b := randSubscription(r), randSubscription(r)
+		if !Covers(a, b) {
+			continue
+		}
+		checked++
+		for j := 0; j < 50; j++ {
+			evt := randEvent(r)
+			if b.Matches(evt) && !a.Matches(evt) {
+				t.Fatalf("Covers(%q, %q) claimed, but event %v matches b and not a",
+					a.String(), b.String(), evt)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("only %d cover pairs generated; generator too sparse to be meaningful", checked)
+	}
+	t.Logf("verified %d claimed covers", checked)
+}
+
+// applyOps plays CoverOps onto a matcher standing in for the upstream
+// broker's view of this broker.
+func applyOps(t *testing.T, up *filter.Matcher, ops []CoverOp) {
+	t.Helper()
+	for _, op := range ops {
+		if op.Remove {
+			up.Remove(op.ID)
+		} else {
+			up.Add(op.ID, filter.MustParse(op.Filter))
+		}
+	}
+}
+
+// checkCovered asserts the upstream view still covers every live member:
+// any event matching a member also matches some announced subscription.
+func checkCovered(t *testing.T, r *rand.Rand, up *filter.Matcher, live map[vtime.SubscriberID]*filter.Subscription) {
+	t.Helper()
+	for id, sub := range live {
+		for j := 0; j < 20; j++ {
+			evt := randEvent(r)
+			if sub.Matches(evt) && !up.MatchesAny(evt) {
+				t.Fatalf("member %d (%s): event %v matches locally but upstream view misses it",
+					id, sub.String(), evt)
+			}
+		}
+	}
+}
+
+func TestCoverSetShrinksAndReexpands(t *testing.T) {
+	cs := NewCoverSet()
+	up := filter.NewMatcher()
+
+	applyOps(t, up, cs.Add(1, filter.MustParse(`price > 10`)))
+	applyOps(t, up, cs.Add(2, filter.MustParse(`price > 20`)))
+	applyOps(t, up, cs.Add(3, filter.MustParse(`price > 30 and topic = "t"`)))
+	if cs.Len() != 3 || cs.AnnouncedLen() != 1 {
+		t.Fatalf("Len=%d AnnouncedLen=%d, want 3/1", cs.Len(), cs.AnnouncedLen())
+	}
+	if up.Len() != 1 {
+		t.Fatalf("upstream sees %d announcements, want 1 (the cover)", up.Len())
+	}
+
+	// Removing the cover re-expands: 2 covers 3, so exactly 2 is promoted.
+	applyOps(t, up, cs.Remove(1))
+	if cs.AnnouncedLen() != 1 || up.Len() != 1 {
+		t.Fatalf("after cover removal: AnnouncedLen=%d upstream=%d, want 1/1",
+			cs.AnnouncedLen(), up.Len())
+	}
+	if _, ok := up.Get(2); !ok {
+		t.Fatal("expected subscription 2 promoted to announced")
+	}
+
+	// A broader late arrival demotes the current cover.
+	applyOps(t, up, cs.Add(4, filter.MustParse(`exists(price)`)))
+	if cs.AnnouncedLen() != 1 || up.Len() != 1 {
+		t.Fatalf("after broad add: AnnouncedLen=%d upstream=%d, want 1/1",
+			cs.AnnouncedLen(), up.Len())
+	}
+	if _, ok := up.Get(4); !ok {
+		t.Fatal("expected subscription 4 to be the announced cover")
+	}
+
+	// Announced() replays the covering set for a fresh upstream link.
+	fresh := filter.NewMatcher()
+	applyOps(t, fresh, cs.Announced())
+	if fresh.Len() != 1 {
+		t.Fatalf("replay announced %d, want 1", fresh.Len())
+	}
+
+	// Draining everything leaves the upstream view empty.
+	applyOps(t, up, cs.Remove(4))
+	applyOps(t, up, cs.Remove(2))
+	applyOps(t, up, cs.Remove(3))
+	if cs.Len() != 0 || cs.AnnouncedLen() != 0 || up.Len() != 0 {
+		t.Fatalf("after drain: Len=%d AnnouncedLen=%d upstream=%d, want 0/0/0",
+			cs.Len(), cs.AnnouncedLen(), up.Len())
+	}
+}
+
+// TestCoverSetNoLossInvariant churns a CoverSet with random subscriptions,
+// applying the emitted ops to an upstream matcher after EVERY op, and checks
+// the covering invariant continuously: no event matching any live member may
+// be invisible upstream. Ops are applied one at a time so announce-before-
+// withdraw ordering is verified too (a mid-sequence uncovered window would
+// drop events in flight).
+func TestCoverSetNoLossInvariant(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	cs := NewCoverSet()
+	up := filter.NewMatcher()
+	live := make(map[vtime.SubscriberID]*filter.Subscription)
+	next := vtime.SubscriberID(1)
+
+	for step := 0; step < 400; step++ {
+		var ops []CoverOp
+		if len(live) > 0 && r.Intn(100) < 40 {
+			var victim vtime.SubscriberID
+			k := r.Intn(len(live))
+			for id := range live {
+				if k == 0 {
+					victim = id
+					break
+				}
+				k--
+			}
+			delete(live, victim)
+			ops = cs.Remove(victim)
+		} else {
+			sub := randSubscription(r)
+			live[next] = sub
+			ops = cs.Add(next, sub)
+			next++
+		}
+		for _, op := range ops {
+			applyOps(t, up, []CoverOp{op})
+			checkCovered(t, r, up, live)
+		}
+		checkCovered(t, r, up, live)
+		if cs.Len() != len(live) {
+			t.Fatalf("step %d: CoverSet.Len=%d live=%d", step, cs.Len(), len(live))
+		}
+		if up.Len() != cs.AnnouncedLen() {
+			t.Fatalf("step %d: upstream=%d announced=%d", step, up.Len(), cs.AnnouncedLen())
+		}
+		if cs.AnnouncedLen() > cs.Len() {
+			t.Fatalf("step %d: announced %d > members %d", step, cs.AnnouncedLen(), cs.Len())
+		}
+	}
+	t.Logf("final population %d, announced %d", cs.Len(), cs.AnnouncedLen())
+}
+
+// TestCoverSetIdempotentAdd mirrors downstream reconnect: re-announcing an
+// identical subscription must emit no upstream traffic.
+func TestCoverSetIdempotentAdd(t *testing.T) {
+	cs := NewCoverSet()
+	sub := filter.MustParse(`price > 10`)
+	if ops := cs.Add(7, sub); len(ops) != 1 {
+		t.Fatalf("first add: %d ops, want 1", len(ops))
+	}
+	if ops := cs.Add(7, filter.MustParse(`price > 10`)); ops != nil {
+		t.Fatalf("re-add of identical filter emitted %v, want none", ops)
+	}
+	// Replacement with a different filter does emit.
+	ops := cs.Add(7, filter.MustParse(`price > 99`))
+	if len(ops) == 0 {
+		t.Fatal("replacement emitted no ops")
+	}
+}

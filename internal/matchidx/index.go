@@ -1,0 +1,605 @@
+// Package matchidx implements the counting-based, attribute-indexed
+// matching engine behind filter.Matcher, plus the covering/subsumption
+// algebra intermediate brokers use to shrink their upstream routing tables
+// (DESIGN §2.9).
+//
+// Instead of scanning subscriptions per event, every predicate of every
+// subscription is placed in a per-attribute index keyed by what an event
+// value must look like to satisfy it:
+//
+//   - equality predicates land in hash buckets (separate string / numeric /
+//     bool buckets so lookups never allocate a value key);
+//   - range predicates land in sorted bound lists — lower bounds (>, >=)
+//     and upper bounds (<, <=), numeric and string separately — probed by
+//     binary search;
+//   - prefix(attr, s) predicates land in a byte trie walked along the
+//     event's string value;
+//   - exists(attr) predicates land in a per-attribute presence list;
+//   - != and otherwise unindexable predicates become per-subscription
+//     residuals, verified only on candidate subscriptions.
+//
+// Each subscription records how many of its predicates are indexed; an
+// event matches when its satisfied-predicate count reaches that total and
+// the residuals verify (the counting algorithm of Yan/Garcia-Molina and the
+// Siena/Gryphon line of matchers). Match cost is proportional to the number
+// of postings the event's attributes touch, not to the number of
+// subscriptions.
+package matchidx
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/filter"
+	"repro/internal/vtime"
+)
+
+// New returns the counting-index matching engine, for use with
+// filter.NewMatcherWith. NewMatcher is the one-call convenience.
+func New() filter.Engine { return newIndex() }
+
+// NewMatcher returns a filter.Matcher backed by the counting index.
+func NewMatcher() *filter.Matcher { return filter.NewMatcherWith(New()) }
+
+// slotRef identifies one subscription slot at one generation. Postings
+// store refs, not slot numbers: freeing a slot bumps its generation, so
+// stale postings left behind in index structures can never count toward a
+// reused slot (they are skipped and reclaimed by the next rebuild).
+type slotRef struct {
+	slot uint32
+	gen  uint32
+}
+
+// slotInfo is the per-subscription record of the counting vector.
+type slotInfo struct {
+	id       vtime.SubscriberID
+	sub      *filter.Subscription
+	need     int32              // indexed-predicate count to reach
+	residual []filter.Predicate // verified per candidate, not indexed
+	gen      uint32
+	live     bool
+	postings int32 // posting entries this slot placed in the index
+}
+
+// Index is the counting engine. It implements filter.Engine; all writes
+// are serialized by the facade, reads may run concurrently (per-query
+// scratch comes from a pool).
+type Index struct {
+	attrs map[string]*attrIndex
+	slots []slotInfo
+	ids   map[vtime.SubscriberID]uint32
+	free  []uint32
+	// always holds subscriptions with no indexed predicates (match-all,
+	// or residual-only, e.g. pure != filters): they are candidates for
+	// every event.
+	always []slotRef
+
+	livePostings int64
+	deadPostings int64
+
+	scratch sync.Pool // *matchScratch
+}
+
+func newIndex() *Index {
+	x := &Index{
+		attrs: make(map[string]*attrIndex),
+		ids:   make(map[vtime.SubscriberID]uint32),
+	}
+	x.scratch.New = func() any { return &matchScratch{} }
+	return x
+}
+
+// attrIndex holds every indexed predicate over one attribute.
+type attrIndex struct {
+	eqStr  map[string][]slotRef
+	eqNum  map[float64][]slotRef
+	eqBool [2][]slotRef
+	exists []slotRef
+	lowNum bounds[float64] // > and >= predicates (numeric)
+	hiNum  bounds[float64] // < and <= predicates (numeric)
+	lowStr bounds[string]  // > and >= predicates (string)
+	hiStr  bounds[string]  // < and <= predicates (string)
+	prefix *trieNode
+}
+
+func newAttrIndex() *attrIndex {
+	return &attrIndex{
+		eqStr: make(map[string][]slotRef),
+		eqNum: make(map[float64][]slotRef),
+	}
+}
+
+// --- Sorted bound lists ---
+
+type boundEntry[T float64 | string] struct {
+	bound  T
+	strict bool // true for > and < (excludes equality)
+	ref    slotRef
+}
+
+// bounds is a sorted base array plus a small unsorted delta; inserts append
+// to the delta and merge once it grows past mergeAt, so N inserts cost
+// O(N log N) amortized instead of O(N²) memmove. Queries binary-search the
+// base and scan the delta.
+type bounds[T float64 | string] struct {
+	base  []boundEntry[T] // sorted ascending by bound
+	delta []boundEntry[T]
+}
+
+const mergeAt = 128
+
+func (b *bounds[T]) add(e boundEntry[T]) {
+	b.delta = append(b.delta, e)
+	if len(b.delta) >= mergeAt {
+		b.merge()
+	}
+}
+
+func (b *bounds[T]) merge() {
+	if len(b.delta) == 0 {
+		return
+	}
+	sort.Slice(b.delta, func(i, j int) bool { return b.delta[i].bound < b.delta[j].bound })
+	merged := make([]boundEntry[T], 0, len(b.base)+len(b.delta))
+	i, j := 0, 0
+	for i < len(b.base) && j < len(b.delta) {
+		if b.base[i].bound <= b.delta[j].bound {
+			merged = append(merged, b.base[i])
+			i++
+		} else {
+			merged = append(merged, b.delta[j])
+			j++
+		}
+	}
+	merged = append(merged, b.base[i:]...)
+	merged = append(merged, b.delta[j:]...)
+	b.base, b.delta = merged, b.delta[:0]
+}
+
+func (b *bounds[T]) len() int { return len(b.base) + len(b.delta) }
+
+// lowerHits visits every lower-bound predicate satisfied by event value v:
+// bound < v, or bound == v for the non-strict (>=) form.
+func (b *bounds[T]) lowerHits(v T, fn func(slotRef)) {
+	i := sort.Search(len(b.base), func(i int) bool { return b.base[i].bound > v })
+	for k := 0; k < i; k++ {
+		if e := &b.base[k]; e.bound < v || !e.strict {
+			fn(e.ref)
+		}
+	}
+	for k := range b.delta {
+		if e := &b.delta[k]; e.bound < v || (e.bound == v && !e.strict) {
+			fn(e.ref)
+		}
+	}
+}
+
+// upperHits visits every upper-bound predicate satisfied by v: bound > v,
+// or bound == v for the non-strict (<=) form.
+func (b *bounds[T]) upperHits(v T, fn func(slotRef)) {
+	i := sort.Search(len(b.base), func(i int) bool { return b.base[i].bound >= v })
+	for k := i; k < len(b.base); k++ {
+		if e := &b.base[k]; e.bound > v || !e.strict {
+			fn(e.ref)
+		}
+	}
+	for k := range b.delta {
+		if e := &b.delta[k]; e.bound > v || (e.bound == v && !e.strict) {
+			fn(e.ref)
+		}
+	}
+}
+
+// --- Prefix trie ---
+
+type trieNode struct {
+	children map[byte]*trieNode
+	slots    []slotRef
+}
+
+func (n *trieNode) insert(prefix string, ref slotRef) {
+	for i := 0; i < len(prefix); i++ {
+		if n.children == nil {
+			n.children = make(map[byte]*trieNode)
+		}
+		child := n.children[prefix[i]]
+		if child == nil {
+			child = &trieNode{}
+			n.children[prefix[i]] = child
+		}
+		n = child
+	}
+	n.slots = append(n.slots, ref)
+}
+
+// walk visits the slots of every registered prefix of s (including the
+// empty prefix at the root).
+func (n *trieNode) walk(s string, fn func(slotRef)) {
+	for _, ref := range n.slots {
+		fn(ref)
+	}
+	for i := 0; i < len(s); i++ {
+		n = n.children[s[i]]
+		if n == nil {
+			return
+		}
+		for _, ref := range n.slots {
+			fn(ref)
+		}
+	}
+}
+
+// --- Counting scratch ---
+
+// matchScratch is the per-query counting state: counts[slot] is valid only
+// when mark[slot] == gen, so queries never clear the arrays (the classic
+// epoch trick). One scratch serves one query; concurrent queries each take
+// their own from the pool.
+type matchScratch struct {
+	counts []int32
+	mark   []uint32
+	gen    uint32
+}
+
+func (sc *matchScratch) begin(n int) {
+	if len(sc.counts) < n {
+		counts := make([]int32, n+n/2+8)
+		copy(counts, sc.counts)
+		sc.counts = counts
+		mark := make([]uint32, cap(counts))
+		copy(mark, sc.mark)
+		sc.mark = mark[:len(counts)]
+	}
+	sc.gen++
+	if sc.gen == 0 { // wrapped: stale marks could collide
+		for i := range sc.mark {
+			sc.mark[i] = 0
+		}
+		sc.gen = 1
+	}
+}
+
+// bump increments slot's satisfied count and returns the new value.
+func (sc *matchScratch) bump(slot uint32) int32 {
+	if sc.mark[slot] != sc.gen {
+		sc.mark[slot] = sc.gen
+		sc.counts[slot] = 1
+		return 1
+	}
+	sc.counts[slot]++
+	return sc.counts[slot]
+}
+
+// --- filter.Engine implementation ---
+
+// Add indexes sub under id (facade guarantees id is fresh).
+func (x *Index) Add(id vtime.SubscriberID, sub *filter.Subscription) {
+	slot := x.alloc()
+	si := &x.slots[slot]
+	ref := slotRef{slot: slot, gen: si.gen}
+	si.id = id
+	si.sub = sub
+	si.live = true
+	x.indexSub(si, ref, sub.Predicates())
+	x.livePostings += int64(si.postings)
+	x.ids[id] = slot
+}
+
+// indexSub populates the index structures for one subscription, choosing
+// which predicates to count and which to verify as residuals.
+//
+// Equality anchoring: when a subscription has at least one indexable
+// equality predicate, ONLY its equality predicates are indexed and
+// everything else becomes residual. Equality buckets are the most selective
+// structures by far, so the subscription surfaces as a candidate only on
+// exact bucket hits — whereas indexing its range predicates too would cost
+// a counting bump on every event whose value lands in the half-space (for
+// a population of range riders, close to half the population per event).
+// Residual verification on the few bucket hits is far cheaper than those
+// bumps at scale.
+func (x *Index) indexSub(si *slotInfo, ref slotRef, preds []filter.Predicate) {
+	si.need = 0
+	si.residual = nil
+	si.postings = 0
+	anchored := false
+	for _, p := range preds {
+		if eqIndexable(p) {
+			anchored = true
+			break
+		}
+	}
+	for _, p := range preds {
+		if anchored && !eqIndexable(p) {
+			si.residual = append(si.residual, p)
+			continue
+		}
+		if x.indexPredicate(p, ref) {
+			si.need++
+			si.postings++
+		} else {
+			si.residual = append(si.residual, p)
+		}
+	}
+	if si.need == 0 {
+		x.always = append(x.always, ref)
+		si.postings++
+	}
+}
+
+// eqIndexable reports whether p is an equality predicate the index can
+// bucket (everything except NaN, which equals nothing and cannot be a map
+// key).
+func eqIndexable(p filter.Predicate) bool {
+	if p.Op != filter.OpEq {
+		return false
+	}
+	switch p.Val.Kind() {
+	case filter.KindString, filter.KindBool:
+		return true
+	case filter.KindInt, filter.KindFloat:
+		return !math.IsNaN(numValue(p.Val))
+	}
+	return false
+}
+
+// Remove unindexes id. Postings are not chased down: bumping the slot's
+// generation invalidates every ref pointing at it, and accumulated garbage
+// is reclaimed by rebuild once dead postings outnumber live ones.
+func (x *Index) Remove(id vtime.SubscriberID, _ *filter.Subscription) {
+	slot, ok := x.ids[id]
+	if !ok {
+		return
+	}
+	delete(x.ids, id)
+	si := &x.slots[slot]
+	si.live = false
+	si.gen++
+	si.sub = nil
+	si.residual = nil
+	x.deadPostings += int64(si.postings)
+	x.livePostings -= int64(si.postings)
+	si.postings = 0
+	x.free = append(x.free, slot)
+	if x.deadPostings > 64 && x.deadPostings > x.livePostings {
+		x.rebuild()
+	}
+}
+
+// MatchAppend implements filter.Engine.
+func (x *Index) MatchAppend(dst []vtime.SubscriberID, attrs filter.Attributes) ([]vtime.SubscriberID, int) {
+	cand := 0
+	x.match(attrs, func(si *slotInfo) bool {
+		cand++
+		if residualsHold(si, attrs) {
+			dst = append(dst, si.id)
+		}
+		return false
+	})
+	return dst, cand
+}
+
+// MatchesAny implements filter.Engine.
+func (x *Index) MatchesAny(attrs filter.Attributes) (bool, int) {
+	cand, any := 0, false
+	x.match(attrs, func(si *slotInfo) bool {
+		cand++
+		if residualsHold(si, attrs) {
+			any = true
+			return true
+		}
+		return false
+	})
+	return any, cand
+}
+
+func residualsHold(si *slotInfo, attrs filter.Attributes) bool {
+	for _, p := range si.residual {
+		if !p.Eval(attrs) {
+			return false
+		}
+	}
+	return true
+}
+
+// match runs the counting algorithm, invoking each for every candidate
+// subscription (one whose satisfied count reached its need); each returns
+// true to stop early.
+func (x *Index) match(attrs filter.Attributes, each func(*slotInfo) bool) {
+	for _, ref := range x.always {
+		if si := x.slot(ref); si != nil && each(si) {
+			return
+		}
+	}
+	sc := x.scratch.Get().(*matchScratch)
+	defer x.scratch.Put(sc)
+	sc.begin(len(x.slots))
+	stop := false
+	hit := func(ref slotRef) {
+		if stop {
+			return
+		}
+		si := x.slot(ref)
+		if si == nil {
+			return
+		}
+		if sc.bump(ref.slot) == si.need {
+			stop = each(si)
+		}
+	}
+	for attr, v := range attrs {
+		ai := x.attrs[attr]
+		if ai == nil {
+			continue
+		}
+		for _, ref := range ai.exists {
+			hit(ref)
+			if stop {
+				return
+			}
+		}
+		switch v.Kind() {
+		case filter.KindString:
+			s := v.Str()
+			for _, ref := range ai.eqStr[s] {
+				hit(ref)
+			}
+			ai.lowStr.lowerHits(s, hit)
+			ai.hiStr.upperHits(s, hit)
+			if ai.prefix != nil {
+				ai.prefix.walk(s, hit)
+			}
+		case filter.KindInt, filter.KindFloat:
+			f := numValue(v)
+			if math.IsNaN(f) {
+				break // NaN satisfies no comparison (matches Eval)
+			}
+			for _, ref := range ai.eqNum[f] {
+				hit(ref)
+			}
+			ai.lowNum.lowerHits(f, hit)
+			ai.hiNum.upperHits(f, hit)
+		case filter.KindBool:
+			b := 0
+			if v.BoolVal() {
+				b = 1
+			}
+			for _, ref := range ai.eqBool[b] {
+				hit(ref)
+			}
+		}
+		if stop {
+			return
+		}
+	}
+}
+
+// slot resolves a posting ref, returning nil for stale (removed or
+// recycled) slots.
+func (x *Index) slot(ref slotRef) *slotInfo {
+	si := &x.slots[ref.slot]
+	if !si.live || si.gen != ref.gen {
+		return nil
+	}
+	return si
+}
+
+func (x *Index) alloc() uint32 {
+	if n := len(x.free); n > 0 {
+		slot := x.free[n-1]
+		x.free = x.free[:n-1]
+		return slot
+	}
+	x.slots = append(x.slots, slotInfo{})
+	return uint32(len(x.slots) - 1)
+}
+
+// indexPredicate places p in the per-attribute index, reporting false when
+// the predicate is not indexable (it becomes a residual: != always, and
+// any predicate whose value the index cannot order — bool ranges, NaN
+// bounds, non-string prefixes — which per Eval semantics can never hold
+// and so fails at residual verification).
+func (x *Index) indexPredicate(p filter.Predicate, ref slotRef) bool {
+	switch p.Op {
+	case filter.OpExists:
+		ai := x.attr(p.Attr)
+		ai.exists = append(ai.exists, ref)
+		return true
+	case filter.OpEq:
+		switch p.Val.Kind() {
+		case filter.KindString:
+			ai := x.attr(p.Attr)
+			ai.eqStr[p.Val.Str()] = append(ai.eqStr[p.Val.Str()], ref)
+			return true
+		case filter.KindInt, filter.KindFloat:
+			f := numValue(p.Val)
+			if math.IsNaN(f) {
+				return false // NaN equals nothing; NaN map keys are unretrievable
+			}
+			ai := x.attr(p.Attr)
+			ai.eqNum[f] = append(ai.eqNum[f], ref)
+			return true
+		case filter.KindBool:
+			b := 0
+			if p.Val.BoolVal() {
+				b = 1
+			}
+			ai := x.attr(p.Attr)
+			ai.eqBool[b] = append(ai.eqBool[b], ref)
+			return true
+		}
+		return false
+	case filter.OpPrefix:
+		if p.Val.Kind() != filter.KindString {
+			return false
+		}
+		ai := x.attr(p.Attr)
+		if ai.prefix == nil {
+			ai.prefix = &trieNode{}
+		}
+		ai.prefix.insert(p.Val.Str(), ref)
+		return true
+	case filter.OpGt, filter.OpGe, filter.OpLt, filter.OpLe:
+		strict := p.Op == filter.OpGt || p.Op == filter.OpLt
+		lower := p.Op == filter.OpGt || p.Op == filter.OpGe
+		switch p.Val.Kind() {
+		case filter.KindInt, filter.KindFloat:
+			f := numValue(p.Val)
+			if math.IsNaN(f) {
+				return false // would corrupt the sorted order
+			}
+			ai := x.attr(p.Attr)
+			if lower {
+				ai.lowNum.add(boundEntry[float64]{bound: f, strict: strict, ref: ref})
+			} else {
+				ai.hiNum.add(boundEntry[float64]{bound: f, strict: strict, ref: ref})
+			}
+			return true
+		case filter.KindString:
+			s := p.Val.Str()
+			ai := x.attr(p.Attr)
+			if lower {
+				ai.lowStr.add(boundEntry[string]{bound: s, strict: strict, ref: ref})
+			} else {
+				ai.hiStr.add(boundEntry[string]{bound: s, strict: strict, ref: ref})
+			}
+			return true
+		}
+		return false
+	default: // OpNe and anything unknown: residual verification
+		return false
+	}
+}
+
+func (x *Index) attr(name string) *attrIndex {
+	ai := x.attrs[name]
+	if ai == nil {
+		ai = newAttrIndex()
+		x.attrs[name] = ai
+	}
+	return ai
+}
+
+// rebuild re-indexes every live subscription into fresh structures,
+// dropping the stale postings left behind by Remove. Slot numbers and
+// generations are preserved, so pooled scratch sizing stays valid.
+func (x *Index) rebuild() {
+	x.attrs = make(map[string]*attrIndex)
+	x.always = x.always[:0]
+	x.livePostings, x.deadPostings = 0, 0
+	for _, slot := range x.ids {
+		si := &x.slots[slot]
+		ref := slotRef{slot: slot, gen: si.gen}
+		x.indexSub(si, ref, si.sub.Predicates())
+		x.livePostings += int64(si.postings)
+	}
+}
+
+// numValue returns the numeric payload as float64 (the cross-kind numeric
+// comparison domain of filter.Value).
+func numValue(v filter.Value) float64 {
+	if v.Kind() == filter.KindFloat {
+		return v.FloatVal()
+	}
+	return float64(v.IntVal())
+}

@@ -1,0 +1,153 @@
+package matchidx
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/vtime"
+)
+
+func ev(pairs ...any) filter.Attributes {
+	attrs := filter.Attributes{}
+	for i := 0; i < len(pairs); i += 2 {
+		attrs[pairs[i].(string)] = pairs[i+1].(filter.Value)
+	}
+	return attrs
+}
+
+func ids(xs ...int) []vtime.SubscriberID {
+	out := make([]vtime.SubscriberID, len(xs))
+	for i, x := range xs {
+		out[i] = vtime.SubscriberID(x)
+	}
+	return out
+}
+
+func expectMatch(t *testing.T, m *filter.Matcher, attrs filter.Attributes, want []vtime.SubscriberID) {
+	t.Helper()
+	got := m.Match(attrs)
+	if len(got) != len(want) {
+		t.Fatalf("match %v: got %v, want %v", attrs, got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("match %v: got %v, want %v", attrs, got, want)
+		}
+	}
+	if want := len(want) > 0; m.MatchesAny(attrs) != want {
+		t.Fatalf("MatchesAny(%v) != %v", attrs, want)
+	}
+}
+
+func TestIndexOperators(t *testing.T) {
+	m := NewMatcher()
+	m.Add(1, filter.MustParse(`topic = "trades"`))
+	m.Add(2, filter.MustParse(`price > 10`))
+	m.Add(3, filter.MustParse(`price <= 10`))
+	m.Add(4, filter.MustParse(`prefix(sym, "AC")`))
+	m.Add(5, filter.MustParse(`exists(sym)`))
+	m.Add(6, filter.MustParse(`price != 10`))
+	m.Add(7, filter.MustParse(`true`))
+	m.Add(8, filter.MustParse(`topic = "trades" and price >= 10 and price < 20`))
+	m.Add(9, filter.MustParse(`live = true`))
+
+	expectMatch(t, m, ev("topic", filter.String("trades"), "price", filter.Int(15)),
+		ids(1, 2, 6, 7, 8))
+	expectMatch(t, m, ev("price", filter.Int(10)), ids(3, 7))
+	expectMatch(t, m, ev("sym", filter.String("ACME"), "price", filter.Float(9.5)),
+		ids(3, 4, 5, 6, 7))
+	expectMatch(t, m, ev("sym", filter.String("ZB")), ids(5, 7))
+	expectMatch(t, m, ev("live", filter.Bool(true)), ids(7, 9))
+	expectMatch(t, m, ev("live", filter.Bool(false)), ids(7))
+	// Numeric cross-kind equality: int event vs float bound and vice versa.
+	m.Add(10, filter.MustParse(`price = 12.0`))
+	expectMatch(t, m, ev("price", filter.Int(12)), ids(2, 6, 7, 10))
+}
+
+func TestIndexRemoveAndReplace(t *testing.T) {
+	m := NewMatcher()
+	m.Add(1, filter.MustParse(`a = 1`))
+	m.Add(2, filter.MustParse(`a > 0`))
+	expectMatch(t, m, ev("a", filter.Int(1)), ids(1, 2))
+
+	m.Remove(1)
+	expectMatch(t, m, ev("a", filter.Int(1)), ids(2))
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+	// Replacing changes the indexed filter atomically.
+	m.Add(2, filter.MustParse(`a < 0`))
+	expectMatch(t, m, ev("a", filter.Int(1)), nil)
+	expectMatch(t, m, ev("a", filter.Int(-4)), ids(2))
+	// Removing an unknown id is a no-op.
+	m.Remove(99)
+	expectMatch(t, m, ev("a", filter.Int(-4)), ids(2))
+}
+
+// TestIndexSlotRecycling churns enough to force slot reuse and rebuilds,
+// checking stale postings never resurrect removed subscriptions.
+func TestIndexSlotRecycling(t *testing.T) {
+	m := NewMatcher()
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			m.Add(vtime.SubscriberID(i), filter.MustParse(
+				fmt.Sprintf(`a > %d and b = "x%d"`, i, round)))
+		}
+		attrs := ev("a", filter.Int(100), "b", filter.String(fmt.Sprintf("x%d", round)))
+		if got := m.Match(attrs); len(got) != 20 {
+			t.Fatalf("round %d: got %d matches, want 20", round, len(got))
+		}
+		stale := ev("a", filter.Int(100), "b", filter.String(fmt.Sprintf("x%d", round-1)))
+		if got := m.Match(stale); len(got) != 0 {
+			t.Fatalf("round %d: stale filters matched: %v", round, got)
+		}
+		for i := 0; i < 20; i++ {
+			m.Remove(vtime.SubscriberID(i))
+		}
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d after full churn, want 0", m.Len())
+	}
+}
+
+// TestIndexMatchAppendAllocs guards the zero-alloc contract on the fan-out
+// path: with a reused destination buffer, matching allocates nothing.
+func TestIndexMatchAppendAllocs(t *testing.T) {
+	m := NewMatcher()
+	for i := 0; i < 256; i++ {
+		m.Add(vtime.SubscriberID(i), filter.MustParse(
+			fmt.Sprintf(`group = "g%d" and price > %d and prefix(sym, "S%d")`, i%8, i%50, i%4)))
+	}
+	attrs := ev("group", filter.String("g3"), "price", filter.Int(40),
+		"sym", filter.String("S3X"))
+	buf := m.Match(attrs)
+	if len(buf) == 0 {
+		t.Fatal("expected matches")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = m.MatchAppend(buf[:0], attrs)
+	})
+	if allocs > 0 {
+		t.Fatalf("MatchAppend allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func BenchmarkIndexedMatch(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("%dsubs", n), func(b *testing.B) {
+			m := NewMatcher()
+			for i := 0; i < n; i++ {
+				m.Add(vtime.SubscriberID(i), filter.MustParse(fmt.Sprintf(
+					`group = "g%d" and price > %d`, i%64, i%50)))
+			}
+			attrs := ev("group", filter.String("g1"), "price", filter.Int(30))
+			var buf []vtime.SubscriberID
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = m.MatchAppend(buf[:0], attrs)
+			}
+		})
+	}
+}

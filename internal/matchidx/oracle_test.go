@@ -1,0 +1,217 @@
+package matchidx
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/vtime"
+)
+
+// randPredicate emits one random predicate clause over a deliberately tiny
+// attribute/value universe so collisions (and therefore matches, covers and
+// index bucket sharing) are frequent.
+func randPredicate(r *rand.Rand) string {
+	attr := string(rune('a' + r.Intn(4)))
+	switch r.Intn(8) {
+	case 0:
+		return fmt.Sprintf("exists(%s)", attr)
+	case 1:
+		return fmt.Sprintf("prefix(%s, %q)", attr, "xyz"[:1+r.Intn(3)])
+	case 2:
+		return fmt.Sprintf("%s = %q", attr, randStr(r))
+	case 3:
+		if r.Intn(2) == 0 {
+			return fmt.Sprintf("%s = %d", attr, r.Intn(10))
+		}
+		return fmt.Sprintf("%s = %.1f", attr, float64(r.Intn(20))/2)
+	case 4:
+		return fmt.Sprintf("%s != %d", attr, r.Intn(10))
+	case 5:
+		return fmt.Sprintf("%s %s %d", attr, randCmp(r), r.Intn(10))
+	case 6:
+		return fmt.Sprintf("%s %s %.1f", attr, randCmp(r), float64(r.Intn(20))/2)
+	default:
+		return fmt.Sprintf("%s %s %q", attr, randCmp(r), randStr(r))
+	}
+}
+
+func randCmp(r *rand.Rand) string {
+	return []string{"<", "<=", ">", ">="}[r.Intn(4)]
+}
+
+func randStr(r *rand.Rand) string {
+	pool := []string{"x", "xy", "xyz", "y", "yz", "z", ""}
+	return pool[r.Intn(len(pool))]
+}
+
+func randSubscription(r *rand.Rand) *filter.Subscription {
+	n := r.Intn(4)
+	if n == 0 {
+		return filter.MustParse("true")
+	}
+	clauses := make([]string, n)
+	for i := range clauses {
+		clauses[i] = randPredicate(r)
+	}
+	return filter.MustParse(strings.Join(clauses, " and "))
+}
+
+func randEvent(r *rand.Rand) filter.Attributes {
+	attrs := filter.Attributes{}
+	for _, a := range []string{"a", "b", "c", "d"} {
+		switch r.Intn(5) {
+		case 0: // absent
+		case 1:
+			attrs[a] = filter.Int(int64(r.Intn(10)))
+		case 2:
+			attrs[a] = filter.Float(float64(r.Intn(20)) / 2)
+		case 3:
+			attrs[a] = filter.String(randStr(r))
+		case 4:
+			attrs[a] = filter.Bool(r.Intn(2) == 0)
+		}
+	}
+	return attrs
+}
+
+// TestOracleEquivalence drives the indexed engine and the brute-force linear
+// oracle through identical randomized Add/Remove churn, asserting the two
+// return exactly the same sorted ID set for every probe event. Match probes
+// run from concurrent goroutines so -race exercises the facade RLock +
+// pooled-scratch read path.
+func TestOracleEquivalence(t *testing.T) {
+	const (
+		rounds   = 300
+		probes   = 20
+		popLimit = 120
+	)
+	r := rand.New(rand.NewSource(61))
+	indexed := NewMatcher()
+	oracle := filter.NewMatcher() // linear engine
+	live := make(map[vtime.SubscriberID]string)
+	nextID := vtime.SubscriberID(1)
+
+	for round := 0; round < rounds; round++ {
+		// Mutate: mostly adds while small, mostly removes while large.
+		muts := 1 + r.Intn(8)
+		for m := 0; m < muts; m++ {
+			if len(live) > 0 && r.Intn(popLimit) < len(live) {
+				var victim vtime.SubscriberID
+				k := r.Intn(len(live))
+				for id := range live {
+					if k == 0 {
+						victim = id
+						break
+					}
+					k--
+				}
+				delete(live, victim)
+				indexed.Remove(victim)
+				oracle.Remove(victim)
+				continue
+			}
+			sub := randSubscription(r)
+			id := nextID
+			if len(live) > 0 && r.Intn(4) == 0 {
+				// Replace an existing id with a different filter.
+				for lid := range live {
+					id = lid
+					break
+				}
+			} else {
+				nextID++
+			}
+			live[id] = sub.String()
+			indexed.Add(id, sub)
+			oracle.Add(id, sub)
+		}
+
+		events := make([]filter.Attributes, probes)
+		for i := range events {
+			events[i] = randEvent(r)
+		}
+		var wg sync.WaitGroup
+		errs := make([]string, probes)
+		for i := range events {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got := indexed.Match(events[i])
+				want := oracle.Match(events[i])
+				if len(got) != len(want) {
+					errs[i] = fmt.Sprintf("event %v: indexed %v, oracle %v", events[i], got, want)
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						errs[i] = fmt.Sprintf("event %v: indexed %v, oracle %v", events[i], got, want)
+						return
+					}
+				}
+				if indexed.MatchesAny(events[i]) != (len(want) > 0) {
+					errs[i] = fmt.Sprintf("event %v: MatchesAny disagrees with oracle set %v", events[i], want)
+				}
+			}(i)
+		}
+		wg.Wait()
+		for _, e := range errs {
+			if e != "" {
+				t.Fatalf("round %d: %s (population %d)", round, e, len(live))
+			}
+		}
+	}
+	if indexed.Len() != oracle.Len() || indexed.Len() != len(live) {
+		t.Fatalf("population drift: indexed %d, oracle %d, live %d",
+			indexed.Len(), oracle.Len(), len(live))
+	}
+}
+
+// FuzzOracleEquivalence feeds arbitrary bytes as a mutation/probe script; the
+// corpus seeds cover each operator family.
+func FuzzOracleEquivalence(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{0xff, 0x00, 0x80, 0x41, 0x17, 0x23})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) == 0 {
+			return
+		}
+		var seed int64
+		for _, b := range script {
+			seed = seed*131 + int64(b)
+		}
+		r := rand.New(rand.NewSource(seed))
+		indexed := NewMatcher()
+		oracle := filter.NewMatcher()
+		next := vtime.SubscriberID(1)
+		var idsInUse []vtime.SubscriberID
+		for _, b := range script {
+			switch {
+			case b%3 != 0 || len(idsInUse) == 0: // add
+				sub := randSubscription(r)
+				indexed.Add(next, sub)
+				oracle.Add(next, sub)
+				idsInUse = append(idsInUse, next)
+				next++
+			default: // remove
+				i := int(b/3) % len(idsInUse)
+				indexed.Remove(idsInUse[i])
+				oracle.Remove(idsInUse[i])
+				idsInUse = append(idsInUse[:i], idsInUse[i+1:]...)
+			}
+			evt := randEvent(r)
+			got, want := indexed.Match(evt), oracle.Match(evt)
+			if len(got) != len(want) {
+				t.Fatalf("event %v: indexed %v, oracle %v", evt, got, want)
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("event %v: indexed %v, oracle %v", evt, got, want)
+				}
+			}
+		}
+	})
+}

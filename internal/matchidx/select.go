@@ -1,0 +1,24 @@
+package matchidx
+
+import "repro/internal/filter"
+
+// Engine selector names accepted by MatcherFor (broker -match-engine flag,
+// core.Config.MatchEngine, broker.Config.MatchEngine).
+const (
+	// EngineIndexed is the counting-based attribute index (the default).
+	EngineIndexed = "indexed"
+	// EngineLinear is the brute-force scan — the test oracle, and an
+	// escape hatch if the index ever misbehaves in production.
+	EngineLinear = "linear"
+)
+
+// MatcherFor returns a Matcher on the engine selected by name: "linear"
+// picks the brute-force oracle; "" or "indexed" pick the counting index.
+// Unknown names fall back to the index (misconfiguration should not
+// silently degrade matching to a linear scan).
+func MatcherFor(name string) *filter.Matcher {
+	if name == EngineLinear {
+		return filter.NewMatcher()
+	}
+	return NewMatcher()
+}
