@@ -496,3 +496,75 @@ func BenchmarkPartitionHeal(b *testing.B) {
 		writeBenchJSON(b, "PartitionHeal", res)
 	}
 }
+
+// churnEnvInt reads an integer override for the churn benchmark scale from
+// the environment (the CI churn-smoke step runs a reduced population).
+func churnEnvInt(b *testing.B, key string, def int) int {
+	env := os.Getenv(key)
+	if env == "" {
+		return def
+	}
+	n, err := strconv.Atoi(env)
+	if err != nil || n <= 0 {
+		b.Fatalf("%s: bad value %q", key, env)
+	}
+	return n
+}
+
+// BenchmarkSubscriberChurn is the subscriber-churn scenario at paper scale:
+// 50k durable subscribers with Zipf-distributed ack lag under
+// connect/disconnect storms, catchup streams draining from the PFS while
+// live traffic keeps flowing. It runs the sharded engine and the
+// single-lock baseline over the same seeded workload, reports the
+// live-path batch-ingest p99 alongside the post-publish drain time, and —
+// on machines with at least 4 cores — gates on the sharded engine
+// sustaining at least the single-lock live throughput. Exactly-once
+// violations fail the run at either configuration. Results land in
+// BENCH_7.json.
+func BenchmarkSubscriberChurn(b *testing.B) {
+	params := experiment.ChurnParams{
+		Subscribers: churnEnvInt(b, "BENCH_CHURN_SUBS", 50000),
+		Events:      churnEnvInt(b, "BENCH_CHURN_EVENTS", 20000),
+		ChurnOps:    churnEnvInt(b, "BENCH_CHURN_OPS", 2000),
+	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards > 8 {
+		shards = 8
+	}
+	if shards < 2 {
+		// Exercise the sharded scheduler even on small containers; the
+		// throughput gate below stays off without real parallelism.
+		shards = 2
+	}
+	for i := 0; i < b.N; i++ {
+		sp := params
+		sp.SubShards = shards
+		sp.Seed = int64(i + 1)
+		sharded, err := experiment.RunSubscriberChurn(b.TempDir(), sp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bp := params
+		bp.SubShards = 1
+		bp.Seed = int64(i + 1)
+		baseline, err := experiment.RunSubscriberChurn(b.TempDir(), bp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio := sharded.EventsPerSec / baseline.EventsPerSec
+		b.ReportMetric(float64(sharded.LiveP99)/1e6, "live_p99_ms")
+		b.ReportMetric(float64(sharded.DrainTime)/1e6, "drain_ms")
+		b.ReportMetric(sharded.EventsPerSec, "events_per_sec")
+		b.ReportMetric(float64(sharded.Catchups), "catchups")
+		b.ReportMetric(ratio, "throughput_x_vs_singlelock")
+		if runtime.NumCPU() >= 4 && ratio < 1.0 {
+			b.Fatalf("sharded engine slower than single-lock baseline on %d cores: %.0f vs %.0f events/s",
+				runtime.NumCPU(), sharded.EventsPerSec, baseline.EventsPerSec)
+		}
+		writeBenchJSON(b, "7", map[string]any{
+			"sharded":                 sharded,
+			"singleLock":              baseline,
+			"throughputXvsSingleLock": ratio,
+		})
+	}
+}

@@ -58,6 +58,8 @@ func run() error {
 		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (empty = disabled)")
 		shards     = flag.Int("shards", 0, "event-loop shard count (0 = GOMAXPROCS, 1 = serialized)")
 		matchEng   = flag.String("match-engine", "indexed", "subscription matching engine: indexed (counting attribute index) or linear (brute-force scan)")
+		subShards  = flag.Int("sub-shards", 0, "SHB subscriber shard count (0 = min(GOMAXPROCS, 8), 1 = single-lock engine)")
+		catchupW   = flag.Int("catchup-weight", 0, "catchup scheduler quantum: events one catchup stream may deliver per round before yielding to live traffic (0 = 256)")
 	)
 	flag.Parse()
 
@@ -86,6 +88,8 @@ func run() error {
 		PubendSync:          syncPolicy,
 		GroupCommitMaxDelay: *linger,
 		MatchEngine:         *matchEng,
+		SubShards:           *subShards,
+		CatchupWeight:       *catchupW,
 	}
 	var policy pubend.Policy
 	if *maxRetain > 0 {

@@ -66,6 +66,13 @@ type brokerSpec struct {
 	// "indexed" for the counting attribute index, "linear" for the
 	// brute-force scan.
 	MatchEngine string `json:"matchEngine"`
+	// SubShards is the SHB subscriber shard count (0 = min(GOMAXPROCS, 8),
+	// 1 = the single-lock engine).
+	SubShards int `json:"subShards"`
+	// CatchupWeight is the catchup scheduler quantum: events one catchup
+	// stream may deliver per scheduling round before yielding the shard
+	// to live traffic (0 = 256).
+	CatchupWeight int `json:"catchupWeight"`
 }
 
 func main() {
@@ -148,15 +155,17 @@ func specToConfig(dataDir string, spec brokerSpec) (broker.Config, error) {
 		return broker.Config{}, fmt.Errorf("name and listen are required")
 	}
 	cfg := broker.Config{
-		Name:         spec.Name,
-		DataDir:      filepath.Join(dataDir, spec.Name),
-		Transport:    overlay.TCPTransport{},
-		ListenAddr:   spec.Listen,
-		UpstreamAddr: spec.Upstream,
-		EnableSHB:    spec.SHB,
-		AdminAddr:    spec.Admin,
-		Shards:       spec.Shards,
-		MatchEngine:  spec.MatchEngine,
+		Name:          spec.Name,
+		DataDir:       filepath.Join(dataDir, spec.Name),
+		Transport:     overlay.TCPTransport{},
+		ListenAddr:    spec.Listen,
+		UpstreamAddr:  spec.Upstream,
+		EnableSHB:     spec.SHB,
+		AdminAddr:     spec.Admin,
+		Shards:        spec.Shards,
+		MatchEngine:   spec.MatchEngine,
+		SubShards:     spec.SubShards,
+		CatchupWeight: spec.CatchupWeight,
 	}
 	if spec.TickMillis > 0 {
 		cfg.TickInterval = time.Duration(spec.TickMillis) * time.Millisecond

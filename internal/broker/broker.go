@@ -129,6 +129,14 @@ type Config struct {
 	// counting-based attribute index (internal/matchidx), "linear" for
 	// the brute-force scan (the test oracle / escape hatch).
 	MatchEngine string
+	// SubShards partitions the SHB's subscriber set into N independently
+	// locked shards, each with its own catchup pump (0 = engine default:
+	// min(GOMAXPROCS, 8)). 1 reproduces the original single-lock engine.
+	SubShards int
+	// CatchupWeight is the catchup scheduler's delivery quantum: how many
+	// catchup events one stream may deliver per scheduling round before
+	// yielding the shard to live traffic (0 = engine default 256).
+	CatchupWeight int
 	// MetaCommitLatency models the per-commit cost of the SHB database
 	// (section 5.2); 0 = none.
 	MetaCommitLatency time.Duration
@@ -565,6 +573,8 @@ func (b *Broker) openState() error {
 			ReadBufferQ:     cfg.ReadBufferQ,
 			EventCacheSize:  cfg.EventCacheSize,
 			MatchEngine:     cfg.MatchEngine,
+			SubShards:       cfg.SubShards,
+			CatchupWeight:   cfg.CatchupWeight,
 			SendNack:        b.shbSendNack,
 			SendRelease:     b.shbSendRelease,
 			Deliver:         b.shbDeliver,
@@ -579,6 +589,11 @@ func (b *Broker) openState() error {
 }
 
 func (b *Broker) closeState() {
+	if b.shb != nil {
+		// Stop the per-shard catchup pumps before the volumes they read
+		// from go away.
+		b.shb.Close()
+	}
 	if b.peVol != nil {
 		b.peVol.Close() //nolint:errcheck,gosec // shutdown path
 	}
@@ -882,9 +897,14 @@ func (b *Broker) Pubend(id vtime.PubendID) *pubend.Pubend {
 
 // --- Core engine callbacks ---
 //
-// These run while the engine lock is held (see core.chanMutex), so they
-// must not block and must not re-enter the engine; they hop onto the
-// pubend's shard (non-blocking push) or do a non-blocking conn send.
+// The engine is sharded (see core.SHB): SendNack and SendRelease run while
+// a per-pubend lock is held; Deliver runs while a subscriber-shard lock is
+// held, and is invoked concurrently from the constream fan-out and from the
+// per-shard catchup pump goroutines (serialized per subscriber — FIFO order
+// is guaranteed per subscriber, not across subscribers). All three must not
+// block and must not re-enter the engine; they hop onto the pubend's
+// event-loop shard (non-blocking push) or do a non-blocking conn send.
+// conn.Send is safe for concurrent use, so Deliver needs no extra hop.
 
 func (b *Broker) shbSendNack(pub vtime.PubendID, spans []tick.Span) {
 	sh := b.shardFor(pub)

@@ -23,7 +23,7 @@ type benchRig struct {
 	nextTS vtime.Timestamp
 }
 
-func newBenchRig(b *testing.B, subs int, silence vtime.Timestamp) *benchRig {
+func newBenchRig(b testing.TB, subs int, silence vtime.Timestamp) *benchRig {
 	b.Helper()
 	f := openBenchFixture(b, b.TempDir(), silence)
 	for i := 0; i < subs; i++ {
@@ -120,7 +120,7 @@ func BenchmarkCatchupStreamsDelivery(b *testing.B) {
 }
 
 // openBenchFixture builds an engine over temp stores.
-func openBenchFixture(b *testing.B, dir string, silence vtime.Timestamp) *SHB {
+func openBenchFixture(b testing.TB, dir string, silence vtime.Timestamp) *SHB {
 	b.Helper()
 	vol, err := logvol.Open(filepath.Join(dir, "pfs.log"), logvol.Options{})
 	if err != nil {
@@ -147,6 +147,7 @@ func openBenchFixture(b *testing.B, dir string, silence vtime.Timestamp) *SHB {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.Cleanup(shb.Close)
 	return shb
 }
 

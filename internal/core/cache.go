@@ -12,6 +12,8 @@ import (
 // serve catchup streams without upstream traffic; absence of an event never
 // affects correctness (it is re-requested with a nack), only recovery
 // cost — exactly the cache role the paper describes in section 1.
+// Guarded by the owning pubend's lock (ps.mu); the pin is published into
+// it by the subscriber shards.
 type eventCache struct {
 	capacity int
 	byTS     map[vtime.Timestamp]*message.Event

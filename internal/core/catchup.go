@@ -16,6 +16,8 @@ import (
 // subscription (figure 1's istream→filter→catchup-stream path). When its
 // doubt horizon reaches latestDelivered(p) it is discarded and the
 // subscriber switches to the consolidated stream.
+//
+// All fields are guarded by the owning subscriber's shard lock.
 type catchupStream struct {
 	sub *subscriber
 	pub vtime.PubendID
@@ -30,8 +32,8 @@ type catchupStream struct {
 // feedCatchup applies one upstream knowledge message to a catchup stream,
 // refiltering events through the subscriber's subscription: matching events
 // become D ticks, non-matching ones S (the per-subscriber filter of
-// figure 1).
-func (s *SHB) feedCatchup(cs *catchupStream, know *message.Knowledge) {
+// figure 1). Caller holds the subscriber's shard lock.
+func feedCatchup(cs *catchupStream, know *message.Knowledge) {
 	for _, r := range know.Ranges {
 		cs.know.Apply(r)
 		cs.cur.Satisfy(r.Start, r.End)
@@ -46,57 +48,39 @@ func (s *SHB) feedCatchup(cs *catchupStream, know *message.Knowledge) {
 	}
 }
 
-// pumpCatchups advances every active catchup stream of the pubend.
-func (s *SHB) pumpCatchups(ps *shbPubend) {
-	for _, sub := range s.subs {
-		if cs := sub.catchup[ps.id]; cs != nil {
-			s.pumpCatchup(ps, cs)
-		}
-	}
-	s.flushNacks(ps)
-	s.updateCachePin(ps)
-}
-
-// updateCachePin recomputes the cache's catchup pin: the lowest delivery
-// cursor among this pubend's active catchup streams.
-func (s *SHB) updateCachePin(ps *shbPubend) {
-	pin := vtime.MaxTS
-	for _, sub := range s.subs {
-		if cs := sub.catchup[ps.id]; cs != nil && cs.know.Base() < pin {
-			pin = cs.know.Base()
-		}
-	}
-	ps.cache.setPin(pin)
-}
-
-// pumpCatchup makes all possible progress on one catchup stream:
-//  1. extend PFS coverage toward latestDelivered,
+// pumpCatchupBudget runs one scheduler quantum for one catchup stream:
+//  1. extend PFS coverage toward latestDelivered (no pubend lock held —
+//     the PFS is internally synchronized and latestDelivered is read from
+//     its atomic mirror),
 //  2. resolve Q ranges from the event cache, istream knowledge, or by
 //     nacking upstream (consolidated),
-//  3. deliver in-order up to the doubt horizon, consuming credits,
+//  3. deliver in-order up to the doubt horizon, consuming credits, at most
+//     CatchupWeight deliveries,
 //  4. switch over to the constream when caught up.
-func (s *SHB) pumpCatchup(ps *shbPubend, cs *catchupStream) {
+//
+// Caller holds sh.mu (the subscriber's shard). Returns whether
+// immediately-runnable work remains and whether progress was made.
+func (s *SHB) pumpCatchupBudget(sh *subShard, ps *shbPubend, cs *catchupStream) (more, progressed bool) {
 	sub := cs.sub
-	if !sub.connected {
-		return
-	}
 	// 1. Extend PFS coverage. Loop because a complete read may still be
 	// behind latestDelivered if it was truncated by the buffer size.
-	for cs.pfsReadUpTo < ps.latestDelivered {
+	ld := ps.ldTS()
+	truncated := false
+	for cs.pfsReadUpTo < ld {
 		// The PFS only describes this subscriber from its registration
 		// point: an interval before it (reconnect-anywhere, or a client
 		// resuming with a rewound checkpoint) stays Q and is recovered
 		// by retrieving and refiltering events — the paper's fallback
 		// path for subscribers reconnecting to a different SHB.
 		if since := sub.since[ps.id]; cs.pfsReadUpTo < since {
-			cs.pfsReadUpTo = vtime.MinTS(since, ps.latestDelivered)
+			cs.pfsReadUpTo = vtime.MinTS(since, ld)
 			continue
 		}
-		res, err := s.cfg.PFS.Read(ps.id, sub.id, cs.pfsReadUpTo, ps.latestDelivered, s.cfg.ReadBufferQ)
+		res, err := s.cfg.PFS.ReadAppend(ps.id, sub.id, cs.pfsReadUpTo, ld, s.cfg.ReadBufferQ, sh.spanBuf[:0])
 		if err != nil {
 			break
 		}
-		s.stats.PFSReads++
+		s.stats.pfsReads.Add(1)
 		if res.LostUpTo > cs.pfsReadUpTo {
 			// The interval was early-released: record loss; the
 			// delivery phase emits an explicit gap message.
@@ -115,46 +99,69 @@ func (s *SHB) pumpCatchup(ps *shbPubend, cs *catchupStream) {
 		if res.KnownUpTo > prev {
 			cs.know.Apply(tick.Range{Start: prev + 1, End: res.KnownUpTo, Kind: tick.S})
 		}
+		// Reclaim the (possibly grown) span buffer for the next read.
+		if cap(res.QSpans) > cap(sh.spanBuf) {
+			sh.spanBuf = res.QSpans[:0]
+		}
 		if res.KnownUpTo <= cs.pfsReadUpTo {
 			break
 		}
 		cs.pfsReadUpTo = res.KnownUpTo
+		progressed = true
 		if !res.Complete {
 			// Consume this buffer before reading further (the
-			// paper's read-buffer regime); the next pump continues.
+			// paper's read-buffer regime); the next round continues.
+			truncated = true
 			break
 		}
 	}
 
+	ps.mu.lock()
 	// 2. Resolve Q ranges below the coverage horizon.
 	ceil := vtime.MinTS(cs.pfsReadUpTo, ps.latestDelivered)
 	for _, gap := range cs.know.QGaps(cs.know.Base(), ceil, 0) {
-		s.resolveGap(ps, cs, gap)
+		s.resolveGapLocked(ps, cs, gap)
 	}
 
-	// 3. Deliver in order up to the doubt horizon.
-	s.deliverCatchup(ps, cs)
+	// 3. Deliver in order up to the doubt horizon, within the quantum.
+	exhausted := s.deliverCatchupLocked(sh, ps, cs, &progressed)
 
 	// 4. Switchover: once everything up to latestDelivered(p) has been
 	// delivered, the catchup stream is discarded and the subscriber
 	// rejoins the constream (which delivers strictly after
 	// latestDelivered from here on).
-	if cs.know.Base() >= ps.latestDelivered {
+	done := cs.know.Base() >= ps.latestDelivered
+	s.flushNacksLocked(ps)
+	ps.mu.unlock()
+
+	if done {
 		delete(sub.catchup, ps.id)
-		s.stats.Switchovers++
-		tSwitchovers.Inc()
-		tCatchupActive.Dec()
-		tCatchupSeconds.ObserveDuration(time.Since(cs.started))
-		if s.cfg.OnCaughtUp != nil {
-			s.cfg.OnCaughtUp(sub.id, ps.id, time.Since(cs.started))
+		if len(sub.catchup) == 0 {
+			delete(sh.catchups, sub.id)
 		}
+		sh.nCatchup.Add(-1)
+		sh.tCatchup.Dec()
+		tCatchupActive.Dec()
+		s.stats.switchovers.Add(1)
+		tSwitchovers.Inc()
+		took := time.Since(cs.started)
+		tCatchupSeconds.ObserveDuration(took)
+		if s.cfg.OnCaughtUp != nil {
+			s.cfg.OnCaughtUp(sub.id, ps.id, took)
+		}
+		return false, true
 	}
+	if exhausted {
+		sh.tBudgetHit.Inc()
+	}
+	return exhausted || truncated, progressed
 }
 
-// resolveGap fills one Q range of a catchup stream using local information
-// where possible (istream knowledge, event cache + refilter) and
-// consolidated upstream nacks for the remainder.
-func (s *SHB) resolveGap(ps *shbPubend, cs *catchupStream, gap tick.Range) {
+// resolveGapLocked fills one Q range of a catchup stream using local
+// information where possible (istream knowledge, event cache + refilter)
+// and consolidated upstream nacks for the remainder. Caller holds sh.mu
+// and ps.mu.
+func (s *SHB) resolveGapLocked(ps *shbPubend, cs *catchupStream, gap tick.Range) {
 	sub := cs.sub
 	// The istream only describes ticks above its base (everything below
 	// was released locally and holds no information here).
@@ -170,10 +177,10 @@ func (s *SHB) resolveGap(ps *shbPubend, cs *catchupStream, gap tick.Range) {
 				// D runs contain one tick per event; resolve
 				// each from the cache.
 				for ts := r.Start; ts <= r.End; ts++ {
-					s.resolveDTick(ps, cs, ts)
+					s.resolveDTickLocked(ps, cs, ts)
 				}
 			case tick.Q:
-				s.nackForCatchup(ps, cs, tick.Span{Start: r.Start, End: r.End})
+				s.nackForCatchupLocked(ps, cs, tick.Span{Start: r.Start, End: r.End})
 			}
 		}
 	}
@@ -193,16 +200,17 @@ func (s *SHB) resolveGap(ps *shbPubend, cs *catchupStream, gap tick.Range) {
 		// Nack whatever is still Q in this portion (span-level; the
 		// curiosity layers deduplicate).
 		for _, q := range cs.know.QGaps(gap.Start-1, end, 0) {
-			s.nackForCatchup(ps, cs, tick.Span{Start: q.Start, End: q.End})
+			s.nackForCatchupLocked(ps, cs, tick.Span{Start: q.Start, End: q.End})
 		}
 	}
 }
 
-// resolveDTick handles a tick the istream knows is D: deliver from cache
-// after refiltering, or re-request if the cache evicted it.
-func (s *SHB) resolveDTick(ps *shbPubend, cs *catchupStream, ts vtime.Timestamp) {
+// resolveDTickLocked handles a tick the istream knows is D: deliver from
+// cache after refiltering, or re-request if the cache evicted it. Caller
+// holds sh.mu and ps.mu.
+func (s *SHB) resolveDTickLocked(ps *shbPubend, cs *catchupStream, ts vtime.Timestamp) {
 	if ev, ok := ps.cache.get(ts); ok {
-		s.stats.CacheHits++
+		s.stats.cacheHits.Add(1)
 		tCacheHits.Inc()
 		kind := tick.S
 		if cs.sub.sub.Matches(ev.Attrs) {
@@ -212,27 +220,35 @@ func (s *SHB) resolveDTick(ps *shbPubend, cs *catchupStream, ts vtime.Timestamp)
 		cs.cur.Satisfy(ts, ts)
 		return
 	}
-	s.stats.CacheMisses++
+	s.stats.cacheMisses.Add(1)
 	tCacheMisses.Inc()
-	s.nackForCatchup(ps, cs, tick.Span{Start: ts, End: ts})
+	s.nackForCatchupLocked(ps, cs, tick.Span{Start: ts, End: ts})
 }
 
-// nackForCatchup records a catchup stream's interest in a span and feeds
-// the fresh portion into the SHB-level consolidated curiosity.
-func (s *SHB) nackForCatchup(ps *shbPubend, cs *catchupStream, sp tick.Span) {
+// nackForCatchupLocked records a catchup stream's interest in a span and
+// feeds the fresh portion into the SHB-level consolidated curiosity.
+// Caller holds sh.mu and ps.mu.
+func (s *SHB) nackForCatchupLocked(ps *shbPubend, cs *catchupStream, sp tick.Span) {
 	fresh := cs.cur.Add(sp.Start, sp.End)
 	if len(fresh) == 0 {
 		return
 	}
-	s.requestSpans(ps, fresh)
+	s.requestSpansLocked(ps, fresh)
 }
 
-// deliverCatchup emits deliveries for ticks in (base, doubtHorizon]:
+// deliverCatchupLocked emits deliveries for ticks in (base, doubtHorizon]:
 // events for D ticks (consuming credits), one gap message per L prefix,
-// and advancing the base over S runs.
-func (s *SHB) deliverCatchup(ps *shbPubend, cs *catchupStream) {
+// and advancing the base over S runs. At most CatchupWeight deliveries are
+// made; it reports whether the quantum was exhausted with deliverable work
+// plausibly remaining. Caller holds sh.mu and ps.mu.
+func (s *SHB) deliverCatchupLocked(sh *subShard, ps *shbPubend, cs *catchupStream, progressed *bool) bool {
 	sub := cs.sub
+	budget := s.cfg.CatchupWeight
+	delivered := 0
 	for {
+		if delivered >= budget {
+			return true
+		}
 		base := cs.know.Base()
 		// A loss prefix immediately above the base becomes a gap
 		// message.
@@ -243,23 +259,31 @@ func (s *SHB) deliverCatchup(ps *shbPubend, cs *catchupStream) {
 				Timestamp: lh,
 			})
 			sub.lastSent[ps.id] = lh
-			s.stats.GapsDelivered++
+			s.stats.gapsDelivered.Add(1)
 			tGaps.Inc()
 			cs.know.Advance(lh)
-			s.setSubReleasedFloor(sub, ps, lh)
+			s.setSubReleasedFloorLocked(sh, sub, ps, lh)
+			delivered++
+			*progressed = true
 			continue
 		}
 		dh := cs.know.DoubtHorizon()
 		limit := vtime.MinTS(dh, ps.latestDelivered)
 		if limit <= base {
-			return
+			return false
 		}
 		dticks := cs.know.DTicks(base, limit)
-		delivered := base
-		outOfCredits := false
+		deliveredTo := base
+		stalled := false
 		for _, ts := range dticks {
+			if delivered >= budget {
+				if deliveredTo > base {
+					cs.know.Advance(deliveredTo)
+				}
+				return true
+			}
 			if sub.credits <= 0 {
-				outOfCredits = true
+				stalled = true
 				break
 			}
 			ev, ok := ps.cache.get(ts)
@@ -267,32 +291,37 @@ func (s *SHB) deliverCatchup(ps *shbPubend, cs *catchupStream) {
 				// Evicted between classification and delivery:
 				// re-request the event and stall; delivery
 				// resumes when it is re-cached.
-				s.nackForCatchup(ps, cs, tick.Span{Start: ts, End: ts})
-				outOfCredits = true
+				s.nackForCatchupLocked(ps, cs, tick.Span{Start: ts, End: ts})
+				stalled = true
 				break
 			}
-			s.deliverEvent(sub, ps.id, ev)
+			s.deliverEvent(sh, sub, ps.id, ev)
 			sub.credits--
-			delivered = ts
+			delivered++
+			deliveredTo = ts
+			*progressed = true
 		}
-		if outOfCredits {
-			if delivered > base {
-				cs.know.Advance(delivered)
+		if stalled {
+			if deliveredTo > base {
+				cs.know.Advance(deliveredTo)
 			}
-			return
+			return false
 		}
 		// Every D tick in (base, limit] delivered; consume the
 		// trailing silence run as well.
 		cs.know.Advance(limit)
+		*progressed = true
 	}
 }
 
-// setSubReleasedFloor raises released(s,p) when a gap skips the subscriber
-// past early-released ticks (it can never acknowledge them otherwise).
-func (s *SHB) setSubReleasedFloor(sub *subscriber, ps *shbPubend, ts vtime.Timestamp) {
+// setSubReleasedFloorLocked raises released(s,p) when a gap skips the
+// subscriber past early-released ticks (it can never acknowledge them
+// otherwise). The pubend's released(p) picks the change up at the next
+// Tick floor publication. Caller holds sh.mu.
+func (s *SHB) setSubReleasedFloorLocked(sh *subShard, sub *subscriber, ps *shbPubend, ts vtime.Timestamp) {
 	if ts > sub.released[ps.id] {
 		sub.released[ps.id] = ts
-		s.dirty = true
-		s.recomputeReleased(ps)
+		sh.dirtySubs[sub.id] = sub
+		sh.relDirty = true
 	}
 }

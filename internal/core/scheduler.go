@@ -1,0 +1,116 @@
+package core
+
+import (
+	"runtime"
+)
+
+// The catchup scheduler: each shard owns a pump goroutine that drains its
+// catchup streams in weighted round-robin rounds. One round snapshots the
+// shard's active (subscriber, pubend) streams and gives each a
+// CatchupWeight-bounded delivery quantum, releasing the shard lock between
+// streams' lock acquisitions so live fan-out (OnKnowledge) and subscriber
+// entry points interleave — a deep Zipf-tail backlog cannot hold a shard
+// for more than one quantum at a time.
+//
+// Drains are also run synchronously from Subscribe, OnCredit, Tick and
+// DrainCatchups; sh.pumpMu serializes rounds so the two never interleave
+// within a shard, and a returned "no progress" carries a happens-before
+// edge over all prior rounds' deliveries.
+
+// kickShard wakes a shard's pump goroutine (non-blocking; coalesces).
+func kickShard(sh *subShard) {
+	select {
+	case sh.kick <- struct{}{}:
+	default:
+	}
+}
+
+// shardPump is the per-shard background drain loop.
+func (s *SHB) shardPump(sh *subShard) {
+	for range sh.kick {
+		if s.closed.Load() {
+			return
+		}
+		s.drainShard(sh)
+	}
+}
+
+// DrainCatchups synchronously drains every shard's catchup streams until
+// no further local progress is possible (remaining work, if any, awaits
+// upstream nack responses, credits, or new knowledge). It reports whether
+// any progress was made. Tests and experiments use it to reach quiescence
+// deterministically.
+func (s *SHB) DrainCatchups() bool {
+	progressed := false
+	for _, sh := range s.shards {
+		if s.drainShard(sh) {
+			progressed = true
+		}
+	}
+	return progressed
+}
+
+// drainShard runs scheduler rounds for one shard until a round makes no
+// progress or reports no more immediately-runnable work.
+func (s *SHB) drainShard(sh *subShard) bool {
+	if sh.nCatchup.Load() == 0 {
+		return false
+	}
+	sh.pumpMu.Lock()
+	defer sh.pumpMu.Unlock()
+	progressed := false
+	for {
+		more, prog := s.pumpRound(sh)
+		if prog {
+			progressed = true
+		}
+		if !more || !prog {
+			return progressed
+		}
+		// Yield between rounds: live-path callers contending for this
+		// shard's lock get in before the next quantum.
+		runtime.Gosched()
+	}
+}
+
+// pumpRound runs one weighted round-robin round: every active catchup
+// stream of the shard gets at most one CatchupWeight delivery quantum.
+// Returns whether immediately-runnable work remains (a stream hit its
+// quantum or has unread PFS coverage) and whether any progress was made.
+func (s *SHB) pumpRound(sh *subShard) (more, progressed bool) {
+	items := sh.items[:0]
+	sh.mu.Lock()
+	for _, sub := range sh.catchups {
+		if !sub.connected {
+			continue
+		}
+		for pub, cs := range sub.catchup {
+			items = append(items, pumpItem{sub: sub, ps: s.pubends[pub], cs: cs})
+		}
+	}
+	sh.mu.Unlock()
+	if len(items) == 0 {
+		return false, false
+	}
+	for i := range items {
+		it := items[i]
+		sh.mu.Lock()
+		// Revalidate: the stream may have been dropped (Detach,
+		// Unsubscribe) or replaced (reconnect) since the snapshot.
+		if it.sub.connected && it.sub.catchup[it.ps.id] == it.cs {
+			m, p := s.pumpCatchupBudget(sh, it.ps, it.cs)
+			more = more || m
+			progressed = progressed || p
+		}
+		sh.mu.Unlock()
+	}
+	for i := range items {
+		items[i] = pumpItem{}
+	}
+	sh.items = items[:0]
+	// Catchup bases moved; republish the shard's cache pins so the
+	// pubend caches can evict behind them.
+	s.syncShardPins(sh)
+	sh.tRounds.Inc()
+	return more, progressed
+}

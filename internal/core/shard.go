@@ -1,0 +1,155 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/message"
+	"repro/internal/telemetry"
+	"repro/internal/tick"
+	"repro/internal/vtime"
+)
+
+// subShard owns one partition of the subscriber population: the subscriber
+// records themselves (their released/since/lastSent floors and catchup
+// streams) plus the shard's catchup pump. Subscribers are assigned by
+// id % len(shards), mirroring the broker's pubend-to-shard pinning one
+// layer down: the broker shards the event loop by pubend, the engine
+// shards subscriber state by subscriber.
+//
+// Lock order: sh.mu may be held while acquiring a pubend's ps.mu, never
+// the reverse. A shard never holds another shard's lock.
+type subShard struct {
+	id int
+
+	// mu guards subs and every field of the subscriber records it holds.
+	mu   sync.Mutex
+	subs map[vtime.SubscriberID]*subscriber
+	// catchups indexes the subscribers holding at least one active catchup
+	// stream, so scheduler rounds and pin recomputation touch only the
+	// recovering population instead of scanning the whole shard.
+	catchups map[vtime.SubscriberID]*subscriber
+	// dirtySubs are the subscribers whose released(s,p) changed since the
+	// last Tick commit; persistDirty writes and clears exactly these.
+	dirtySubs map[vtime.SubscriberID]*subscriber
+	// relDirty notes a release-floor change (ack, gap skip, unsubscribe)
+	// pending the next publishShardFloors recomputation.
+	relDirty bool
+
+	// Cheap cross-shard reads for accessors and fan-out skip checks.
+	nConnected atomic.Int64
+	nCatchup   atomic.Int64
+
+	// pumpMu serializes catchup drain rounds for this shard: the shard's
+	// background pump goroutine and synchronous drains (Subscribe,
+	// OnCredit, Tick, DrainCatchups) never run rounds concurrently, which
+	// also gives callers a happens-before edge: once a drain observes no
+	// remaining work, all prior rounds' deliveries are visible.
+	pumpMu sync.Mutex
+	// kick wakes the pump goroutine (buffered; non-blocking sends).
+	kick chan struct{}
+
+	// Scratch reused across pump rounds (spanBuf under mu, items under
+	// pumpMu, relMins/pinMins under mu).
+	spanBuf []tick.Span
+	items   []pumpItem
+	relMins []vtime.Timestamp
+	pinMins []vtime.Timestamp
+
+	// Per-shard instruments (PR 2 labeling convention: one instrument per
+	// shard with a {shard="N"} label).
+	tDelivered *telemetry.Counter
+	tCatchup   *telemetry.Gauge
+	tConnected *telemetry.Gauge
+	tRounds    *telemetry.Counter
+	tBudgetHit *telemetry.Counter
+}
+
+// pumpItem is one (subscriber, pubend) catchup stream snapshotted for a
+// scheduler round.
+type pumpItem struct {
+	sub *subscriber
+	ps  *shbPubend
+	cs  *catchupStream
+}
+
+func newSubShard(id, pubends int) *subShard {
+	label := fmt.Sprintf("{shard=\"%d\"}", id)
+	reg := telemetry.Default()
+	return &subShard{
+		id:        id,
+		subs:      make(map[vtime.SubscriberID]*subscriber),
+		catchups:  make(map[vtime.SubscriberID]*subscriber),
+		dirtySubs: make(map[vtime.SubscriberID]*subscriber),
+		kick:      make(chan struct{}, 1),
+		relMins:   make([]vtime.Timestamp, pubends),
+		pinMins:   make([]vtime.Timestamp, pubends),
+		tDelivered: reg.Counter("gryphon_shb_events_delivered_total"+label,
+			"Event deliveries made by one SHB subscriber shard."),
+		tCatchup: reg.Gauge("gryphon_shb_catchup_active"+label,
+			"Active catchup streams owned by one SHB subscriber shard."),
+		tConnected: reg.Gauge("gryphon_shb_connected"+label,
+			"Connected subscribers hosted by one SHB subscriber shard."),
+		tRounds: reg.Counter("gryphon_shb_sched_rounds_total"+label,
+			"Catchup scheduler rounds run by one SHB subscriber shard."),
+		tBudgetHit: reg.Counter("gryphon_shb_sched_budget_exhausted_total"+label,
+			"Scheduler rounds cut short by the per-stream CatchupWeight quota."),
+	}
+}
+
+// shardFor maps a subscriber to its shard.
+func (s *SHB) shardFor(id vtime.SubscriberID) *subShard {
+	return s.shards[uint64(id)%uint64(len(s.shards))]
+}
+
+// engineStats is the cross-shard counter block. Every field is atomic:
+// deliveries happen under per-shard locks and constream bookkeeping under
+// per-pubend locks, so no single lock guards a consistent snapshot.
+type engineStats struct {
+	eventsDelivered   atomic.Int64
+	silencesDelivered atomic.Int64
+	gapsDelivered     atomic.Int64
+	pfsWrites         atomic.Int64
+	pfsReads          atomic.Int64
+	nacksSent         atomic.Int64
+	nackTicksSent     atomic.Int64
+	nackTicksWanted   atomic.Int64
+	cacheHits         atomic.Int64
+	cacheMisses       atomic.Int64
+	switchovers       atomic.Int64
+}
+
+func (e *engineStats) snapshot() Stats {
+	return Stats{
+		EventsDelivered:   e.eventsDelivered.Load(),
+		SilencesDelivered: e.silencesDelivered.Load(),
+		GapsDelivered:     e.gapsDelivered.Load(),
+		PFSWrites:         e.pfsWrites.Load(),
+		PFSReads:          e.pfsReads.Load(),
+		NacksSent:         e.nacksSent.Load(),
+		NackTicksSent:     e.nackTicksSent.Load(),
+		NackTicksWanted:   e.nackTicksWanted.Load(),
+		CacheHits:         e.cacheHits.Load(),
+		CacheMisses:       e.cacheMisses.Load(),
+		Switchovers:       e.switchovers.Load(),
+	}
+}
+
+// shardFan stages one pubend's constream deliveries for one shard: the
+// events with at least one match in the shard, each with its run of matched
+// subscriber ids in the arena. Filled under ps.mu during the constream
+// advance, consumed under sh.mu during fan-out; safe because knowledge for
+// one pubend is delivered by a single caller (the broker pins each pubend
+// to one event-shard loop).
+type shardFan struct {
+	evs   []*message.Event
+	n     []int32
+	arena []vtime.SubscriberID
+}
+
+func (f *shardFan) reset() {
+	f.evs = f.evs[:0]
+	f.n = f.n[:0]
+	f.arena = f.arena[:0]
+}

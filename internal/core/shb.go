@@ -1,22 +1,27 @@
-// Package stream implements the subscriber hosting broker (SHB) engine of
+// Package core implements the subscriber hosting broker (SHB) engine of
 // the paper (section 4): the istream accumulating knowledge from upstream,
 // the single consolidated stream (constream) serving all connected
 // non-catchup subscribers and the Persistent Filtering Subsystem, separate
 // catchup streams for reconnecting subscribers, the catchup→non-catchup
 // switchover, and the SHB side of the release protocol.
 //
-// The engine is callback-driven and has no goroutines of its own: the
-// owning broker feeds it received messages (OnKnowledge, Subscribe, OnAck,
-// ...) and drives housekeeping through Tick. All outputs (deliveries to
-// clients, nacks and release vectors to upstream) leave through the
-// callbacks in Config. One mutex serializes the engine; the paper's SHB is
-// likewise a single logical consumer per pubend stream.
+// The engine is callback-driven: the owning broker feeds it received
+// messages (OnKnowledge, Subscribe, OnAck, ...) and drives housekeeping
+// through Tick. All outputs (deliveries to clients, nacks and release
+// vectors to upstream) leave through the callbacks in Config. Internally
+// the engine is sharded: subscriber state is partitioned across
+// Config.SubShards locks (each with its own catchup pump goroutine), and
+// each pubend's constream state sits behind its own lock — see the
+// concurrency contract below.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/filter"
@@ -29,7 +34,8 @@ import (
 	"repro/internal/vtime"
 )
 
-// Engine instruments (process-wide; see internal/telemetry).
+// Engine instruments (process-wide; see internal/telemetry). Per-shard
+// gryphon_shb_* instruments live on each subShard.
 var (
 	tEventsDelivered = telemetry.Default().Counter("gryphon_core_events_delivered_total",
 		"Event deliveries to durable subscribers (constream and catchup).")
@@ -59,6 +65,10 @@ const (
 	tableSince    = "shb_since"    // "<pub>/<sub>" -> PFS coverage start
 	tableLD       = "shb_ld"       // "<pub>" -> latestDelivered(p)
 )
+
+// maxSubShards bounds Config.SubShards; the fan-out path tracks pending
+// shards in a 64-bit mask.
+const maxSubShards = 64
 
 // Config wires an SHB engine to its broker.
 type Config struct {
@@ -97,26 +107,60 @@ type Config struct {
 	// "indexed" for the counting-based attribute index, "linear" for the
 	// brute-force scan (see internal/matchidx).
 	MatchEngine string
+	// SubShards is the number of subscriber shards (each with its own
+	// lock and catchup pump). Zero means min(GOMAXPROCS, 8); values are
+	// clamped to [1, 64].
+	SubShards int
+	// CatchupWeight is the catchup scheduler's round-robin quantum: the
+	// maximum number of deliveries one catchup stream makes per scheduler
+	// round before the shard lock is released and the next stream runs.
+	// Smaller values favor live-path latency under deep backlogs; larger
+	// values favor catchup drain throughput. Zero means 256.
+	CatchupWeight int
 }
 
 // SHB is the subscriber hosting broker engine.
+//
+// Concurrency contract. The engine is internally sharded; there is no
+// whole-engine lock and entry points for different subscribers or
+// pubends run concurrently:
+//
+//   - Subscriber state (the subscription records, released/since/lastSent
+//     floors, credits, catchup streams) is partitioned across SubShards
+//     shards by subscriber id. Calls touching one subscriber (Subscribe,
+//     Detach, Unsubscribe, OnAck, OnCredit) are atomic with respect to
+//     that subscriber's shard only.
+//   - Per-pubend constream state (istream knowledge, event cache,
+//     consolidated curiosity, latestDelivered, released vector) is guarded
+//     by a per-pubend lock. OnKnowledge ingests and advances the constream
+//     under it, then fans deliveries out to the shards from a snapshot.
+//     Callers MUST serialize OnKnowledge per pubend (knowledge before the
+//     nack answer that fills its gap); the broker does so by pinning each
+//     pubend's traffic to one event-shard loop. Calls for different
+//     pubends may run concurrently.
+//   - Shard locks order before pubend locks; the engine never calls back
+//     into itself.
+//
+// The configured callbacks (Deliver, SendNack, SendRelease, OnCaughtUp)
+// are invoked while a shard and/or pubend lock is held — possibly from a
+// shard's catchup pump goroutine, not only from the caller's goroutine.
+// They must not block (a blocked callback stalls that shard or pubend,
+// though no longer the whole engine) and must not re-enter the engine,
+// which can self-deadlock. Deliveries for one subscriber are always made
+// under its shard lock, so the per-subscriber FIFO contract survives
+// concurrent shards. The broker's callbacks obey this by only doing
+// non-blocking queue pushes (shard task queues, overlay sends).
 type SHB struct {
 	cfg     Config
 	matcher *filter.Matcher
 
-	// All fields below are guarded by mu.
-	mu      chanMutex
-	pubends map[vtime.PubendID]*shbPubend
-	subs    map[vtime.SubscriberID]*subscriber
-	dirty   bool // persistent state (released/LD) pending a Tick commit
+	pubends map[vtime.PubendID]*shbPubend // immutable after New
+	pubList []*shbPubend                  // sorted by id, immutable after New
+	shards  []*subShard                   // immutable after New
 
-	// matchBuf is the reusable per-event match-result buffer; the engine
-	// is serialized by mu, and neither the PFS nor delivery retains the
-	// slice, so one buffer serves every constream advance.
-	matchBuf []vtime.SubscriberID
-
-	// Statistics.
-	stats Stats
+	stats        engineStats
+	closed       atomic.Bool
+	persistRetry atomic.Bool // a Tick commit failed; re-persist next Tick
 }
 
 // Stats exposes engine counters for the experiment harness. Snapshot them
@@ -135,38 +179,15 @@ type Stats struct {
 	Switchovers       int64 // catchup → non-catchup transitions
 }
 
-// chanMutex is a mutex implemented over a channel so the engine can also
-// export TryLock-free simple locking with a tiny footprint.
-//
-// Concurrency contract. This single lock serializes the entire engine:
-// every public entry point (OnKnowledge, OnAck, OnCredit, Subscribe,
-// Detach, Unsubscribe, Tick, ChopPFS, the stats/cursor accessors)
-// acquires it for its full duration, so callers may invoke the engine
-// from any number of goroutines — the sharded broker calls it
-// concurrently from event-shard loops, the control shard, and connection
-// dispatch goroutines — and each call executes atomically against the
-// others. Cross-call ordering is whatever the lock hand-off yields;
-// callers needing a per-pubend order (knowledge before the nack answer
-// that fills its gap, say) must sequence those calls themselves, which
-// the broker does by pinning each pubend's traffic to one shard.
-//
-// The flip side: the configured callbacks (Deliver, SendNack,
-// SendRelease, OnCaughtUp) are invoked WHILE the lock is held. They must
-// not block — a blocked callback stalls every other engine caller — and
-// must not re-enter the engine, which would self-deadlock (chanMutex is
-// not reentrant). The broker's callbacks obey this by only doing
-// non-blocking queue pushes (shard task queues, overlay sends).
-type chanMutex chan struct{}
-
-func newChanMutex() chanMutex { return make(chanMutex, 1) }
-
-func (m chanMutex) lock()   { m <- struct{}{} }
-func (m chanMutex) unlock() { <-m }
-
 // shbPubend is the per-pubend state: istream knowledge, event cache,
 // consolidated curiosity, and the constream cursor.
 type shbPubend struct {
-	id    vtime.PubendID
+	id vtime.PubendID
+
+	// mu guards every non-atomic field below. Lock order: a shard's mu
+	// may be held when acquiring ps.mu, never the reverse; two pubend
+	// locks are never nested.
+	mu    chanMutex
 	know  *tick.Stream    // istream knowledge (base advances with released)
 	cur   *tick.Curiosity // consolidated upstream curiosity
 	cache *eventCache
@@ -179,9 +200,48 @@ type shbPubend struct {
 	lastSentRelease  vtime.Timestamp // dedupe for SendRelease
 	lastSentLD       vtime.Timestamp
 	pendingNackSpans []tick.Span // consolidated spans awaiting SendNack
+	dirtyLD          bool        // latestDelivered pending a Tick commit
+
+	// ld mirrors latestDelivered for lock-free reads on the catchup
+	// pump's PFS phase.
+	ld atomic.Int64
+	// fanLD is the constream position whose deliveries have been handed
+	// to every shard. Silence may only advance a subscriber's checkpoint
+	// to fanLD: between the constream advance (under ps.mu) and the
+	// per-shard fan-out, latestDelivered covers events no subscriber has
+	// seen yet, and a silence at raw latestDelivered would release them.
+	fanLD atomic.Int64
+
+	// Per-shard aggregates, published by the shards under ps.mu:
+	// relByShard[i] is shard i's min released(s,p) (MaxTS when the shard
+	// hosts no subscriber), pinByShard[i] its min catchup-stream base
+	// (MaxTS when none). released(p) and the cache pin derive from these.
+	relByShard []vtime.Timestamp
+	pinByShard []vtime.Timestamp
+
+	// matchBuf is the reusable per-event match-result buffer for this
+	// pubend's constream advance (guarded by mu; neither the PFS nor the
+	// fan staging retains it).
+	matchBuf []vtime.SubscriberID
+	// fan stages constream deliveries per shard; see shardFan.
+	fan []shardFan
 }
 
-// subscriber is one durable subscription hosted by this SHB.
+func (ps *shbPubend) ldTS() vtime.Timestamp {
+	return vtime.Timestamp(ps.ld.Load())
+}
+
+// chanMutex is a mutex implemented over a channel (tiny footprint, and
+// trivially extensible to TryLock). One instance guards each pubend.
+type chanMutex chan struct{}
+
+func newChanMutex() chanMutex { return make(chanMutex, 1) }
+
+func (m chanMutex) lock()   { m <- struct{}{} }
+func (m chanMutex) unlock() { <-m }
+
+// subscriber is one durable subscription hosted by this SHB. All fields
+// are guarded by the owning shard's lock.
 type subscriber struct {
 	id        vtime.SubscriberID
 	sub       *filter.Subscription
@@ -200,7 +260,8 @@ type subscriber struct {
 
 // New creates (or recovers) an SHB engine. Subscriptions, released(s,p)
 // and latestDelivered(p) are reloaded from the metastore; every recovered
-// subscriber starts disconnected.
+// subscriber starts disconnected. Call Close to stop the shard pump
+// goroutines.
 func New(cfg Config) (*SHB, error) {
 	if cfg.Meta == nil || cfg.PFS == nil {
 		return nil, errors.New("core: Meta and PFS are required")
@@ -217,6 +278,21 @@ func New(cfg Config) (*SHB, error) {
 	if cfg.EventCacheSize == 0 {
 		cfg.EventCacheSize = 65536
 	}
+	if cfg.SubShards == 0 {
+		cfg.SubShards = runtime.GOMAXPROCS(0)
+		if cfg.SubShards > 8 {
+			cfg.SubShards = 8
+		}
+	}
+	if cfg.SubShards < 1 {
+		cfg.SubShards = 1
+	}
+	if cfg.SubShards > maxSubShards {
+		cfg.SubShards = maxSubShards
+	}
+	if cfg.CatchupWeight <= 0 {
+		cfg.CatchupWeight = 256
+	}
 	if cfg.SendNack == nil {
 		cfg.SendNack = func(vtime.PubendID, []tick.Span) {}
 	}
@@ -229,15 +305,24 @@ func New(cfg Config) (*SHB, error) {
 	s := &SHB{
 		cfg:     cfg,
 		matcher: matchidx.MatcherFor(cfg.MatchEngine).InstrumentSite("shb"),
-		mu:      newChanMutex(),
 		pubends: make(map[vtime.PubendID]*shbPubend, len(cfg.Pubends)),
-		subs:    make(map[vtime.SubscriberID]*subscriber),
+	}
+	for i := 0; i < cfg.SubShards; i++ {
+		s.shards = append(s.shards, newSubShard(i, len(cfg.Pubends)))
 	}
 	for _, pub := range cfg.Pubends {
 		ps := &shbPubend{
-			id:    pub,
-			cur:   tick.NewCuriosity(),
-			cache: newEventCache(cfg.EventCacheSize),
+			id:         pub,
+			mu:         newChanMutex(),
+			cur:        tick.NewCuriosity(),
+			cache:      newEventCache(cfg.EventCacheSize),
+			relByShard: make([]vtime.Timestamp, cfg.SubShards),
+			pinByShard: make([]vtime.Timestamp, cfg.SubShards),
+			fan:        make([]shardFan, cfg.SubShards),
+		}
+		for i := range ps.relByShard {
+			ps.relByShard[i] = vtime.MaxTS
+			ps.pinByShard[i] = vtime.MaxTS
 		}
 		if v, ok := cfg.Meta.GetUint64(tableLD, pubKey(pub)); ok {
 			ps.latestDelivered = vtime.Timestamp(v)
@@ -247,8 +332,12 @@ func New(cfg Config) (*SHB, error) {
 		ps.cache.setFloor(ps.latestDelivered)
 		ps.released = ps.latestDelivered
 		ps.maxKnown = ps.latestDelivered
+		ps.ld.Store(int64(ps.latestDelivered))
+		ps.fanLD.Store(int64(ps.latestDelivered))
 		s.pubends[pub] = ps
+		s.pubList = append(s.pubList, ps)
 	}
+	sort.Slice(s.pubList, func(i, j int) bool { return s.pubList[i].id < s.pubList[j].id })
 	if err := s.recoverSubscribers(); err != nil {
 		return nil, err
 	}
@@ -256,17 +345,41 @@ func New(cfg Config) (*SHB, error) {
 	// the in-memory state by one persistence cycle. Recovering it from
 	// latestDelivered alone would let the post-restart PFS chop discard the
 	// loss boundary a resuming subscriber's catchup depends on, minting
-	// spurious gap messages for ranges that were pure silence.
-	for _, ps := range s.pubends {
+	// spurious gap messages for ranges that were pure silence. Unlike the
+	// steady-state recompute this may move released(p) BELOW
+	// latestDelivered, so it is done directly (no locks needed: the pump
+	// goroutines have not started).
+	for _, ps := range s.pubList {
 		rel := ps.latestDelivered
-		for _, sub := range s.subs {
-			if r := sub.released[ps.id]; r < rel {
-				rel = r
+		for _, sh := range s.shards {
+			min := vtime.MaxTS
+			for _, sub := range sh.subs {
+				if r := sub.released[ps.id]; r < min {
+					min = r
+				}
+			}
+			ps.relByShard[sh.id] = min
+			if min < rel {
+				rel = min
 			}
 		}
 		ps.released = rel
 	}
+	for _, sh := range s.shards {
+		go s.shardPump(sh)
+	}
 	return s, nil
+}
+
+// Close stops the shard pump goroutines. Idempotent; the engine must not
+// be used after Close.
+func (s *SHB) Close() {
+	if s.closed.Swap(true) {
+		return
+	}
+	for _, sh := range s.shards {
+		kickShard(sh)
+	}
 }
 
 func pubKey(pub vtime.PubendID) string { return strconv.FormatUint(uint64(pub), 10) }
@@ -300,10 +413,9 @@ func (s *SHB) recoverSubscribers() error {
 				sub.since[pub] = vtime.Timestamp(v)
 			}
 		}
-		s.subs[id] = sub
+		s.shardFor(id).subs[id] = sub
 		s.matcher.Add(id, subFilter)
 	}
-	s.recomputeReleasedAll()
 	return nil
 }
 
@@ -319,18 +431,12 @@ func (s *SHB) newSubscriber(id vtime.SubscriberID, f *filter.Subscription) *subs
 }
 
 // Stats returns a snapshot of the engine counters.
-func (s *SHB) Stats() Stats {
-	s.mu.lock()
-	defer s.mu.unlock()
-	return s.stats
-}
+func (s *SHB) Stats() Stats { return s.stats.snapshot() }
 
 // LatestDelivered reports the constream cursor for a pubend.
 func (s *SHB) LatestDelivered(pub vtime.PubendID) vtime.Timestamp {
-	s.mu.lock()
-	defer s.mu.unlock()
 	if ps, ok := s.pubends[pub]; ok {
-		return ps.latestDelivered
+		return ps.ldTS()
 	}
 	return vtime.ZeroTS
 }
@@ -338,9 +444,9 @@ func (s *SHB) LatestDelivered(pub vtime.PubendID) vtime.Timestamp {
 // Released reports released(p): the highest timestamp all durable
 // subscribers of this SHB have acknowledged (bounded by latestDelivered).
 func (s *SHB) Released(pub vtime.PubendID) vtime.Timestamp {
-	s.mu.lock()
-	defer s.mu.unlock()
 	if ps, ok := s.pubends[pub]; ok {
+		ps.mu.lock()
+		defer ps.mu.unlock()
 		return ps.released
 	}
 	return vtime.ZeroTS
@@ -349,38 +455,40 @@ func (s *SHB) Released(pub vtime.PubendID) vtime.Timestamp {
 // CatchupCount reports how many (subscriber, pubend) catchup streams are
 // currently active.
 func (s *SHB) CatchupCount() int {
-	s.mu.lock()
-	defer s.mu.unlock()
-	n := 0
-	for _, sub := range s.subs {
-		n += len(sub.catchup)
+	n := int64(0)
+	for _, sh := range s.shards {
+		n += sh.nCatchup.Load()
 	}
-	return n
+	return int(n)
 }
+
+// SubShardCount reports the number of subscriber shards the engine runs.
+func (s *SHB) SubShardCount() int { return len(s.shards) }
 
 // ConnectedCount reports the number of connected subscribers.
 func (s *SHB) ConnectedCount() int {
-	s.mu.lock()
-	defer s.mu.unlock()
-	n := 0
-	for _, sub := range s.subs {
-		if sub.connected {
-			n++
-		}
+	n := int64(0)
+	for _, sh := range s.shards {
+		n += sh.nConnected.Load()
 	}
-	return n
+	return int(n)
 }
 
 // OnKnowledge ingests a knowledge message from upstream: ranges and events
 // accumulate into the istream, curiosity is satisfied, the constream
-// advances, and catchup streams are pumped against the refreshed cache.
+// advances under the pubend lock, and the resulting deliveries fan out to
+// the subscriber shards. Catchup streams with fresh knowledge are fed and
+// their shard pumps kicked; the heavy catchup work happens on the pump
+// goroutines so this call's latency is the live-path latency.
+//
+// Calls for the same pubend must be serialized by the caller (the broker
+// pins each pubend to one event-shard loop).
 func (s *SHB) OnKnowledge(know *message.Knowledge) {
-	s.mu.lock()
-	defer s.mu.unlock()
 	ps, ok := s.pubends[know.Pubend]
 	if !ok {
 		return
 	}
+	ps.mu.lock()
 	s.attach(ps, know)
 	for _, r := range know.Ranges {
 		ps.know.Apply(r)
@@ -397,22 +505,78 @@ func (s *SHB) OnKnowledge(know *message.Knowledge) {
 			ps.maxKnown = ev.Timestamp
 		}
 	}
-	// Figure 1: istream changes flow through per-subscriber filters into
-	// the catchup knowledge streams (this also delivers nack responses
-	// for ticks below the istream base, which the istream itself
-	// discards).
-	for _, sub := range s.subs {
-		if cs := sub.catchup[ps.id]; cs != nil {
-			s.feedCatchup(cs, know)
+	s.advanceConstream(ps)
+	ldNow := ps.latestDelivered
+	// Snapshot which shards hold catchup streams on this pubend; their
+	// istream filters must see this knowledge (figure 1: nack responses
+	// for ticks below the istream base flow through the per-subscriber
+	// catchup knowledge streams, the istream itself discards them).
+	var catchMask uint64
+	for i, pin := range ps.pinByShard {
+		if pin != vtime.MaxTS {
+			catchMask |= 1 << uint(i)
 		}
 	}
-	s.advanceConstream(ps)
-	s.pumpCatchups(ps)
+	ps.mu.unlock()
+
+	var kickMask uint64
+	for i, sh := range s.shards {
+		f := &ps.fan[i]
+		hasCatch := catchMask&(1<<uint(i)) != 0
+		if len(f.evs) == 0 && !hasCatch {
+			continue
+		}
+		sh.mu.Lock()
+		s.fanOutLocked(sh, ps, f)
+		if hasCatch {
+			for _, sub := range sh.subs {
+				if cs := sub.catchup[ps.id]; cs != nil {
+					feedCatchup(cs, know)
+				}
+			}
+			kickMask |= 1 << uint(i)
+		}
+		sh.mu.Unlock()
+	}
+	// Every shard has now seen the deliveries up to ldNow; silence may
+	// advance checkpoints this far.
+	ps.fanLD.Store(int64(ldNow))
+	for i, sh := range s.shards {
+		if kickMask&(1<<uint(i)) != 0 {
+			kickShard(sh)
+		}
+	}
+}
+
+// fanOutLocked replays one shard's staged constream deliveries (built by
+// advanceConstream under ps.mu) into the shard. Caller holds sh.mu; ps.mu
+// is NOT held — the stage is safe to read because OnKnowledge calls for
+// one pubend are serialized by the caller.
+func (s *SHB) fanOutLocked(sh *subShard, ps *shbPubend, f *shardFan) {
+	base := 0
+	for i, ev := range f.evs {
+		n := int(f.n[i])
+		for _, subID := range f.arena[base : base+n] {
+			sub := sh.subs[subID]
+			if sub == nil || !sub.connected || sub.catchup[ps.id] != nil {
+				continue
+			}
+			// A subscriber can be ahead of a recovering constream, or
+			// have subscribed after this event was staged with a floor
+			// covering it. Never deliver at or below its floor.
+			if ev.Timestamp <= sub.lastSent[ps.id] {
+				continue
+			}
+			s.deliverEvent(sh, sub, ps.id, ev)
+		}
+		base += n
+	}
+	f.reset()
 }
 
 // attach initializes latestDelivered for a fresh SHB at the first received
 // knowledge: a broker that joins the stream starts delivering from the
-// current position rather than nacking all of history.
+// current position rather than nacking all of history. Caller holds ps.mu.
 func (s *SHB) attach(ps *shbPubend, know *message.Knowledge) {
 	if ps.attached {
 		return
@@ -436,13 +600,16 @@ func (s *SHB) attach(ps *shbPubend, know *message.Knowledge) {
 	ps.cache.setFloor(start - 1)
 	ps.released = start - 1
 	ps.know.Advance(start - 1)
-	s.dirty = true
+	ps.ld.Store(int64(start - 1))
+	ps.fanLD.Store(int64(start - 1))
+	ps.dirtyLD = true
 }
 
 // advanceConstream processes ticks in (latestDelivered, doubtHorizon]: D
 // ticks are matched once against every durable subscription, written to
-// the PFS, and delivered to the connected non-catchup subscribers that
-// match (paper, section 4.1).
+// the PFS, and staged for delivery to the connected non-catchup
+// subscribers that match (paper, section 4.1). Caller holds ps.mu; the
+// staged fans are consumed by OnKnowledge's fan-out phase.
 func (s *SHB) advanceConstream(ps *shbPubend) {
 	dh := ps.know.DoubtHorizon()
 	if dh <= ps.latestDelivered {
@@ -456,49 +623,48 @@ func (s *SHB) advanceConstream(ps *shbPubend) {
 			// The cache evicted an undelivered event (pathological
 			// sizing). Re-request it and stop advancing; knowledge
 			// will come back around.
-			s.stats.CacheMisses++
+			s.stats.cacheMisses.Add(1)
 			tCacheMisses.Inc()
-			s.requestSpans(ps, []tick.Span{{Start: ts, End: ts}})
-			s.flushNacks(ps)
+			s.requestSpansLocked(ps, []tick.Span{{Start: ts, End: ts}})
+			s.flushNacksLocked(ps)
 			dh = ts - 1
 			break
 		}
-		s.matchBuf = s.matcher.MatchAppend(s.matchBuf[:0], ev.Attrs)
-		matched := s.matchBuf
+		ps.matchBuf = s.matcher.MatchAppend(ps.matchBuf[:0], ev.Attrs)
+		matched := ps.matchBuf
 		// PFS first — delivery to the PFS must complete before the
 		// tick is considered delivered. Skip timestamps the PFS
 		// already has (constream replay after a crash).
 		if len(matched) > 0 && ts > s.cfg.PFS.LastTimestamp(ps.id) {
 			if err := s.cfg.PFS.Write(ps.id, ts, matched); err == nil {
-				s.stats.PFSWrites++
+				s.stats.pfsWrites.Add(1)
 			}
 		}
+		// Stage matches into the per-shard fans; delivery happens under
+		// each shard's lock after ps.mu is released.
+		nShards := uint64(len(s.shards))
 		for _, subID := range matched {
-			sub := s.subs[subID]
-			if sub == nil || !sub.connected || sub.catchup[ps.id] != nil {
-				continue
+			f := &ps.fan[uint64(subID)%nShards]
+			if len(f.evs) == 0 || f.evs[len(f.evs)-1] != ev {
+				f.evs = append(f.evs, ev)
+				f.n = append(f.n, 0)
 			}
-			// A subscriber can be ahead of a recovering constream:
-			// after an SHB crash the constream replays from the
-			// persisted latestDelivered, while a reconnecting
-			// subscriber's checkpoint may already cover part of the
-			// replay. Never deliver at or below its floor.
-			if ev.Timestamp <= sub.lastSent[ps.id] {
-				continue
-			}
-			s.deliverEvent(sub, ps.id, ev)
+			f.n[len(f.n)-1]++
+			f.arena = append(f.arena, subID)
 		}
 	}
 	if dh > ps.latestDelivered {
 		ps.latestDelivered = dh
+		ps.ld.Store(int64(dh))
 		ps.cache.setFloor(dh)
-		s.dirty = true
+		ps.dirtyLD = true
 	}
-	s.recomputeReleased(ps)
+	s.recomputeReleasedLocked(ps)
 }
 
 // deliverEvent sends one event delivery and updates silence bookkeeping.
-func (s *SHB) deliverEvent(sub *subscriber, pub vtime.PubendID, ev *message.Event) {
+// Caller holds sh.mu (the subscriber's shard).
+func (s *SHB) deliverEvent(sh *subShard, sub *subscriber, pub vtime.PubendID, ev *message.Event) {
 	s.cfg.Deliver(sub.id, message.Delivery{
 		Kind:      message.DeliverEvent,
 		Pubend:    pub,
@@ -506,48 +672,52 @@ func (s *SHB) deliverEvent(sub *subscriber, pub vtime.PubendID, ev *message.Even
 		Event:     ev,
 	})
 	sub.lastSent[pub] = ev.Timestamp
-	s.stats.EventsDelivered++
+	s.stats.eventsDelivered.Add(1)
 	tEventsDelivered.Inc()
+	sh.tDelivered.Inc()
 }
 
-// requestSpans adds wanted spans to the consolidated curiosity; only the
-// fresh (not already pending) parts are queued for upstream.
-func (s *SHB) requestSpans(ps *shbPubend, spans []tick.Span) {
+// requestSpansLocked adds wanted spans to the consolidated curiosity; only
+// the fresh (not already pending) parts are queued for upstream. Caller
+// holds ps.mu.
+func (s *SHB) requestSpansLocked(ps *shbPubend, spans []tick.Span) {
 	for _, sp := range spans {
-		s.stats.NackTicksWanted += sp.Len()
+		s.stats.nackTicksWanted.Add(sp.Len())
 		for _, fresh := range ps.cur.Add(sp.Start, sp.End) {
 			ps.pendingNackSpans = append(ps.pendingNackSpans, fresh)
 		}
 	}
 }
 
-// flushNacks sends queued consolidated nack spans upstream.
-func (s *SHB) flushNacks(ps *shbPubend) {
+// flushNacksLocked sends queued consolidated nack spans upstream. Caller
+// holds ps.mu.
+func (s *SHB) flushNacksLocked(ps *shbPubend) {
 	if len(ps.pendingNackSpans) == 0 {
 		return
 	}
 	spans := ps.pendingNackSpans
 	ps.pendingNackSpans = nil
-	s.stats.NacksSent += int64(len(spans))
+	s.stats.nacksSent.Add(int64(len(spans)))
 	tNackSpans.Add(int64(len(spans)))
 	for _, sp := range spans {
-		s.stats.NackTicksSent += sp.Len()
+		s.stats.nackTicksSent.Add(sp.Len())
 	}
 	s.cfg.SendNack(ps.id, spans)
 }
 
-// recomputeReleased recalculates released(p) =
-// min(latestDelivered, min_s released(s,p)).
-func (s *SHB) recomputeReleased(ps *shbPubend) {
+// recomputeReleasedLocked recalculates released(p) =
+// min(latestDelivered, min_i relByShard[i]) from the shard-published
+// floors. Caller holds ps.mu.
+func (s *SHB) recomputeReleasedLocked(ps *shbPubend) {
 	rel := ps.latestDelivered
-	for _, sub := range s.subs {
-		if r := sub.released[ps.id]; r < rel {
+	for _, r := range ps.relByShard {
+		if r < rel {
 			rel = r
 		}
 	}
 	if rel > ps.released {
 		ps.released = rel
-		s.dirty = true
+		ps.dirtyLD = true
 		// Knowledge and cached events below released(p) can never be
 		// needed again by any local subscriber.
 		ps.know.Advance(rel)
@@ -555,10 +725,61 @@ func (s *SHB) recomputeReleased(ps *shbPubend) {
 	}
 }
 
-func (s *SHB) recomputeReleasedAll() {
-	for _, ps := range s.pubends {
-		s.recomputeReleased(ps)
+// publishShardFloors recomputes one shard's per-pubend min released(s,p)
+// and publishes it into every pubend's release vector.
+func (s *SHB) publishShardFloors(sh *subShard) {
+	sh.mu.Lock()
+	mins := sh.relMins
+	for i := range mins {
+		mins[i] = vtime.MaxTS
 	}
+	for _, sub := range sh.subs {
+		for i, ps := range s.pubList {
+			if r := sub.released[ps.id]; r < mins[i] {
+				mins[i] = r
+			}
+		}
+	}
+	for i, ps := range s.pubList {
+		ps.mu.lock()
+		ps.relByShard[sh.id] = mins[i]
+		s.recomputeReleasedLocked(ps)
+		ps.mu.unlock()
+	}
+	sh.mu.Unlock()
+}
+
+// syncShardPins recomputes one shard's per-pubend min catchup base and
+// publishes it into the pubends' cache pins, so the event cache keeps
+// events any catchup stream may still need.
+func (s *SHB) syncShardPins(sh *subShard) {
+	sh.mu.Lock()
+	mins := sh.pinMins
+	for i := range mins {
+		mins[i] = vtime.MaxTS
+	}
+	for _, sub := range sh.catchups {
+		for i, ps := range s.pubList {
+			if cs := sub.catchup[ps.id]; cs != nil {
+				if b := cs.know.Base(); b < mins[i] {
+					mins[i] = b
+				}
+			}
+		}
+	}
+	for i, ps := range s.pubList {
+		ps.mu.lock()
+		ps.pinByShard[sh.id] = mins[i]
+		pin := vtime.MaxTS
+		for _, p := range ps.pinByShard {
+			if p < pin {
+				pin = p
+			}
+		}
+		ps.cache.setPin(pin)
+		ps.mu.unlock()
+	}
+	sh.mu.Unlock()
 }
 
 // PendingCuriosity snapshots the consolidated spans each pubend is still
@@ -568,13 +789,13 @@ func (s *SHB) recomputeReleasedAll() {
 // spans itself or the gap would never fill. Pubends with nothing pending
 // are omitted.
 func (s *SHB) PendingCuriosity() map[vtime.PubendID][]tick.Span {
-	s.mu.lock()
-	defer s.mu.unlock()
 	out := make(map[vtime.PubendID][]tick.Span)
 	for pub, ps := range s.pubends {
+		ps.mu.lock()
 		if pending := ps.cur.Pending(); len(pending) > 0 {
 			out[pub] = pending
 		}
+		ps.mu.unlock()
 	}
 	return out
 }
@@ -592,11 +813,13 @@ type SubscriptionInfo struct {
 // announced it starts D→S filtering, so the broker must re-announce all of
 // them or pre-outage subscribers would silently stop matching.
 func (s *SHB) Subscriptions() []SubscriptionInfo {
-	s.mu.lock()
-	defer s.mu.unlock()
-	out := make([]SubscriptionInfo, 0, len(s.subs))
-	for id, sub := range s.subs {
-		out = append(out, SubscriptionInfo{ID: id, Filter: sub.sub.String()})
+	var out []SubscriptionInfo
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for id, sub := range sh.subs {
+			out = append(out, SubscriptionInfo{ID: id, Filter: sub.sub.String()})
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }

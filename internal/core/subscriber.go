@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"time"
 
@@ -31,11 +30,12 @@ func (s *SHB) Subscribe(req *message.Subscribe) (*vtime.CheckpointToken, error) 
 	if err != nil {
 		return nil, fmt.Errorf("core: subscribe %v: %w", req.Subscriber, err)
 	}
-	s.mu.lock()
-	defer s.mu.unlock()
+	sh := s.shardFor(req.Subscriber)
+	sh.mu.Lock()
 
-	sub := s.subs[req.Subscriber]
+	sub := sh.subs[req.Subscriber]
 	if sub != nil && sub.connected {
+		sh.mu.Unlock()
 		return nil, fmt.Errorf("core: subscriber %v already connected", req.Subscriber)
 	}
 	ct := vtime.NewCheckpointToken()
@@ -43,71 +43,114 @@ func (s *SHB) Subscribe(req *message.Subscribe) (*vtime.CheckpointToken, error) 
 		// First connect at this SHB: persist the subscription. A plain
 		// first connect starts at the consolidated stream's position; a
 		// reconnect-anywhere resume starts at the presented checkpoint.
+		//
+		// The matcher learns the subscription before the since floors
+		// are read: since(s,p) claims the PFS describes the subscriber
+		// from there on, so every constream advance past it must have
+		// matched with the subscriber present. Fan-out for any such
+		// advance blocks on sh.mu until the record below is visible.
 		sub = s.newSubscriber(req.Subscriber, subFilter)
+		s.matcher.Add(req.Subscriber, subFilter)
 		tx := s.cfg.Meta.Begin()
 		tx.Put(tableSubs, strconv.FormatUint(uint64(req.Subscriber), 10), []byte(req.Filter))
-		for pub, ps := range s.pubends {
-			start := ps.latestDelivered
+		for _, ps := range s.pubList {
+			ps.mu.lock()
+			ld := ps.latestDelivered
+			start := ld
 			if req.Resume {
-				start = req.CT.Get(pub)
+				start = req.CT.Get(ps.id)
 			}
-			sub.released[pub] = start
+			sub.released[ps.id] = start
 			// The PFS only describes this subscriber from here on;
 			// everything earlier must be refiltered during catchup.
-			sub.since[pub] = ps.latestDelivered
-			ct.ForceSet(pub, start)
-			tx.PutUint64(tableReleased, relKey(pub, req.Subscriber), uint64(start))
-			tx.PutUint64(tableSince, relKey(pub, req.Subscriber), uint64(ps.latestDelivered))
+			sub.since[ps.id] = ld
+			// A floor below the shard's current minimum must reach
+			// the release vector before the next Tick, or released(p)
+			// could advance past storage this backlog still needs.
+			if start < ps.relByShard[sh.id] {
+				ps.relByShard[sh.id] = start
+			}
+			ps.mu.unlock()
+			ct.ForceSet(ps.id, start)
+			tx.PutUint64(tableReleased, relKey(ps.id, req.Subscriber), uint64(start))
+			tx.PutUint64(tableSince, relKey(ps.id, req.Subscriber), uint64(ld))
 		}
 		if err := tx.Commit(); err != nil {
+			s.matcher.Remove(req.Subscriber)
+			sh.mu.Unlock()
 			return nil, fmt.Errorf("core: persist subscription: %w", err)
 		}
-		s.subs[req.Subscriber] = sub
-		s.matcher.Add(req.Subscriber, subFilter)
+		sh.subs[req.Subscriber] = sub
 	} else {
 		// Resume. The subscriber may present an older CT than it has
 		// acknowledged (it lost its own state): honor it; gaps may
 		// result where storage was already released.
 		if !req.Resume {
+			sh.mu.Unlock()
 			return nil, fmt.Errorf("core: subscriber %v already exists; reconnect with Resume", req.Subscriber)
 		}
-		for pub := range s.pubends {
-			ct.ForceSet(pub, req.CT.Get(pub))
+		for _, ps := range s.pubList {
+			ct.ForceSet(ps.id, req.CT.Get(ps.id))
 		}
 	}
 	sub.connected = true
+	sh.nConnected.Add(1)
+	sh.tConnected.Inc()
 	sub.credits = int64(req.Credits)
 	if sub.credits == 0 {
 		sub.credits = 1 << 30 // unlimited unless the client flow-controls
 	}
-	for pub, ps := range s.pubends {
-		start := ct.Get(pub)
-		sub.lastSent[pub] = start
+	newCatchup := false
+	for _, ps := range s.pubList {
+		start := ct.Get(ps.id)
+		sub.lastSent[ps.id] = start
+		// The catchup decision is made against latestDelivered under
+		// ps.mu while sh.mu is held: it is atomic with respect to the
+		// constream advance, so an event is either covered by the
+		// catchup stream created here or fanned out to the now-visible
+		// subscriber — never neither.
+		ps.mu.lock()
 		if start >= ps.latestDelivered {
+			ps.mu.unlock()
 			continue // non-catchup from the start
 		}
 		cs := &catchupStream{
 			sub:     sub,
-			pub:     pub,
+			pub:     ps.id,
 			know:    tick.NewStream(start),
 			cur:     tick.NewCuriosity(),
 			started: time.Now(),
 		}
 		cs.pfsReadUpTo = start
-		sub.catchup[pub] = cs
-		tCatchupActive.Inc()
-	}
-	// Make immediate progress on all new catchup streams. The cache pin
-	// must drop to the catchup base before any recovery responses arrive,
-	// or they could be evicted before delivery.
-	for pub := range sub.catchup {
-		ps := s.pubends[pub]
-		s.updateCachePin(ps)
-		if cs := sub.catchup[pub]; cs != nil {
-			s.pumpCatchup(ps, cs)
+		sub.catchup[ps.id] = cs
+		// The cache pin must drop to the catchup base before any
+		// recovery responses arrive, or they could be evicted before
+		// delivery.
+		if start < ps.pinByShard[sh.id] {
+			ps.pinByShard[sh.id] = start
+			pin := vtime.MaxTS
+			for _, p := range ps.pinByShard {
+				if p < pin {
+					pin = p
+				}
+			}
+			ps.cache.setPin(pin)
 		}
-		s.flushNacks(ps)
-		s.updateCachePin(ps)
+		ps.mu.unlock()
+		sh.nCatchup.Add(1)
+		sh.tCatchup.Inc()
+		tCatchupActive.Inc()
+		newCatchup = true
+	}
+	if newCatchup {
+		sh.catchups[sub.id] = sub
+	}
+	sh.mu.Unlock()
+	if newCatchup {
+		// Make immediate progress on the new catchup streams so callers
+		// observe a deterministic amount of recovery (bounded by credits
+		// and the available local knowledge).
+		s.drainShard(sh)
 	}
 	return ct, nil
 }
@@ -116,92 +159,122 @@ func (s *SHB) Subscribe(req *message.Subscribe) (*vtime.CheckpointToken, error) 
 // both identically: catchup(s,p) becomes true the instant the subscriber
 // disconnects). The durable subscription itself persists.
 func (s *SHB) Detach(subID vtime.SubscriberID) {
-	s.mu.lock()
-	defer s.mu.unlock()
-	sub := s.subs[subID]
+	sh := s.shardFor(subID)
+	sh.mu.Lock()
+	sub := sh.subs[subID]
 	if sub == nil {
+		sh.mu.Unlock()
 		return
+	}
+	if sub.connected {
+		sh.nConnected.Add(-1)
+		sh.tConnected.Dec()
 	}
 	sub.connected = false
 	// Catchup streams are discarded; reconnection builds fresh ones from
 	// the presented checkpoint token.
-	tCatchupActive.Add(int64(-len(sub.catchup)))
+	n := len(sub.catchup)
+	tCatchupActive.Add(int64(-n))
+	sh.nCatchup.Add(int64(-n))
+	sh.tCatchup.Add(int64(-n))
 	sub.catchup = make(map[vtime.PubendID]*catchupStream)
+	delete(sh.catchups, subID)
+	sh.mu.Unlock()
+	if n > 0 {
+		s.syncShardPins(sh)
+	}
 }
 
 // Unsubscribe permanently removes a durable subscription, releasing the
 // storage its unacknowledged backlog was holding.
 func (s *SHB) Unsubscribe(subID vtime.SubscriberID) error {
-	s.mu.lock()
-	defer s.mu.unlock()
-	sub := s.subs[subID]
+	sh := s.shardFor(subID)
+	sh.mu.Lock()
+	sub := sh.subs[subID]
 	if sub == nil {
+		sh.mu.Unlock()
 		return nil
 	}
-	tCatchupActive.Add(int64(-len(sub.catchup)))
-	delete(s.subs, subID)
+	if sub.connected {
+		sh.nConnected.Add(-1)
+		sh.tConnected.Dec()
+	}
+	n := len(sub.catchup)
+	tCatchupActive.Add(int64(-n))
+	sh.nCatchup.Add(int64(-n))
+	sh.tCatchup.Add(int64(-n))
+	delete(sh.subs, subID)
+	delete(sh.catchups, subID)
+	delete(sh.dirtySubs, subID)
+	// The departed backlog may have been holding the shard floor down.
+	sh.relDirty = true
 	s.matcher.Remove(subID)
 	tx := s.cfg.Meta.Begin()
 	tx.Delete(tableSubs, strconv.FormatUint(uint64(subID), 10))
-	for pub := range s.pubends {
-		tx.Delete(tableReleased, relKey(pub, subID))
-		tx.Delete(tableSince, relKey(pub, subID))
+	for _, ps := range s.pubList {
+		tx.Delete(tableReleased, relKey(ps.id, subID))
+		tx.Delete(tableSince, relKey(ps.id, subID))
 	}
-	if err := tx.Commit(); err != nil {
+	err := tx.Commit()
+	sh.mu.Unlock()
+	// The departed backlog may have been the release floor; republish.
+	s.publishShardFloors(sh)
+	s.syncShardPins(sh)
+	if err != nil {
 		return fmt.Errorf("core: unsubscribe: %w", err)
 	}
-	s.recomputeReleasedAll()
 	return nil
 }
 
 // OnAck records a subscriber's checkpoint token: everything at or below
-// CT[p] is acknowledged and may be released. Persistence is batched into
-// the next Tick (the paper updates released(s) in DB2 every 250 ms).
+// CT[p] is acknowledged and may be released. Persistence and released(p)
+// aggregation are batched into the next Tick (the paper updates
+// released(s) in DB2 every 250 ms).
 func (s *SHB) OnAck(subID vtime.SubscriberID, ct *vtime.CheckpointToken) {
-	s.mu.lock()
-	defer s.mu.unlock()
-	sub := s.subs[subID]
+	sh := s.shardFor(subID)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sub := sh.subs[subID]
 	if sub == nil {
 		return
 	}
-	for pub, ps := range s.pubends {
-		ack := ct.Get(pub)
-		if ack > sub.released[pub] {
-			sub.released[pub] = ack
-			s.dirty = true
+	for _, ps := range s.pubList {
+		ack := ct.Get(ps.id)
+		if ack > sub.released[ps.id] {
+			sub.released[ps.id] = ack
+			sh.dirtySubs[sub.id] = sub
+			sh.relDirty = true
 		}
-		_ = ps
 	}
-	s.recomputeReleasedAll()
 }
 
 // OnCredit grants flow-control credits and resumes stalled catchup
 // deliveries.
 func (s *SHB) OnCredit(subID vtime.SubscriberID, credits uint32) {
-	s.mu.lock()
-	defer s.mu.unlock()
-	sub := s.subs[subID]
+	sh := s.shardFor(subID)
+	sh.mu.Lock()
+	sub := sh.subs[subID]
 	if sub == nil {
+		sh.mu.Unlock()
 		return
 	}
 	sub.credits += int64(credits)
-	for pub, cs := range sub.catchup {
-		ps := s.pubends[pub]
-		s.pumpCatchup(ps, cs)
-		s.flushNacks(ps)
+	stalled := len(sub.catchup) > 0
+	sh.mu.Unlock()
+	if stalled {
+		s.drainShard(sh)
 	}
 }
 
-// Tick performs periodic housekeeping: nack doubt-horizon stalls, send
-// silence messages, persist dirty release state, and emit release vectors
-// upstream. The broker calls it on its housekeeping interval (the paper's
-// released updates run every 250 ms).
+// Tick performs periodic housekeeping: nack doubt-horizon stalls, drain
+// catchup streams, send silence messages, publish per-shard release
+// floors, persist dirty release state, and emit release vectors upstream.
+// The broker calls it on its housekeeping interval (the paper's released
+// updates run every 250 ms).
 func (s *SHB) Tick(now time.Time) error {
-	s.mu.lock()
-	defer s.mu.unlock()
-
-	for _, ps := range s.pubends {
+	for _, ps := range s.pubList {
 		// Re-request anything blocking the constream.
+		ps.mu.lock()
 		if ps.maxKnown > ps.latestDelivered {
 			gaps := ps.know.QGaps(ps.latestDelivered, ps.maxKnown, 0)
 			if len(gaps) > 0 {
@@ -209,11 +282,26 @@ func (s *SHB) Tick(now time.Time) error {
 				for i, g := range gaps {
 					spans[i] = tick.Span{Start: g.Start, End: g.End}
 				}
-				s.requestSpans(ps, spans)
+				s.requestSpansLocked(ps, spans)
 			}
 		}
-		s.pumpCatchups(ps) // also flushes nacks
-		s.sendSilence(ps)
+		s.flushNacksLocked(ps)
+		ps.mu.unlock()
+	}
+	for _, sh := range s.shards {
+		s.drainShard(sh)
+		s.silenceShard(sh)
+		// Floors only move when some released(s,p) changed or a backlog
+		// departed; skip the O(subscribers) recomputation otherwise.
+		// released(p) still tracks latestDelivered through the constream
+		// advance's own recompute.
+		sh.mu.Lock()
+		dirty := sh.relDirty
+		sh.relDirty = false
+		sh.mu.Unlock()
+		if dirty {
+			s.publishShardFloors(sh)
+		}
 	}
 	if err := s.persistDirty(); err != nil {
 		return err
@@ -222,86 +310,110 @@ func (s *SHB) Tick(now time.Time) error {
 	return nil
 }
 
-// sendSilence delivers a silence message to connected non-catchup
-// subscribers whose last delivery lags latestDelivered by more than the
-// silence interval, so their checkpoint tokens keep advancing.
-func (s *SHB) sendSilence(ps *shbPubend) {
-	for _, sub := range s.subs {
-		if !sub.connected || sub.catchup[ps.id] != nil {
-			continue
+// silenceShard delivers a silence message to the shard's connected
+// non-catchup subscribers whose last delivery lags the constream by more
+// than the silence interval, so their checkpoint tokens keep advancing.
+// Silence advances only to fanLD — the position every shard has seen
+// deliveries up to — never to a latestDelivered whose fan-out is still in
+// flight, which would release events the subscriber has not received.
+func (s *SHB) silenceShard(sh *subShard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for _, ps := range s.pubList {
+		fanLD := vtime.Timestamp(ps.fanLD.Load())
+		for _, sub := range sh.subs {
+			if !sub.connected || sub.catchup[ps.id] != nil {
+				continue
+			}
+			if fanLD-sub.lastSent[ps.id] <= s.cfg.SilenceInterval {
+				continue
+			}
+			s.cfg.Deliver(sub.id, message.Delivery{
+				Kind:      message.DeliverSilence,
+				Pubend:    ps.id,
+				Timestamp: fanLD,
+			})
+			sub.lastSent[ps.id] = fanLD
+			s.stats.silencesDelivered.Add(1)
+			tSilences.Inc()
 		}
-		if ps.latestDelivered-sub.lastSent[ps.id] <= s.cfg.SilenceInterval {
-			continue
-		}
-		s.cfg.Deliver(sub.id, message.Delivery{
-			Kind:      message.DeliverSilence,
-			Pubend:    ps.id,
-			Timestamp: ps.latestDelivered,
-		})
-		sub.lastSent[ps.id] = ps.latestDelivered
-		s.stats.SilencesDelivered++
-		tSilences.Inc()
 	}
 }
 
 // persistDirty writes latestDelivered and released(s,p) to the metastore
-// in one batched transaction.
+// in one batched transaction. Only subscribers whose release state changed
+// since the last commit are written; dirty sets are cleared at snapshot
+// time, and a failed commit schedules a full re-persist on the next Tick
+// (the conservative fallback — the cleared per-subscriber dirty marks are
+// gone, so everything is rewritten).
 func (s *SHB) persistDirty() error {
-	if !s.dirty {
+	full := s.persistRetry.Swap(false)
+	dirty := full
+	tx := s.cfg.Meta.Begin()
+	for _, ps := range s.pubList {
+		ps.mu.lock()
+		if ps.dirtyLD {
+			dirty = true
+			ps.dirtyLD = false
+		}
+		if ps.attached {
+			tx.PutUint64(tableLD, pubKey(ps.id), uint64(ps.latestDelivered))
+		}
+		ps.mu.unlock()
+	}
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		subs := sh.dirtySubs
+		if full {
+			subs = sh.subs
+		}
+		if len(sh.dirtySubs) > 0 {
+			dirty = true
+		}
+		for _, sub := range subs {
+			for _, ps := range s.pubList {
+				tx.PutUint64(tableReleased, relKey(ps.id, sub.id), uint64(sub.released[ps.id]))
+			}
+		}
+		clear(sh.dirtySubs)
+		sh.mu.Unlock()
+	}
+	if !dirty {
 		return nil
 	}
-	tx := s.cfg.Meta.Begin()
-	pubs := make([]vtime.PubendID, 0, len(s.pubends))
-	for pub := range s.pubends {
-		pubs = append(pubs, pub)
-	}
-	sort.Slice(pubs, func(i, j int) bool { return pubs[i] < pubs[j] })
-	for _, pub := range pubs {
-		ps := s.pubends[pub]
-		if !ps.attached {
-			continue
-		}
-		tx.PutUint64(tableLD, pubKey(pub), uint64(ps.latestDelivered))
-		for _, sub := range s.subs {
-			tx.PutUint64(tableReleased, relKey(pub, sub.id), uint64(sub.released[pub]))
-		}
-	}
 	if err := tx.Commit(); err != nil {
+		s.persistRetry.Store(true)
 		return fmt.Errorf("core: persist: %w", err)
 	}
-	s.dirty = false
 	return nil
 }
 
 // sendReleaseVectors emits (released, latestDelivered) upstream for every
 // pubend whose vector changed since the last send.
 func (s *SHB) sendReleaseVectors() {
-	for _, ps := range s.pubends {
-		if !ps.attached {
-			continue
-		}
-		if ps.released == ps.lastSentRelease && ps.latestDelivered == ps.lastSentLD {
+	for _, ps := range s.pubList {
+		ps.mu.lock()
+		if !ps.attached ||
+			(ps.released == ps.lastSentRelease && ps.latestDelivered == ps.lastSentLD) {
+			ps.mu.unlock()
 			continue
 		}
 		ps.lastSentRelease = ps.released
 		ps.lastSentLD = ps.latestDelivered
-		s.cfg.SendRelease(ps.id, ps.released, ps.latestDelivered)
+		rel, ld := ps.released, ps.latestDelivered
+		s.cfg.SendRelease(ps.id, rel, ld)
+		ps.mu.unlock()
 	}
 }
 
 // ChopPFS discards PFS records below released(p) for every pubend; brokers
 // call it occasionally to reclaim SHB storage.
 func (s *SHB) ChopPFS() error {
-	s.mu.lock()
-	pubs := make([]vtime.PubendID, 0, len(s.pubends))
-	rels := make([]vtime.Timestamp, 0, len(s.pubends))
-	for pub, ps := range s.pubends {
-		pubs = append(pubs, pub)
-		rels = append(rels, ps.released)
-	}
-	s.mu.unlock()
-	for i, pub := range pubs {
-		if err := s.cfg.PFS.Chop(pub, rels[i]); err != nil {
+	for _, ps := range s.pubList {
+		ps.mu.lock()
+		rel := ps.released
+		ps.mu.unlock()
+		if err := s.cfg.PFS.Chop(ps.id, rel); err != nil {
 			return err
 		}
 	}

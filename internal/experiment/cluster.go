@@ -61,6 +61,12 @@ type Topology struct {
 	// Shards is the per-broker event-loop shard count (0 = GOMAXPROCS,
 	// 1 = the serialized single-loop broker; see broker.Config.Shards).
 	Shards int
+	// SubShards is the SHB subscriber shard count (0 = engine default,
+	// 1 = the single-lock engine; see broker.Config.SubShards).
+	SubShards int
+	// CatchupWeight is the catchup scheduler quantum (0 = engine default;
+	// see broker.Config.CatchupWeight).
+	CatchupWeight int
 	// TCP runs the cluster over real loopback TCP sockets instead of the
 	// in-process transport (the paper's deployment; exercises the framed
 	// write-coalescing wire path). LinkLatency is ignored under TCP.
@@ -171,6 +177,8 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 		MetaCommitLatency: topo.MetaCommitLatency,
 		OnCaughtUp:        topo.OnCaughtUp,
 		Shards:            topo.Shards,
+		SubShards:         topo.SubShards,
+		CatchupWeight:     topo.CatchupWeight,
 	}
 
 	phbCfg := common
@@ -264,6 +272,8 @@ func (c *Cluster) RestartSHB(i int) error {
 		MetaCommitLatency: c.topo.MetaCommitLatency,
 		OnCaughtUp:        c.topo.OnCaughtUp,
 		Shards:            c.topo.Shards,
+		SubShards:         c.topo.SubShards,
+		CatchupWeight:     c.topo.CatchupWeight,
 	}
 	nb, err := broker.New(cfg)
 	if err != nil {

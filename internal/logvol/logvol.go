@@ -553,6 +553,14 @@ func (s *Stream) AppendAsync(payload []byte) *Ticket {
 
 // Read returns the payload of the record at idx.
 func (s *Stream) Read(idx Index) ([]byte, error) {
+	return s.ReadInto(idx, nil)
+}
+
+// ReadInto is Read with a caller-supplied scratch buffer: the returned
+// payload aliases buf (grown as needed), so hot read loops can reuse one
+// buffer instead of allocating header+body per record. The payload is only
+// valid until the next use of buf; callers that retain it must copy.
+func (s *Stream) ReadInto(idx Index, buf []byte) ([]byte, error) {
 	v := s.vol
 	v.mu.Lock()
 	if v.closed {
@@ -568,13 +576,17 @@ func (s *Stream) Read(idx Index) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: stream %q index %d", ErrNotFound, s.name, idx)
 	}
-	return s.readAt(off, idx)
+	return s.readAtInto(off, idx, buf)
 }
 
-// readAt reads and validates the record at off (no lock held; the file
-// region is immutable once written).
-func (s *Stream) readAt(off int64, wantIdx Index) ([]byte, error) {
-	hdr := make([]byte, recHeaderSize)
+// readAtInto reads and validates the record at off into buf (no lock held;
+// the file region is immutable once written). The returned payload aliases
+// buf when it fits.
+func (s *Stream) readAtInto(off int64, wantIdx Index, buf []byte) ([]byte, error) {
+	if cap(buf) < recHeaderSize {
+		buf = make([]byte, recHeaderSize, recHeaderSize+recTrailerLen+512)
+	}
+	hdr := buf[:recHeaderSize]
 	if _, err := s.vol.f.ReadAt(hdr, off); err != nil {
 		return nil, fmt.Errorf("logvol read header: %w", err)
 	}
@@ -585,19 +597,84 @@ func (s *Stream) readAt(off int64, wantIdx Index) ([]byte, error) {
 		return nil, fmt.Errorf("%w: stream %q index %d points at (%d,%d)",
 			ErrCorrupt, s.name, wantIdx, streamID, index)
 	}
-	body := make([]byte, plen+recTrailerLen)
+	total := recHeaderSize + plen + recTrailerLen
+	if cap(buf) < total {
+		grown := make([]byte, total)
+		copy(grown, hdr)
+		buf = grown
+	}
+	buf = buf[:total]
+	body := buf[recHeaderSize:]
 	if _, err := s.vol.f.ReadAt(body, off+recHeaderSize); err != nil {
 		return nil, fmt.Errorf("logvol read body: %w", err)
 	}
 	payload := body[:plen]
 	wantCRC := binary.BigEndian.Uint32(body[plen:])
-	crc := crc32.NewIEEE()
-	crc.Write(hdr)     //nolint:errcheck,gosec // hash writes cannot fail
-	crc.Write(payload) //nolint:errcheck,gosec // hash writes cannot fail
-	if crc.Sum32() != wantCRC {
+	if crc32.ChecksumIEEE(buf[:recHeaderSize+plen]) != wantCRC {
 		return nil, fmt.Errorf("%w: stream %q index %d bad crc", ErrCorrupt, s.name, wantIdx)
 	}
 	return payload, nil
+}
+
+// ReadRange performs one vectored read of the file region starting at the
+// record with index from, then walks the multiplexed records it contains in
+// file order, invoking visit for every valid record of THIS stream with
+// index >= from. Records of other streams (and the meta stream) inside the
+// window are skipped. visit returning false stops the scan; payloads alias
+// buf and are only valid inside the callback.
+//
+// The scan is opportunistic: it stops silently at the first record that
+// does not fit the window or fails validation (a window cut mid-record, a
+// torn tail). Callers needing a specific record must fall back to ReadInto,
+// which reports real corruption as an error. Catchup batch reads use this
+// to fill a decode cache with one syscall instead of one read per record.
+func (s *Stream) ReadRange(from Index, buf []byte, visit func(idx Index, payload []byte) bool) error {
+	v := s.vol
+	v.mu.Lock()
+	if v.closed {
+		v.mu.Unlock()
+		return ErrClosed
+	}
+	if from < s.minLive {
+		v.mu.Unlock()
+		return fmt.Errorf("%w: stream %q index %d", ErrChopped, s.name, from)
+	}
+	off, ok := s.offsets[from]
+	end := v.size
+	id := s.id
+	v.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: stream %q index %d", ErrNotFound, s.name, from)
+	}
+	if avail := end - off; int64(len(buf)) > avail {
+		buf = buf[:avail]
+	}
+	n, err := s.vol.f.ReadAt(buf, off)
+	if n <= 0 && err != nil {
+		return fmt.Errorf("logvol read range: %w", err)
+	}
+	buf = buf[:n]
+	for pos := 0; pos+recHeaderSize+recTrailerLen <= len(buf); {
+		streamID := binary.BigEndian.Uint32(buf[pos:])
+		index := Index(binary.BigEndian.Uint64(buf[pos+4:]))
+		plen := int(binary.BigEndian.Uint32(buf[pos+12:]))
+		total := recHeaderSize + plen + recTrailerLen
+		if plen < 0 || pos+total > len(buf) {
+			break // record extends past the window (or torn tail)
+		}
+		payload := buf[pos+recHeaderSize : pos+recHeaderSize+plen]
+		wantCRC := binary.BigEndian.Uint32(buf[pos+recHeaderSize+plen:])
+		if crc32.ChecksumIEEE(buf[pos:pos+recHeaderSize+plen]) != wantCRC {
+			break // torn/corrupt record: stop the opportunistic scan
+		}
+		if streamID == id && index >= from {
+			if !visit(index, payload) {
+				return nil
+			}
+		}
+		pos += total
+	}
+	return nil
 }
 
 // Chop discards every record of the stream with index <= upTo. Reads of
@@ -753,7 +830,7 @@ func (v *Volume) Compact() error {
 	for _, lr := range live {
 		// Read from the old file, write to the new.
 		v.f = old
-		payload, err := lr.s.readAt(lr.off, lr.idx)
+		payload, err := lr.s.readAtInto(lr.off, lr.idx, nil)
 		v.f = tmp
 		if err != nil {
 			restore()

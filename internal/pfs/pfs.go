@@ -25,10 +25,12 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 
 	"repro/internal/logvol"
+	"repro/internal/message"
 	"repro/internal/metastore"
 	"repro/internal/telemetry"
 	"repro/internal/tick"
@@ -49,13 +51,117 @@ var (
 		"PFS checkpoint flushes (volume sync + metastore transaction).")
 	tCkptErrors = telemetry.Default().Counter("gryphon_pfs_checkpoint_errors_total",
 		"PFS background checkpoint flushes that failed.")
+	tRangeReads = telemetry.Default().Counter("gryphon_pfs_range_reads_total",
+		"Vectored log-volume range reads issued to fill the decode cache.")
+	tDecHits = telemetry.Default().Counter("gryphon_pfs_decode_cache_hits_total",
+		"Chain-walk records served from the per-pubend decode cache.")
+	tDecMisses = telemetry.Default().Counter("gryphon_pfs_decode_cache_misses_total",
+		"Chain-walk records that required a log-volume read.")
 )
 
 const (
 	metaTable = "pfs"
 	recBase   = 8  // timestamp
 	recPerSub = 16 // subscriber id + backpointer
+
+	// tailWindow bounds one vectored range read (bytes); fillSpan is how
+	// many record indexes below a missed record the fill tries to cover.
+	// With typical records (8+16n payload + 20 framing) one window decodes
+	// hundreds of records in a single syscall.
+	tailWindow = 256 << 10
+	fillSpan   = 512
+	// recScratch sizes the single-record read scratch; records larger than
+	// this (≈4000 subscribers in one record) fall back to allocating.
+	recScratch = 64 << 10
+	// recCacheBudget bounds the decode cache per pubend, counted in
+	// subscriber entries (~32 bytes each), not records: record cost scales
+	// with fan-out.
+	recCacheBudget = 1 << 18
 )
+
+// readBufs is the pooled per-read scratch set: a single-record buffer, a
+// range-read window, and the span-reversal scratch. Concurrent catchup
+// pumps each grab one from the pool for the duration of a batch read.
+type readBufs struct {
+	rec      []byte
+	win      []byte
+	reversed []tick.Span
+}
+
+var readBufPool = sync.Pool{New: func() any { return new(readBufs) }}
+
+// decRec is one decoded PFS record held in the per-pubend decode cache;
+// its slices are owned by the cache (decodeRecord copies out of the read
+// buffer), so entries are safe to share across concurrent chain walks.
+type decRec struct {
+	ts    vtime.Timestamp
+	subs  []vtime.SubscriberID
+	prevs []logvol.Index
+}
+
+// recCache is the per-pubend decoded-record cache: concurrent catchup
+// streams walking overlapping backpointer chains (the common case — a churn
+// storm reconnects many subscribers at similar lag) share one decode of
+// each record instead of re-reading and re-parsing it per subscriber.
+type recCache struct {
+	mu      sync.Mutex
+	recs    map[logvol.Index]*decRec
+	entries int // total subscriber entries across cached records
+	budget  int
+}
+
+func newRecCache(budget int) *recCache {
+	return &recCache{recs: make(map[logvol.Index]*decRec), budget: budget}
+}
+
+func (c *recCache) get(idx logvol.Index) *decRec {
+	c.mu.Lock()
+	r := c.recs[idx]
+	c.mu.Unlock()
+	return r
+}
+
+func (c *recCache) put(idx logvol.Index, r *decRec) {
+	c.mu.Lock()
+	if _, ok := c.recs[idx]; !ok {
+		c.recs[idx] = r
+		c.entries += len(r.subs)
+		if c.entries > c.budget {
+			c.evictLocked()
+		}
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops lowest-index entries until half the budget is free;
+// catchup walks move toward the tail as release floors advance, so low
+// indexes are the coldest. Caller holds c.mu.
+func (c *recCache) evictLocked() {
+	keys := make([]logvol.Index, 0, len(c.recs))
+	for idx := range c.recs {
+		keys = append(keys, idx)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, idx := range keys {
+		if c.entries <= c.budget/2 {
+			break
+		}
+		c.entries -= len(c.recs[idx].subs)
+		delete(c.recs, idx)
+	}
+}
+
+// pruneBelow drops entries below min (chopped records).
+func (c *recCache) pruneBelow(min logvol.Index) {
+	c.mu.Lock()
+	for idx, r := range c.recs {
+		if idx < min {
+			c.entries -= len(r.subs)
+			delete(c.recs, idx)
+		}
+	}
+	c.mu.Unlock()
+}
 
 // Options configures a PFS.
 type Options struct {
@@ -113,6 +219,7 @@ type pubendState struct {
 	scanned logvol.Index                           // metadata checkpoint covers indexes <= scanned
 	writes  int                                    // writes since last sync
 	nextOK  map[vtime.SubscriberID]vtime.Timestamp // imprecise mode gate
+	cache   *recCache                              // decoded records shared by concurrent reads
 }
 
 // ReadResult is the outcome of one batch read for a subscriber.
@@ -179,6 +286,7 @@ func (p *PFS) state(pub vtime.PubendID) (*pubendState, error) {
 		stream:  stream,
 		lastIdx: make(map[vtime.SubscriberID]logvol.Index),
 		nextOK:  make(map[vtime.SubscriberID]vtime.Timestamp),
+		cache:   newRecCache(recCacheBudget),
 	}
 	p.pubends[pub] = st
 	return st, nil
@@ -280,13 +388,19 @@ func (p *PFS) Write(pub vtime.PubendID, ts vtime.Timestamp, subs []vtime.Subscri
 			return nil
 		}
 	}
-	payload := make([]byte, 0, recBase+recPerSub*len(include))
-	payload = binary.BigEndian.AppendUint64(payload, uint64(ts))
+	// Encode into a pooled buffer: Append is durable on return (on a
+	// group-commit volume it blocks until the covering fsync), so the
+	// bytes can be recycled as soon as it comes back — one record encode
+	// per matched timestamp without a per-write allocation.
+	bufp := message.GetEncodeBuffer()
+	payload := binary.BigEndian.AppendUint64((*bufp)[:0], uint64(ts))
 	for _, sub := range include {
 		payload = binary.BigEndian.AppendUint64(payload, uint64(sub))
 		payload = binary.BigEndian.AppendUint64(payload, uint64(st.lastIdx[sub]))
 	}
 	idx, err := st.stream.Append(payload)
+	*bufp = payload[:0]
+	message.PutEncodeBuffer(bufp)
 	if err != nil {
 		return fmt.Errorf("pfs write: %w", err)
 	}
@@ -450,6 +564,14 @@ func (p *PFS) LastTimestamp(pub vtime.PubendID) vtime.Timestamp {
 // from lastIndex(sub) yields the subscriber's Q ticks further back, with S
 // implicit between them.
 func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Timestamp, maxQ int) (ReadResult, error) {
+	return p.ReadAppend(pub, sub, from, to, maxQ, nil)
+}
+
+// ReadAppend is Read with a caller-supplied Q-span buffer: the result's
+// QSpans use dst's backing array (grown as needed), so steady-state
+// catchup pumps can reuse one buffer per shard instead of allocating per
+// read. dst should be passed with length zero.
+func (p *PFS) ReadAppend(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Timestamp, maxQ int, dst []tick.Span) (ReadResult, error) {
 	tReads.Inc()
 	p.mu.Lock()
 	st, ok := p.pubends[pub]
@@ -459,10 +581,10 @@ func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Ti
 		// the PFS knows; there is no lastTimestamp so the whole range
 		// is unknown → one Q span.
 		if to <= from {
-			return ReadResult{KnownUpTo: from, Complete: true}, nil
+			return ReadResult{QSpans: dst, KnownUpTo: from, Complete: true}, nil
 		}
 		return ReadResult{
-			QSpans:    []tick.Span{{Start: from + 1, End: to}},
+			QSpans:    append(dst, tick.Span{Start: from + 1, End: to}),
 			KnownUpTo: to,
 			Complete:  true,
 		}, nil
@@ -471,14 +593,15 @@ func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Ti
 	chopTS := st.chopTS
 	chainHead := st.lastIdx[sub]
 	stream := st.stream
+	cache := st.cache
 	bucket := p.opts.ImpreciseBucket
 	p.mu.Unlock()
 
 	if to <= from {
-		return ReadResult{KnownUpTo: from, Complete: true}, nil
+		return ReadResult{QSpans: dst, KnownUpTo: from, Complete: true}, nil
 	}
 
-	res := ReadResult{Complete: true}
+	res := ReadResult{QSpans: dst, Complete: true}
 	floor := from
 	if chopTS > floor {
 		// The early-released prefix overlaps the request: ticks in
@@ -488,43 +611,55 @@ func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Ti
 	}
 
 	// Walk the backpointer chain newest→oldest collecting matched spans
-	// inside (floor, min(to, lastTS)].
+	// inside (floor, min(to, lastTS)]. Records come from the shared decode
+	// cache; misses are filled with one vectored range read covering the
+	// span of records below the miss, so concurrent catchup streams at
+	// similar lag share both the syscalls and the decode work.
 	var walked int64
 	defer func() { tReadWalk.Observe(walked) }()
-	var reversed []tick.Span
+	bufs := readBufPool.Get().(*readBufs)
+	reversed := bufs.reversed[:0]
+	firstLive := stream.FirstLiveIndex()
 	ceil := vtime.MinTS(to, lastTS)
 	idx := chainHead
 	for idx != logvol.NilIndex {
-		walked++
-		payload, err := stream.Read(idx)
-		if errors.Is(err, logvol.ErrChopped) {
+		if firstLive == logvol.NilIndex || idx < firstLive {
 			// Chain descends into the chopped prefix; everything
 			// below is covered by LostUpTo.
 			break
 		}
-		if err != nil {
-			return ReadResult{}, fmt.Errorf("pfs read: %w", err)
-		}
-		ts, subs, prevs, derr := decodeRecord(payload)
-		if derr != nil {
-			return ReadResult{}, fmt.Errorf("pfs read: %w", derr)
+		walked++
+		rec := cache.get(idx)
+		if rec == nil {
+			tDecMisses.Inc()
+			var err error
+			rec, err = fillRecord(stream, cache, idx, firstLive, bufs)
+			if errors.Is(err, logvol.ErrChopped) {
+				break
+			}
+			if err != nil {
+				readBufPool.Put(bufs)
+				return ReadResult{}, fmt.Errorf("pfs read: %w", err)
+			}
+		} else {
+			tDecHits.Inc()
 		}
 		next := logvol.NilIndex
-		for i, s := range subs {
+		for i, s := range rec.subs {
 			if s == sub {
-				next = prevs[i]
+				next = rec.prevs[i]
 				break
 			}
 		}
-		if ts <= floor {
+		if rec.ts <= floor {
 			break
 		}
-		if ts <= ceil {
-			end := ts
+		if rec.ts <= ceil {
+			end := rec.ts
 			if bucket > 0 {
-				end = vtime.MinTS(ts+bucket-1, ceil)
+				end = vtime.MinTS(rec.ts+bucket-1, ceil)
 			}
-			reversed = append(reversed, tick.Span{Start: ts, End: end})
+			reversed = append(reversed, tick.Span{Start: rec.ts, End: end})
 		}
 		idx = next
 	}
@@ -533,6 +668,8 @@ func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Ti
 	for i := len(reversed) - 1; i >= 0; i-- {
 		appendSpan(&res.QSpans, reversed[i])
 	}
+	bufs.reversed = reversed[:0]
+	readBufPool.Put(bufs)
 	if lastTS < to {
 		// Ticks beyond the PFS's knowledge are Q (paper: "sets all
 		// ticks from [lastTimestamp+1, to] in the read buffer to Q").
@@ -549,6 +686,52 @@ func (p *PFS) Read(pub vtime.PubendID, sub vtime.SubscriberID, from, to vtime.Ti
 		res.Complete = false
 	}
 	return res, nil
+}
+
+// fillRecord loads the record at idx into the decode cache. It first tries
+// one vectored range read starting fillSpan records below idx (clamped to
+// the live prefix), decoding every record of the stream it covers — the
+// records a descending chain walk will visit next, and that other
+// subscribers' walks at similar lag will want too. If the window cannot
+// reach idx (fat interleaved records, a torn tail, a concurrent chop), it
+// falls back to a precise single-record read, which is also the path that
+// surfaces real corruption as an error.
+func fillRecord(stream *logvol.Stream, cache *recCache, idx, firstLive logvol.Index, bufs *readBufs) (*decRec, error) {
+	from := firstLive
+	if idx >= firstLive+fillSpan {
+		from = idx - fillSpan + 1
+	}
+	if bufs.win == nil {
+		bufs.win = make([]byte, tailWindow)
+	}
+	err := stream.ReadRange(from, bufs.win, func(i logvol.Index, payload []byte) bool {
+		ts, subs, prevs, derr := decodeRecord(payload)
+		if derr != nil {
+			return false
+		}
+		cache.put(i, &decRec{ts: ts, subs: subs, prevs: prevs})
+		return i < idx
+	})
+	if err == nil {
+		tRangeReads.Inc()
+		if rec := cache.get(idx); rec != nil {
+			return rec, nil
+		}
+	}
+	if bufs.rec == nil {
+		bufs.rec = make([]byte, recScratch)
+	}
+	payload, err := stream.ReadInto(idx, bufs.rec)
+	if err != nil {
+		return nil, err
+	}
+	ts, subs, prevs, derr := decodeRecord(payload)
+	if derr != nil {
+		return nil, derr
+	}
+	rec := &decRec{ts: ts, subs: subs, prevs: prevs}
+	cache.put(idx, rec)
+	return rec, nil
 }
 
 // appendSpan appends sp, merging with the previous span when adjacent or
@@ -603,6 +786,7 @@ func (p *PFS) Chop(pub vtime.PubendID, upTo vtime.Timestamp) error {
 	if err := st.stream.Chop(chopIdx); err != nil {
 		return fmt.Errorf("pfs chop: %w", err)
 	}
+	st.cache.pruneBelow(chopIdx + 1)
 	return nil
 }
 
