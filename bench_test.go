@@ -497,6 +497,39 @@ func BenchmarkPartitionHeal(b *testing.B) {
 	}
 }
 
+// BenchmarkTopologyChaos is the dynamic-membership acceptance run: a
+// 12-broker tree (PHB + 3 relays + 8 SHBs) under live durable traffic,
+// with 5 random broker crashes (each restarted from its data directory)
+// and 5 live re-parents via Broker.SetUpstream. The run fails unless every
+// broker's /healthz is green after the final heal and every subscriber
+// received every event exactly once in order. The CI chaos-smoke step runs
+// a reduced tree through the BENCH_CHAOS_* overrides. Results land in
+// BENCH_TopologyChaos.json.
+func BenchmarkTopologyChaos(b *testing.B) {
+	params := experiment.TopologyChaosParams{
+		Mids:      churnEnvInt(b, "BENCH_CHAOS_MIDS", 3),
+		SHBs:      churnEnvInt(b, "BENCH_CHAOS_SHBS", 8),
+		Kills:     churnEnvInt(b, "BENCH_CHAOS_KILLS", 5),
+		Reparents: churnEnvInt(b, "BENCH_CHAOS_REPARENTS", 5),
+	}
+	for i := 0; i < b.N; i++ {
+		p := params
+		p.Seed = int64(i + 1)
+		res, err := experiment.RunTopologyChaos(b.TempDir(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Healthy || !res.AllDelivered || res.Gaps != 0 || res.Violations != 0 {
+			b.Fatalf("contract violated: %+v", res)
+		}
+		b.ReportMetric(float64(res.Brokers), "brokers")
+		b.ReportMetric(float64(res.Kills), "kills")
+		b.ReportMetric(float64(res.Reparents), "reparents")
+		b.ReportMetric(float64(res.Published), "events")
+		writeBenchJSON(b, "TopologyChaos", res)
+	}
+}
+
 // churnEnvInt reads an integer override for the churn benchmark scale from
 // the environment (the CI churn-smoke step runs a reduced population).
 func churnEnvInt(b *testing.B, key string, def int) int {

@@ -3,15 +3,19 @@
 // leaves host durable subscribers (SHB role); one process can play all
 // roles at once.
 //
+// Every flag is the kebab-case form of the corresponding topology.Spec
+// JSON key (the file format cmd/cluster consumes), so the two surfaces
+// describe the same broker the same way.
+//
 // Examples:
 //
 //	# a combined PHB+SHB on one node, hosting pubends 1 and 2
-//	broker -name node1 -listen :7070 -data /var/lib/gryphon/node1 \
+//	broker -name node1 -listen :7070 -data /var/lib/gryphon \
 //	       -pubends 1,2 -shb -all-pubends 1,2
 //
 //	# a pure SHB joining the tree
 //	broker -name edge1 -listen :7071 -upstream phb.example:7070 \
-//	       -data /var/lib/gryphon/edge1 -shb -all-pubends 1,2
+//	       -data /var/lib/gryphon -shb -all-pubends 1,2
 //
 //	# an intermediate relay
 //	broker -name mid1 -listen :7072 -upstream phb.example:7070
@@ -22,16 +26,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
-	"time"
 
 	"repro/internal/broker"
-	"repro/internal/logvol"
 	"repro/internal/overlay"
-	"repro/internal/pubend"
-	"repro/internal/vtime"
+	"repro/internal/topology"
 )
 
 func main() {
@@ -42,80 +41,24 @@ func main() {
 }
 
 func run() error {
-	var (
-		name       = flag.String("name", "broker", "broker name")
-		listen     = flag.String("listen", ":7070", "TCP listen address")
-		upstream   = flag.String("upstream", "", "parent broker address (empty = root)")
-		dataDir    = flag.String("data", "", "data directory (required for -pubends / -shb)")
-		pubends    = flag.String("pubends", "", "comma-separated pubend IDs hosted here (PHB role)")
-		shb        = flag.Bool("shb", false, "host durable subscribers (SHB role)")
-		allPubends = flag.String("all-pubends", "", "comma-separated system-wide pubend IDs (required with -shb)")
-		tick       = flag.Duration("tick", 5*time.Millisecond, "housekeeping interval")
-		maxRetain  = flag.Duration("max-retain", 0, "early-release retention bound (0 = retain until released)")
-		syncEvery  = flag.Bool("sync-publish", false, "fsync the event log on every publish")
-		pubendSync = flag.String("pubend-sync", "explicit", "pubend log durability: explicit (fsync only on request), group (batch concurrent publishes under one fsync), or always (fsync every append)")
-		linger     = flag.Duration("group-linger", 0, "max time a group commit waits for more publishes before fsyncing (0 = none)")
-		admin      = flag.String("admin", "", "admin HTTP address for /metrics, /healthz, /debug/pprof (empty = disabled)")
-		shards     = flag.Int("shards", 0, "event-loop shard count (0 = GOMAXPROCS, 1 = serialized)")
-		matchEng   = flag.String("match-engine", "indexed", "subscription matching engine: indexed (counting attribute index) or linear (brute-force scan)")
-		subShards  = flag.Int("sub-shards", 0, "SHB subscriber shard count (0 = min(GOMAXPROCS, 8), 1 = single-lock engine)")
-		catchupW   = flag.Int("catchup-weight", 0, "catchup scheduler quantum: events one catchup stream may deliver per round before yielding to live traffic (0 = 256)")
-	)
+	f := topology.RegisterFlags(flag.CommandLine)
 	flag.Parse()
-
-	var syncPolicy logvol.SyncPolicy
-	switch *pubendSync {
-	case "explicit":
-		syncPolicy = logvol.SyncExplicit
-	case "group":
-		syncPolicy = logvol.SyncGroup
-	case "always":
-		syncPolicy = logvol.SyncAlways
-	default:
-		return fmt.Errorf("-pubend-sync: unknown policy %q (want explicit, group, or always)", *pubendSync)
-	}
-
-	cfg := broker.Config{
-		Name:                *name,
-		DataDir:             *dataDir,
-		Transport:           overlay.TCPTransport{},
-		ListenAddr:          *listen,
-		UpstreamAddr:        *upstream,
-		EnableSHB:           *shb,
-		TickInterval:        *tick,
-		AdminAddr:           *admin,
-		Shards:              *shards,
-		PubendSync:          syncPolicy,
-		GroupCommitMaxDelay: *linger,
-		MatchEngine:         *matchEng,
-		SubShards:           *subShards,
-		CatchupWeight:       *catchupW,
-	}
-	var policy pubend.Policy
-	if *maxRetain > 0 {
-		policy = pubend.MaxRetain{Retain: vtime.Timestamp(*maxRetain / time.Microsecond)}
-	}
-	hosted, err := parseIDs(*pubends)
+	spec, err := f.Spec()
 	if err != nil {
-		return fmt.Errorf("-pubends: %w", err)
+		return err
 	}
-	for _, id := range hosted {
-		cfg.HostedPubends = append(cfg.HostedPubends, broker.PubendConfig{
-			ID:               id,
-			Policy:           policy,
-			SyncEveryPublish: *syncEvery,
-		})
+	cfg, err := spec.BrokerConfig(f.DataDir, overlay.TCPTransport{})
+	if err != nil {
+		return err
 	}
-	if cfg.AllPubends, err = parseIDs(*allPubends); err != nil {
-		return fmt.Errorf("-all-pubends: %w", err)
-	}
-
 	b, err := broker.New(cfg)
 	if err != nil {
 		return err
 	}
+	hosted := make([]uint32, 0, len(spec.Pubends))
+	hosted = append(hosted, spec.Pubends...)
 	fmt.Printf("broker %s listening on %s (PHB pubends: %v, SHB: %v, upstream: %q, shards: %d)\n",
-		*name, *listen, hosted, *shb, *upstream, b.Shards())
+		spec.Name, spec.Listen, hosted, spec.SHB, spec.Upstream, b.Shards())
 	if addr := b.AdminAddr(); addr != "" {
 		fmt.Printf("admin endpoint on http://%s (/metrics, /healthz, /readyz, /debug/pprof/)\n", addr)
 	}
@@ -125,19 +68,4 @@ func run() error {
 	<-sig
 	fmt.Println("shutting down")
 	return b.Close()
-}
-
-func parseIDs(s string) ([]vtime.PubendID, error) {
-	if s == "" {
-		return nil, nil
-	}
-	var out []vtime.PubendID
-	for _, part := range strings.Split(s, ",") {
-		id, err := strconv.ParseUint(strings.TrimSpace(part), 10, 32)
-		if err != nil {
-			return nil, fmt.Errorf("bad pubend id %q: %w", part, err)
-		}
-		out = append(out, vtime.PubendID(id))
-	}
-	return out, nil
 }

@@ -1,6 +1,9 @@
-// Command cluster launches a whole broker tree in one process from a JSON
-// topology file — convenient for development and demos (production
-// deployments run one cmd/broker per node).
+// Command cluster launches a whole broker tree in one process from a
+// topology spec — convenient for development, demos, and reconfiguration
+// rehearsals (production deployments run one cmd/broker per node). The
+// spec format is internal/topology's versioned JSON: the same BrokerSpec
+// surface cmd/broker exposes as flags, plus an optional timed mutation
+// script that the driver applies against the live tree.
 //
 //	cluster -config topology.json
 //
@@ -10,76 +13,64 @@
 //	  "dataDir": "/tmp/gryphon",
 //	  "brokers": [
 //	    {"name": "phb",  "listen": ":7070", "pubends": [1, 2]},
-//	    {"name": "mid",  "listen": ":7071", "upstream": "localhost:7070"},
-//	    {"name": "shb1", "listen": ":7072", "upstream": "localhost:7071",
+//	    {"name": "mid",  "listen": ":7071", "upstream": "phb"},
+//	    {"name": "shb1", "listen": ":7072", "upstream": "mid",
 //	     "shb": true, "allPubends": [1, 2]},
-//	    {"name": "shb2", "listen": ":7073", "upstream": "localhost:7071",
+//	    {"name": "shb2", "listen": ":7073", "upstream": "mid",
 //	     "shb": true, "allPubends": [1, 2]}
+//	  ],
+//	  "mutations": [
+//	    {"atMillis": 5000,  "op": "kill",     "broker": "mid"},
+//	    {"atMillis": 6000,  "op": "reparent", "broker": "shb1", "upstream": "phb"},
+//	    {"atMillis": 8000,  "op": "restart",  "broker": "mid"},
+//	    {"atMillis": 10000, "op": "add", "spec":
+//	     {"name": "late", "listen": ":7074", "upstream": "mid"}}
 //	  ]
 //	}
 //
-// Brokers are started in file order (parents first), all over TCP, and shut
-// down in reverse order on SIGINT/SIGTERM.
+// A broker's upstream may be another broker's name (resolved to its bound
+// address, so ephemeral ":0" listens work) or a literal dial address.
+// Brokers start in file order (parents first), all over TCP; mutations
+// fire at their offsets from startup; SIGINT/SIGTERM drains and stops the
+// tree in reverse order.
 package main
 
 import (
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
+	"sort"
 	"syscall"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/overlay"
-	"repro/internal/pubend"
-	"repro/internal/vtime"
+	"repro/internal/topology"
 )
-
-// topologyFile is the JSON schema of -config.
-type topologyFile struct {
-	DataDir string       `json:"dataDir"`
-	Brokers []brokerSpec `json:"brokers"`
-}
-
-type brokerSpec struct {
-	Name       string   `json:"name"`
-	Listen     string   `json:"listen"`
-	Upstream   string   `json:"upstream"`
-	Pubends    []uint32 `json:"pubends"`
-	SHB        bool     `json:"shb"`
-	AllPubends []uint32 `json:"allPubends"`
-	// MaxRetainMillis enables the early-release policy on this broker's
-	// pubends (virtual milliseconds).
-	MaxRetainMillis int64 `json:"maxRetainMillis"`
-	// TickMillis overrides the housekeeping interval.
-	TickMillis int64 `json:"tickMillis"`
-	// Admin is the admin HTTP address for /metrics, /healthz, and
-	// /debug/pprof (empty = disabled).
-	Admin string `json:"admin"`
-	// Shards is the event-loop shard count (0 = GOMAXPROCS,
-	// 1 = serialized).
-	Shards int `json:"shards"`
-	// MatchEngine selects the subscription matching engine: "" or
-	// "indexed" for the counting attribute index, "linear" for the
-	// brute-force scan.
-	MatchEngine string `json:"matchEngine"`
-	// SubShards is the SHB subscriber shard count (0 = min(GOMAXPROCS, 8),
-	// 1 = the single-lock engine).
-	SubShards int `json:"subShards"`
-	// CatchupWeight is the catchup scheduler quantum: events one catchup
-	// stream may deliver per scheduling round before yielding the shard
-	// to live traffic (0 = 256).
-	CatchupWeight int `json:"catchupWeight"`
-}
 
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "cluster:", err)
 		os.Exit(1)
 	}
+}
+
+// node is one broker of the running tree: its declarative spec (kept
+// current across re-parents, so a restart rejoins the tree as it is now,
+// not as the file described it) and the live handle (nil while killed).
+type node struct {
+	spec topology.BrokerSpec
+	b    *broker.Broker
+}
+
+// cluster drives a topology.Spec: start order, name→broker resolution,
+// and the timed mutation script.
+type cluster struct {
+	dataDir string
+	nodes   map[string]*node
+	order   []string // start order, for reverse shutdown
 }
 
 func run() error {
@@ -92,99 +83,167 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	var topo topologyFile
-	if err := json.Unmarshal(raw, &topo); err != nil {
-		return fmt.Errorf("parse %s: %w", *configPath, err)
+	spec, err := topology.Parse(raw)
+	if err != nil {
+		return err
 	}
-	if len(topo.Brokers) == 0 {
-		return fmt.Errorf("no brokers in topology")
-	}
-	if topo.DataDir == "" {
-		topo.DataDir, err = os.MkdirTemp("", "gryphon-cluster-*")
+	if spec.DataDir == "" {
+		spec.DataDir, err = os.MkdirTemp("", "gryphon-cluster-*")
 		if err != nil {
 			return err
 		}
-		fmt.Printf("dataDir not set; using %s\n", topo.DataDir)
+		fmt.Printf("dataDir not set; using %s\n", spec.DataDir)
 	}
 
-	var started []*broker.Broker
-	shutdown := func() {
-		for i := len(started) - 1; i >= 0; i-- {
-			started[i].Close() //nolint:errcheck,gosec // shutdown path
+	c := &cluster{dataDir: spec.DataDir, nodes: make(map[string]*node)}
+	defer c.shutdown()
+	for _, bs := range spec.Brokers {
+		if err := c.start(bs); err != nil {
+			return err
 		}
 	}
-	for _, spec := range topo.Brokers {
-		cfg, err := specToConfig(topo.DataDir, spec)
-		if err != nil {
-			shutdown()
-			return fmt.Errorf("broker %q: %w", spec.Name, err)
-		}
-		b, err := broker.New(cfg)
-		if err != nil {
-			shutdown()
-			return fmt.Errorf("start broker %q: %w", spec.Name, err)
-		}
-		started = append(started, b)
-		role := "relay"
-		switch {
-		case len(spec.Pubends) > 0 && spec.SHB:
-			role = "PHB+SHB"
-		case len(spec.Pubends) > 0:
-			role = "PHB"
-		case spec.SHB:
-			role = "SHB"
-		}
-		fmt.Printf("started %-12s %-8s listen=%s upstream=%q\n",
-			spec.Name, role, spec.Listen, spec.Upstream)
-		if addr := b.AdminAddr(); addr != "" {
-			fmt.Printf("  admin http://%s\n", addr)
-		}
-	}
-	fmt.Printf("%d brokers up; Ctrl-C to stop\n", len(started))
+	fmt.Printf("%d brokers up; Ctrl-C to stop\n", len(c.order))
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	mutationsDone := c.runMutations(spec.Mutations, sig)
+
 	<-sig
+	signal.Stop(sig)
+	close(mutationsDone)
 	fmt.Println("shutting down")
-	shutdown()
 	return nil
 }
 
-func specToConfig(dataDir string, spec brokerSpec) (broker.Config, error) {
-	if spec.Name == "" || spec.Listen == "" {
-		return broker.Config{}, fmt.Errorf("name and listen are required")
+// resolve turns an upstream reference into a dial address: a running
+// broker's name resolves to its bound address; anything else is a literal.
+func (c *cluster) resolve(upstream string) string {
+	if n, ok := c.nodes[upstream]; ok && n.b != nil {
+		return n.b.BoundAddr()
 	}
-	cfg := broker.Config{
-		Name:          spec.Name,
-		DataDir:       filepath.Join(dataDir, spec.Name),
-		Transport:     overlay.TCPTransport{},
-		ListenAddr:    spec.Listen,
-		UpstreamAddr:  spec.Upstream,
-		EnableSHB:     spec.SHB,
-		AdminAddr:     spec.Admin,
-		Shards:        spec.Shards,
-		MatchEngine:   spec.MatchEngine,
-		SubShards:     spec.SubShards,
-		CatchupWeight: spec.CatchupWeight,
+	return upstream
+}
+
+// start brings up one broker, resolving its upstream by name.
+func (c *cluster) start(bs topology.BrokerSpec) error {
+	resolved := bs
+	resolved.Upstream = c.resolve(bs.Upstream)
+	cfg, err := resolved.BrokerConfig(c.dataDir, overlay.TCPTransport{})
+	if err != nil {
+		return fmt.Errorf("broker %q: %w", bs.Name, err)
 	}
-	if spec.TickMillis > 0 {
-		cfg.TickInterval = time.Duration(spec.TickMillis) * time.Millisecond
+	b, err := broker.New(cfg)
+	if err != nil {
+		return fmt.Errorf("start broker %q: %w", bs.Name, err)
 	}
-	var policy pubend.Policy
-	if spec.MaxRetainMillis > 0 {
-		policy = pubend.MaxRetain{Retain: vtime.Timestamp(spec.MaxRetainMillis) * vtime.TicksPerMilli}
+	n, known := c.nodes[bs.Name]
+	if !known {
+		n = &node{spec: bs}
+		c.nodes[bs.Name] = n
+		c.order = append(c.order, bs.Name)
 	}
-	for _, id := range spec.Pubends {
-		cfg.HostedPubends = append(cfg.HostedPubends, broker.PubendConfig{
-			ID:     vtime.PubendID(id),
-			Policy: policy,
-		})
+	n.b = b
+	role := "relay"
+	switch {
+	case len(bs.Pubends) > 0 && bs.SHB:
+		role = "PHB+SHB"
+	case len(bs.Pubends) > 0:
+		role = "PHB"
+	case bs.SHB:
+		role = "SHB"
 	}
-	for _, id := range spec.AllPubends {
-		cfg.AllPubends = append(cfg.AllPubends, vtime.PubendID(id))
+	fmt.Printf("started %-12s %-8s listen=%s upstream=%q\n",
+		bs.Name, role, bs.Listen, bs.Upstream)
+	if addr := b.AdminAddr(); addr != "" {
+		fmt.Printf("  admin http://%s\n", addr)
 	}
-	if spec.SHB && len(cfg.AllPubends) == 0 {
-		return broker.Config{}, fmt.Errorf("shb requires allPubends")
+	return nil
+}
+
+// runMutations fires the spec's mutation script at its offsets from now.
+// The returned channel cancels the script (close it on shutdown).
+func (c *cluster) runMutations(muts []topology.Mutation, sig chan os.Signal) chan struct{} {
+	done := make(chan struct{})
+	if len(muts) == 0 {
+		return done
 	}
-	return cfg, nil
+	ordered := make([]topology.Mutation, len(muts))
+	copy(ordered, muts)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].AtMillis < ordered[j].AtMillis })
+	start := time.Now()
+	go func() {
+		for _, m := range ordered {
+			at := start.Add(time.Duration(m.AtMillis) * time.Millisecond)
+			select {
+			case <-time.After(time.Until(at)):
+			case <-done:
+				return
+			}
+			if err := c.apply(m); err != nil {
+				fmt.Fprintf(os.Stderr, "cluster: mutation failed: %v\n", err)
+				select { // a broken script stops the cluster loudly
+				case sig <- syscall.SIGTERM:
+				default:
+				}
+				return
+			}
+		}
+	}()
+	return done
+}
+
+// apply executes one mutation against the live tree.
+func (c *cluster) apply(m topology.Mutation) error {
+	n := c.nodes[m.Broker]
+	switch m.Op {
+	case "add":
+		return c.start(*m.Spec)
+	case "kill":
+		if n.b == nil {
+			return fmt.Errorf("kill %q: already down", m.Broker)
+		}
+		n.b.Crash()
+		n.b = nil
+		fmt.Printf("killed %s\n", m.Broker)
+		return nil
+	case "restart":
+		if n.b != nil {
+			return fmt.Errorf("restart %q: still running", m.Broker)
+		}
+		return c.start(n.spec)
+	case "reparent":
+		if n.b == nil {
+			return fmt.Errorf("reparent %q: broker is down", m.Broker)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := n.b.SetUpstream(ctx, c.resolve(m.Upstream)); err != nil {
+			return fmt.Errorf("reparent %q under %q: %w", m.Broker, m.Upstream, err)
+		}
+		n.spec.Upstream = m.Upstream // restarts rejoin the current tree
+		fmt.Printf("reparented %s under %s\n", m.Broker, m.Upstream)
+		return nil
+	case "detach":
+		if n.b == nil {
+			return fmt.Errorf("detach %q: broker is down", m.Broker)
+		}
+		n.b.DetachUpstream()
+		n.spec.Upstream = ""
+		fmt.Printf("detached %s (now a root)\n", m.Broker)
+		return nil
+	}
+	return fmt.Errorf("unknown op %q", m.Op) // unreachable: Parse validated
+}
+
+// shutdown drains and stops every broker, children before parents.
+func (c *cluster) shutdown() {
+	for i := len(c.order) - 1; i >= 0; i-- {
+		n := c.nodes[c.order[i]]
+		if n.b == nil {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		n.b.Shutdown(ctx) //nolint:errcheck,gosec // shutdown path
+		cancel()
+	}
 }

@@ -41,6 +41,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -52,6 +53,7 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/pubend"
 	"repro/internal/telemetry"
+	"repro/internal/topology"
 	"repro/internal/vtime"
 )
 
@@ -197,13 +199,50 @@ type (
 )
 
 // StartBroker opens the broker's persistent state, joins the overlay, and
-// starts serving. Close (clean) or Crash (failure simulation) stop it.
+// starts serving. Close (clean) or Crash (failure simulation) stop it;
+// Broker.Shutdown drains in-flight publishes first.
 //
 // Setting BrokerConfig.AdminAddr (e.g. "127.0.0.1:9090", or "127.0.0.1:0"
 // for an ephemeral port reported by Broker.AdminAddr) additionally serves
 // an admin HTTP endpoint with Prometheus /metrics, /healthz, /readyz, and
 // /debug/pprof/. Leaving it empty starts no listener.
+//
+// Dynamic topology: a running broker is not pinned to the tree it started
+// in. Broker.SetUpstream re-parents it under a new parent make-before-break
+// (the new link is dialed, resynced, and serving before the old parent is
+// sent a deliberate Leave), Broker.DetachUpstream turns it into a root, and
+// Broker.UpstreamAddr reports the current parent. The exactly-once contract
+// holds across any sequence of these calls — the recovery protocol replays
+// whatever the move left outstanding through the new path. See DESIGN.md
+// §2.11 for the membership state machine.
 func StartBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
+
+// StartBrokerContext is StartBroker with the initial upstream dial (and any
+// admin bring-up) bounded by ctx.
+func StartBrokerContext(ctx context.Context, cfg BrokerConfig) (*Broker, error) {
+	return broker.NewContext(ctx, cfg)
+}
+
+// Declarative topology types: one spec surface shared by cmd/broker
+// (flags), cmd/cluster (JSON file + timed mutations), and the experiment
+// harness. TopologySpec.Parse/Marshal round-trip the versioned JSON file
+// format; BrokerSpec.BrokerConfig materializes a BrokerConfig.
+type (
+	// TopologySpec is a whole broker tree: brokers in start order plus
+	// optional timed mutations (add, kill, restart, reparent, detach).
+	TopologySpec = topology.Spec
+	// BrokerSpec declares one broker of a TopologySpec.
+	BrokerSpec = topology.BrokerSpec
+	// TopologyMutation is one timed change a cluster driver applies to a
+	// running tree.
+	TopologyMutation = topology.Mutation
+	// BrokerTuning is the performance-knob subset of a BrokerSpec.
+	BrokerTuning = topology.Tuning
+)
+
+// ParseTopology decodes and validates a versioned topology spec (the
+// cmd/cluster file format). Unknown fields and versions are errors.
+func ParseTopology(raw []byte) (*TopologySpec, error) { return topology.Parse(raw) }
 
 // WriteMetrics writes every instrument in the process-wide telemetry
 // registry to w in the Prometheus text exposition format — the same body

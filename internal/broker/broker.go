@@ -29,6 +29,7 @@
 package broker
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -102,6 +103,13 @@ type Config struct {
 	// and every supervised reconnect). Zero means no timeout, matching the
 	// old Dial behavior.
 	DialTimeout time.Duration
+	// LeaveGrace is how long a parent retains a departed child's soft
+	// state (announced covers, release floors) after a deliberate Leave
+	// before purging it. The delay lets in-flight traffic on the child's
+	// new path establish replacement state first (a crashed child's state
+	// is never purged — only Leave triggers this). Zero means 250ms;
+	// negative means purge immediately (tests).
+	LeaveGrace time.Duration
 	// HostedPubends are the pubends this broker hosts (PHB role).
 	HostedPubends []PubendConfig
 	// AllPubends is the system-wide pubend set (required when EnableSHB).
@@ -185,8 +193,22 @@ type Broker struct {
 	closed   atomic.Bool
 
 	listener io.Closer
-	upSup    *overlay.Supervisor // upstream link supervisor (nil at the root)
 	admin    *telemetry.Server
+
+	// upSup is the current upstream link supervisor (nil at the root or
+	// after DetachUpstream). It is an atomic pointer because runtime
+	// re-parenting (SetUpstream) replaces it while event shards read it
+	// through upSend. pendingSup holds a candidate supervisor during the
+	// make-before-break window of SetUpstream so its bring-up passes the
+	// generation guard in upstreamUp; memberMu serializes membership
+	// changes (SetUpstream, DetachUpstream, shutdown).
+	upSup      atomic.Pointer[overlay.Supervisor]
+	pendingSup atomic.Pointer[overlay.Supervisor]
+	memberMu   sync.Mutex
+
+	// pubInflight counts publishes accepted but not yet durably logged
+	// (acked); Shutdown drains it before closing volumes.
+	pubInflight atomic.Int64
 
 	// Control-shard-owned routing state (no mutex: only the control
 	// shard's loop touches it).
@@ -200,6 +222,15 @@ type Broker struct {
 	// Control-shard-owned, like the rest of the subscription lifecycle;
 	// seeded from recovered SHB subscriptions before the first connect.
 	upCover *matchidx.CoverSet
+
+	// coverSrc refcounts each tracked subscription by announcement source
+	// ("local" for SHB durables, the downstream link's aggregation key
+	// otherwise). During a re-parent the same subscription is briefly
+	// announced via both the old and the new path of a common ancestor;
+	// the cover is withdrawn only when its source set empties, so the old
+	// path's delayed withdrawal cannot tear down a cover the new path
+	// still needs. Control-shard-owned.
+	coverSrc map[vtime.SubscriberID]map[string]struct{}
 
 	// downsSnap is the event shards' read-only view of the downstream
 	// fanout set; the control shard republishes it after every downs
@@ -245,6 +276,10 @@ type downLink struct {
 	matcher *filter.Matcher
 	key     string // aggregation source key
 	isDown  bool   // classified as downstream broker
+
+	// subs is the set of subscriptions announced over this link (the
+	// withdrawal set for a deliberate Leave). Control-shard-owned.
+	subs map[vtime.SubscriberID]struct{}
 }
 
 // taskQueue is an unbounded queue of loop tasks over a ring buffer (the
@@ -378,7 +413,12 @@ func (b *Broker) shardFor(pub vtime.PubendID) *shard {
 
 // New creates and starts a broker: opens persistent state, connects to its
 // upstream, starts listening, and begins ticking.
-func New(cfg Config) (*Broker, error) {
+func New(cfg Config) (*Broker, error) { return NewContext(context.Background(), cfg) }
+
+// NewContext is New with the initial upstream dial bounded by ctx (in
+// addition to Config.DialTimeout, whichever is tighter). Supervised
+// reconnects after startup are governed by DialTimeout alone.
+func NewContext(ctx context.Context, cfg Config) (*Broker, error) {
 	if cfg.Transport == nil {
 		return nil, errors.New("broker: Transport is required")
 	}
@@ -391,6 +431,9 @@ func New(cfg Config) (*Broker, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	if cfg.LeaveGrace == 0 {
+		cfg.LeaveGrace = 250 * time.Millisecond
+	}
 	b := &Broker{
 		cfg:      cfg,
 		tickStop: make(chan struct{}),
@@ -398,6 +441,7 @@ func New(cfg Config) (*Broker, error) {
 		links:    make(map[overlay.Conn]*downLink),
 		downs:    make(map[overlay.Conn]*downLink),
 		upCover:  matchidx.NewCoverSet(),
+		coverSrc: make(map[vtime.SubscriberID]map[string]struct{}),
 		pubends:  make(map[vtime.PubendID]*pubend.Pubend),
 	}
 	b.downsSnap.Store(&[]*downLink{})
@@ -416,6 +460,7 @@ func New(cfg Config) (*Broker, error) {
 		for _, si := range b.shb.Subscriptions() {
 			if sub, err := filter.Parse(si.Filter); err == nil {
 				b.upCover.Add(si.ID, sub)
+				b.coverSrc[si.ID] = map[string]struct{}{coverSrcLocal: {}}
 			}
 		}
 	}
@@ -425,7 +470,7 @@ func New(cfg Config) (*Broker, error) {
 		sh := b.shardFor(id)
 		sh.hosted = append(sh.hosted, id)
 	}
-	if err := b.connect(); err != nil {
+	if err := b.connect(ctx); err != nil {
 		b.closeState()
 		return nil, err
 	}
@@ -433,8 +478,8 @@ func New(cfg Config) (*Broker, error) {
 		if b.listener != nil {
 			b.listener.Close() //nolint:errcheck,gosec // failed-start cleanup
 		}
-		if b.upSup != nil {
-			b.upSup.Stop()
+		if sup := b.upSup.Swap(nil); sup != nil {
+			sup.Stop()
 		}
 		b.closeState()
 		return nil, err
@@ -476,16 +521,22 @@ func (b *Broker) startAdmin() error {
 	if b.meta != nil {
 		srv.RegisterHealth(prefix+"/metastore", b.meta.Ping)
 	}
-	if b.upSup != nil {
-		srv.RegisterHealth(prefix+"/upstream", func() error {
-			st := b.upSup.Status()
-			if st.State != overlay.LinkUp {
-				return fmt.Errorf("upstream link %s (retries=%d, last error: %s)",
-					st.State, st.Retries, st.LastError)
-			}
+	// The upstream check reads the atomic supervisor pointer on every
+	// probe: a broker that starts as a root can later gain a parent via
+	// SetUpstream (and vice versa), so registration cannot be conditional
+	// on the startup topology. A root (nil supervisor) is healthy.
+	srv.RegisterHealth(prefix+"/upstream", func() error {
+		sup := b.upSup.Load()
+		if sup == nil {
 			return nil
-		})
-	}
+		}
+		st := sup.Status()
+		if st.State != overlay.LinkUp {
+			return fmt.Errorf("upstream link %s (retries=%d, last error: %s)",
+				st.State, st.Retries, st.LastError)
+		}
+		return nil
+	})
 	return nil
 }
 
@@ -606,23 +657,20 @@ func (b *Broker) closeState() {
 }
 
 // connect starts the supervised upstream link and binds the listener.
-func (b *Broker) connect() error {
+func (b *Broker) connect(ctx context.Context) error {
 	cfg := b.cfg
 	if cfg.UpstreamAddr != "" {
-		sup := overlay.NewSupervisor(overlay.SupervisorConfig{
-			Name:        cfg.Name + "/upstream",
-			Transport:   cfg.Transport,
-			Addr:        cfg.UpstreamAddr,
-			DialTimeout: cfg.DialTimeout,
-			OnUp:        b.upstreamUp,
-		})
-		// Start's first attempt is synchronous, preserving the old
+		sup := b.newUpstreamSup(cfg.UpstreamAddr)
+		b.pendingSup.Store(sup)
+		// StartContext's first attempt is synchronous, preserving the old
 		// fail-fast startup: a dead upstream fails New, not some later
 		// send. Only after that does the link self-heal in the background.
-		if err := sup.Start(); err != nil {
+		if err := sup.StartContext(ctx); err != nil {
+			b.pendingSup.Store(nil)
 			return fmt.Errorf("broker %s: dial upstream: %w", cfg.Name, err)
 		}
-		b.upSup = sup
+		b.upSup.Store(sup)
+		b.pendingSup.Store(nil)
 	}
 	if cfg.ListenAddr != "" {
 		closer, err := cfg.Transport.Listen(cfg.ListenAddr, b.accept)
@@ -634,10 +682,30 @@ func (b *Broker) connect() error {
 	return nil
 }
 
+// newUpstreamSup builds a supervisor for one upstream link. The OnUp
+// closure captures the supervisor itself so upstreamUp can tell whether the
+// connecting supervisor is still the broker's current (or pending) one — a
+// retired supervisor racing a reconnect during a re-parent must not
+// resynchronize state onto the abandoned path.
+func (b *Broker) newUpstreamSup(addr string) *overlay.Supervisor {
+	var sup *overlay.Supervisor
+	sup = overlay.NewSupervisor(overlay.SupervisorConfig{
+		Name:        b.cfg.Name + "/upstream",
+		Transport:   b.cfg.Transport,
+		Addr:        addr,
+		DialTimeout: b.cfg.DialTimeout,
+		OnUp:        func(conn overlay.Conn) error { return b.upstreamUp(sup, conn) },
+	})
+	return sup
+}
+
 // upstreamUp brings up a freshly dialed upstream connection: handshake,
 // dispatch, and state resynchronization. It runs on the supervisor's
 // goroutine for every (re)connect, including the synchronous first one.
-func (b *Broker) upstreamUp(conn overlay.Conn) error {
+func (b *Broker) upstreamUp(sup *overlay.Supervisor, conn overlay.Conn) error {
+	if b.upSup.Load() != sup && b.pendingSup.Load() != sup {
+		return errStaleSupervisor
+	}
 	if err := conn.Send(&message.Hello{Role: message.RoleBroker, Name: b.cfg.Name}); err != nil {
 		return err
 	}
@@ -665,6 +733,11 @@ func (b *Broker) upstreamUp(conn overlay.Conn) error {
 //     recorded as pending, so the consolidators will never re-request
 //     them; they are re-nacked here (duplicates are harmless — delivery
 //     is governed by the constream cursor, not by what arrives).
+//   - release floors: the new parent zero-seeds this link's floor on
+//     Hello, but its aggregate only advances once this broker reports. An
+//     immediate snapshot of each shard's aggregated release vector pins
+//     the subtree's retention on the new path before the old parent's
+//     grace-period purge (after a deliberate Leave) can release it.
 //
 // Sends go directly on conn (not upSend): the supervisor installs the conn
 // only after bring-up succeeds, and the Hello above must stay the link's
@@ -691,6 +764,15 @@ func (b *Broker) resyncUpstream(conn overlay.Conn) {
 					conn.Send(&message.Nack{Pubend: pub, Spans: pending})
 				}
 			}
+			for pub, per := range sh.relAgg {
+				if _, hosted := b.pubends[pub]; hosted {
+					continue
+				}
+				if rel, ld, ok := aggregateRelease(per); ok {
+					//nolint:errcheck,gosec // link death re-enters the supervisor
+					conn.Send(&message.Release{Pubend: pub, Released: rel, LatestDelivered: ld})
+				}
+			}
 		})
 	}
 }
@@ -699,18 +781,19 @@ func (b *Broker) resyncUpstream(conn overlay.Conn) {
 // root or the link is down (the knowledge/NACK recovery protocol
 // regenerates anything that matters once the link heals).
 func (b *Broker) upSend(m message.Message) {
-	if b.upSup != nil {
-		b.upSup.Send(m) //nolint:errcheck,gosec // link death handled by the supervisor
+	if sup := b.upSup.Load(); sup != nil {
+		sup.Send(m) //nolint:errcheck,gosec // link death handled by the supervisor
 	}
 }
 
 // Health reports the state of the broker's supervised links — currently
 // the upstream link; a root broker reports none.
 func (b *Broker) Health() []overlay.LinkStatus {
-	if b.upSup == nil {
+	sup := b.upSup.Load()
+	if sup == nil {
 		return nil
 	}
-	return []overlay.LinkStatus{b.upSup.Status()}
+	return []overlay.LinkStatus{sup.Status()}
 }
 
 // accept classifies and starts an inbound connection.
@@ -719,6 +802,7 @@ func (b *Broker) accept(conn overlay.Conn) {
 		conn:    conn,
 		matcher: matchidx.MatcherFor(b.cfg.MatchEngine).InstrumentSite("link"),
 		key:     fmt.Sprintf("%s#%d", conn.RemoteAddr(), b.linkSeq.Add(1)),
+		subs:    make(map[vtime.SubscriberID]struct{}),
 	}
 	b.control().push(func() { b.links[conn] = link })
 	conn.OnClose(func(error) {
@@ -768,10 +852,36 @@ func (b *Broker) tickLoop() {
 	}
 }
 
-// Close shuts the broker down cleanly, waiting for its goroutines.
+// Close shuts the broker down hard: no drain, connections and volumes go
+// away as fast as the goroutines can be stopped (the alias for code that
+// has nothing in flight or doesn't care). Use Shutdown for a drained stop.
 func (b *Broker) Close() error {
 	b.shutdown()
 	return nil
+}
+
+// Shutdown stops the broker gracefully: it stops advertising readiness,
+// waits for in-flight publishes to reach their durable ack (so no
+// publisher holds an accepted-but-unlogged event), then runs the hard
+// stop. If ctx expires first the remaining in-flight publishes are
+// abandoned to the hard stop and ctx's error is returned — the broker is
+// fully stopped either way.
+func (b *Broker) Shutdown(ctx context.Context) error {
+	if b.admin != nil {
+		b.admin.SetReady(false)
+	}
+	var err error
+	for b.pubInflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+		case <-time.After(time.Millisecond):
+			continue
+		}
+		break
+	}
+	b.shutdown()
+	return err
 }
 
 // Crash simulates a broker failure: connections drop and volatile state is
@@ -783,9 +893,16 @@ func (b *Broker) Crash() { b.shutdown() }
 // then closes every shard queue; queued tasks drain before the loops exit
 // (taskQueue.pop keeps returning items after close until empty).
 func (b *Broker) shutdown() {
+	// Retire the supervisors under memberMu so a concurrent SetUpstream
+	// either completes before the swap or observes closed and refuses.
+	b.memberMu.Lock()
 	if b.closed.Swap(true) {
+		b.memberMu.Unlock()
 		return
 	}
+	oldSup := b.upSup.Swap(nil)
+	pending := b.pendingSup.Swap(nil)
+	b.memberMu.Unlock()
 	close(b.tickStop)
 	<-b.tickDone
 	if b.admin != nil {
@@ -794,8 +911,11 @@ func (b *Broker) shutdown() {
 	if b.listener != nil {
 		b.listener.Close() //nolint:errcheck,gosec // shutdown path
 	}
-	if b.upSup != nil {
-		b.upSup.Stop()
+	if oldSup != nil {
+		oldSup.Stop()
+	}
+	if pending != nil {
+		pending.Stop()
 	}
 	connsClosed := make(chan struct{})
 	if !b.control().push(func() {

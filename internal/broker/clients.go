@@ -28,11 +28,13 @@ func (b *Broker) handlePublish(link *downLink, pub *message.Publish) {
 	pubStart := time.Now()
 	token := pub.Token
 	conn := link.conn
+	b.pubInflight.Add(1)
 	res := pe.PublishAsync(message.Event{Attrs: pub.Attrs, Payload: pub.Payload})
 	res.OnDone(func(ev *message.Event, err error) {
 		// Runs on the volume committer's dispatcher (group commit) or
 		// inline (synchronous policies). conn.Send only enqueues, so the
 		// callback never blocks the commit pipeline.
+		b.pubInflight.Add(-1)
 		ack := &message.PublishAck{Token: token}
 		if err == nil {
 			ack.Pubend = ev.Pubend
@@ -92,7 +94,7 @@ func (b *Broker) handleSubscribe(link *downLink, req *message.Subscribe) {
 	// cover subsumes this filter, nothing travels upstream. Subscribe
 	// succeeded, so the filter is known to parse.
 	if sub, err := filter.Parse(req.Filter); err == nil {
-		b.coverAdd(req.Subscriber, sub)
+		b.coverAdd(req.Subscriber, sub, coverSrcLocal)
 	} else {
 		b.upSend(&message.SubUpdate{Subscriber: req.Subscriber, Filter: req.Filter})
 	}

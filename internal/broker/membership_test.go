@@ -1,0 +1,282 @@
+package broker
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faultnet"
+	"repro/internal/overlay"
+)
+
+// startRelayThrough starts a pure relay whose upstream link dials through
+// the given (typically fault-injecting) transport.
+func startRelayThrough(t *testing.T, tr overlay.Transport, name, upstream string) *Broker {
+	t.Helper()
+	b, err := New(Config{
+		Name:         name,
+		Transport:    tr,
+		ListenAddr:   name,
+		UpstreamAddr: upstream,
+		DialTimeout:  500 * time.Millisecond,
+		TickInterval: testTick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() }) //nolint:errcheck
+	return b
+}
+
+// A subscriber is mid-backlog — its SHB replaying a partition gap through
+// one relay — when the SHB is re-parented under a different relay. The
+// catchup must carry over: the resync on the new path re-announces the
+// subscription and re-nacks the pending curiosity intervals, and the
+// remaining backlog arrives through the new parent with the exactly-once
+// contract intact.
+func TestReparentDuringCatchup(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fn := faultnet.New(netw, 11)
+	fn.SetLatency(time.Millisecond) // keep the backlog in flight long enough to race
+	startBroker(t, netw, Config{
+		Name:       "rcphb",
+		DataDir:    filepath.Join(t.TempDir(), "rcphb"),
+		ListenAddr: "rcphb",
+	}, 1, nil)
+	startRelayThrough(t, fn, "rcmid1", "rcphb")
+	startRelayThrough(t, fn, "rcmid2", "rcphb")
+	shb := startSHBThrough(t, fn, "rcshb", "rcmid1", "")
+	waitLink(t, shb, "initial link up", func(s overlay.LinkStatus) bool {
+		return s.State == overlay.LinkUp
+	})
+
+	p, err := client.NewPublisher(netw, "rcphb", "rcpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 911, Filter: `topic = "rc"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "rcshb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	want := pub(t, p, "rc", 10)
+	got := collectEvents(t, sub, 10)
+
+	// Build the backlog: cut the SHB off its relay and publish into the
+	// outage. The PHB logs everything; the SHB accumulates a knowledge gap.
+	fn.Partition("rcmid1")
+	waitLink(t, shb, "link down after partition", func(s overlay.LinkStatus) bool {
+		return s.State != overlay.LinkUp
+	})
+	want = append(want, pub(t, p, "rc", 150)...)
+
+	// Heal and let the catchup start flowing through mid1 again…
+	fn.Heal()
+	waitLink(t, shb, "link healed", func(s overlay.LinkStatus) bool {
+		return s.State == overlay.LinkUp
+	})
+	got = append(got, collectEvents(t, sub, 30)...)
+
+	// …then yank the SHB under mid2 while the rest of the backlog is still
+	// outstanding. The old link to mid1 is only torn down after the new one
+	// has resynced (make-before-break).
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shb.SetUpstream(ctx, "rcmid2"); err != nil {
+		t.Fatalf("SetUpstream: %v", err)
+	}
+	if addr := shb.UpstreamAddr(); addr != "rcmid2" {
+		t.Fatalf("UpstreamAddr = %q, want rcmid2", addr)
+	}
+
+	got = append(got, collectEvents(t, sub, 120)...)
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken across reparent: gaps=%d violations=%d", gaps, violations)
+	}
+}
+
+// Two back-to-back re-parents (mid1 → mid2 → PHB) while a publisher
+// streams: every hop change happens under live traffic and the subscriber
+// must see every event exactly once in order.
+func TestDoubleReparentUnderTraffic(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fn := faultnet.New(netw, 13)
+	fn.SetLatency(200 * time.Microsecond)
+	startBroker(t, netw, Config{
+		Name:       "drphb",
+		DataDir:    filepath.Join(t.TempDir(), "drphb"),
+		ListenAddr: "drphb",
+	}, 1, nil)
+	startRelayThrough(t, fn, "drmid1", "drphb")
+	startRelayThrough(t, fn, "drmid2", "drphb")
+	shb := startSHBThrough(t, fn, "drshb", "drmid1", "")
+	waitLink(t, shb, "initial link up", func(s overlay.LinkStatus) bool {
+		return s.State == overlay.LinkUp
+	})
+
+	p, err := client.NewPublisher(netw, "drphb", "drpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 912, Filter: `topic = "dr"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "drshb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	// Stream continuously while the tree is rewired underneath.
+	var mu sync.Mutex
+	var want []stamp
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := pub(t, p, "dr", 1)
+			mu.Lock()
+			want = append(want, st...)
+			mu.Unlock()
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(30 * time.Millisecond)
+	for _, next := range []string{"drmid2", "drphb"} {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := shb.SetUpstream(ctx, next)
+		cancel()
+		if err != nil {
+			t.Fatalf("SetUpstream(%s): %v", next, err)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	close(stop)
+	<-done
+	if addr := shb.UpstreamAddr(); addr != "drphb" {
+		t.Fatalf("UpstreamAddr = %q, want drphb", addr)
+	}
+
+	mu.Lock()
+	total := len(want)
+	mu.Unlock()
+	got := collectEvents(t, sub, total)
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken across double reparent: gaps=%d violations=%d", gaps, violations)
+	}
+}
+
+// DetachUpstream turns a broker into a root; SetUpstream re-joins it.
+// Events published while detached must replay after the re-attach.
+func TestDetachAndReattach(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startBroker(t, netw, Config{
+		Name:       "daphb",
+		DataDir:    filepath.Join(t.TempDir(), "daphb"),
+		ListenAddr: "daphb",
+	}, 1, nil)
+	shb := startSHBThrough(t, netw, "dashb", "daphb", "127.0.0.1:0")
+	waitLink(t, shb, "initial link up", func(s overlay.LinkStatus) bool {
+		return s.State == overlay.LinkUp
+	})
+
+	p, err := client.NewPublisher(netw, "daphb", "dapub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 913, Filter: `topic = "da"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(netw, "dashb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	want := pub(t, p, "da", 10)
+	got := collectEvents(t, sub, 10)
+
+	shb.DetachUpstream()
+	if addr := shb.UpstreamAddr(); addr != "" {
+		t.Fatalf("UpstreamAddr after detach = %q, want empty", addr)
+	}
+	if len(shb.Health()) != 0 {
+		t.Fatalf("detached broker still reports supervised links: %+v", shb.Health())
+	}
+	// A detached broker is a healthy root.
+	if code, body := adminGet(t, shb, "/healthz"); code != 200 {
+		t.Fatalf("/healthz while detached = %d %q, want 200", code, body)
+	}
+
+	want = append(want, pub(t, p, "da", 15)...)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := shb.SetUpstream(ctx, "daphb"); err != nil {
+		t.Fatalf("SetUpstream: %v", err)
+	}
+	got = append(got, collectEvents(t, sub, 15)...)
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken across detach/re-attach: gaps=%d violations=%d", gaps, violations)
+	}
+}
+
+// Shutdown must wait for in-flight publishes to be acked before closing
+// the volumes, and respect its context deadline.
+func TestGracefulShutdownDrains(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	b, err := New(Config{
+		Name:          "gs",
+		DataDir:       filepath.Join(t.TempDir(), "gs"),
+		Transport:     netw,
+		ListenAddr:    "gs",
+		HostedPubends: []PubendConfig{{ID: 1}},
+		TickInterval:  testTick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := client.NewPublisher(netw, "gs", "gspub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	want := pub(t, p, "gs", 20)
+	if len(want) != 20 {
+		t.Fatalf("published %d events", len(want))
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := b.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// Idempotent: a hard Close after the graceful drain is a no-op.
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}

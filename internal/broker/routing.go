@@ -104,6 +104,8 @@ func (b *Broker) fromBelow(link *downLink, m message.Message) {
 		if b.shb != nil {
 			b.shb.OnCredit(v.Subscriber, v.Credits)
 		}
+	case *message.Leave:
+		b.control().push(func() { b.handleLeave(link) })
 	default:
 		b.control().push(func() { b.fromBelowControl(link, m) })
 	}
@@ -150,22 +152,52 @@ func (b *Broker) unsubscribe(id vtime.SubscriberID) {
 	if b.shb != nil {
 		b.shb.Unsubscribe(id) //nolint:errcheck,gosec // best-effort; engine stays consistent
 	}
-	b.coverRemove(id)
+	b.coverRemoveAll(id)
 }
 
+// coverSrcLocal is the announcement source of this broker's own SHB
+// durables in coverSrc (downstream announcements use the link key).
+const coverSrcLocal = "local"
+
 // coverAdd registers an upstream-facing subscription with the covering set
-// and sends the resulting announcement changes. Runs on the control shard.
-func (b *Broker) coverAdd(id vtime.SubscriberID, sub *filter.Subscription) {
+// under the given announcement source and sends the resulting announcement
+// changes. Re-adding from a second source (the same subscription arriving
+// via a re-parented path) only extends the source set — CoverSet.Add is a
+// no-op for an identical filter. Runs on the control shard.
+func (b *Broker) coverAdd(id vtime.SubscriberID, sub *filter.Subscription, source string) {
+	set := b.coverSrc[id]
+	if set == nil {
+		set = make(map[string]struct{})
+		b.coverSrc[id] = set
+	}
+	set[source] = struct{}{}
 	for _, op := range b.upCover.Add(id, sub) {
 		b.sendCoverOp(op)
 	}
 }
 
-// coverRemove withdraws an upstream-facing subscription from the covering
-// set; ops promote formerly covered subscriptions before the withdrawal, so
-// the upstream matcher never has an uncovered window. Runs on the control
-// shard.
-func (b *Broker) coverRemove(id vtime.SubscriberID) {
+// coverRemove drops one announcement source for a subscription, withdrawing
+// it from the covering set only when no source is left: during a re-parent
+// the departing path's (grace-delayed) withdrawal must not tear down a
+// cover the new path has re-announced. Withdrawal ops promote formerly
+// covered subscriptions before the removal, so the upstream matcher never
+// has an uncovered window. Runs on the control shard.
+func (b *Broker) coverRemove(id vtime.SubscriberID, source string) {
+	set := b.coverSrc[id]
+	if set == nil {
+		return
+	}
+	delete(set, source)
+	if len(set) > 0 {
+		return
+	}
+	b.coverRemoveAll(id)
+}
+
+// coverRemoveAll withdraws a subscription regardless of remaining sources
+// (permanent unsubscribe). Runs on the control shard.
+func (b *Broker) coverRemoveAll(id vtime.SubscriberID) {
+	delete(b.coverSrc, id)
 	for _, op := range b.upCover.Remove(id) {
 		b.sendCoverOp(op)
 	}
@@ -301,26 +333,33 @@ func (b *Broker) storeRelease(sh *shard, source string, pub vtime.PubendID, rel,
 	per[source] = cur
 }
 
+// aggregateRelease computes the minimum release vector over a pubend's
+// valid sources; ok is false when no source has reported.
+func aggregateRelease(per map[string]relState) (rel, ld vtime.Timestamp, ok bool) {
+	rel, ld = vtime.MaxTS, vtime.MaxTS
+	n := 0
+	for _, st := range per {
+		if !st.valid {
+			continue
+		}
+		n++
+		if st.released < rel {
+			rel = st.released
+		}
+		if st.latestDelivered < ld {
+			ld = st.latestDelivered
+		}
+	}
+	return rel, ld, n > 0
+}
+
 // propagateReleases aggregates this shard's release vectors over all
 // reporting sources and feeds them to the hosted pubend (root) or the
 // upstream link. Runs on sh's loop.
 func (b *Broker) propagateReleases(sh *shard) {
 	for pub, per := range sh.relAgg {
-		rel, ld := vtime.MaxTS, vtime.MaxTS
-		n := 0
-		for _, st := range per {
-			if !st.valid {
-				continue
-			}
-			n++
-			if st.released < rel {
-				rel = st.released
-			}
-			if st.latestDelivered < ld {
-				ld = st.latestDelivered
-			}
-		}
-		if n == 0 {
+		rel, ld, ok := aggregateRelease(per)
+		if !ok {
 			continue
 		}
 		if pe, ok := b.pubends[pub]; ok {
@@ -349,7 +388,8 @@ func (b *Broker) propagateReleases(sh *shard) {
 func (b *Broker) handleSubUpdate(link *downLink, su *message.SubUpdate) {
 	if su.Remove {
 		link.matcher.Remove(su.Subscriber)
-		b.coverRemove(su.Subscriber)
+		delete(link.subs, su.Subscriber)
+		b.coverRemove(su.Subscriber, link.key)
 		return
 	}
 	sub, err := filter.Parse(su.Filter)
@@ -360,12 +400,61 @@ func (b *Broker) handleSubUpdate(link *downLink, su *message.SubUpdate) {
 		return
 	}
 	link.matcher.Add(su.Subscriber, sub)
-	b.coverAdd(su.Subscriber, sub)
+	link.subs[su.Subscriber] = struct{}{}
+	b.coverAdd(su.Subscriber, sub, link.key)
+}
+
+// handleLeave processes a child's deliberate departure (detach or
+// re-parent). Unlike a crash — where covers and release floors are
+// retained so the returning subtree's recovery stays correct — a Leave
+// means the child is gone from this link for good, so its soft state is
+// purged after LeaveGrace: the covers it announced (by source, so a path
+// still announcing the same subscription keeps the cover) and its release
+// floors (so a departed subtree stops pinning hosted-pubend retention).
+// The grace delay gives the re-parented child's new path time to announce
+// replacement covers and report replacement floors at common ancestors;
+// resyncUpstream sends both eagerly, so the default grace is generous.
+// Runs on the control shard.
+func (b *Broker) handleLeave(link *downLink) {
+	if _, ok := b.links[link.conn]; !ok {
+		return // already dropped (close raced the Leave) or duplicate
+	}
+	delete(b.links, link.conn)
+	if _, wasDown := b.downs[link.conn]; wasDown {
+		delete(b.downs, link.conn)
+		b.publishDowns()
+	}
+	subs := make([]vtime.SubscriberID, 0, len(link.subs))
+	for id := range link.subs {
+		subs = append(subs, id)
+	}
+	key := link.key
+	time.AfterFunc(b.cfg.LeaveGrace, func() {
+		b.control().push(func() {
+			for _, id := range subs {
+				b.coverRemove(id, key)
+			}
+		})
+		for _, sh := range b.shards {
+			sh := sh
+			sh.push(func() {
+				for _, per := range sh.relAgg {
+					delete(per, key)
+				}
+			})
+		}
+	})
 }
 
 // dropLink removes a dead connection: downstream links leave the fanout
-// set; subscriber clients are detached. Runs on the control shard.
+// set; subscriber clients are detached. Covers and release floors are
+// deliberately retained — a crashed subtree reconnects with the same
+// aggregation key and its announced state must still be in force when it
+// does (only a Leave purges; see handleLeave). Runs on the control shard.
 func (b *Broker) dropLink(link *downLink) {
+	if _, ok := b.links[link.conn]; !ok {
+		return // already removed by a Leave
+	}
 	delete(b.links, link.conn)
 	if _, wasDown := b.downs[link.conn]; wasDown {
 		delete(b.downs, link.conn)

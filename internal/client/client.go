@@ -59,14 +59,14 @@ func (c ConnState) String() string {
 	return "down"
 }
 
-// dialWithTimeout dials addr, bounding the attempt when timeout > 0 (zero
-// keeps the old unbounded Dial behavior).
-func dialWithTimeout(t overlay.Transport, addr string, timeout time.Duration) (overlay.Conn, error) {
-	if timeout <= 0 {
-		return t.Dial(addr)
+// dialCtx dials addr under ctx, additionally bounding the attempt when
+// timeout > 0 (whichever is tighter; zero keeps ctx alone).
+func dialCtx(ctx context.Context, t overlay.Transport, addr string, timeout time.Duration) (overlay.Conn, error) {
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), timeout)
-	defer cancel()
 	return t.DialContext(ctx, addr)
 }
 
@@ -107,6 +107,14 @@ func NewPublisher(t overlay.Transport, addr, name string) (*Publisher, error) {
 // connection attempt is synchronous even with AutoReconnect, so a dead
 // broker fails here rather than on the first publish.
 func NewPublisherOpts(t overlay.Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
+	return NewPublisherContext(context.Background(), t, addr, name, opts)
+}
+
+// NewPublisherContext is NewPublisherOpts with the initial dial bounded by
+// ctx (in addition to DialTimeout, whichever is tighter). With
+// AutoReconnect, reconnect attempts after the first are governed by
+// DialTimeout alone.
+func NewPublisherContext(ctx context.Context, t overlay.Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
 	p := &Publisher{opts: opts, pending: make(map[uint64]chan *message.PublishAck)}
 	if opts.AutoReconnect {
 		sup := overlay.NewSupervisor(overlay.SupervisorConfig{
@@ -130,13 +138,13 @@ func NewPublisherOpts(t overlay.Transport, addr, name string, opts PublisherOpti
 				p.notify(ConnDown)
 			},
 		})
-		if err := sup.Start(); err != nil {
+		if err := sup.StartContext(ctx); err != nil {
 			return nil, fmt.Errorf("publisher dial: %w", err)
 		}
 		p.sup = sup
 		return p, nil
 	}
-	conn, err := dialWithTimeout(t, addr, opts.DialTimeout)
+	conn, err := dialCtx(ctx, t, addr, opts.DialTimeout)
 	if err != nil {
 		return nil, fmt.Errorf("publisher dial: %w", err)
 	}
@@ -374,6 +382,13 @@ func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
 // is synchronous (a dead broker fails here); after that the link is
 // supervised and re-subscribes itself until Disconnect.
 func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
+	return s.ConnectContext(context.Background(), t, addr)
+}
+
+// ConnectContext is Connect with the initial dial bounded by ctx (in
+// addition to DialTimeout, whichever is tighter). With AutoReconnect,
+// reconnect attempts after the first are governed by DialTimeout alone.
+func (s *Subscriber) ConnectContext(ctx context.Context, t overlay.Transport, addr string) error {
 	if s.opts.AutoReconnect {
 		s.mu.Lock()
 		if s.sup != nil {
@@ -389,7 +404,7 @@ func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
 			OnUp:        func(conn overlay.Conn) error { return s.attach(conn, true) },
 			OnDown:      func(error) { s.handleDown() },
 		})
-		if err := sup.Start(); err != nil {
+		if err := sup.StartContext(ctx); err != nil {
 			return err
 		}
 		s.mu.Lock()
@@ -397,7 +412,7 @@ func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
 		s.mu.Unlock()
 		return nil
 	}
-	conn, err := dialWithTimeout(t, addr, s.opts.DialTimeout)
+	conn, err := dialCtx(ctx, t, addr, s.opts.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("subscriber dial: %w", err)
 	}

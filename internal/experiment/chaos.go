@@ -1,0 +1,437 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/faultnet"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// TopologyChaosParams configures the dynamic-membership chaos experiment.
+type TopologyChaosParams struct {
+	// Mids is the relay broker count; mid i ≥ 2 hangs under mid i-2, so
+	// the tree is both wide and deep (0 = 3).
+	Mids int
+	// SHBs is the subscriber hosting broker count, spread round-robin
+	// across the mids (0 = 8).
+	SHBs int
+	// Pubends hosted by the root (0 = 2).
+	Pubends int
+	// Kills is how many random broker crashes (with restart) to apply
+	// (0 = 5).
+	Kills int
+	// Reparents is how many successful SetUpstream re-parents to apply
+	// (0 = 5).
+	Reparents int
+	// SubsPerSHB is the durable subscriber count per SHB (0 = 1).
+	SubsPerSHB int
+	// Rate is the publish rate in events/s (0 = 500).
+	Rate int
+	// Seed drives the mutation schedule (0 = 1).
+	Seed int64
+	// Step is the pause between mutations (0 = 120ms).
+	Step time.Duration
+	// KillDown is how long a killed broker stays down before its restart
+	// (0 = 100ms).
+	KillDown time.Duration
+	// FaultLatency adds one-way latency to every inter-broker hop through
+	// the fault injector (0 = none) — re-parents race real in-flight
+	// traffic instead of switching over an instantaneous network.
+	FaultLatency time.Duration
+}
+
+// TopologyChaosResult is the outcome of one chaos run.
+type TopologyChaosResult struct {
+	Brokers     int // total brokers in the tree
+	Subscribers int
+	Published   int64
+	Kills       int // crashes applied
+	Restarts    int // successful restarts after crashes
+	Reparents   int // successful SetUpstream re-parents
+	Skipped     int // mutations skipped (no legal target / dial raced a kill)
+	Gaps        int64
+	Violations  int64
+	AllDelivered bool
+	Healthy      bool // every broker's /healthz OK after the final heal
+}
+
+// chaosNode is the driver's model of one broker: its declarative spec (the
+// restart recipe — Upstream tracks re-parents so a successor rejoins the
+// current tree, not the original one) and the live handle.
+type chaosNode struct {
+	spec   topology.BrokerSpec
+	b      *broker.Broker
+	parent string // current parent name ("" = root)
+	isSHB  bool
+}
+
+// RunTopologyChaos exercises runtime membership end to end: a deep/wide
+// broker tree under live durable traffic, with random broker crashes
+// (+restarts) and random live re-parents (Broker.SetUpstream) applied by a
+// seeded driver. The exactly-once contract must hold through every
+// mutation: after the final heal each durable subscriber has every
+// published event, in timestamp order, with zero gaps, duplicates or
+// reorders, and every broker's /healthz endpoint reports healthy.
+//
+// Brokers run on the in-process transport (name-based addresses, stable
+// across restarts, so orphaned children re-home automatically) wrapped in
+// a faultnet decorator for link latency; clients use the raw transport.
+func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, error) {
+	if p.Mids == 0 {
+		p.Mids = 3
+	}
+	if p.SHBs == 0 {
+		p.SHBs = 8
+	}
+	if p.Pubends == 0 {
+		p.Pubends = 2
+	}
+	if p.Kills == 0 {
+		p.Kills = 5
+	}
+	if p.Reparents == 0 {
+		p.Reparents = 5
+	}
+	if p.SubsPerSHB == 0 {
+		p.SubsPerSHB = 1
+	}
+	if p.Rate == 0 {
+		p.Rate = 500
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Step == 0 {
+		p.Step = 120 * time.Millisecond
+	}
+	if p.KillDown == 0 {
+		p.KillDown = 100 * time.Millisecond
+	}
+	rng := rand.New(rand.NewSource(p.Seed)) //nolint:gosec // schedule, not crypto
+
+	rawNet := overlay.NewInprocNetwork(0)
+	fnet := faultnet.New(rawNet, p.Seed)
+	if p.FaultLatency > 0 {
+		fnet.SetLatency(p.FaultLatency)
+	}
+
+	allPubends := make([]uint32, p.Pubends)
+	for i := range allPubends {
+		allPubends[i] = uint32(i + 1)
+	}
+	tuning := topology.Tuning{Shards: 2, SubShards: 1}
+	baseSpec := func(name string) topology.BrokerSpec {
+		return topology.BrokerSpec{
+			Name:              name,
+			Listen:            name, // inproc: the name is the address
+			TickMillis:        2,
+			DialTimeoutMillis: 500,
+			LeaveGraceMillis:  80,
+			Admin:             "127.0.0.1:0",
+			Tuning:            tuning,
+		}
+	}
+
+	// Tree: root hosts the pubends; mids 0 and 1 hang off the root, mid
+	// i ≥ 2 under mid i-2 (depth grows with width); SHB j under mid
+	// j mod Mids.
+	nodes := make(map[string]*chaosNode)
+	var order []string // start order, parents first
+	addNode := func(spec topology.BrokerSpec, isSHB bool) {
+		nodes[spec.Name] = &chaosNode{spec: spec, parent: spec.Upstream, isSHB: isSHB}
+		order = append(order, spec.Name)
+	}
+	root := baseSpec("phb")
+	root.Pubends = allPubends
+	addNode(root, false)
+	for i := 0; i < p.Mids; i++ {
+		spec := baseSpec(fmt.Sprintf("mid%d", i))
+		if i < 2 {
+			spec.Upstream = "phb"
+		} else {
+			spec.Upstream = fmt.Sprintf("mid%d", i-2)
+		}
+		addNode(spec, false)
+	}
+	for j := 0; j < p.SHBs; j++ {
+		spec := baseSpec(fmt.Sprintf("shb%d", j))
+		spec.Upstream = fmt.Sprintf("mid%d", j%p.Mids)
+		spec.SHB = true
+		spec.AllPubends = allPubends
+		addNode(spec, true)
+	}
+
+	res := &TopologyChaosResult{Brokers: len(order), Subscribers: p.SHBs * p.SubsPerSHB}
+	startNode := func(n *chaosNode) error {
+		cfg, err := n.spec.BrokerConfig(dir, fnet)
+		if err != nil {
+			return err
+		}
+		b, err := broker.New(cfg)
+		if err != nil {
+			return err
+		}
+		n.b = b
+		return nil
+	}
+	defer func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			if b := nodes[order[i]].b; b != nil {
+				b.Close() //nolint:errcheck,gosec // teardown
+			}
+		}
+	}()
+	for _, name := range order {
+		if err := startNode(nodes[name]); err != nil {
+			return nil, fmt.Errorf("experiment: start %s: %w", name, err)
+		}
+	}
+
+	// Durable subscribers (auto-reconnect: their SHB will crash under
+	// them) and per-subscriber delivery counting.
+	type subState struct {
+		sub      *client.Subscriber
+		received atomic.Int64
+	}
+	var states []*subState
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	subID := 0
+	for j := 0; j < p.SHBs; j++ {
+		for k := 0; k < p.SubsPerSHB; k++ {
+			subID++
+			sub, err := client.NewSubscriber(client.SubscriberOptions{
+				ID:            vtime.SubscriberID(subID),
+				Filter:        `true`,
+				AckInterval:   15 * time.Millisecond,
+				Buffer:        1 << 15,
+				AutoReconnect: true,
+				DialTimeout:   500 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := sub.Connect(rawNet, fmt.Sprintf("shb%d", j)); err != nil {
+				return nil, err
+			}
+			st := &subState{sub: sub}
+			states = append(states, st)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case d := <-st.sub.Deliveries():
+						if d.Kind == message.DeliverEvent {
+							st.received.Add(1)
+						}
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	pubc, err := client.NewPublisherOpts(rawNet, "phb", "chaos", client.PublisherOptions{
+		AutoReconnect: true,
+		DialTimeout:   500 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pubc.Close() //nolint:errcheck
+	var published atomic.Int64
+	pubStop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		ticker := time.NewTicker(time.Second / time.Duration(p.Rate))
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				seq := published.Load() + 1
+				//nolint:errcheck,gosec // acks drained lazily; ErrLinkDown
+				// during a root blip just skips the tick.
+				if _, err := pubc.PublishAsync(message.Event{
+					Attrs:   filter.Attributes{"seq": filter.Int(seq)},
+					Payload: []byte("c"),
+				}, vtime.PubendID(seq%int64(p.Pubends)+1)); err == nil {
+					published.Store(seq)
+				}
+			case <-pubStop:
+				return
+			}
+		}
+	}()
+
+	// inSubtree reports whether node name sits in the subtree rooted at
+	// root (walking the driver's model of current parents).
+	inSubtree := func(name, rootName string) bool {
+		for cur := name; cur != ""; cur = nodes[cur].parent {
+			if cur == rootName {
+				return true
+			}
+		}
+		return false
+	}
+	alive := func(n *chaosNode) bool { return n.b != nil }
+
+	// Mutation driver: interleave kills and re-parents until both quotas
+	// are met. Kills never target the root (the event log must keep
+	// accepting publishes); re-parents pick any non-root node and any
+	// alive target outside its own subtree.
+	mutable := order[1:] // everything but the root
+	killsLeft, repsLeft := p.Kills, p.Reparents
+	for attempts := 0; (killsLeft > 0 || repsLeft > 0) && attempts < (p.Kills+p.Reparents)*10; attempts++ {
+		time.Sleep(p.Step)
+		doKill := killsLeft > 0 && (repsLeft == 0 || rng.Intn(2) == 0)
+		if doKill {
+			n := nodes[mutable[rng.Intn(len(mutable))]]
+			if !alive(n) {
+				res.Skipped++
+				continue
+			}
+			n.b.Crash()
+			n.b = nil
+			res.Kills++
+			killsLeft--
+			time.Sleep(p.KillDown)
+			// Restart from the same spec and data directory; the spec's
+			// Upstream tracks re-parents, so the successor rejoins the
+			// current tree. Retry briefly: its parent may itself be down.
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if err := startNode(n); err == nil {
+					res.Restarts++
+					break
+				}
+				if time.Now().After(deadline) {
+					return res, fmt.Errorf("experiment: %s did not restart", n.spec.Name)
+				}
+				time.Sleep(50 * time.Millisecond)
+			}
+			continue
+		}
+		// Re-parent: a random alive non-root node moves under a random
+		// alive target outside its own subtree.
+		n := nodes[mutable[rng.Intn(len(mutable))]]
+		t := nodes[order[rng.Intn(len(order))]]
+		if !alive(n) || !alive(t) || t.isSHB || n.spec.Name == t.spec.Name ||
+			t.spec.Name == n.parent || inSubtree(t.spec.Name, n.spec.Name) {
+			res.Skipped++
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		err := n.b.SetUpstream(ctx, t.spec.Name)
+		cancel()
+		if err != nil {
+			res.Skipped++ // target died under us; the supervisor was never installed
+			continue
+		}
+		n.parent = t.spec.Name
+		n.spec.Upstream = t.spec.Name
+		res.Reparents++
+		repsLeft--
+	}
+	if killsLeft > 0 || repsLeft > 0 {
+		return res, fmt.Errorf("experiment: mutation quota unmet: %d kills, %d reparents left (skipped %d)",
+			killsLeft, repsLeft, res.Skipped)
+	}
+
+	// Final heal: every broker's supervised links up and /healthz green.
+	healDeadline := time.Now().Add(20 * time.Second)
+	for {
+		healthy := true
+		for _, name := range order {
+			n := nodes[name]
+			if n.b == nil {
+				healthy = false
+				break
+			}
+			for _, st := range n.b.Health() {
+				if st.State != overlay.LinkUp {
+					healthy = false
+					break
+				}
+			}
+			if !healthy {
+				break
+			}
+			resp, err := http.Get("http://" + n.b.AdminAddr() + "/healthz")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				healthy = false
+			}
+			if err == nil {
+				resp.Body.Close() //nolint:errcheck,gosec // probe
+			}
+			if !healthy {
+				break
+			}
+		}
+		if healthy {
+			res.Healthy = true
+			break
+		}
+		if time.Now().After(healDeadline) {
+			return res, fmt.Errorf("experiment: tree did not heal")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Quiesce: stop publishing, then wait until recovery has replayed
+	// every event to every subscriber.
+	close(pubStop)
+	<-pubDone
+	res.Published = published.Load()
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for {
+		allDone := true
+		for _, st := range states {
+			if st.received.Load() < res.Published {
+				allDone = false
+				break
+			}
+		}
+		if allDone || time.Now().After(drainDeadline) {
+			res.AllDelivered = allDone
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, st := range states {
+		events, _, gaps, violations := st.sub.Stats()
+		res.Gaps += gaps
+		res.Violations += violations
+		if events != res.Published {
+			res.AllDelivered = false
+		}
+		st.sub.Disconnect() //nolint:errcheck,gosec // teardown
+	}
+	if !res.AllDelivered || res.Gaps > 0 || res.Violations > 0 {
+		var counts []int64
+		for _, st := range states {
+			ev, _, _, _ := st.sub.Stats()
+			counts = append(counts, ev)
+		}
+		return res, fmt.Errorf("experiment: topology chaos broke delivery: published=%d received=%v gaps=%d violations=%d",
+			res.Published, counts, res.Gaps, res.Violations)
+	}
+	return res, nil
+}

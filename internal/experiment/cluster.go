@@ -19,6 +19,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/overlay"
 	"repro/internal/pubend"
+	"repro/internal/topology"
 	"repro/internal/vtime"
 )
 
@@ -58,15 +59,10 @@ type Topology struct {
 	MetaCommitLatency time.Duration
 	// OnCaughtUp receives catchup-duration samples from every SHB.
 	OnCaughtUp func(sub vtime.SubscriberID, pub vtime.PubendID, took time.Duration)
-	// Shards is the per-broker event-loop shard count (0 = GOMAXPROCS,
-	// 1 = the serialized single-loop broker; see broker.Config.Shards).
-	Shards int
-	// SubShards is the SHB subscriber shard count (0 = engine default,
-	// 1 = the single-lock engine; see broker.Config.SubShards).
-	SubShards int
-	// CatchupWeight is the catchup scheduler quantum (0 = engine default;
-	// see broker.Config.CatchupWeight).
-	CatchupWeight int
+	// Tuning is the shared performance-knob surface (shards, sub-shards,
+	// catchup weight, match engine) — the same type the topology spec and
+	// the broker flags consume, so the harness cannot drift from them.
+	topology.Tuning
 	// TCP runs the cluster over real loopback TCP sockets instead of the
 	// in-process transport (the paper's deployment; exercises the framed
 	// write-coalescing wire path). LinkLatency is ignored under TCP.
@@ -176,10 +172,8 @@ func BuildCluster(dir string, topo Topology) (*Cluster, error) {
 		ReadBufferQ:       topo.ReadBufferQ,
 		MetaCommitLatency: topo.MetaCommitLatency,
 		OnCaughtUp:        topo.OnCaughtUp,
-		Shards:            topo.Shards,
-		SubShards:         topo.SubShards,
-		CatchupWeight:     topo.CatchupWeight,
 	}
+	topo.Tuning.Apply(&common)
 
 	phbCfg := common
 	phbCfg.Name = "phb"
@@ -271,10 +265,8 @@ func (c *Cluster) RestartSHB(i int) error {
 		ReadBufferQ:       c.topo.ReadBufferQ,
 		MetaCommitLatency: c.topo.MetaCommitLatency,
 		OnCaughtUp:        c.topo.OnCaughtUp,
-		Shards:            c.topo.Shards,
-		SubShards:         c.topo.SubShards,
-		CatchupWeight:     c.topo.CatchupWeight,
 	}
+	c.topo.Tuning.Apply(&cfg)
 	nb, err := broker.New(cfg)
 	if err != nil {
 		return err

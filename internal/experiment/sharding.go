@@ -8,6 +8,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/message"
 	"repro/internal/metrics"
+	"repro/internal/topology"
 	"repro/internal/vtime"
 )
 
@@ -83,7 +84,7 @@ func RunShardThroughput(dir string, p ShardThroughputParams) (*ShardThroughputRe
 	c, err := BuildCluster(dir, Topology{
 		SHBs:    shbs,
 		Pubends: p.Pubends,
-		Shards:  p.Shards,
+		Tuning:  topology.Tuning{Shards: p.Shards},
 		TCP:     p.TCP,
 	})
 	if err != nil {

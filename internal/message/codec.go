@@ -96,6 +96,8 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 		}
 	case *Unsubscribe:
 		buf = binary.BigEndian.AppendUint32(buf, uint32(v.Subscriber))
+	case *Leave:
+		buf = appendString(buf, v.Name)
 	default:
 		return nil, fmt.Errorf("message: cannot encode %T", m)
 	}
@@ -211,6 +213,8 @@ func Decode(buf []byte) (Message, error) {
 		}
 	case TypeUnsubscribe:
 		m = &Unsubscribe{Subscriber: vtime.SubscriberID(r.u32())}
+	case TypeLeave:
+		m = &Leave{Name: r.str()}
 	default:
 		return nil, fmt.Errorf("message: unknown type %d", buf[0])
 	}

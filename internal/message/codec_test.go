@@ -191,6 +191,9 @@ func TestAckCreditDetachRoundTrip(t *testing.T) {
 	if got, ok := roundTrip(t, &Detach{Subscriber: 8}).(*Detach); !ok || got.Subscriber != 8 {
 		t.Errorf("detach mismatch: %+v", got)
 	}
+	if got, ok := roundTrip(t, &Leave{Name: "edge3"}).(*Leave); !ok || got.Name != "edge3" {
+		t.Errorf("leave mismatch: %+v", got)
+	}
 }
 
 func TestEventStandaloneCodec(t *testing.T) {

@@ -60,6 +60,7 @@ const (
 	TypeHello                        // link role handshake
 	TypeSubUpdate                    // subscription propagation toward the PHBs
 	TypeUnsubscribe                  // client→SHB: permanently end a durable subscription
+	TypeLeave                        // broker→broker: deliberate departure from the parent
 )
 
 // String implements fmt.Stringer.
@@ -93,6 +94,8 @@ func (t Type) String() string {
 		return "sub-update"
 	case TypeUnsubscribe:
 		return "unsubscribe"
+	case TypeLeave:
+		return "leave"
 	default:
 		return fmt.Sprintf("Type(%d)", uint8(t))
 	}
@@ -310,3 +313,17 @@ type SubUpdate struct {
 
 // WireType implements Message.
 func (*SubUpdate) WireType() Type { return TypeSubUpdate }
+
+// Leave announces a deliberate departure from the parent broker: the child
+// is detaching or re-parenting and will not return on this link. The
+// parent may purge the link's soft state (announced subscriptions, release
+// floors) instead of retaining it for a reconnect — a crashed child never
+// sends Leave, so its state is kept until a successor re-announces it.
+// Re-parent ordering sends Leave only after the new parent link is up and
+// resynced (announce-before-withdraw, see DESIGN §2.11).
+type Leave struct {
+	Name string // departing broker's name (diagnostic)
+}
+
+// WireType implements Message.
+func (*Leave) WireType() Type { return TypeLeave }

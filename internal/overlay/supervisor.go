@@ -162,8 +162,15 @@ func NewSupervisor(cfg SupervisorConfig) *Supervisor {
 // keep the fail-fast startup semantics of a plain Dial — and then hands
 // the link to the background maintenance loop. On error nothing is
 // running and the supervisor may be started again.
-func (s *Supervisor) Start() error {
-	if err := s.attempt(); err != nil {
+func (s *Supervisor) Start() error { return s.StartContext(context.Background()) }
+
+// StartContext is Start with the synchronous first attempt bounded by ctx
+// (in addition to DialTimeout, whichever is tighter): the runtime-membership
+// paths re-parent live brokers under a caller deadline. Reconnect attempts
+// after the first are governed by DialTimeout alone — ctx bounds joining,
+// not the link's lifetime.
+func (s *Supervisor) StartContext(ctx context.Context) error {
+	if err := s.attempt(ctx); err != nil {
 		return err
 	}
 	s.started.Store(true)
@@ -244,10 +251,13 @@ func (s *Supervisor) recordErr(err error) {
 	s.lastErr.Store(&msg)
 }
 
-// attempt runs one dial + bring-up cycle. On success the conn is installed
-// and its close hook wired to the notify channel.
-func (s *Supervisor) attempt() error {
-	ctx := context.Background()
+// Addr reports the supervisor's dial target.
+func (s *Supervisor) Addr() string { return s.cfg.Addr }
+
+// attempt runs one dial + bring-up cycle under ctx (tightened by
+// DialTimeout when set). On success the conn is installed and its close
+// hook wired to the notify channel.
+func (s *Supervisor) attempt(ctx context.Context) error {
 	cancel := context.CancelFunc(func() {})
 	if s.cfg.DialTimeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.DialTimeout)
@@ -331,7 +341,7 @@ func (s *Supervisor) run() {
 				return
 			default:
 			}
-			if s.attempt() == nil {
+			if s.attempt(context.Background()) == nil {
 				break
 			}
 			s.markState(LinkBackoff)
