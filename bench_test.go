@@ -530,6 +530,42 @@ func BenchmarkTopologyChaos(b *testing.B) {
 	}
 }
 
+// BenchmarkSelfHealing is the self-healing acceptance run: a 12-broker
+// tree (PHB + 5 relays + 6 SHBs) where every non-root broker carries an
+// ordered candidate-parent list, under live durable traffic, with 5
+// interior-broker kills of which one is permanent — and ZERO driver-issued
+// re-parents. Orphaned subtrees must repair themselves (probe candidates,
+// adopt loop-free, make-before-break). The run fails unless every
+// surviving broker heals and every subscriber received every event exactly
+// once in order; the headline metrics are the time-to-repair p50/p99
+// measured by the brokers' own repair monitors. The CI selfheal-smoke step
+// runs a reduced tree through the BENCH_SELFHEAL_* overrides. Results land
+// in BENCH_SelfHealing.json.
+func BenchmarkSelfHealing(b *testing.B) {
+	params := experiment.SelfHealingParams{
+		Mids:  churnEnvInt(b, "BENCH_SELFHEAL_MIDS", 5),
+		SHBs:  churnEnvInt(b, "BENCH_SELFHEAL_SHBS", 6),
+		Kills: churnEnvInt(b, "BENCH_SELFHEAL_KILLS", 5),
+	}
+	for i := 0; i < b.N; i++ {
+		p := params
+		p.Seed = int64(i + 1)
+		res, err := experiment.RunSelfHealing(b.TempDir(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Healthy || !res.AllDelivered || res.Gaps != 0 || res.Violations != 0 {
+			b.Fatalf("contract violated: %+v", res)
+		}
+		b.ReportMetric(float64(res.Brokers), "brokers")
+		b.ReportMetric(float64(res.Kills), "kills")
+		b.ReportMetric(float64(res.Failovers), "failovers")
+		b.ReportMetric(res.RepairP50Ms, "repair-p50-ms")
+		b.ReportMetric(res.RepairP99Ms, "repair-p99-ms")
+		writeBenchJSON(b, "SelfHealing", res)
+	}
+}
+
 // churnEnvInt reads an integer override for the churn benchmark scale from
 // the environment (the CI churn-smoke step runs a reduced population).
 func churnEnvInt(b *testing.B, key string, def int) int {

@@ -28,8 +28,11 @@
 //	  ]
 //	}
 //
-// A broker's upstream may be another broker's name (resolved to its bound
-// address, so ephemeral ":0" listens work) or a literal dial address.
+// A broker's upstream — and each entry of its candidate-parent "parents"
+// list — may be another broker's name (resolved to its bound address, so
+// ephemeral ":0" listens work) or a literal dial address. A kill mutation
+// with "permanent": true marks the broker unrestartable, forcing its
+// subtree to self-heal around it for good.
 // Brokers start in file order (parents first), all over TCP; mutations
 // fire at their offsets from startup; SIGINT/SIGTERM drains and stops the
 // tree in reverse order.
@@ -63,6 +66,7 @@ func main() {
 type node struct {
 	spec topology.BrokerSpec
 	b    *broker.Broker
+	dead bool // permanently killed; restart is refused
 }
 
 // cluster drives a topology.Spec: start order, name→broker resolution,
@@ -124,10 +128,15 @@ func (c *cluster) resolve(upstream string) string {
 	return upstream
 }
 
-// start brings up one broker, resolving its upstream by name.
+// start brings up one broker, resolving its upstream and candidate
+// parents by name.
 func (c *cluster) start(bs topology.BrokerSpec) error {
 	resolved := bs
 	resolved.Upstream = c.resolve(bs.Upstream)
+	resolved.Parents = nil
+	for _, p := range bs.Parents {
+		resolved.Parents = append(resolved.Parents, c.resolve(p))
+	}
 	cfg, err := resolved.BrokerConfig(c.dataDir, overlay.TCPTransport{})
 	if err != nil {
 		return fmt.Errorf("broker %q: %w", bs.Name, err)
@@ -204,11 +213,19 @@ func (c *cluster) apply(m topology.Mutation) error {
 		}
 		n.b.Crash()
 		n.b = nil
-		fmt.Printf("killed %s\n", m.Broker)
+		if m.Permanent {
+			n.dead = true
+			fmt.Printf("killed %s (permanent)\n", m.Broker)
+		} else {
+			fmt.Printf("killed %s\n", m.Broker)
+		}
 		return nil
 	case "restart":
 		if n.b != nil {
 			return fmt.Errorf("restart %q: still running", m.Broker)
+		}
+		if n.dead {
+			return fmt.Errorf("restart %q: permanently killed", m.Broker)
 		}
 		return c.start(n.spec)
 	case "reparent":

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -41,7 +42,7 @@ func run() error {
 	)
 	flag.Parse()
 
-	pub, err := client.NewPublisher(overlay.TCPTransport{}, *addr, "pubclient")
+	pub, err := client.NewPublisher(context.Background(), overlay.TCPTransport{}, *addr, "pubclient")
 	if err != nil {
 		return err
 	}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -54,7 +55,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sub.Connect(overlay.TCPTransport{}, *addr); err != nil {
+	if err := sub.Connect(context.Background(), overlay.TCPTransport{}, *addr); err != nil {
 		return err
 	}
 	fmt.Printf("subscribed id=%d filter=%q ct=%s\n", *id, *src, sub.CT())

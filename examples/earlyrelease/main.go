@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -34,7 +35,7 @@ func run() error {
 	const retain = 300 * time.Millisecond // maxRetain(p), virtual time
 
 	net := repro.NewInprocNetwork(0)
-	b, err := repro.StartBroker(repro.BrokerConfig{
+	b, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:       "node1",
 		DataDir:    dir,
 		Transport:  net,
@@ -56,7 +57,7 @@ func run() error {
 	}
 	defer b.Close() //nolint:errcheck
 
-	pub, err := repro.NewPublisher(net, "node1", "feed")
+	pub, err := repro.NewPublisher(context.Background(), net, "node1", "feed")
 	if err != nil {
 		return err
 	}
@@ -68,7 +69,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := wellBehaved.Connect(net, "node1"); err != nil {
+	if err := wellBehaved.Connect(context.Background(), net, "node1"); err != nil {
 		return err
 	}
 	defer wellBehaved.Disconnect() //nolint:errcheck
@@ -83,7 +84,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := misbehaving.Connect(net, "node1"); err != nil {
+	if err := misbehaving.Connect(context.Background(), net, "node1"); err != nil {
 		return err
 	}
 	if err := misbehaving.Disconnect(); err != nil {
@@ -115,7 +116,7 @@ func run() error {
 		b.Pubend(1).EventCount())
 
 	fmt.Println("\nmisbehaving subscriber reconnects:")
-	if err := misbehaving.Connect(net, "node1"); err != nil {
+	if err := misbehaving.Connect(context.Background(), net, "node1"); err != nil {
 		return err
 	}
 	defer misbehaving.Disconnect() //nolint:errcheck

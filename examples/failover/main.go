@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -40,7 +41,7 @@ func run() error {
 	defer os.RemoveAll(dir) //nolint:errcheck
 
 	net := repro.NewInprocNetwork(0)
-	phb, err := repro.StartBroker(repro.BrokerConfig{
+	phb, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:          "phb",
 		DataDir:       filepath.Join(dir, "phb"),
 		Transport:     net,
@@ -63,7 +64,7 @@ func run() error {
 		AllPubends:   []repro.PubendID{1},
 		TickInterval: 2 * time.Millisecond,
 	}
-	shb, err := repro.StartBroker(shbCfg)
+	shb, err := repro.StartBroker(context.Background(), shbCfg)
 	if err != nil {
 		return err
 	}
@@ -80,7 +81,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := s.Connect(net, "shb"); err != nil {
+		if err := s.Connect(context.Background(), net, "shb"); err != nil {
 			return err
 		}
 		subs[i] = s
@@ -94,7 +95,7 @@ func run() error {
 	}
 
 	// A steady publisher that never stops.
-	pub, err := repro.NewPublisher(net, "phb", "feed")
+	pub, err := repro.NewPublisher(context.Background(), net, "phb", "feed")
 	if err != nil {
 		return err
 	}
@@ -139,14 +140,14 @@ func run() error {
 	fmt.Printf("published=%d delivered=%d (stalled: SHB down)\n", published.Load(), total())
 
 	fmt.Println("\n== SHB restart from persistent state; subscribers reconnect ==")
-	shb2, err := repro.StartBroker(shbCfg)
+	shb2, err := repro.StartBroker(context.Background(), shbCfg)
 	if err != nil {
 		return err
 	}
 	defer shb2.Close() //nolint:errcheck
 	for _, s := range subs {
 		for {
-			if err := s.Connect(net, "shb"); err == nil {
+			if err := s.Connect(context.Background(), net, "shb"); err == nil {
 				break
 			}
 			time.Sleep(5 * time.Millisecond)

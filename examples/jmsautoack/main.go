@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func run() error {
 	defer os.RemoveAll(dir) //nolint:errcheck
 
 	net := repro.NewInprocNetwork(0)
-	b, err := repro.StartBroker(repro.BrokerConfig{
+	b, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name: "node1", DataDir: filepath.Join(dir, "node1"), Transport: net,
 		ListenAddr: "node1", HostedPubends: []repro.PubendConfig{{ID: 1}},
 		EnableSHB: true, AllPubends: []repro.PubendID{1},
@@ -86,7 +87,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		if err := sub.Connect(net, "node1"); err != nil {
+		if err := sub.Connect(context.Background(), net, "node1"); err != nil {
 			return err
 		}
 		ac := jms.NewAutoAckConsumer(sub, store)
@@ -96,7 +97,7 @@ func run() error {
 	}
 
 	// A constant-rate publisher.
-	pub, err := client.NewPublisher(net, "node1", "jms-demo")
+	pub, err := client.NewPublisher(context.Background(), net, "node1", "jms-demo")
 	if err != nil {
 		return err
 	}

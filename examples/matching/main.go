@@ -25,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -48,7 +49,7 @@ func run() error {
 	defer os.RemoveAll(dir) //nolint:errcheck
 
 	net := repro.NewInprocNetwork(0)
-	phb, err := repro.StartBroker(repro.BrokerConfig{
+	phb, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:          "phb",
 		DataDir:       filepath.Join(dir, "phb"),
 		Transport:     net,
@@ -60,7 +61,7 @@ func run() error {
 		return err
 	}
 	defer phb.Close() //nolint:errcheck
-	mid, err := repro.StartBroker(repro.BrokerConfig{
+	mid, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name: "mid", Transport: net, ListenAddr: "mid", UpstreamAddr: "phb",
 		TickInterval: 2 * time.Millisecond,
 		// MatchEngine: "linear" would switch this broker's per-link
@@ -70,7 +71,7 @@ func run() error {
 		return err
 	}
 	defer mid.Close() //nolint:errcheck
-	edge, err := repro.StartBroker(repro.BrokerConfig{
+	edge, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:         "edge",
 		DataDir:      filepath.Join(dir, "edge"),
 		Transport:    net,
@@ -93,7 +94,7 @@ func run() error {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := s.Connect(net, "edge"); err != nil {
+		if err := s.Connect(context.Background(), net, "edge"); err != nil {
 			log.Fatal(err)
 		}
 		return s
@@ -114,7 +115,7 @@ func run() error {
 	}
 	report("three overlapping subs:")
 
-	pub, err := repro.NewPublisher(net, "phb", "feed")
+	pub, err := repro.NewPublisher(context.Background(), net, "phb", "feed")
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log"
@@ -36,7 +37,7 @@ func run() error {
 	// A PHB hosting pubend 1 and an SHB below it, both with an admin
 	// endpoint on an ephemeral loopback port.
 	net := repro.NewInprocNetwork(0)
-	phb, err := repro.StartBroker(repro.BrokerConfig{
+	phb, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:          "phb",
 		DataDir:       filepath.Join(dir, "phb"),
 		Transport:     net,
@@ -49,7 +50,7 @@ func run() error {
 		return err
 	}
 	defer phb.Close() //nolint:errcheck
-	shb, err := repro.StartBroker(repro.BrokerConfig{
+	shb, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:         "shb",
 		DataDir:      filepath.Join(dir, "shb"),
 		Transport:    net,
@@ -67,7 +68,7 @@ func run() error {
 	fmt.Printf("admin endpoints: phb=http://%s shb=http://%s\n", phb.AdminAddr(), shb.AdminAddr())
 
 	// Drive some traffic: 200 matching orders, 100 filtered ones.
-	pub, err := repro.NewPublisher(net, "phb", "obs-pub")
+	pub, err := repro.NewPublisher(context.Background(), net, "phb", "obs-pub")
 	if err != nil {
 		return err
 	}
@@ -80,7 +81,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sub.Connect(net, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), net, "shb"); err != nil {
 		return err
 	}
 	defer sub.Disconnect() //nolint:errcheck

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,7 +31,7 @@ func run() error {
 	// One broker playing both roles: it hosts pubend 1 (PHB) and durable
 	// subscribers (SHB).
 	net := repro.NewInprocNetwork(0)
-	b, err := repro.StartBroker(repro.BrokerConfig{
+	b, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:          "node1",
 		DataDir:       dir,
 		Transport:     net,
@@ -45,7 +46,7 @@ func run() error {
 	}
 	defer b.Close() //nolint:errcheck
 
-	pub, err := repro.NewPublisher(net, "node1", "quickstart-pub")
+	pub, err := repro.NewPublisher(context.Background(), net, "node1", "quickstart-pub")
 	if err != nil {
 		return err
 	}
@@ -60,7 +61,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sub.Connect(net, "node1"); err != nil {
+	if err := sub.Connect(context.Background(), net, "node1"); err != nil {
 		return err
 	}
 
@@ -93,7 +94,7 @@ func run() error {
 	order(300)
 
 	fmt.Println("== reconnected: exactly-once catchup ==")
-	if err := sub.Connect(net, "node1"); err != nil {
+	if err := sub.Connect(context.Background(), net, "node1"); err != nil {
 		return err
 	}
 	defer sub.Disconnect() //nolint:errcheck

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -32,7 +33,7 @@ func run() error {
 	defer os.RemoveAll(dir) //nolint:errcheck
 
 	net := repro.NewInprocNetwork(0)
-	phb, err := repro.StartBroker(repro.BrokerConfig{
+	phb, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name: "phb", DataDir: filepath.Join(dir, "phb"), Transport: net,
 		ListenAddr: "phb", HostedPubends: []repro.PubendConfig{{ID: 1}},
 		TickInterval: 2 * time.Millisecond,
@@ -43,7 +44,7 @@ func run() error {
 	defer phb.Close() //nolint:errcheck
 	var edges []*repro.Broker
 	for _, name := range []string{"edge-east", "edge-west"} {
-		b, err := repro.StartBroker(repro.BrokerConfig{
+		b, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 			Name: name, DataDir: filepath.Join(dir, name), Transport: net,
 			ListenAddr: name, UpstreamAddr: "phb",
 			EnableSHB: true, AllPubends: []repro.PubendID{1},
@@ -56,7 +57,7 @@ func run() error {
 		edges = append(edges, b)
 	}
 
-	pub, err := repro.NewPublisher(net, "phb", "feed")
+	pub, err := repro.NewPublisher(context.Background(), net, "phb", "feed")
 	if err != nil {
 		return err
 	}
@@ -78,7 +79,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := sub.Connect(net, "edge-east"); err != nil {
+	if err := sub.Connect(context.Background(), net, "edge-east"); err != nil {
 		return err
 	}
 	fmt.Println("subscriber attached at edge-east")
@@ -101,7 +102,7 @@ func run() error {
 
 	// ...and reattaches at edge-west, which has never seen it. The missed
 	// interval is recovered from the PHB and refiltered there.
-	if err := sub.Connect(net, "edge-west"); err != nil {
+	if err := sub.Connect(context.Background(), net, "edge-west"); err != nil {
 		return err
 	}
 	defer sub.Disconnect() //nolint:errcheck

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -39,7 +40,7 @@ func run() error {
 
 	net := repro.NewInprocNetwork(0)
 	// The PHB: orders are logged exactly once, here.
-	phb, err := repro.StartBroker(repro.BrokerConfig{
+	phb, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name:          "phb",
 		DataDir:       filepath.Join(dir, "phb"),
 		Transport:     net,
@@ -52,7 +53,7 @@ func run() error {
 	}
 	defer phb.Close() //nolint:errcheck
 	// An intermediate broker: caches, filters per edge, consolidates.
-	mid, err := repro.StartBroker(repro.BrokerConfig{
+	mid, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 		Name: "mid", Transport: net, ListenAddr: "mid", UpstreamAddr: "phb",
 		TickInterval: 2 * time.Millisecond,
 	})
@@ -61,7 +62,7 @@ func run() error {
 	}
 	defer mid.Close() //nolint:errcheck
 	for _, site := range []string{"siteA", "siteB"} {
-		b, err := repro.StartBroker(repro.BrokerConfig{
+		b, err := repro.StartBroker(context.Background(), repro.BrokerConfig{
 			Name:         site,
 			DataDir:      filepath.Join(dir, site),
 			Transport:    net,
@@ -84,7 +85,7 @@ func run() error {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := s.Connect(net, site); err != nil {
+		if err := s.Connect(context.Background(), net, site); err != nil {
 			log.Fatal(err)
 		}
 		return s
@@ -95,7 +96,7 @@ func run() error {
 	defer execution.Disconnect()                          //nolint:errcheck
 	defer risk.Disconnect()                               //nolint:errcheck
 
-	pub, err := repro.NewPublisher(net, "phb", "order-gateway")
+	pub, err := repro.NewPublisher(context.Background(), net, "phb", "order-gateway")
 	if err != nil {
 		return err
 	}
@@ -150,7 +151,7 @@ func run() error {
 	report()
 
 	fmt.Println("\n== phase 3: site B recovers; archiver catches up exactly once ==")
-	if err := archiver.Connect(net, "siteB"); err != nil {
+	if err := archiver.Connect(context.Background(), net, "siteB"); err != nil {
 		return err
 	}
 	defer archiver.Disconnect() //nolint:errcheck

@@ -5,10 +5,12 @@
 // logging each event only once system-wide, at the publisher hosting
 // broker.
 //
-// The root package is the public facade. A minimal deployment:
+// The root package is the public facade. Constructors are context-first
+// and options-last. A minimal deployment:
 //
+//	ctx := context.Background()
 //	net := repro.NewInprocNetwork(0)
-//	b, _ := repro.StartBroker(repro.BrokerConfig{
+//	b, _ := repro.StartBroker(context.Background(), ctx, repro.BrokerConfig{
 //		Name:       "node1",
 //		DataDir:    "/tmp/node1",
 //		Transport:  net,
@@ -19,12 +21,12 @@
 //	})
 //	defer b.Close()
 //
-//	pub, _ := repro.NewPublisher(net, "node1", "my-app")
+//	pub, _ := repro.NewPublisher(context.Background(), ctx, net, "node1", "my-app")
 //	sub, _ := repro.NewDurableSubscriber(repro.SubscriberOptions{
 //		ID:     1,
 //		Filter: `topic = "orders" and qty > 100`,
 //	})
-//	_ = sub.Connect(net, "node1")
+//	_ = sub.Connect(ctx, net, "node1")
 //
 //	_, _, _ = pub.Publish(repro.Event{
 //		Attrs:   repro.Attributes{"topic": repro.String("orders"), "qty": repro.Int(500)},
@@ -52,6 +54,7 @@ import (
 	"repro/internal/message"
 	"repro/internal/overlay"
 	"repro/internal/pubend"
+	"repro/internal/repair"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/vtime"
@@ -199,7 +202,8 @@ type (
 )
 
 // StartBroker opens the broker's persistent state, joins the overlay, and
-// starts serving. Close (clean) or Crash (failure simulation) stop it;
+// starts serving; the initial upstream dial (and any admin bring-up) is
+// bounded by ctx. Close (clean) or Crash (failure simulation) stop it;
 // Broker.Shutdown drains in-flight publishes first.
 //
 // Setting BrokerConfig.AdminAddr (e.g. "127.0.0.1:9090", or "127.0.0.1:0"
@@ -215,13 +219,49 @@ type (
 // holds across any sequence of these calls — the recovery protocol replays
 // whatever the move left outstanding through the new path. See DESIGN.md
 // §2.11 for the membership state machine.
-func StartBroker(cfg BrokerConfig) (*Broker, error) { return broker.New(cfg) }
+//
+// Self-healing topology: setting BrokerConfig.Parents (candidate parents
+// in preference order) together with FailoverAfter arms automatic
+// fail-over — when the upstream link stays down past the threshold the
+// broker re-parents itself to the best live candidate, loop-free even
+// when whole subtrees are orphaned together, and with PreferPrimary
+// returns to the original parent when it recovers. Broker.Parents,
+// Broker.TreeInfo, and Broker.RepairStats observe it; /healthz notes
+// "failed over to X" while the substitute link is in use. See DESIGN.md
+// §2.12 for the fail-over state machine.
+func StartBroker(ctx context.Context, cfg BrokerConfig) (*Broker, error) {
+	return broker.NewContext(ctx, cfg)
+}
 
-// StartBrokerContext is StartBroker with the initial upstream dial (and any
-// admin bring-up) bounded by ctx.
+// StartBrokerContext is StartBroker.
+//
+// Deprecated: StartBroker is context-first now; call it directly.
 func StartBrokerContext(ctx context.Context, cfg BrokerConfig) (*Broker, error) {
 	return broker.NewContext(ctx, cfg)
 }
+
+// Self-healing fail-over types (see BrokerConfig.Parents and DESIGN.md
+// §2.12). A broker with candidate parents and FailoverAfter set repairs
+// its own position in the tree when its upstream dies: Broker.Parents
+// reports the candidate states (also surfaced as pseudo-entries in
+// Broker.Health — IsCandidateLink tells them apart from real links),
+// Broker.TreeInfo the advertised tree position, and Broker.RepairStats
+// the fail-over/fail-back counts and per-repair durations.
+type (
+	// TreeInfo is a broker's advertised tree position: root name, root
+	// epoch, and depth below the root.
+	TreeInfo = repair.TreeInfo
+	// CandidateStatus is one candidate parent's probe state, as returned
+	// by Broker.Parents.
+	CandidateStatus = repair.CandidateStatus
+	// RepairStats summarizes a broker's automatic repair history.
+	RepairStats = repair.Stats
+)
+
+// IsCandidateLink reports whether a Broker.Health entry is a candidate
+// parent probe (named "<broker>/candidate/<addr>") rather than a real
+// overlay link.
+func IsCandidateLink(st LinkStatus) bool { return broker.IsCandidateLink(st) }
 
 // Declarative topology types: one spec surface shared by cmd/broker
 // (flags), cmd/cluster (JSON file + timed mutations), and the experiment
@@ -278,13 +318,34 @@ const (
 	ConnUp = client.ConnUp
 )
 
-// NewPublisher connects a publisher to the broker at addr.
-func NewPublisher(t Transport, addr, name string) (*Publisher, error) {
-	return client.NewPublisher(t, addr, name)
+// PublisherOption is one functional option for NewPublisher.
+type PublisherOption = client.PublisherOption
+
+// Publisher options for NewPublisher (options-last surface).
+var (
+	// WithPublisherOptions overlays a whole PublisherOptions struct.
+	WithPublisherOptions = client.WithOptions
+	// WithDialTimeout bounds the connection attempt (and each supervised
+	// reconnect).
+	WithDialTimeout = client.WithDialTimeout
+	// WithAutoReconnect keeps the publisher alive through link failures,
+	// redialing with capped exponential backoff.
+	WithAutoReconnect = client.WithAutoReconnect
+	// WithConnChange observes every publisher link transition.
+	WithConnChange = client.WithConnChange
+)
+
+// NewPublisher connects a publisher to the broker at addr; the initial
+// dial is bounded by ctx. Behavior options (dial timeout, supervised
+// auto-reconnect, connectivity callbacks) come last.
+func NewPublisher(ctx context.Context, t Transport, addr, name string, opts ...PublisherOption) (*Publisher, error) {
+	return client.NewPublisher(ctx, t, addr, name, opts...)
 }
 
-// NewPublisherWithOptions is NewPublisher with explicit options (dial
-// timeout, supervised auto-reconnect, connectivity callbacks).
+// NewPublisherWithOptions is NewPublisher with struct options.
+//
+// Deprecated: use NewPublisher with WithPublisherOptions (or the
+// individual With... options).
 func NewPublisherWithOptions(t Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
 	return client.NewPublisherOpts(t, addr, name, opts)
 }

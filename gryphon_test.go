@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -12,7 +13,7 @@ import (
 // reconnect, and receive them exactly once.
 func TestPublicAPIQuickstart(t *testing.T) {
 	net := NewInprocNetwork(0)
-	b, err := StartBroker(BrokerConfig{
+	b, err := StartBroker(context.Background(), BrokerConfig{
 		Name:          "node1",
 		DataDir:       filepath.Join(t.TempDir(), "node1"),
 		Transport:     net,
@@ -27,7 +28,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	defer b.Close() //nolint:errcheck
 
-	pub, err := NewPublisher(net, "node1", "quickstart")
+	pub, err := NewPublisher(context.Background(), net, "node1", "quickstart")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(net, "node1"); err != nil {
+	if err := sub.Connect(context.Background(), net, "node1"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -74,7 +75,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	}
 	missed := []Timestamp{publish(200), publish(300)}
 	publish(10) // filtered
-	if err := sub.Connect(net, "node1"); err != nil {
+	if err := sub.Connect(context.Background(), net, "node1"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -119,7 +120,7 @@ func TestPublicAPIFilterParsing(t *testing.T) {
 // TestPublicAPITCPDeployment runs the quickstart over real TCP sockets.
 func TestPublicAPITCPDeployment(t *testing.T) {
 	var transport TCPTransport
-	b, err := StartBroker(BrokerConfig{
+	b, err := StartBroker(context.Background(), BrokerConfig{
 		Name:          "tcp-node",
 		DataDir:       filepath.Join(t.TempDir(), "node"),
 		Transport:     transport,
@@ -136,7 +137,7 @@ func TestPublicAPITCPDeployment(t *testing.T) {
 	// facade; re-start on a likely-free fixed port instead.
 	b.Close() //nolint:errcheck
 	addr := "127.0.0.1:39417"
-	b, err = StartBroker(BrokerConfig{
+	b, err = StartBroker(context.Background(), BrokerConfig{
 		Name:          "tcp-node",
 		DataDir:       filepath.Join(t.TempDir(), "node2"),
 		Transport:     transport,
@@ -151,7 +152,7 @@ func TestPublicAPITCPDeployment(t *testing.T) {
 	}
 	defer b.Close() //nolint:errcheck
 
-	pub, err := NewPublisher(transport, addr, "tcp-pub")
+	pub, err := NewPublisher(context.Background(), transport, addr, "tcp-pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestPublicAPITCPDeployment(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(transport, addr); err != nil {
+	if err := sub.Connect(context.Background(), transport, addr); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -180,5 +181,57 @@ func TestPublicAPITCPDeployment(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("no delivery over TCP")
+	}
+}
+
+// TestPublicAPIDeprecatedFacade pins the pre-context-first entry points:
+// StartBrokerContext, NewPublisherWithOptions and ConnectContext must keep
+// working verbatim for existing callers while the primary names are
+// context-first.
+func TestPublicAPIDeprecatedFacade(t *testing.T) {
+	net := NewInprocNetwork(0)
+	b, err := StartBrokerContext(context.Background(), BrokerConfig{
+		Name:          "legacy",
+		DataDir:       filepath.Join(t.TempDir(), "legacy"),
+		Transport:     net,
+		ListenAddr:    "legacy",
+		HostedPubends: []PubendConfig{{ID: 1}},
+		EnableSHB:     true,
+		AllPubends:    []PubendID{1},
+		TickInterval:  2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close() //nolint:errcheck
+
+	pub, err := NewPublisherWithOptions(net, "legacy", "old-caller", PublisherOptions{
+		DialTimeout: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pub.Close() //nolint:errcheck
+
+	sub, err := NewDurableSubscriber(SubscriberOptions{
+		ID:          7,
+		Filter:      `true`,
+		AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.ConnectContext(context.Background(), net, "legacy"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	_, want, err := pub.Publish(Event{Attrs: Attributes{"k": Int(1)}, Payload: []byte("x")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := <-sub.Deliveries()
+	if d.Kind != DeliverEvent || d.Timestamp != want {
+		t.Fatalf("delivery = %+v, want event @%d", d, want)
 	}
 }

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"path/filepath"
@@ -69,7 +70,7 @@ func TestAdminEndpoint(t *testing.T) {
 	}
 
 	// Drive traffic and watch it in /metrics.
-	p, err := client.NewPublisher(netw, "badmin", "adm-pub")
+	p, err := client.NewPublisher(context.Background(), netw, "badmin", "adm-pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestAdminEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "badmin"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "badmin"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck

@@ -37,6 +37,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/overlay"
 	"repro/internal/pfs"
 	"repro/internal/pubend"
+	"repro/internal/repair"
 	"repro/internal/ringq"
 	"repro/internal/telemetry"
 	"repro/internal/tick"
@@ -110,6 +112,24 @@ type Config struct {
 	// is never purged — only Leave triggers this). Zero means 250ms;
 	// negative means purge immediately (tests).
 	LeaveGrace time.Duration
+	// Parents is the ordered candidate-parent address list for automatic
+	// fail-over: when the upstream link stays down past FailoverAfter the
+	// broker re-parents itself to the first live, loop-safe candidate
+	// (see internal/repair). Empty disables automatic fail-over.
+	Parents []string
+	// FailoverAfter is how long the upstream link must stay down before
+	// automatic fail-over triggers. Zero disables automatic fail-over
+	// even when Parents is set.
+	FailoverAfter time.Duration
+	// FailoverHolddown is the minimum spacing between repair-driven
+	// re-parents, damping flaps on a blinking link (0 = 4×FailoverAfter).
+	FailoverHolddown time.Duration
+	// PreferPrimary re-adopts the operator-intended parent once it is
+	// reachable and loop-safe again.
+	PreferPrimary bool
+	// FailoverSeed seeds the fail-over jitter so sibling schedules
+	// decorrelate deterministically (0 = hash of Name).
+	FailoverSeed int64
 	// HostedPubends are the pubends this broker hosts (PHB role).
 	HostedPubends []PubendConfig
 	// AllPubends is the system-wide pubend set (required when EnableSHB).
@@ -205,6 +225,19 @@ type Broker struct {
 	upSup      atomic.Pointer[overlay.Supervisor]
 	pendingSup atomic.Pointer[overlay.Supervisor]
 	memberMu   sync.Mutex
+
+	// tree is the broker's advertised position in the overlay (read by
+	// Hello replies, probes, and the repair monitor); treeMu serializes
+	// updates and guards epochHigh, the highest root epoch ever seen
+	// (becomeRoot mints past it). See internal/repair and DESIGN §2.12.
+	tree      atomic.Pointer[repair.TreeInfo]
+	treeMu    sync.Mutex
+	epochHigh uint64
+
+	// repairMon, when non-nil, watches the upstream link and drives
+	// automatic fail-over/fail-back (Config.Parents + FailoverAfter).
+	// Assigned before any goroutine starts; stopped first in shutdown.
+	repairMon *repair.Monitor
 
 	// pubInflight counts publishes accepted but not yet durably logged
 	// (acked); Shutdown drains it before closing volumes.
@@ -445,6 +478,15 @@ func NewContext(ctx context.Context, cfg Config) (*Broker, error) {
 		pubends:  make(map[vtime.PubendID]*pubend.Pubend),
 	}
 	b.downsSnap.Store(&[]*downLink{})
+	// Seed the advertised tree position: a root knows it is one (epoch 1);
+	// a broker with an upstream learns its position from the parent's
+	// Hello reply (learnTreeInfo).
+	if cfg.UpstreamAddr == "" {
+		b.epochHigh = 1
+		b.tree.Store(&repair.TreeInfo{Known: true, Root: cfg.Name, Epoch: 1})
+	} else {
+		b.tree.Store(&repair.TreeInfo{})
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		b.shards = append(b.shards, newShard(i))
 	}
@@ -474,6 +516,20 @@ func NewContext(ctx context.Context, cfg Config) (*Broker, error) {
 		b.closeState()
 		return nil, err
 	}
+	// Build (but don't start) the repair monitor before the admin endpoint
+	// goes live: its health note reads b.repairMon, so the field must be
+	// settled before any concurrent reader exists.
+	if cfg.FailoverAfter > 0 && len(cfg.Parents) > 0 {
+		b.repairMon = repair.NewMonitor(repair.Config{
+			Node:          repairNode{b},
+			Primary:       cfg.UpstreamAddr,
+			Candidates:    cfg.Parents,
+			FailoverAfter: cfg.FailoverAfter,
+			Holddown:      cfg.FailoverHolddown,
+			PreferPrimary: cfg.PreferPrimary,
+			Seed:          cfg.FailoverSeed,
+		})
+	}
 	if err := b.startAdmin(); err != nil {
 		if b.listener != nil {
 			b.listener.Close() //nolint:errcheck,gosec // failed-start cleanup
@@ -488,6 +544,9 @@ func NewContext(ctx context.Context, cfg Config) (*Broker, error) {
 		go sh.loop()
 	}
 	go b.tickLoop()
+	if b.repairMon != nil {
+		b.repairMon.Start()
+	}
 	if b.admin != nil {
 		b.admin.SetReady(true)
 	}
@@ -532,10 +591,28 @@ func (b *Broker) startAdmin() error {
 		}
 		st := sup.Status()
 		if st.State != overlay.LinkUp {
+			if b.repairMon != nil {
+				return fmt.Errorf("upstream link %s for %s (retries=%d, last error: %s; failover armed over %d candidates)",
+					st.State, st.DownFor.Round(time.Millisecond), st.Retries, st.LastError, len(b.cfg.Parents))
+			}
 			return fmt.Errorf("upstream link %s (retries=%d, last error: %s)",
 				st.State, st.Retries, st.LastError)
 		}
 		return nil
+	})
+	// A failed-over broker is healthy — its link is up, just not to the
+	// operator-intended parent — so /healthz stays 200 and reports the
+	// substitution as a note instead of a bare 503.
+	srv.RegisterNote(prefix+"/upstream", func() string {
+		mon := b.repairMon
+		if mon == nil {
+			return ""
+		}
+		cur, pri := b.UpstreamAddr(), mon.Primary()
+		if pri == "" || cur == "" || cur == pri {
+			return ""
+		}
+		return fmt.Sprintf("failed over to %s (primary %s)", cur, pri)
 	})
 	return nil
 }
@@ -711,8 +788,10 @@ func (b *Broker) upstreamUp(sup *overlay.Supervisor, conn overlay.Conn) error {
 	}
 	// fromUpstream routes each message to its pubend's shard itself;
 	// the upstream dispatch goroutine pushes in receive order, so
-	// per-pubend FIFO is preserved shard-side.
-	conn.Start(b.fromUpstream)
+	// per-pubend FIFO is preserved shard-side. The supervisor rides along
+	// so control messages (the parent's tree-position Hello) can be
+	// rejected once this link is retired by a re-parent.
+	conn.Start(func(m message.Message) { b.fromUpstream(sup, m) })
 	b.resyncUpstream(conn)
 	return nil
 }
@@ -786,14 +865,39 @@ func (b *Broker) upSend(m message.Message) {
 	}
 }
 
-// Health reports the state of the broker's supervised links — currently
-// the upstream link; a root broker reports none.
+// Health reports the state of the broker's supervised links: the
+// upstream link (absent for a root) followed, when automatic fail-over is
+// configured, by one pseudo-entry per candidate parent named
+// "<broker>/candidate/<addr>" whose state reflects the last probe (Up =
+// reachable). Callers that only care about real links filter by
+// IsCandidateLink.
 func (b *Broker) Health() []overlay.LinkStatus {
-	sup := b.upSup.Load()
-	if sup == nil {
-		return nil
+	var hs []overlay.LinkStatus
+	if sup := b.upSup.Load(); sup != nil {
+		hs = append(hs, sup.Status())
 	}
-	return []overlay.LinkStatus{sup.Status()}
+	if b.repairMon != nil {
+		for _, c := range b.repairMon.Candidates() {
+			st := overlay.LinkStatus{
+				Name:      b.cfg.Name + "/candidate/" + c.Addr,
+				Addr:      c.Addr,
+				State:     overlay.LinkDown,
+				Since:     c.LastProbe,
+				LastError: c.LastError,
+			}
+			if c.Alive {
+				st.State = overlay.LinkUp
+			}
+			hs = append(hs, st)
+		}
+	}
+	return hs
+}
+
+// IsCandidateLink reports whether a Health() entry is a candidate-parent
+// pseudo-entry rather than a real supervised link.
+func IsCandidateLink(st overlay.LinkStatus) bool {
+	return strings.Contains(st.Name, "/candidate/")
 }
 
 // accept classifies and starts an inbound connection.
@@ -893,6 +997,13 @@ func (b *Broker) Crash() { b.shutdown() }
 // then closes every shard queue; queued tasks drain before the loops exit
 // (taskQueue.pop keeps returning items after close until empty).
 func (b *Broker) shutdown() {
+	// Stop the repair monitor before taking memberMu: an in-flight
+	// repair-driven re-parent completes (or fails against closed) and no
+	// further one can start, so the supervisor swap below can't race a
+	// monitor installing a fresh link.
+	if b.repairMon != nil {
+		b.repairMon.Stop()
+	}
 	// Retire the supervisors under memberMu so a concurrent SetUpstream
 	// either completes before the swap or observes closed and refuses.
 	b.memberMu.Lock()

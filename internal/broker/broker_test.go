@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"fmt"
 	"path/filepath"
 	"testing"
@@ -140,7 +141,7 @@ func assertTimestamps(t *testing.T, evs []*message.Event, want []stamp) {
 
 func TestSingleBrokerPubSub(t *testing.T) {
 	netw, _ := net1(t, 1)
-	p, err := client.NewPublisher(netw, "b1", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "b1", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestSingleBrokerPubSub(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "b1"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -177,7 +178,7 @@ func TestTwoBrokerDisconnectReconnect(t *testing.T) {
 		AllPubends: []vtime.PubendID{1, 2},
 	}, 0, nil)
 
-	p, err := client.NewPublisher(netw, "phb", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "phb", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestTwoBrokerDisconnectReconnect(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -202,7 +203,7 @@ func TestTwoBrokerDisconnectReconnect(t *testing.T) {
 	phase2 := pub(t, p, "a", 20)
 	time.Sleep(20 * time.Millisecond) // let the SHB consume while sub is away
 
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -235,7 +236,7 @@ func TestFiveBrokerChainLatencyPath(t *testing.T) {
 		UpstreamAddr: "i3", EnableSHB: true, AllPubends: []vtime.PubendID{1},
 	}, 0, nil)
 
-	p, err := client.NewPublisher(netw, "phb", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "phb", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestFiveBrokerChainLatencyPath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -260,7 +261,7 @@ func TestFiveBrokerChainLatencyPath(t *testing.T) {
 	sub.Disconnect() //nolint:errcheck
 	missed := pub(t, p, "a", 25)
 	time.Sleep(20 * time.Millisecond)
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	got = collectEvents(t, sub, 25)
@@ -281,7 +282,7 @@ func TestFanoutTwoSHBs(t *testing.T) {
 			UpstreamAddr: "mid", EnableSHB: true, AllPubends: []vtime.PubendID{1},
 		}, 0, nil)
 	}
-	p, err := client.NewPublisher(netw, "phb", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "phb", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -297,7 +298,7 @@ func TestFanoutTwoSHBs(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Connect(netw, shb); err != nil {
+		if err := s.Connect(context.Background(), netw, shb); err != nil {
 			t.Fatal(err)
 		}
 		subs = append(subs, s)
@@ -333,7 +334,7 @@ func TestSHBCrashRecoveryEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	p, err := client.NewPublisher(netw, "phb", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "phb", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +345,7 @@ func TestSHBCrashRecoveryEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -367,7 +368,7 @@ func TestSHBCrashRecoveryEndToEnd(t *testing.T) {
 	defer shb2.Close() //nolint:errcheck
 	deadline := time.Now().Add(5 * time.Second)
 	for {
-		if err := sub.Connect(netw, "shb"); err == nil {
+		if err := sub.Connect(context.Background(), netw, "shb"); err == nil {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -394,7 +395,7 @@ func TestSHBCrashRecoveryEndToEnd(t *testing.T) {
 
 func TestReleaseReachesPubend(t *testing.T) {
 	netw, b := net1(t, 1)
-	p, err := client.NewPublisher(netw, "b1", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "b1", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -405,7 +406,7 @@ func TestReleaseReachesPubend(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "b1"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -442,7 +443,7 @@ func TestEarlyReleaseGapEndToEnd(t *testing.T) {
 		EventCacheSize: 4,
 	}, 1, pol)
 
-	p, err := client.NewPublisher(netw, "b1", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "b1", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,7 +456,7 @@ func TestEarlyReleaseGapEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := live.Connect(netw, "b1"); err != nil {
+	if err := live.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	defer live.Disconnect() //nolint:errcheck
@@ -466,7 +467,7 @@ func TestEarlyReleaseGapEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := lagging.Connect(netw, "b1"); err != nil {
+	if err := lagging.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	if err := lagging.Disconnect(); err != nil {
@@ -484,7 +485,7 @@ func TestEarlyReleaseGapEndToEnd(t *testing.T) {
 	pub(t, p, "a", 1) // advance T(p) and trigger policy evaluation
 	time.Sleep(20 * time.Millisecond)
 
-	if err := lagging.Connect(netw, "b1"); err != nil {
+	if err := lagging.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	defer lagging.Disconnect() //nolint:errcheck
@@ -512,7 +513,7 @@ func TestPublishToNonPHBRejected(t *testing.T) {
 		Name: "shb-only", DataDir: filepath.Join(t.TempDir(), "s"), ListenAddr: "s",
 		EnableSHB: true, AllPubends: []vtime.PubendID{1},
 	}, 0, nil)
-	p, err := client.NewPublisher(netw, "s", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "s", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -531,7 +532,7 @@ func TestSubscribeToNonSHBRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "p"); err == nil {
+	if err := sub.Connect(context.Background(), netw, "p"); err == nil {
 		t.Error("subscribe to non-SHB succeeded")
 		sub.Disconnect() //nolint:errcheck
 	}
@@ -569,7 +570,7 @@ func TestBrokerDoubleCloseAndCrash(t *testing.T) {
 func TestClientCTPersistence(t *testing.T) {
 	netw, _ := net1(t, 1)
 	ctPath := filepath.Join(t.TempDir(), "sub.ct")
-	p, err := client.NewPublisher(netw, "b1", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "b1", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -581,7 +582,7 @@ func TestClientCTPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "b1"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	want := pub(t, p, "a", 10)
@@ -601,7 +602,7 @@ func TestClientCTPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub2.Connect(netw, "b1"); err != nil {
+	if err := sub2.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub2.Disconnect() //nolint:errcheck
@@ -625,7 +626,7 @@ func TestReconnectAnywhere(t *testing.T) {
 			UpstreamAddr: "phb", EnableSHB: true, AllPubends: []vtime.PubendID{1},
 		}, 0, nil)
 	}
-	p, err := client.NewPublisher(netw, "phb", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "phb", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -637,7 +638,7 @@ func TestReconnectAnywhere(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shbA"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shbA"); err != nil {
 		t.Fatal(err)
 	}
 	phase1 := pub(t, p, "a", 10)
@@ -656,7 +657,7 @@ func TestReconnectAnywhere(t *testing.T) {
 	time.Sleep(30 * time.Millisecond)
 
 	// Reconnect at shbB, which has never seen this subscriber.
-	if err := sub.Connect(netw, "shbB"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shbB"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -673,7 +674,7 @@ func TestReconnectAnywhere(t *testing.T) {
 
 func TestUnsubscribeEndToEnd(t *testing.T) {
 	netw, b := net1(t, 1)
-	p, err := client.NewPublisher(netw, "b1", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "b1", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -686,7 +687,7 @@ func TestUnsubscribeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := consumer.Connect(netw, "b1"); err != nil {
+	if err := consumer.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	defer consumer.Disconnect() //nolint:errcheck
@@ -696,7 +697,7 @@ func TestUnsubscribeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := hoarder.Connect(netw, "b1"); err != nil {
+	if err := hoarder.Connect(context.Background(), netw, "b1"); err != nil {
 		t.Fatal(err)
 	}
 	go func() {

@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -59,7 +60,7 @@ func TestCoveringShrinksUpstreamAnnouncements(t *testing.T) {
 		UpstreamAddr: "top", EnableSHB: true,
 	}, 0, nil)
 
-	p, err := client.NewPublisher(netw, "top", "cpub")
+	p, err := client.NewPublisher(context.Background(), netw, "top", "cpub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func TestCoveringShrinksUpstreamAnnouncements(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := s.Connect(netw, "mid"); err != nil {
+		if err := s.Connect(context.Background(), netw, "mid"); err != nil {
 			t.Fatal(err)
 		}
 		t.Cleanup(func() { s.Disconnect() }) //nolint:errcheck

@@ -1,0 +1,191 @@
+package broker
+
+// Self-healing fail-over (DESIGN §2.12). The broker carries its advertised
+// tree position (repair.TreeInfo) and exchanges it over broker-to-broker
+// Hellos: a parent replies to every RoleBroker or RoleProbe Hello with an
+// Info-carrying Hello stating its own position, and re-advertises to all
+// downstream broker links whenever its position changes, so positions
+// flood down the tree. A position is trusted only for the link it was
+// learned on — learnTreeInfo is generation-guarded against retired
+// supervisors, and a probe reply reflects the candidate's state at probe
+// time. The repair.Monitor (started when Config.FailoverAfter and
+// Config.Parents are both set) polls the upstream link and drives
+// failoverTo — the make-before-break re-parent that, unlike the operator's
+// SetUpstream, does not move the preferred primary.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/repair"
+)
+
+// TreeInfo reports the broker's currently advertised tree position: root
+// name, root epoch, and depth below the root. Known is false while the
+// broker has an upstream configured but has not yet learned its position
+// from it.
+func (b *Broker) TreeInfo() repair.TreeInfo { return *b.tree.Load() }
+
+// treeHello builds the position-advertising Hello sent to downstream
+// brokers and probes.
+func (b *Broker) treeHello() *message.Hello {
+	ti := b.TreeInfo()
+	return &message.Hello{
+		Role:  message.RoleBroker,
+		Name:  b.cfg.Name,
+		Info:  ti.Known,
+		Root:  ti.Root,
+		Epoch: ti.Epoch,
+		Depth: ti.Depth,
+	}
+}
+
+// learnTreeInfo ingests the parent's position advertisement: this broker
+// sits one hop below whatever the parent advertised. Cascades to the
+// downstream links when the position changed. Callers have already
+// verified the advertisement arrived on the current (or pending) upstream
+// link.
+func (b *Broker) learnTreeInfo(h *message.Hello) {
+	ni := repair.TreeInfo{}
+	if h.Info {
+		ni = repair.TreeInfo{Known: true, Root: h.Root, Epoch: h.Epoch, Depth: h.Depth + 1}
+	}
+	b.treeMu.Lock()
+	if h.Epoch > b.epochHigh {
+		b.epochHigh = h.Epoch
+	}
+	changed := ni != *b.tree.Load()
+	if changed {
+		b.tree.Store(&ni)
+	}
+	b.treeMu.Unlock()
+	if changed {
+		b.cascadeTreeInfo()
+	}
+}
+
+// becomeRoot mints a fresh root position: the epoch advances past every
+// epoch this broker has ever seen, so positions learned under the old
+// incarnation are recognizably stale by the Adoptable rules.
+func (b *Broker) becomeRoot() {
+	b.treeMu.Lock()
+	b.epochHigh++
+	ni := repair.TreeInfo{Known: true, Root: b.cfg.Name, Epoch: b.epochHigh}
+	b.tree.Store(&ni)
+	b.treeMu.Unlock()
+	b.cascadeTreeInfo()
+}
+
+// cascadeTreeInfo re-advertises this broker's position to every
+// downstream broker link. The Hello is built on the control shard at
+// execution time, so back-to-back changes collapse to the latest.
+func (b *Broker) cascadeTreeInfo() {
+	b.control().push(func() {
+		hello := b.treeHello()
+		for _, link := range b.downs {
+			link.conn.Send(hello) //nolint:errcheck,gosec // dead links drop via OnClose
+		}
+	})
+}
+
+// ProbeParent transiently dials addr, sends a RoleProbe Hello, and
+// returns the remote broker's name and advertised tree position from its
+// reply. The connection is closed before returning and is never
+// registered as a downstream link on the remote side.
+func (b *Broker) ProbeParent(ctx context.Context, addr string) (string, repair.TreeInfo, error) {
+	conn, err := b.cfg.Transport.DialContext(ctx, addr)
+	if err != nil {
+		return "", repair.TreeInfo{}, err
+	}
+	defer conn.Close() //nolint:errcheck,gosec // transient probe
+	type reply struct {
+		name string
+		info repair.TreeInfo
+	}
+	got := make(chan reply, 1)
+	died := make(chan struct{}, 1)
+	conn.OnClose(func(error) {
+		select {
+		case died <- struct{}{}:
+		default:
+		}
+	})
+	conn.Start(func(m message.Message) {
+		if h, ok := m.(*message.Hello); ok {
+			select {
+			case got <- reply{h.Name, repair.TreeInfo{
+				Known: h.Info, Root: h.Root, Epoch: h.Epoch, Depth: h.Depth,
+			}}:
+			default:
+			}
+		}
+	})
+	if err := conn.Send(&message.Hello{Role: message.RoleProbe, Name: b.cfg.Name}); err != nil {
+		return "", repair.TreeInfo{}, err
+	}
+	select {
+	case r := <-got:
+		return r.name, r.info, nil
+	case <-died:
+		return "", repair.TreeInfo{}, fmt.Errorf("broker %s: probe %s: link closed before reply", b.cfg.Name, addr)
+	case <-ctx.Done():
+		return "", repair.TreeInfo{}, ctx.Err()
+	}
+}
+
+// failoverTo is the repair monitor's re-parent path: the same
+// make-before-break switch as SetUpstream, but the operator-intended
+// primary is left alone so PreferPrimary keeps pointing at the parent the
+// operator chose.
+func (b *Broker) failoverTo(ctx context.Context, addr string) error {
+	b.memberMu.Lock()
+	defer b.memberMu.Unlock()
+	if b.closed.Load() {
+		return fmt.Errorf("broker %s: closed", b.cfg.Name)
+	}
+	return b.setUpstreamLocked(ctx, addr)
+}
+
+// Parents reports the candidate-parent states in preference order (nil
+// when automatic fail-over is not configured).
+func (b *Broker) Parents() []repair.CandidateStatus {
+	if b.repairMon == nil {
+		return nil
+	}
+	return b.repairMon.Candidates()
+}
+
+// RepairStats reports the automatic repair history (zero value when
+// fail-over is not configured).
+func (b *Broker) RepairStats() repair.Stats {
+	if b.repairMon == nil {
+		return repair.Stats{}
+	}
+	return b.repairMon.Stats()
+}
+
+// repairNode adapts *Broker to the repair.Monitor's Node surface.
+type repairNode struct{ b *Broker }
+
+func (n repairNode) Name() string         { return n.b.cfg.Name }
+func (n repairNode) UpstreamAddr() string { return n.b.UpstreamAddr() }
+
+func (n repairNode) UpstreamStatus() (overlay.LinkStatus, bool) {
+	sup := n.b.upSup.Load()
+	if sup == nil {
+		return overlay.LinkStatus{}, false
+	}
+	return sup.Status(), true
+}
+
+func (n repairNode) Tree() repair.TreeInfo { return n.b.TreeInfo() }
+
+func (n repairNode) Probe(ctx context.Context, addr string) (string, repair.TreeInfo, error) {
+	return n.b.ProbeParent(ctx, addr)
+}
+
+func (n repairNode) Reparent(ctx context.Context, addr string) error {
+	return n.b.failoverTo(ctx, addr)
+}

@@ -1,0 +1,381 @@
+package broker
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/faultnet"
+	"repro/internal/overlay"
+	"repro/internal/vtime"
+)
+
+// startRelayFO starts a relay with automatic fail-over armed.
+func startRelayFO(t *testing.T, tr overlay.Transport, name, upstream string, parents []string, cfg Config) *Broker {
+	t.Helper()
+	cfg.Name = name
+	cfg.Transport = tr
+	cfg.ListenAddr = name
+	cfg.UpstreamAddr = upstream
+	cfg.Parents = parents
+	cfg.TickInterval = testTick
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 500 * time.Millisecond
+	}
+	if cfg.FailoverAfter == 0 {
+		cfg.FailoverAfter = 40 * time.Millisecond
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { b.Close() }) //nolint:errcheck
+	return b
+}
+
+// startSHBFO starts an SHB with automatic fail-over armed.
+func startSHBFO(t *testing.T, tr overlay.Transport, name, upstream string, parents []string, cfg Config) *Broker {
+	t.Helper()
+	cfg.DataDir = filepath.Join(t.TempDir(), name)
+	cfg.EnableSHB = true
+	cfg.AllPubends = []vtime.PubendID{1}
+	return startRelayFO(t, tr, name, upstream, parents, cfg)
+}
+
+func waitUpstream(t *testing.T, b *Broker, want string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if b.UpstreamAddr() == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("broker %s: upstream = %q, want %q (tree=%+v)", b.Name(), b.UpstreamAddr(), want, b.TreeInfo())
+}
+
+func waitTreeDepth(t *testing.T, b *Broker, want uint32) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if ti := b.TreeInfo(); ti.Known && ti.Depth == want {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("broker %s: tree = %+v, want depth %d", b.Name(), b.TreeInfo(), want)
+}
+
+// The basic promise: when the SHB's parent dies and stays dead, the SHB
+// adopts its candidate parent on its own — no operator SetUpstream — and
+// the exactly-once delivery contract carries across the repair.
+func TestAutomaticFailover(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startBroker(t, netw, Config{
+		Name:       "fophb",
+		DataDir:    filepath.Join(t.TempDir(), "fophb"),
+		ListenAddr: "fophb",
+	}, 1, nil)
+	mid1 := startRelayThrough(t, netw, "fomid1", "fophb")
+	startRelayThrough(t, netw, "fomid2", "fophb")
+	shb := startSHBFO(t, netw, "foshb", "fomid1", []string{"fomid2"}, Config{})
+
+	p, err := client.NewPublisher(context.Background(), netw, "fophb", "fopub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 9101, Filter: `topic = "fo"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(context.Background(), netw, "foshb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	want := pub(t, p, "fo", 20)
+	got := collectEvents(t, sub, 20)
+	waitTreeDepth(t, shb, 2) // position learned through mid1
+
+	mid1.Crash()
+	// Publish into the outage: the PHB keeps logging; the repaired path
+	// must replay the gap.
+	want = append(want, pub(t, p, "fo", 50)...)
+	waitUpstream(t, shb, "fomid2")
+	want = append(want, pub(t, p, "fo", 30)...)
+	got = append(got, collectEvents(t, sub, 80)...)
+
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken across failover: gaps=%d violations=%d", gaps, violations)
+	}
+	st := shb.RepairStats()
+	if st.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", st.Failovers)
+	}
+	if len(st.Repairs) != 1 || st.Repairs[0] <= 0 {
+		t.Fatalf("repairs = %v, want one positive time-to-repair", st.Repairs)
+	}
+	// The candidate pseudo-entries ride along in Health, distinguishable
+	// from real links.
+	var real, cand int
+	for _, h := range shb.Health() {
+		if IsCandidateLink(h) {
+			cand++
+		} else {
+			real++
+		}
+	}
+	if real != 1 || cand != 1 {
+		t.Fatalf("health = %+v, want 1 real + 1 candidate entry", shb.Health())
+	}
+}
+
+// PreferPrimary: after the dead primary returns, the broker goes home on
+// its own (post holddown), and the operator-intended primary never moved.
+func TestFailbackToPrimary(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startBroker(t, netw, Config{
+		Name:       "fbphb",
+		DataDir:    filepath.Join(t.TempDir(), "fbphb"),
+		ListenAddr: "fbphb",
+	}, 1, nil)
+	mid1 := startRelayThrough(t, netw, "fbmid1", "fbphb")
+	startRelayThrough(t, netw, "fbmid2", "fbphb")
+	shb := startSHBFO(t, netw, "fbshb", "fbmid1", []string{"fbmid2"}, Config{
+		FailoverAfter:    30 * time.Millisecond,
+		FailoverHolddown: 60 * time.Millisecond,
+		PreferPrimary:    true,
+	})
+
+	p, err := client.NewPublisher(context.Background(), netw, "fbphb", "fbpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 9102, Filter: `topic = "fb"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(context.Background(), netw, "fbshb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	want := pub(t, p, "fb", 10)
+	got := collectEvents(t, sub, 10)
+	waitTreeDepth(t, shb, 2)
+
+	mid1.Crash()
+	waitUpstream(t, shb, "fbmid2")
+	want = append(want, pub(t, p, "fb", 30)...)
+	got = append(got, collectEvents(t, sub, 30)...)
+
+	// The primary returns; the broker must find its way home.
+	mid1b, err := New(Config{
+		Name:         "fbmid1",
+		Transport:    netw,
+		ListenAddr:   "fbmid1",
+		UpstreamAddr: "fbphb",
+		DialTimeout:  500 * time.Millisecond,
+		TickInterval: testTick,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid1b.Close() //nolint:errcheck
+	waitUpstream(t, shb, "fbmid1")
+
+	want = append(want, pub(t, p, "fb", 30)...)
+	got = append(got, collectEvents(t, sub, 30)...)
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken across failback: gaps=%d violations=%d", gaps, violations)
+	}
+	st := shb.RepairStats()
+	if st.Failovers < 1 || st.Failbacks < 1 {
+		t.Fatalf("stats = %+v, want >=1 failover and >=1 failback", st)
+	}
+}
+
+// Loop-freedom when a whole subtree is orphaned together: in the chain
+// phb → a → b → c, broker b lists its own descendant c FIRST among its
+// candidates. When a dies, b must skip c (c's advertised position — same
+// root and epoch, greater depth — proves it hangs below b) and adopt phb.
+func TestOrphanedSubtreeAvoidsOwnDescendant(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	startBroker(t, netw, Config{
+		Name:       "lfphb",
+		DataDir:    filepath.Join(t.TempDir(), "lfphb"),
+		ListenAddr: "lfphb",
+	}, 1, nil)
+	a := startRelayThrough(t, netw, "lfa", "lfphb")
+	b := startRelayFO(t, netw, "lfb", "lfa", []string{"lfc", "lfphb"}, Config{})
+	c := startSHBFO(t, netw, "lfc", "lfb", nil, Config{})
+
+	// Wait for positions to flood down the chain before the kill, so b
+	// and c genuinely carry the "orphaned together" info.
+	waitTreeDepth(t, b, 2)
+	waitTreeDepth(t, c, 3)
+
+	p, err := client.NewPublisher(context.Background(), netw, "lfphb", "lfpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 9103, Filter: `topic = "lf"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(context.Background(), netw, "lfc"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+	want := pub(t, p, "lf", 10)
+	got := collectEvents(t, sub, 10)
+
+	a.Crash()
+	want = append(want, pub(t, p, "lf", 40)...)
+	waitUpstream(t, b, "lfphb")
+	waitTreeDepth(t, b, 1)
+	waitTreeDepth(t, c, 2)
+
+	got = append(got, collectEvents(t, sub, 40)...)
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken across subtree repair: gaps=%d violations=%d", gaps, violations)
+	}
+	if st := b.RepairStats(); st.Failovers != 1 {
+		t.Fatalf("b failovers = %d, want exactly 1 (no c adoption attempt should have counted)", st.Failovers)
+	}
+	if c.UpstreamAddr() != "lfb" {
+		t.Fatalf("c moved to %q; its live link to b should have held", c.UpstreamAddr())
+	}
+}
+
+// A blinking primary link must not thrash the tree: the holddown bounds
+// how often repair-driven re-parents (fail-over or fail-back) may fire.
+func TestFailoverFlapDamping(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	fn := faultnet.New(netw, 41)
+	startBroker(t, netw, Config{
+		Name:       "flphb",
+		DataDir:    filepath.Join(t.TempDir(), "flphb"),
+		ListenAddr: "flphb",
+	}, 1, nil)
+	startRelayThrough(t, netw, "flmid1", "flphb")
+	startRelayThrough(t, netw, "flmid2", "flphb")
+	// Every link the SHB dials to mid1 dies after a handful of sends —
+	// the primary "blinks" for the whole test.
+	fn.SeverAfterSends("flmid1", 4, 8)
+	holddown := 150 * time.Millisecond
+	shb := startSHBFO(t, fn, "flshb", "flmid1", []string{"flmid2"}, Config{
+		FailoverAfter:    15 * time.Millisecond,
+		FailoverHolddown: holddown,
+		PreferPrimary:    true,
+	})
+
+	p, err := client.NewPublisher(context.Background(), netw, "flphb", "flpub")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close() //nolint:errcheck
+	sub, err := client.NewSubscriber(client.SubscriberOptions{
+		ID: 9104, Filter: `topic = "fl"`, AckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Connect(context.Background(), netw, "flshb"); err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Disconnect() //nolint:errcheck
+
+	began := time.Now()
+	var want []stamp
+	for time.Since(began) < 600*time.Millisecond {
+		want = append(want, pub(t, p, "fl", 5)...)
+		time.Sleep(10 * time.Millisecond)
+	}
+	elapsed := time.Since(began)
+	st := shb.RepairStats()
+	switches := st.Failovers + st.Failbacks
+	// Each repair-driven move (either direction) is spaced by at least
+	// the holddown; +2 covers moves straddling the window edges.
+	if limit := uint64(elapsed/holddown) + 2; switches > limit {
+		t.Fatalf("flap damping failed: %d switches in %v (holddown %v, limit %d)", switches, elapsed, holddown, limit)
+	}
+	// And the subscriber still gets everything exactly once.
+	got := collectEvents(t, sub, len(want))
+	assertTimestamps(t, got, want)
+	if _, _, gaps, violations := sub.Stats(); gaps != 0 || violations != 0 {
+		t.Fatalf("delivery contract broken under flapping: gaps=%d violations=%d", gaps, violations)
+	}
+}
+
+// A deliberate Leave purges the departed child's covers after LeaveGrace;
+// a crash retains them (the returning subtree's recovery depends on it).
+func TestLeaveGraceExpiry(t *testing.T) {
+	netw := overlay.NewInprocNetwork(0)
+	grace := 50 * time.Millisecond
+	parent := startBroker(t, netw, Config{
+		Name:       "lgphb",
+		DataDir:    filepath.Join(t.TempDir(), "lgphb"),
+		ListenAddr: "lgphb",
+		LeaveGrace: grace,
+	}, 1, nil)
+
+	attach := func(name string, id vtime.SubscriberID) (*Broker, *client.Subscriber) {
+		shb := startSHBThrough(t, netw, name, "lgphb", "")
+		sub, err := client.NewSubscriber(client.SubscriberOptions{
+			ID: id, Filter: `topic = "lg"`, AckInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sub.Connect(context.Background(), netw, name); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sub.Disconnect() }) //nolint:errcheck
+		return shb, sub
+	}
+	waitCovers := func(what string, want int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if members, _ := parent.CoverStats(); members == want {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		members, _ := parent.CoverStats()
+		t.Fatalf("%s: parent covers = %d, want %d", what, members, want)
+	}
+
+	leaver, leaverSub := attach("lgleave", 9201)
+	waitCovers("after leaver subscribe", 1)
+
+	crasher, _ := attach("lgcrash", 9202)
+	waitCovers("after crasher subscribe", 2)
+
+	// Deliberate departure: Leave purges the leaver's cover after grace.
+	leaverSub.Disconnect() //nolint:errcheck
+	leaver.DetachUpstream()
+	waitCovers("after deliberate leave + grace", 1)
+
+	// Crash: the cover must survive well past the same grace period.
+	crasher.Crash()
+	time.Sleep(4 * grace)
+	if members, _ := parent.CoverStats(); members != 1 {
+		t.Fatalf("crash purged covers: members = %d, want 1 (crash retains state)", members)
+	}
+}

@@ -39,6 +39,21 @@ func (b *Broker) SetUpstream(ctx context.Context, addr string) error {
 	if b.closed.Load() {
 		return fmt.Errorf("broker %s: closed", b.cfg.Name)
 	}
+	if err := b.setUpstreamLocked(ctx, addr); err != nil {
+		return err
+	}
+	// An operator re-parent moves the fail-over preference with it; a
+	// repair-driven one (failoverTo) deliberately does not.
+	if b.repairMon != nil {
+		b.repairMon.SetPrimary(addr)
+	}
+	return nil
+}
+
+// setUpstreamLocked is the make-before-break switch shared by the
+// operator path (SetUpstream) and the repair path (failoverTo). Callers
+// hold memberMu and have checked closed.
+func (b *Broker) setUpstreamLocked(ctx context.Context, addr string) error {
 	old := b.upSup.Load()
 	if old != nil && old.Addr() == addr && old.Status().State == overlay.LinkUp {
 		return nil
@@ -64,6 +79,12 @@ func (b *Broker) DetachUpstream() {
 	b.memberMu.Lock()
 	defer b.memberMu.Unlock()
 	b.retireUpstream(b.upSup.Swap(nil))
+	if b.repairMon != nil {
+		b.repairMon.SetPrimary("")
+	}
+	// Mint a fresh root epoch so positions learned under the old parent
+	// are recognizably stale (see repair.Adoptable).
+	b.becomeRoot()
 }
 
 // retireUpstream tells the old parent this departure is deliberate — so it

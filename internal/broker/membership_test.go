@@ -53,7 +53,7 @@ func TestReparentDuringCatchup(t *testing.T) {
 		return s.State == overlay.LinkUp
 	})
 
-	p, err := client.NewPublisher(netw, "rcphb", "rcpub")
+	p, err := client.NewPublisher(context.Background(), netw, "rcphb", "rcpub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestReparentDuringCatchup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "rcshb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "rcshb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -125,7 +125,7 @@ func TestDoubleReparentUnderTraffic(t *testing.T) {
 		return s.State == overlay.LinkUp
 	})
 
-	p, err := client.NewPublisher(netw, "drphb", "drpub")
+	p, err := client.NewPublisher(context.Background(), netw, "drphb", "drpub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +136,7 @@ func TestDoubleReparentUnderTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "drshb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "drshb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -202,7 +202,7 @@ func TestDetachAndReattach(t *testing.T) {
 		return s.State == overlay.LinkUp
 	})
 
-	p, err := client.NewPublisher(netw, "daphb", "dapub")
+	p, err := client.NewPublisher(context.Background(), netw, "daphb", "dapub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestDetachAndReattach(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "dashb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "dashb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -261,7 +261,7 @@ func TestGracefulShutdownDrains(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	p, err := client.NewPublisher(netw, "gs", "gspub")
+	p, err := client.NewPublisher(context.Background(), netw, "gs", "gspub")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/matchidx"
 	"repro/internal/message"
+	"repro/internal/overlay"
 	"repro/internal/tick"
 	"repro/internal/vtime"
 )
@@ -38,8 +39,10 @@ func (b *Broker) tickShard(sh *shard) {
 // fromUpstream handles a message arriving on the parent link. It runs on
 // the upstream connection's dispatch goroutine and hops onto the
 // pubend's shard; same-pubend messages land on one queue in receive
-// order, so per-pubend FIFO survives the fan-out.
-func (b *Broker) fromUpstream(m message.Message) {
+// order, so per-pubend FIFO survives the fan-out. sup is the supervisor
+// the link belongs to: a retired link's stragglers must not update
+// position state meant for the current parent.
+func (b *Broker) fromUpstream(sup *overlay.Supervisor, m message.Message) {
 	switch v := m.(type) {
 	case *message.Knowledge:
 		sh := b.shardFor(v.Pubend)
@@ -49,8 +52,14 @@ func (b *Broker) fromUpstream(m message.Message) {
 			}
 			b.spreadKnowledge(v)
 		})
+	case *message.Hello:
+		// The parent's tree-position advertisement (reply to our Hello,
+		// or a cascade after the parent's own position changed).
+		if b.upSup.Load() == sup || b.pendingSup.Load() == sup {
+			b.learnTreeInfo(v)
+		}
 	default:
-		// Upstream sends only knowledge in this protocol.
+		// Upstream sends only knowledge and Hello in this protocol.
 	}
 }
 
@@ -76,6 +85,12 @@ func (b *Broker) fromBelow(link *downLink, m message.Message) {
 			// broker replaces its own stale entry instead of pinning
 			// the aggregate forever.
 			link.key = "broker:" + v.Name
+		}
+		if v.Role == message.RoleBroker || v.Role == message.RoleProbe {
+			// Reply with our tree position: the repair policy's adoption
+			// eligibility rides the handshake. A probe gets the reply and
+			// nothing else — it is never registered as a downstream link.
+			link.conn.Send(b.treeHello()) //nolint:errcheck,gosec // dead links drop via OnClose
 		}
 		if v.Role == message.RoleBroker {
 			b.control().push(func() { b.registerDown(link) })

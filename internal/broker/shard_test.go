@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"path/filepath"
 	"runtime"
 	"sync"
@@ -69,7 +70,7 @@ func TestCrossShardSwitchoverAndRelease(t *testing.T) {
 		EnableSHB: true, AllPubends: pubendIDs, Shards: 4,
 	}, 0, nil)
 
-	p, err := client.NewPublisher(netw, "phb", "pub")
+	p, err := client.NewPublisher(context.Background(), netw, "phb", "pub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestCrossShardSwitchoverAndRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := bgSub.Connect(netw, "shb"); err != nil {
+	if err := bgSub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	defer bgSub.Disconnect() //nolint:errcheck
@@ -102,7 +103,7 @@ func TestCrossShardSwitchoverAndRelease(t *testing.T) {
 		bgWG.Add(1)
 		go func() {
 			defer bgWG.Done()
-			bp, err := client.NewPublisher(netw, "phb", "bgpub")
+			bp, err := client.NewPublisher(context.Background(), netw, "phb", "bgpub")
 			if err != nil {
 				t.Error(err)
 				return
@@ -139,7 +140,7 @@ func TestCrossShardSwitchoverAndRelease(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -174,7 +175,7 @@ func TestCrossShardSwitchoverAndRelease(t *testing.T) {
 		t.Fatal(err)
 	}
 	phase2 := pubTo(40)
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck

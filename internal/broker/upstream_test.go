@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"context"
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -69,7 +70,7 @@ func TestUpstreamSeverHealsAndReplaysGap(t *testing.T) {
 		t.Fatalf("fresh link already counts reconnects: %+v", st)
 	}
 
-	p, err := client.NewPublisher(netw, "uphb", "upub")
+	p, err := client.NewPublisher(context.Background(), netw, "uphb", "upub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestUpstreamSeverHealsAndReplaysGap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "ushb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "ushb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -171,7 +172,7 @@ func TestClientsAutoReconnectAcrossBrokerRestart(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "rb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "rb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -228,7 +229,7 @@ func TestPHBRestartAfterFullReleaseKeepsDelivering(t *testing.T) {
 	}
 	shb := startSHBThrough(t, netw, "frshb", "frphb", "")
 
-	p, err := client.NewPublisher(netw, "frphb", "frpub")
+	p, err := client.NewPublisher(context.Background(), netw, "frphb", "frpub")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +239,7 @@ func TestPHBRestartAfterFullReleaseKeepsDelivering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "frshb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "frshb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -282,7 +283,7 @@ func TestPHBRestartAfterFullReleaseKeepsDelivering(t *testing.T) {
 		return s.State == overlay.LinkUp
 	})
 
-	p2, err := client.NewPublisher(netw, "frphb", "frpub2")
+	p2, err := client.NewPublisher(context.Background(), netw, "frphb", "frpub2")
 	if err != nil {
 		t.Fatal(err)
 	}

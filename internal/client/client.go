@@ -85,6 +85,32 @@ type PublisherOptions struct {
 	OnConnChange func(ConnState)
 }
 
+// PublisherOption is one functional option for NewPublisher.
+type PublisherOption func(*PublisherOptions)
+
+// WithOptions overlays a whole PublisherOptions struct (the bridge from
+// the deprecated struct-options constructors).
+func WithOptions(o PublisherOptions) PublisherOption {
+	return func(dst *PublisherOptions) { *dst = o }
+}
+
+// WithDialTimeout bounds the connection attempt (and each supervised
+// reconnect).
+func WithDialTimeout(d time.Duration) PublisherOption {
+	return func(o *PublisherOptions) { o.DialTimeout = d }
+}
+
+// WithAutoReconnect keeps the publisher alive through link failures,
+// redialing with capped exponential backoff.
+func WithAutoReconnect() PublisherOption {
+	return func(o *PublisherOptions) { o.AutoReconnect = true }
+}
+
+// WithConnChange observes every link transition.
+func WithConnChange(fn func(ConnState)) PublisherOption {
+	return func(o *PublisherOptions) { o.OnConnChange = fn }
+}
+
 // Publisher publishes events to a publisher hosting broker.
 type Publisher struct {
 	opts PublisherOptions
@@ -97,24 +123,37 @@ type Publisher struct {
 	closed  bool
 }
 
-// NewPublisher connects a publisher to the broker at addr with default
-// options.
-func NewPublisher(t overlay.Transport, addr, name string) (*Publisher, error) {
-	return NewPublisherOpts(t, addr, name, PublisherOptions{})
+// NewPublisher connects a publisher to the broker at addr. The initial
+// dial is bounded by ctx (in addition to WithDialTimeout, whichever is
+// tighter); the first connection attempt is synchronous even with
+// WithAutoReconnect, so a dead broker fails here rather than on the first
+// publish. With auto-reconnect, attempts after the first are governed by
+// the dial timeout alone.
+func NewPublisher(ctx context.Context, t overlay.Transport, addr, name string, options ...PublisherOption) (*Publisher, error) {
+	var opts PublisherOptions
+	for _, apply := range options {
+		apply(&opts)
+	}
+	return newPublisher(ctx, t, addr, name, opts)
 }
 
-// NewPublisherOpts connects a publisher to the broker at addr. The first
-// connection attempt is synchronous even with AutoReconnect, so a dead
-// broker fails here rather than on the first publish.
+// NewPublisherOpts connects with struct options and no context.
+//
+// Deprecated: use NewPublisher with WithOptions (or the individual
+// With... options).
 func NewPublisherOpts(t overlay.Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
-	return NewPublisherContext(context.Background(), t, addr, name, opts)
+	return newPublisher(context.Background(), t, addr, name, opts)
 }
 
-// NewPublisherContext is NewPublisherOpts with the initial dial bounded by
-// ctx (in addition to DialTimeout, whichever is tighter). With
-// AutoReconnect, reconnect attempts after the first are governed by
-// DialTimeout alone.
+// NewPublisherContext is NewPublisherOpts with the initial dial bounded
+// by ctx.
+//
+// Deprecated: use NewPublisher with WithOptions.
 func NewPublisherContext(ctx context.Context, t overlay.Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
+	return newPublisher(ctx, t, addr, name, opts)
+}
+
+func newPublisher(ctx context.Context, t overlay.Transport, addr, name string, opts PublisherOptions) (*Publisher, error) {
 	p := &Publisher{opts: opts, pending: make(map[uint64]chan *message.PublishAck)}
 	if opts.AutoReconnect {
 		sup := overlay.NewSupervisor(overlay.SupervisorConfig{
@@ -378,17 +417,23 @@ func NewSubscriber(opts SubscriberOptions) (*Subscriber, error) {
 }
 
 // Connect attaches the subscriber to the SHB at addr, resuming from its
-// checkpoint token when it has one. With AutoReconnect the first attempt
-// is synchronous (a dead broker fails here); after that the link is
-// supervised and re-subscribes itself until Disconnect.
-func (s *Subscriber) Connect(t overlay.Transport, addr string) error {
-	return s.ConnectContext(context.Background(), t, addr)
+// checkpoint token when it has one. The initial dial is bounded by ctx
+// (in addition to DialTimeout, whichever is tighter). With AutoReconnect
+// the first attempt is synchronous (a dead broker fails here); after that
+// the link is supervised — reconnects governed by DialTimeout alone — and
+// re-subscribes itself until Disconnect.
+func (s *Subscriber) Connect(ctx context.Context, t overlay.Transport, addr string) error {
+	return s.connect(ctx, t, addr)
 }
 
-// ConnectContext is Connect with the initial dial bounded by ctx (in
-// addition to DialTimeout, whichever is tighter). With AutoReconnect,
-// reconnect attempts after the first are governed by DialTimeout alone.
+// ConnectContext is Connect.
+//
+// Deprecated: Connect is context-first now; call it directly.
 func (s *Subscriber) ConnectContext(ctx context.Context, t overlay.Transport, addr string) error {
+	return s.connect(ctx, t, addr)
+}
+
+func (s *Subscriber) connect(ctx context.Context, t overlay.Transport, addr string) error {
 	if s.opts.AutoReconnect {
 		s.mu.Lock()
 		if s.sup != nil {

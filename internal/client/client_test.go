@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
@@ -103,7 +104,7 @@ func TestSubscriberAdoptsInitialCT(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -114,7 +115,7 @@ func TestSubscriberAdoptsInitialCT(t *testing.T) {
 		t.Errorf("ID = %v", sub.ID())
 	}
 	// Double connect fails.
-	if err := sub.Connect(netw, "b"); err == nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err == nil {
 		t.Error("double connect accepted")
 	}
 }
@@ -124,14 +125,14 @@ func TestSubscriberRejectedSubscribe(t *testing.T) {
 	fb := startFakeBroker(t, netw, "b")
 	fb.rejectSubscribe = "no room"
 	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
-	if err := sub.Connect(netw, "b"); err == nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err == nil {
 		t.Fatal("rejected subscribe reported success")
 	}
 	// The handle remains usable: clear the rejection and reconnect.
 	fb.mu.Lock()
 	fb.rejectSubscribe = ""
 	fb.mu.Unlock()
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatalf("reconnect after rejection: %v", err)
 	}
 	sub.Disconnect() //nolint:errcheck
@@ -141,7 +142,7 @@ func TestSubscriberOrderingContract(t *testing.T) {
 	netw := overlay.NewInprocNetwork(0)
 	fb := startFakeBroker(t, netw, "b")
 	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -184,7 +185,7 @@ func TestSubscriberCTPersistence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	fb.deliver(1, event(777))
@@ -201,7 +202,7 @@ func TestSubscriberCTPersistence(t *testing.T) {
 	if got := sub2.CT().Get(1); got != 777 {
 		t.Fatalf("persisted CT = %d, want 777", got)
 	}
-	if err := sub2.Connect(netw, "b"); err != nil {
+	if err := sub2.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub2.Disconnect() //nolint:errcheck
@@ -232,7 +233,7 @@ func TestSubscriberStaleConnectionIgnored(t *testing.T) {
 	netw := overlay.NewInprocNetwork(0)
 	fb := startFakeBroker(t, netw, "b")
 	sub, _ := NewSubscriber(SubscriberOptions{ID: 1, Filter: "true"}) //nolint:errcheck
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	fb.mu.Lock()
@@ -241,7 +242,7 @@ func TestSubscriberStaleConnectionIgnored(t *testing.T) {
 	if err := sub.Disconnect(); err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -267,7 +268,7 @@ func TestSubscriberStaleConnectionIgnored(t *testing.T) {
 func TestPublisherRoundTrip(t *testing.T) {
 	netw := overlay.NewInprocNetwork(0)
 	startFakeBroker(t, netw, "b")
-	pub, err := NewPublisher(netw, "b", "test")
+	pub, err := NewPublisher(context.Background(), netw, "b", "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -285,7 +286,7 @@ func TestPublisherRejected(t *testing.T) {
 	netw := overlay.NewInprocNetwork(0)
 	fb := startFakeBroker(t, netw, "b")
 	fb.rejectPublish = true
-	pub, err := NewPublisher(netw, "b", "test")
+	pub, err := NewPublisher(context.Background(), netw, "b", "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func TestPublisherConnectionLossUnblocksWaiters(t *testing.T) {
 	fb.mu.Lock()
 	fb.silent = true
 	fb.mu.Unlock()
-	pub, err := NewPublisher(netw, "b", "test")
+	pub, err := NewPublisher(context.Background(), netw, "b", "test")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -341,7 +342,7 @@ func TestSubscriberDisconnectIdempotent(t *testing.T) {
 	if err := sub.Disconnect(); err != nil {                          // never connected
 		t.Errorf("disconnect before connect: %v", err)
 	}
-	if err := sub.Connect(netw, "b"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "b"); err != nil {
 		t.Fatal(err)
 	}
 	if err := sub.Disconnect(); err != nil {

@@ -50,19 +50,28 @@ type TopologyChaosParams struct {
 	// the fault injector (0 = none) — re-parents race real in-flight
 	// traffic instead of switching over an instantaneous network.
 	FaultLatency time.Duration
+	// Failover arms automatic fail-over on every non-root broker
+	// (candidate parents + FailoverAfter): the self-healing machinery and
+	// the operator-driven mutations then race each other, and both must
+	// preserve exactly-once.
+	Failover bool
+	// FailoverAfter is the unhealthy threshold when Failover is set
+	// (0 = 150ms — comfortably past KillDown so restarts usually win the
+	// race, with fail-over catching the stragglers).
+	FailoverAfter time.Duration
 }
 
 // TopologyChaosResult is the outcome of one chaos run.
 type TopologyChaosResult struct {
-	Brokers     int // total brokers in the tree
-	Subscribers int
-	Published   int64
-	Kills       int // crashes applied
-	Restarts    int // successful restarts after crashes
-	Reparents   int // successful SetUpstream re-parents
-	Skipped     int // mutations skipped (no legal target / dial raced a kill)
-	Gaps        int64
-	Violations  int64
+	Brokers      int // total brokers in the tree
+	Subscribers  int
+	Published    int64
+	Kills        int // crashes applied
+	Restarts     int // successful restarts after crashes
+	Reparents    int // successful SetUpstream re-parents
+	Skipped      int // mutations skipped (no legal target / dial raced a kill)
+	Gaps         int64
+	Violations   int64
 	AllDelivered bool
 	Healthy      bool // every broker's /healthz OK after the final heal
 }
@@ -119,6 +128,9 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 	if p.KillDown == 0 {
 		p.KillDown = 100 * time.Millisecond
 	}
+	if p.FailoverAfter == 0 {
+		p.FailoverAfter = 150 * time.Millisecond
+	}
 	rng := rand.New(rand.NewSource(p.Seed)) //nolint:gosec // schedule, not crypto
 
 	rawNet := overlay.NewInprocNetwork(0)
@@ -144,6 +156,24 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 		}
 	}
 
+	// arm gives a non-root spec automatic fail-over: every other mid plus
+	// the root as candidate parents. The loop-free adoption rule prunes
+	// own-subtree candidates at probe time, so listing everyone is safe.
+	arm := func(spec *topology.BrokerSpec) {
+		if !p.Failover {
+			return
+		}
+		for i := 0; i < p.Mids; i++ {
+			if m := fmt.Sprintf("mid%d", i); m != spec.Name {
+				spec.Parents = append(spec.Parents, m)
+			}
+		}
+		spec.Parents = append(spec.Parents, "phb")
+		spec.FailoverAfterMillis = p.FailoverAfter.Milliseconds()
+		spec.PreferPrimary = true
+		spec.FailoverSeed = p.Seed
+	}
+
 	// Tree: root hosts the pubends; mids 0 and 1 hang off the root, mid
 	// i ≥ 2 under mid i-2 (depth grows with width); SHB j under mid
 	// j mod Mids.
@@ -163,6 +193,7 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 		} else {
 			spec.Upstream = fmt.Sprintf("mid%d", i-2)
 		}
+		arm(&spec)
 		addNode(spec, false)
 	}
 	for j := 0; j < p.SHBs; j++ {
@@ -170,6 +201,7 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 		spec.Upstream = fmt.Sprintf("mid%d", j%p.Mids)
 		spec.SHB = true
 		spec.AllPubends = allPubends
+		arm(&spec)
 		addNode(spec, true)
 	}
 
@@ -223,7 +255,7 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 			if err != nil {
 				return nil, err
 			}
-			if err := sub.Connect(rawNet, fmt.Sprintf("shb%d", j)); err != nil {
+			if err := sub.Connect(context.Background(), rawNet, fmt.Sprintf("shb%d", j)); err != nil {
 				return nil, err
 			}
 			st := &subState{sub: sub}
@@ -245,10 +277,8 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 		}
 	}
 
-	pubc, err := client.NewPublisherOpts(rawNet, "phb", "chaos", client.PublisherOptions{
-		AutoReconnect: true,
-		DialTimeout:   500 * time.Millisecond,
-	})
+	pubc, err := client.NewPublisher(context.Background(), rawNet, "phb", "chaos",
+		client.WithAutoReconnect(), client.WithDialTimeout(500*time.Millisecond))
 	if err != nil {
 		return nil, err
 	}
@@ -298,6 +328,19 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 	killsLeft, repsLeft := p.Kills, p.Reparents
 	for attempts := 0; (killsLeft > 0 || repsLeft > 0) && attempts < (p.Kills+p.Reparents)*10; attempts++ {
 		time.Sleep(p.Step)
+		// With fail-over armed, brokers re-parent themselves behind the
+		// driver's back; refresh the model so the subtree check (and the
+		// restart recipe) sees the tree as it actually is, not as it was
+		// last mutated — a stale model could let a re-parent build a loop.
+		if p.Failover {
+			for _, name := range mutable {
+				if n := nodes[name]; n.b != nil {
+					if up := n.b.UpstreamAddr(); up != "" {
+						n.parent, n.spec.Upstream = up, up
+					}
+				}
+			}
+		}
 		doKill := killsLeft > 0 && (repsLeft == 0 || rng.Intn(2) == 0)
 		if doKill {
 			n := nodes[mutable[rng.Intn(len(mutable))]]
@@ -363,6 +406,11 @@ func RunTopologyChaos(dir string, p TopologyChaosParams) (*TopologyChaosResult, 
 				break
 			}
 			for _, st := range n.b.Health() {
+				// Candidate pseudo-entries are advisory: a candidate that
+				// happens to be down does not make this broker unhealthy.
+				if broker.IsCandidateLink(st) {
+					continue
+				}
 				if st.State != overlay.LinkUp {
 					healthy = false
 					break

@@ -36,3 +36,27 @@ func TestTopologyChaosSmall(t *testing.T) {
 		t.Errorf("nothing published: %+v", res)
 	}
 }
+
+// The operator-driven chaos must stay green with automatic fail-over
+// armed: driver kills/re-parents and self-healing race each other, and
+// exactly-once still holds.
+func TestTopologyChaosWithFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run in -short mode")
+	}
+	res, err := RunTopologyChaos(t.TempDir(), TopologyChaosParams{
+		Mids:      2,
+		SHBs:      3,
+		Kills:     2,
+		Reparents: 2,
+		Rate:      300,
+		Step:      80 * time.Millisecond,
+		Failover:  true,
+	})
+	if err != nil {
+		t.Fatalf("chaos with failover: %v (%+v)", err, res)
+	}
+	if !res.Healthy || !res.AllDelivered || res.Gaps != 0 || res.Violations != 0 {
+		t.Errorf("invariants: %+v", res)
+	}
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -88,12 +89,12 @@ func runLatencyOnce(dir string, hops, events int, logLatency, linkLatency time.D
 	if err != nil {
 		return nil, err
 	}
-	if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+	if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	defer sub.Disconnect() //nolint:errcheck
 
-	pub, err := client.NewPublisher(c.Transport, c.PHBAddr(), "lat")
+	pub, err := client.NewPublisher(context.Background(), c.Transport, c.PHBAddr(), "lat")
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -233,7 +234,7 @@ func RunJMS(dir string, p JMSParams) (*JMSResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 			return nil, err
 		}
 		ac := jms.NewAutoAckConsumer(sub, store)
@@ -377,7 +378,7 @@ func RunFailover(dir string, p FailoverParams) (*FailoverResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 			return nil, err
 		}
 		subs = append(subs, sub)
@@ -485,7 +486,7 @@ func RunFailover(dir string, p FailoverParams) (*FailoverResult, error) {
 	catchupStart := time.Now()
 	for _, sub := range subs {
 		for attempt := 0; ; attempt++ {
-			if err := sub.Connect(c.Transport, c.SHBAddr(0)); err == nil {
+			if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err == nil {
 				break
 			}
 			if attempt > 200 {
@@ -589,7 +590,7 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 	if err != nil {
 		return nil, err
 	}
-	if err := live.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+	if err := live.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	defer live.Disconnect() //nolint:errcheck
@@ -604,7 +605,7 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 	if err != nil {
 		return nil, err
 	}
-	if err := lagging.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+	if err := lagging.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	if err := lagging.Disconnect(); err != nil {
@@ -620,7 +621,7 @@ func RunEarlyRelease(dir string, retain time.Duration) (*EarlyReleaseResult, err
 	published := load.Sent()
 	time.Sleep(100 * time.Millisecond)
 
-	if err := lagging.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+	if err := lagging.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 		return nil, err
 	}
 	defer lagging.Disconnect() //nolint:errcheck

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -55,7 +56,7 @@ func RunFilteringAblation(dir string, measure time.Duration) (*FilteringResult, 
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Transport, c.SHBAddr(shb)); err != nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(shb)); err != nil {
 			return nil, err
 		}
 		subs = append(subs, sub)
@@ -153,7 +154,7 @@ func RunTorture(dir string, p TortureParams) (*TortureResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 			return nil, err
 		}
 		st := &subState{sub: sub}
@@ -175,7 +176,7 @@ func RunTorture(dir string, p TortureParams) (*TortureResult, error) {
 	}
 
 	// Publisher: continuous, never stops during chaos.
-	pubc, err := client.NewPublisher(c.Transport, c.PHBAddr(), "torture")
+	pubc, err := client.NewPublisher(context.Background(), c.Transport, c.PHBAddr(), "torture")
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +273,7 @@ func RunTorture(dir string, p TortureParams) (*TortureResult, error) {
 // reconnect retries until the (possibly restarting) SHB accepts.
 func reconnect(c *Cluster, sub *client.Subscriber) {
 	for attempt := 0; attempt < 400; attempt++ {
-		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err == nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err == nil {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -107,7 +108,7 @@ func RunPartitionHeal(dir string, p PartitionHealParams) (*PartitionHealResult, 
 		if err != nil {
 			return nil, err
 		}
-		if err := sub.Connect(c.Transport, c.SHBAddr(0)); err != nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(0)); err != nil {
 			return nil, err
 		}
 		st := &subState{sub: sub}
@@ -130,7 +131,7 @@ func RunPartitionHeal(dir string, p PartitionHealParams) (*PartitionHealResult, 
 
 	// Publisher streams through every partition — its link to the PHB is
 	// on the undecorated transport and never cut.
-	pubc, err := client.NewPublisher(c.Transport, c.PHBAddr(), "partition")
+	pubc, err := client.NewPublisher(context.Background(), c.Transport, c.PHBAddr(), "partition")
 	if err != nil {
 		return nil, err
 	}

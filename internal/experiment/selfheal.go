@@ -1,0 +1,501 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/client"
+	"repro/internal/faultnet"
+	"repro/internal/filter"
+	"repro/internal/message"
+	"repro/internal/overlay"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// SelfHealingParams configures the automatic fail-over chaos experiment.
+type SelfHealingParams struct {
+	// Mids is the relay broker count; mid i ≥ 2 hangs under mid i-2, so
+	// the tree is both wide and deep (0 = 5).
+	Mids int
+	// SHBs is the subscriber hosting broker count, spread round-robin
+	// across the mids (0 = 6).
+	SHBs int
+	// Pubends hosted by the root (0 = 2).
+	Pubends int
+	// Kills is how many interior (mid) broker crashes to apply (0 = 5).
+	Kills int
+	// PermanentKills is how many of those crashes are permanent — the
+	// broker never restarts, so its children MUST repair themselves
+	// (0 = 1; must be < Mids).
+	PermanentKills int
+	// SubsPerSHB is the durable subscriber count per SHB (0 = 1).
+	SubsPerSHB int
+	// Rate is the publish rate in events/s (0 = 500).
+	Rate int
+	// Seed drives the kill schedule and the per-broker fail-over jitter
+	// (0 = 1).
+	Seed int64
+	// Step is the pause between kills (0 = 120ms).
+	Step time.Duration
+	// KillDown is how long a restartable kill stays down before its
+	// restart; keep it past FailoverAfter so children actually repair
+	// instead of just riding out the blip (0 = 400ms).
+	KillDown time.Duration
+	// FailoverAfter is each broker's unhealthy threshold before it
+	// abandons its parent for a candidate (0 = 120ms).
+	FailoverAfter time.Duration
+	// FaultLatency adds one-way latency to every inter-broker hop
+	// (0 = none).
+	FaultLatency time.Duration
+}
+
+// SelfHealingResult is the outcome of one self-healing run.
+type SelfHealingResult struct {
+	Brokers        int // total brokers in the tree
+	Subscribers    int
+	Published      int64 // events accepted by the root
+	Kills          int   // crashes applied (including permanent ones)
+	PermanentKills int   // crashes with no restart
+	Restarts       int   // successful restarts after restartable crashes
+	Failovers      uint64
+	Failbacks      uint64
+	Repairs        int     // repair-driven re-parents measured
+	RepairP50Ms    float64 // time-to-repair p50 (outage start -> new parent live)
+	RepairP99Ms    float64
+	Gaps           int64
+	Violations     int64
+	AllDelivered   bool
+	Healthy        bool // every surviving broker healed after the chaos
+}
+
+// shNode is the driver's model of one broker: the declarative restart
+// recipe and the live handle. Unlike the topology-chaos driver the spec's
+// Upstream is never rewritten by a re-parent — the driver issues none;
+// every repair is the brokers' own.
+type shNode struct {
+	spec  topology.BrokerSpec
+	b     *broker.Broker
+	dead  bool // permanently killed: never restarted, skipped by heal checks
+	isSHB bool
+}
+
+// RunSelfHealing exercises automatic fail-over end to end: a deep/wide
+// broker tree under live durable traffic where every non-root broker
+// carries an ordered candidate-parent list, and a seeded driver crashes
+// interior brokers — at least one permanently. The driver NEVER issues a
+// re-parent: orphaned subtrees must notice the dead upstream themselves,
+// probe their candidates, and adopt a live parent outside their own
+// subtree (make-before-break, loop-free via the root/epoch/depth
+// advertisements). The exactly-once contract must hold throughout: after
+// the final heal every durable subscriber has every published event in
+// timestamp order with zero gaps, duplicates or reorders, and every
+// surviving broker reports healthy.
+//
+// The per-repair outage durations (link-loss to adopted-parent-live) from
+// every broker's RepairStats feed the RepairP50Ms/RepairP99Ms result
+// fields — the headline time-to-repair numbers.
+func RunSelfHealing(dir string, p SelfHealingParams) (*SelfHealingResult, error) {
+	if p.Mids == 0 {
+		p.Mids = 5
+	}
+	if p.SHBs == 0 {
+		p.SHBs = 6
+	}
+	if p.Pubends == 0 {
+		p.Pubends = 2
+	}
+	if p.Kills == 0 {
+		p.Kills = 5
+	}
+	if p.PermanentKills == 0 {
+		p.PermanentKills = 1
+	}
+	if p.SubsPerSHB == 0 {
+		p.SubsPerSHB = 1
+	}
+	if p.Rate == 0 {
+		p.Rate = 500
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if p.Step == 0 {
+		p.Step = 120 * time.Millisecond
+	}
+	if p.KillDown == 0 {
+		p.KillDown = 400 * time.Millisecond
+	}
+	if p.FailoverAfter == 0 {
+		p.FailoverAfter = 120 * time.Millisecond
+	}
+	if p.PermanentKills > p.Kills {
+		return nil, fmt.Errorf("experiment: PermanentKills %d > Kills %d", p.PermanentKills, p.Kills)
+	}
+	if p.PermanentKills >= p.Mids {
+		return nil, fmt.Errorf("experiment: PermanentKills %d must leave a live mid (Mids %d)", p.PermanentKills, p.Mids)
+	}
+	rng := rand.New(rand.NewSource(p.Seed)) //nolint:gosec // schedule, not crypto
+
+	rawNet := overlay.NewInprocNetwork(0)
+	fnet := faultnet.New(rawNet, p.Seed)
+	if p.FaultLatency > 0 {
+		fnet.SetLatency(p.FaultLatency)
+	}
+
+	allPubends := make([]uint32, p.Pubends)
+	for i := range allPubends {
+		allPubends[i] = uint32(i + 1)
+	}
+	tuning := topology.Tuning{Shards: 2, SubShards: 1}
+	baseSpec := func(name string) topology.BrokerSpec {
+		return topology.BrokerSpec{
+			Name:              name,
+			Listen:            name, // inproc: the name is the address
+			TickMillis:        2,
+			DialTimeoutMillis: 500,
+			LeaveGraceMillis:  80,
+			Admin:             "127.0.0.1:0",
+			Tuning:            tuning,
+		}
+	}
+	// arm gives a non-root spec its self-healing config: the ordered
+	// candidate list plus the fail-over knobs. Candidates prefer relays
+	// (keeps the tree deep) and always include the root as the parent of
+	// last resort; the loop-free adoption rule prunes own-subtree
+	// candidates at probe time, so listing "everyone" is safe.
+	midNames := make([]string, p.Mids)
+	for i := range midNames {
+		midNames[i] = fmt.Sprintf("mid%d", i)
+	}
+	arm := func(spec *topology.BrokerSpec, preferRoot bool) {
+		var cands []string
+		if preferRoot {
+			cands = append(cands, "phb")
+		}
+		for _, m := range midNames {
+			if m != spec.Name {
+				cands = append(cands, m)
+			}
+		}
+		if !preferRoot {
+			cands = append(cands, "phb")
+		}
+		spec.Parents = cands
+		spec.FailoverAfterMillis = p.FailoverAfter.Milliseconds()
+		spec.PreferPrimary = true
+		spec.FailoverSeed = p.Seed
+	}
+
+	// Tree: root hosts the pubends; mids 0 and 1 hang off the root, mid
+	// i ≥ 2 under mid i-2; SHB j under mid j mod Mids. Mids fail straight
+	// to the root (shortest repair path); SHBs try the other relays
+	// first.
+	nodes := make(map[string]*shNode)
+	var order []string // start order, parents first
+	addNode := func(spec topology.BrokerSpec, isSHB bool) {
+		nodes[spec.Name] = &shNode{spec: spec, isSHB: isSHB}
+		order = append(order, spec.Name)
+	}
+	root := baseSpec("phb")
+	root.Pubends = allPubends
+	addNode(root, false)
+	for i := 0; i < p.Mids; i++ {
+		spec := baseSpec(midNames[i])
+		if i < 2 {
+			spec.Upstream = "phb"
+		} else {
+			spec.Upstream = fmt.Sprintf("mid%d", i-2)
+		}
+		arm(&spec, true)
+		addNode(spec, false)
+	}
+	for j := 0; j < p.SHBs; j++ {
+		spec := baseSpec(fmt.Sprintf("shb%d", j))
+		spec.Upstream = midNames[j%p.Mids]
+		spec.SHB = true
+		spec.AllPubends = allPubends
+		arm(&spec, false)
+		addNode(spec, true)
+	}
+
+	res := &SelfHealingResult{Brokers: len(order), Subscribers: p.SHBs * p.SubsPerSHB}
+	startNode := func(n *shNode) error {
+		cfg, err := n.spec.BrokerConfig(dir, fnet)
+		if err != nil {
+			return err
+		}
+		b, err := broker.New(cfg)
+		if err != nil {
+			return err
+		}
+		n.b = b
+		return nil
+	}
+	defer func() {
+		for i := len(order) - 1; i >= 0; i-- {
+			if b := nodes[order[i]].b; b != nil {
+				b.Close() //nolint:errcheck,gosec // teardown
+			}
+		}
+	}()
+	for _, name := range order {
+		if err := startNode(nodes[name]); err != nil {
+			return nil, fmt.Errorf("experiment: start %s: %w", name, err)
+		}
+	}
+
+	// Durable subscribers (auto-reconnect: repairs blip the SHB's
+	// delivery path) and per-subscriber delivery counting.
+	type subState struct {
+		sub      *client.Subscriber
+		received atomic.Int64
+	}
+	var states []*subState
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	subID := 0
+	for j := 0; j < p.SHBs; j++ {
+		for k := 0; k < p.SubsPerSHB; k++ {
+			subID++
+			sub, err := client.NewSubscriber(client.SubscriberOptions{
+				ID:            vtime.SubscriberID(subID),
+				Filter:        `true`,
+				AckInterval:   15 * time.Millisecond,
+				Buffer:        1 << 15,
+				AutoReconnect: true,
+				DialTimeout:   500 * time.Millisecond,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := sub.Connect(context.Background(), rawNet, fmt.Sprintf("shb%d", j)); err != nil {
+				return nil, err
+			}
+			st := &subState{sub: sub}
+			states = append(states, st)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case d := <-st.sub.Deliveries():
+						if d.Kind == message.DeliverEvent {
+							st.received.Add(1)
+						}
+					case <-stop:
+						return
+					}
+				}
+			}()
+		}
+	}
+
+	pubc, err := client.NewPublisher(context.Background(), rawNet, "phb", "selfheal",
+		client.WithAutoReconnect(), client.WithDialTimeout(500*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	defer pubc.Close() //nolint:errcheck
+	var published atomic.Int64
+	pubStop := make(chan struct{})
+	pubDone := make(chan struct{})
+	go func() {
+		defer close(pubDone)
+		ticker := time.NewTicker(time.Second / time.Duration(p.Rate))
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				seq := published.Load() + 1
+				//nolint:errcheck,gosec // acks drained lazily; ErrLinkDown
+				// during a root blip just skips the tick.
+				if _, err := pubc.PublishAsync(message.Event{
+					Attrs:   filter.Attributes{"seq": filter.Int(seq)},
+					Payload: []byte("s"),
+				}, vtime.PubendID(seq%int64(p.Pubends)+1)); err == nil {
+					published.Store(seq)
+				}
+			case <-pubStop:
+				return
+			}
+		}
+	}()
+
+	// Kill driver: crash interior (mid) brokers only — the root must keep
+	// accepting publishes and the SHBs own the durable state under test.
+	// The first PermanentKills crashes never restart; their children have
+	// no driver to save them. NO SetUpstream is ever issued here: that is
+	// the whole point.
+	aliveMids := func() []string {
+		var out []string
+		for _, m := range midNames {
+			if n := nodes[m]; n.b != nil && !n.dead {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	permLeft := p.PermanentKills
+	for k := 0; k < p.Kills; k++ {
+		time.Sleep(p.Step)
+		cands := aliveMids()
+		if len(cands) == 0 {
+			return res, fmt.Errorf("experiment: no live mid left to kill")
+		}
+		n := nodes[cands[rng.Intn(len(cands))]]
+		n.b.Crash()
+		n.b = nil
+		res.Kills++
+		if permLeft > 0 {
+			permLeft--
+			n.dead = true
+			res.PermanentKills++
+			continue
+		}
+		time.Sleep(p.KillDown)
+		// Restart from the same spec and data directory. If the spec's
+		// parent was permanently killed in the meantime, restart under the
+		// root instead — the recipe a deployer's topology would converge
+		// to; the live brokers still repaired themselves without help.
+		if up := n.spec.Upstream; up != "phb" && nodes[up].dead {
+			n.spec.Upstream = "phb"
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if err := startNode(n); err == nil {
+				res.Restarts++
+				break
+			}
+			if time.Now().After(deadline) {
+				return res, fmt.Errorf("experiment: %s did not restart", n.spec.Name)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	// Final heal: every surviving broker's supervised links up (candidate
+	// pseudo-entries are advisory — a permanently dead candidate is
+	// legitimately down — so they are skipped) and /healthz green.
+	healDeadline := time.Now().Add(30 * time.Second)
+	for {
+		healthy := true
+		for _, name := range order {
+			n := nodes[name]
+			if n.dead {
+				continue
+			}
+			if n.b == nil {
+				healthy = false
+				break
+			}
+			for _, st := range n.b.Health() {
+				if broker.IsCandidateLink(st) {
+					continue
+				}
+				if st.State != overlay.LinkUp {
+					healthy = false
+					break
+				}
+			}
+			if !healthy {
+				break
+			}
+			resp, err := http.Get("http://" + n.b.AdminAddr() + "/healthz")
+			if err != nil || resp.StatusCode != http.StatusOK {
+				healthy = false
+			}
+			if err == nil {
+				resp.Body.Close() //nolint:errcheck,gosec // probe
+			}
+			if !healthy {
+				break
+			}
+		}
+		if healthy {
+			res.Healthy = true
+			break
+		}
+		if time.Now().After(healDeadline) {
+			return res, fmt.Errorf("experiment: tree did not self-heal")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Harvest the repair history: every broker's own fail-over record is
+	// the time-to-repair distribution.
+	var repairs []time.Duration
+	for _, name := range order {
+		n := nodes[name]
+		if n.b == nil {
+			continue
+		}
+		st := n.b.RepairStats()
+		res.Failovers += st.Failovers
+		res.Failbacks += st.Failbacks
+		repairs = append(repairs, st.Repairs...)
+	}
+	res.Repairs = len(repairs)
+	if len(repairs) > 0 {
+		sort.Slice(repairs, func(i, j int) bool { return repairs[i] < repairs[j] })
+		pct := func(q float64) float64 {
+			i := int(q * float64(len(repairs)-1))
+			return float64(repairs[i]) / float64(time.Millisecond)
+		}
+		res.RepairP50Ms = pct(0.50)
+		res.RepairP99Ms = pct(0.99)
+	}
+	if res.Failovers == 0 {
+		return res, fmt.Errorf("experiment: no broker failed over — the permanent kill should have forced at least one repair")
+	}
+
+	// Quiesce: stop publishing, then wait until recovery has replayed
+	// every event to every subscriber.
+	close(pubStop)
+	<-pubDone
+	res.Published = published.Load()
+	drainDeadline := time.Now().Add(30 * time.Second)
+	for {
+		allDone := true
+		for _, st := range states {
+			if st.received.Load() < res.Published {
+				allDone = false
+				break
+			}
+		}
+		if allDone || time.Now().After(drainDeadline) {
+			res.AllDelivered = allDone
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	for _, st := range states {
+		events, _, gaps, violations := st.sub.Stats()
+		res.Gaps += gaps
+		res.Violations += violations
+		if events != res.Published {
+			res.AllDelivered = false
+		}
+		st.sub.Disconnect() //nolint:errcheck,gosec // teardown
+	}
+	if !res.AllDelivered || res.Gaps > 0 || res.Violations > 0 {
+		var counts []int64
+		for _, st := range states {
+			ev, _, _, _ := st.sub.Stats()
+			counts = append(counts, ev)
+		}
+		return res, fmt.Errorf("experiment: self-healing broke delivery: published=%d received=%v gaps=%d violations=%d",
+			res.Published, counts, res.Gaps, res.Violations)
+	}
+	return res, nil
+}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -153,7 +154,7 @@ func RunShardThroughput(dir string, p ShardThroughputParams) (*ShardThroughputRe
 // pubend until stop closes, counting acks. Events carry the pubend's group
 // attribute so exactly one pool subscriber matches them.
 func floodPubend(c *Cluster, target vtime.PubendID, group string, p ShardThroughputParams, stop chan struct{}, acked *metrics.Counter) error {
-	pub, err := client.NewPublisher(c.Transport, c.PHBAddr(), fmt.Sprintf("flood%d", target))
+	pub, err := client.NewPublisher(context.Background(), c.Transport, c.PHBAddr(), fmt.Sprintf("flood%d", target))
 	if err != nil {
 		return err
 	}

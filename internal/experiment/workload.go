@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -49,7 +50,7 @@ func StartPublisherLoad(t overlay.Transport, addr string, rate, groups, payload 
 	if payload <= 0 {
 		payload = PaperPayloadBytes
 	}
-	pub, err := client.NewPublisher(t, addr, "load")
+	pub, err := client.NewPublisher(context.Background(), t, addr, "load")
 	if err != nil {
 		return nil, err
 	}
@@ -187,7 +188,7 @@ func StartSubscriberPool(c *Cluster, opts PoolOptions) (*SubscriberPool, error) 
 			return nil, err
 		}
 		shb := i % nSHB
-		if err := sub.Connect(c.Transport, c.SHBAddr(shb)); err != nil {
+		if err := sub.Connect(context.Background(), c.Transport, c.SHBAddr(shb)); err != nil {
 			p.Stop()
 			return nil, err
 		}
@@ -241,7 +242,7 @@ func (p *SubscriberPool) churn(sub *client.Subscriber, shb int, phase, period, d
 		}
 		// Reconnect, retrying briefly (the SHB may be restarting).
 		for attempt := 0; attempt < 100; attempt++ {
-			if err := sub.Connect(p.cluster.Transport, p.cluster.SHBAddr(shb)); err == nil {
+			if err := sub.Connect(context.Background(), p.cluster.Transport, p.cluster.SHBAddr(shb)); err == nil {
 				break
 			}
 			if !sleepOr(p.stopCh, 10*time.Millisecond) {

@@ -1,6 +1,7 @@
 package jms
 
 import (
+	"context"
 	"sync"
 	"testing"
 	"time"
@@ -63,7 +64,7 @@ func TestAutoAckConsumerCommitsPerEvent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck
@@ -98,7 +99,7 @@ func TestBatchAckConsumerCommitsPerBatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sub.Connect(netw, "shb"); err != nil {
+	if err := sub.Connect(context.Background(), netw, "shb"); err != nil {
 		t.Fatal(err)
 	}
 	defer sub.Disconnect() //nolint:errcheck

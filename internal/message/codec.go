@@ -86,6 +86,14 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	case *Hello:
 		buf = append(buf, byte(v.Role))
 		buf = appendString(buf, v.Name)
+		if v.Info {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+		buf = appendString(buf, v.Root)
+		buf = binary.BigEndian.AppendUint64(buf, v.Epoch)
+		buf = binary.BigEndian.AppendUint32(buf, v.Depth)
 	case *SubUpdate:
 		buf = binary.BigEndian.AppendUint32(buf, uint32(v.Subscriber))
 		buf = appendString(buf, v.Filter)
@@ -204,7 +212,14 @@ func Decode(buf []byte) (Message, error) {
 	case TypeDetach:
 		m = &Detach{Subscriber: vtime.SubscriberID(r.u32())}
 	case TypeHello:
-		m = &Hello{Role: LinkRole(r.u8()), Name: r.str()}
+		m = &Hello{
+			Role:  LinkRole(r.u8()),
+			Name:  r.str(),
+			Info:  r.u8() == 1,
+			Root:  r.str(),
+			Epoch: r.u64(),
+			Depth: r.u32(),
+		}
 	case TypeSubUpdate:
 		m = &SubUpdate{
 			Subscriber: vtime.SubscriberID(r.u32()),

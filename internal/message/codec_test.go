@@ -308,14 +308,22 @@ func TestKnowledgeRoundTripRandom(t *testing.T) {
 
 func TestHelloSubUpdateRoundTrip(t *testing.T) {
 	if got, ok := roundTrip(t, &Hello{Role: RoleSubscriber, Name: "client-7"}).(*Hello); !ok ||
-		got.Role != RoleSubscriber || got.Name != "client-7" {
+		got.Role != RoleSubscriber || got.Name != "client-7" || got.Info {
 		t.Errorf("hello mismatch: %+v", got)
+	}
+	info := &Hello{Role: RoleBroker, Name: "mid2", Info: true, Root: "phb", Epoch: 7, Depth: 3}
+	if got, ok := roundTrip(t, info).(*Hello); !ok || *got != *info {
+		t.Errorf("info hello mismatch: %+v", got)
+	}
+	probe := &Hello{Role: RoleProbe, Name: "shb4"}
+	if got, ok := roundTrip(t, probe).(*Hello); !ok || *got != *probe {
+		t.Errorf("probe hello mismatch: %+v", got)
 	}
 	m := &SubUpdate{Subscriber: 4, Filter: `topic = "x"`, Remove: true}
 	if got, ok := roundTrip(t, m).(*SubUpdate); !ok || *got != *m {
 		t.Errorf("sub-update mismatch: %+v", got)
 	}
-	for _, r := range []LinkRole{RoleBroker, RolePublisher, RoleSubscriber, LinkRole(9)} {
+	for _, r := range []LinkRole{RoleBroker, RolePublisher, RoleSubscriber, RoleProbe, LinkRole(9)} {
 		if r.String() == "" {
 			t.Error("empty role string")
 		}

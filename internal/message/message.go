@@ -265,6 +265,7 @@ const (
 	RoleBroker     LinkRole = iota + 1 // a downstream broker joining the tree
 	RolePublisher                      // a publishing client
 	RoleSubscriber                     // a durable subscriber client
+	RoleProbe                          // a transient liveness/tree-position probe; never registered as a link
 )
 
 // String implements fmt.Stringer.
@@ -276,6 +277,8 @@ func (r LinkRole) String() string {
 		return "publisher"
 	case RoleSubscriber:
 		return "subscriber"
+	case RoleProbe:
+		return "probe"
 	default:
 		return fmt.Sprintf("LinkRole(%d)", uint8(r))
 	}
@@ -283,9 +286,25 @@ func (r LinkRole) String() string {
 
 // Hello is the first message on every connection, declaring the dialer's
 // role. Brokers use it to classify the link.
+//
+// Between brokers, Hello doubles as the tree-position advertisement the
+// repair policy relies on: a parent replies to a RoleBroker or RoleProbe
+// Hello with an Info-carrying Hello stating the root it currently hangs
+// from (Root), the epoch that root minted when it last became a root
+// (Epoch), and its own depth below that root (Depth). The tuple lets an
+// orphaned broker reject candidate parents inside its own orphaned
+// subtree — a descendant always advertises the orphan itself as Root, or
+// a strictly greater Depth under the same (Root, Epoch) — so automatic
+// fail-over can never close a cycle (DESIGN §2.12).
 type Hello struct {
 	Role LinkRole
 	Name string // diagnostic
+
+	// Tree-position advertisement (broker→broker replies only).
+	Info  bool   // whether Root/Epoch/Depth below are meaningful
+	Root  string // name of the tree root the sender hangs from
+	Epoch uint64 // root's incarnation counter (minted on becoming root)
+	Depth uint32 // sender's hop distance below Root (root = 0)
 }
 
 // WireType implements Message.

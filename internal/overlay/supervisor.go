@@ -66,6 +66,11 @@ type LinkStatus struct {
 	LastError string
 	// Since is when the link entered its current up/down period.
 	Since time.Time
+	// DownFor is how long the link has been continuously without a live
+	// connection (zero while up). Backoff cycles do not reset it, so it
+	// measures the whole outage — the quantity fail-over thresholds
+	// compare against.
+	DownFor time.Duration
 }
 
 // SupervisorConfig configures a supervised link.
@@ -116,6 +121,7 @@ type Supervisor struct {
 	healed   atomic.Uint64
 	lastErr  atomic.Pointer[string]
 	since    atomic.Int64 // unix nanos of the last state flip
+	downNano atomic.Int64 // unix nanos when the current outage began (0 while up)
 	upGauge  *telemetry.Gauge
 	started  atomic.Bool
 	everUp   bool
@@ -233,6 +239,9 @@ func (s *Supervisor) Status() LinkStatus {
 	if p := s.lastErr.Load(); p != nil {
 		st.LastError = *p
 	}
+	if dn := s.downNano.Load(); dn != 0 {
+		st.DownFor = time.Since(time.Unix(0, dn))
+	}
 	return st
 }
 
@@ -241,8 +250,12 @@ func (s *Supervisor) markState(st LinkState) {
 	s.since.Store(time.Now().UnixNano())
 	if st == LinkUp {
 		s.upGauge.Set(1)
+		s.downNano.Store(0)
 	} else {
 		s.upGauge.Set(0)
+		// Only the first non-up transition of an outage stamps the start;
+		// down→backoff churn keeps the original outage clock running.
+		s.downNano.CompareAndSwap(0, time.Now().UnixNano())
 	}
 }
 

@@ -234,3 +234,51 @@ func TestSupervisorOnUpErrorRetries(t *testing.T) {
 		t.Fatalf("OnUp called %d times, want >= 3", calls.Load())
 	}
 }
+
+func TestSupervisorDownFor(t *testing.T) {
+	net := NewInprocNetwork(0)
+	lis := &supListener{}
+	closer, err := net.Listen("peer", lis.accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSupervisor(SupervisorConfig{
+		Name:      "t/downfor",
+		Transport: net,
+		Addr:      "peer",
+		OnUp: func(c Conn) error {
+			c.Start(func(message.Message) {})
+			return nil
+		},
+	})
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	if st := s.Status(); st.State != LinkUp || st.DownFor != 0 {
+		t.Fatalf("up status = %+v, want LinkUp with zero DownFor", st)
+	}
+
+	// Kill the link server-side: DownFor must start counting from the
+	// loss and keep growing across backoff/redial churn until it heals.
+	closer.Close() //nolint:errcheck,gosec // keep redials failing so the outage persists
+	lis.killLatest()
+	waitUntil(t, "link down", func() bool { return s.Status().State != LinkUp })
+	early := s.Status().DownFor
+	if early <= 0 {
+		t.Fatalf("DownFor = %v right after loss, want > 0", early)
+	}
+	time.Sleep(30 * time.Millisecond)
+	later := s.Status().DownFor
+	if later < early+20*time.Millisecond {
+		t.Fatalf("DownFor did not grow across the outage: %v then %v", early, later)
+	}
+
+	if _, err := net.Listen("peer", lis.accept); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "link healed", func() bool { return s.Status().State == LinkUp })
+	if st := s.Status(); st.DownFor != 0 {
+		t.Fatalf("healed DownFor = %v, want 0", st.DownFor)
+	}
+}

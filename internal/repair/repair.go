@@ -1,0 +1,484 @@
+// Package repair implements the self-healing fail-over policy of the
+// broker overlay: each non-root broker carries an ordered list of
+// candidate parents, watches its supervised upstream link, and when the
+// primary stays down past a threshold re-parents itself to the best live
+// candidate through the membership machinery's make-before-break path —
+// preferring the original parent back once it returns.
+//
+// The hard part is staying loop-free when a whole subtree is orphaned
+// together: a broker must never adopt a parent from inside its own
+// orphaned subtree, and concurrent fail-overs by siblings must converge
+// instead of adopting each other. Both are decided locally from the
+// tree-position tuple (root name, root epoch, depth) every broker
+// advertises in its Hello replies — see Adoptable for the rule and
+// DESIGN §2.12 for the argument. The design follows the self-repair
+// ideas of "Self-Stabilizing Supervised Publish-Subscribe Systems" and
+// VCube-PS: local decisions from neighbor-advertised position, with a
+// deterministic tie-break so contested edges resolve one way.
+package repair
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/overlay"
+	"repro/internal/telemetry"
+)
+
+// Fail-over instruments (process-wide).
+var (
+	tFailovers = telemetry.Default().Counter("gryphon_failover_total",
+		"Automatic upstream fail-overs: repair-driven re-parents away from a down parent.")
+	tFailbacks = telemetry.Default().Counter("gryphon_failback_total",
+		"Automatic returns to the preferred primary parent after it came back.")
+	tRepairSeconds = telemetry.Default().DurationHistogram("gryphon_time_to_repair_seconds",
+		"Time from the upstream link going down to a successful automatic re-parent.",
+		telemetry.FastBuckets)
+)
+
+// TreeInfo is a broker's advertised position in the overlay tree: the
+// root it currently hangs from, that root's incarnation epoch, and its
+// own hop distance below the root. Known is false while the broker has
+// not yet learned its position from its current parent (the tuple is
+// only trusted for the link it was learned on — a re-parented broker's
+// stale position from a previous parent is not evidence).
+type TreeInfo struct {
+	Known bool
+	Root  string
+	Epoch uint64
+	Depth uint32
+}
+
+// Adoptable decides whether the broker selfName (at position self) may
+// safely adopt the broker candName (advertising position cand) as its
+// new parent during a fail-over. The rule must hold when self's own
+// position is stale — its parent is down, so self and every broker below
+// it advertise the positions they held when the outage began:
+//
+//   - cand must advertise a Known position, and must not be self or
+//     claim self as its root (a broker inside self's subtree roots its
+//     advertised position at self or deeper).
+//   - A candidate under a different root is outside self's tree
+//     entirely: safe.
+//   - Same root, higher epoch: the root re-minted its epoch after self's
+//     info froze, so cand's position is provably fresher than anything
+//     in self's orphaned subtree (descendants can only learn a new epoch
+//     through self).
+//   - Same root and epoch: only a strictly shallower candidate is safe —
+//     every descendant of self froze at a strictly greater depth. Equal
+//     depth means a sibling that may itself be orphaned and probing us
+//     right now; the lexicographic name tie-break lets exactly one
+//     direction of the contested edge win, so concurrent sibling
+//     fail-overs converge instead of forming a 2-cycle.
+//
+// Unknown self positions are permissive: a broker that never learned its
+// place has no descendants carrying Known positions (they could only
+// have learned one through it), so any Known candidate is outside its
+// subtree.
+func Adoptable(selfName string, self TreeInfo, candName string, cand TreeInfo) bool {
+	if !cand.Known || candName == selfName || cand.Root == selfName {
+		return false
+	}
+	if !self.Known {
+		return true
+	}
+	if cand.Root != self.Root {
+		return true
+	}
+	if cand.Epoch != self.Epoch {
+		return cand.Epoch > self.Epoch
+	}
+	if cand.Depth != self.Depth {
+		return cand.Depth < self.Depth
+	}
+	return candName < selfName
+}
+
+// AdoptableFailback is the relaxed rule for returning to the preferred
+// primary parent: the primary edge is an operator-declared tree edge, so
+// an equal-depth primary (common after both ends failed over to the same
+// grandparent) is also accepted — the declared topology is acyclic, so
+// mutual primary edges cannot exist and the 2-cycle hazard of the
+// fail-over tie-break does not apply.
+func AdoptableFailback(selfName string, self TreeInfo, candName string, cand TreeInfo) bool {
+	if Adoptable(selfName, self, candName, cand) {
+		return true
+	}
+	return cand.Known && candName != selfName && cand.Root != selfName &&
+		self.Known && cand.Root == self.Root && cand.Epoch == self.Epoch &&
+		cand.Depth <= self.Depth
+}
+
+// Node is the broker surface the monitor drives. Implemented by an
+// adapter over *broker.Broker (the broker package imports repair, not
+// the other way around).
+type Node interface {
+	// Name is the broker's own name.
+	Name() string
+	// UpstreamAddr is the current parent's dial address ("" = root).
+	UpstreamAddr() string
+	// UpstreamStatus snapshots the supervised upstream link; ok is false
+	// for a root (nothing to fail over from).
+	UpstreamStatus() (st overlay.LinkStatus, ok bool)
+	// Tree is the broker's own current position.
+	Tree() TreeInfo
+	// Probe dials addr transiently and returns the remote broker's name
+	// and advertised position (no downstream link is registered).
+	Probe(ctx context.Context, addr string) (name string, info TreeInfo, err error)
+	// Reparent re-parents the broker under addr make-before-break. It
+	// must not change the operator-intended primary.
+	Reparent(ctx context.Context, addr string) error
+}
+
+// Config configures a Monitor.
+type Config struct {
+	// Node is the supervised broker (required).
+	Node Node
+	// Primary is the operator-intended parent address ("" = none); the
+	// broker updates it through SetPrimary on operator re-parents.
+	Primary string
+	// Candidates is the ordered candidate-parent address list (required,
+	// non-empty); earlier entries are preferred.
+	Candidates []string
+	// FailoverAfter is how long the upstream link must stay down before
+	// a fail-over is attempted (required > 0).
+	FailoverAfter time.Duration
+	// Holddown is the minimum spacing between repair-driven re-parents
+	// (fail-over or fail-back), damping flaps on a blinking link
+	// (0 = 4×FailoverAfter).
+	Holddown time.Duration
+	// PreferPrimary re-adopts the primary parent once it is reachable
+	// and adoptable again (after Holddown).
+	PreferPrimary bool
+	// Jitter widens the per-outage threshold to FailoverAfter×(1+J·rand)
+	// so co-orphaned siblings don't stampede the same candidate at the
+	// same instant (0 = 0.5; negative = none).
+	Jitter float64
+	// Seed seeds the jitter source (0 = FNV hash of the node name, so
+	// sibling schedules decorrelate deterministically).
+	Seed int64
+	// Interval is the watch poll period (0 = FailoverAfter/4, min 1ms).
+	Interval time.Duration
+	// ProbeTimeout bounds each candidate probe (0 = max(FailoverAfter,
+	// 50ms)).
+	ProbeTimeout time.Duration
+	// ProbeEvery is the background candidate-refresh period keeping
+	// Candidates() fresh for health reporting (0 = 8×Interval; negative
+	// = never).
+	ProbeEvery time.Duration
+}
+
+// CandidateStatus is one candidate parent's last-probed state.
+type CandidateStatus struct {
+	// Addr is the candidate's dial address (as configured).
+	Addr string
+	// Name is the candidate's broker name ("" until first probed).
+	Name string
+	// Tree is the candidate's advertised position at the last probe.
+	Tree TreeInfo
+	// Alive reports whether the last probe succeeded.
+	Alive bool
+	// LastProbe is when the candidate was last probed (zero = never).
+	LastProbe time.Time
+	// LastError is the last probe failure ("" when none).
+	LastError string
+}
+
+// Stats is a snapshot of the monitor's repair history.
+type Stats struct {
+	// Failovers counts repair-driven re-parents away from a down parent.
+	Failovers uint64
+	// Failbacks counts returns to the preferred primary.
+	Failbacks uint64
+	// Repairs holds the time-to-repair of each fail-over (outage start to
+	// successful re-parent), most recent last; bounded to the last 256.
+	Repairs []time.Duration
+}
+
+// Monitor watches one broker's upstream link and drives automatic
+// fail-over and fail-back. All probing and re-parenting happens on the
+// monitor's own goroutine; the snapshot accessors are safe for
+// concurrent use.
+type Monitor struct {
+	cfg Config
+	rng *rand.Rand // loop-owned
+
+	primary atomic.Pointer[string]
+
+	mu      sync.Mutex
+	cands   map[string]*CandidateStatus
+	order   []string
+	repairs []time.Duration
+
+	failovers atomic.Uint64
+	failbacks atomic.Uint64
+
+	// Loop-owned fail-over state.
+	lastSwitch time.Time
+	threshold  time.Duration // jittered per-outage threshold
+	armed      bool          // threshold drawn for the current outage
+
+	stop     chan struct{}
+	done     chan struct{}
+	started  atomic.Bool
+	stopOnce sync.Once
+}
+
+// NewMonitor builds a monitor; Start runs it.
+func NewMonitor(cfg Config) *Monitor {
+	if cfg.Holddown <= 0 {
+		cfg.Holddown = 4 * cfg.FailoverAfter
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.5
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = cfg.FailoverAfter / 4
+		if cfg.Interval < time.Millisecond {
+			cfg.Interval = time.Millisecond
+		}
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.FailoverAfter
+		if cfg.ProbeTimeout < 50*time.Millisecond {
+			cfg.ProbeTimeout = 50 * time.Millisecond
+		}
+	}
+	if cfg.ProbeEvery == 0 {
+		cfg.ProbeEvery = 8 * cfg.Interval
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.Node.Name())) //nolint:errcheck,gosec // fnv never fails
+		seed = int64(h.Sum64())
+		if seed == 0 {
+			seed = 1
+		}
+	}
+	m := &Monitor{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(seed)), //nolint:gosec // jitter, not crypto
+		cands: make(map[string]*CandidateStatus, len(cfg.Candidates)),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, addr := range cfg.Candidates {
+		if _, dup := m.cands[addr]; dup {
+			continue
+		}
+		m.cands[addr] = &CandidateStatus{Addr: addr}
+		m.order = append(m.order, addr)
+	}
+	p := cfg.Primary
+	m.primary.Store(&p)
+	return m
+}
+
+// Start launches the watch loop. Safe to call once.
+func (m *Monitor) Start() {
+	if m.started.Swap(true) {
+		return
+	}
+	go m.run()
+}
+
+// Stop halts the loop, waiting out any in-flight probe or re-parent.
+// Safe to call more than once, including before Start.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	if m.started.Load() {
+		<-m.done
+	}
+}
+
+// SetPrimary records a new operator-intended parent (operator re-parents
+// move the preference; repair-driven moves do not).
+func (m *Monitor) SetPrimary(addr string) { m.primary.Store(&addr) }
+
+// Primary reports the operator-intended parent address.
+func (m *Monitor) Primary() string { return *m.primary.Load() }
+
+// Candidates snapshots the candidate parents in preference order.
+func (m *Monitor) Candidates() []CandidateStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]CandidateStatus, 0, len(m.order))
+	for _, addr := range m.order {
+		out = append(out, *m.cands[addr])
+	}
+	return out
+}
+
+// Stats snapshots the repair history.
+func (m *Monitor) Stats() Stats {
+	m.mu.Lock()
+	repairs := append([]time.Duration(nil), m.repairs...)
+	m.mu.Unlock()
+	return Stats{
+		Failovers: m.failovers.Load(),
+		Failbacks: m.failbacks.Load(),
+		Repairs:   repairs,
+	}
+}
+
+func (m *Monitor) run() {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	var lastRefresh time.Time
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		m.tick()
+		if m.cfg.ProbeEvery > 0 && time.Since(lastRefresh) >= m.cfg.ProbeEvery {
+			m.refreshCandidates()
+			lastRefresh = time.Now()
+		}
+	}
+}
+
+// tick is one watch round: arm the jittered threshold on a fresh outage,
+// fail over once it is exceeded, or consider failing back while healthy.
+func (m *Monitor) tick() {
+	st, ok := m.cfg.Node.UpstreamStatus()
+	if !ok {
+		// Root (operator detached): nothing to fail over from.
+		m.armed = false
+		return
+	}
+	if st.State == overlay.LinkUp {
+		m.armed = false
+		if m.cfg.PreferPrimary {
+			m.maybeFailback()
+		}
+		return
+	}
+	if !m.armed {
+		m.threshold = m.cfg.FailoverAfter +
+			time.Duration(m.cfg.Jitter*m.rng.Float64()*float64(m.cfg.FailoverAfter))
+		m.armed = true
+	}
+	if st.DownFor < m.threshold {
+		return
+	}
+	if time.Since(m.lastSwitch) < m.cfg.Holddown {
+		return
+	}
+	m.failover(st)
+}
+
+// failover probes the candidates in preference order and re-parents to
+// the first live, adoptable one. Runs on the monitor goroutine.
+func (m *Monitor) failover(st overlay.LinkStatus) {
+	began := time.Now()
+	cur := m.cfg.Node.UpstreamAddr()
+	selfName := m.cfg.Node.Name()
+	self := m.cfg.Node.Tree()
+	for _, addr := range m.order {
+		if addr == cur {
+			continue // the down parent itself
+		}
+		name, info, err := m.probe(addr)
+		if err != nil || !Adoptable(selfName, self, name, info) {
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), m.reparentTimeout())
+		err = m.cfg.Node.Reparent(ctx, addr)
+		cancel()
+		if err != nil {
+			continue
+		}
+		m.lastSwitch = time.Now()
+		m.armed = false
+		m.failovers.Add(1)
+		tFailovers.Inc()
+		repair := st.DownFor + time.Since(began)
+		tRepairSeconds.ObserveDuration(repair)
+		m.mu.Lock()
+		m.repairs = append(m.repairs, repair)
+		if len(m.repairs) > 256 {
+			m.repairs = m.repairs[len(m.repairs)-256:]
+		}
+		m.mu.Unlock()
+		return
+	}
+}
+
+// maybeFailback returns to the primary parent when preferred, reachable,
+// and adoptable. Runs on the monitor goroutine while the link is up.
+func (m *Monitor) maybeFailback() {
+	primary := m.Primary()
+	cur := m.cfg.Node.UpstreamAddr()
+	if primary == "" || cur == "" || cur == primary {
+		return
+	}
+	if time.Since(m.lastSwitch) < m.cfg.Holddown {
+		return
+	}
+	name, info, err := m.probe(primary)
+	if err != nil || !AdoptableFailback(m.cfg.Node.Name(), m.cfg.Node.Tree(), name, info) {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), m.reparentTimeout())
+	err = m.cfg.Node.Reparent(ctx, primary)
+	cancel()
+	if err != nil {
+		return
+	}
+	m.lastSwitch = time.Now()
+	m.failbacks.Add(1)
+	tFailbacks.Inc()
+}
+
+// probe checks one candidate and records its status for Candidates().
+func (m *Monitor) probe(addr string) (string, TreeInfo, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), m.cfg.ProbeTimeout)
+	name, info, err := m.cfg.Node.Probe(ctx, addr)
+	cancel()
+	m.mu.Lock()
+	if c := m.cands[addr]; c != nil {
+		c.LastProbe = time.Now()
+		if err != nil {
+			c.Alive = false
+			c.LastError = err.Error()
+		} else {
+			c.Alive = true
+			c.LastError = ""
+			c.Name = name
+			c.Tree = info
+		}
+	}
+	m.mu.Unlock()
+	return name, info, err
+}
+
+// refreshCandidates probes every candidate so health reporting stays
+// fresh even while the upstream link is healthy.
+func (m *Monitor) refreshCandidates() {
+	for _, addr := range m.order {
+		select {
+		case <-m.stop:
+			return
+		default:
+		}
+		m.probe(addr) //nolint:errcheck,gosec // status recording is the point
+	}
+}
+
+func (m *Monitor) reparentTimeout() time.Duration {
+	if t := 4 * m.cfg.FailoverAfter; t > time.Second {
+		return t
+	}
+	return time.Second
+}

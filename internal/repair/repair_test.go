@@ -1,0 +1,295 @@
+package repair
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/overlay"
+)
+
+func TestAdoptable(t *testing.T) {
+	known := func(root string, epoch uint64, depth uint32) TreeInfo {
+		return TreeInfo{Known: true, Root: root, Epoch: epoch, Depth: depth}
+	}
+	self := known("phb", 3, 2) // mid broker, depth 2 under phb@3
+	cases := []struct {
+		name     string
+		selfName string
+		self     TreeInfo
+		candName string
+		cand     TreeInfo
+		want     bool
+	}{
+		{"unknown candidate", "mid1", self, "x", TreeInfo{}, false},
+		{"candidate is self", "mid1", self, "mid1", known("phb", 3, 1), false},
+		{"candidate rooted at self", "mid1", self, "kid", known("mid1", 5, 1), false},
+		{"different root", "mid1", self, "other", known("alt", 1, 9), true},
+		{"same root higher epoch", "mid1", self, "cousin", known("phb", 4, 7), true},
+		{"same root lower epoch", "mid1", self, "stale", known("phb", 2, 0), false},
+		{"same epoch shallower", "mid1", self, "uncle", known("phb", 3, 1), true},
+		{"same epoch deeper", "mid1", self, "nephew", known("phb", 3, 3), false},
+		{"same depth name wins", "mid2", self, "mid1", known("phb", 3, 2), true},
+		{"same depth name loses", "mid1", self, "mid2", known("phb", 3, 2), false},
+		{"unknown self adopts anything known", "mid1", TreeInfo{}, "any", known("phb", 1, 9), true},
+		{"unknown self rejects unknown", "mid1", TreeInfo{}, "any", TreeInfo{}, false},
+		{"unknown self rejects own root claim", "mid1", TreeInfo{}, "kid", known("mid1", 1, 1), false},
+	}
+	for _, c := range cases {
+		if got := Adoptable(c.selfName, c.self, c.candName, c.cand); got != c.want {
+			t.Errorf("%s: Adoptable = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The tie-break must never let both directions of a contested edge
+	// pass: for equal positions exactly one of (a adopts b, b adopts a)
+	// holds.
+	a, b := known("phb", 3, 2), known("phb", 3, 2)
+	ab := Adoptable("mida", a, "midb", b)
+	ba := Adoptable("midb", b, "mida", a)
+	if ab == ba {
+		t.Fatalf("tie-break not antisymmetric: a->b=%v b->a=%v", ab, ba)
+	}
+}
+
+func TestAdoptableFailback(t *testing.T) {
+	known := func(root string, epoch uint64, depth uint32) TreeInfo {
+		return TreeInfo{Known: true, Root: root, Epoch: epoch, Depth: depth}
+	}
+	self := known("phb", 3, 2)
+	// Equal depth is allowed on the primary edge (declared topology is
+	// acyclic) even though plain Adoptable rejects it.
+	if Adoptable("mid1", self, "mid2", known("phb", 3, 2)) {
+		t.Fatal("plain Adoptable should reject equal depth with losing name")
+	}
+	if !AdoptableFailback("mid1", self, "mid2", known("phb", 3, 2)) {
+		t.Fatal("failback should accept an equal-depth primary")
+	}
+	// Deeper candidates stay rejected even for failback.
+	if AdoptableFailback("mid1", self, "kid", known("phb", 3, 3)) {
+		t.Fatal("failback must not adopt a deeper candidate")
+	}
+	// And the self-subtree guards hold.
+	if AdoptableFailback("mid1", self, "kid", known("mid1", 9, 1)) {
+		t.Fatal("failback must not adopt a candidate rooted at self")
+	}
+}
+
+// fakeNode is a scriptable repair.Node for monitor tests.
+type fakeNode struct {
+	mu        sync.Mutex
+	name      string
+	upstream  string
+	status    overlay.LinkStatus
+	hasStatus bool
+	tree      TreeInfo
+	probes    map[string]probeResult
+	reparents []string
+	reparent  func(addr string) error
+}
+
+type probeResult struct {
+	name string
+	info TreeInfo
+	err  error
+}
+
+func (f *fakeNode) Name() string { return f.name }
+
+func (f *fakeNode) UpstreamAddr() string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.upstream
+}
+
+func (f *fakeNode) UpstreamStatus() (overlay.LinkStatus, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status, f.hasStatus
+}
+
+func (f *fakeNode) Tree() TreeInfo {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.tree
+}
+
+func (f *fakeNode) Probe(_ context.Context, addr string) (string, TreeInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.probes[addr]
+	if !ok {
+		return "", TreeInfo{}, errors.New("unreachable")
+	}
+	return r.name, r.info, r.err
+}
+
+func (f *fakeNode) Reparent(_ context.Context, addr string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.reparent != nil {
+		if err := f.reparent(addr); err != nil {
+			return err
+		}
+	}
+	f.reparents = append(f.reparents, addr)
+	f.upstream = addr
+	f.status = overlay.LinkStatus{State: overlay.LinkUp}
+	return nil
+}
+
+func (f *fakeNode) setDown(downFor time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.status = overlay.LinkStatus{State: overlay.LinkDown, DownFor: downFor}
+}
+
+func (f *fakeNode) reparentLog() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.reparents...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestMonitorFailsOverToFirstAdoptable(t *testing.T) {
+	adopt := TreeInfo{Known: true, Root: "phb", Epoch: 1, Depth: 1}
+	node := &fakeNode{
+		name:      "mid2",
+		upstream:  "mid1",
+		hasStatus: true,
+		tree:      TreeInfo{Known: true, Root: "phb", Epoch: 1, Depth: 2},
+		probes: map[string]probeResult{
+			// mid1 (the down parent, skipped), dead is unreachable,
+			// kid is inside our own subtree, phb is adoptable.
+			"dead": {err: errors.New("down")},
+			"kid":  {name: "kid", info: TreeInfo{Known: true, Root: "mid2", Epoch: 2, Depth: 1}},
+			"phb":  {name: "phb", info: adopt},
+		},
+	}
+	node.setDown(time.Hour) // well past any threshold
+	m := NewMonitor(Config{
+		Node:          node,
+		Primary:       "mid1",
+		Candidates:    []string{"mid1", "dead", "kid", "phb"},
+		FailoverAfter: 5 * time.Millisecond,
+		Interval:      time.Millisecond,
+		ProbeEvery:    -1,
+	})
+	m.Start()
+	defer m.Stop()
+	waitFor(t, "failover", func() bool { return m.Stats().Failovers == 1 })
+	if got := node.reparentLog(); len(got) != 1 || got[0] != "phb" {
+		t.Fatalf("reparents = %v, want [phb]", got)
+	}
+	st := m.Stats()
+	if len(st.Repairs) != 1 || st.Repairs[0] < time.Hour {
+		t.Fatalf("repairs = %v, want one entry >= outage duration", st.Repairs)
+	}
+	if m.Primary() != "mid1" {
+		t.Fatalf("failover moved the primary to %q", m.Primary())
+	}
+	// Candidate statuses were recorded by the fail-over probes.
+	var sawDead, sawPhb bool
+	for _, c := range m.Candidates() {
+		switch c.Addr {
+		case "dead":
+			sawDead = !c.Alive && c.LastError != ""
+		case "phb":
+			sawPhb = c.Alive && c.Name == "phb"
+		}
+	}
+	if !sawDead || !sawPhb {
+		t.Fatalf("candidate statuses not recorded: %+v", m.Candidates())
+	}
+}
+
+func TestMonitorHolddownDampsFlapping(t *testing.T) {
+	adopt := TreeInfo{Known: true, Root: "phb", Epoch: 1, Depth: 1}
+	node := &fakeNode{
+		name:      "mid2",
+		upstream:  "mid1",
+		hasStatus: true,
+		tree:      TreeInfo{Known: true, Root: "phb", Epoch: 1, Depth: 2},
+		probes: map[string]probeResult{
+			"alt1": {name: "alt1", info: adopt},
+			"alt2": {name: "alt2", info: adopt},
+		},
+	}
+	node.setDown(time.Hour)
+	m := NewMonitor(Config{
+		Node:          node,
+		Candidates:    []string{"alt1", "alt2"},
+		FailoverAfter: 2 * time.Millisecond,
+		Holddown:      time.Hour,
+		Interval:      time.Millisecond,
+		ProbeEvery:    -1,
+	})
+	m.Start()
+	defer m.Stop()
+	waitFor(t, "first failover", func() bool { return m.Stats().Failovers == 1 })
+	// The link "blinks": goes down again immediately. Holddown must hold
+	// the fire.
+	node.setDown(time.Hour)
+	time.Sleep(50 * time.Millisecond)
+	if got := m.Stats().Failovers; got != 1 {
+		t.Fatalf("failovers = %d within holddown, want 1", got)
+	}
+}
+
+func TestMonitorFailsBackToPrimary(t *testing.T) {
+	node := &fakeNode{
+		name:      "mid2",
+		upstream:  "alt", // currently failed over
+		hasStatus: true,
+		status:    overlay.LinkStatus{State: overlay.LinkUp},
+		tree:      TreeInfo{Known: true, Root: "phb", Epoch: 1, Depth: 2},
+		probes: map[string]probeResult{
+			"mid1": {name: "mid1", info: TreeInfo{Known: true, Root: "phb", Epoch: 1, Depth: 1}},
+		},
+	}
+	m := NewMonitor(Config{
+		Node:          node,
+		Primary:       "mid1",
+		Candidates:    []string{"mid1", "alt"},
+		FailoverAfter: 5 * time.Millisecond,
+		Holddown:      time.Millisecond,
+		PreferPrimary: true,
+		Interval:      time.Millisecond,
+		ProbeEvery:    -1,
+	})
+	m.Start()
+	defer m.Stop()
+	waitFor(t, "failback", func() bool { return m.Stats().Failbacks == 1 })
+	if got := node.reparentLog(); len(got) != 1 || got[0] != "mid1" {
+		t.Fatalf("reparents = %v, want [mid1]", got)
+	}
+}
+
+func TestMonitorRootDisarms(t *testing.T) {
+	node := &fakeNode{name: "root", hasStatus: false}
+	m := NewMonitor(Config{
+		Node:          node,
+		Candidates:    []string{"alt"},
+		FailoverAfter: time.Millisecond,
+		Interval:      time.Millisecond,
+		ProbeEvery:    -1,
+	})
+	m.Start()
+	defer m.Stop()
+	time.Sleep(20 * time.Millisecond)
+	if got := m.Stats().Failovers; got != 0 {
+		t.Fatalf("root failed over %d times", got)
+	}
+}

@@ -15,6 +15,12 @@ import (
 // fast (they run inline in /healthz requests) and safe for concurrent use.
 type Check func() error
 
+// Note is an informational health annotation: a non-empty string is
+// printed on /healthz and /readyz without affecting the status code
+// (e.g. "failed over to mid2" while the substitute link is healthy).
+// Same contract as Check: fast and safe for concurrent use.
+type Note func() string
+
 // Server is the admin HTTP endpoint of a broker: /metrics (Prometheus
 // text format), /healthz (liveness over registered checks), /readyz
 // (readiness gate plus the same checks), and /debug/pprof/*.
@@ -29,6 +35,7 @@ type Server struct {
 
 	mu     sync.Mutex
 	checks map[string]Check
+	notes  map[string]Note
 	ready  atomic.Bool
 
 	closeOnce sync.Once
@@ -49,6 +56,7 @@ func NewServer(addr string, reg *Registry) (*Server, error) {
 		reg:    reg,
 		ln:     ln,
 		checks: make(map[string]Check),
+		notes:  make(map[string]Note),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -79,6 +87,15 @@ func (s *Server) UnregisterHealth(name string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.checks, name)
+}
+
+// RegisterNote adds (or replaces) a named informational annotation; it is
+// printed on /healthz and /readyz when non-empty but never changes the
+// status code.
+func (s *Server) RegisterNote(name string, n Note) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notes[name] = n
 }
 
 // SetReady flips the readiness gate; a broker marks itself ready once its
@@ -119,20 +136,44 @@ func (s *Server) runChecks() []string {
 	return failures
 }
 
-func writeHealth(w http.ResponseWriter, failures []string) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	if len(failures) == 0 {
-		fmt.Fprintln(w, "ok") //nolint:errcheck,gosec // client disconnect
-		return
+// runNotes evaluates every registered note and reports the non-empty
+// ones in name order.
+func (s *Server) runNotes() []string {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.notes))
+	notes := make([]Note, 0, len(s.notes))
+	for name, n := range s.notes {
+		names = append(names, name)
+		notes = append(notes, n)
 	}
-	w.WriteHeader(http.StatusServiceUnavailable)
-	for _, f := range failures {
-		fmt.Fprintln(w, f) //nolint:errcheck,gosec // client disconnect
+	s.mu.Unlock()
+	var out []string
+	for i, n := range notes {
+		if msg := n(); msg != "" {
+			out = append(out, fmt.Sprintf("note: %s: %s", names[i], msg))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func writeHealth(w http.ResponseWriter, failures, notes []string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if len(failures) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		for _, f := range failures {
+			fmt.Fprintln(w, f) //nolint:errcheck,gosec // client disconnect
+		}
+	} else {
+		fmt.Fprintln(w, "ok") //nolint:errcheck,gosec // client disconnect
+	}
+	for _, n := range notes {
+		fmt.Fprintln(w, n) //nolint:errcheck,gosec // client disconnect
 	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeHealth(w, s.runChecks())
+	writeHealth(w, s.runChecks(), s.runNotes())
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
@@ -140,5 +181,5 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if !s.ready.Load() {
 		failures = append([]string{"ready: startup not complete"}, failures...)
 	}
-	writeHealth(w, failures)
+	writeHealth(w, failures, s.runNotes())
 }

@@ -138,3 +138,38 @@ func TestServerEphemeralPortAndClose(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+func TestServerNotes(t *testing.T) {
+	s := newTestServer(t, NewRegistry())
+	msg := ""
+	s.RegisterNote("upstream", func() string { return msg })
+
+	// Empty notes are suppressed entirely.
+	if code, body := get(t, s, "/healthz"); code != http.StatusOK || strings.Contains(body, "note:") {
+		t.Fatalf("/healthz with empty note = %d %q, want plain ok", code, body)
+	}
+
+	// A non-empty note rides along without changing the status code.
+	msg = "failed over to mid2 (primary mid1)"
+	code, body := get(t, s, "/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz with note = %d, want 200 (notes are informational)", code)
+	}
+	if !strings.Contains(body, "note: upstream: failed over to mid2") {
+		t.Fatalf("/healthz body = %q, want the note printed", body)
+	}
+
+	// Notes also appear alongside failures.
+	s.RegisterHealth("disk", func() error { return errors.New("gone") })
+	code, body = get(t, s, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "note: upstream:") {
+		t.Fatalf("failing /healthz = %d %q, want 503 with the note still printed", code, body)
+	}
+
+	// And on /readyz.
+	s.UnregisterHealth("disk")
+	s.SetReady(true)
+	if code, body := get(t, s, "/readyz"); code != http.StatusOK || !strings.Contains(body, "note: upstream:") {
+		t.Fatalf("/readyz = %d %q, want 200 with note", code, body)
+	}
+}

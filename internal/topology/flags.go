@@ -18,14 +18,17 @@ type Flags struct {
 	// directory is DataDir/name, as everywhere else).
 	DataDir string
 
-	spec        BrokerSpec
-	pubends     string
-	allPubends  string
-	tick        time.Duration
-	maxRetain   time.Duration
-	groupLinger time.Duration
-	dialTimeout time.Duration
-	leaveGrace  time.Duration
+	spec             BrokerSpec
+	pubends          string
+	allPubends       string
+	parents          string
+	tick             time.Duration
+	maxRetain        time.Duration
+	groupLinger      time.Duration
+	dialTimeout      time.Duration
+	leaveGrace       time.Duration
+	failoverAfter    time.Duration
+	failoverHolddown time.Duration
 }
 
 // RegisterFlags installs the broker flags on fs.
@@ -50,6 +53,11 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.IntVar(&f.spec.CatchupWeight, "catchup-weight", 0, "catchup scheduler quantum: events one catchup stream may deliver per round before yielding to live traffic (0 = 256)")
 	fs.DurationVar(&f.dialTimeout, "dial-timeout", 0, "upstream dial bound, initial and supervised reconnects (0 = unbounded)")
 	fs.DurationVar(&f.leaveGrace, "leave-grace", 0, "how long to retain a deliberately departed child's soft state (0 = 250ms)")
+	fs.StringVar(&f.parents, "parents", "", "comma-separated candidate parent addresses for automatic fail-over, in preference order (requires -upstream and -failover-after)")
+	fs.DurationVar(&f.failoverAfter, "failover-after", 0, "how long the upstream link must stay down before failing over to a candidate parent (0 = disabled)")
+	fs.DurationVar(&f.failoverHolddown, "failover-holddown", 0, "minimum spacing between automatic re-parents (0 = 4x failover-after)")
+	fs.BoolVar(&f.spec.PreferPrimary, "prefer-primary", false, "return to the declared upstream when it comes back after a fail-over")
+	fs.Int64Var(&f.spec.FailoverSeed, "failover-seed", 0, "deterministic fail-over jitter seed (0 = derived from the broker name)")
 	return f
 }
 
@@ -61,6 +69,15 @@ func (f *Flags) Spec() (BrokerSpec, error) {
 	spec.GroupLingerMillis = f.groupLinger.Milliseconds()
 	spec.DialTimeoutMillis = f.dialTimeout.Milliseconds()
 	spec.LeaveGraceMillis = f.leaveGrace.Milliseconds()
+	spec.FailoverAfterMillis = f.failoverAfter.Milliseconds()
+	spec.FailoverHolddownMillis = f.failoverHolddown.Milliseconds()
+	if f.parents != "" {
+		for _, p := range strings.Split(f.parents, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				spec.Parents = append(spec.Parents, p)
+			}
+		}
+	}
 	var err error
 	if spec.Pubends, err = ParsePubendIDs(f.pubends); err != nil {
 		return BrokerSpec{}, fmt.Errorf("-pubends: %w", err)

@@ -18,6 +18,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/broker"
@@ -116,6 +117,23 @@ type BrokerSpec struct {
 	// Admin is the admin HTTP address for /metrics, /healthz,
 	// /debug/pprof ("" = disabled).
 	Admin string `json:"admin,omitempty"`
+	// Parents are candidate parents for automatic fail-over, in
+	// preference order: broker Names (resolved to bound addresses by the
+	// cluster driver) or literal dial addresses. Requires Upstream.
+	Parents []string `json:"parents,omitempty"`
+	// FailoverAfterMillis arms automatic fail-over: how long the upstream
+	// link must stay down before a candidate parent is adopted (0 =
+	// disabled).
+	FailoverAfterMillis int64 `json:"failoverAfterMillis,omitempty"`
+	// FailoverHolddownMillis is the minimum spacing between automatic
+	// re-parents (0 = 4× failoverAfterMillis).
+	FailoverHolddownMillis int64 `json:"failoverHolddownMillis,omitempty"`
+	// PreferPrimary returns the broker to its declared upstream when that
+	// parent comes back after a fail-over.
+	PreferPrimary bool `json:"preferPrimary,omitempty"`
+	// FailoverSeed seeds the fail-over jitter deterministically (0 =
+	// derived from the broker name).
+	FailoverSeed int64 `json:"failoverSeed,omitempty"`
 
 	Tuning
 }
@@ -126,6 +144,9 @@ type BrokerSpec struct {
 //   - "add": start Spec (required) at AtMillis; Upstream on the spec may
 //     name a running broker.
 //   - "kill": Crash the named Broker (persistent state survives).
+//     Permanent marks the kill as final: the broker may not be
+//     restarted later in the schedule, so its subtree must repair
+//     around it for good.
 //   - "restart": start the named Broker again from its original spec and
 //     data directory.
 //   - "reparent": SetUpstream the named Broker to Upstream (a broker name
@@ -142,6 +163,9 @@ type Mutation struct {
 	Upstream string `json:"upstream,omitempty"`
 	// Spec is the broker to start (add only).
 	Spec *BrokerSpec `json:"spec,omitempty"`
+	// Permanent marks a kill as non-restartable (kill only): the
+	// schedule may never restart this broker afterwards.
+	Permanent bool `json:"permanent,omitempty"`
 }
 
 // Spec is a whole topology: brokers in start order (parents first) plus
@@ -201,6 +225,23 @@ func (s *Spec) Validate() error {
 		}
 		names[bs.Name] = true
 	}
+	// Candidate parents may name brokers that an "add" mutation brings up
+	// later, so collect every declared name before cross-checking.
+	allNames := make(map[string]bool, len(names))
+	for n := range names {
+		allNames[n] = true
+	}
+	for _, m := range s.Mutations {
+		if m.Op == "add" && m.Spec != nil && m.Spec.Name != "" {
+			allNames[m.Spec.Name] = true
+		}
+	}
+	for i := range s.Brokers {
+		if err := s.Brokers[i].validateParents(allNames); err != nil {
+			return err
+		}
+	}
+	dead := make(map[string]bool) // permanently killed so far in schedule order
 	for i, m := range s.Mutations {
 		switch m.Op {
 		case "add":
@@ -214,7 +255,24 @@ func (s *Spec) Validate() error {
 				return fmt.Errorf("topology: mutation %d: add reuses broker name %q", i, m.Spec.Name)
 			}
 			names[m.Spec.Name] = true
-		case "kill", "restart", "detach":
+			if err := m.Spec.validateParents(allNames); err != nil {
+				return fmt.Errorf("topology: mutation %d: %w", i, err)
+			}
+		case "kill":
+			if !names[m.Broker] {
+				return fmt.Errorf("topology: mutation %d: kill targets unknown broker %q", i, m.Broker)
+			}
+			if m.Permanent {
+				dead[m.Broker] = true
+			}
+		case "restart":
+			if !names[m.Broker] {
+				return fmt.Errorf("topology: mutation %d: restart targets unknown broker %q", i, m.Broker)
+			}
+			if dead[m.Broker] {
+				return fmt.Errorf("topology: mutation %d: restart of %q after a permanent kill", i, m.Broker)
+			}
+		case "detach":
 			if !names[m.Broker] {
 				return fmt.Errorf("topology: mutation %d: %s targets unknown broker %q", i, m.Op, m.Broker)
 			}
@@ -227,6 +285,9 @@ func (s *Spec) Validate() error {
 			}
 		default:
 			return fmt.Errorf("topology: mutation %d: unknown op %q", i, m.Op)
+		}
+		if m.Permanent && m.Op != "kill" {
+			return fmt.Errorf("topology: mutation %d: permanent is only valid on kill", i)
 		}
 	}
 	return nil
@@ -241,6 +302,25 @@ func (bs *BrokerSpec) validate() error {
 	}
 	if _, err := syncPolicy(bs.PubendSync); err != nil {
 		return fmt.Errorf("topology: broker %q: %w", bs.Name, err)
+	}
+	if len(bs.Parents) > 0 && bs.Upstream == "" {
+		return fmt.Errorf("topology: broker %q: parents require an upstream (a root has nothing to fail over from)", bs.Name)
+	}
+	return nil
+}
+
+// validateParents cross-checks the candidate-parent list against the set
+// of every declared broker name (initial brokers plus add mutations).
+// Entries containing ":" are literal dial addresses and pass through, the
+// same convention the cluster driver uses to resolve Upstream.
+func (bs *BrokerSpec) validateParents(declared map[string]bool) error {
+	for _, p := range bs.Parents {
+		if p == bs.Name {
+			return fmt.Errorf("topology: broker %q: parents lists the broker itself", bs.Name)
+		}
+		if !strings.Contains(p, ":") && !declared[p] {
+			return fmt.Errorf("topology: broker %q: parent candidate %q is not a declared broker", bs.Name, p)
+		}
 	}
 	return nil
 }
@@ -289,6 +369,11 @@ func (bs BrokerSpec) BrokerConfig(dataDir string, t overlay.Transport) (broker.C
 		GroupCommitMaxBytes: bs.GroupCommitMaxBytes,
 		GroupCommitMaxDelay: time.Duration(bs.GroupLingerMillis) * time.Millisecond,
 		AdminAddr:           bs.Admin,
+		Parents:             append([]string(nil), bs.Parents...),
+		FailoverAfter:       time.Duration(bs.FailoverAfterMillis) * time.Millisecond,
+		FailoverHolddown:    time.Duration(bs.FailoverHolddownMillis) * time.Millisecond,
+		PreferPrimary:       bs.PreferPrimary,
+		FailoverSeed:        bs.FailoverSeed,
 	}
 	bs.Tuning.Apply(&cfg)
 	if dataDir != "" {
@@ -354,4 +439,9 @@ var ConfigFieldMap = map[string]string{
 	"GroupCommitMaxBytes": "groupCommitMaxBytes",
 	"GroupCommitMaxDelay": "groupLingerMillis",
 	"AdminAddr":           "admin",
+	"Parents":             "parents",
+	"FailoverAfter":       "failoverAfterMillis",
+	"FailoverHolddown":    "failoverHolddownMillis",
+	"PreferPrimary":       "preferPrimary",
+	"FailoverSeed":        "failoverSeed",
 }
