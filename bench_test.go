@@ -589,7 +589,8 @@ func churnEnvInt(b *testing.B, key string, def int) int {
 // on machines with at least 4 cores — gates on the sharded engine
 // sustaining at least the single-lock live throughput. Exactly-once
 // violations fail the run at either configuration. Results land in
-// BENCH_7.json.
+// BENCH_10.json (PR 7 introduced the scenario; PR 10's zero-alloc
+// delivery path re-baselined it).
 func BenchmarkSubscriberChurn(b *testing.B) {
 	params := experiment.ChurnParams{
 		Subscribers: churnEnvInt(b, "BENCH_CHURN_SUBS", 50000),
@@ -630,7 +631,7 @@ func BenchmarkSubscriberChurn(b *testing.B) {
 			b.Fatalf("sharded engine slower than single-lock baseline on %d cores: %.0f vs %.0f events/s",
 				runtime.NumCPU(), sharded.EventsPerSec, baseline.EventsPerSec)
 		}
-		writeBenchJSON(b, "7", map[string]any{
+		writeBenchJSON(b, "10", map[string]any{
 			"sharded":                 sharded,
 			"singleLock":              baseline,
 			"throughputXvsSingleLock": ratio,

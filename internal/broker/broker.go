@@ -70,7 +70,16 @@ var (
 		"Events downgraded to silence by per-link subscription filtering.")
 	tNacksRouted = telemetry.Default().Counter("gryphon_broker_nacks_routed_total",
 		"Nack requests answered or consolidated by this process.")
+	tAllocsPerEvent = telemetry.Default().Gauge("gryphon_broker_allocs_per_event_milli",
+		"Heap allocations per delivered event over the last sampling window, "+
+			"in thousandths (ReadMemStats sampled every allocSampleTicks ticks). "+
+			"The live-side companion of the TestDeliveryPathAllocsGate bound.")
 )
+
+// allocSampleTicks is how many housekeeping ticks elapse between
+// ReadMemStats samples for the allocs-per-event gauge; ReadMemStats
+// stops the world, so it is kept well off the delivery path.
+const allocSampleTicks = 64
 
 // PubendConfig configures one pubend hosted by a broker.
 type PubendConfig struct {
@@ -925,9 +934,35 @@ func (b *Broker) tickLoop() {
 	defer close(b.tickDone)
 	ticker := time.NewTicker(b.cfg.TickInterval)
 	defer ticker.Stop()
+	// Allocs-per-event sampler state: process-wide mallocs vs events
+	// delivered since the previous sample. The ratio is approximate (all
+	// broker work allocates against it, not just delivery), which is
+	// exactly what makes it a useful live regression signal.
+	var (
+		sampleTick    int
+		lastMallocs   uint64
+		lastDelivered int64
+	)
+	sampleAllocs := func() {
+		if b.shb == nil {
+			return
+		}
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		delivered := b.shb.Stats().EventsDelivered
+		if dd := delivered - lastDelivered; dd > 0 && lastMallocs != 0 {
+			tAllocsPerEvent.Set(int64((ms.Mallocs - lastMallocs) * 1000 / uint64(dd)))
+		}
+		lastMallocs = ms.Mallocs
+		lastDelivered = delivered
+	}
 	for {
 		select {
 		case <-ticker.C:
+			if sampleTick++; sampleTick >= allocSampleTicks {
+				sampleTick = 0
+				sampleAllocs()
+			}
 			var wg sync.WaitGroup
 			for _, sh := range b.shards {
 				sh := sh
@@ -1158,5 +1193,7 @@ func (b *Broker) shbDeliver(sub vtime.SubscriberID, d message.Delivery) {
 	}
 	//nolint:errcheck,gosec // a failed send means the client link died;
 	// its OnClose detaches the subscriber.
-	conn.Send(&message.Deliver{Subscriber: sub, Deliveries: []message.Delivery{d}})
+	// Pooled envelope + a reference on the event's frame buffer; a wire
+	// writer recycles both after framing, an in-process client owns them.
+	conn.Send(message.GetDeliver(sub, d))
 }

@@ -52,10 +52,13 @@ func (c *relayCache) apply(know *message.Knowledge) {
 	}
 }
 
+// put stores one event, retaining its backing frame buffer while the
+// entry is resident (relay pin = retain, evict = release, DESIGN §2.13).
 func (c *relayCache) put(ev *message.Event) {
 	if _, ok := c.byTS[ev.Timestamp]; ok {
 		return
 	}
+	ev.Retain()
 	c.byTS[ev.Timestamp] = ev
 	if n := len(c.order); n > 0 && ev.Timestamp < c.order[n-1] {
 		i := sort.Search(n, func(i int) bool { return c.order[i] >= ev.Timestamp })
@@ -66,6 +69,9 @@ func (c *relayCache) put(ev *message.Event) {
 		c.order = append(c.order, ev.Timestamp)
 	}
 	for len(c.order) > c.capacity {
+		if old, ok := c.byTS[c.order[0]]; ok {
+			old.Release()
+		}
 		delete(c.byTS, c.order[0])
 		c.order = c.order[1:]
 	}
@@ -152,6 +158,9 @@ func (c *relayCache) evictUpTo(ts vtime.Timestamp) {
 		return
 	}
 	for _, old := range c.order[:i] {
+		if ev, ok := c.byTS[old]; ok {
+			ev.Release()
+		}
 		delete(c.byTS, old)
 	}
 	c.order = append(c.order[:0], c.order[i:]...)

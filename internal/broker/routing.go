@@ -46,11 +46,19 @@ func (b *Broker) fromUpstream(sup *overlay.Supervisor, m message.Message) {
 	switch v := m.(type) {
 	case *message.Knowledge:
 		sh := b.shardFor(v.Pubend)
+		// The shard hop outlives this dispatch call, and with it the
+		// reader's base reference on the frame buffer the events alias:
+		// retain across the hop, release once the shard has routed the
+		// batch (every consumer that keeps an event — relay cache, SHB
+		// cache, queued downstream writes — takes its own reference
+		// inside).
+		v.RetainRefs()
 		sh.push(func() {
 			if cache := b.relay(sh, v.Pubend); cache != nil {
 				cache.apply(v)
 			}
 			b.spreadKnowledge(v)
+			v.ReleaseRefs()
 		})
 	case *message.Hello:
 		// The parent's tree-position advertisement (reply to our Hello,
@@ -234,6 +242,11 @@ func (b *Broker) spreadKnowledge(know *message.Knowledge) {
 	}
 	for _, link := range *b.downsSnap.Load() {
 		filtered := b.filterKnowledge(know, link.matcher)
+		// One reference per enqueued send (filterKnowledge may hand the
+		// same *Knowledge to several links); the link's wire writer
+		// releases after framing. In-process links never release — their
+		// receiver owns the message and the reference falls to the GC.
+		filtered.RetainRefs()
 		link.conn.Send(filtered) //nolint:errcheck,gosec // dead links drop via OnClose
 	}
 }
@@ -306,7 +319,9 @@ func (b *Broker) replyKnowledge(link *downLink, know *message.Knowledge) {
 		}
 		return
 	}
-	link.conn.Send(b.filterKnowledge(know, link.matcher)) //nolint:errcheck,gosec // dead links drop via OnClose
+	filtered := b.filterKnowledge(know, link.matcher)
+	filtered.RetainRefs()
+	link.conn.Send(filtered) //nolint:errcheck,gosec // dead links drop via OnClose
 }
 
 // initLinkFloor seeds a zero release vector for a newly connected broker

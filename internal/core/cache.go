@@ -48,11 +48,14 @@ func (c *eventCache) setFloor(ts vtime.Timestamp) {
 	}
 }
 
-// put inserts an event, evicting delivered entries beyond capacity.
+// put inserts an event, evicting delivered entries beyond capacity. The
+// cache retains the event's backing frame buffer while the event is
+// resident (cache pin = retain, evict = release, DESIGN §2.13).
 func (c *eventCache) put(ev *message.Event) {
 	if _, ok := c.byTS[ev.Timestamp]; ok {
 		return
 	}
+	ev.Retain()
 	c.byTS[ev.Timestamp] = ev
 	// Maintain ascending order; nack responses can arrive out of order.
 	if n := len(c.order); n > 0 && ev.Timestamp < c.order[n-1] {
@@ -64,6 +67,9 @@ func (c *eventCache) put(ev *message.Event) {
 		c.order = append(c.order, ev.Timestamp)
 	}
 	for len(c.order) > c.capacity && c.order[0] <= c.floor && c.order[0] <= c.pin {
+		if old, ok := c.byTS[c.order[0]]; ok {
+			old.Release()
+		}
 		delete(c.byTS, c.order[0])
 		c.order = c.order[1:]
 	}
@@ -93,6 +99,9 @@ func (c *eventCache) evictUpTo(ts vtime.Timestamp) {
 		return
 	}
 	for _, old := range c.order[:i] {
+		if ev, ok := c.byTS[old]; ok {
+			ev.Release()
+		}
 		delete(c.byTS, old)
 	}
 	c.order = append(c.order[:0], c.order[i:]...)

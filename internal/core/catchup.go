@@ -272,7 +272,8 @@ func (s *SHB) deliverCatchupLocked(sh *subShard, ps *shbPubend, cs *catchupStrea
 		if limit <= base {
 			return false
 		}
-		dticks := cs.know.DTicks(base, limit)
+		sh.tsBuf = cs.know.DTicksAppend(sh.tsBuf[:0], base, limit)
+		dticks := sh.tsBuf
 		deliveredTo := base
 		stalled := false
 		for _, ts := range dticks {

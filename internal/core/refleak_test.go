@@ -1,0 +1,237 @@
+package core
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/logvol"
+	"repro/internal/message"
+	"repro/internal/metastore"
+	"repro/internal/pfs"
+	"repro/internal/vtime"
+)
+
+// openLeakFixture builds an engine whose Deliver callback behaves like the
+// broker's wire path: wrap each delivery in a pooled envelope (retaining
+// the event's frame buffer) and release it once "written".
+func openLeakFixture(t testing.TB, subs int) *SHB {
+	t.Helper()
+	dir := t.TempDir()
+	vol, err := logvol.Open(filepath.Join(dir, "pfs.log"), logvol.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := metastore.Open(filepath.Join(dir, "meta.wal"), metastore.Options{Sync: metastore.SyncNone})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		vol.Close()  //nolint:errcheck
+		meta.Close() //nolint:errcheck
+	})
+	p, err := pfs.New(pfs.Options{Volume: vol, Meta: meta, SyncEvery: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shb, err := New(Config{
+		Meta:    meta,
+		PFS:     p,
+		Pubends: []vtime.PubendID{1},
+		Deliver: func(sub vtime.SubscriberID, d message.Delivery) {
+			dm := message.GetDeliver(sub, d)
+			if rel, ok := any(dm).(message.Releasable); ok {
+				rel.ReleaseRefs()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(shb.Close)
+	for i := 0; i < subs; i++ {
+		if _, err := shb.Subscribe(&message.Subscribe{
+			Subscriber: vtime.SubscriberID(i + 1),
+			Filter:     `group = "g0"`,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return shb
+}
+
+// feedShared encodes n matching events as one knowledge frame and ingests
+// it the way broker ingress does: read into a pooled Ref, decode once with
+// payloads aliasing the frame, hand to the engine, release the reader's
+// base reference.
+func feedShared(t testing.TB, shb *SHB, next *vtime.Timestamp, n int) {
+	t.Helper()
+	know := &message.Knowledge{Pubend: 1}
+	for i := 0; i < n; i++ {
+		*next++
+		know.Events = append(know.Events, &message.Event{
+			Pubend:    1,
+			Timestamp: *next,
+			Attrs:     filter.Attributes{"group": filter.String("g0")},
+			Payload:   benchPayload,
+		})
+	}
+	enc, err := message.Encode(nil, know)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := message.AcquireRef(len(enc))
+	copy(ref.Bytes(), enc)
+	m, err := message.DecodeShared(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shb.OnKnowledge(m.(*message.Knowledge))
+	ref.Release()
+}
+
+// drainRefs acks everything for every subscriber and ticks until the
+// release floor catches up and the event cache lets go of its pins.
+func drainRefs(t testing.TB, shb *SHB, subs int, upTo vtime.Timestamp) {
+	t.Helper()
+	ct := vtime.NewCheckpointToken()
+	ct.Set(1, upTo)
+	for i := 0; i < subs; i++ {
+		shb.OnAck(vtime.SubscriberID(i+1), ct)
+	}
+	for round := 0; shb.CatchupCount() > 0; round++ {
+		if round > 1<<16 {
+			t.Fatalf("%d catchup streams stuck during drain", shb.CatchupCount())
+		}
+		if err := shb.Tick(time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A few extra ticks let shard floors publish and the release vector
+	// converge to upTo (floor publication is itself tick-driven).
+	for i := 0; i < 4; i++ {
+		if err := shb.Tick(time.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRefLeakDrain is the leak detector for the ref-counted buffer layer:
+// run the live delivery path end to end with strict accounting on — frame
+// decode, cache admit, fan-out envelopes, writer release, ack-driven cache
+// eviction — and assert every acquired frame buffer was fully released.
+func TestRefLeakDrain(t *testing.T) {
+	message.SetRefAccounting(true)
+	defer message.SetRefAccounting(false)
+	start := message.OutstandingRefs()
+	const subs = 8
+	shb := openLeakFixture(t, subs)
+	var next vtime.Timestamp
+	for i := 0; i < 20; i++ {
+		feedShared(t, shb, &next, 64)
+	}
+	drainRefs(t, shb, subs, next)
+	if got := message.OutstandingRefs() - start; got != 0 {
+		t.Fatalf("%d frame buffers still referenced after drain, want 0", got)
+	}
+}
+
+// TestRefConcurrentDeliveryFuzz races every holder of a frame buffer the
+// system has — live fan-out writers, cache admit/evict, catchup streams
+// re-reading pinned events, and PFS chop — against concurrent retain/
+// release. Under -race this is the memory-model check for the whole
+// ownership contract; under accounting it doubles as a leak/double-free
+// check after the storm drains.
+func TestRefConcurrentDeliveryFuzz(t *testing.T) {
+	message.SetRefAccounting(true)
+	defer message.SetRefAccounting(false)
+	start := message.OutstandingRefs()
+	const subs = 6
+	shb := openLeakFixture(t, subs)
+
+	var (
+		mu   sync.Mutex
+		next vtime.Timestamp
+	)
+	feed := func(n int) vtime.Timestamp {
+		mu.Lock()
+		defer mu.Unlock()
+		feedShared(t, shb, &next, n)
+		return next
+	}
+
+	rounds := 30
+	if testing.Short() {
+		rounds = 8
+	}
+	var wg sync.WaitGroup
+	// Feeder: live knowledge batches with shared frame buffers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			feed(32)
+		}
+	}()
+	// Acker: advances the release floor, driving cache eviction and the
+	// PFS chop while the feeder is still admitting.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			mu.Lock()
+			upTo := next
+			mu.Unlock()
+			ct := vtime.NewCheckpointToken()
+			ct.Set(1, upTo)
+			for s := 0; s < subs-1; s++ {
+				shb.OnAck(vtime.SubscriberID(s+1), ct)
+			}
+			_ = shb.Tick(time.Now())
+		}
+	}()
+	// Churner: detaches and resubscribes the last subscriber so catchup
+	// streams repeatedly pin and re-read cached events mid-storm.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds/3; i++ {
+			mu.Lock()
+			upTo := next
+			mu.Unlock()
+			ct := vtime.NewCheckpointToken()
+			ct.Set(1, upTo)
+			shb.OnAck(vtime.SubscriberID(subs), ct)
+			shb.Detach(vtime.SubscriberID(subs))
+			feed(16)
+			if _, err := shb.Subscribe(&message.Subscribe{
+				Subscriber: vtime.SubscriberID(subs),
+				Filter:     `group = "g0"`,
+				CT:         ct,
+				Resume:     true,
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			for shb.CatchupCount() > 0 {
+				if err := shb.Tick(time.Now()); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	mu.Lock()
+	upTo := next
+	mu.Unlock()
+	drainRefs(t, shb, subs, upTo)
+	if got := message.OutstandingRefs() - start; got != 0 {
+		t.Fatalf("%d frame buffers still referenced after fuzz drain, want 0", got)
+	}
+}

@@ -53,6 +53,7 @@ type subShard struct {
 	// Scratch reused across pump rounds (spanBuf under mu, items under
 	// pumpMu, relMins/pinMins under mu).
 	spanBuf []tick.Span
+	tsBuf   []vtime.Timestamp
 	items   []pumpItem
 	relMins []vtime.Timestamp
 	pinMins []vtime.Timestamp

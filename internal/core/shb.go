@@ -223,6 +223,10 @@ type shbPubend struct {
 	// pubend's constream advance (guarded by mu; neither the PFS nor the
 	// fan staging retains it).
 	matchBuf []vtime.SubscriberID
+	// dtickBuf is the reusable D-tick scratch for advanceConstream
+	// (guarded by mu), so a steady-state knowledge batch allocates no
+	// tick slice.
+	dtickBuf []vtime.Timestamp
 	// fan stages constream deliveries per shard; see shardFan.
 	fan []shardFan
 }
@@ -616,7 +620,8 @@ func (s *SHB) advanceConstream(ps *shbPubend) {
 		return
 	}
 	// Gap-free by definition of the doubt horizon; walk D ticks in order.
-	dticks := ps.know.DTicks(ps.latestDelivered, dh)
+	ps.dtickBuf = ps.know.DTicksAppend(ps.dtickBuf[:0], ps.latestDelivered, dh)
+	dticks := ps.dtickBuf
 	for _, ts := range dticks {
 		ev, ok := ps.cache.get(ts)
 		if !ok {

@@ -112,12 +112,36 @@ func Encode(buf []byte, m Message) ([]byte, error) {
 	return buf, nil
 }
 
-// Decode parses one message produced by Encode.
+// Decode parses one message produced by Encode. Decoded messages own
+// every byte they reference: payloads and strings are copied out of buf,
+// so the caller may reuse buf immediately.
 func Decode(buf []byte) (Message, error) {
+	return decode(buf, nil)
+}
+
+// DecodeShared parses one message from a pooled frame buffer, decoding
+// once and sharing the buffer instead of copying it. Knowledge frames —
+// the broker→broker event stream, the only high-volume event carrier on
+// ingress — are decoded zero-copy: each event's Payload aliases ref's
+// buffer and the event remembers ref, so consumers retain/release the
+// frame rather than copying payload bytes. Every other message type is
+// decoded with full copy semantics (client-bound and client-originated
+// messages hand byte slices to application code that is free to keep
+// them), so the caller can always release its ref as soon as the handler
+// returns.
+func DecodeShared(ref *Ref) (Message, error) {
+	buf := ref.Bytes()
+	if len(buf) > 0 && Type(buf[0]) == TypeKnowledge {
+		return decode(buf, ref)
+	}
+	return decode(buf, nil)
+}
+
+func decode(buf []byte, ref *Ref) (Message, error) {
 	if len(buf) == 0 {
 		return nil, ErrTruncated
 	}
-	r := &reader{buf: buf[1:]}
+	r := &reader{buf: buf[1:], ref: ref}
 	var m Message
 	switch Type(buf[0]) {
 	case TypeKnowledge:
@@ -309,6 +333,10 @@ type reader struct {
 	buf []byte
 	off int
 	err error
+	// ref, when non-nil, is the pooled buffer backing buf: bytes() aliases
+	// sub-slices of it instead of copying, and decoded events carry it for
+	// retain/release (DecodeShared).
+	ref *Ref
 }
 
 func (r *reader) fail() error {
@@ -394,6 +422,14 @@ func (r *reader) bytes() []byte {
 	if !r.need(n) {
 		return nil
 	}
+	if r.ref != nil {
+		// Zero-copy: alias the frame buffer. The three-index slice pins
+		// capacity so an append by a holder can never scribble past the
+		// payload into neighboring frame bytes.
+		b := r.buf[r.off : r.off+n : r.off+n]
+		r.off += n
+		return b
+	}
 	b := make([]byte, n)
 	copy(b, r.buf[r.off:r.off+n])
 	r.off += n
@@ -442,6 +478,7 @@ func (r *reader) event() *Event {
 		Timestamp: vtime.Timestamp(r.u64()),
 		Attrs:     r.attrs(),
 		Payload:   r.bytes(),
+		ref:       r.ref,
 	}
 }
 

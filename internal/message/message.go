@@ -10,6 +10,7 @@ package message
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/filter"
 	"repro/internal/tick"
@@ -17,14 +18,42 @@ import (
 )
 
 // Event is an application-published message, stamped by its pubend.
+//
+// When the event was decoded zero-copy from a pooled wire frame
+// (DecodeShared), ref points at the frame's buffer and Payload aliases
+// it. Consumers that store the event past the handler call must Retain
+// it and Release when done; see the ownership contract on Ref. Events
+// built any other way (publish path, Clone, tests) have a nil ref and
+// Retain/Release are no-ops.
 type Event struct {
 	Pubend    vtime.PubendID
 	Timestamp vtime.Timestamp
 	Attrs     filter.Attributes
 	Payload   []byte
+
+	ref *Ref
 }
 
-// Clone returns a deep copy of the event.
+// Retain pins the event's backing frame buffer (no-op for events that
+// own their payload). Call before storing the event past the scope in
+// which it was received.
+func (e *Event) Retain() {
+	if e != nil {
+		e.ref.Retain()
+	}
+}
+
+// Release unpins the event's backing frame buffer (no-op for events
+// that own their payload). The Payload must not be touched afterwards.
+func (e *Event) Release() {
+	if e != nil {
+		e.ref.Release()
+	}
+}
+
+// Clone returns a deep copy of the event. The copy owns its payload —
+// this is the escape hatch for callers that must outlive the wire frame
+// without participating in retain/release.
 func (e *Event) Clone() *Event {
 	cp := &Event{
 		Pubend:    e.Pubend,
@@ -118,6 +147,23 @@ type Knowledge struct {
 
 // WireType implements Message.
 func (*Knowledge) WireType() Type { return TypeKnowledge }
+
+// RetainRefs pins every event's backing frame buffer. A sender that
+// enqueues the knowledge onto a wire link calls this first; the link's
+// writer balances it with ReleaseRefs once the frame is serialized.
+func (k *Knowledge) RetainRefs() {
+	for _, ev := range k.Events {
+		ev.Retain()
+	}
+}
+
+// ReleaseRefs implements Releasable: unpins every event's backing frame
+// buffer.
+func (k *Knowledge) ReleaseRefs() {
+	for _, ev := range k.Events {
+		ev.Release()
+	}
+}
 
 // Nack requests knowledge for the given tick spans of one pubend. Nacks
 // flow upstream toward the pubend.
@@ -223,10 +269,49 @@ type Delivery struct {
 type Deliver struct {
 	Subscriber vtime.SubscriberID
 	Deliveries []Delivery
+
+	// pooled marks envelopes from GetDeliver; ReleaseRefs recycles them.
+	pooled bool
 }
 
 // WireType implements Message.
 func (*Deliver) WireType() Type { return TypeDeliver }
+
+// deliverPool recycles the per-delivery SHB→client envelopes. The fan-out
+// path sends one Deliver per matched (subscriber, event) pair, so without
+// pooling each delivery allocates an envelope plus its one-element slice.
+var deliverPool = sync.Pool{
+	New: func() any {
+		return &Deliver{Deliveries: make([]Delivery, 0, 1), pooled: true}
+	},
+}
+
+// GetDeliver returns a pooled single-delivery envelope carrying d for sub.
+// The event's buffer is retained; the envelope and the reference are both
+// given back when a wire writer calls ReleaseRefs after framing. Envelopes
+// sent over an in-process transport are never recycled — the receiver owns
+// them and the GC reclaims both envelope and buffer reference.
+func GetDeliver(sub vtime.SubscriberID, d Delivery) *Deliver {
+	m := deliverPool.Get().(*Deliver)
+	m.Subscriber = sub
+	m.Deliveries = append(m.Deliveries[:0], d)
+	d.Event.Retain()
+	return m
+}
+
+// ReleaseRefs implements Releasable: unpins every delivery's event buffer
+// and, for pooled envelopes, recycles the envelope itself. The caller must
+// not touch the message afterwards.
+func (d *Deliver) ReleaseRefs() {
+	for i := range d.Deliveries {
+		d.Deliveries[i].Event.Release()
+		d.Deliveries[i].Event = nil
+	}
+	if d.pooled && cap(d.Deliveries) <= 8 {
+		d.Deliveries = d.Deliveries[:0]
+		deliverPool.Put(d)
+	}
+}
 
 // Ack acknowledges consumption: all messages with timestamps <= CT[p] for
 // every pubend p are consumed and their storage may be released.

@@ -1,0 +1,157 @@
+package message
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/telemetry"
+)
+
+// Ref is a pooled, reference-counted byte buffer. It backs the zero-copy
+// delivery path: a broker reads one wire frame into a Ref, decodes the
+// frame once, and every consumer that needs the events past the end of
+// the handler call — the event cache, a relay cache, a queued wire write
+// — retains the same Ref instead of copying the payload bytes. The buffer
+// returns to the pool when the last holder releases it.
+//
+// Ownership contract (DESIGN §2.13):
+//
+//   - AcquireRef returns a Ref with one reference, owned by the caller.
+//   - Retain adds a reference; every consumer that stores an aliasing
+//     slice past the current call must Retain before storing.
+//   - Release drops a reference; the buffer is recycled when the count
+//     reaches zero. Releasing a nil Ref is a no-op.
+//   - A missed Release leaks the buffer to the garbage collector — safe,
+//     just unpooled. A Retain/Release on a recycled Ref is a bug;
+//     generation checks and the accounting mode exist to catch it in
+//     tests.
+//
+// Buffers larger than maxPooledBuf are exempt from pooling (as with the
+// encode-buffer pool): they are still refcounted but are handed to the GC
+// on final release rather than pinned in the pool.
+type Ref struct {
+	buf  []byte
+	refs atomic.Int32
+	// gen increments every pool cycle. Holders that captured the Ref
+	// alongside its generation (see Generation) can detect use-after-
+	// release in tests: a stale holder sees a different generation.
+	gen atomic.Uint32
+}
+
+var refPool = sync.Pool{
+	New: func() any {
+		tRefPoolMiss.Inc()
+		return &Ref{buf: make([]byte, 0, 4096)}
+	},
+}
+
+var (
+	tRefAcquires = telemetry.Default().Counter("gryphon_msgref_acquires_total",
+		"Ref-counted frame buffers acquired from the pool.")
+	tRefPoolMiss = telemetry.Default().Counter("gryphon_msgref_pool_misses_total",
+		"Ref acquisitions that had to allocate a new buffer (pool miss or oversized).")
+	tRefReleases = telemetry.Default().Counter("gryphon_msgref_releases_total",
+		"Ref-counted frame buffers returned to the pool (refcount reached zero).")
+	tRefOutstanding = telemetry.Default().Gauge("gryphon_msgref_outstanding",
+		"Ref-counted frame buffers currently live (acquired, not yet fully released).")
+)
+
+// refAccounting, when enabled, makes refcount misuse fatal (panic on
+// retain-after-free and double release) and tracks the number of
+// outstanding buffers precisely. Tests enable it to assert zero leaks
+// after a drain; production leaves it off so a misuse degrades to a leak
+// or a counter bump, never a crash.
+var (
+	refAccounting   atomic.Bool
+	refsOutstanding atomic.Int64
+)
+
+// SetRefAccounting toggles strict refcount accounting (test mode).
+func SetRefAccounting(on bool) { refAccounting.Store(on) }
+
+// OutstandingRefs reports the number of Refs acquired and not yet fully
+// released. Only meaningful while accounting is enabled from process
+// start of the workload being measured.
+func OutstandingRefs() int64 { return refsOutstanding.Load() }
+
+// AcquireRef returns a Ref whose buffer is exactly n bytes long, with a
+// reference count of one owned by the caller. Buffers above maxPooledBuf
+// bypass the pool in both directions so giant frames don't pin memory.
+func AcquireRef(n int) *Ref {
+	var r *Ref
+	if n > maxPooledBuf {
+		tRefPoolMiss.Inc()
+		r = &Ref{buf: make([]byte, n)}
+	} else {
+		r = refPool.Get().(*Ref)
+		if cap(r.buf) < n {
+			r.buf = make([]byte, n)
+		} else {
+			r.buf = r.buf[:n]
+		}
+	}
+	r.refs.Store(1)
+	tRefAcquires.Inc()
+	tRefOutstanding.Inc()
+	refsOutstanding.Add(1)
+	return r
+}
+
+// Bytes returns the backing buffer. Valid only while the caller holds a
+// reference.
+func (r *Ref) Bytes() []byte { return r.buf }
+
+// Generation returns the Ref's pool-cycle generation at the time of the
+// call. Test helpers pair it with the Ref to detect stale holders.
+func (r *Ref) Generation() uint32 { return r.gen.Load() }
+
+// Retain adds a reference. Nil-safe so call sites can retain events that
+// were decoded by copy (no backing Ref) without branching.
+func (r *Ref) Retain() {
+	if r == nil {
+		return
+	}
+	if n := r.refs.Add(1); n <= 1 && refAccounting.Load() {
+		panic(fmt.Sprintf("message.Ref: retain after free (refs=%d)", n))
+	}
+}
+
+// Release drops a reference; the last release recycles the buffer.
+// Nil-safe. Releasing more times than retained is a bug: with accounting
+// on it panics, otherwise the buffer is simply never recycled (it has
+// already been handed back or leaked to the GC by the racing release).
+func (r *Ref) Release() {
+	if r == nil {
+		return
+	}
+	n := r.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		if refAccounting.Load() {
+			panic(fmt.Sprintf("message.Ref: double release (refs=%d)", n))
+		}
+		return
+	}
+	r.gen.Add(1)
+	tRefReleases.Inc()
+	tRefOutstanding.Dec()
+	refsOutstanding.Add(-1)
+	if cap(r.buf) <= maxPooledBuf {
+		r.buf = r.buf[:0]
+		refPool.Put(r)
+	}
+}
+
+// Releasable is implemented by messages that hold references to pooled
+// buffers (or are themselves pooled). The overlay's wire writer calls
+// ReleaseRefs once the frame bytes have been appended to the outgoing
+// batch, completing the "release when the last subscriber's write
+// completes" half of the ownership contract. In-process transports never
+// call it — the receiver owns the message and any leaked refs fall back
+// to the garbage collector.
+type Releasable interface {
+	ReleaseRefs()
+}

@@ -1,0 +1,250 @@
+package message
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/vtime"
+)
+
+func TestRefLifecycle(t *testing.T) {
+	SetRefAccounting(true)
+	defer SetRefAccounting(false)
+	start := OutstandingRefs()
+
+	r := AcquireRef(100)
+	if len(r.Bytes()) != 100 {
+		t.Fatalf("acquired %d bytes, want 100", len(r.Bytes()))
+	}
+	if got := OutstandingRefs() - start; got != 1 {
+		t.Fatalf("outstanding after acquire: %d, want 1", got)
+	}
+	gen := r.Generation()
+	r.Retain()
+	r.Release()
+	if r.Generation() != gen {
+		t.Fatal("generation changed while references remain")
+	}
+	r.Release() // final: recycles
+	if r.Generation() == gen {
+		t.Fatal("generation unchanged after final release")
+	}
+	if got := OutstandingRefs() - start; got != 0 {
+		t.Fatalf("outstanding after drain: %d, want 0", got)
+	}
+
+	// Oversized buffers are refcounted but never pooled.
+	big := AcquireRef(maxPooledBuf + 1)
+	if len(big.Bytes()) != maxPooledBuf+1 {
+		t.Fatalf("oversized acquire returned %d bytes", len(big.Bytes()))
+	}
+	big.Release()
+	if got := OutstandingRefs() - start; got != 0 {
+		t.Fatalf("outstanding after oversized drain: %d, want 0", got)
+	}
+
+	// Nil refs are inert: events decoded by copy take this path.
+	var nilRef *Ref
+	nilRef.Retain()
+	nilRef.Release()
+}
+
+func TestRefAccountingPanics(t *testing.T) {
+	SetRefAccounting(true)
+	defer SetRefAccounting(false)
+
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic under accounting", name)
+			}
+		}()
+		f()
+	}
+
+	r := AcquireRef(8)
+	r.Release()
+	mustPanic("double release", func() { r.refs.Store(0); r.Release() })
+	mustPanic("retain after free", func() { r.refs.Store(0); r.Retain() })
+	// Repair the counter so the pooled Ref is reusable.
+	r.refs.Store(0)
+}
+
+// refBackedKnowledge encodes a Knowledge frame and decodes it through the
+// shared-buffer path, returning the decoded message and its backing Ref
+// (one reference, owned by the caller).
+func refBackedKnowledge(t *testing.T, m *Knowledge) (*Knowledge, *Ref) {
+	t.Helper()
+	enc, err := Encode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := AcquireRef(len(enc))
+	copy(ref.Bytes(), enc)
+	got, err := DecodeShared(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := got.(*Knowledge)
+	if !ok {
+		t.Fatalf("decoded %T, want *Knowledge", got)
+	}
+	return k, ref
+}
+
+// TestDecodeSharedAliasesKnowledgePayloads verifies the decode-once
+// contract: events decoded from a shared frame buffer alias it (no payload
+// copy), carry the Ref for retention, and Clone is the copying escape
+// hatch that detaches from the buffer's lifetime.
+func TestDecodeSharedAliasesKnowledgePayloads(t *testing.T) {
+	m := &Knowledge{Pubend: 7, Events: []*Event{sampleEvent(), sampleEvent()}}
+	m.Events[1].Payload = []byte("second payload")
+	k, ref := refBackedKnowledge(t, m)
+	defer ref.Release()
+
+	if len(k.Events) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(k.Events))
+	}
+	for i, ev := range k.Events {
+		if !eventsEqual(ev, m.Events[i]) {
+			t.Fatalf("event %d corrupted by aliasing decode", i)
+		}
+		if ev.ref != ref {
+			t.Fatalf("event %d does not carry the frame ref", i)
+		}
+	}
+	// Prove the alias: corrupting the frame buffer must show through the
+	// event payloads, and a Clone taken beforehand must not care.
+	clone := k.Events[0].Clone()
+	if clone.ref != nil {
+		t.Fatal("clone kept the frame ref; must own its bytes")
+	}
+	want := append([]byte(nil), k.Events[0].Payload...)
+	for i := range ref.Bytes() {
+		ref.Bytes()[i] ^= 0xff
+	}
+	if bytes.Equal(k.Events[0].Payload, want) {
+		t.Fatal("payload did not alias the frame buffer")
+	}
+	if !bytes.Equal(clone.Payload, want) {
+		t.Fatal("clone payload followed the frame buffer; copy expected")
+	}
+}
+
+// TestDecodeSharedNonKnowledgeCopies pins the aliasing boundary: only
+// knowledge frames (broker-to-broker fan-out) decode zero-copy; client-
+// bound frames keep copy semantics so client code may hold payloads
+// indefinitely without a refcount protocol.
+func TestDecodeSharedNonKnowledgeCopies(t *testing.T) {
+	m := &Deliver{Deliveries: []Delivery{{Kind: DeliverEvent, Event: sampleEvent()}}}
+	enc, err := Encode(nil, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := AcquireRef(len(enc))
+	copy(ref.Bytes(), enc)
+	got, err := DecodeShared(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := got.(*Deliver)
+	if !ok {
+		t.Fatalf("decoded %T, want *Deliver", got)
+	}
+	ev := d.Deliveries[0].Event
+	if ev.ref != nil {
+		t.Fatal("client-bound event carries a frame ref; must be a copy")
+	}
+	want := append([]byte(nil), ev.Payload...)
+	for i := range ref.Bytes() {
+		ref.Bytes()[i] ^= 0xff
+	}
+	if !bytes.Equal(ev.Payload, want) {
+		t.Fatal("client-bound payload aliased the frame buffer")
+	}
+	ref.Release()
+}
+
+// TestWireDecodeAllocsGate is the allocation regression gate for the
+// broker-ingress decode path: one knowledge frame of 64 events decoded
+// through the shared buffer. Payload bytes no longer allocate (they alias
+// the frame Ref); what remains is the per-event Event struct, attribute
+// map, and string header costs. Reintroducing a payload copy adds a full
+// allocation per event and trips the gate.
+func TestWireDecodeAllocsGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	const batch = 64
+	know := &Knowledge{Pubend: 1}
+	payload := make([]byte, 512)
+	for i := 0; i < batch; i++ {
+		know.Events = append(know.Events, &Event{
+			Pubend:    1,
+			Timestamp: vtime.Timestamp(i + 1),
+			Attrs:     filter.Attributes{"group": filter.String("g0")},
+			Payload:   payload,
+		})
+	}
+	enc, err := Encode(nil, know)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := AcquireRef(len(enc))
+	copy(ref.Bytes(), enc)
+	avg := testing.AllocsPerRun(30, func() {
+		if _, err := DecodeShared(ref); err != nil {
+			t.Fatal(err)
+		}
+	})
+	perEvent := avg / batch
+	t.Logf("wire decode: %.2f allocs/event (batch %d, 512 B payloads)", perEvent, batch)
+	// Measured ~5 allocs/event (Event struct, attrs map, attr string keys
+	// and values); a payload copy or per-event slice header regression
+	// adds at least one more and must trip the gate.
+	const maxAllocsPerEvent = 6.0
+	if perEvent > maxAllocsPerEvent {
+		t.Errorf("wire decode allocates %.2f/event, gate is %.1f", perEvent, maxAllocsPerEvent)
+	}
+	ref.Release()
+}
+
+// TestRefConcurrentRetainRelease hammers one Ref's count from many
+// goroutines mimicking the real holder mix (cache pins, queued writer
+// frames, relay entries) and asserts the buffer survives to a clean drain.
+// Run under -race this doubles as the memory-model check for the
+// retain/release fast paths.
+func TestRefConcurrentRetainRelease(t *testing.T) {
+	SetRefAccounting(true)
+	defer SetRefAccounting(false)
+	start := OutstandingRefs()
+	const (
+		workers = 8
+		rounds  = 2000
+	)
+	for iter := 0; iter < 20; iter++ {
+		r := AcquireRef(64)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			r.Retain() // worker's base reference, held until it exits
+			go func() {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					r.Retain()
+					_ = r.Bytes()[0]
+					r.Release()
+				}
+				r.Release()
+			}()
+		}
+		wg.Wait()
+		r.Release() // acquirer's reference: final
+	}
+	if got := OutstandingRefs() - start; got != 0 {
+		t.Fatalf("outstanding after concurrent drain: %d, want 0", got)
+	}
+}

@@ -152,30 +152,34 @@ func (s *Store) replay() error {
 }
 
 // applyRecord applies one committed transaction's ops to the in-memory
-// tables.
+// tables. The steady-state overwrite path (existing table, existing key,
+// same-length value) allocates nothing: table and key lookups use the
+// compiler's zero-copy map access on string(bytes) conversions, and the
+// stored value slice is overwritten in place (Get hands out copies, so no
+// caller can alias it).
 func (s *Store) applyRecord(payload []byte) {
 	off := 0
-	readStr := func() (string, bool) {
+	readBytes := func() ([]byte, bool) {
 		if off+2 > len(payload) {
-			return "", false
+			return nil, false
 		}
 		n := int(binary.BigEndian.Uint16(payload[off:]))
 		off += 2
 		if off+n > len(payload) {
-			return "", false
+			return nil, false
 		}
-		str := string(payload[off : off+n])
+		b := payload[off : off+n]
 		off += n
-		return str, true
+		return b, true
 	}
 	for off < len(payload) {
 		op := payload[off]
 		off++
-		table, ok := readStr()
+		table, ok := readBytes()
 		if !ok {
 			return
 		}
-		key, ok := readStr()
+		key, ok := readBytes()
 		if !ok {
 			return
 		}
@@ -189,27 +193,28 @@ func (s *Store) applyRecord(payload []byte) {
 			if off+n > len(payload) {
 				return
 			}
-			val := make([]byte, n)
-			copy(val, payload[off:off+n])
+			val := payload[off : off+n]
 			off += n
-			s.putLocked(table, key, val)
+			t := s.tables[string(table)]
+			if t == nil {
+				t = make(map[string][]byte)
+				s.tables[string(table)] = t
+			}
+			if old, exists := t[string(key)]; exists && len(old) == n {
+				copy(old, val)
+			} else {
+				cp := make([]byte, n)
+				copy(cp, val)
+				t[string(key)] = cp
+			}
 		case opDelete:
-			if t := s.tables[table]; t != nil {
-				delete(t, key)
+			if t := s.tables[string(table)]; t != nil {
+				delete(t, string(key))
 			}
 		default:
 			return
 		}
 	}
-}
-
-func (s *Store) putLocked(table, key string, val []byte) {
-	t := s.tables[table]
-	if t == nil {
-		t = make(map[string][]byte)
-		s.tables[table] = t
-	}
-	t[key] = val
 }
 
 const (
@@ -285,9 +290,17 @@ type Tx struct {
 	count int
 }
 
-// Begin starts a new write transaction.
+// txPool recycles transaction shells and their op buffers: the hot
+// checkpoint paths commit small transactions at a steady cadence, and the
+// shell + ops growth were the last per-commit allocations.
+var txPool = sync.Pool{New: func() any { return new(Tx) }}
+
+// Begin starts a new write transaction. The transaction is recycled by
+// Commit; it must not be used again afterwards.
 func (s *Store) Begin() *Tx {
-	return &Tx{store: s}
+	tx := txPool.Get().(*Tx)
+	tx.store = s
+	return tx
 }
 
 func (tx *Tx) appendStr(v string) {
@@ -325,26 +338,54 @@ func (tx *Tx) Delete(table, key string) *Tx {
 // Len reports the number of staged operations.
 func (tx *Tx) Len() int { return tx.count }
 
+// recycle returns the transaction shell to the pool, dropping buffers
+// that grew past a burst size.
+func (tx *Tx) recycle() {
+	if cap(tx.ops) > 1<<20 {
+		tx.ops = nil
+	}
+	tx.ops = tx.ops[:0]
+	tx.count = 0
+	tx.store = nil
+	txPool.Put(tx)
+}
+
+// recPool recycles the framed WAL record built per commit.
+var recPool = sync.Pool{New: func() any { b := make([]byte, 0, 512); return &b }}
+
 // Commit atomically applies and persists the transaction. An empty
-// transaction commits trivially without touching the WAL.
+// transaction commits trivially without touching the WAL. Commit consumes
+// the transaction (success or failure); it must not be reused.
 func (tx *Tx) Commit() error {
 	s := tx.store
 	if tx.count == 0 {
+		tx.recycle()
 		return nil
 	}
 	commitStart := time.Now()
-	rec := make([]byte, 0, 8+len(tx.ops))
+	recp := recPool.Get().(*[]byte)
+	rec := (*recp)[:0]
 	rec = binary.BigEndian.AppendUint32(rec, uint32(len(tx.ops)))
 	rec = binary.BigEndian.AppendUint32(rec, crc32.ChecksumIEEE(tx.ops))
 	rec = append(rec, tx.ops...)
+	putRec := func() {
+		if cap(rec) <= 1<<20 {
+			*recp = rec[:0]
+			recPool.Put(recp)
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		putRec()
+		tx.recycle()
 		return ErrClosed
 	}
 	if _, err := s.wal.Write(rec); err != nil {
 		s.mu.Unlock()
+		putRec()
+		tx.recycle()
 		return fmt.Errorf("metastore commit write: %w", err)
 	}
 	s.applyRecord(tx.ops)
@@ -352,6 +393,9 @@ func (tx *Tx) Commit() error {
 	s.written++
 	mySeq := s.written
 	s.mu.Unlock()
+	putRec()
+	count := tx.count
+	tx.recycle() // tx may be re-acquired by another goroutine from here on
 
 	if s.opts.Sync == SyncGroup {
 		if _, err := s.gate.Sync(mySeq, s.topSeq, s.fsyncWAL); err != nil {
@@ -362,7 +406,7 @@ func (tx *Tx) Commit() error {
 		time.Sleep(s.opts.CommitLatency)
 	}
 	tCommits.Inc()
-	tCommitOps.Observe(int64(tx.count))
+	tCommitOps.Observe(int64(count))
 	tCommitSeconds.ObserveDuration(time.Since(commitStart))
 	return nil
 }

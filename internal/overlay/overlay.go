@@ -472,6 +472,13 @@ func (c *tcpConn) writer() {
 			if buf, err = message.AppendFramed(buf, m); err == nil {
 				framed++
 			}
+			// The frame bytes are in buf; the message's pooled buffer
+			// references (and pooled envelopes) can be recycled now. An
+			// encode failure consumes ownership the same way — the sender
+			// retained per enqueue, so the release must be unconditional.
+			if rel, ok := m.(message.Releasable); ok {
+				rel.ReleaseRefs()
+			}
 			batch[i] = nil // release the message once framed
 		}
 		*bufp = buf
@@ -512,17 +519,26 @@ func (c *tcpConn) Start(h Handler) {
 					c.teardown(fmt.Errorf("%w: %d-byte frame header", ErrProtocol, n))
 					return
 				}
-				body := make([]byte, n)
-				if _, err := io.ReadFull(c.nc, body); err != nil {
+				// Read the body into a pooled, ref-counted buffer and decode
+				// once; knowledge frames alias the buffer (DecodeShared).
+				// The reader owns the base reference: handlers that keep an
+				// event past the h(m) call retain it, and the base is
+				// dropped as soon as dispatch returns. With no retainers the
+				// buffer is back in the pool before the next frame is read.
+				ref := message.AcquireRef(int(n))
+				if _, err := io.ReadFull(c.nc, ref.Bytes()); err != nil {
+					ref.Release()
 					c.teardown(readReason(err))
 					return
 				}
-				m, err := message.Decode(body)
+				m, err := message.DecodeShared(ref)
 				if err != nil {
+					ref.Release()
 					continue // skip unknown/corrupt frames
 				}
 				tMsgsRecv.Inc()
 				h(m)
+				ref.Release()
 			}
 		}()
 	})

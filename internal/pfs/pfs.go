@@ -25,9 +25,11 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/logvol"
 	"repro/internal/message"
@@ -57,6 +59,9 @@ var (
 		"Chain-walk records served from the per-pubend decode cache.")
 	tDecMisses = telemetry.Default().Counter("gryphon_pfs_decode_cache_misses_total",
 		"Chain-walk records that required a log-volume read.")
+	tArenaMisses = telemetry.Default().Counter("gryphon_pfs_arena_pool_misses_total",
+		"Decode-arena acquisitions that allocated a new slab (pool empty or "+
+			"previous slab oversized); steady-state catchup should sit near zero.")
 )
 
 const (
@@ -80,7 +85,8 @@ const (
 )
 
 // readBufs is the pooled per-read scratch set: a single-record buffer, a
-// range-read window, and the span-reversal scratch. Concurrent catchup
+// range-read window, and the span-reversal scratch, all pre-sized at pool
+// construction so a read never allocates scratch. Concurrent catchup
 // pumps each grab one from the pool for the duration of a batch read.
 type readBufs struct {
 	rec      []byte
@@ -88,15 +94,78 @@ type readBufs struct {
 	reversed []tick.Span
 }
 
-var readBufPool = sync.Pool{New: func() any { return new(readBufs) }}
+var readBufPool = sync.Pool{New: func() any {
+	return &readBufs{rec: make([]byte, recScratch), win: make([]byte, tailWindow)}
+}}
 
-// decRec is one decoded PFS record held in the per-pubend decode cache;
-// its slices are owned by the cache (decodeRecord copies out of the read
-// buffer), so entries are safe to share across concurrent chain walks.
+// decArena is a pooled slab backing the subs/prevs slices of every record
+// decoded from one fill window. refs counts the resident cache entries
+// carved from it plus any chain walk currently reading one of them; the
+// slab returns to the pool when the count reaches zero, so a deep catchup
+// storm decodes records into recycled memory instead of allocating two
+// slices per record (the old decodeRecord behavior). Reuse-after-release
+// is impossible by construction: an arena is only reset once no holder of
+// any slice carved from it remains.
+type decArena struct {
+	subs  []vtime.SubscriberID
+	prevs []logvol.Index
+	refs  atomic.Int32
+}
+
+// maxArenaEntries caps recycled slab capacity (~24 B/entry); a slab grown
+// by a pathological window is handed to the GC instead of pinned.
+const maxArenaEntries = 1 << 16
+
+var arenaPool = sync.Pool{New: func() any {
+	tArenaMisses.Inc()
+	return new(decArena)
+}}
+
+// getArena returns an empty arena holding one base reference (the
+// filler's; dropped when the fill completes).
+func getArena() *decArena {
+	a := arenaPool.Get().(*decArena)
+	a.subs = a.subs[:0]
+	a.prevs = a.prevs[:0]
+	a.refs.Store(1)
+	return a
+}
+
+func (a *decArena) retain() {
+	if a != nil {
+		a.refs.Add(1)
+	}
+}
+
+func (a *decArena) release() {
+	if a == nil {
+		return
+	}
+	if a.refs.Add(-1) == 0 && cap(a.subs) <= maxArenaEntries {
+		arenaPool.Put(a)
+	}
+}
+
+// carve extends the arena by n entries and returns the capacity-pinned
+// sub-slices. A growth reallocation is safe: slices carved earlier keep
+// the orphaned backing array alive, and the refcount still covers them.
+func (a *decArena) carve(n int) ([]vtime.SubscriberID, []logvol.Index) {
+	base := len(a.subs)
+	a.subs = slices.Grow(a.subs, n)[:base+n]
+	a.prevs = slices.Grow(a.prevs, n)[:base+n]
+	return a.subs[base : base+n : base+n], a.prevs[base : base+n : base+n]
+}
+
+// decRec is one decoded PFS record held in the per-pubend decode cache.
+// Its subs/prevs slices are carved from a pooled, ref-counted arena (nil
+// for cold-path decodes that own their slices); every holder — the cache
+// itself, and each chain walk between recCache.get and its release —
+// accounts for one arena reference.
 type decRec struct {
 	ts    vtime.Timestamp
 	subs  []vtime.SubscriberID
 	prevs []logvol.Index
+	arena *decArena
 }
 
 // recCache is the per-pubend decoded-record cache: concurrent catchup
@@ -114,16 +183,26 @@ func newRecCache(budget int) *recCache {
 	return &recCache{recs: make(map[logvol.Index]*decRec), budget: budget}
 }
 
+// get returns the cached record at idx with one arena reference held for
+// the caller, who must release it (rec.arena.release()) when done with
+// the record's slices. Taking the reference under c.mu makes it atomic
+// with respect to eviction's release.
 func (c *recCache) get(idx logvol.Index) *decRec {
 	c.mu.Lock()
 	r := c.recs[idx]
+	if r != nil {
+		r.arena.retain()
+	}
 	c.mu.Unlock()
 	return r
 }
 
+// put inserts a record, taking an arena reference for the cache (dropped
+// when the entry is evicted, pruned, or loses the insert race).
 func (c *recCache) put(idx logvol.Index, r *decRec) {
 	c.mu.Lock()
 	if _, ok := c.recs[idx]; !ok {
+		r.arena.retain()
 		c.recs[idx] = r
 		c.entries += len(r.subs)
 		if c.entries > c.budget {
@@ -146,8 +225,10 @@ func (c *recCache) evictLocked() {
 		if c.entries <= c.budget/2 {
 			break
 		}
-		c.entries -= len(c.recs[idx].subs)
+		r := c.recs[idx]
+		c.entries -= len(r.subs)
 		delete(c.recs, idx)
+		r.arena.release()
 	}
 }
 
@@ -158,6 +239,7 @@ func (c *recCache) pruneBelow(min logvol.Index) {
 		if idx < min {
 			c.entries -= len(r.subs)
 			delete(c.recs, idx)
+			r.arena.release()
 		}
 	}
 	c.mu.Unlock()
@@ -205,10 +287,37 @@ type PFS struct {
 // under p.mu, flushed to disk without the lock.
 type ckptSnap map[vtime.PubendID]pubCkpt
 
+// dirtyIdx is one unpersisted chain-head advance: the new head index plus
+// the (cached, immutable) metastore key it is persisted under. Carrying
+// the key in the delta lets the background flusher build the checkpoint
+// transaction without allocating a key string per subscriber per flush —
+// and without touching pubendState off the lock.
+type dirtyIdx struct {
+	idx logvol.Index
+	key string
+}
+
 type pubCkpt struct {
 	lastTS  vtime.Timestamp
 	scanned logvol.Index
-	lastIdx map[vtime.SubscriberID]logvol.Index
+	tsKey   string                          // cached keyLastTS(pub)
+	scanKey string                          // cached keyScanned(pub)
+	lastIdx map[vtime.SubscriberID]dirtyIdx // chain heads advanced since the previous capture
+}
+
+// idxMapPool recycles the delta maps that shuttle between the write path
+// and the checkpoint flusher.
+var idxMapPool = sync.Pool{
+	New: func() any { return make(map[vtime.SubscriberID]dirtyIdx, 64) },
+}
+
+func getIdxMap() map[vtime.SubscriberID]dirtyIdx {
+	return idxMapPool.Get().(map[vtime.SubscriberID]dirtyIdx)
+}
+
+func putIdxMap(m map[vtime.SubscriberID]dirtyIdx) {
+	clear(m)
+	idxMapPool.Put(m)
 }
 
 type pubendState struct {
@@ -216,10 +325,36 @@ type pubendState struct {
 	lastTS  vtime.Timestamp
 	chopTS  vtime.Timestamp // records with ts <= chopTS are discarded (L)
 	lastIdx map[vtime.SubscriberID]logvol.Index
+	// dirty holds the chain heads advanced since the last checkpoint
+	// capture; checkpoints persist only these deltas (the metastore
+	// accumulates per-key state, so recovery still sees every head).
+	// At churn scale this is the difference between rewriting every
+	// subscriber's entry each checkpoint and writing the few that moved.
+	dirty map[vtime.SubscriberID]dirtyIdx
+	// idxKeys caches each subscriber's metastore key (guarded by p.mu).
+	idxKeys map[vtime.SubscriberID]string
+	// tsKey/scanKey cache the pubend's own checkpoint keys.
+	tsKey   string
+	scanKey string
 	scanned logvol.Index                           // metadata checkpoint covers indexes <= scanned
 	writes  int                                    // writes since last sync
 	nextOK  map[vtime.SubscriberID]vtime.Timestamp // imprecise mode gate
 	cache   *recCache                              // decoded records shared by concurrent reads
+}
+
+// markDirtyLocked records sub's new chain head for the next checkpoint
+// delta. Caller holds p.mu.
+func (st *pubendState) markDirtyLocked(pub vtime.PubendID, sub vtime.SubscriberID, idx logvol.Index) {
+	d, ok := st.dirty[sub]
+	if !ok {
+		d.key = st.idxKeys[sub]
+		if d.key == "" {
+			d.key = keyLastIdx(pub, sub)
+			st.idxKeys[sub] = d.key
+		}
+	}
+	d.idx = idx
+	st.dirty[sub] = d
 }
 
 // ReadResult is the outcome of one batch read for a subscriber.
@@ -285,6 +420,10 @@ func (p *PFS) state(pub vtime.PubendID) (*pubendState, error) {
 	st := &pubendState{
 		stream:  stream,
 		lastIdx: make(map[vtime.SubscriberID]logvol.Index),
+		dirty:   getIdxMap(),
+		idxKeys: make(map[vtime.SubscriberID]string),
+		tsKey:   keyLastTS(pub),
+		scanKey: keyScanned(pub),
 		nextOK:  make(map[vtime.SubscriberID]vtime.Timestamp),
 		cache:   newRecCache(recCacheBudget),
 	}
@@ -349,6 +488,10 @@ func (p *PFS) recoverPubend(pub vtime.PubendID) (*pubendState, error) {
 		for _, sub := range subs {
 			if idx > st.lastIdx[sub] {
 				st.lastIdx[sub] = idx
+				// Replayed heads are ahead of the persisted checkpoint;
+				// mark them dirty so the next capture (which also advances
+				// the persisted scan index past them) re-persists them.
+				st.markDirtyLocked(pub, sub, idx)
 			}
 		}
 	}
@@ -408,6 +551,7 @@ func (p *PFS) Write(pub vtime.PubendID, ts vtime.Timestamp, subs []vtime.Subscri
 	tWriteBytes.Add(int64(len(payload)))
 	for _, sub := range include {
 		st.lastIdx[sub] = idx
+		st.markDirtyLocked(pub, sub, idx)
 		if p.opts.ImpreciseBucket > 0 {
 			st.nextOK[sub] = ts + p.opts.ImpreciseBucket
 		}
@@ -435,35 +579,84 @@ func (p *PFS) Sync() error {
 	p.flushErr = nil
 	p.mu.Unlock()
 	if err != nil {
+		// The captured deltas were not persisted; put them back so a
+		// later checkpoint carries them (a delta must never be dropped
+		// once the scan index can advance past it).
+		p.requeueSnap(snap)
 		return err
 	}
-	return p.flushSnapshot(snap)
+	if err := p.flushSnapshot(snap); err != nil {
+		p.requeueSnap(snap)
+		return err
+	}
+	releaseSnap(snap)
+	return nil
 }
 
 // captureLocked snapshots checkpoint metadata for every pubend with
-// unsynced writes and resets their write counters. Caller holds p.mu.
+// unsynced writes and resets their write counters: last timestamp, scan
+// index, and the chain-head deltas accumulated since the previous capture
+// (the dirty map is handed to the snapshot whole and replaced with a
+// pooled empty one — no copying, no per-subscriber work for the clean
+// majority). Caller holds p.mu.
 func (p *PFS) captureLocked() ckptSnap {
 	var snap ckptSnap
 	for pub, st := range p.pubends {
-		if st.writes == 0 {
+		if st.writes == 0 && len(st.dirty) == 0 {
 			continue
-		}
-		idx := make(map[vtime.SubscriberID]logvol.Index, len(st.lastIdx))
-		for sub, i := range st.lastIdx {
-			idx[sub] = i
 		}
 		if snap == nil {
 			snap = make(ckptSnap, 2)
 		}
-		snap[pub] = pubCkpt{lastTS: st.lastTS, scanned: st.stream.LastIndex(), lastIdx: idx}
+		snap[pub] = pubCkpt{
+			lastTS:  st.lastTS,
+			scanned: st.stream.LastIndex(),
+			tsKey:   st.tsKey,
+			scanKey: st.scanKey,
+			lastIdx: st.dirty,
+		}
+		st.dirty = getIdxMap()
 		st.writes = 0
 	}
 	return snap
 }
 
+// requeueSnap folds an unflushed snapshot's deltas back into the per-pubend
+// dirty state after a failed flush, so the next checkpoint re-persists
+// them. Entries dirtied again since the capture win (they are newer).
+func (p *PFS) requeueSnap(snap ckptSnap) {
+	if len(snap) == 0 {
+		return
+	}
+	p.mu.Lock()
+	for pub, c := range snap {
+		st, ok := p.pubends[pub]
+		if !ok {
+			continue
+		}
+		for sub, d := range c.lastIdx {
+			if _, newer := st.dirty[sub]; !newer {
+				st.dirty[sub] = d
+			}
+		}
+		if st.writes == 0 && len(st.dirty) > 0 {
+			st.writes = 1 // ensure the next capture picks the pubend up
+		}
+		putIdxMap(c.lastIdx)
+	}
+	p.mu.Unlock()
+}
+
+// releaseSnap recycles a flushed snapshot's delta maps.
+func releaseSnap(snap ckptSnap) {
+	for _, c := range snap {
+		putIdxMap(c.lastIdx)
+	}
+}
+
 // scheduleFlushLocked hands a snapshot to the background flusher, merging
-// it into the pending one (newest wins per pubend) when a flush is already
-// in flight. Caller holds p.mu.
+// it into the pending one (newest wins per pubend and per subscriber) when
+// a flush is already in flight. Caller holds p.mu.
 func (p *PFS) scheduleFlushLocked(snap ckptSnap) {
 	if len(snap) == 0 {
 		return
@@ -473,7 +666,19 @@ func (p *PFS) scheduleFlushLocked(snap ckptSnap) {
 			p.pendingSnap = make(ckptSnap, len(snap))
 		}
 		for pub, c := range snap {
-			p.pendingSnap[pub] = c
+			pc, ok := p.pendingSnap[pub]
+			if !ok {
+				p.pendingSnap[pub] = c
+				continue
+			}
+			// Merge the newer deltas over the pending ones; both maps
+			// hold only changes, so neither may be discarded outright.
+			for sub, d := range c.lastIdx {
+				pc.lastIdx[sub] = d
+			}
+			pc.lastTS, pc.scanned = c.lastTS, c.scanned
+			p.pendingSnap[pub] = pc
+			putIdxMap(c.lastIdx)
 		}
 		return
 	}
@@ -484,7 +689,8 @@ func (p *PFS) scheduleFlushLocked(snap ckptSnap) {
 
 // flushLoop flushes snapshots until none are pending. Errors are counted
 // and kept for the next synchronous Sync; a failed checkpoint only delays
-// recovery (longer tail replay), it never loses acknowledged data.
+// recovery (longer tail replay), it never loses acknowledged data — its
+// deltas are requeued so a later checkpoint persists them.
 func (p *PFS) flushLoop(snap ckptSnap, done chan struct{}) {
 	defer close(done)
 	for {
@@ -493,6 +699,9 @@ func (p *PFS) flushLoop(snap ckptSnap, done chan struct{}) {
 			p.mu.Lock()
 			p.flushErr = err
 			p.mu.Unlock()
+			p.requeueSnap(snap)
+		} else {
+			releaseSnap(snap)
 		}
 		p.mu.Lock()
 		if p.pendingSnap == nil {
@@ -509,7 +718,9 @@ func (p *PFS) flushLoop(snap ckptSnap, done chan struct{}) {
 // flushSnapshot makes the snapshot's records durable, then persists the
 // checkpoint. The order matters: the volume sync happens after the capture,
 // so every index the checkpoint names is on stable storage before the
-// metastore commit that records it.
+// metastore commit that records it. Only the chain heads that moved since
+// the previous checkpoint are written — the metastore accumulates per-key
+// state, so recovery reconstructs the full map from the union of deltas.
 func (p *PFS) flushSnapshot(snap ckptSnap) error {
 	if err := p.opts.Volume.Sync(); err != nil {
 		return fmt.Errorf("pfs sync: %w", err)
@@ -518,11 +729,11 @@ func (p *PFS) flushSnapshot(snap ckptSnap) error {
 		return nil
 	}
 	tx := p.opts.Meta.Begin()
-	for pub, c := range snap {
-		tx.PutUint64(metaTable, keyLastTS(pub), uint64(c.lastTS))
-		tx.PutUint64(metaTable, keyScanned(pub), uint64(c.scanned))
-		for sub, idx := range c.lastIdx {
-			tx.PutUint64(metaTable, keyLastIdx(pub, sub), uint64(idx))
+	for _, c := range snap {
+		tx.PutUint64(metaTable, c.tsKey, uint64(c.lastTS))
+		tx.PutUint64(metaTable, c.scanKey, uint64(c.scanned))
+		for _, d := range c.lastIdx {
+			tx.PutUint64(metaTable, d.key, uint64(d.idx))
 		}
 	}
 	if err := tx.Commit(); err != nil {
@@ -629,7 +840,7 @@ func (p *PFS) ReadAppend(pub vtime.PubendID, sub vtime.SubscriberID, from, to vt
 			break
 		}
 		walked++
-		rec := cache.get(idx)
+		rec := cache.get(idx) // holds one arena ref for this walk
 		if rec == nil {
 			tDecMisses.Inc()
 			var err error
@@ -638,6 +849,7 @@ func (p *PFS) ReadAppend(pub vtime.PubendID, sub vtime.SubscriberID, from, to vt
 				break
 			}
 			if err != nil {
+				bufs.reversed = reversed[:0]
 				readBufPool.Put(bufs)
 				return ReadResult{}, fmt.Errorf("pfs read: %w", err)
 			}
@@ -651,15 +863,19 @@ func (p *PFS) ReadAppend(pub vtime.PubendID, sub vtime.SubscriberID, from, to vt
 				break
 			}
 		}
-		if rec.ts <= floor {
+		ts := rec.ts
+		// Done with the record's slices: drop the reader hold before any
+		// break so a concurrent eviction can recycle the arena.
+		rec.arena.release()
+		if ts <= floor {
 			break
 		}
-		if rec.ts <= ceil {
-			end := rec.ts
+		if ts <= ceil {
+			end := ts
 			if bucket > 0 {
-				end = vtime.MinTS(rec.ts+bucket-1, ceil)
+				end = vtime.MinTS(ts+bucket-1, ceil)
 			}
-			reversed = append(reversed, tick.Span{Start: rec.ts, End: end})
+			reversed = append(reversed, tick.Span{Start: ts, End: end})
 		}
 		idx = next
 	}
@@ -696,41 +912,46 @@ func (p *PFS) ReadAppend(pub vtime.PubendID, sub vtime.SubscriberID, from, to vt
 // reach idx (fat interleaved records, a torn tail, a concurrent chop), it
 // falls back to a precise single-record read, which is also the path that
 // surfaces real corruption as an error.
+// On success the returned record carries one arena reference held for the
+// caller (mirroring recCache.get), released when the caller is done with
+// its slices.
 func fillRecord(stream *logvol.Stream, cache *recCache, idx, firstLive logvol.Index, bufs *readBufs) (*decRec, error) {
 	from := firstLive
 	if idx >= firstLive+fillSpan {
 		from = idx - fillSpan + 1
 	}
-	if bufs.win == nil {
-		bufs.win = make([]byte, tailWindow)
-	}
+	// One arena backs every record decoded from this window; the filler's
+	// base reference keeps it alive until the cache (and the returned
+	// reader hold) have taken theirs.
+	arena := getArena()
 	err := stream.ReadRange(from, bufs.win, func(i logvol.Index, payload []byte) bool {
-		ts, subs, prevs, derr := decodeRecord(payload)
+		ts, subs, prevs, derr := decodeRecordArena(arena, payload)
 		if derr != nil {
 			return false
 		}
-		cache.put(i, &decRec{ts: ts, subs: subs, prevs: prevs})
+		cache.put(i, &decRec{ts: ts, subs: subs, prevs: prevs, arena: arena})
 		return i < idx
 	})
 	if err == nil {
 		tRangeReads.Inc()
 		if rec := cache.get(idx); rec != nil {
+			arena.release() // reader hold taken by get; drop filler base
 			return rec, nil
 		}
 	}
-	if bufs.rec == nil {
-		bufs.rec = make([]byte, recScratch)
-	}
 	payload, err := stream.ReadInto(idx, bufs.rec)
 	if err != nil {
+		arena.release()
 		return nil, err
 	}
-	ts, subs, prevs, derr := decodeRecord(payload)
+	ts, subs, prevs, derr := decodeRecordArena(arena, payload)
 	if derr != nil {
+		arena.release()
 		return nil, derr
 	}
-	rec := &decRec{ts: ts, subs: subs, prevs: prevs}
-	cache.put(idx, rec)
+	rec := &decRec{ts: ts, subs: subs, prevs: prevs, arena: arena}
+	cache.put(idx, rec) // cache takes its own reference
+	// The filler base transfers to the caller as the reader hold.
 	return rec, nil
 }
 
@@ -811,6 +1032,24 @@ func decodeRecord(payload []byte) (vtime.Timestamp, []vtime.SubscriberID, []logv
 	n := (len(payload) - recBase) / recPerSub
 	subs := make([]vtime.SubscriberID, n)
 	prevs := make([]logvol.Index, n)
+	for i := 0; i < n; i++ {
+		off := recBase + i*recPerSub
+		subs[i] = vtime.SubscriberID(binary.BigEndian.Uint64(payload[off:]))
+		prevs[i] = logvol.Index(binary.BigEndian.Uint64(payload[off+8:]))
+	}
+	return ts, subs, prevs, nil
+}
+
+// decodeRecordArena is decodeRecord with the output slices carved from a
+// pooled arena instead of freshly allocated — the hot-path variant used by
+// fillRecord (cold paths like Chop and recovery keep the allocating form).
+func decodeRecordArena(a *decArena, payload []byte) (vtime.Timestamp, []vtime.SubscriberID, []logvol.Index, error) {
+	if len(payload) < recBase || (len(payload)-recBase)%recPerSub != 0 {
+		return 0, nil, nil, fmt.Errorf("pfs: malformed record of %d bytes", len(payload))
+	}
+	ts := vtime.Timestamp(binary.BigEndian.Uint64(payload))
+	n := (len(payload) - recBase) / recPerSub
+	subs, prevs := a.carve(n)
 	for i := 0; i < n; i++ {
 		off := recBase + i*recPerSub
 		subs[i] = vtime.SubscriberID(binary.BigEndian.Uint64(payload[off:]))

@@ -464,3 +464,56 @@ func TestReadMatchesModel(t *testing.T) {
 		}
 	}
 }
+
+// TestCatchupReadAllocsGate is the allocation regression gate for the
+// catchup read path: backpointer-chain walks over a warm decode cache with
+// a caller-reused Q-span buffer. The pooled read scratch, the ref-counted
+// decode arenas, and ReadAppend's buffer reuse keep a 64-event batch read
+// under one allocation; a regression (an unpooled window, a per-record
+// slice pair, a rebuilt span slice) adds at least one per batch.
+func TestCatchupReadAllocsGate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are inflated under the race detector")
+	}
+	const (
+		batch  = 64
+		events = 2048
+		runs   = 30
+	)
+	f := newFixture(t, Options{})
+	for ts := vtime.Timestamp(1); ts <= events; ts++ {
+		subs := []vtime.SubscriberID{1, 2}
+		if ts%2 == 0 {
+			subs = subs[:1]
+		}
+		if err := f.pfs.Write(1, ts, subs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := make([]tick.Span, 0, 64)
+	// Warm up: the first full-range read pages every record into the
+	// decode cache and sizes the pooled scratch.
+	for from := vtime.Timestamp(0); from < events; from += batch {
+		res, err := f.pfs.ReadAppend(1, 1, from, from+batch, 0, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = res.QSpans
+	}
+	from := vtime.Timestamp(0)
+	avg := testing.AllocsPerRun(runs, func() {
+		res, err := f.pfs.ReadAppend(1, 1, from, from+batch, 0, dst[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = res.QSpans
+		from += batch
+		if from+batch > events {
+			from = 0
+		}
+	})
+	t.Logf("catchup read: %.3f allocs per %d-event batch", avg, batch)
+	if avg >= 1.0 {
+		t.Errorf("catchup batch read allocates %.3f, gate is <1 per %d-event batch", avg, batch)
+	}
+}

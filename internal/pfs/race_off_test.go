@@ -1,0 +1,8 @@
+//go:build !race
+
+package pfs
+
+// raceEnabled reports whether the race detector is compiled in; allocation
+// gates skip under -race because the detector's shadow bookkeeping inflates
+// allocation counts unpredictably.
+const raceEnabled = false

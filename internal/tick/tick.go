@@ -339,7 +339,14 @@ func (s *Stream) QGaps(from, to vtime.Timestamp, max int) []Range {
 
 // DTicks returns the timestamps of all D ticks in (from, to], in order.
 func (s *Stream) DTicks(from, to vtime.Timestamp) []vtime.Timestamp {
-	var out []vtime.Timestamp
+	return s.DTicksAppend(nil, from, to)
+}
+
+// DTicksAppend appends the D ticks in (from, to] to dst and returns the
+// extended slice. Callers on the hot delivery path pass a reusable buffer
+// (dst[:0]) so steady-state constream advancement allocates nothing.
+func (s *Stream) DTicksAppend(dst []vtime.Timestamp, from, to vtime.Timestamp) []vtime.Timestamp {
+	out := dst
 	i := s.findRunIndex(from + 1)
 	for ; i < len(s.runs) && s.runs[i].start <= to; i++ {
 		r := s.runs[i]
